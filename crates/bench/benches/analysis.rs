@@ -1,0 +1,65 @@
+//! Analysis-pipeline benchmarks: attribution, MTTF fitting, goodput
+//! accounting, and lemon-feature extraction over a prebuilt telemetry
+//! store (30 simulated days at 1/32 scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsc_core::attribution::{attribute_failures, AttributionConfig};
+use rsc_core::goodput::goodput_loss;
+use rsc_core::lemon::compute_features;
+use rsc_core::mttf::{gamma_mttf_ci, mttf_by_job_size, FailureScope};
+use rsc_sim::config::SimConfig;
+use rsc_sim::driver::ClusterSim;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::TelemetryStore;
+
+fn store() -> TelemetryStore {
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 77);
+    sim.run(SimDuration::from_days(30));
+    let mut t = sim.into_telemetry();
+    t.build_indexes();
+    t
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let mut t = store();
+    c.bench_function("attribute_failures_30_days", |b| {
+        b.iter(|| attribute_failures(&mut t, &AttributionConfig::paper_default()).len());
+    });
+}
+
+fn bench_mttf(c: &mut Criterion) {
+    let mut t = store();
+    c.bench_function("mttf_by_job_size_30_days", |b| {
+        b.iter(|| {
+            mttf_by_job_size(&mut t, FailureScope::AllFailures, &AttributionConfig::paper_default())
+                .len()
+        });
+    });
+    c.bench_function("gamma_mttf_ci", |b| {
+        b.iter(|| gamma_mttf_ci(criterion::black_box(137), 12_345.0, 0.90));
+    });
+}
+
+fn bench_goodput(c: &mut Criterion) {
+    let mut t = store();
+    c.bench_function("goodput_loss_30_days", |b| {
+        b.iter(|| goodput_loss(&mut t, &AttributionConfig::paper_default()).total_failure_loss);
+    });
+}
+
+fn bench_lemon_features(c: &mut Criterion) {
+    let t = store();
+    c.bench_function("lemon_features_30_days", |b| {
+        b.iter(|| compute_features(&t, SimTime::ZERO, t.horizon()).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_attribution,
+    bench_mttf,
+    bench_goodput,
+    bench_lemon_features
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! ETTR estimator benchmarks: the closed form is used inside parameter
+//! sweeps (Fig. 10) and must stay cheap; Monte Carlo sets the baseline it
+//! replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsc_core::ettr::analytical::{expected_ettr, EttrParams};
+use rsc_core::ettr::montecarlo::monte_carlo_ettr;
+use rsc_core::ettr::requirements::max_coupled_interval_mins;
+use rsc_sim_core::rng::SimRng;
+
+fn params() -> EttrParams {
+    EttrParams {
+        nodes: 2048,
+        r_f: 6.5e-3,
+        queue_time: 5.0 / 60.0 / 24.0,
+        restart_overhead: 5.0 / 60.0 / 24.0,
+        checkpoint_interval: 1.0 / 24.0,
+        productive_time: 7.0,
+    }
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("expected_ettr_closed_form", |b| {
+        b.iter(|| expected_ettr(criterion::black_box(&p)));
+    });
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("monte_carlo_ettr_1000_trials", |b| {
+        let mut rng = SimRng::seed_from(5);
+        b.iter(|| monte_carlo_ettr(&p, 1000, &mut rng).mean);
+    });
+}
+
+fn bench_requirement_solver(c: &mut Criterion) {
+    c.bench_function("max_coupled_interval_bisection", |b| {
+        b.iter(|| max_coupled_interval_mins(100_000, 2.34e-3, 0.9, 1.0, 7.0));
+    });
+}
+
+criterion_group!(benches, bench_analytic, bench_monte_carlo, bench_requirement_solver);
+criterion_main!(benches);

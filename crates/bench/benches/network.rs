@@ -1,0 +1,48 @@
+//! Fabric benchmarks: routing and collective evaluation drive the Fig. 12
+//! experiments and the ablation sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsc_cluster::ids::NodeId;
+use rsc_cluster::spec::ClusterSpec;
+use rsc_network::collective::{evaluate_collectives, AllReduce};
+use rsc_network::experiments::{ber_injection_experiment, contention_experiment};
+use rsc_network::fabric::Fabric;
+use rsc_network::routing::RoutingPolicy;
+
+fn bench_single_collective(c: &mut Criterion) {
+    let spec = ClusterSpec::new("bench", 64);
+    let fabric = Fabric::new(&spec);
+    let ar = AllReduce::new((0..64).map(NodeId::new).collect());
+    c.bench_function("allreduce_512gpu_adaptive", |b| {
+        b.iter(|| {
+            evaluate_collectives(&fabric, std::slice::from_ref(&ar), RoutingPolicy::Adaptive)
+                .busbw_gbps[0]
+        });
+    });
+    c.bench_function("allreduce_512gpu_static", |b| {
+        b.iter(|| {
+            evaluate_collectives(
+                &fabric,
+                std::slice::from_ref(&ar),
+                RoutingPolicy::Static { shield_threshold: 0.95 },
+            )
+            .busbw_gbps[0]
+        });
+    });
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_experiments");
+    group.sample_size(10);
+    group.bench_function("ber_injection_5_iterations", |b| {
+        b.iter(|| ber_injection_experiment(5, 0.5, 0.8, 1).len());
+    });
+    group.bench_function("contention_64_groups", |b| {
+        b.iter(|| contention_experiment(64, 2).with_ar_gbps.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_collective, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Scheduler benchmarks: the per-cycle cost bounds full-scale simulation
+//! speed (one cycle runs after every event).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rsc_cluster::ids::JobId;
+use rsc_cluster::spec::ClusterSpec;
+use rsc_cluster::topology::Topology;
+use rsc_sched::job::{Destiny, JobSpec, QosClass};
+use rsc_sched::sched::{SchedConfig, Scheduler};
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+fn spec(id: u64, gpus: u32, qos: QosClass) -> JobSpec {
+    JobSpec {
+        id: JobId::new(id),
+        project: Default::default(),
+        run: None,
+        gpus,
+        submit_at: SimTime::ZERO,
+        work: SimDuration::from_hours(4),
+        time_limit: SimDuration::from_days(1),
+        qos,
+        checkpoint_interval: SimDuration::from_hours(1),
+        restart_overhead: SimDuration::from_mins(5),
+        destiny: Destiny::Complete,
+        requeue_on_user_failure: false,
+    }
+}
+
+fn bench_cycle_with_backlog(c: &mut Criterion) {
+    c.bench_function("cycle_256_nodes_500_pending", |b| {
+        b.iter_with_setup(
+            || {
+                let topo = Topology::new(&ClusterSpec::new("bench", 256));
+                let mut sched = Scheduler::new(topo, SchedConfig::rsc_default());
+                for i in 0..500u64 {
+                    let gpus = match i % 4 {
+                        0 => 1,
+                        1 => 8,
+                        2 => 32,
+                        _ => 2,
+                    };
+                    let qos = if i % 10 == 0 { QosClass::High } else { QosClass::Low };
+                    sched.submit(spec(i + 1, gpus, qos));
+                }
+                sched
+            },
+            |mut sched| sched.cycle(SimTime::from_mins(5)).len(),
+        );
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    use rsc_sched::alloc::ResourcePool;
+    let topo = Topology::new(&ClusterSpec::new("bench", 2048));
+    let pool = ResourcePool::new(topo);
+    let big = spec(1, 4096, QosClass::High);
+    c.bench_function("allocate_4096_gpus_on_2048_nodes", |b| {
+        b.iter(|| pool.try_allocate(&big).map(|v| v.len()));
+    });
+    let small = spec(2, 2, QosClass::Low);
+    c.bench_function("allocate_2_gpus_on_2048_nodes", |b| {
+        b.iter(|| pool.try_allocate(&small).map(|v| v.len()));
+    });
+}
+
+criterion_group!(benches, bench_cycle_with_backlog, bench_allocation);
+criterion_main!(benches);

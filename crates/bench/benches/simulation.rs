@@ -1,0 +1,68 @@
+//! Simulator throughput benchmarks: how fast the discrete-event engine
+//! chews through cluster-days at different scales. These keep the figure
+//! harness honest — every figure reruns the simulator, so regressions here
+//! multiply across the whole reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rsc_sim::config::SimConfig;
+use rsc_sim::driver::ClusterSim;
+use rsc_sim_core::time::SimDuration;
+
+fn bench_sim_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_day");
+    group.sample_size(10);
+    for divisor in [32u32, 8] {
+        let config = SimConfig::rsc1().scaled_down(divisor);
+        group.bench_with_input(
+            BenchmarkId::new("rsc1_scale", format!("1/{divisor}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut sim = ClusterSim::new(config.clone(), 1);
+                    sim.run(SimDuration::from_days(1));
+                    sim.into_telemetry().jobs().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_failure_injection(c: &mut Criterion) {
+    use rsc_failure::injector::FailureInjector;
+    use rsc_failure::modes::ModeCatalog;
+    use rsc_failure::process::HazardSchedule;
+    use rsc_sim_core::rng::SimRng;
+    use rsc_sim_core::time::SimTime;
+
+    c.bench_function("failure_injector_2048_nodes_30_days", |b| {
+        b.iter(|| {
+            let schedule = HazardSchedule::new(ModeCatalog::rsc1());
+            let mut inj = FailureInjector::new(schedule, 2048, SimRng::seed_from(1));
+            inj.drain_until(SimTime::from_days(30)).len()
+        });
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    use rsc_sim_core::rng::SimRng;
+    use rsc_sim_core::time::SimTime;
+    use rsc_workload::generator::JobStream;
+    use rsc_workload::profile::WorkloadProfile;
+
+    c.bench_function("generate_one_day_of_rsc1_jobs", |b| {
+        b.iter(|| {
+            let mut stream = JobStream::new(WorkloadProfile::rsc1(), SimRng::seed_from(2));
+            stream.take_until(SimTime::from_days(1)).len()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sim_day,
+    bench_failure_injection,
+    bench_workload_generation
+);
+criterion_main!(benches);

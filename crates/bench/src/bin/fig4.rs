@@ -1,0 +1,54 @@
+//! Fig. 4: attributed hardware failure rates per GPU-hour, by cause, for
+//! RSC-1 and RSC-2.
+
+use rsc_core::attribution::{cause_rates, AttributionConfig};
+
+fn main() {
+    rsc_bench::banner(
+        "Fig. 4",
+        "Attributed hardware failures per GPU-hour",
+        "both clusters at 1/8 scale, 330 simulated days, 10/5-min window",
+    );
+    let config = AttributionConfig::paper_default();
+    let mut rows = Vec::new();
+    for (name, store) in [
+        ("RSC-1", rsc_bench::run_rsc1(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
+        ("RSC-2", rsc_bench::run_rsc2(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
+    ] {
+        let mut store = store;
+        let rates = cause_rates(&mut store, &config);
+        let swap_rate = store.gpu_swaps() as f64
+            / (store.num_nodes() as f64 * 8.0 * store.horizon().as_days() / 365.25);
+        println!(
+            "\n--- {name} (total GPU-hours: {:.2e}; GPU swaps: {} ≈ {:.3}/GPU-year) ---",
+            rates.total_gpu_hours,
+            store.gpu_swaps(),
+            swap_rate
+        );
+        println!("{:<16} {:>16}", "cause", "failures/GPU-hr");
+        println!("{}", "-".repeat(36));
+        let max = rates.rates.first().map(|r| r.1).unwrap_or(0.0);
+        for (cause, rate) in &rates.rates {
+            let label = cause.map(|c| c.label()).unwrap_or("unattributed");
+            println!(
+                "{:<16} {:>16.3e}  {}",
+                label,
+                rate,
+                rsc_bench::bar(*rate, max, 30)
+            );
+            rows.push(vec![
+                name.to_string(),
+                label.to_string(),
+                format!("{rate:.6e}"),
+            ]);
+        }
+    }
+    println!("\n(paper: IB links, filesystem mounts, GPU memory, and PCIe dominate;");
+    println!(" a large unattributed NODE_FAIL mass; RSC-2 rates ~3x lower overall,");
+    println!(" corroborated by RSC-1's GPU swap rate running ~3x RSC-2's)");
+    rsc_bench::save_csv(
+        "fig4_cause_rates.csv",
+        &["cluster", "cause", "failures_per_gpu_hour"],
+        rows,
+    );
+}

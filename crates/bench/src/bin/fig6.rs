@@ -1,0 +1,64 @@
+//! Fig. 6: job-size distribution by fraction of jobs and fraction of
+//! compute, RSC-1 and RSC-2.
+
+use rsc_core::report::size_distribution;
+
+fn main() {
+    rsc_bench::banner(
+        "Fig. 6",
+        "Job distribution by jobs and by compute",
+        "both clusters at 1/8 scale (max job 512 GPUs at this scale), 330 days",
+    );
+    let mut rows = Vec::new();
+    for (name, store) in [
+        ("RSC-1", rsc_bench::run_rsc1(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
+        ("RSC-2", rsc_bench::run_rsc2(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
+    ] {
+        let dist = size_distribution(&store);
+        println!("\n--- {name} ---");
+        println!("{:>6} {:>11} {:>13}", "GPUs", "% of jobs", "% of compute");
+        println!("{}", "-".repeat(34));
+        for s in &dist {
+            println!(
+                "{:>6} {:>11} {:>13}  {}",
+                s.gpus,
+                rsc_bench::pct(s.job_fraction),
+                rsc_bench::pct(s.gpu_time_fraction),
+                rsc_bench::bar(s.gpu_time_fraction, 0.5, 30)
+            );
+            rows.push(vec![
+                name.to_string(),
+                s.gpus.to_string(),
+                format!("{:.6}", s.job_fraction),
+                format!("{:.6}", s.gpu_time_fraction),
+            ]);
+        }
+        let one_gpu: f64 = dist.iter().filter(|s| s.gpus == 1).map(|s| s.job_fraction).sum();
+        let sub_node: f64 = dist.iter().filter(|s| s.gpus < 8).map(|s| s.job_fraction).sum();
+        let sub_node_gpu: f64 = dist
+            .iter()
+            .filter(|s| s.gpus < 8)
+            .map(|s| s.gpu_time_fraction)
+            .sum();
+        let large: f64 = dist
+            .iter()
+            .filter(|s| s.gpus >= 256 / 8)
+            .map(|s| s.gpu_time_fraction)
+            .sum();
+        println!("\n  1-GPU jobs: {} of jobs (paper: >40%)", rsc_bench::pct(one_gpu));
+        println!(
+            "  <1 server: {} of jobs, {} of compute (paper: >90% / <10%)",
+            rsc_bench::pct(sub_node),
+            rsc_bench::pct(sub_node_gpu)
+        );
+        println!(
+            "  ≥32 GPUs (≙256 at full scale): {} of compute (paper: 66% / 52%)",
+            rsc_bench::pct(large)
+        );
+    }
+    rsc_bench::save_csv(
+        "fig6_size_distribution.csv",
+        &["cluster", "gpus", "job_fraction", "gpu_time_fraction"],
+        rows,
+    );
+}

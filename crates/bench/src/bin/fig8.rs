@@ -1,0 +1,54 @@
+//! Fig. 8: lost goodput by job size — first-order hardware failures plus
+//! second-order preemptions from failed jobs requeueing.
+
+use rsc_core::attribution::AttributionConfig;
+use rsc_core::goodput::goodput_loss;
+
+fn main() {
+    rsc_bench::banner(
+        "Fig. 8",
+        "Cluster goodput loss from failures and requeue preemptions",
+        "both clusters at 1/4 scale, 330 simulated days, hourly-checkpoint assumption",
+    );
+    let config = AttributionConfig::paper_default();
+    let mut rows = Vec::new();
+    for (name, mut store) in [
+        ("RSC-1", rsc_bench::run_rsc1(4, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
+        ("RSC-2", rsc_bench::run_rsc2(4, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
+    ] {
+        let loss = goodput_loss(&mut store, &config);
+        println!("\n--- {name} ---");
+        println!(
+            "{:>7} {:>20} {:>22}",
+            "GPUs", "failure loss (GPU-h)", "preemption loss (GPU-h)"
+        );
+        println!("{}", "-".repeat(55));
+        for p in &loss.by_size {
+            println!(
+                "{:>7} {:>20.0} {:>22.0}",
+                p.gpus, p.failure_loss_gpu_hours, p.preemption_loss_gpu_hours
+            );
+            rows.push(vec![
+                name.to_string(),
+                p.gpus.to_string(),
+                format!("{:.1}", p.failure_loss_gpu_hours),
+                format!("{:.1}", p.preemption_loss_gpu_hours),
+            ]);
+        }
+        println!(
+            "\n  totals: failures {:.0} GPU-h, second-order preemptions {:.0} GPU-h",
+            loss.total_failure_loss, loss.total_preemption_loss
+        );
+        println!(
+            "  second-order share: {} (paper: ~16% on RSC-1)",
+            rsc_bench::pct(loss.preemption_share())
+        );
+    }
+    println!("\n(paper: losses concentrate at the 2–4k GPU scale on RSC-1; RSC-2's");
+    println!(" loss profile tilts to moderate sizes and is an order of magnitude lower)");
+    rsc_bench::save_csv(
+        "fig8_goodput_loss.csv",
+        &["cluster", "gpus", "failure_loss_gpu_hours", "preemption_loss_gpu_hours"],
+        rows,
+    );
+}

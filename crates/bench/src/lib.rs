@@ -1,0 +1,111 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary regenerates one table or figure from the paper by running
+//! the simulator (at a stated scale) and printing the same rows/series the
+//! paper reports, plus a CSV copy under `target/figures/`.
+
+use std::path::PathBuf;
+
+use rsc_sim::config::SimConfig;
+use rsc_sim::driver::ClusterSim;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::store::TelemetryStore;
+
+/// Standard measurement horizon: the paper covers 11 months.
+pub const MEASUREMENT_DAYS: u64 = 330;
+
+/// Default seed for figure regeneration (fixed for reproducibility).
+pub const FIGURE_SEED: u64 = 20_250_301;
+
+/// Runs an RSC-1-like simulation at `1/divisor` scale for `days`.
+pub fn run_rsc1(divisor: u32, days: u64, seed: u64) -> TelemetryStore {
+    run(SimConfig::rsc1(), divisor, days, seed)
+}
+
+/// Runs an RSC-2-like simulation at `1/divisor` scale for `days`.
+pub fn run_rsc2(divisor: u32, days: u64, seed: u64) -> TelemetryStore {
+    run(SimConfig::rsc2(), divisor, days, seed)
+}
+
+fn run(config: SimConfig, divisor: u32, days: u64, seed: u64) -> TelemetryStore {
+    let config = if divisor > 1 {
+        config.scaled_down(divisor)
+    } else {
+        config
+    };
+    let mut sim = ClusterSim::new(config, seed);
+    sim.run(SimDuration::from_days(days));
+    sim.into_telemetry()
+}
+
+/// Where figure CSVs land.
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from("target/figures")
+}
+
+/// Writes a figure CSV and reports the path.
+pub fn save_csv<S: AsRef<str>>(name: &str, header: &[&str], rows: Vec<Vec<S>>) {
+    let path = figures_dir().join(name);
+    match rsc_telemetry::csv::write_csv_file(&path, header, rows) {
+        Ok(()) => println!("\n[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Formats a fraction as a percentage with sensible precision.
+pub fn pct(x: f64) -> String {
+    if x == 0.0 {
+        "0%".to_string()
+    } else if x < 0.001 {
+        format!("{:.3}%", x * 100.0)
+    } else if x < 0.10 {
+        format!("{:.2}%", x * 100.0)
+    } else {
+        format!("{:.1}%", x * 100.0)
+    }
+}
+
+/// A fixed-width ASCII bar for quick terminal "plots".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Prints a figure banner.
+pub fn banner(id: &str, title: &str, scale_note: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("  ({scale_note})");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(pct(0.0005), "0.050%");
+        assert_eq!(pct(0.05), "5.00%");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn small_run_produces_telemetry() {
+        let t = run_rsc1(32, 2, 1);
+        assert!(!t.jobs().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The live cluster: node inventory plus state bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::time::SimTime;
+
+use crate::ids::NodeId;
+use crate::node::{Node, NodeState};
+use crate::spec::ClusterSpec;
+use crate::topology::Topology;
+
+/// A cluster instance: the spec, derived topology, and mutable node states.
+///
+/// ```
+/// use rsc_cluster::cluster::Cluster;
+/// use rsc_cluster::spec::ClusterSpec;
+///
+/// let cluster = Cluster::new(ClusterSpec::small_test());
+/// assert_eq!(cluster.nodes().len(), 64);
+/// assert_eq!(cluster.schedulable_count(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    topology: Topology,
+    nodes: Vec<Node>,
+    total_gpu_swaps: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster with all nodes healthy.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let topology = Topology::new(&spec);
+        let nodes = (0..spec.num_nodes())
+            .map(|i| {
+                let id = NodeId::new(i);
+                Node::new(id, topology.rack_of(id), topology.pod_of(id))
+            })
+            .collect();
+        Cluster {
+            spec,
+            topology,
+            nodes,
+            total_gpu_swaps: 0,
+        }
+    }
+
+    /// The cluster's sizing spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The placement topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// All nodes, indexed by [`NodeId`] order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this cluster.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.as_usize()]
+    }
+
+    /// Mutable access to a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this cluster.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.as_usize()]
+    }
+
+    /// Ids of all nodes currently schedulable (healthy).
+    pub fn schedulable_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(|n| n.state().is_schedulable())
+            .map(|n| n.id())
+    }
+
+    /// Number of schedulable nodes.
+    pub fn schedulable_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.state().is_schedulable()).count()
+    }
+
+    /// Number of nodes currently in remediation.
+    pub fn remediation_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state() == NodeState::Remediation)
+            .count()
+    }
+
+    /// Sends a node into remediation (high-severity path).
+    pub fn remediate_node(&mut self, id: NodeId, now: SimTime) {
+        self.nodes[id.as_usize()].enter_remediation(now);
+    }
+
+    /// Completes repair of a node, returning it to service and accounting
+    /// any GPU swaps that the repair performed.
+    pub fn repair_node(&mut self, id: NodeId) {
+        let swapped = self.nodes[id.as_usize()].complete_repair();
+        self.total_gpu_swaps += swapped as u64;
+    }
+
+    /// Total GPU swaps performed across the cluster's lifetime — the paper
+    /// compares RSC-1 vs RSC-2 swap rates as corroboration of differing
+    /// failure rates.
+    pub fn total_gpu_swaps(&self) -> u64 {
+        self.total_gpu_swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentHealth;
+
+    #[test]
+    fn new_cluster_all_healthy() {
+        let c = Cluster::new(ClusterSpec::new("t", 10));
+        assert_eq!(c.schedulable_count(), 10);
+        assert_eq!(c.remediation_count(), 0);
+        assert_eq!(c.schedulable_nodes().count(), 10);
+    }
+
+    #[test]
+    fn node_placement_matches_topology() {
+        let c = Cluster::new(ClusterSpec::new("t", 42));
+        for node in c.nodes() {
+            assert_eq!(node.rack(), c.topology().rack_of(node.id()));
+            assert_eq!(node.pod(), c.topology().pod_of(node.id()));
+        }
+    }
+
+    #[test]
+    fn remediate_and_repair_cycle() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 4));
+        let id = NodeId::new(2);
+        c.remediate_node(id, SimTime::from_hours(3));
+        assert_eq!(c.schedulable_count(), 3);
+        assert_eq!(c.remediation_count(), 1);
+        assert!(!c.schedulable_nodes().any(|n| n == id));
+        c.repair_node(id);
+        assert_eq!(c.schedulable_count(), 4);
+    }
+
+    #[test]
+    fn repair_counts_gpu_swaps() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 2));
+        let id = NodeId::new(0);
+        c.node_mut(id).gpu_mut(3).set_health(ComponentHealth::Failed);
+        c.remediate_node(id, SimTime::ZERO);
+        c.repair_node(id);
+        assert_eq!(c.total_gpu_swaps(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Server-level hardware components.
+//!
+//! The component inventory follows the lemon-node root-cause breakdown of
+//! the paper's Table II (GPU, DIMM, PCIe, EUD, NIC, BIOS, PSU, CPU, optics)
+//! plus the fabric-facing parts referenced by the failure taxonomy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A replaceable or repairable hardware component class on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// An A100 accelerator (HBM, NVLink ports, on-package logic).
+    Gpu,
+    /// Host DRAM module.
+    Dimm,
+    /// PCIe link/switch between host and accelerators.
+    Pcie,
+    /// Emergency utility device / baseboard management peripheral.
+    Eud,
+    /// Backend (InfiniBand) or frontend (Ethernet) network interface card.
+    Nic,
+    /// System firmware.
+    Bios,
+    /// Power supply unit.
+    Psu,
+    /// Host CPU socket.
+    Cpu,
+    /// Optical transceivers and cabling.
+    Optics,
+    /// NVSwitch connecting the eight local GPUs.
+    NvSwitch,
+    /// Local block device (boot/scratch SSD).
+    BlockDevice,
+}
+
+impl ComponentKind {
+    /// All component kinds, in a stable order (Table II ordering first).
+    pub const ALL: [ComponentKind; 11] = [
+        ComponentKind::Optics,
+        ComponentKind::Cpu,
+        ComponentKind::Psu,
+        ComponentKind::Nic,
+        ComponentKind::Eud,
+        ComponentKind::Pcie,
+        ComponentKind::Dimm,
+        ComponentKind::Gpu,
+        ComponentKind::Bios,
+        ComponentKind::NvSwitch,
+        ComponentKind::BlockDevice,
+    ];
+
+    /// Short lowercase label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentKind::Gpu => "gpu",
+            ComponentKind::Dimm => "dimm",
+            ComponentKind::Pcie => "pcie",
+            ComponentKind::Eud => "eud",
+            ComponentKind::Nic => "nic",
+            ComponentKind::Bios => "bios",
+            ComponentKind::Psu => "psu",
+            ComponentKind::Cpu => "cpu",
+            ComponentKind::Optics => "optics",
+            ComponentKind::NvSwitch => "nvswitch",
+            ComponentKind::BlockDevice => "blockdev",
+        }
+    }
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Operational condition of one component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ComponentHealth {
+    /// Operating normally.
+    #[default]
+    Ok,
+    /// Experiencing transient errors (recoverable without replacement).
+    Degraded,
+    /// Permanently failed; requires vendor repair or replacement.
+    Failed,
+}
+
+impl fmt::Display for ComponentHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentHealth::Ok => "ok",
+            ComponentHealth::Degraded => "degraded",
+            ComponentHealth::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_labels() {
+        let mut labels: Vec<&str> = ComponentKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ComponentKind::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(ComponentKind::Gpu.to_string(), "gpu");
+        assert_eq!(ComponentHealth::Degraded.to_string(), "degraded");
+    }
+
+    #[test]
+    fn default_health_is_ok() {
+        assert_eq!(ComponentHealth::default(), ComponentHealth::Ok);
+    }
+}

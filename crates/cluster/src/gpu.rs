@@ -1,0 +1,170 @@
+//! Per-GPU state: XID error history, memory-error counters, swap tracking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::ComponentHealth;
+
+/// NVIDIA XID error codes that appear in the paper's failure analysis.
+///
+/// XIDs are the GPU driver's error taxonomy; the paper calls out memory
+/// errors (uncorrectable ECC, row-remap failures) as the top GPU error
+/// category and XID 79 ("GPU fell off the bus") as highly correlated with
+/// PCIe faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum XidError {
+    /// XID 48: double-bit ECC error (uncorrectable).
+    DoubleBitEcc,
+    /// XID 63/64: row-remap recording event or failure.
+    RowRemapFailure,
+    /// XID 74: NVLink error.
+    NvlinkError,
+    /// XID 79: GPU has fallen off the bus.
+    FallenOffBus,
+    /// XID 119/120: GSP (GPU System Processor) RPC timeout — the paper's
+    /// driver-regression era.
+    GspTimeout,
+    /// XID 31: GPU memory page fault (typically user code).
+    MemoryPageFault,
+    /// Any other XID, identified by raw code.
+    Other(u16),
+}
+
+impl XidError {
+    /// The numeric XID code as reported by the driver.
+    pub fn code(self) -> u16 {
+        match self {
+            XidError::DoubleBitEcc => 48,
+            XidError::RowRemapFailure => 64,
+            XidError::NvlinkError => 74,
+            XidError::FallenOffBus => 79,
+            XidError::GspTimeout => 119,
+            XidError::MemoryPageFault => 31,
+            XidError::Other(code) => code,
+        }
+    }
+
+    /// Whether this XID indicates a hardware (vs user-software) problem.
+    pub fn is_hardware(self) -> bool {
+        !matches!(self, XidError::MemoryPageFault | XidError::Other(_))
+    }
+}
+
+impl std::fmt::Display for XidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XID{}", self.code())
+    }
+}
+
+/// State of one A100 GPU in a server.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Gpu {
+    health: ComponentHealth,
+    uncorrectable_ecc_count: u64,
+    row_remap_count: u64,
+    xid_event_count: u64,
+    distinct_xids: Vec<u16>,
+    swap_count: u32,
+}
+
+impl Gpu {
+    /// A fresh, healthy GPU.
+    pub fn new() -> Self {
+        Gpu::default()
+    }
+
+    /// Current health.
+    pub fn health(&self) -> ComponentHealth {
+        self.health
+    }
+
+    /// Marks the GPU degraded or failed.
+    pub fn set_health(&mut self, health: ComponentHealth) {
+        self.health = health;
+    }
+
+    /// Records an XID event against this GPU, updating derived counters.
+    pub fn record_xid(&mut self, xid: XidError) {
+        self.xid_event_count += 1;
+        let code = xid.code();
+        if !self.distinct_xids.contains(&code) {
+            self.distinct_xids.push(code);
+        }
+        match xid {
+            XidError::DoubleBitEcc => self.uncorrectable_ecc_count += 1,
+            XidError::RowRemapFailure => self.row_remap_count += 1,
+            _ => {}
+        }
+    }
+
+    /// Total XID events observed.
+    pub fn xid_event_count(&self) -> u64 {
+        self.xid_event_count
+    }
+
+    /// Number of *distinct* XID codes observed (a lemon-detection signal).
+    pub fn distinct_xid_count(&self) -> usize {
+        self.distinct_xids.len()
+    }
+
+    /// Uncorrectable ECC errors observed.
+    pub fn uncorrectable_ecc_count(&self) -> u64 {
+        self.uncorrectable_ecc_count
+    }
+
+    /// Row-remap events observed.
+    pub fn row_remap_count(&self) -> u64 {
+        self.row_remap_count
+    }
+
+    /// How many times this GPU slot has had its silicon swapped.
+    pub fn swap_count(&self) -> u32 {
+        self.swap_count
+    }
+
+    /// Replaces the GPU (vendor swap): counters reset, health restored,
+    /// swap count incremented.
+    pub fn swap(&mut self) {
+        let swaps = self.swap_count + 1;
+        *self = Gpu::new();
+        self.swap_count = swaps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xid_codes() {
+        assert_eq!(XidError::FallenOffBus.code(), 79);
+        assert_eq!(XidError::Other(13).code(), 13);
+        assert_eq!(XidError::GspTimeout.to_string(), "XID119");
+        assert!(XidError::DoubleBitEcc.is_hardware());
+        assert!(!XidError::MemoryPageFault.is_hardware());
+    }
+
+    #[test]
+    fn record_xid_updates_counters() {
+        let mut gpu = Gpu::new();
+        gpu.record_xid(XidError::DoubleBitEcc);
+        gpu.record_xid(XidError::DoubleBitEcc);
+        gpu.record_xid(XidError::RowRemapFailure);
+        assert_eq!(gpu.xid_event_count(), 3);
+        assert_eq!(gpu.distinct_xid_count(), 2);
+        assert_eq!(gpu.uncorrectable_ecc_count(), 2);
+        assert_eq!(gpu.row_remap_count(), 1);
+    }
+
+    #[test]
+    fn swap_resets_but_counts() {
+        let mut gpu = Gpu::new();
+        gpu.record_xid(XidError::FallenOffBus);
+        gpu.set_health(ComponentHealth::Failed);
+        gpu.swap();
+        assert_eq!(gpu.health(), ComponentHealth::Ok);
+        assert_eq!(gpu.xid_event_count(), 0);
+        assert_eq!(gpu.swap_count(), 1);
+        gpu.swap();
+        assert_eq!(gpu.swap_count(), 2);
+    }
+}

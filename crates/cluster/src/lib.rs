@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Cluster hardware model for the `rsc-reliability` workspace.
+//!
+//! Models the RSC design template from the paper's §II: bare-metal DGX A100
+//! servers (8 GPUs behind an NVSwitch), two servers per rack, ten racks per
+//! rail-optimized pod, and a scheduler-facing node state machine
+//! (healthy → draining → remediation → healthy).
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_cluster::cluster::Cluster;
+//! use rsc_cluster::ids::NodeId;
+//! use rsc_cluster::spec::ClusterSpec;
+//! use rsc_cluster::topology::Locality;
+//! use rsc_sim_core::time::SimTime;
+//!
+//! let mut cluster = Cluster::new(ClusterSpec::rsc2());
+//! assert_eq!(cluster.spec().total_gpus(), 8_192);
+//!
+//! // A bad node is pulled for repair and stops being schedulable.
+//! cluster.remediate_node(NodeId::new(7), SimTime::from_hours(2));
+//! assert_eq!(cluster.schedulable_count() as u32, cluster.spec().num_nodes() - 1);
+//!
+//! // Rack-mates enjoy rail locality.
+//! let loc = cluster.topology().locality(NodeId::new(0), NodeId::new(1));
+//! assert_eq!(loc, Locality::SameRack);
+//! ```
+
+pub mod cluster;
+pub mod component;
+pub mod gpu;
+pub mod ids;
+pub mod node;
+pub mod spec;
+pub mod topology;
+
+pub use cluster::Cluster;
+pub use ids::{GpuId, JobId, JobRunId, NodeId, PodId, RackId};
+pub use node::{Node, NodeState, GPUS_PER_NODE};
+pub use spec::ClusterSpec;
+pub use topology::{Locality, Topology};

@@ -1,0 +1,272 @@
+//! Server (node) model: eight GPUs, host components, and the scheduler-facing
+//! availability state machine.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::time::SimTime;
+
+use crate::component::{ComponentHealth, ComponentKind};
+use crate::gpu::Gpu;
+use crate::ids::{NodeId, PodId, RackId};
+
+/// Scheduler-facing availability of a node.
+///
+/// The transitions mirror the paper's §II-C: a high-severity health-check
+/// failure moves a node to [`NodeState::Remediation`] immediately (jobs are
+/// rescheduled); a low-severity failure marks it [`NodeState::Draining`] so
+/// it leaves service when the current job finishes; repair returns it to
+/// [`NodeState::Healthy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Passing all health checks; available for scheduling.
+    #[default]
+    Healthy,
+    /// Failed a low-severity check; unschedulable, finishes its current job
+    /// before entering remediation.
+    Draining,
+    /// Out of service for repair; not schedulable.
+    Remediation,
+}
+
+impl NodeState {
+    /// Whether the scheduler may place new jobs on a node in this state.
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, NodeState::Healthy)
+    }
+}
+
+impl std::fmt::Display for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NodeState::Healthy => "healthy",
+            NodeState::Draining => "draining",
+            NodeState::Remediation => "remediation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Number of GPUs in a DGX A100 server.
+pub const GPUS_PER_NODE: usize = 8;
+
+/// One bare-metal DGX server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    rack: RackId,
+    pod: PodId,
+    state: NodeState,
+    gpus: Vec<Gpu>,
+    component_health: Vec<(ComponentKind, ComponentHealth)>,
+    /// Times the node was taken out of scheduler availability
+    /// (the `out_count` lemon signal).
+    out_count: u32,
+    /// Repair tickets filed against this node (the `tickets` lemon signal).
+    ticket_count: u32,
+    /// When the node last entered remediation, if it ever did.
+    last_out_at: Option<SimTime>,
+}
+
+impl Node {
+    /// Creates a healthy node with eight fresh GPUs.
+    pub fn new(id: NodeId, rack: RackId, pod: PodId) -> Self {
+        Node {
+            id,
+            rack,
+            pod,
+            state: NodeState::Healthy,
+            gpus: (0..GPUS_PER_NODE).map(|_| Gpu::new()).collect(),
+            component_health: ComponentKind::ALL
+                .iter()
+                .map(|&k| (k, ComponentHealth::Ok))
+                .collect(),
+            out_count: 0,
+            ticket_count: 0,
+            last_out_at: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The rack housing this node.
+    pub fn rack(&self) -> RackId {
+        self.rack
+    }
+
+    /// The pod containing this node's rack.
+    pub fn pod(&self) -> PodId {
+        self.pod
+    }
+
+    /// Current scheduler-facing state.
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// The node's GPUs.
+    pub fn gpus(&self) -> &[Gpu] {
+        &self.gpus
+    }
+
+    /// Mutable access to a GPU by local slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 8`.
+    pub fn gpu_mut(&mut self, slot: u8) -> &mut Gpu {
+        &mut self.gpus[slot as usize]
+    }
+
+    /// Health of a host component.
+    pub fn component_health(&self, kind: ComponentKind) -> ComponentHealth {
+        self.component_health
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, h)| *h)
+            .unwrap_or(ComponentHealth::Ok)
+    }
+
+    /// Sets the health of a host component.
+    pub fn set_component_health(&mut self, kind: ComponentKind, health: ComponentHealth) {
+        if let Some(entry) = self.component_health.iter_mut().find(|(k, _)| *k == kind) {
+            entry.1 = health;
+        }
+    }
+
+    /// Marks the node draining (low-severity check failure). No-op if the
+    /// node is already out of service.
+    pub fn begin_drain(&mut self) {
+        if self.state == NodeState::Healthy {
+            self.state = NodeState::Draining;
+        }
+    }
+
+    /// Moves the node into remediation, filing a ticket and bumping
+    /// `out_count`.
+    pub fn enter_remediation(&mut self, now: SimTime) {
+        if self.state != NodeState::Remediation {
+            self.state = NodeState::Remediation;
+            self.out_count += 1;
+            self.ticket_count += 1;
+            self.last_out_at = Some(now);
+        }
+    }
+
+    /// Returns the node to service: all components restored, GPUs with
+    /// failed health swapped, state back to healthy.
+    ///
+    /// Returns the number of GPUs that were swapped during the repair.
+    pub fn complete_repair(&mut self) -> usize {
+        let mut swapped = 0;
+        for gpu in &mut self.gpus {
+            if gpu.health() != ComponentHealth::Ok {
+                gpu.swap();
+                swapped += 1;
+            }
+        }
+        for entry in &mut self.component_health {
+            entry.1 = ComponentHealth::Ok;
+        }
+        self.state = NodeState::Healthy;
+        swapped
+    }
+
+    /// Times this node was taken out of availability.
+    pub fn out_count(&self) -> u32 {
+        self.out_count
+    }
+
+    /// Repair tickets filed against this node.
+    pub fn ticket_count(&self) -> u32 {
+        self.ticket_count
+    }
+
+    /// When the node last entered remediation.
+    pub fn last_out_at(&self) -> Option<SimTime> {
+        self.last_out_at
+    }
+
+    /// Total distinct XID codes observed across the node's GPUs
+    /// (the `xid_cnt` lemon signal).
+    pub fn distinct_xid_count(&self) -> usize {
+        self.gpus.iter().map(|g| g.distinct_xid_count()).sum()
+    }
+
+    /// Total GPU swaps performed on this node.
+    pub fn gpu_swap_count(&self) -> u32 {
+        self.gpus.iter().map(|g| g.swap_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::XidError;
+
+    fn node() -> Node {
+        Node::new(NodeId::new(0), RackId::new(0), PodId::new(0))
+    }
+
+    #[test]
+    fn new_node_is_schedulable() {
+        let n = node();
+        assert_eq!(n.state(), NodeState::Healthy);
+        assert!(n.state().is_schedulable());
+        assert_eq!(n.gpus().len(), GPUS_PER_NODE);
+    }
+
+    #[test]
+    fn drain_then_remediate_then_repair() {
+        let mut n = node();
+        n.begin_drain();
+        assert_eq!(n.state(), NodeState::Draining);
+        assert!(!n.state().is_schedulable());
+        n.enter_remediation(SimTime::from_hours(1));
+        assert_eq!(n.state(), NodeState::Remediation);
+        assert_eq!(n.out_count(), 1);
+        assert_eq!(n.ticket_count(), 1);
+        assert_eq!(n.last_out_at(), Some(SimTime::from_hours(1)));
+        n.complete_repair();
+        assert_eq!(n.state(), NodeState::Healthy);
+    }
+
+    #[test]
+    fn remediation_is_idempotent() {
+        let mut n = node();
+        n.enter_remediation(SimTime::ZERO);
+        n.enter_remediation(SimTime::from_hours(1));
+        assert_eq!(n.out_count(), 1);
+    }
+
+    #[test]
+    fn drain_does_not_downgrade_remediation() {
+        let mut n = node();
+        n.enter_remediation(SimTime::ZERO);
+        n.begin_drain();
+        assert_eq!(n.state(), NodeState::Remediation);
+    }
+
+    #[test]
+    fn repair_swaps_failed_gpus() {
+        let mut n = node();
+        n.gpu_mut(2).set_health(ComponentHealth::Failed);
+        n.gpu_mut(5).set_health(ComponentHealth::Degraded);
+        n.set_component_health(ComponentKind::Dimm, ComponentHealth::Failed);
+        let swapped = n.complete_repair();
+        assert_eq!(swapped, 2);
+        assert_eq!(n.gpu_swap_count(), 2);
+        assert_eq!(n.component_health(ComponentKind::Dimm), ComponentHealth::Ok);
+    }
+
+    #[test]
+    fn xid_counts_aggregate_across_gpus() {
+        let mut n = node();
+        n.gpu_mut(0).record_xid(XidError::FallenOffBus);
+        n.gpu_mut(1).record_xid(XidError::DoubleBitEcc);
+        n.gpu_mut(1).record_xid(XidError::DoubleBitEcc);
+        assert_eq!(n.distinct_xid_count(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cluster sizing templates, including the paper's RSC-1 and RSC-2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::GPUS_PER_NODE;
+
+/// Static description of a cluster's size and physical grouping.
+///
+/// Both RSC clusters follow the same design template (paper §II): DGX
+/// servers with 8 GPUs, two servers per rack, ten racks per rail-optimized
+/// pod.
+///
+/// ```
+/// use rsc_cluster::spec::ClusterSpec;
+///
+/// let rsc1 = ClusterSpec::rsc1();
+/// assert_eq!(rsc1.total_gpus(), 16_384);
+/// let rsc2 = ClusterSpec::rsc2();
+/// assert_eq!(rsc2.total_gpus(), 8_192);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    name: String,
+    num_nodes: u32,
+    nodes_per_rack: u32,
+    racks_per_pod: u32,
+}
+
+impl ClusterSpec {
+    /// Creates a spec with the RSC grouping (2 nodes/rack, 10 racks/pod).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(name: impl Into<String>, num_nodes: u32) -> Self {
+        assert!(num_nodes > 0, "cluster must have at least one node");
+        ClusterSpec {
+            name: name.into(),
+            num_nodes,
+            nodes_per_rack: 2,
+            racks_per_pod: 10,
+        }
+    }
+
+    /// RSC-1: the general ML training cluster (16k A100 GPUs, 2,048 nodes).
+    pub fn rsc1() -> Self {
+        ClusterSpec::new("RSC-1", 2048)
+    }
+
+    /// RSC-2: the vision-focused cluster (8k A100 GPUs, 1,024 nodes).
+    pub fn rsc2() -> Self {
+        ClusterSpec::new("RSC-2", 1024)
+    }
+
+    /// A 64-node (512 GPU) cluster for fast tests and examples.
+    pub fn small_test() -> Self {
+        ClusterSpec::new("test-64", 64)
+    }
+
+    /// Cluster display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of servers.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// GPUs per server (8 on DGX A100).
+    pub fn gpus_per_node(&self) -> u32 {
+        GPUS_PER_NODE as u32
+    }
+
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> u32 {
+        self.num_nodes * self.gpus_per_node()
+    }
+
+    /// Servers per rack.
+    pub fn nodes_per_rack(&self) -> u32 {
+        self.nodes_per_rack
+    }
+
+    /// Racks per rail-optimized pod.
+    pub fn racks_per_pod(&self) -> u32 {
+        self.racks_per_pod
+    }
+
+    /// Servers per pod.
+    pub fn nodes_per_pod(&self) -> u32 {
+        self.nodes_per_rack * self.racks_per_pod
+    }
+
+    /// Number of racks (rounding up for a partial final rack).
+    pub fn num_racks(&self) -> u32 {
+        self.num_nodes.div_ceil(self.nodes_per_rack)
+    }
+
+    /// Number of pods (rounding up for a partial final pod).
+    pub fn num_pods(&self) -> u32 {
+        self.num_nodes.div_ceil(self.nodes_per_pod())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsc_sizes_match_paper() {
+        let rsc1 = ClusterSpec::rsc1();
+        assert_eq!(rsc1.num_nodes(), 2048);
+        assert_eq!(rsc1.total_gpus(), 16_384);
+        assert_eq!(rsc1.nodes_per_pod(), 20);
+        assert_eq!(rsc1.num_pods(), 103); // 2048 / 20, rounded up
+
+        let rsc2 = ClusterSpec::rsc2();
+        assert_eq!(rsc2.total_gpus(), 8_192);
+    }
+
+    #[test]
+    fn rack_and_pod_counts_round_up() {
+        let spec = ClusterSpec::new("odd", 21);
+        assert_eq!(spec.num_racks(), 11);
+        assert_eq!(spec.num_pods(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ClusterSpec::new("empty", 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of topology and node-lifecycle invariants.
+
+use proptest::prelude::*;
+
+use rsc_cluster::cluster::Cluster;
+use rsc_cluster::ids::NodeId;
+use rsc_cluster::node::NodeState;
+use rsc_cluster::spec::ClusterSpec;
+use rsc_cluster::topology::{Locality, Topology};
+use rsc_sim_core::time::SimTime;
+
+proptest! {
+    /// Every node maps into exactly one rack and one pod, racks hold at
+    /// most two nodes, pods at most twenty.
+    #[test]
+    fn placement_is_partition(num_nodes in 1u32..500) {
+        let topo = Topology::new(&ClusterSpec::new("p", num_nodes));
+        let mut rack_counts = std::collections::HashMap::new();
+        let mut pod_counts = std::collections::HashMap::new();
+        for i in 0..num_nodes {
+            let n = NodeId::new(i);
+            *rack_counts.entry(topo.rack_of(n)).or_insert(0u32) += 1;
+            *pod_counts.entry(topo.pod_of(n)).or_insert(0u32) += 1;
+        }
+        prop_assert!(rack_counts.values().all(|&c| c <= 2));
+        prop_assert!(pod_counts.values().all(|&c| c <= 20));
+        prop_assert_eq!(rack_counts.values().sum::<u32>(), num_nodes);
+    }
+
+    /// Locality is symmetric and consistent with rack/pod containment.
+    #[test]
+    fn locality_consistency(num_nodes in 2u32..300, a in 0u32..300, b in 0u32..300) {
+        prop_assume!(a < num_nodes && b < num_nodes);
+        let topo = Topology::new(&ClusterSpec::new("p", num_nodes));
+        let (na, nb) = (NodeId::new(a), NodeId::new(b));
+        let loc = topo.locality(na, nb);
+        prop_assert_eq!(loc, topo.locality(nb, na));
+        match loc {
+            Locality::SameNode => prop_assert_eq!(a, b),
+            Locality::SameRack => {
+                prop_assert_ne!(a, b);
+                prop_assert_eq!(topo.rack_of(na), topo.rack_of(nb));
+            }
+            Locality::SamePod => {
+                prop_assert_ne!(topo.rack_of(na), topo.rack_of(nb));
+                prop_assert_eq!(topo.pod_of(na), topo.pod_of(nb));
+            }
+            Locality::CrossPod => prop_assert_ne!(topo.pod_of(na), topo.pod_of(nb)),
+        }
+    }
+
+    /// `nodes_in_pod` enumerates each node exactly once across all pods.
+    #[test]
+    fn pods_cover_all_nodes(num_nodes in 1u32..300) {
+        let spec = ClusterSpec::new("p", num_nodes);
+        let topo = Topology::new(&spec);
+        let mut seen = vec![false; num_nodes as usize];
+        for p in 0..spec.num_pods() {
+            for n in topo.nodes_in_pod(rsc_cluster::ids::PodId::new(p)) {
+                prop_assert!(!seen[n.as_usize()], "node enumerated twice");
+                seen[n.as_usize()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Arbitrary remediate/repair sequences keep counts consistent.
+    #[test]
+    fn lifecycle_counts_consistent(ops in prop::collection::vec((0u32..20, any::<bool>()), 1..60)) {
+        let mut cluster = Cluster::new(ClusterSpec::new("p", 20));
+        for (i, (node, repair)) in ops.iter().enumerate() {
+            let id = NodeId::new(*node);
+            if *repair {
+                cluster.repair_node(id);
+            } else {
+                cluster.remediate_node(id, SimTime::from_mins(i as u64));
+            }
+            let healthy = cluster.schedulable_count();
+            let out = cluster.remediation_count();
+            let draining = cluster
+                .nodes()
+                .iter()
+                .filter(|n| n.state() == NodeState::Draining)
+                .count();
+            prop_assert_eq!(healthy + out + draining, 20);
+        }
+    }
+}

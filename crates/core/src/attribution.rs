@@ -1,0 +1,382 @@
+//! Failure attribution by differential diagnosis.
+//!
+//! Implements the paper's method (§III): a job failure is attributed to a
+//! hardware cause if a critical health check fired on one of its nodes
+//! within the last 10 minutes of the job's lifetime or 5 minutes after it.
+//! When several checks fire (they deliberately overlap), the most specific
+//! cause wins; NODE_FAILs with no matching events stay *unattributed*.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use rsc_failure::taxonomy::FailureSymptom;
+use rsc_health::check::CheckKind;
+use rsc_sched::accounting::JobRecord;
+use rsc_sched::job::JobStatus;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::TelemetryStore;
+
+/// Attribution window parameters (paper defaults: 10 min before the end of
+/// the job, 5 min after).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttributionConfig {
+    /// How far before job end to look for health events.
+    pub window_before: SimDuration,
+    /// How far after job end to look.
+    pub window_after: SimDuration,
+}
+
+impl AttributionConfig {
+    /// The paper's 10-minute / 5-minute window.
+    pub fn paper_default() -> Self {
+        AttributionConfig {
+            window_before: SimDuration::from_mins(10),
+            window_after: SimDuration::from_mins(5),
+        }
+    }
+}
+
+impl Default for AttributionConfig {
+    fn default() -> Self {
+        AttributionConfig::paper_default()
+    }
+}
+
+/// The outcome of attributing one failed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Index of the job record in the store.
+    pub record_index: usize,
+    /// The most likely hardware cause, if any check fired in the window.
+    pub cause: Option<FailureSymptom>,
+    /// Every check that fired in the window (overlap is expected).
+    pub checks: Vec<CheckKind>,
+}
+
+impl Attribution {
+    /// Whether this failure was attributed to hardware infrastructure.
+    pub fn is_attributed(&self) -> bool {
+        self.cause.is_some()
+    }
+}
+
+/// Whether a record counts as an *infrastructure-interrupted* job ending:
+/// NODE_FAIL (heartbeat loss), REQUEUED (health-check kill), or FAILED
+/// (which needs a health event in the window to count as hardware).
+pub fn is_failure_status(status: JobStatus) -> bool {
+    matches!(
+        status,
+        JobStatus::Failed | JobStatus::NodeFail | JobStatus::Requeued
+    )
+}
+
+/// Ranking used to pick the primary cause when several checks fire:
+/// specific hardware checks dominate generic/secondary ones.
+fn check_specificity(check: CheckKind) -> u8 {
+    match check {
+        CheckKind::IbLink => 10,
+        CheckKind::FsMount => 10,
+        CheckKind::GpuMemory => 9,
+        CheckKind::NvLink => 9,
+        CheckKind::HostMemory => 9,
+        CheckKind::EthLink => 8,
+        CheckKind::BlockDevice => 8,
+        CheckKind::PcieLink => 7,
+        CheckKind::GpuAccessible => 6,
+        CheckKind::GpuDriver => 5,
+        CheckKind::Services => 4,
+        CheckKind::Ipmi => 2,
+    }
+}
+
+/// Attributes every failure-status record in a telemetry store.
+///
+/// Returns one [`Attribution`] per record with a failure status
+/// (FAILED / NODE_FAIL / REQUEUED). Pure user failures come back
+/// unattributed, as they should.
+pub fn attribute_failures(
+    store: &mut TelemetryStore,
+    config: &AttributionConfig,
+) -> Vec<Attribution> {
+    store.build_indexes();
+    let records: Vec<(usize, Vec<rsc_cluster::ids::NodeId>, SimTime, JobStatus)> = store
+        .jobs()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| is_failure_status(r.status))
+        .map(|(i, r)| (i, r.nodes.clone(), r.ended_at, r.status))
+        .collect();
+
+    let mut out = Vec::with_capacity(records.len());
+    for (index, nodes, ended_at, _status) in records {
+        let from = ended_at - config.window_before;
+        let to = ended_at + config.window_after;
+        let mut checks: Vec<CheckKind> = Vec::new();
+        for &node in &nodes {
+            for event in store.health_events_for_node(node, from, to) {
+                if !checks.contains(&event.check) {
+                    checks.push(event.check);
+                }
+            }
+        }
+        let cause = checks
+            .iter()
+            .max_by_key(|&&c| check_specificity(c))
+            .map(|&c| c.symptom());
+        out.push(Attribution {
+            record_index: index,
+            cause,
+            checks,
+        });
+    }
+    out
+}
+
+/// Per-cause failure rates normalized by total GPU-hours (paper Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CauseRates {
+    /// `(cause, failures per GPU-hour)`, descending by rate. `None` is the
+    /// unattributed bucket.
+    pub rates: Vec<(Option<FailureSymptom>, f64)>,
+    /// Total GPU-hours of runtime in the store (the denominator).
+    pub total_gpu_hours: f64,
+}
+
+/// Computes Fig. 4: attributed hardware failure rates per GPU-hour.
+///
+/// Only NODE_FAIL/REQUEUED records and FAILED records *with* an attribution
+/// count as hardware failures; FAILED without any health event in the
+/// window is treated as a user failure and skipped.
+pub fn cause_rates(store: &mut TelemetryStore, config: &AttributionConfig) -> CauseRates {
+    let attributions = attribute_failures(store, config);
+    let total_gpu_hours: f64 = store.jobs().iter().map(|r| r.gpu_time().as_hours()).sum();
+    let mut counts: HashMap<Option<FailureSymptom>, u64> = HashMap::new();
+    for a in &attributions {
+        let status = store.jobs()[a.record_index].status;
+        let is_hw = match status {
+            JobStatus::NodeFail | JobStatus::Requeued => true,
+            JobStatus::Failed => a.is_attributed(),
+            _ => false,
+        };
+        if is_hw {
+            *counts.entry(a.cause).or_insert(0) += 1;
+        }
+    }
+    let mut rates: Vec<(Option<FailureSymptom>, f64)> = counts
+        .into_iter()
+        .map(|(cause, n)| (cause, n as f64 / total_gpu_hours.max(f64::MIN_POSITIVE)))
+        .collect();
+    rates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
+    CauseRates {
+        rates,
+        total_gpu_hours,
+    }
+}
+
+/// Validation against ground truth: the fraction of hardware-interrupted
+/// records whose attributed cause matches the symptom of a ground-truth
+/// failure injected on one of the job's nodes within the window.
+pub fn attribution_accuracy(store: &mut TelemetryStore, config: &AttributionConfig) -> f64 {
+    let attributions = attribute_failures(store, config);
+    let truths: Vec<(rsc_cluster::ids::NodeId, SimTime, FailureSymptom)> = store
+        .ground_truth_failures()
+        .iter()
+        .map(|f| (f.node, f.at, f.symptom))
+        .collect();
+    let mut checked = 0u64;
+    let mut correct = 0u64;
+    for a in &attributions {
+        let Some(cause) = a.cause else { continue };
+        let record: &JobRecord = &store.jobs()[a.record_index];
+        let from = record.ended_at - config.window_before - SimDuration::from_mins(10);
+        let to = record.ended_at + config.window_after;
+        let truth = truths.iter().find(|(node, at, _)| {
+            record.nodes.contains(node) && *at >= from && *at <= to
+        });
+        if let Some((_, _, symptom)) = truth {
+            checked += 1;
+            // Co-occurrence makes some cross-attribution legitimate (PCIe ↔
+            // GPU-off-bus); count symptom-family matches.
+            if same_family(cause, *symptom) {
+                correct += 1;
+            }
+        }
+    }
+    if checked == 0 {
+        return 0.0;
+    }
+    correct as f64 / checked as f64
+}
+
+/// Whether two symptoms belong to the same co-occurrence family.
+fn same_family(a: FailureSymptom, b: FailureSymptom) -> bool {
+    use FailureSymptom::*;
+    if a == b {
+        return true;
+    }
+    let bus = [PcieError, GpuUnavailable, GpuMemoryError];
+    bus.contains(&a) && bus.contains(&b)
+}
+
+/// The paper's check-calibration property (§II-C): the fraction of
+/// **successfully completed** jobs that observed a failed health check on
+/// one of their nodes while running. Production tuning keeps this under
+/// 1%; values above that suggest checks are firing spuriously (or the
+/// workload is colliding with real failures it happens to survive).
+pub fn completed_jobs_seeing_checks(store: &mut TelemetryStore) -> f64 {
+    store.build_indexes();
+    let completed: Vec<(Vec<rsc_cluster::ids::NodeId>, SimTime, SimTime)> = store
+        .jobs()
+        .iter()
+        .filter(|r| r.status == JobStatus::Completed)
+        .filter_map(|r| r.started_at.map(|s| (r.nodes.clone(), s, r.ended_at)))
+        .collect();
+    if completed.is_empty() {
+        return 0.0;
+    }
+    let mut observed = 0u64;
+    for (nodes, start, end) in &completed {
+        let hit = nodes
+            .iter()
+            .any(|&n| !store.health_events_for_node(n, *start, *end).is_empty());
+        if hit {
+            observed += 1;
+        }
+    }
+    observed as f64 / completed.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::{JobId, NodeId};
+    use rsc_failure::modes::Severity;
+    use rsc_health::monitor::HealthEvent;
+    use rsc_sched::job::QosClass;
+
+    fn record(id: u64, status: JobStatus, node: u32, end_hours: u64) -> JobRecord {
+        JobRecord {
+            job: JobId::new(id),
+            attempt: 0,
+            run: None,
+            gpus: 8,
+            qos: QosClass::Normal,
+            nodes: vec![NodeId::new(node)],
+            enqueued_at: SimTime::ZERO,
+            started_at: Some(SimTime::from_hours(1)),
+            ended_at: SimTime::from_hours(end_hours),
+            status,
+            preempted_by: None,
+            instigator: None,
+        }
+    }
+
+    fn health(node: u32, at: SimTime, check: CheckKind) -> HealthEvent {
+        HealthEvent {
+            at,
+            node: NodeId::new(node),
+            check,
+            severity: Severity::High,
+            signal: None,
+            false_positive: false,
+        }
+    }
+
+    #[test]
+    fn failed_job_with_check_in_window_is_attributed() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::Failed, 2, 10));
+        // Check fires 5 minutes before job end.
+        store.push_health_event(health(
+            2,
+            SimTime::from_hours(10) - SimDuration::from_mins(5),
+            CheckKind::IbLink,
+        ));
+        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        assert_eq!(atts.len(), 1);
+        assert_eq!(atts[0].cause, Some(FailureSymptom::InfinibandLink));
+    }
+
+    #[test]
+    fn check_outside_window_does_not_attribute() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::Failed, 2, 10));
+        store.push_health_event(health(
+            2,
+            SimTime::from_hours(10) - SimDuration::from_mins(30),
+            CheckKind::IbLink,
+        ));
+        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        assert!(!atts[0].is_attributed());
+    }
+
+    #[test]
+    fn check_on_other_node_does_not_attribute() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::NodeFail, 2, 10));
+        store.push_health_event(health(3, SimTime::from_hours(10), CheckKind::IbLink));
+        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        assert!(!atts[0].is_attributed());
+    }
+
+    #[test]
+    fn most_specific_check_wins() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::Requeued, 2, 10));
+        let at = SimTime::from_hours(10);
+        store.push_health_event(health(2, at, CheckKind::Ipmi));
+        store.push_health_event(health(2, at, CheckKind::PcieLink));
+        store.push_health_event(health(2, at, CheckKind::GpuAccessible));
+        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        assert_eq!(atts[0].cause, Some(FailureSymptom::PcieError));
+        assert_eq!(atts[0].checks.len(), 3);
+    }
+
+    #[test]
+    fn completed_jobs_are_not_attributed() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::Completed, 2, 10));
+        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        assert!(atts.is_empty());
+    }
+
+    #[test]
+    fn cause_rates_skip_unattributed_user_failures() {
+        let mut store = TelemetryStore::new("t", 4);
+        // A user failure (no events) and a hardware NODE_FAIL.
+        store.push_job(record(1, JobStatus::Failed, 1, 10));
+        store.push_job(record(2, JobStatus::NodeFail, 2, 12));
+        let rates = cause_rates(&mut store, &AttributionConfig::paper_default());
+        // Only the NODE_FAIL shows up (as unattributed).
+        let total: f64 = rates.rates.iter().map(|(_, r)| r).sum();
+        assert!(total > 0.0);
+        assert_eq!(rates.rates.len(), 1);
+        assert_eq!(rates.rates[0].0, None);
+    }
+
+    #[test]
+    fn calibration_counts_completed_jobs_with_events() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::Completed, 1, 10));
+        store.push_job(record(2, JobStatus::Completed, 2, 10));
+        store.push_job(record(3, JobStatus::Failed, 3, 10)); // not counted
+        // An event during job 1's runtime only.
+        store.push_health_event(health(1, SimTime::from_hours(5), CheckKind::EthLink));
+        let frac = completed_jobs_seeing_checks(&mut store);
+        assert!((frac - 0.5).abs() < 1e-9, "{frac}");
+    }
+
+    #[test]
+    fn calibration_zero_without_events() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(record(1, JobStatus::Completed, 1, 10));
+        assert_eq!(completed_jobs_seeing_checks(&mut store), 0.0);
+    }
+
+    #[test]
+    fn family_matching() {
+        assert!(same_family(FailureSymptom::PcieError, FailureSymptom::GpuUnavailable));
+        assert!(!same_family(FailureSymptom::PcieError, FailureSymptom::InfinibandLink));
+    }
+}

@@ -1,0 +1,198 @@
+//! Node availability and repair-time analysis.
+//!
+//! Derives per-node downtime from the remediation enter/exit event stream:
+//! measured MTTR distributions, fleet availability, and the worst
+//! offenders — the operational view behind the paper's Obs. 1 ("cluster
+//! uptime is critical") and the capacity cost of remediation.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+use rsc_sim_core::stats::StreamingStats;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::{NodeEventKind, TelemetryStore};
+
+/// One node's availability summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeAvailability {
+    /// The node.
+    pub node: NodeId,
+    /// Completed remediation visits.
+    pub repairs: u32,
+    /// Total time out of service.
+    pub downtime: SimDuration,
+    /// Fraction of the measurement window the node was in service.
+    pub availability: f64,
+}
+
+/// Fleet-wide availability summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetAvailability {
+    /// Per-node rows, ascending by node id.
+    pub nodes: Vec<NodeAvailability>,
+    /// Mean time to repair across completed visits, hours.
+    pub mttr_hours: f64,
+    /// 90th-percentile repair time, hours.
+    pub mttr_p90_hours: f64,
+    /// Fleet availability: in-service node-time / total node-time.
+    pub fleet_availability: f64,
+    /// Capacity lost to remediation, node-days.
+    pub lost_node_days: f64,
+}
+
+/// Computes fleet availability from a telemetry store's node events.
+///
+/// Remediation intervals still open at the horizon are charged up to the
+/// horizon.
+pub fn fleet_availability(store: &TelemetryStore) -> FleetAvailability {
+    let n = store.num_nodes() as usize;
+    let horizon = store.horizon();
+    let mut down_since: Vec<Option<SimTime>> = vec![None; n];
+    let mut downtime: Vec<SimDuration> = vec![SimDuration::ZERO; n];
+    let mut repairs: Vec<u32> = vec![0; n];
+    let mut repair_times: Vec<f64> = Vec::new();
+
+    for e in store.node_events() {
+        let i = e.node.as_usize();
+        match e.kind {
+            NodeEventKind::EnterRemediation => {
+                if down_since[i].is_none() {
+                    down_since[i] = Some(e.at);
+                }
+            }
+            NodeEventKind::ExitRemediation => {
+                if let Some(start) = down_since[i].take() {
+                    let d = e.at.saturating_since(start);
+                    downtime[i] += d;
+                    repairs[i] += 1;
+                    repair_times.push(d.as_hours());
+                }
+            }
+            NodeEventKind::Drain => {}
+        }
+    }
+    // Open intervals run to the horizon.
+    for (i, open) in down_since.iter().enumerate() {
+        if let Some(start) = open {
+            downtime[i] += horizon.saturating_since(*start);
+        }
+    }
+
+    let window = horizon.as_days().max(f64::MIN_POSITIVE);
+    let nodes: Vec<NodeAvailability> = (0..n)
+        .map(|i| NodeAvailability {
+            node: NodeId::new(i as u32),
+            repairs: repairs[i],
+            downtime: downtime[i],
+            availability: 1.0 - (downtime[i].as_days() / window).min(1.0),
+        })
+        .collect();
+
+    let stats: StreamingStats = repair_times.iter().copied().collect();
+    let mut sorted = repair_times.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite repair times"));
+    let p90 = rsc_sim_core::stats::quantile_sorted(&sorted, 0.90).unwrap_or(0.0);
+    let lost_node_days: f64 = nodes.iter().map(|a| a.downtime.as_days()).sum();
+    let fleet = 1.0 - lost_node_days / (window * n.max(1) as f64);
+
+    FleetAvailability {
+        nodes,
+        mttr_hours: stats.mean(),
+        mttr_p90_hours: p90,
+        fleet_availability: fleet,
+        lost_node_days,
+    }
+}
+
+/// The `k` nodes with the most downtime, descending.
+pub fn worst_nodes(fleet: &FleetAvailability, k: usize) -> Vec<&NodeAvailability> {
+    let mut refs: Vec<&NodeAvailability> = fleet.nodes.iter().collect();
+    refs.sort_by(|a, b| b.downtime.cmp(&a.downtime).then(a.node.cmp(&b.node)));
+    refs.truncate(k);
+    refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_telemetry::store::NodeEvent;
+
+    fn store_with(events: Vec<(u32, u64, NodeEventKind)>, horizon_h: u64) -> TelemetryStore {
+        let mut store = TelemetryStore::new("t", 4);
+        for (node, at_h, kind) in events {
+            store.push_node_event(NodeEvent {
+                node: NodeId::new(node),
+                at: SimTime::from_hours(at_h),
+                kind,
+            });
+        }
+        store.set_horizon(SimTime::from_hours(horizon_h));
+        store
+    }
+
+    #[test]
+    fn downtime_accumulates_per_visit() {
+        use NodeEventKind::*;
+        let store = store_with(
+            vec![
+                (1, 10, EnterRemediation),
+                (1, 14, ExitRemediation),
+                (1, 50, EnterRemediation),
+                (1, 56, ExitRemediation),
+            ],
+            100,
+        );
+        let fleet = fleet_availability(&store);
+        let node1 = &fleet.nodes[1];
+        assert_eq!(node1.repairs, 2);
+        assert_eq!(node1.downtime, SimDuration::from_hours(10));
+        assert!((node1.availability - (1.0 - 10.0 / 100.0)).abs() < 1e-9);
+        assert!((fleet.mttr_hours - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_interval_charged_to_horizon() {
+        use NodeEventKind::*;
+        let store = store_with(vec![(2, 90, EnterRemediation)], 100);
+        let fleet = fleet_availability(&store);
+        assert_eq!(fleet.nodes[2].downtime, SimDuration::from_hours(10));
+        assert_eq!(fleet.nodes[2].repairs, 0); // visit never completed
+    }
+
+    #[test]
+    fn fleet_availability_aggregates() {
+        use NodeEventKind::*;
+        // One of four nodes down for the whole 100 h window.
+        let store = store_with(vec![(0, 0, EnterRemediation)], 100);
+        let fleet = fleet_availability(&store);
+        assert!((fleet.fleet_availability - 0.75).abs() < 1e-9);
+        assert!((fleet.lost_node_days - 100.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_nodes_ordering() {
+        use NodeEventKind::*;
+        let store = store_with(
+            vec![
+                (0, 0, EnterRemediation),
+                (0, 10, ExitRemediation),
+                (3, 0, EnterRemediation),
+                (3, 50, ExitRemediation),
+            ],
+            100,
+        );
+        let fleet = fleet_availability(&store);
+        let worst = worst_nodes(&fleet, 2);
+        assert_eq!(worst[0].node, NodeId::new(3));
+        assert_eq!(worst[1].node, NodeId::new(0));
+    }
+
+    #[test]
+    fn empty_store_is_fully_available() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.set_horizon(SimTime::from_days(10));
+        let fleet = fleet_availability(&store);
+        assert_eq!(fleet.fleet_availability, 1.0);
+        assert_eq!(fleet.mttr_hours, 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The analytical expected-ETTR estimator (paper Eq. 1/2 and Appendix A).
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs to the expected-ETTR formula. All durations in **days**.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EttrParams {
+    /// Nodes the job occupies.
+    pub nodes: u32,
+    /// Cluster failure rate, failures per node-day.
+    pub r_f: f64,
+    /// Expected queue time after submission and after each interruption,
+    /// days.
+    pub queue_time: f64,
+    /// Restart overhead `u0`, days.
+    pub restart_overhead: f64,
+    /// Checkpoint interval `Δt_cp`, days.
+    pub checkpoint_interval: f64,
+    /// Productive runtime `R` the job needs, days.
+    pub productive_time: f64,
+}
+
+impl EttrParams {
+    /// Validates ranges, returning the params for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or non-finite, or if
+    /// `nodes == 0` or `productive_time == 0`.
+    pub fn validated(self) -> Self {
+        assert!(self.nodes > 0, "job must span at least one node");
+        for (name, v) in [
+            ("r_f", self.r_f),
+            ("queue_time", self.queue_time),
+            ("restart_overhead", self.restart_overhead),
+            ("checkpoint_interval", self.checkpoint_interval),
+            ("productive_time", self.productive_time),
+        ] {
+            assert!(v >= 0.0 && v.is_finite(), "{name} must be non-negative");
+        }
+        assert!(self.productive_time > 0.0, "productive_time must be positive");
+        self
+    }
+
+    /// The job's MTTF, days: `1 / (N_nodes · r_f)`.
+    pub fn mttf_days(&self) -> f64 {
+        1.0 / (self.nodes as f64 * self.r_f).max(f64::MIN_POSITIVE)
+    }
+
+    /// Expected number of failures over the run (Appendix A, Eq. 4).
+    pub fn expected_failures(&self) -> f64 {
+        let nr = self.nodes as f64 * self.r_f;
+        let overhead = self.restart_overhead + self.checkpoint_interval / 2.0;
+        let denom = (1.0 - nr * overhead).max(1e-9);
+        nr * (self.productive_time + self.restart_overhead) / denom
+    }
+}
+
+/// Full expected-ETTR approximation (paper Eq. 1 / Appendix Eq. 7).
+///
+/// Valid when `u0 + Δt_cp/2 ≪ MTTF`; clamped to `[0, 1]`.
+///
+/// ```
+/// use rsc_core::ettr::analytical::{expected_ettr, EttrParams};
+///
+/// // The paper's hypothetical: all of RSC-1 (2,048 nodes) on one job,
+/// // hourly checkpoints → E[ETTR] ≈ 0.7; 5-minute checkpoints → ≈ 0.93.
+/// let hourly = EttrParams {
+///     nodes: 2048,
+///     r_f: 6.5e-3,
+///     queue_time: 1.0 / 24.0 / 60.0, // 1 minute
+///     restart_overhead: 5.0 / 60.0 / 24.0,
+///     checkpoint_interval: 1.0 / 24.0,
+///     productive_time: 7.0,
+/// };
+/// let e = expected_ettr(&hourly);
+/// assert!((e - 0.70).abs() < 0.03, "{e}");
+/// ```
+pub fn expected_ettr(p: &EttrParams) -> f64 {
+    let p = p.validated();
+    let nr = p.nodes as f64 * p.r_f;
+    let overhead = p.restart_overhead + p.checkpoint_interval / 2.0;
+    let numerator = 1.0 - nr * overhead;
+    let denominator = 1.0
+        + nr * (p.queue_time
+            + (p.restart_overhead / p.productive_time)
+                * (p.queue_time + p.restart_overhead + p.checkpoint_interval / 2.0));
+    // One initial queue wait is amortized over the run; the paper's Eq. 7
+    // folds it into the (1 + E[N_f]) q term which we keep in full:
+    let with_initial_queue =
+        numerator / (denominator + p.queue_time / p.productive_time).max(1e-12);
+    with_initial_queue.clamp(0.0, 1.0)
+}
+
+/// Simplified expected ETTR for long, high-priority jobs with negligible
+/// queueing (paper Eq. 2 / Eq. 8): `1 − N·r_f·(u0 + Δt_cp / 2)`.
+pub fn expected_ettr_simplified(p: &EttrParams) -> f64 {
+    let p = p.validated();
+    let nr = p.nodes as f64 * p.r_f;
+    (1.0 - nr * (p.restart_overhead + p.checkpoint_interval / 2.0)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EttrParams {
+        EttrParams {
+            nodes: 128,
+            r_f: 6.5e-3,
+            queue_time: 5.0 / 60.0 / 24.0,
+            restart_overhead: 5.0 / 60.0 / 24.0,
+            checkpoint_interval: 1.0 / 24.0,
+            productive_time: 3.0,
+        }
+    }
+
+    #[test]
+    fn five_minute_checkpoints_raise_ettr_to_093() {
+        let p = EttrParams {
+            nodes: 2048,
+            checkpoint_interval: 5.0 / 60.0 / 24.0,
+            queue_time: 1.0 / 24.0 / 60.0,
+            ..base()
+        };
+        let e = expected_ettr(&p);
+        assert!((e - 0.93).abs() < 0.02, "{e}");
+    }
+
+    #[test]
+    fn simplified_bounds_full_formula() {
+        // With zero queue time, the simplified form should be ≥ the full
+        // one (the full form adds restart-queue overheads).
+        let p = EttrParams {
+            queue_time: 0.0,
+            ..base()
+        };
+        let full = expected_ettr(&p);
+        let simple = expected_ettr_simplified(&p);
+        assert!(simple >= full - 1e-9);
+        assert!((simple - full).abs() < 0.01, "full={full} simple={simple}");
+    }
+
+    #[test]
+    fn ettr_decreases_with_scale() {
+        let mut last = 1.0;
+        for nodes in [8u32, 32, 128, 512, 2048, 8192] {
+            let e = expected_ettr(&EttrParams { nodes, ..base() });
+            assert!(e < last, "nodes={nodes} e={e}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn ettr_improves_with_faster_checkpoints() {
+        let slow = expected_ettr(&EttrParams {
+            checkpoint_interval: 2.0 / 24.0,
+            ..base()
+        });
+        let fast = expected_ettr(&EttrParams {
+            checkpoint_interval: 5.0 / 60.0 / 24.0,
+            ..base()
+        });
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn queueing_lowers_ettr() {
+        let no_queue = expected_ettr(&EttrParams {
+            queue_time: 0.0,
+            ..base()
+        });
+        let queued = expected_ettr(&EttrParams {
+            queue_time: 0.5,
+            ..base()
+        });
+        assert!(queued < no_queue);
+    }
+
+    #[test]
+    fn expected_failures_matches_rate() {
+        let p = base();
+        // 128 nodes * 6.5e-3 = 0.832 failures/day over ~3 days ≈ 2.5.
+        let n = p.expected_failures();
+        assert!((n - 2.55).abs() < 0.2, "{n}");
+    }
+
+    #[test]
+    fn extreme_scale_clamps_to_zero() {
+        let p = EttrParams {
+            nodes: 1_000_000,
+            ..base()
+        };
+        assert_eq!(expected_ettr(&p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = expected_ettr(&EttrParams { nodes: 0, ..base() });
+    }
+}

@@ -1,0 +1,205 @@
+//! Monte-Carlo validation of the analytical ETTR estimator.
+//!
+//! The paper reports the closed-form approximation agrees with a
+//! Monte-Carlo computation to within ~5% even for large, long jobs. This
+//! module is that Monte-Carlo computation: it simulates a single job run's
+//! failure/requeue/checkpoint dynamics directly.
+
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::stats::StreamingStats;
+
+use super::analytical::EttrParams;
+
+/// How much progress an interruption destroys (Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointLossModel {
+    /// Failures uncorrelated with checkpoint timing: progress floors to
+    /// the last completed checkpoint (expected loss `Δt_cp / 2`).
+    Uncorrelated,
+    /// Failures correlated with checkpoint *writes* (e.g. filesystem
+    /// issues triggered by the write): a full interval is lost on every
+    /// interruption (expected loss `Δt_cp` — the appendix's caveat).
+    Correlated,
+}
+
+/// Result of a Monte-Carlo ETTR estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloEttr {
+    /// Mean ETTR across trials.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Mean number of failures per run.
+    pub mean_failures: f64,
+    /// Trials simulated.
+    pub trials: u32,
+}
+
+/// Simulates `trials` independent job runs under `params` and returns the
+/// ETTR distribution summary.
+///
+/// Each trial: the job needs `productive_time` days of work. Failures
+/// arrive Poisson at rate `nodes × r_f` during *scheduled* time (including
+/// overhead). On each interruption the job loses progress back to the last
+/// checkpoint, waits an exponential queue time with mean `queue_time`, and
+/// pays `restart_overhead` again.
+pub fn monte_carlo_ettr(params: &EttrParams, trials: u32, rng: &mut SimRng) -> MonteCarloEttr {
+    monte_carlo_ettr_with_loss(params, CheckpointLossModel::Uncorrelated, trials, rng)
+}
+
+/// [`monte_carlo_ettr`] with an explicit checkpoint-loss model.
+pub fn monte_carlo_ettr_with_loss(
+    params: &EttrParams,
+    loss_model: CheckpointLossModel,
+    trials: u32,
+    rng: &mut SimRng,
+) -> MonteCarloEttr {
+    let p = params.validated();
+    let mttf = p.mttf_days();
+    let mut ettrs = StreamingStats::new();
+    let mut failures_stats = StreamingStats::new();
+
+    for _ in 0..trials {
+        let mut productive_done = 0.0f64; // checkpointed work
+        let mut scheduled = 0.0f64; // total scheduled (running) time
+        let mut queued = p.queue_time; // initial wait (expected value)
+        let mut failures = 0u64;
+
+        while productive_done < p.productive_time {
+            // Time until this attempt would finish the remaining work.
+            let to_finish = p.restart_overhead + (p.productive_time - productive_done);
+            // Time until the next failure.
+            let to_failure = rng.exponential(1.0 / mttf);
+            if to_failure >= to_finish {
+                scheduled += to_finish;
+                productive_done = p.productive_time;
+            } else {
+                scheduled += to_failure;
+                failures += 1;
+                // Productive time accrued this attempt (after overhead),
+                // floored to the last checkpoint.
+                let productive = (to_failure - p.restart_overhead).max(0.0);
+                let banked = if p.checkpoint_interval > 0.0 {
+                    match loss_model {
+                        CheckpointLossModel::Uncorrelated => {
+                            (productive / p.checkpoint_interval).floor() * p.checkpoint_interval
+                        }
+                        // The interruption also destroys the most recent
+                        // checkpoint: a full interval is always lost.
+                        CheckpointLossModel::Correlated => {
+                            (productive - p.checkpoint_interval).max(0.0)
+                        }
+                    }
+                } else {
+                    productive
+                };
+                productive_done = (productive_done + banked).min(p.productive_time);
+                queued += rng.exponential(1.0 / p.queue_time.max(1e-9));
+            }
+        }
+        let wallclock = scheduled + queued;
+        ettrs.push(p.productive_time / wallclock);
+        failures_stats.push(failures as f64);
+    }
+
+    MonteCarloEttr {
+        mean: ettrs.mean(),
+        std_error: ettrs.std_error(),
+        mean_failures: failures_stats.mean(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ettr::analytical::expected_ettr;
+
+    fn paper_like(nodes: u32) -> EttrParams {
+        EttrParams {
+            nodes,
+            r_f: 6.5e-3,
+            queue_time: 5.0 / 60.0 / 24.0,
+            restart_overhead: 5.0 / 60.0 / 24.0,
+            checkpoint_interval: 1.0 / 24.0,
+            productive_time: 7.0,
+        }
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo_within_five_percent() {
+        // The paper's claim (§III): the approximation is accurate to ~5%
+        // even for large, long-running jobs (e.g. 8k GPUs = 1024 nodes).
+        let mut rng = SimRng::seed_from(1);
+        for nodes in [64u32, 256, 1024] {
+            let p = paper_like(nodes);
+            let mc = monte_carlo_ettr(&p, 4000, &mut rng);
+            let analytic = expected_ettr(&p);
+            let rel = (mc.mean - analytic).abs() / mc.mean;
+            assert!(
+                rel < 0.05,
+                "nodes={nodes}: mc={} analytic={analytic} rel={rel}",
+                mc.mean
+            );
+        }
+    }
+
+    #[test]
+    fn failure_count_matches_expectation() {
+        let mut rng = SimRng::seed_from(2);
+        let p = paper_like(256);
+        let mc = monte_carlo_ettr(&p, 4000, &mut rng);
+        let expected = p.expected_failures();
+        let rel = (mc.mean_failures - expected).abs() / expected;
+        assert!(rel < 0.10, "mc={} expected={expected}", mc.mean_failures);
+    }
+
+    #[test]
+    fn no_failures_means_ettr_near_one() {
+        let mut rng = SimRng::seed_from(3);
+        let p = EttrParams {
+            r_f: 1e-9,
+            queue_time: 1e-6,
+            ..paper_like(8)
+        };
+        let mc = monte_carlo_ettr(&p, 200, &mut rng);
+        assert!(mc.mean > 0.995, "{}", mc.mean);
+        assert!(mc.mean_failures < 0.01);
+    }
+
+    #[test]
+    fn correlated_losses_hurt_and_match_doubled_interval() {
+        // Appendix A: with checkpoint-write-correlated failures,
+        // E[u_cp] approaches Δt_cp — equivalent to the uncorrelated
+        // formula evaluated at a doubled interval.
+        let p = paper_like(1024);
+        let mut rng = SimRng::seed_from(5);
+        let uncorrelated =
+            monte_carlo_ettr_with_loss(&p, CheckpointLossModel::Uncorrelated, 4000, &mut rng);
+        let correlated =
+            monte_carlo_ettr_with_loss(&p, CheckpointLossModel::Correlated, 4000, &mut rng);
+        assert!(correlated.mean < uncorrelated.mean);
+        let doubled = EttrParams {
+            checkpoint_interval: p.checkpoint_interval * 2.0,
+            ..p
+        };
+        // "Approaches Δt_cp": short attempts lose less than a full
+        // interval, so the truth sits between the doubled-interval bound
+        // and the uncorrelated mean.
+        let analytic_doubled = expected_ettr(&doubled);
+        assert!(
+            correlated.mean > analytic_doubled - 0.01
+                && correlated.mean < uncorrelated.mean,
+            "mc={} bound={analytic_doubled} uncorrelated={}",
+            correlated.mean,
+            uncorrelated.mean
+        );
+    }
+
+    #[test]
+    fn ettr_is_bounded() {
+        let mut rng = SimRng::seed_from(4);
+        let mc = monte_carlo_ettr(&paper_like(2048), 500, &mut rng);
+        assert!(mc.mean > 0.0 && mc.mean < 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Checkpoint/failure-rate requirements at extreme scale (paper Fig. 10).
+//!
+//! Answers "what checkpoint interval do I need to reach a target E\[ETTR\]
+//! at 100k GPUs for a given failure rate?" by inverting the analytical
+//! estimator.
+
+use serde::{Deserialize, Serialize};
+
+use super::analytical::{expected_ettr, EttrParams};
+
+/// One cell of the Fig. 10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Failure rate, failures per node-day.
+    pub r_f: f64,
+    /// Checkpoint interval, minutes.
+    pub checkpoint_mins: f64,
+    /// Resulting expected ETTR.
+    pub ettr: f64,
+}
+
+/// Sweeps expected ETTR over failure rates × checkpoint intervals for a
+/// job of `gpus` GPUs (Fig. 10's axes).
+pub fn sweep(
+    gpus: u32,
+    r_f_values: &[f64],
+    checkpoint_mins: &[f64],
+    queue_time_mins: f64,
+    restart_overhead_mins: f64,
+    productive_days: f64,
+) -> Vec<SweepPoint> {
+    let nodes = gpus.div_ceil(8);
+    let mut out = Vec::with_capacity(r_f_values.len() * checkpoint_mins.len());
+    for &r_f in r_f_values {
+        for &cp in checkpoint_mins {
+            let params = EttrParams {
+                nodes,
+                r_f,
+                queue_time: queue_time_mins / 60.0 / 24.0,
+                restart_overhead: restart_overhead_mins / 60.0 / 24.0,
+                checkpoint_interval: cp / 60.0 / 24.0,
+                productive_time: productive_days,
+            };
+            out.push(SweepPoint {
+                r_f,
+                checkpoint_mins: cp,
+                ettr: expected_ettr(&params),
+            });
+        }
+    }
+    out
+}
+
+/// Finds (by bisection) the largest checkpoint interval, in minutes, that
+/// still achieves `target_ettr`. Returns `None` when even near-continuous
+/// checkpointing cannot reach the target.
+pub fn max_checkpoint_interval_mins(
+    gpus: u32,
+    r_f: f64,
+    target_ettr: f64,
+    queue_time_mins: f64,
+    restart_overhead_mins: f64,
+    productive_days: f64,
+) -> Option<f64> {
+    let eval = |cp_mins: f64| {
+        let params = EttrParams {
+            nodes: gpus.div_ceil(8),
+            r_f,
+            queue_time: queue_time_mins / 60.0 / 24.0,
+            restart_overhead: restart_overhead_mins / 60.0 / 24.0,
+            checkpoint_interval: cp_mins / 60.0 / 24.0,
+            productive_time: productive_days,
+        };
+        expected_ettr(&params)
+    };
+    // ETTR is monotone decreasing in the checkpoint interval.
+    let mut lo = 0.01; // ~continuous
+    let mut hi = 24.0 * 60.0; // one day
+    if eval(lo) < target_ettr {
+        return None;
+    }
+    if eval(hi) >= target_ettr {
+        return Some(hi);
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid) >= target_ettr {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Like [`max_checkpoint_interval_mins`] but with the restart overhead
+/// *coupled* to the checkpoint interval (`u0 = Δt_cp`), matching the
+/// paper's Fig. 10 framing where both must shrink together at scale
+/// ("~2 minute checkpointing and ~2 minute restart overhead").
+pub fn max_coupled_interval_mins(
+    gpus: u32,
+    r_f: f64,
+    target_ettr: f64,
+    queue_time_mins: f64,
+    productive_days: f64,
+) -> Option<f64> {
+    let eval = |cp_mins: f64| {
+        let params = EttrParams {
+            nodes: gpus.div_ceil(8),
+            r_f,
+            queue_time: queue_time_mins / 60.0 / 24.0,
+            restart_overhead: cp_mins / 60.0 / 24.0,
+            checkpoint_interval: cp_mins / 60.0 / 24.0,
+            productive_time: productive_days,
+        };
+        expected_ettr(&params)
+    };
+    let mut lo = 0.01;
+    let mut hi = 24.0 * 60.0;
+    if eval(lo) < target_ettr {
+        return None;
+    }
+    if eval(hi) >= target_ettr {
+        return Some(hi);
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if eval(mid) >= target_ettr {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RSC1_RATE: f64 = 6.5e-3;
+    const RSC2_RATE: f64 = 2.34e-3;
+
+    #[test]
+    fn paper_100k_gpu_requirements() {
+        // Fig. 10 narrative (restart overhead coupled to the checkpoint
+        // interval): at 100k GPUs with an RSC-1-like failure rate,
+        // E[ETTR] = 0.5 needs a ~7-minute checkpoint interval…
+        let cp = max_coupled_interval_mins(100_000, RSC1_RATE, 0.5, 1.0, 7.0).expect("reachable");
+        assert!((4.0..=10.0).contains(&cp), "cp={cp}");
+        // …which relaxes to ~21 minutes at an RSC-2-like rate.
+        let cp2 = max_coupled_interval_mins(100_000, RSC2_RATE, 0.5, 1.0, 7.0).expect("reachable");
+        assert!((13.0..=25.0).contains(&cp2), "cp2={cp2}");
+        assert!(cp2 > 2.0 * cp);
+    }
+
+    #[test]
+    fn ettr_09_at_rsc2_rate_needs_couple_minute_checkpoints() {
+        // "To reach ETTR of 0.9 at an RSC-2 failure rate, you would need
+        // ~2 minute checkpointing and ~2 minute restart overhead."
+        let cp = max_coupled_interval_mins(100_000, RSC2_RATE, 0.9, 1.0, 7.0).expect("reachable");
+        assert!((1.0..=5.0).contains(&cp), "cp={cp}");
+    }
+
+    #[test]
+    fn rsc1_8k_gpu_requirement_is_about_half_an_hour() {
+        // Obs. 10: 8,000 GPUs on RSC-1 with 1-minute queues needs roughly
+        // 30-minute checkpoints for ETTR 0.9.
+        let cp = max_checkpoint_interval_mins(8_000, RSC1_RATE, 0.9, 1.0, 5.0, 7.0)
+            .expect("reachable");
+        assert!((20.0..=45.0).contains(&cp), "cp={cp}");
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        assert!(max_checkpoint_interval_mins(1_000_000, 0.05, 0.99, 1.0, 30.0, 7.0).is_none());
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let pts = sweep(
+            100_000,
+            &[RSC2_RATE, RSC1_RATE],
+            &[2.0, 7.0, 21.0, 60.0],
+            1.0,
+            2.0,
+            7.0,
+        );
+        assert_eq!(pts.len(), 8);
+        // For fixed r_f, ETTR decreases with the checkpoint interval.
+        for w in pts.windows(2) {
+            if (w[0].r_f - w[1].r_f).abs() < 1e-12 {
+                assert!(w[0].ettr >= w[1].ettr);
+            }
+        }
+        // For fixed interval, the lower failure rate gives higher ETTR.
+        let low = pts.iter().find(|p| p.r_f == RSC2_RATE && p.checkpoint_mins == 7.0).unwrap();
+        let high = pts.iter().find(|p| p.r_f == RSC1_RATE && p.checkpoint_mins == 7.0).unwrap();
+        assert!(low.ettr > high.ettr);
+    }
+}

@@ -1,0 +1,120 @@
+//! Restart-overhead scaling (paper §V, "Training Reliability").
+//!
+//! The paper notes that "certain operations, such as NCCL initialization,
+//! can scale poorly with the number of GPU nodes", making restart latency
+//! itself a function of job scale — and names fast, reliable restart
+//! routines a key future avenue. This model makes `u0` scale-aware so the
+//! ETTR machinery can quantify exactly how much an optimized restart path
+//! buys at frontier scale.
+
+use serde::{Deserialize, Serialize};
+
+use super::analytical::{expected_ettr, EttrParams};
+
+/// How restart overhead grows with job size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestartOverheadModel {
+    /// Scale-independent work: checkpoint load, process spawn, scheduler
+    /// handshake. Seconds.
+    pub base_secs: f64,
+    /// Per-node cost of collective initialization (the poorly-scaling NCCL
+    /// setup the paper calls out). Seconds per node.
+    pub per_node_secs: f64,
+}
+
+impl RestartOverheadModel {
+    /// A naive stack: ~2 minutes of fixed work plus 60 ms per node of
+    /// init (an 8k-node job pays ~8 extra minutes).
+    pub fn naive() -> Self {
+        RestartOverheadModel {
+            base_secs: 120.0,
+            per_node_secs: 0.06,
+        }
+    }
+
+    /// An optimized stack (§V's "replacing MPI-like collectives entirely
+    /// and making preflight hardware tests more efficient"): one minute
+    /// flat, near-constant in scale.
+    pub fn optimized() -> Self {
+        RestartOverheadModel {
+            base_secs: 60.0,
+            per_node_secs: 0.002,
+        }
+    }
+
+    /// Restart overhead for a job of `nodes` nodes, in seconds.
+    pub fn u0_secs(&self, nodes: u32) -> f64 {
+        self.base_secs + self.per_node_secs * nodes as f64
+    }
+
+    /// Restart overhead in days (the unit [`EttrParams`] uses).
+    pub fn u0_days(&self, nodes: u32) -> f64 {
+        self.u0_secs(nodes) / 86_400.0
+    }
+
+    /// Expected ETTR for a job of `gpus` GPUs under this restart model.
+    pub fn expected_ettr(
+        &self,
+        gpus: u32,
+        r_f: f64,
+        queue_time_days: f64,
+        checkpoint_interval_days: f64,
+        productive_days: f64,
+    ) -> f64 {
+        let nodes = gpus.div_ceil(8);
+        expected_ettr(&EttrParams {
+            nodes,
+            r_f,
+            queue_time: queue_time_days,
+            restart_overhead: self.u0_days(nodes),
+            checkpoint_interval: checkpoint_interval_days,
+            productive_time: productive_days,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_scale() {
+        let naive = RestartOverheadModel::naive();
+        assert!((naive.u0_secs(1) - 120.06).abs() < 1e-9);
+        // 12,500 nodes (100k GPUs): 120 + 750 s = 14.5 min of restart.
+        assert!((naive.u0_secs(12_500) - 870.0).abs() < 1e-9);
+        let optimized = RestartOverheadModel::optimized();
+        assert!(optimized.u0_secs(12_500) < 100.0);
+    }
+
+    #[test]
+    fn optimized_restart_buys_ettr_at_scale() {
+        // At 100k GPUs with an RSC-2 rate and 5-minute checkpoints, the
+        // naive restart path costs real ETTR.
+        let r_f = 2.34e-3;
+        let cp = 5.0 / 60.0 / 24.0;
+        let naive =
+            RestartOverheadModel::naive().expected_ettr(100_000, r_f, 1e-4, cp, 7.0);
+        let optimized =
+            RestartOverheadModel::optimized().expected_ettr(100_000, r_f, 1e-4, cp, 7.0);
+        assert!(optimized > naive + 0.02, "naive={naive} optimized={optimized}");
+        // At small scale the two are indistinguishable.
+        let naive_small = RestartOverheadModel::naive().expected_ettr(512, r_f, 1e-4, cp, 7.0);
+        let opt_small = RestartOverheadModel::optimized().expected_ettr(512, r_f, 1e-4, cp, 7.0);
+        assert!((naive_small - opt_small).abs() < 0.005);
+    }
+
+    #[test]
+    fn ettr_monotone_in_per_node_cost() {
+        let mut last = 1.0;
+        for per_node in [0.0, 0.02, 0.06, 0.2] {
+            let model = RestartOverheadModel {
+                base_secs: 120.0,
+                per_node_secs: per_node,
+            };
+            let e = model.expected_ettr(65_536, 6.5e-3, 1e-4, 10.0 / 60.0 / 24.0, 7.0);
+            assert!(e <= last);
+            last = e;
+        }
+    }
+}

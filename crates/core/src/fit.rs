@@ -1,0 +1,201 @@
+//! Failure-interarrival distribution fitting.
+//!
+//! The MTTF projection (`MTTF = 1/(N·r_f)`) and the Gamma confidence
+//! intervals both assume failures arrive as a Poisson process —
+//! exponential interarrivals. This module fits exponential and Weibull
+//! models to interarrival samples and reports a Kolmogorov–Smirnov
+//! statistic, so the assumption can be *checked* on any telemetry rather
+//! than taken on faith (a Weibull shape near 1 means "Poisson-like";
+//! shape < 1 signals clustering — e.g. lemon nodes or era effects).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::time::SimTime;
+use rsc_telemetry::store::TelemetryStore;
+
+/// A fitted Weibull distribution (exponential when `shape == 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullFit {
+    /// Shape parameter `k`: `< 1` over-dispersed (bursty), `≈ 1`
+    /// Poisson-like, `> 1` regular.
+    pub shape: f64,
+    /// Scale parameter `λ` (same unit as the samples).
+    pub scale: f64,
+    /// Kolmogorov–Smirnov distance between the sample and the fit.
+    pub ks_distance: f64,
+    /// Number of samples fitted.
+    pub samples: usize,
+}
+
+/// Fits an exponential distribution (rate = 1/mean) and returns
+/// `(rate, KS distance)`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains non-positive values.
+pub fn fit_exponential(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "need samples");
+    assert!(samples.iter().all(|&x| x > 0.0), "samples must be positive");
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let rate = 1.0 / mean;
+    let cdf = |x: f64| 1.0 - (-rate * x).exp();
+    (rate, ks_distance(samples, cdf))
+}
+
+/// Fits a Weibull by maximum likelihood (Newton iteration on the shape,
+/// closed-form scale given shape).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains non-positive values.
+pub fn fit_weibull(samples: &[f64]) -> WeibullFit {
+    assert!(!samples.is_empty(), "need samples");
+    assert!(samples.iter().all(|&x| x > 0.0), "samples must be positive");
+    let n = samples.len() as f64;
+    let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+    let mean_log = logs.iter().sum::<f64>() / n;
+
+    // Newton on the MLE equation for k:
+    //   1/k = Σ x^k ln x / Σ x^k − mean(ln x)
+    let mut k: f64 = 1.0;
+    for _ in 0..100 {
+        let (mut s0, mut s1, mut s2) = (0.0f64, 0.0f64, 0.0f64);
+        for (&x, &lx) in samples.iter().zip(&logs) {
+            let xk = x.powf(k);
+            s0 += xk;
+            s1 += xk * lx;
+            s2 += xk * lx * lx;
+        }
+        let f = s1 / s0 - 1.0 / k - mean_log;
+        let df = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        let step = f / df;
+        k -= step;
+        if !(0.01..=100.0).contains(&k) {
+            k = k.clamp(0.01, 100.0);
+        }
+        if step.abs() < 1e-10 {
+            break;
+        }
+    }
+    let scale = (samples.iter().map(|x| x.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+    let cdf = |x: f64| 1.0 - (-(x / scale).powf(k)).exp();
+    WeibullFit {
+        shape: k,
+        scale,
+        ks_distance: ks_distance(samples, cdf),
+        samples: samples.len(),
+    }
+}
+
+/// Kolmogorov–Smirnov distance between an empirical sample and a CDF.
+fn ks_distance(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("positive samples"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Extracts the cluster-wide failure interarrival times (hours) from a
+/// telemetry store's ground-truth failure stream.
+pub fn failure_interarrivals_hours(store: &TelemetryStore) -> Vec<f64> {
+    let mut times: Vec<SimTime> = store.ground_truth_failures().iter().map(|f| f.at).collect();
+    times.sort();
+    times
+        .windows(2)
+        .map(|w| w[1].saturating_since(w[0]).as_hours())
+        .filter(|&dt| dt > 0.0)
+        .collect()
+}
+
+/// Fits the failure process of a telemetry store, or `None` with fewer
+/// than `min_samples` interarrivals.
+pub fn fit_failure_process(store: &TelemetryStore, min_samples: usize) -> Option<WeibullFit> {
+    let gaps = failure_interarrivals_hours(store);
+    if gaps.len() < min_samples {
+        return None;
+    }
+    Some(fit_weibull(&gaps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_sim_core::rng::SimRng;
+
+    #[test]
+    fn exponential_samples_fit_shape_one() {
+        let mut rng = SimRng::seed_from(1);
+        let samples: Vec<f64> = (0..5000).map(|_| rng.exponential(0.5)).collect();
+        let fit = fit_weibull(&samples);
+        assert!((fit.shape - 1.0).abs() < 0.05, "shape={}", fit.shape);
+        assert!((fit.scale - 2.0).abs() < 0.1, "scale={}", fit.scale);
+        assert!(fit.ks_distance < 0.03, "ks={}", fit.ks_distance);
+    }
+
+    #[test]
+    fn weibull_samples_recover_parameters() {
+        let mut rng = SimRng::seed_from(2);
+        for &(shape, scale) in &[(0.7f64, 3.0f64), (2.0, 1.5)] {
+            let samples: Vec<f64> = (0..5000).map(|_| rng.weibull(shape, scale)).collect();
+            let fit = fit_weibull(&samples);
+            assert!(
+                (fit.shape - shape).abs() < 0.08,
+                "shape {} vs {shape}",
+                fit.shape
+            );
+            assert!(
+                (fit.scale - scale).abs() / scale < 0.05,
+                "scale {} vs {scale}",
+                fit.scale
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_fit_matches_rate() {
+        let mut rng = SimRng::seed_from(3);
+        let samples: Vec<f64> = (0..5000).map(|_| rng.exponential(2.0)).collect();
+        let (rate, ks) = fit_exponential(&samples);
+        assert!((rate - 2.0).abs() < 0.08, "rate={rate}");
+        assert!(ks < 0.03);
+    }
+
+    #[test]
+    fn bursty_samples_have_low_shape() {
+        // A mixture of fast and slow regimes (bursts) is over-dispersed.
+        let mut rng = SimRng::seed_from(4);
+        let samples: Vec<f64> = (0..4000)
+            .map(|i| {
+                if i % 10 == 0 {
+                    rng.exponential(0.05) // long gaps
+                } else {
+                    rng.exponential(5.0) // bursts
+                }
+            })
+            .collect();
+        let fit = fit_weibull(&samples);
+        assert!(fit.shape < 0.8, "shape={}", fit.shape);
+    }
+
+    #[test]
+    fn ks_detects_wrong_model() {
+        let mut rng = SimRng::seed_from(5);
+        let samples: Vec<f64> = (0..3000).map(|_| rng.weibull(3.0, 1.0)).collect();
+        let (_, ks_exp) = fit_exponential(&samples);
+        let fit = fit_weibull(&samples);
+        assert!(ks_exp > 4.0 * fit.ks_distance, "exp={ks_exp} weibull={}", fit.ks_distance);
+    }
+
+    #[test]
+    #[should_panic(expected = "need samples")]
+    fn empty_rejected() {
+        let _ = fit_weibull(&[]);
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! # rsc-core — the paper's analysis toolkit
+//!
+//! The primary contribution of *"Revisiting Reliability in Large-Scale
+//! Machine Learning Research Clusters"* (HPCA 2025), as a library:
+//!
+//! - [`attribution`] — differential-diagnosis failure attribution over
+//!   health-check events in a 10-min/5-min window around job endings
+//!   (§III, Fig. 4), with ground-truth validation;
+//! - [`mttf`] — empirical MTTF by job size with Gamma-posterior confidence
+//!   intervals, the `r_f` node-failure-rate estimator, and the
+//!   `MTTF = 1/(N·r_f)` projection validated to 4k GPUs and extrapolated
+//!   to 131k (Fig. 7, Obs. 8);
+//! - [`ettr`] — the expected-ETTR analytical estimator (Eq. 1/2, Appendix
+//!   A), its Monte-Carlo validator, measured job-run ETTR (Fig. 9), and
+//!   checkpoint-requirement inversion at 100k-GPU scale (Fig. 10);
+//! - [`lemon`] — the seven-signal lemon-node detection pipeline with
+//!   precision/recall evaluation against planted ground truth (§IV-A,
+//!   Fig. 11, Table II);
+//! - [`goodput`] — first-order failure and second-order preemption
+//!   goodput-loss accounting (Fig. 8, Obs. 9);
+//! - [`nccl_debug`] — the §V NCCL-timeout differential diagnosis over
+//!   per-rank collective traces;
+//! - [`fit`] — exponential/Weibull fitting of failure interarrivals, to
+//!   *check* the Poisson assumption behind the MTTF model;
+//! - [`queueing`] — queue-wait statistics by size and QoS (Fig. 9's
+//!   wait-time caveat);
+//! - [`availability`] — per-node downtime, measured MTTR, and fleet
+//!   availability from remediation events (Obs. 1);
+//! - [`cluster_goodput`] — the §II-D capacity waterfall: productive /
+//!   restart / replay / idle GPU-time;
+//! - [`mfu`] — a roofline Model-FLOPs-Utilization estimator (§II-D's
+//!   companion metric to ETTR);
+//! - [`repair_unit`] — §V's rack-scale repair-unit economics (GB200) and
+//!   the in-place fault tolerance needed to offset them;
+//! - [`report`] — the Fig. 3 / Fig. 6 aggregations and the Table I
+//!   taxonomy printer.
+//!
+//! # Example
+//!
+//! Project MTTF at frontier scale from the paper's RSC-1 failure rate:
+//!
+//! ```
+//! use rsc_core::mttf::MttfProjection;
+//!
+//! let proj = MttfProjection::new(6.5e-3); // failures per node-day
+//! assert!((proj.mttf_hours(16_384) - 1.8).abs() < 0.05);
+//! assert!((proj.mttf_hours(131_072) - 0.23).abs() < 0.01);
+//! ```
+
+pub mod attribution;
+pub mod availability;
+pub mod cluster_goodput;
+pub mod ettr;
+pub mod fit;
+pub mod goodput;
+pub mod lemon;
+pub mod mfu;
+pub mod mttf;
+pub mod nccl_debug;
+pub mod queueing;
+pub mod repair_unit;
+pub mod report;
+
+pub use attribution::{attribute_failures, cause_rates, Attribution, AttributionConfig};
+pub use ettr::{expected_ettr, EttrParams};
+pub use goodput::{goodput_loss, GoodputLoss};
+pub use lemon::{compute_features, DetectionQuality, LemonDetector, LemonFeatures};
+pub use mttf::{estimate_node_failure_rate, mttf_by_job_size, MttfPoint, MttfProjection};
+pub use report::{size_distribution, status_breakdown, SizeShare, StatusShare};

@@ -1,0 +1,126 @@
+//! Model FLOPs Utilization (paper §II-D).
+//!
+//! The paper contrasts ETTR with MFU: ETTR measures reliability overheads,
+//! MFU measures "degraded performance or suboptimal implementations" —
+//! e.g. communication stalls. This roofline model estimates MFU for a
+//! data-parallel transformer from compute intensity and ring all-reduce
+//! cost over the fabric, reproducing the regime the paper quotes (LLM MFU
+//! around 38–43% for Llama 3) and how it erodes as jobs scale out.
+
+use serde::{Deserialize, Serialize};
+
+/// A data-parallel transformer training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Model parameters, billions.
+    pub params_billions: f64,
+    /// Global batch size, tokens per optimizer step.
+    pub global_batch_tokens: f64,
+    /// GPUs in the job.
+    pub gpus: u32,
+    /// Per-GPU peak, TFLOP/s (A100 bf16 ≈ 312).
+    pub peak_tflops: f64,
+    /// Fraction of peak the kernels reach when compute-bound (the
+    /// implementation-quality ceiling MFU can never exceed).
+    pub kernel_efficiency: f64,
+    /// Gradient bytes per parameter exchanged per step (bf16 = 2).
+    pub grad_bytes_per_param: f64,
+    /// Achievable per-GPU all-reduce bus bandwidth, Gb/s.
+    pub busbw_gbps: f64,
+    /// Fraction of communication hidden behind compute, `[0, 1]`.
+    pub comm_overlap: f64,
+}
+
+impl TrainingConfig {
+    /// A Llama-3-405B-like pretraining shape on A100-class hardware.
+    pub fn llama3_405b_like(gpus: u32) -> Self {
+        TrainingConfig {
+            params_billions: 405.0,
+            global_batch_tokens: 16.0e6,
+            gpus,
+            peak_tflops: 312.0,
+            kernel_efficiency: 0.55,
+            grad_bytes_per_param: 2.0,
+            busbw_gbps: 800.0,
+            comm_overlap: 0.7,
+        }
+    }
+
+    /// Compute time per step per GPU, seconds (6·N·D FLOPs split evenly).
+    pub fn compute_secs_per_step(&self) -> f64 {
+        let flops = 6.0 * self.params_billions * 1e9 * self.global_batch_tokens;
+        let per_gpu = flops / self.gpus as f64;
+        per_gpu / (self.peak_tflops * 1e12 * self.kernel_efficiency)
+    }
+
+    /// Exposed (non-overlapped) communication time per step, seconds:
+    /// ring all-reduce moves `2·(N−1)/N · params · bytes` per GPU.
+    pub fn exposed_comm_secs_per_step(&self) -> f64 {
+        let n = self.gpus as f64;
+        let bytes = 2.0 * (n - 1.0) / n * self.params_billions * 1e9 * self.grad_bytes_per_param;
+        let secs = bytes * 8.0 / (self.busbw_gbps * 1e9);
+        secs * (1.0 - self.comm_overlap.clamp(0.0, 1.0))
+    }
+
+    /// Estimated MFU: model FLOPs over wallclock × peak.
+    pub fn mfu(&self) -> f64 {
+        let compute = self.compute_secs_per_step();
+        let step = compute + self.exposed_comm_secs_per_step();
+        let useful_fraction = compute / step;
+        self.kernel_efficiency * useful_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama3_like_mfu_in_paper_band() {
+        // The paper quotes 38–43% for Llama 3 training.
+        let mfu = TrainingConfig::llama3_405b_like(16_384).mfu();
+        assert!((0.36..=0.46).contains(&mfu), "mfu={mfu}");
+    }
+
+    #[test]
+    fn scaling_out_with_fixed_batch_erodes_mfu() {
+        let small = TrainingConfig::llama3_405b_like(4_096).mfu();
+        let large = TrainingConfig::llama3_405b_like(65_536).mfu();
+        assert!(large < small, "small={small} large={large}");
+    }
+
+    #[test]
+    fn kernel_efficiency_bounds_mfu() {
+        for gpus in [1024u32, 16_384, 131_072] {
+            let c = TrainingConfig::llama3_405b_like(gpus);
+            assert!(c.mfu() <= c.kernel_efficiency + 1e-12);
+            assert!(c.mfu() > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_overlap_reaches_kernel_ceiling() {
+        let mut c = TrainingConfig::llama3_405b_like(16_384);
+        c.comm_overlap = 1.0;
+        assert!((c.mfu() - c.kernel_efficiency).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_bandwidth_helps() {
+        let mut slow = TrainingConfig::llama3_405b_like(32_768);
+        slow.busbw_gbps = 200.0;
+        let mut fast = slow;
+        fast.busbw_gbps = 1_600.0;
+        assert!(fast.mfu() > slow.mfu());
+    }
+
+    #[test]
+    fn ettr_and_mfu_measure_different_things() {
+        // Degraded links cut MFU but leave ETTR untouched (no failure) —
+        // the paper's point about the two metrics being complementary.
+        let mut degraded = TrainingConfig::llama3_405b_like(16_384);
+        degraded.busbw_gbps *= 0.25; // AR-less fabric under bit errors
+        let healthy = TrainingConfig::llama3_405b_like(16_384);
+        assert!(degraded.mfu() < 0.9 * healthy.mfu());
+    }
+}

@@ -1,0 +1,243 @@
+//! Mean-time-to-failure estimation and projection (paper Fig. 7, Obs. 8).
+//!
+//! Empirical MTTF per job-size bucket, Gamma-posterior confidence
+//! intervals, the node-failure-rate estimate `r_f`, and the theoretical
+//! `MTTF = 1 / (N_nodes · r_f)` projection that the paper validates
+//! against jobs up to 4k GPUs and extrapolates to 131k.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::special::gamma_quantile;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::store::TelemetryStore;
+
+use crate::attribution::{attribute_failures, AttributionConfig};
+use rsc_sched::job::JobStatus;
+
+/// Which job endings count as failures for MTTF purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureScope {
+    /// Every FAILED / NODE_FAIL / REQUEUED ending (Fig. 7's empirical
+    /// curve: user and infra failures both interrupt training).
+    AllFailures,
+    /// Only infrastructure failures: NODE_FAIL, REQUEUED, and FAILED with a
+    /// health-check attribution (the basis of `r_f`).
+    InfraOnly,
+}
+
+/// MTTF estimate for one job-size bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MttfPoint {
+    /// Bucket label: job size in GPUs (rounded up to a multiple of 8).
+    pub gpus: u32,
+    /// Number of failures observed.
+    pub failures: u64,
+    /// Total runtime across jobs in the bucket, hours.
+    pub exposure_hours: f64,
+    /// Point estimate of MTTF, hours (`exposure / failures`).
+    pub mttf_hours: f64,
+    /// 90% confidence interval on MTTF, hours (Gamma posterior on the
+    /// rate). `None` when no failures were observed.
+    pub ci90: Option<(f64, f64)>,
+}
+
+/// Rounds a GPU count up to the next multiple of 8 (whole servers), as the
+/// paper does for Fig. 7.
+pub fn round_up_to_server(gpus: u32) -> u32 {
+    gpus.div_ceil(8) * 8
+}
+
+/// Buckets job sizes into powers of two of servers: 8, 16, 32, ... GPUs.
+pub fn power_of_two_bucket(gpus: u32) -> u32 {
+    let servers = round_up_to_server(gpus) / 8;
+    8 * servers.next_power_of_two()
+}
+
+/// Computes empirical MTTF per job-size bucket.
+///
+/// Exposure is each record's runtime; a record counts as a failure per the
+/// scope. Buckets are powers of two in servers.
+pub fn mttf_by_job_size(
+    store: &mut TelemetryStore,
+    scope: FailureScope,
+    config: &AttributionConfig,
+) -> Vec<MttfPoint> {
+    // Precompute which record indices are infra failures when needed.
+    let infra: std::collections::HashSet<usize> = match scope {
+        FailureScope::AllFailures => std::collections::HashSet::new(),
+        FailureScope::InfraOnly => attribute_failures(store, config)
+            .into_iter()
+            .filter(|a| {
+                let status = store.jobs()[a.record_index].status;
+                matches!(status, JobStatus::NodeFail | JobStatus::Requeued)
+                    || (status == JobStatus::Failed && a.is_attributed())
+            })
+            .map(|a| a.record_index)
+            .collect(),
+    };
+
+    let mut buckets: std::collections::BTreeMap<u32, (u64, f64)> = std::collections::BTreeMap::new();
+    for (i, r) in store.jobs().iter().enumerate() {
+        if r.started_at.is_none() {
+            continue;
+        }
+        let bucket = power_of_two_bucket(r.gpus);
+        let entry = buckets.entry(bucket).or_insert((0, 0.0));
+        entry.1 += r.runtime().as_hours();
+        let failed = match scope {
+            FailureScope::AllFailures => matches!(
+                r.status,
+                JobStatus::Failed | JobStatus::NodeFail | JobStatus::Requeued
+            ),
+            FailureScope::InfraOnly => infra.contains(&i),
+        };
+        if failed {
+            entry.0 += 1;
+        }
+    }
+
+    buckets
+        .into_iter()
+        .filter(|(_, (_, exposure))| *exposure > 0.0)
+        .map(|(gpus, (failures, exposure_hours))| {
+            let mttf_hours = if failures > 0 {
+                exposure_hours / failures as f64
+            } else {
+                f64::INFINITY
+            };
+            let ci90 = gamma_mttf_ci(failures, exposure_hours, 0.90);
+            MttfPoint {
+                gpus,
+                failures,
+                exposure_hours,
+                mttf_hours,
+                ci90,
+            }
+        })
+        .collect()
+}
+
+/// 90% (or other) CI on MTTF from a Gamma posterior over the failure rate:
+/// with `n` failures in exposure `T`, rate ~ Gamma(shape = n, scale = 1/T),
+/// and MTTF bounds are the reciprocals of the rate quantiles.
+pub fn gamma_mttf_ci(failures: u64, exposure_hours: f64, confidence: f64) -> Option<(f64, f64)> {
+    if failures == 0 || exposure_hours <= 0.0 {
+        return None;
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    let shape = failures as f64;
+    let scale = 1.0 / exposure_hours;
+    let rate_lo = gamma_quantile(alpha, shape, scale);
+    let rate_hi = gamma_quantile(1.0 - alpha, shape, scale);
+    Some((1.0 / rate_hi, 1.0 / rate_lo))
+}
+
+/// The cluster node-failure rate `r_f`, failures per node-day, estimated
+/// the paper's way: infra failures of jobs larger than `min_gpus` GPUs,
+/// divided by total node-days of runtime of those jobs.
+pub fn estimate_node_failure_rate(
+    store: &mut TelemetryStore,
+    config: &AttributionConfig,
+    min_gpus: u32,
+) -> f64 {
+    let attributions = attribute_failures(store, config);
+    let mut failures = 0u64;
+    for a in &attributions {
+        let r = &store.jobs()[a.record_index];
+        if r.gpus <= min_gpus {
+            continue;
+        }
+        let is_infra = matches!(r.status, JobStatus::NodeFail | JobStatus::Requeued)
+            || (r.status == JobStatus::Failed && a.is_attributed());
+        if is_infra {
+            failures += 1;
+        }
+    }
+    let node_days = store.node_days_of_runtime(min_gpus);
+    if node_days <= 0.0 {
+        return 0.0;
+    }
+    failures as f64 / node_days
+}
+
+/// Theoretical MTTF projection from a node failure rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MttfProjection {
+    /// Failures per node-day.
+    pub r_f: f64,
+}
+
+impl MttfProjection {
+    /// Creates a projection from a failure rate (per node-day).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive and finite.
+    pub fn new(r_f: f64) -> Self {
+        assert!(r_f > 0.0 && r_f.is_finite(), "rate must be positive");
+        MttfProjection { r_f }
+    }
+
+    /// Projected MTTF for a job spanning `gpus` GPUs (8 per node).
+    pub fn mttf(&self, gpus: u32) -> SimDuration {
+        let nodes = (round_up_to_server(gpus) / 8) as f64;
+        SimDuration::from_days_f64(1.0 / (nodes * self.r_f))
+    }
+
+    /// Projected MTTF in hours.
+    pub fn mttf_hours(&self, gpus: u32) -> f64 {
+        self.mttf(gpus).as_hours()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_and_buckets() {
+        assert_eq!(round_up_to_server(1), 8);
+        assert_eq!(round_up_to_server(8), 8);
+        assert_eq!(round_up_to_server(9), 16);
+        assert_eq!(power_of_two_bucket(24), 32);
+        assert_eq!(power_of_two_bucket(1024), 1024);
+        assert_eq!(power_of_two_bucket(1025), 2048);
+    }
+
+    #[test]
+    fn paper_projection_numbers() {
+        // r_f = 6.50 per 1000 node-days (RSC-1, §III).
+        let proj = MttfProjection::new(6.50e-3);
+        // 16,384 GPUs → 2,048 nodes → MTTF ≈ 1.8 h.
+        assert!((proj.mttf_hours(16_384) - 1.80).abs() < 0.03);
+        // 131,072 GPUs → MTTF ≈ 0.23 h.
+        assert!((proj.mttf_hours(131_072) - 0.225).abs() < 0.01);
+        // 100k GPUs → ≈ 15 minutes.
+        let mins_100k = proj.mttf_hours(100_000) * 60.0;
+        assert!((mins_100k - 17.7).abs() < 1.0, "{mins_100k}");
+    }
+
+    #[test]
+    fn projection_scales_inversely() {
+        let proj = MttfProjection::new(1e-3);
+        let m1 = proj.mttf_hours(1024);
+        let m2 = proj.mttf_hours(2048);
+        assert!((m1 / m2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_ci_brackets_point_estimate() {
+        let (lo, hi) = gamma_mttf_ci(25, 1000.0, 0.90).unwrap();
+        let point = 1000.0 / 25.0;
+        assert!(lo < point && point < hi, "({lo}, {point}, {hi})");
+        // More data → tighter interval.
+        let (lo2, hi2) = gamma_mttf_ci(2500, 100_000.0, 0.90).unwrap();
+        assert!((hi2 - lo2) / (1000.0 / 25.0) < (hi - lo) / point);
+    }
+
+    #[test]
+    fn gamma_ci_none_without_failures() {
+        assert!(gamma_mttf_ci(0, 100.0, 0.9).is_none());
+        assert!(gamma_mttf_ci(5, 0.0, 0.9).is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! NCCL-timeout differential diagnosis (paper §V, "Debugging Tools").
+//!
+//! A NCCL timeout only says *some* rank noticed a collective not
+//! completing; the culprit may be a crashed rank, a user deadlock
+//! (mismatched collective order under SPMD), or network hardware. The
+//! paper's proposed tooling logs which ranks started each collective and
+//! the dependencies between them, then finds **the first collective where
+//! some ranks entered and others did not** — this module implements that
+//! analysis over per-rank collective traces.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The collective operations that appear in training loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// All-reduce (gradient exchange).
+    AllReduce,
+    /// All-gather (sharded parameter collection).
+    AllGather,
+    /// Reduce-scatter.
+    ReduceScatter,
+    /// Broadcast.
+    Broadcast,
+    /// Barrier/synchronize.
+    Barrier,
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CollectiveKind::AllReduce => "all_reduce",
+            CollectiveKind::AllGather => "all_gather",
+            CollectiveKind::ReduceScatter => "reduce_scatter",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Barrier => "barrier",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One logged collective operation on one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveOp {
+    /// Position in the rank's issue order.
+    pub seq: u64,
+    /// The operation issued.
+    pub kind: CollectiveKind,
+    /// Whether the rank entered the collective.
+    pub entered: bool,
+    /// Whether the rank saw the collective complete.
+    pub exited: bool,
+}
+
+/// The collective log of one rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankTrace {
+    /// The rank id.
+    pub rank: u32,
+    /// Its issued collectives in order.
+    pub ops: Vec<CollectiveOp>,
+}
+
+/// What the differential diagnosis concluded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeoutVerdict {
+    /// All collectives completed on all ranks: no hang in this window.
+    NoHangObserved,
+    /// Ranks issued *different operations* at the same sequence point —
+    /// the SPMD-mismatch deadlock the paper calls out (user bug).
+    MismatchedCollectives {
+        /// The first divergent sequence number.
+        seq: u64,
+        /// The operation variants observed and the ranks issuing each.
+        variants: Vec<(CollectiveKind, Vec<u32>)>,
+    },
+    /// Some ranks never entered the collective: they are stuck *before*
+    /// it (crashed, or blocked on e.g. a data loader) — investigate those
+    /// ranks' hosts first (user or system software domain).
+    MissingRanks {
+        /// The first incomplete sequence number.
+        seq: u64,
+        /// Ranks that never arrived.
+        missing: Vec<u32>,
+    },
+    /// Every rank entered but none left: the collective itself wedged —
+    /// suspect the network fabric between the participants (hardware
+    /// domain).
+    StuckInCollective {
+        /// The wedged sequence number.
+        seq: u64,
+    },
+}
+
+/// Diagnoses a set of rank traces, returning the verdict for the first
+/// problematic collective (issues later in the program are shadowed by
+/// the first hang, as in real timelines).
+///
+/// # Panics
+///
+/// Panics if `traces` is empty.
+pub fn diagnose(traces: &[RankTrace]) -> TimeoutVerdict {
+    assert!(!traces.is_empty(), "need at least one rank trace");
+    let all_ranks: Vec<u32> = traces.iter().map(|t| t.rank).collect();
+    let max_seq = traces
+        .iter()
+        .flat_map(|t| t.ops.iter().map(|o| o.seq))
+        .max()
+        .unwrap_or(0);
+
+    for seq in 0..=max_seq {
+        // Gather each rank's op at this sequence point.
+        let mut by_kind: BTreeMap<CollectiveKind, Vec<u32>> = BTreeMap::new();
+        let mut entered: Vec<u32> = Vec::new();
+        let mut exited: Vec<u32> = Vec::new();
+        let mut issued: Vec<u32> = Vec::new();
+        for t in traces {
+            if let Some(op) = t.ops.iter().find(|o| o.seq == seq) {
+                issued.push(t.rank);
+                by_kind.entry(op.kind).or_default().push(t.rank);
+                if op.entered {
+                    entered.push(t.rank);
+                }
+                if op.exited {
+                    exited.push(t.rank);
+                }
+            }
+        }
+        if issued.is_empty() {
+            continue;
+        }
+        // Different kinds at the same point: SPMD mismatch (deadlock).
+        if by_kind.len() > 1 {
+            return TimeoutVerdict::MismatchedCollectives {
+                seq,
+                variants: by_kind.into_iter().collect(),
+            };
+        }
+        // Some ranks never issued/entered this collective at all.
+        if entered.len() < all_ranks.len() {
+            let missing: Vec<u32> = all_ranks
+                .iter()
+                .copied()
+                .filter(|r| !entered.contains(r))
+                .collect();
+            return TimeoutVerdict::MissingRanks { seq, missing };
+        }
+        // Everyone entered; did everyone leave?
+        if exited.len() < all_ranks.len() {
+            if exited.is_empty() {
+                return TimeoutVerdict::StuckInCollective { seq };
+            }
+            // Partial exit: the stragglers' network paths are suspect;
+            // report them as "missing" from completion.
+            let missing: Vec<u32> = all_ranks
+                .iter()
+                .copied()
+                .filter(|r| !exited.contains(r))
+                .collect();
+            return TimeoutVerdict::MissingRanks { seq, missing };
+        }
+    }
+    TimeoutVerdict::NoHangObserved
+}
+
+/// Builds a healthy trace set: `ranks` ranks all completing `steps`
+/// all-reduces (a convenient baseline for tests and fault injection).
+pub fn healthy_traces(ranks: u32, steps: u64) -> Vec<RankTrace> {
+    (0..ranks)
+        .map(|rank| RankTrace {
+            rank,
+            ops: (0..steps)
+                .map(|seq| CollectiveOp {
+                    seq,
+                    kind: CollectiveKind::AllReduce,
+                    entered: true,
+                    exited: true,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_run_reports_no_hang() {
+        let traces = healthy_traces(8, 10);
+        assert_eq!(diagnose(&traces), TimeoutVerdict::NoHangObserved);
+    }
+
+    #[test]
+    fn crashed_rank_is_identified() {
+        let mut traces = healthy_traces(4, 10);
+        // Rank 2 dies before step 6: it never issues seq >= 6; the others
+        // enter seq 6 and hang (no exit).
+        traces[2].ops.truncate(6);
+        for t in traces.iter_mut() {
+            for op in t.ops.iter_mut() {
+                if op.seq >= 6 {
+                    op.exited = false;
+                }
+            }
+        }
+        match diagnose(&traces) {
+            TimeoutVerdict::MissingRanks { seq, missing } => {
+                assert_eq!(seq, 6);
+                assert_eq!(missing, vec![2]);
+            }
+            v => panic!("wrong verdict: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn spmd_mismatch_is_identified() {
+        let mut traces = healthy_traces(4, 5);
+        // Rank 3 issues an all-gather where the others all-reduce at seq 2
+        // (classic branch-divergence bug); nobody completes it.
+        for t in traces.iter_mut() {
+            for op in t.ops.iter_mut() {
+                if op.seq >= 2 {
+                    op.exited = false;
+                }
+            }
+        }
+        traces[3].ops[2].kind = CollectiveKind::AllGather;
+        match diagnose(&traces) {
+            TimeoutVerdict::MismatchedCollectives { seq, variants } => {
+                assert_eq!(seq, 2);
+                assert_eq!(variants.len(), 2);
+                let gather_ranks = variants
+                    .iter()
+                    .find(|(k, _)| *k == CollectiveKind::AllGather)
+                    .map(|(_, r)| r.clone())
+                    .unwrap();
+                assert_eq!(gather_ranks, vec![3]);
+            }
+            v => panic!("wrong verdict: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn network_wedge_is_identified() {
+        let mut traces = healthy_traces(4, 5);
+        // Everyone enters seq 3, nobody leaves: fabric suspect.
+        for t in traces.iter_mut() {
+            for op in t.ops.iter_mut() {
+                if op.seq == 3 {
+                    op.exited = false;
+                }
+                if op.seq > 3 {
+                    op.entered = false;
+                    op.exited = false;
+                }
+            }
+        }
+        // Ranks that never "entered" seq 4 would normally trip the missing
+        // check at seq 4, but seq 3 fires first.
+        match diagnose(&traces) {
+            TimeoutVerdict::StuckInCollective { seq } => assert_eq!(seq, 3),
+            v => panic!("wrong verdict: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_exit_blames_stragglers() {
+        let mut traces = healthy_traces(4, 4);
+        // Only rank 1 fails to exit seq 2: its links are suspect.
+        traces[1].ops[2].exited = false;
+        match diagnose(&traces) {
+            TimeoutVerdict::MissingRanks { seq, missing } => {
+                assert_eq!(seq, 2);
+                assert_eq!(missing, vec![1]);
+            }
+            v => panic!("wrong verdict: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn first_problem_shadows_later_ones() {
+        let mut traces = healthy_traces(3, 10);
+        traces[0].ops[4].exited = false; // problem at 4
+        traces[1].ops[7].kind = CollectiveKind::Barrier; // later mismatch
+        match diagnose(&traces) {
+            TimeoutVerdict::MissingRanks { seq, .. } => assert_eq!(seq, 4),
+            v => panic!("wrong verdict: {v:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_traces_rejected() {
+        let _ = diagnose(&[]);
+    }
+}

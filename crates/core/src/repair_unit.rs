@@ -1,0 +1,163 @@
+//! Repair-unit economics (paper §V).
+//!
+//! "Future GPU systems, such as the NVIDIA GB200, will change the unit of
+//! repair from a server to a rack, creating incentives to avoiding
+//! downtime by coping with failure." This module quantifies that shift:
+//! when repairing one failed component takes a whole rack out of service,
+//! the capacity cost of every failure multiplies by the unit size — unless
+//! repairs are deferred and the system routes around the dead component.
+
+use serde::{Deserialize, Serialize};
+
+/// A repair-unit policy for a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairUnitModel {
+    /// GPUs per repair unit (8 for a DGX server; 72 for a GB200 NVL72
+    /// rack).
+    pub gpus_per_unit: u32,
+    /// Failures per GPU-day (component-level, assumed uniform).
+    pub failure_rate_per_gpu_day: f64,
+    /// Mean time to repair a unit once pulled, days.
+    pub mttr_days: f64,
+    /// Fraction of failures the system can *cope with* in place (§V's
+    /// "making unreliability less noticeable"): degraded capacity of one
+    /// GPU instead of pulling the unit immediately; the repair is deferred
+    /// and batched at no additional downtime.
+    pub in_place_tolerance: f64,
+}
+
+impl RepairUnitModel {
+    /// A DGX-A100-like fleet: server-level repair, no in-place tolerance.
+    pub fn dgx_server(failure_rate_per_gpu_day: f64, mttr_days: f64) -> Self {
+        RepairUnitModel {
+            gpus_per_unit: 8,
+            failure_rate_per_gpu_day,
+            mttr_days,
+            in_place_tolerance: 0.0,
+        }
+    }
+
+    /// A GB200-NVL72-like fleet: rack-level repair.
+    pub fn gb200_rack(failure_rate_per_gpu_day: f64, mttr_days: f64) -> Self {
+        RepairUnitModel {
+            gpus_per_unit: 72,
+            failure_rate_per_gpu_day,
+            mttr_days,
+            in_place_tolerance: 0.0,
+        }
+    }
+
+    /// Returns the model with the given in-place fault tolerance.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.in_place_tolerance = tolerance.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Expected fraction of fleet capacity lost to repair downtime.
+    ///
+    /// Each non-tolerated failure pulls `gpus_per_unit` GPUs for
+    /// `mttr_days`; tolerated failures cost one GPU's capacity until the
+    /// (deferred, amortized-free) repair.
+    pub fn capacity_loss_fraction(&self) -> f64 {
+        let pulls = self.failure_rate_per_gpu_day * (1.0 - self.in_place_tolerance);
+        let tolerated = self.failure_rate_per_gpu_day * self.in_place_tolerance;
+        // Per GPU-day of operation: pulls × unit_size × mttr GPU-days lost
+        // to pulled units, plus tolerated × 1 × mttr lost to degraded GPUs.
+        let lost = pulls * self.gpus_per_unit as f64 * self.mttr_days
+            + tolerated * self.mttr_days;
+        lost.min(1.0)
+    }
+
+    /// Effective fleet availability (1 − capacity loss).
+    pub fn availability(&self) -> f64 {
+        1.0 - self.capacity_loss_fraction()
+    }
+
+    /// The in-place tolerance needed for this unit size to match the
+    /// capacity loss of a `target` model, or `None` if even full tolerance
+    /// cannot get there.
+    pub fn tolerance_to_match(&self, target: &RepairUnitModel) -> Option<f64> {
+        let goal = target.capacity_loss_fraction();
+        // loss(t) = r·mttr·(unit·(1−t) + t); solve for t.
+        let r = self.failure_rate_per_gpu_day * self.mttr_days;
+        let unit = self.gpus_per_unit as f64;
+        if r <= 0.0 {
+            return Some(0.0);
+        }
+        // loss(t) = r·(unit − t·(unit − 1)); t = (unit − goal/r)/(unit − 1)
+        let t = (unit - goal / r) / (unit - 1.0);
+        if t <= 1.0 {
+            Some(t.clamp(0.0, 1.0))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RSC-1-like: 6.5e-3 per node-day / 8 GPUs ≈ 8.1e-4 per GPU-day.
+    const RATE: f64 = 8.125e-4;
+
+    #[test]
+    fn rack_units_multiply_capacity_loss() {
+        let server = RepairUnitModel::dgx_server(RATE, 3.0);
+        let rack = RepairUnitModel::gb200_rack(RATE, 3.0);
+        let ratio = rack.capacity_loss_fraction() / server.capacity_loss_fraction();
+        assert!((ratio - 9.0).abs() < 1e-9, "72/8 = 9x, got {ratio}");
+        // Concrete: server fleet loses ~2%, rack fleet ~17.5%.
+        assert!((server.capacity_loss_fraction() - 0.0195).abs() < 1e-3);
+        assert!((rack.capacity_loss_fraction() - 0.1755).abs() < 1e-3);
+    }
+
+    #[test]
+    fn in_place_tolerance_recovers_availability() {
+        let rack = RepairUnitModel::gb200_rack(RATE, 3.0);
+        let tolerant = rack.with_tolerance(0.9);
+        assert!(tolerant.capacity_loss_fraction() < 0.2 * rack.capacity_loss_fraction());
+        assert!(tolerant.availability() > 0.97);
+    }
+
+    #[test]
+    fn tolerance_to_match_server_units() {
+        let server = RepairUnitModel::dgx_server(RATE, 3.0);
+        let rack = RepairUnitModel::gb200_rack(RATE, 3.0);
+        let needed = rack.tolerance_to_match(&server).expect("achievable");
+        // Matching server-level losses needs ~90% of faults tolerated in
+        // place — §V's argument for coping rather than repairing.
+        assert!((0.85..=0.95).contains(&needed), "needed={needed}");
+        let achieved = rack.with_tolerance(needed).capacity_loss_fraction();
+        assert!((achieved - server.capacity_loss_fraction()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impossible_targets_return_none() {
+        let rack = RepairUnitModel::gb200_rack(RATE, 3.0);
+        let perfect = RepairUnitModel {
+            gpus_per_unit: 1,
+            failure_rate_per_gpu_day: 0.0,
+            mttr_days: 0.0,
+            in_place_tolerance: 0.0,
+        };
+        // Even full tolerance still costs 1 GPU per failure > 0 loss.
+        assert!(rack.tolerance_to_match(&perfect).is_none());
+    }
+
+    #[test]
+    fn loss_is_monotone_in_unit_size() {
+        let mut last = 0.0;
+        for unit in [1u32, 8, 18, 72, 144] {
+            let m = RepairUnitModel {
+                gpus_per_unit: unit,
+                failure_rate_per_gpu_day: RATE,
+                mttr_days: 3.0,
+                in_place_tolerance: 0.0,
+            };
+            let loss = m.capacity_loss_fraction();
+            assert!(loss >= last);
+            last = loss;
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the analysis estimators.
+
+use proptest::prelude::*;
+
+use rsc_core::ettr::analytical::{expected_ettr, expected_ettr_simplified, EttrParams};
+use rsc_core::ettr::jobrun::JobRun;
+use rsc_core::ettr::requirements::max_coupled_interval_mins;
+use rsc_core::mttf::{gamma_mttf_ci, power_of_two_bucket, round_up_to_server, MttfProjection};
+use rsc_sched::job::{JobStatus, QosClass};
+use rsc_sim_core::time::SimDuration;
+
+fn params(nodes: u32, r_f: f64, q: f64, u0: f64, cp: f64, r: f64) -> EttrParams {
+    EttrParams {
+        nodes,
+        r_f,
+        queue_time: q,
+        restart_overhead: u0,
+        checkpoint_interval: cp,
+        productive_time: r,
+    }
+}
+
+proptest! {
+    /// ETTR stays in [0, 1] and is monotone: worse failure rates, longer
+    /// checkpoints, longer queues all reduce it.
+    #[test]
+    fn ettr_bounded_and_monotone(
+        nodes in 1u32..20_000,
+        r_f in 1e-5f64..2e-2,
+        q in 0.0f64..0.2,
+        u0 in 0.0f64..0.05,
+        cp in 1e-4f64..0.2,
+        r in 0.5f64..30.0,
+    ) {
+        let p = params(nodes, r_f, q, u0, cp, r);
+        let e = expected_ettr(&p);
+        prop_assert!((0.0..=1.0).contains(&e));
+        let worse_rate = expected_ettr(&params(nodes, r_f * 2.0, q, u0, cp, r));
+        prop_assert!(worse_rate <= e + 1e-12);
+        let worse_cp = expected_ettr(&params(nodes, r_f, q, u0, cp * 2.0, r));
+        prop_assert!(worse_cp <= e + 1e-12);
+        let worse_q = expected_ettr(&params(nodes, r_f, q + 0.1, u0, cp, r));
+        prop_assert!(worse_q <= e + 1e-12);
+        // The simplified form ignores queueing, so it upper-bounds the
+        // full formula.
+        prop_assert!(expected_ettr_simplified(&p) >= e - 1e-12);
+    }
+
+    /// The requirement solver is consistent: the solved interval achieves
+    /// the target, and a 2x longer interval does not.
+    #[test]
+    fn requirement_solver_consistent(
+        gpus in 1_000u32..200_000,
+        r_f in 5e-4f64..1e-2,
+        target in 0.3f64..0.95,
+    ) {
+        if let Some(mins) = max_coupled_interval_mins(gpus, r_f, target, 1.0, 7.0) {
+            let eval = |cp: f64| {
+                expected_ettr(&params(
+                    gpus.div_ceil(8),
+                    r_f,
+                    1.0 / 60.0 / 24.0,
+                    cp / 60.0 / 24.0,
+                    cp / 60.0 / 24.0,
+                    7.0,
+                ))
+            };
+            prop_assert!(eval(mins) >= target - 1e-6, "solved interval misses target");
+            if mins < 12.0 * 60.0 {
+                prop_assert!(eval(mins * 2.0) < target + 1e-6);
+            }
+        }
+    }
+
+    /// Gamma CIs bracket the point estimate and shrink with more data.
+    #[test]
+    fn gamma_ci_brackets(failures in 1u64..5000, mttf in 0.1f64..1000.0) {
+        let exposure = failures as f64 * mttf;
+        let (lo, hi) = gamma_mttf_ci(failures, exposure, 0.90).expect("valid inputs");
+        prop_assert!(lo <= mttf && mttf <= hi, "({lo}, {mttf}, {hi})");
+        let (lo4, hi4) = gamma_mttf_ci(failures * 4, exposure * 4.0, 0.90).expect("valid");
+        prop_assert!((hi4 - lo4) <= (hi - lo) * 1.01);
+    }
+
+    /// MTTF projection is inverse in node count (up to the 1-second
+    /// quantization of `SimDuration`).
+    #[test]
+    fn projection_inverse_scaling(r_f in 1e-4f64..1e-2, servers in 1u32..10_000) {
+        let proj = MttfProjection::new(r_f);
+        let one = proj.mttf_hours(8);
+        let many = proj.mttf_hours(8 * servers);
+        // The small-side MTTF is quantized to whole seconds; allow that.
+        let quantization = 1.0 / (many * 3600.0);
+        let tol = servers as f64 * (1e-6 + 2.0 * quantization);
+        prop_assert!((one / many - servers as f64).abs() < tol);
+    }
+
+    /// Size bucketing: the bucket always contains the rounded size and is
+    /// a power-of-two number of servers.
+    #[test]
+    fn buckets_contain_size(gpus in 1u32..100_000) {
+        let rounded = round_up_to_server(gpus);
+        prop_assert!(rounded >= gpus && rounded.is_multiple_of(8));
+        let bucket = power_of_two_bucket(gpus);
+        prop_assert!(bucket >= rounded);
+        prop_assert!((bucket / 8).is_power_of_two());
+    }
+
+    /// Measured job-run ETTR is in [0, 1] for any run shape.
+    #[test]
+    fn measured_ettr_bounded(
+        attempts in 1u32..50,
+        sched_hours in 1u64..2000,
+        queued_hours in 0u64..500,
+        cp_mins in 1u64..240,
+        u0_mins in 0u64..60,
+    ) {
+        let run = JobRun {
+            gpus: 256,
+            qos: QosClass::High,
+            attempts,
+            scheduled: SimDuration::from_hours(sched_hours),
+            queued: SimDuration::from_hours(queued_hours),
+            final_status: JobStatus::Completed,
+        };
+        let e = run.measured_ettr(
+            SimDuration::from_mins(cp_mins),
+            SimDuration::from_mins(u0_mins),
+        );
+        prop_assert!((0.0..=1.0).contains(&e));
+        // More interruptions never increase measured ETTR.
+        let worse = JobRun { attempts: attempts + 5, ..run };
+        let e2 = worse.measured_ettr(
+            SimDuration::from_mins(cp_mins),
+            SimDuration::from_mins(u0_mins),
+        );
+        prop_assert!(e2 <= e + 1e-12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Co-occurring signal expansion.
+//!
+//! The paper observes (§III) that one physical fault raises several
+//! overlapping telemetry signals: on RSC-1, 43% of PCIe errors co-occur
+//! with XID 79 ("GPU fell off the bus") and 21% with both XID 79 and an
+//! IPMI "Critical Interrupt"; on RSC-2 the figures are 63% and 49%. IB-link
+//! failures co-occur with GPU falling off the bus 2% (RSC-1) / 6% (RSC-2)
+//! of the time. This module expands a [`FailureEvent`] into its raw signal
+//! fan-out, which health checks then observe independently.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::gpu::XidError;
+use rsc_sim_core::rng::SimRng;
+
+use crate::injector::FailureEvent;
+use crate::signals::{NodeSignal, SignalKind};
+use crate::taxonomy::FailureSymptom;
+
+/// Cluster-specific co-occurrence probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CooccurrenceProfile {
+    /// P(XID 79 | PCIe error).
+    pub pcie_xid79: f64,
+    /// P(XID 79 ∧ IPMI critical | PCIe error); must be ≤ `pcie_xid79`.
+    pub pcie_all_three: f64,
+    /// P(GPU-off-bus signal | IB link failure).
+    pub iblink_gpu: f64,
+    /// P(PCIe error signal | GPU unavailable).
+    pub gpu_unavail_pcie: f64,
+    /// P(row-remap XID | GPU memory error).
+    pub gpumem_rowremap: f64,
+}
+
+impl CooccurrenceProfile {
+    /// RSC-1 co-occurrence rates from the paper.
+    pub fn rsc1() -> Self {
+        CooccurrenceProfile {
+            pcie_xid79: 0.43,
+            pcie_all_three: 0.21,
+            iblink_gpu: 0.02,
+            gpu_unavail_pcie: 0.57,
+            gpumem_rowremap: 0.30,
+        }
+    }
+
+    /// RSC-2 co-occurrence rates from the paper.
+    pub fn rsc2() -> Self {
+        CooccurrenceProfile {
+            pcie_xid79: 0.63,
+            pcie_all_three: 0.49,
+            iblink_gpu: 0.06,
+            gpu_unavail_pcie: 0.37,
+            gpumem_rowremap: 0.30,
+        }
+    }
+
+    /// Expands a failure event into the set of raw signals it raises.
+    ///
+    /// The primary signal for the mode is always present; correlated
+    /// signals are sampled per the profile. The returned set is never
+    /// empty for observable modes, and contains exactly
+    /// [`SignalKind::NodeUnresponsive`] for unobservable hangs.
+    pub fn expand(&self, event: &FailureEvent, rng: &mut SimRng) -> Vec<NodeSignal> {
+        let mut kinds: Vec<SignalKind> = Vec::with_capacity(3);
+        match event.symptom {
+            FailureSymptom::PcieError => {
+                kinds.push(SignalKind::PcieError);
+                if rng.chance(self.pcie_xid79) {
+                    kinds.push(SignalKind::Xid(XidError::FallenOffBus));
+                    // P(IPMI | XID79 fired) = all_three / xid79.
+                    if rng.chance(self.pcie_all_three / self.pcie_xid79) {
+                        kinds.push(SignalKind::IpmiCriticalInterrupt);
+                    }
+                }
+            }
+            FailureSymptom::GpuUnavailable => {
+                kinds.push(SignalKind::Xid(XidError::FallenOffBus));
+                if rng.chance(self.gpu_unavail_pcie) {
+                    kinds.push(SignalKind::PcieError);
+                }
+            }
+            FailureSymptom::GpuMemoryError => {
+                kinds.push(SignalKind::Xid(XidError::DoubleBitEcc));
+                if rng.chance(self.gpumem_rowremap) {
+                    kinds.push(SignalKind::Xid(XidError::RowRemapFailure));
+                }
+            }
+            FailureSymptom::GpuNvlinkError => kinds.push(SignalKind::Xid(XidError::NvlinkError)),
+            FailureSymptom::GspTimeout => kinds.push(SignalKind::Xid(XidError::GspTimeout)),
+            FailureSymptom::GpuDriverFirmwareError => {
+                kinds.push(SignalKind::Xid(XidError::Other(13)))
+            }
+            FailureSymptom::InfinibandLink => {
+                kinds.push(SignalKind::IbLinkError);
+                if rng.chance(self.iblink_gpu) {
+                    kinds.push(SignalKind::Xid(XidError::FallenOffBus));
+                }
+            }
+            FailureSymptom::FilesystemMount => kinds.push(SignalKind::FsMountMissing),
+            FailureSymptom::MainMemoryError => kinds.push(SignalKind::MainMemoryError),
+            FailureSymptom::EthlinkError => kinds.push(SignalKind::EthLinkError),
+            FailureSymptom::SystemService => kinds.push(SignalKind::ServiceFailure),
+            FailureSymptom::NcclTimeout => kinds.push(SignalKind::NodeUnresponsive),
+            FailureSymptom::Oom => {}
+        }
+        kinds
+            .into_iter()
+            .map(|kind| NodeSignal {
+                node: event.node,
+                kind,
+                at: event.at,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ModeId;
+    use rsc_cluster::ids::NodeId;
+    use rsc_sim_core::time::SimTime;
+
+    fn event(symptom: FailureSymptom) -> FailureEvent {
+        FailureEvent {
+            at: SimTime::from_hours(1),
+            node: NodeId::new(0),
+            mode: ModeId(0),
+            symptom,
+            permanent: false,
+        }
+    }
+
+    fn count_expansions(
+        profile: &CooccurrenceProfile,
+        symptom: FailureSymptom,
+        n: usize,
+        pred: impl Fn(&[NodeSignal]) -> bool,
+    ) -> f64 {
+        let mut rng = SimRng::seed_from(42);
+        let ev = event(symptom);
+        let hits = (0..n)
+            .filter(|_| pred(&profile.expand(&ev, &mut rng)))
+            .count();
+        hits as f64 / n as f64
+    }
+
+    fn has(signals: &[NodeSignal], kind: SignalKind) -> bool {
+        signals.iter().any(|s| s.kind == kind)
+    }
+
+    #[test]
+    fn pcie_cooccurrence_matches_rsc1() {
+        let p = CooccurrenceProfile::rsc1();
+        let xid79_frac = count_expansions(&p, FailureSymptom::PcieError, 20_000, |s| {
+            has(s, SignalKind::Xid(XidError::FallenOffBus))
+        });
+        assert!((xid79_frac - 0.43).abs() < 0.02, "xid79={xid79_frac}");
+
+        let all3_frac = count_expansions(&p, FailureSymptom::PcieError, 20_000, |s| {
+            has(s, SignalKind::Xid(XidError::FallenOffBus))
+                && has(s, SignalKind::IpmiCriticalInterrupt)
+                && has(s, SignalKind::PcieError)
+        });
+        assert!((all3_frac - 0.21).abs() < 0.02, "all3={all3_frac}");
+    }
+
+    #[test]
+    fn pcie_cooccurrence_matches_rsc2() {
+        let p = CooccurrenceProfile::rsc2();
+        let xid79_frac = count_expansions(&p, FailureSymptom::PcieError, 20_000, |s| {
+            has(s, SignalKind::Xid(XidError::FallenOffBus))
+        });
+        assert!((xid79_frac - 0.63).abs() < 0.02, "xid79={xid79_frac}");
+    }
+
+    #[test]
+    fn primary_signal_always_present() {
+        let p = CooccurrenceProfile::rsc1();
+        let mut rng = SimRng::seed_from(1);
+        for symptom in FailureSymptom::ALL {
+            if symptom == FailureSymptom::Oom {
+                continue;
+            }
+            let signals = p.expand(&event(symptom), &mut rng);
+            assert!(!signals.is_empty(), "{symptom} produced no signals");
+        }
+    }
+
+    #[test]
+    fn hang_mode_only_raises_unresponsive() {
+        let p = CooccurrenceProfile::rsc1();
+        let mut rng = SimRng::seed_from(2);
+        let signals = p.expand(&event(FailureSymptom::NcclTimeout), &mut rng);
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].kind, SignalKind::NodeUnresponsive);
+    }
+
+    #[test]
+    fn signals_carry_event_metadata() {
+        let p = CooccurrenceProfile::rsc1();
+        let mut rng = SimRng::seed_from(3);
+        let ev = event(FailureSymptom::MainMemoryError);
+        let signals = p.expand(&ev, &mut rng);
+        assert_eq!(signals[0].node, ev.node);
+        assert_eq!(signals[0].at, ev.at);
+    }
+}

@@ -1,0 +1,259 @@
+//! Lemon nodes: servers with recurring, correlated failures.
+//!
+//! The paper (§IV-A) found 40 such nodes across both clusters — 1.2% of
+//! RSC-1 and 1.7% of RSC-2 — whose repeat failures existing health checks
+//! could not pin down. Table II gives the root-cause breakdown after manual
+//! diagnosis. Here we *plant* lemons with known ground truth so the
+//! detection pipeline (in `rsc-core`) can be evaluated quantitatively.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::component::ComponentKind;
+use rsc_cluster::ids::NodeId;
+use rsc_sim_core::rng::{SimRng, WeightedIndex};
+
+use crate::process::HazardSchedule;
+use crate::taxonomy::FailureSymptom;
+
+/// Table II of the paper: root causes of diagnosed lemon nodes and their
+/// fractions (percent).
+pub const ROOT_CAUSE_TABLE: [(ComponentKind, f64); 9] = [
+    (ComponentKind::Optics, 2.6),
+    (ComponentKind::Cpu, 2.6),
+    (ComponentKind::Psu, 5.1),
+    (ComponentKind::Nic, 7.7),
+    (ComponentKind::Eud, 10.3),
+    (ComponentKind::Pcie, 15.4),
+    (ComponentKind::Dimm, 20.5),
+    (ComponentKind::Gpu, 28.2),
+    (ComponentKind::Bios, 7.7),
+];
+
+/// A planted lemon node with known ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LemonNode {
+    /// The afflicted node.
+    pub node: NodeId,
+    /// The true root cause (sampled from Table II).
+    pub root_cause: ComponentKind,
+    /// The lemon's *added* failure rate, failures per day, spread across
+    /// the modes its root-cause component drives. Targeting a rate rather
+    /// than a bare multiplier keeps lemons comparably sick no matter how
+    /// rare their root cause's base mode is.
+    pub extra_rate_per_day: f64,
+}
+
+/// The set of lemons planted in a simulation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LemonPlan {
+    lemons: Vec<LemonNode>,
+}
+
+impl LemonPlan {
+    /// No lemons.
+    pub fn none() -> Self {
+        LemonPlan::default()
+    }
+
+    /// Plants `count` lemons on distinct nodes chosen uniformly from
+    /// `0..num_nodes`, with root causes drawn from Table II and extra
+    /// failure rates lognormal around ~0.12 failures/day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > num_nodes`.
+    pub fn plant(rng: &mut SimRng, num_nodes: u32, count: usize) -> Self {
+        Self::plant_with_rate(rng, num_nodes, count, 0.12)
+    }
+
+    /// [`Self::plant`] with an explicit median extra failure rate
+    /// (failures per day) — lets scenarios trade lemon severity against
+    /// the background rate while keeping the observed total fixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > num_nodes` or the rate is not positive.
+    pub fn plant_with_rate(
+        rng: &mut SimRng,
+        num_nodes: u32,
+        count: usize,
+        median_rate_per_day: f64,
+    ) -> Self {
+        assert!(count as u32 <= num_nodes, "more lemons than nodes");
+        assert!(
+            median_rate_per_day > 0.0 && median_rate_per_day.is_finite(),
+            "median rate must be positive"
+        );
+        let cause_dist = WeightedIndex::new(ROOT_CAUSE_TABLE.iter().map(|&(_, w)| w))
+            .expect("Table II weights are valid");
+        let mut chosen: Vec<u32> = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let candidate = rng.below(num_nodes as u64) as u32;
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        let lemons = chosen
+            .into_iter()
+            .map(|idx| {
+                let root_cause = ROOT_CAUSE_TABLE[cause_dist.sample(rng)].0;
+                // Lognormal, sigma 0.5: at the default 0.12/day median a
+                // typical lemon fails a job every week or two — roughly
+                // 20–40× a healthy node's total rate, concentrated in its
+                // root cause's modes.
+                let extra_rate_per_day = rng.lognormal(median_rate_per_day.ln(), 0.5);
+                LemonNode {
+                    node: NodeId::new(idx),
+                    root_cause,
+                    extra_rate_per_day,
+                }
+            })
+            .collect();
+        LemonPlan { lemons }
+    }
+
+    /// The planted lemons.
+    pub fn lemons(&self) -> &[LemonNode] {
+        &self.lemons
+    }
+
+    /// Whether a node is a planted lemon.
+    pub fn is_lemon(&self, node: NodeId) -> bool {
+        self.lemons.iter().any(|l| l.node == node)
+    }
+
+    /// The ground-truth lemon node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.lemons.iter().map(|l| l.node).collect()
+    }
+
+    /// Applies the plan to a hazard schedule: each lemon's extra rate is
+    /// converted into per-mode multipliers over the modes its root-cause
+    /// component drives, proportionally to their base rates.
+    pub fn apply(&self, schedule: &mut HazardSchedule) {
+        for lemon in &self.lemons {
+            let modes: Vec<_> = symptoms_for_cause(lemon.root_cause)
+                .iter()
+                .filter_map(|s| schedule.mode_by_symptom(*s))
+                .collect();
+            let base_sum: f64 = modes
+                .iter()
+                .map(|&m| schedule.catalog().mode(m).rate_per_node_day)
+                .sum();
+            if base_sum <= 0.0 {
+                continue;
+            }
+            // base × factor = base + extra  ⇒  factor = 1 + extra/base.
+            let factor = 1.0 + lemon.extra_rate_per_day / base_sum;
+            for mode in modes {
+                schedule.add_node_multiplier(lemon.node, mode, factor);
+            }
+        }
+    }
+
+    /// Root-cause histogram over the planted lemons, as `(kind, count)`.
+    pub fn root_cause_counts(&self) -> Vec<(ComponentKind, usize)> {
+        ROOT_CAUSE_TABLE
+            .iter()
+            .map(|&(kind, _)| {
+                let n = self.lemons.iter().filter(|l| l.root_cause == kind).count();
+                (kind, n)
+            })
+            .collect()
+    }
+}
+
+/// Failure symptoms a defective component of the given kind produces.
+///
+/// Components without a dedicated failure mode (PSU, BIOS, EUD, CPU) map
+/// onto the symptoms they would present as — typically hangs
+/// (NODE_FAIL-only) or GPU unavailability.
+pub fn symptoms_for_cause(kind: ComponentKind) -> &'static [FailureSymptom] {
+    use FailureSymptom::*;
+    match kind {
+        ComponentKind::Gpu => &[GpuMemoryError, GpuUnavailable, GpuNvlinkError],
+        ComponentKind::Dimm => &[MainMemoryError],
+        ComponentKind::Pcie => &[PcieError, GpuUnavailable],
+        ComponentKind::Nic => &[EthlinkError, FilesystemMount],
+        ComponentKind::Optics => &[InfinibandLink],
+        ComponentKind::Psu => &[NcclTimeout, GpuUnavailable],
+        ComponentKind::Cpu => &[SystemService, NcclTimeout],
+        ComponentKind::Bios => &[GpuUnavailable, GpuDriverFirmwareError],
+        ComponentKind::Eud => &[SystemService],
+        ComponentKind::NvSwitch => &[GpuNvlinkError],
+        ComponentKind::BlockDevice => &[FilesystemMount],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ModeCatalog;
+
+    #[test]
+    fn plants_requested_count_on_distinct_nodes() {
+        let mut rng = SimRng::seed_from(1);
+        let plan = LemonPlan::plant(&mut rng, 1000, 24);
+        assert_eq!(plan.lemons().len(), 24);
+        let mut ids = plan.node_ids();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+    }
+
+    #[test]
+    fn root_causes_follow_table_two_roughly() {
+        let mut rng = SimRng::seed_from(2);
+        let plan = LemonPlan::plant(&mut rng, 100_000, 5_000);
+        let counts = plan.root_cause_counts();
+        let gpu = counts
+            .iter()
+            .find(|(k, _)| *k == ComponentKind::Gpu)
+            .unwrap()
+            .1 as f64
+            / 5_000.0;
+        // Table II says 28.2% GPU.
+        assert!((gpu - 0.282).abs() < 0.03, "gpu fraction={gpu}");
+    }
+
+    #[test]
+    fn extra_rates_are_meaningful() {
+        let mut rng = SimRng::seed_from(3);
+        let plan = LemonPlan::plant(&mut rng, 1000, 40);
+        for l in plan.lemons() {
+            assert!(l.extra_rate_per_day > 0.01, "lemon extra rate too small: {}", l.extra_rate_per_day);
+        }
+    }
+
+    #[test]
+    fn apply_raises_rates_only_for_lemons() {
+        let mut rng = SimRng::seed_from(4);
+        let plan = LemonPlan::plant(&mut rng, 100, 5);
+        let mut schedule = HazardSchedule::new(ModeCatalog::rsc1());
+        plan.apply(&mut schedule);
+        let lemon = plan.lemons()[0].clone();
+        let symptom = symptoms_for_cause(lemon.root_cause)[0];
+        let mode = schedule.mode_by_symptom(symptom).unwrap();
+        let healthy = (0..100)
+            .map(NodeId::new)
+            .find(|n| !plan.is_lemon(*n))
+            .unwrap();
+        let lemon_rate = schedule.rate(lemon.node, mode, rsc_sim_core::time::SimTime::ZERO);
+        let healthy_rate = schedule.rate(healthy, mode, rsc_sim_core::time::SimTime::ZERO);
+        assert!(lemon_rate > 3.0 * healthy_rate);
+    }
+
+    #[test]
+    fn every_component_maps_to_symptoms() {
+        for kind in ComponentKind::ALL {
+            assert!(!symptoms_for_cause(kind).is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more lemons than nodes")]
+    fn too_many_lemons_rejected() {
+        let mut rng = SimRng::seed_from(5);
+        let _ = LemonPlan::plant(&mut rng, 3, 4);
+    }
+}

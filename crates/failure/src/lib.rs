@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Failure modelling for the `rsc-reliability` workspace.
+//!
+//! Implements the paper's failure taxonomy (Table I), per-mode hazard
+//! processes with time-varying "era" effects (Fig. 5), planted lemon nodes
+//! with the Table II root-cause mix, and the co-occurring signal structure
+//! observed in production (PCIe ↔ XID 79 ↔ IPMI).
+//!
+//! The central flow:
+//!
+//! 1. build a [`modes::ModeCatalog`] (calibrated failure rates per cause),
+//! 2. wrap it in a [`process::HazardSchedule`] and layer on eras and
+//!    [`lemon::LemonPlan`] multipliers,
+//! 3. feed it to a [`injector::FailureInjector`] to get the deterministic
+//!    failure event stream,
+//! 4. expand each event into raw node signals with a
+//!    [`cooccur::CooccurrenceProfile`].
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_failure::injector::FailureInjector;
+//! use rsc_failure::modes::ModeCatalog;
+//! use rsc_failure::process::HazardSchedule;
+//! use rsc_sim_core::rng::SimRng;
+//! use rsc_sim_core::time::SimTime;
+//!
+//! let schedule = HazardSchedule::new(ModeCatalog::rsc1());
+//! let mut injector = FailureInjector::new(schedule, 128, SimRng::seed_from(7));
+//! let failures = injector.drain_until(SimTime::from_days(30));
+//! // ~128 nodes * 30 days * 6.5e-3 ≈ 25 failures.
+//! assert!(!failures.is_empty());
+//! ```
+
+pub mod cooccur;
+pub mod injector;
+pub mod lemon;
+pub mod modes;
+pub mod process;
+pub mod signals;
+pub mod taxonomy;
+
+pub use cooccur::CooccurrenceProfile;
+pub use injector::{FailureEvent, FailureInjector};
+pub use lemon::{LemonNode, LemonPlan};
+pub use modes::{ModeCatalog, ModeId, ModeSpec, Severity};
+pub use process::{HazardSchedule, NodeFilter, RateModifier};
+pub use signals::{NodeSignal, SignalKind};
+pub use taxonomy::{FailureDomain, FailureSymptom};

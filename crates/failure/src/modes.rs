@@ -1,0 +1,285 @@
+//! Injectable hardware/system failure modes and their per-cluster rates.
+//!
+//! Each mode corresponds to an attributed-failure category from the paper's
+//! Fig. 4, carries the component it damages, the primary symptom it
+//! manifests as, the probability the damage is permanent (vendor repair)
+//! versus transient (reset clears it), and its share of the cluster's total
+//! node failure rate.
+//!
+//! The totals are calibrated so RSC-1 ≈ 6.50 and RSC-2 ≈ 2.34 failures per
+//! 1000 node-days (paper §III).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::component::ComponentKind;
+
+use crate::taxonomy::FailureSymptom;
+
+/// How urgently a failing node must leave service (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Remove the node and reschedule its jobs immediately.
+    High,
+    /// Remove the node for remediation after the running job finishes.
+    Low,
+}
+
+/// One injectable failure mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeSpec {
+    /// The primary symptom this mode manifests as.
+    pub symptom: FailureSymptom,
+    /// The component damaged (drives repair/GPU-swap behaviour).
+    pub component: ComponentKind,
+    /// Base rate, failures per node-day, before era/lemon multipliers.
+    pub rate_per_node_day: f64,
+    /// Probability a given event permanently damages the component.
+    pub permanent_prob: f64,
+    /// Health-check severity when this mode is detected.
+    pub severity: Severity,
+    /// Whether any health check can observe this mode at all. Unobservable
+    /// modes surface only as NODE_FAIL heartbeat losses and stay
+    /// *unattributed* in the analysis (paper Fig. 4's "unattributed" mass).
+    pub observable: bool,
+}
+
+/// Identifier of a mode within a [`ModeCatalog`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModeId(pub usize);
+
+impl std::fmt::Display for ModeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mode{}", self.0)
+    }
+}
+
+/// The set of failure modes active on a cluster, with calibrated rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeCatalog {
+    modes: Vec<ModeSpec>,
+}
+
+impl ModeCatalog {
+    /// Builds a catalog from explicit mode specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or probability is out of range.
+    pub fn new(modes: Vec<ModeSpec>) -> Self {
+        for m in &modes {
+            assert!(
+                m.rate_per_node_day >= 0.0 && m.rate_per_node_day.is_finite(),
+                "invalid rate for {:?}",
+                m.symptom
+            );
+            assert!(
+                (0.0..=1.0).contains(&m.permanent_prob),
+                "invalid permanent_prob for {:?}",
+                m.symptom
+            );
+        }
+        ModeCatalog { modes }
+    }
+
+    /// The RSC-1 catalog: total ≈ 6.50 failures per 1000 node-days, with
+    /// category shares shaped like Fig. 4a (IB links, filesystem mounts,
+    /// GPU memory, and PCIe dominate; a large unattributed mass).
+    pub fn rsc1() -> Self {
+        Self::from_shares(6.50e-3, &RSC1_SHARES)
+    }
+
+    /// The RSC-2 catalog: total ≈ 2.34 failures per 1000 node-days, tilted
+    /// away from filesystem mounts relative to RSC-1 (Fig. 4b).
+    pub fn rsc2() -> Self {
+        Self::from_shares(2.34e-3, &RSC2_SHARES)
+    }
+
+    /// Builds a catalog by distributing `total_rate` (failures per node-day)
+    /// across the standard modes according to `shares`.
+    fn from_shares(total_rate: f64, shares: &[(FailureSymptom, f64)]) -> Self {
+        let modes = shares
+            .iter()
+            .map(|&(symptom, share)| {
+                let proto = prototype(symptom);
+                ModeSpec {
+                    rate_per_node_day: total_rate * share,
+                    ..proto
+                }
+            })
+            .collect();
+        ModeCatalog::new(modes)
+    }
+
+    /// A copy with every mode's rate multiplied by `factor` — e.g. the
+    /// lemon-free *residual* background when planted lemons are meant to
+    /// account for part of the observed total rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is negative or non-finite.
+    pub fn scaled_rates(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite(), "invalid scale factor");
+        ModeCatalog::new(
+            self.modes
+                .iter()
+                .map(|m| ModeSpec {
+                    rate_per_node_day: m.rate_per_node_day * factor,
+                    ..m.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// All modes.
+    pub fn modes(&self) -> &[ModeSpec] {
+        &self.modes
+    }
+
+    /// A mode by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn mode(&self, id: ModeId) -> &ModeSpec {
+        &self.modes[id.0]
+    }
+
+    /// Iterator over `(ModeId, &ModeSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ModeId, &ModeSpec)> {
+        self.modes.iter().enumerate().map(|(i, m)| (ModeId(i), m))
+    }
+
+    /// Sum of base rates, failures per node-day.
+    pub fn total_rate(&self) -> f64 {
+        self.modes.iter().map(|m| m.rate_per_node_day).sum()
+    }
+
+    /// The mode whose primary symptom matches, if present.
+    pub fn find_by_symptom(&self, symptom: FailureSymptom) -> Option<ModeId> {
+        self.modes
+            .iter()
+            .position(|m| m.symptom == symptom)
+            .map(ModeId)
+    }
+}
+
+/// Category shares for RSC-1 (fraction of the total failure rate).
+const RSC1_SHARES: [(FailureSymptom, f64); 12] = [
+    (FailureSymptom::InfinibandLink, 0.17),
+    (FailureSymptom::FilesystemMount, 0.15),
+    (FailureSymptom::GpuMemoryError, 0.14),
+    (FailureSymptom::PcieError, 0.10),
+    (FailureSymptom::GpuUnavailable, 0.08),
+    (FailureSymptom::GspTimeout, 0.06),
+    (FailureSymptom::GpuNvlinkError, 0.04),
+    (FailureSymptom::MainMemoryError, 0.03),
+    (FailureSymptom::EthlinkError, 0.02),
+    (FailureSymptom::SystemService, 0.02),
+    (FailureSymptom::GpuDriverFirmwareError, 0.02),
+    // Modelled as an unobservable node hang: becomes NODE_FAIL with no
+    // attributable health event.
+    (FailureSymptom::NcclTimeout, 0.17),
+];
+
+/// Category shares for RSC-2: fewer filesystem-mount and GSP failures,
+/// relatively more GPU memory errors (vision workloads tax HBM).
+const RSC2_SHARES: [(FailureSymptom, f64); 12] = [
+    (FailureSymptom::InfinibandLink, 0.15),
+    (FailureSymptom::FilesystemMount, 0.06),
+    (FailureSymptom::GpuMemoryError, 0.20),
+    (FailureSymptom::PcieError, 0.12),
+    (FailureSymptom::GpuUnavailable, 0.09),
+    (FailureSymptom::GspTimeout, 0.03),
+    (FailureSymptom::GpuNvlinkError, 0.05),
+    (FailureSymptom::MainMemoryError, 0.04),
+    (FailureSymptom::EthlinkError, 0.02),
+    (FailureSymptom::SystemService, 0.03),
+    (FailureSymptom::GpuDriverFirmwareError, 0.02),
+    (FailureSymptom::NcclTimeout, 0.19),
+];
+
+/// Default (rate-less) spec for each standard mode.
+fn prototype(symptom: FailureSymptom) -> ModeSpec {
+    use FailureSymptom::*;
+    let (component, permanent_prob, severity, observable) = match symptom {
+        InfinibandLink => (ComponentKind::Optics, 0.25, Severity::High, true),
+        FilesystemMount => (ComponentKind::Nic, 0.05, Severity::High, true),
+        GpuMemoryError => (ComponentKind::Gpu, 0.35, Severity::High, true),
+        PcieError => (ComponentKind::Pcie, 0.30, Severity::High, true),
+        GpuUnavailable => (ComponentKind::Gpu, 0.40, Severity::High, true),
+        GspTimeout => (ComponentKind::Gpu, 0.02, Severity::Low, true),
+        GpuNvlinkError => (ComponentKind::NvSwitch, 0.25, Severity::High, true),
+        MainMemoryError => (ComponentKind::Dimm, 0.30, Severity::High, true),
+        EthlinkError => (ComponentKind::Nic, 0.15, Severity::Low, true),
+        SystemService => (ComponentKind::Cpu, 0.02, Severity::Low, true),
+        GpuDriverFirmwareError => (ComponentKind::Gpu, 0.03, Severity::Low, true),
+        // A hard node hang: no health check fires, only the scheduler
+        // heartbeat notices (NODE_FAIL).
+        NcclTimeout => (ComponentKind::Cpu, 0.10, Severity::High, false),
+        Oom => (ComponentKind::Cpu, 0.0, Severity::Low, true),
+    };
+    ModeSpec {
+        symptom,
+        component,
+        rate_per_node_day: 0.0,
+        permanent_prob,
+        severity,
+        observable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsc1_total_rate_matches_paper() {
+        let cat = ModeCatalog::rsc1();
+        assert!((cat.total_rate() - 6.50e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rsc2_total_rate_matches_paper() {
+        let cat = ModeCatalog::rsc2();
+        assert!((cat.total_rate() - 2.34e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for shares in [&RSC1_SHARES, &RSC2_SHARES] {
+            let sum: f64 = shares.iter().map(|(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum={sum}");
+        }
+    }
+
+    #[test]
+    fn unattributed_mode_is_unobservable() {
+        let cat = ModeCatalog::rsc1();
+        let id = cat.find_by_symptom(FailureSymptom::NcclTimeout).unwrap();
+        assert!(!cat.mode(id).observable);
+    }
+
+    #[test]
+    fn find_by_symptom() {
+        let cat = ModeCatalog::rsc1();
+        let id = cat.find_by_symptom(FailureSymptom::PcieError).unwrap();
+        assert_eq!(cat.mode(id).symptom, FailureSymptom::PcieError);
+        assert_eq!(cat.find_by_symptom(FailureSymptom::Oom), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid permanent_prob")]
+    fn rejects_bad_probability() {
+        let mut spec = prototype(FailureSymptom::PcieError);
+        spec.permanent_prob = 1.5;
+        let _ = ModeCatalog::new(vec![spec]);
+    }
+
+    #[test]
+    fn iter_yields_dense_ids() {
+        let cat = ModeCatalog::rsc1();
+        for (i, (id, _)) in cat.iter().enumerate() {
+            assert_eq!(id, ModeId(i));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Time-varying hazard schedules.
+//!
+//! The paper's Fig. 5 shows that cluster failure rate is *not* stationary:
+//! driver regressions come and go, a handful of nodes caused an InfiniBand
+//! link spike in one summer month, and new health checks surface previously
+//! invisible failure modes. We model this with piecewise-constant rate
+//! multipliers layered over the base [`ModeCatalog`] rates, plus per-node
+//! multipliers for lemon nodes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+use rsc_sim_core::time::SimTime;
+
+use crate::modes::{ModeCatalog, ModeId};
+use crate::taxonomy::FailureSymptom;
+
+/// Which nodes a rate modifier applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeFilter {
+    /// All nodes in the cluster.
+    All,
+    /// An explicit set of nodes (e.g. the "handful of offending nodes" in
+    /// the paper's IB-link spike).
+    Set(Vec<NodeId>),
+}
+
+impl NodeFilter {
+    /// Whether the filter matches a node.
+    pub fn matches(&self, node: NodeId) -> bool {
+        match self {
+            NodeFilter::All => true,
+            NodeFilter::Set(set) => set.contains(&node),
+        }
+    }
+}
+
+/// A piecewise-constant multiplicative adjustment to one failure mode's
+/// rate over a time window ("era").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateModifier {
+    /// The mode affected.
+    pub mode: ModeId,
+    /// Nodes affected.
+    pub nodes: NodeFilter,
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive); use [`SimTime::MAX`] for open-ended.
+    pub until: SimTime,
+    /// Rate multiplier within the window (may be < 1 for fixes).
+    pub multiplier: f64,
+}
+
+impl RateModifier {
+    /// Whether this modifier is active for `(node, mode)` at time `t`.
+    fn applies(&self, node: NodeId, mode: ModeId, t: SimTime) -> bool {
+        self.mode == mode && t >= self.from && t < self.until && self.nodes.matches(node)
+    }
+}
+
+/// The full hazard model: base mode rates, era modifiers, and per-node
+/// (lemon) multipliers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HazardSchedule {
+    catalog: ModeCatalog,
+    modifiers: Vec<RateModifier>,
+    /// Lemon multipliers: (node, mode) → factor.
+    node_multipliers: HashMap<(NodeId, ModeId), f64>,
+}
+
+impl HazardSchedule {
+    /// Creates a schedule with no era or lemon effects.
+    pub fn new(catalog: ModeCatalog) -> Self {
+        HazardSchedule {
+            catalog,
+            modifiers: Vec::new(),
+            node_multipliers: HashMap::new(),
+        }
+    }
+
+    /// The underlying mode catalog.
+    pub fn catalog(&self) -> &ModeCatalog {
+        &self.catalog
+    }
+
+    /// Adds an era modifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the multiplier is negative or non-finite.
+    pub fn add_modifier(&mut self, modifier: RateModifier) {
+        assert!(
+            modifier.multiplier >= 0.0 && modifier.multiplier.is_finite(),
+            "multiplier must be non-negative and finite"
+        );
+        self.modifiers.push(modifier);
+    }
+
+    /// Multiplies the rate of `mode` on `node` by `factor` for the whole
+    /// simulation (the lemon-node mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is negative or non-finite.
+    pub fn add_node_multiplier(&mut self, node: NodeId, mode: ModeId, factor: f64) {
+        assert!(factor >= 0.0 && factor.is_finite(), "factor must be non-negative");
+        *self.node_multipliers.entry((node, mode)).or_insert(1.0) *= factor;
+    }
+
+    /// The instantaneous failure rate (per node-day) for `(node, mode)` at
+    /// time `t`.
+    pub fn rate(&self, node: NodeId, mode: ModeId, t: SimTime) -> f64 {
+        let mut r = self.catalog.mode(mode).rate_per_node_day;
+        for m in &self.modifiers {
+            if m.applies(node, mode, t) {
+                r *= m.multiplier;
+            }
+        }
+        if let Some(&f) = self.node_multipliers.get(&(node, mode)) {
+            r *= f;
+        }
+        r
+    }
+
+    /// An upper bound on [`Self::rate`] over all time, used as the thinning
+    /// envelope by the injector.
+    pub fn max_rate(&self, node: NodeId, mode: ModeId) -> f64 {
+        let mut r = self.catalog.mode(mode).rate_per_node_day;
+        // Overlapping windows could compound; multiply all >1 multipliers
+        // that could ever apply to this node for a safe bound.
+        for m in &self.modifiers {
+            if m.mode == mode && m.nodes.matches(node) && m.multiplier > 1.0 {
+                r *= m.multiplier;
+            }
+        }
+        if let Some(&f) = self.node_multipliers.get(&(node, mode)) {
+            if f > 1.0 {
+                r *= f;
+            }
+        }
+        r
+    }
+
+    /// Convenience: look up a mode id by symptom.
+    pub fn mode_by_symptom(&self, symptom: FailureSymptom) -> Option<ModeId> {
+        self.catalog.find_by_symptom(symptom)
+    }
+
+    /// Builds the RSC-1 11-month era storyline (paper Fig. 5a):
+    ///
+    /// - a GSP-timeout driver regression, 10× for the first 90 days, then
+    ///   effectively fixed (×0.05) by a driver patch;
+    /// - an IB-link spike (15×) limited to `ib_spike_nodes` during days
+    ///   240–270 ("a handful of nodes in the summer of 2024").
+    pub fn rsc1_eras(mut self, ib_spike_nodes: Vec<NodeId>) -> Self {
+        if let Some(gsp) = self.mode_by_symptom(FailureSymptom::GspTimeout) {
+            self.add_modifier(RateModifier {
+                mode: gsp,
+                nodes: NodeFilter::All,
+                from: SimTime::ZERO,
+                until: SimTime::from_days(90),
+                multiplier: 10.0,
+            });
+            self.add_modifier(RateModifier {
+                mode: gsp,
+                nodes: NodeFilter::All,
+                from: SimTime::from_days(90),
+                until: SimTime::MAX,
+                multiplier: 0.05,
+            });
+        }
+        if let Some(ib) = self.mode_by_symptom(FailureSymptom::InfinibandLink) {
+            self.add_modifier(RateModifier {
+                mode: ib,
+                nodes: NodeFilter::Set(ib_spike_nodes),
+                from: SimTime::from_days(240),
+                until: SimTime::from_days(270),
+                multiplier: 15.0,
+            });
+        }
+        self
+    }
+
+    /// Builds the RSC-2 era storyline (paper Fig. 5b): the same summer
+    /// IB-link spike on a small node set, but no GSP regression era.
+    pub fn rsc2_eras(mut self, ib_spike_nodes: Vec<NodeId>) -> Self {
+        if let Some(ib) = self.mode_by_symptom(FailureSymptom::InfinibandLink) {
+            self.add_modifier(RateModifier {
+                mode: ib,
+                nodes: NodeFilter::Set(ib_spike_nodes),
+                from: SimTime::from_days(240),
+                until: SimTime::from_days(270),
+                multiplier: 15.0,
+            });
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> HazardSchedule {
+        HazardSchedule::new(ModeCatalog::rsc1())
+    }
+
+    #[test]
+    fn base_rate_without_modifiers() {
+        let s = schedule();
+        let ib = s.mode_by_symptom(FailureSymptom::InfinibandLink).unwrap();
+        let expected = 6.50e-3 * 0.17;
+        let got = s.rate(NodeId::new(0), ib, SimTime::from_days(10));
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modifier_applies_only_in_window() {
+        let mut s = schedule();
+        let ib = s.mode_by_symptom(FailureSymptom::InfinibandLink).unwrap();
+        s.add_modifier(RateModifier {
+            mode: ib,
+            nodes: NodeFilter::All,
+            from: SimTime::from_days(10),
+            until: SimTime::from_days(20),
+            multiplier: 5.0,
+        });
+        let n = NodeId::new(0);
+        let base = s.catalog().mode(ib).rate_per_node_day;
+        assert!((s.rate(n, ib, SimTime::from_days(5)) - base).abs() < 1e-15);
+        assert!((s.rate(n, ib, SimTime::from_days(15)) - 5.0 * base).abs() < 1e-15);
+        assert!((s.rate(n, ib, SimTime::from_days(20)) - base).abs() < 1e-15);
+    }
+
+    #[test]
+    fn node_filter_limits_scope() {
+        let mut s = schedule();
+        let ib = s.mode_by_symptom(FailureSymptom::InfinibandLink).unwrap();
+        s.add_modifier(RateModifier {
+            mode: ib,
+            nodes: NodeFilter::Set(vec![NodeId::new(3)]),
+            from: SimTime::ZERO,
+            until: SimTime::MAX,
+            multiplier: 10.0,
+        });
+        let base = s.catalog().mode(ib).rate_per_node_day;
+        assert!((s.rate(NodeId::new(0), ib, SimTime::ZERO) - base).abs() < 1e-15);
+        assert!((s.rate(NodeId::new(3), ib, SimTime::ZERO) - 10.0 * base).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_rate_bounds_rate_everywhere() {
+        let ib_nodes = vec![NodeId::new(1), NodeId::new(2)];
+        let s = schedule().rsc1_eras(ib_nodes);
+        for node in (0..4).map(NodeId::new) {
+            for (mode, _) in s.catalog().clone().iter() {
+                let cap = s.max_rate(node, mode);
+                for day in 0..330 {
+                    let r = s.rate(node, mode, SimTime::from_days(day));
+                    assert!(r <= cap + 1e-15, "node={node} mode={mode} day={day}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemon_multiplier_stacks() {
+        let mut s = schedule();
+        let pcie = s.mode_by_symptom(FailureSymptom::PcieError).unwrap();
+        s.add_node_multiplier(NodeId::new(5), pcie, 30.0);
+        let base = s.catalog().mode(pcie).rate_per_node_day;
+        let got = s.rate(NodeId::new(5), pcie, SimTime::ZERO);
+        assert!((got - 30.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gsp_era_rises_then_falls() {
+        let s = schedule().rsc1_eras(vec![]);
+        let gsp = s.mode_by_symptom(FailureSymptom::GspTimeout).unwrap();
+        let n = NodeId::new(0);
+        let early = s.rate(n, gsp, SimTime::from_days(30));
+        let late = s.rate(n, gsp, SimTime::from_days(200));
+        assert!(early > 100.0 * late, "early={early} late={late}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Low-level hardware signals emitted when failures occur.
+//!
+//! A single physical fault typically raises *several* signals — e.g. a PCIe
+//! fault raises a PCIe AER error, often XID 79 ("GPU fell off the bus"), and
+//! an IPMI "Critical Interrupt" (paper §III: 43% / 21% co-occurrence on
+//! RSC-1). Health checks observe signals; the attribution engine later works
+//! backwards from them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::gpu::XidError;
+use rsc_cluster::ids::NodeId;
+use rsc_sim_core::time::SimTime;
+
+/// A kind of raw telemetry signal a node can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SignalKind {
+    /// A GPU XID event from the driver.
+    Xid(XidError),
+    /// PCIe AER error.
+    PcieError,
+    /// IPMI "Critical Interrupt" event from the BMC.
+    IpmiCriticalInterrupt,
+    /// Backend InfiniBand link error/flap.
+    IbLinkError,
+    /// Frontend Ethernet link error.
+    EthLinkError,
+    /// A required filesystem mountpoint is missing or hung.
+    FsMountMissing,
+    /// Host DRAM uncorrectable error.
+    MainMemoryError,
+    /// A host system service is down.
+    ServiceFailure,
+    /// Local block-device error.
+    BlockDeviceError,
+    /// Node stopped responding entirely (only the scheduler heartbeat —
+    /// NODE_FAIL — can catch this).
+    NodeUnresponsive,
+    /// Power-delivery fault.
+    PowerFault,
+    /// Thermal excursion warning.
+    ThermalWarning,
+}
+
+impl SignalKind {
+    /// Short stable label for reports.
+    pub fn label(self) -> String {
+        match self {
+            SignalKind::Xid(x) => format!("xid{}", x.code()),
+            SignalKind::PcieError => "pcie_err".to_string(),
+            SignalKind::IpmiCriticalInterrupt => "ipmi_critical".to_string(),
+            SignalKind::IbLinkError => "ib_link_err".to_string(),
+            SignalKind::EthLinkError => "eth_link_err".to_string(),
+            SignalKind::FsMountMissing => "fs_mount_missing".to_string(),
+            SignalKind::MainMemoryError => "dram_ue".to_string(),
+            SignalKind::ServiceFailure => "service_down".to_string(),
+            SignalKind::BlockDeviceError => "blockdev_err".to_string(),
+            SignalKind::NodeUnresponsive => "unresponsive".to_string(),
+            SignalKind::PowerFault => "power_fault".to_string(),
+            SignalKind::ThermalWarning => "thermal_warn".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A raw signal raised by a node at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSignal {
+    /// The node that raised the signal.
+    pub node: NodeId,
+    /// What was observed.
+    pub kind: SignalKind,
+    /// When it was raised.
+    pub at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(SignalKind::Xid(XidError::FallenOffBus).label(), "xid79");
+        assert_eq!(SignalKind::PcieError.label(), "pcie_err");
+        assert_eq!(SignalKind::NodeUnresponsive.to_string(), "unresponsive");
+    }
+
+    #[test]
+    fn signals_are_comparable() {
+        let a = NodeSignal {
+            node: NodeId::new(1),
+            kind: SignalKind::PcieError,
+            at: SimTime::from_secs(10),
+        };
+        assert_eq!(a, a);
+    }
+}

@@ -1,0 +1,203 @@
+//! The paper's failure taxonomy (Table I).
+//!
+//! A *symptom* is what an operator observes (a health check firing, a job
+//! crash signature). Each symptom maps to one or more *failure domains* —
+//! user program, system software, hardware infrastructure — and a set of
+//! likely causes. Diagnosis is differential: the symptom alone rarely
+//! identifies the culprit (Observation 3: "beware of the red-herrings").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Who is likely at fault for a failure symptom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureDomain {
+    /// The user's training program (e.g. an out-of-memory bug).
+    UserProgram,
+    /// Drivers, firmware, the OS, or framework software.
+    SystemSoftware,
+    /// Physical hardware: GPUs, links, memory, power.
+    HardwareInfra,
+}
+
+impl fmt::Display for FailureDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureDomain::UserProgram => "user-program",
+            FailureDomain::SystemSoftware => "system-software",
+            FailureDomain::HardwareInfra => "hardware-infra",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An observable failure symptom, one per row of the paper's Table I
+/// (plus GSP timeout, which the paper tracks separately in Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureSymptom {
+    /// Process ran out of (GPU or host) memory.
+    Oom,
+    /// GPU is not accessible from the host.
+    GpuUnavailable,
+    /// Uncorrectable GPU memory error (ECC / row-remap).
+    GpuMemoryError,
+    /// GPU driver or firmware error.
+    GpuDriverFirmwareError,
+    /// GSP (GPU System Processor) timeout — a driver-regression era in the
+    /// paper, fixed by a driver patch.
+    GspTimeout,
+    /// NVLink error between local GPUs.
+    GpuNvlinkError,
+    /// Backend InfiniBand link error.
+    InfinibandLink,
+    /// A filesystem mount is missing or hung.
+    FilesystemMount,
+    /// Host DRAM uncorrectable error.
+    MainMemoryError,
+    /// Frontend Ethernet link error.
+    EthlinkError,
+    /// PCIe bus error.
+    PcieError,
+    /// A NCCL collective timed out.
+    NcclTimeout,
+    /// Host system services failed (scheduler daemon, container runtime...).
+    SystemService,
+}
+
+impl FailureSymptom {
+    /// Every symptom, in Table I order.
+    pub const ALL: [FailureSymptom; 13] = [
+        FailureSymptom::Oom,
+        FailureSymptom::GpuUnavailable,
+        FailureSymptom::GpuMemoryError,
+        FailureSymptom::GpuDriverFirmwareError,
+        FailureSymptom::GspTimeout,
+        FailureSymptom::GpuNvlinkError,
+        FailureSymptom::InfinibandLink,
+        FailureSymptom::FilesystemMount,
+        FailureSymptom::MainMemoryError,
+        FailureSymptom::EthlinkError,
+        FailureSymptom::PcieError,
+        FailureSymptom::NcclTimeout,
+        FailureSymptom::SystemService,
+    ];
+
+    /// The failure domains this symptom may implicate (Table I check marks).
+    pub fn domains(self) -> &'static [FailureDomain] {
+        use FailureDomain::*;
+        match self {
+            FailureSymptom::Oom => &[UserProgram],
+            FailureSymptom::GpuUnavailable => &[SystemSoftware, HardwareInfra],
+            FailureSymptom::GpuMemoryError => &[HardwareInfra],
+            FailureSymptom::GpuDriverFirmwareError => &[SystemSoftware],
+            FailureSymptom::GspTimeout => &[SystemSoftware],
+            FailureSymptom::GpuNvlinkError => &[HardwareInfra],
+            FailureSymptom::InfinibandLink => &[HardwareInfra],
+            FailureSymptom::FilesystemMount => &[SystemSoftware],
+            FailureSymptom::MainMemoryError => &[HardwareInfra],
+            FailureSymptom::EthlinkError => &[HardwareInfra],
+            FailureSymptom::PcieError => &[HardwareInfra],
+            FailureSymptom::NcclTimeout => &[UserProgram, SystemSoftware, HardwareInfra],
+            FailureSymptom::SystemService => &[UserProgram, SystemSoftware, HardwareInfra],
+        }
+    }
+
+    /// The paper's "likely failure cause" column for this symptom.
+    pub fn likely_causes(self) -> &'static str {
+        match self {
+            FailureSymptom::Oom => "User bug",
+            FailureSymptom::GpuUnavailable => "PCIe error, driver/BIOS, thermals",
+            FailureSymptom::GpuMemoryError => "Thermal noise, cosmic rays, HBM defect or wear",
+            FailureSymptom::GpuDriverFirmwareError => "Outdated software, high load",
+            FailureSymptom::GspTimeout => "Driver code regression",
+            FailureSymptom::GpuNvlinkError => "Electro/material failure, switch",
+            FailureSymptom::InfinibandLink => "Electro/material failure, switch",
+            FailureSymptom::FilesystemMount => {
+                "Failed frontend network, drivers in D state, storage backend"
+            }
+            FailureSymptom::MainMemoryError => "Circuit wear, thermal noise, cosmic rays",
+            FailureSymptom::EthlinkError => "Electro/material failure, switch",
+            FailureSymptom::PcieError => "GPU failure, poor electrical contacts",
+            FailureSymptom::NcclTimeout => "Userspace crash, deadlock, failed HW",
+            FailureSymptom::SystemService => {
+                "Userspace interference, software bugs, network partition"
+            }
+        }
+    }
+
+    /// Whether this symptom can implicate hardware infrastructure.
+    pub fn may_be_hardware(self) -> bool {
+        self.domains().contains(&FailureDomain::HardwareInfra)
+    }
+
+    /// Whether this symptom is ambiguous — i.e. implicates more than one
+    /// domain, requiring differential diagnosis.
+    pub fn is_ambiguous(self) -> bool {
+        self.domains().len() > 1
+    }
+
+    /// Short stable label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureSymptom::Oom => "oom",
+            FailureSymptom::GpuUnavailable => "gpu_unavailable",
+            FailureSymptom::GpuMemoryError => "gpu_memory",
+            FailureSymptom::GpuDriverFirmwareError => "gpu_driver",
+            FailureSymptom::GspTimeout => "gsp_timeout",
+            FailureSymptom::GpuNvlinkError => "nvlink",
+            FailureSymptom::InfinibandLink => "ib_link",
+            FailureSymptom::FilesystemMount => "fs_mount",
+            FailureSymptom::MainMemoryError => "main_memory",
+            FailureSymptom::EthlinkError => "eth_link",
+            FailureSymptom::PcieError => "pcie",
+            FailureSymptom::NcclTimeout => "nccl_timeout",
+            FailureSymptom::SystemService => "system_service",
+        }
+    }
+}
+
+impl fmt::Display for FailureSymptom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_domain_counts() {
+        // Table I: OOM is user-only; NCCL timeout and system services span
+        // all three domains.
+        assert_eq!(FailureSymptom::Oom.domains(), &[FailureDomain::UserProgram]);
+        assert_eq!(FailureSymptom::NcclTimeout.domains().len(), 3);
+        assert_eq!(FailureSymptom::SystemService.domains().len(), 3);
+        assert!(FailureSymptom::GpuUnavailable.is_ambiguous());
+        assert!(!FailureSymptom::PcieError.is_ambiguous());
+    }
+
+    #[test]
+    fn hardware_symptoms() {
+        assert!(FailureSymptom::InfinibandLink.may_be_hardware());
+        assert!(FailureSymptom::PcieError.may_be_hardware());
+        assert!(!FailureSymptom::Oom.may_be_hardware());
+        assert!(!FailureSymptom::FilesystemMount.may_be_hardware());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = FailureSymptom::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FailureSymptom::ALL.len());
+    }
+
+    #[test]
+    fn causes_are_nonempty() {
+        for s in FailureSymptom::ALL {
+            assert!(!s.likely_causes().is_empty());
+        }
+    }
+}

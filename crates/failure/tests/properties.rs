@@ -1,0 +1,108 @@
+//! Property-based tests of the hazard model and failure injector.
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::NodeId;
+use rsc_failure::injector::FailureInjector;
+use rsc_failure::lemon::LemonPlan;
+use rsc_failure::modes::{ModeCatalog, ModeId};
+use rsc_failure::process::{HazardSchedule, NodeFilter, RateModifier};
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::SimTime;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The thinning envelope really bounds the instantaneous rate for any
+    /// stack of random era modifiers.
+    #[test]
+    fn max_rate_is_an_envelope(
+        mods in prop::collection::vec(
+            (0usize..12, 0u64..300, 1u64..100, 0.1f64..20.0, any::<bool>()),
+            0..6
+        ),
+        probe_day in 0u64..400,
+        probe_node in 0u32..8,
+    ) {
+        let catalog = ModeCatalog::rsc1();
+        let nmodes = catalog.modes().len();
+        let mut schedule = HazardSchedule::new(catalog);
+        for (mode, from, len, mult, scoped) in mods {
+            schedule.add_modifier(RateModifier {
+                mode: ModeId(mode % nmodes),
+                nodes: if scoped {
+                    NodeFilter::Set(vec![NodeId::new(1), NodeId::new(3)])
+                } else {
+                    NodeFilter::All
+                },
+                from: SimTime::from_days(from),
+                until: SimTime::from_days(from + len),
+                multiplier: mult,
+            });
+        }
+        let node = NodeId::new(probe_node);
+        for m in 0..nmodes {
+            let mode = ModeId(m);
+            let r = schedule.rate(node, mode, SimTime::from_days(probe_day));
+            prop_assert!(r <= schedule.max_rate(node, mode) + 1e-12);
+            prop_assert!(r >= 0.0);
+        }
+    }
+
+    /// The injector's event stream is time-ordered and deterministic for
+    /// any seed and horizon.
+    #[test]
+    fn injector_stream_ordered_and_deterministic(seed in 0u64..500, days in 1u64..120) {
+        let make = || {
+            let schedule = HazardSchedule::new(ModeCatalog::rsc2());
+            FailureInjector::new(schedule, 64, SimRng::seed_from(seed))
+        };
+        let a = make().drain_until(SimTime::from_days(days));
+        let b = make().drain_until(SimTime::from_days(days));
+        prop_assert_eq!(&a, &b);
+        for w in a.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        for ev in &a {
+            prop_assert!(ev.node.index() < 64);
+        }
+    }
+
+    /// Lemon plans always produce valid, distinct node ids and positive
+    /// multipliers, for any fleet size and count.
+    #[test]
+    fn lemon_plans_valid(seed in 0u64..1000, nodes in 10u32..2000, frac in 1u32..50) {
+        let count = ((nodes * frac) / 1000).max(1) as usize;
+        let mut rng = SimRng::seed_from(seed);
+        let plan = LemonPlan::plant(&mut rng, nodes, count);
+        prop_assert_eq!(plan.lemons().len(), count);
+        let mut ids: Vec<_> = plan.node_ids();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), count);
+        for l in plan.lemons() {
+            prop_assert!(l.node.index() < nodes);
+            prop_assert!(l.extra_rate_per_day > 0.0);
+        }
+    }
+
+    /// Applying a lemon plan never *reduces* any rate.
+    #[test]
+    fn lemons_only_increase_rates(seed in 0u64..200) {
+        let catalog = ModeCatalog::rsc1();
+        let base = HazardSchedule::new(catalog.clone());
+        let mut rng = SimRng::seed_from(seed);
+        let plan = LemonPlan::plant(&mut rng, 50, 5);
+        let mut with = HazardSchedule::new(catalog);
+        plan.apply(&mut with);
+        for n in 0..50u32 {
+            for (mode, _) in with.catalog().clone().iter() {
+                let node = NodeId::new(n);
+                prop_assert!(
+                    with.rate(node, mode, SimTime::ZERO)
+                        >= base.rate(node, mode, SimTime::ZERO) - 1e-15
+                );
+            }
+        }
+    }
+}

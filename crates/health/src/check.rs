@@ -1,0 +1,225 @@
+//! The health-check catalog.
+//!
+//! Checks run on every node every five minutes (paper §II-A). Each check
+//! watches a family of raw signals, has a severity — high-severity failures
+//! remove the node and reschedule its jobs *immediately*; low-severity ones
+//! drain the node after the current job — and a rollout date, because checks
+//! were introduced over the measurement year as new failure modes were
+//! discovered (Fig. 5's annotated vertical lines).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rsc_failure::modes::Severity;
+use rsc_failure::signals::SignalKind;
+use rsc_failure::taxonomy::FailureSymptom;
+
+/// The checks deployed on the RSC clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CheckKind {
+    /// GPU accessibility / XID 79 ("GPU not accessible").
+    GpuAccessible,
+    /// Uncorrectable GPU ECC and row-remap failures.
+    GpuMemory,
+    /// NVLink errors.
+    NvLink,
+    /// GSP timeout / driver fault check.
+    GpuDriver,
+    /// PCIe AER error check.
+    PcieLink,
+    /// Backend InfiniBand link health.
+    IbLink,
+    /// Frontend Ethernet link health.
+    EthLink,
+    /// Required filesystem mountpoints present and responsive.
+    FsMount,
+    /// Host DRAM uncorrectable error check.
+    HostMemory,
+    /// Local block-device errors.
+    BlockDevice,
+    /// Host service status (scheduler daemon, container runtime).
+    Services,
+    /// IPMI critical-interrupt log scraping.
+    Ipmi,
+}
+
+impl CheckKind {
+    /// All checks, in a stable report order.
+    pub const ALL: [CheckKind; 12] = [
+        CheckKind::GpuAccessible,
+        CheckKind::GpuMemory,
+        CheckKind::NvLink,
+        CheckKind::GpuDriver,
+        CheckKind::PcieLink,
+        CheckKind::IbLink,
+        CheckKind::EthLink,
+        CheckKind::FsMount,
+        CheckKind::HostMemory,
+        CheckKind::BlockDevice,
+        CheckKind::Services,
+        CheckKind::Ipmi,
+    ];
+
+    /// Whether this check fires on the given raw signal.
+    pub fn detects(self, signal: SignalKind) -> bool {
+        use rsc_cluster::gpu::XidError::*;
+        match self {
+            CheckKind::GpuAccessible => matches!(signal, SignalKind::Xid(FallenOffBus)),
+            CheckKind::GpuMemory => {
+                matches!(signal, SignalKind::Xid(DoubleBitEcc) | SignalKind::Xid(RowRemapFailure))
+            }
+            CheckKind::NvLink => matches!(signal, SignalKind::Xid(NvlinkError)),
+            CheckKind::GpuDriver => {
+                matches!(signal, SignalKind::Xid(GspTimeout) | SignalKind::Xid(Other(_)))
+            }
+            CheckKind::PcieLink => matches!(signal, SignalKind::PcieError),
+            CheckKind::IbLink => matches!(signal, SignalKind::IbLinkError),
+            CheckKind::EthLink => matches!(signal, SignalKind::EthLinkError),
+            CheckKind::FsMount => matches!(signal, SignalKind::FsMountMissing),
+            CheckKind::HostMemory => matches!(signal, SignalKind::MainMemoryError),
+            CheckKind::BlockDevice => matches!(signal, SignalKind::BlockDeviceError),
+            CheckKind::Services => matches!(signal, SignalKind::ServiceFailure),
+            CheckKind::Ipmi => matches!(signal, SignalKind::IpmiCriticalInterrupt),
+        }
+    }
+
+    /// Severity class of this check (paper §II-C's two-tier handling).
+    pub fn severity(self) -> Severity {
+        match self {
+            CheckKind::GpuAccessible
+            | CheckKind::GpuMemory
+            | CheckKind::NvLink
+            | CheckKind::PcieLink
+            | CheckKind::IbLink
+            | CheckKind::FsMount
+            | CheckKind::HostMemory
+            | CheckKind::BlockDevice => Severity::High,
+            CheckKind::GpuDriver | CheckKind::EthLink | CheckKind::Services | CheckKind::Ipmi => {
+                Severity::Low
+            }
+        }
+    }
+
+    /// The failure symptom a firing of this check most directly suggests
+    /// (used as the *proximal* attribution before differential diagnosis).
+    pub fn symptom(self) -> FailureSymptom {
+        match self {
+            CheckKind::GpuAccessible => FailureSymptom::GpuUnavailable,
+            CheckKind::GpuMemory => FailureSymptom::GpuMemoryError,
+            CheckKind::NvLink => FailureSymptom::GpuNvlinkError,
+            CheckKind::GpuDriver => FailureSymptom::GpuDriverFirmwareError,
+            CheckKind::PcieLink => FailureSymptom::PcieError,
+            CheckKind::IbLink => FailureSymptom::InfinibandLink,
+            CheckKind::EthLink => FailureSymptom::EthlinkError,
+            CheckKind::FsMount => FailureSymptom::FilesystemMount,
+            CheckKind::HostMemory => FailureSymptom::MainMemoryError,
+            CheckKind::BlockDevice => FailureSymptom::FilesystemMount,
+            CheckKind::Services => FailureSymptom::SystemService,
+            CheckKind::Ipmi => FailureSymptom::PcieError,
+        }
+    }
+
+    /// Short stable label for reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckKind::GpuAccessible => "gpu_accessible",
+            CheckKind::GpuMemory => "gpu_memory",
+            CheckKind::NvLink => "nvlink",
+            CheckKind::GpuDriver => "gpu_driver",
+            CheckKind::PcieLink => "pcie_link",
+            CheckKind::IbLink => "ib_link",
+            CheckKind::EthLink => "eth_link",
+            CheckKind::FsMount => "fs_mount",
+            CheckKind::HostMemory => "host_memory",
+            CheckKind::BlockDevice => "block_device",
+            CheckKind::Services => "services",
+            CheckKind::Ipmi => "ipmi",
+        }
+    }
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::gpu::XidError;
+
+    #[test]
+    fn every_observable_signal_has_a_check() {
+        let signals = [
+            SignalKind::Xid(XidError::FallenOffBus),
+            SignalKind::Xid(XidError::DoubleBitEcc),
+            SignalKind::Xid(XidError::RowRemapFailure),
+            SignalKind::Xid(XidError::NvlinkError),
+            SignalKind::Xid(XidError::GspTimeout),
+            SignalKind::PcieError,
+            SignalKind::IpmiCriticalInterrupt,
+            SignalKind::IbLinkError,
+            SignalKind::EthLinkError,
+            SignalKind::FsMountMissing,
+            SignalKind::MainMemoryError,
+            SignalKind::ServiceFailure,
+            SignalKind::BlockDeviceError,
+        ];
+        for s in signals {
+            assert!(
+                CheckKind::ALL.iter().any(|c| c.detects(s)),
+                "no check detects {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn unresponsive_is_caught_by_no_check() {
+        // Only the scheduler NODE_FAIL heartbeat sees a hung node.
+        for c in CheckKind::ALL {
+            assert!(!c.detects(SignalKind::NodeUnresponsive), "{c}");
+        }
+    }
+
+    #[test]
+    fn paper_high_severity_set() {
+        use rsc_failure::modes::Severity::*;
+        // §II-C: GPU inaccessible, NVLink, uncorrectable ECC / row-remap,
+        // PCI or IB link errors, block devices, missing mountpoints → High.
+        assert_eq!(CheckKind::GpuAccessible.severity(), High);
+        assert_eq!(CheckKind::NvLink.severity(), High);
+        assert_eq!(CheckKind::GpuMemory.severity(), High);
+        assert_eq!(CheckKind::PcieLink.severity(), High);
+        assert_eq!(CheckKind::IbLink.severity(), High);
+        assert_eq!(CheckKind::BlockDevice.severity(), High);
+        assert_eq!(CheckKind::FsMount.severity(), High);
+        assert_eq!(CheckKind::Services.severity(), Low);
+        assert_eq!(CheckKind::Ipmi.severity(), Low);
+    }
+
+    #[test]
+    fn overlapping_coverage_exists() {
+        // A PCIe fault can raise signals caught by three different checks —
+        // the paper's defense-in-depth property.
+        let caught: Vec<CheckKind> = CheckKind::ALL
+            .iter()
+            .copied()
+            .filter(|c| {
+                c.detects(SignalKind::PcieError)
+                    || c.detects(SignalKind::Xid(XidError::FallenOffBus))
+                    || c.detects(SignalKind::IpmiCriticalInterrupt)
+            })
+            .collect();
+        assert!(caught.len() >= 3, "{caught:?}");
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<&str> = CheckKind::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), CheckKind::ALL.len());
+    }
+}

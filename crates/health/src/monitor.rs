@@ -1,0 +1,250 @@
+//! Event-driven health monitoring.
+//!
+//! Conceptually the checks sweep every node every five minutes; simulating
+//! that literally would cost `nodes × sweeps` work. Since checks only fire
+//! when a signal exists (or spuriously, at a calibrated false-positive
+//! rate), we instead process the signal stream directly and round detection
+//! times up to the next sweep boundary — observationally equivalent and
+//! orders of magnitude cheaper.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+use rsc_failure::modes::Severity;
+use rsc_failure::signals::{NodeSignal, SignalKind};
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+use crate::check::CheckKind;
+use crate::registry::CheckRegistry;
+
+/// A health-check firing: the unit of evidence in failure attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthEvent {
+    /// Detection time (the sweep boundary at/after the raw signal).
+    pub at: SimTime,
+    /// The node the check fired on.
+    pub node: NodeId,
+    /// Which check fired.
+    pub check: CheckKind,
+    /// The check's severity.
+    pub severity: Severity,
+    /// The raw signal that triggered the check, if any (false positives
+    /// have none).
+    pub signal: Option<SignalKind>,
+    /// Ground truth: whether this firing was spurious.
+    pub false_positive: bool,
+}
+
+/// The fleet health monitor.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    registry: CheckRegistry,
+    rng: SimRng,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with the given deployed checks.
+    pub fn new(registry: CheckRegistry, rng: SimRng) -> Self {
+        HealthMonitor { registry, rng }
+    }
+
+    /// The deployed-check registry.
+    pub fn registry(&self) -> &CheckRegistry {
+        &self.registry
+    }
+
+    /// Processes one raw node signal, returning every check firing it
+    /// produces (possibly several — checks deliberately overlap).
+    ///
+    /// Returns an empty vector when the relevant checks are not yet rolled
+    /// out or the detection was missed — the failure then surfaces only
+    /// through the scheduler's NODE_FAIL heartbeat, unattributed.
+    pub fn observe_signal(&mut self, signal: &NodeSignal) -> Vec<HealthEvent> {
+        let mut events = Vec::new();
+        if signal.kind == SignalKind::NodeUnresponsive {
+            // Only the scheduler heartbeat catches a hung node.
+            return events;
+        }
+        let detection_at = ceil_to_period(signal.at, self.registry.period());
+        // Collect matching live checks first to keep RNG draws ordered.
+        let matching: Vec<(CheckKind, f64)> = self
+            .registry
+            .live_checks(signal.at)
+            .filter(|c| c.kind.detects(signal.kind))
+            .map(|c| (c.kind, c.miss_rate))
+            .collect();
+        for (kind, miss_rate) in matching {
+            if !self.rng.chance(miss_rate) {
+                events.push(HealthEvent {
+                    at: detection_at,
+                    node: signal.node,
+                    check: kind,
+                    severity: kind.severity(),
+                    signal: Some(signal.kind),
+                    false_positive: false,
+                });
+            }
+        }
+        events
+    }
+
+    /// Samples spurious check firings over `[from, to)` for a fleet of
+    /// `num_nodes` nodes, per the registry's calibrated false-positive
+    /// rates. Returned events are time-sorted.
+    pub fn false_positives_between(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        num_nodes: u32,
+    ) -> Vec<HealthEvent> {
+        if to <= from {
+            return Vec::new();
+        }
+        let days = (to - from).as_days();
+        // Use the FP rate of checks live at the window start; rollouts are
+        // sparse enough that this approximation is invisible in aggregate.
+        let live: Vec<CheckKind> = self
+            .registry
+            .live_checks(from)
+            .filter(|c| c.false_positive_rate > 0.0)
+            .map(|c| c.kind)
+            .collect();
+        if live.is_empty() {
+            return Vec::new();
+        }
+        let rate = self.registry.total_false_positive_rate(from);
+        let expected = rate * num_nodes as f64 * days;
+        let count = self.rng.poisson(expected);
+        let mut events: Vec<HealthEvent> = (0..count)
+            .map(|_| {
+                let offset = SimDuration::from_secs_f64(self.rng.uniform() * (to - from).as_secs() as f64);
+                let at = ceil_to_period(from + offset, self.registry.period());
+                let node = NodeId::new(self.rng.below(num_nodes as u64) as u32);
+                let check = live[self.rng.below(live.len() as u64) as usize];
+                HealthEvent {
+                    at,
+                    node,
+                    check,
+                    severity: check.severity(),
+                    signal: None,
+                    false_positive: true,
+                }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+/// Rounds a time up to the next multiple of `period`.
+fn ceil_to_period(t: SimTime, period: SimDuration) -> SimTime {
+    let p = period.as_secs().max(1);
+    let secs = t.as_secs();
+    SimTime::from_secs(secs.div_ceil(p) * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::gpu::XidError;
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(CheckRegistry::rsc_default(), SimRng::seed_from(1))
+    }
+
+    fn signal(kind: SignalKind, at_secs: u64) -> NodeSignal {
+        NodeSignal {
+            node: NodeId::new(3),
+            kind,
+            at: SimTime::from_secs(at_secs),
+        }
+    }
+
+    #[test]
+    fn detection_rounds_up_to_sweep() {
+        let mut m = HealthMonitor::new(CheckRegistry::ideal(), SimRng::seed_from(2));
+        let events = m.observe_signal(&signal(SignalKind::IbLinkError, 301));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at, SimTime::from_secs(600));
+        assert_eq!(events[0].check, CheckKind::IbLink);
+        assert!(!events[0].false_positive);
+    }
+
+    #[test]
+    fn signal_on_boundary_detected_same_sweep() {
+        let mut m = HealthMonitor::new(CheckRegistry::ideal(), SimRng::seed_from(2));
+        let events = m.observe_signal(&signal(SignalKind::PcieError, 600));
+        assert_eq!(events[0].at, SimTime::from_secs(600));
+    }
+
+    #[test]
+    fn pre_rollout_signals_are_invisible() {
+        let mut m = monitor();
+        // FS mount check rolls out at day 100.
+        let early = m.observe_signal(&signal(SignalKind::FsMountMissing, 86_400));
+        assert!(early.is_empty());
+        let late = NodeSignal {
+            node: NodeId::new(0),
+            kind: SignalKind::FsMountMissing,
+            at: SimTime::from_days(150),
+        };
+        // With 5% miss rate a single trial can miss; try a few.
+        let mut caught = false;
+        for _ in 0..20 {
+            if !m.observe_signal(&late).is_empty() {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught);
+    }
+
+    #[test]
+    fn unresponsive_node_is_never_detected() {
+        let mut m = HealthMonitor::new(CheckRegistry::ideal(), SimRng::seed_from(3));
+        let events = m.observe_signal(&signal(SignalKind::NodeUnresponsive, 1000));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn miss_rate_skips_roughly_expected_fraction() {
+        let mut m = monitor(); // 5% miss rate
+        let mut detected = 0;
+        let n = 5_000;
+        for i in 0..n {
+            let s = signal(SignalKind::Xid(XidError::DoubleBitEcc), 600 + i);
+            if !m.observe_signal(&s).is_empty() {
+                detected += 1;
+            }
+        }
+        let frac = detected as f64 / n as f64;
+        assert!((frac - 0.95).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn false_positives_scale_with_fleet_and_time() {
+        let mut m = monitor();
+        let small = m
+            .false_positives_between(SimTime::from_days(200), SimTime::from_days(210), 100)
+            .len();
+        let mut m2 = monitor();
+        let large = m2
+            .false_positives_between(SimTime::from_days(200), SimTime::from_days(210), 4000)
+            .len();
+        assert!(large > small * 10, "small={small} large={large}");
+        // Events sorted and flagged.
+        let evs = m.false_positives_between(SimTime::from_days(10), SimTime::from_days(20), 2000);
+        for w in evs.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(evs.iter().all(|e| e.false_positive && e.signal.is_none()));
+    }
+
+    #[test]
+    fn empty_window_yields_nothing() {
+        let mut m = monitor();
+        let evs = m.false_positives_between(SimTime::from_days(5), SimTime::from_days(5), 100);
+        assert!(evs.is_empty());
+    }
+}

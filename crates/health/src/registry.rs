@@ -1,0 +1,214 @@
+//! Deployed-check registry with rollout dates and detection quality.
+//!
+//! Fig. 5 of the paper annotates the dates new health checks were
+//! introduced; before a check exists, its failure mode is invisible to the
+//! infrastructure (jobs still die, but as unattributed NODE_FAILs). The
+//! registry captures per-check rollout time, miss rate, and false-positive
+//! rate (calibrated so <1% of successful jobs see a failed check).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::time::SimTime;
+
+use crate::check::CheckKind;
+
+/// Deployment configuration for one check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckConfig {
+    /// The check.
+    pub kind: CheckKind,
+    /// When the check went live on the fleet.
+    pub rollout: SimTime,
+    /// Probability a relevant signal is missed by the check (flaky
+    /// detection, race with the 5-minute sweep, etc.).
+    pub miss_rate: f64,
+    /// False-positive firings per node-day.
+    pub false_positive_rate: f64,
+}
+
+/// The set of checks deployed on a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckRegistry {
+    configs: Vec<CheckConfig>,
+    period: rsc_sim_core::time::SimDuration,
+}
+
+impl CheckRegistry {
+    /// Builds a registry from explicit configs, checking ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` / negative.
+    pub fn new(configs: Vec<CheckConfig>) -> Self {
+        for c in &configs {
+            assert!((0.0..=1.0).contains(&c.miss_rate), "bad miss rate for {}", c.kind);
+            assert!(
+                c.false_positive_rate >= 0.0 && c.false_positive_rate.is_finite(),
+                "bad FP rate for {}",
+                c.kind
+            );
+        }
+        CheckRegistry {
+            configs,
+            period: rsc_sim_core::time::SimDuration::from_mins(5),
+        }
+    }
+
+    /// The paper-era rollout schedule: most checks live from day 0, the
+    /// GPU-driver (GSP) check added around day 45 in response to the driver
+    /// regression, and the filesystem-mount check added around day 100
+    /// ("after adding a new health check for mounts that were downing
+    /// nodes, this became a key failure mode").
+    pub fn rsc_default() -> Self {
+        let day = |d: u64| SimTime::from_days(d);
+        let mk = |kind, rollout| CheckConfig {
+            kind,
+            rollout,
+            miss_rate: 0.05,
+            false_positive_rate: 2.0e-4,
+        };
+        CheckRegistry::new(vec![
+            mk(CheckKind::GpuAccessible, day(0)),
+            mk(CheckKind::GpuMemory, day(0)),
+            mk(CheckKind::NvLink, day(0)),
+            mk(CheckKind::GpuDriver, day(45)),
+            mk(CheckKind::PcieLink, day(0)),
+            mk(CheckKind::IbLink, day(0)),
+            mk(CheckKind::EthLink, day(20)),
+            mk(CheckKind::FsMount, day(100)),
+            mk(CheckKind::HostMemory, day(0)),
+            mk(CheckKind::BlockDevice, day(0)),
+            mk(CheckKind::Services, day(0)),
+            mk(CheckKind::Ipmi, day(60)),
+        ])
+    }
+
+    /// A registry where every check is live from day 0 with perfect
+    /// detection — useful for ablations isolating scheduler effects.
+    pub fn ideal() -> Self {
+        CheckRegistry::new(
+            CheckKind::ALL
+                .iter()
+                .map(|&kind| CheckConfig {
+                    kind,
+                    rollout: SimTime::ZERO,
+                    miss_rate: 0.0,
+                    false_positive_rate: 0.0,
+                })
+                .collect(),
+        )
+    }
+
+    /// The 5-minute sweep period.
+    pub fn period(&self) -> rsc_sim_core::time::SimDuration {
+        self.period
+    }
+
+    /// Returns the registry with a different sweep period (for ablations
+    /// of the paper's 5-minute default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn with_period(mut self, period: rsc_sim_core::time::SimDuration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        self.period = period;
+        self
+    }
+
+    /// All deployed check configs.
+    pub fn configs(&self) -> &[CheckConfig] {
+        &self.configs
+    }
+
+    /// Config for a specific check, if deployed.
+    pub fn config(&self, kind: CheckKind) -> Option<&CheckConfig> {
+        self.configs.iter().find(|c| c.kind == kind)
+    }
+
+    /// Checks that are live at `now`.
+    pub fn live_checks(&self, now: SimTime) -> impl Iterator<Item = &CheckConfig> {
+        self.configs.iter().filter(move |c| c.rollout <= now)
+    }
+
+    /// Rollout annotations for Fig. 5: `(check, rollout time)` for checks
+    /// introduced after day 0.
+    pub fn rollout_annotations(&self) -> Vec<(CheckKind, SimTime)> {
+        let mut anns: Vec<(CheckKind, SimTime)> = self
+            .configs
+            .iter()
+            .filter(|c| c.rollout > SimTime::ZERO)
+            .map(|c| (c.kind, c.rollout))
+            .collect();
+        anns.sort_by_key(|&(_, t)| t);
+        anns
+    }
+
+    /// Total false-positive rate per node-day across live checks at `now`.
+    pub fn total_false_positive_rate(&self, now: SimTime) -> f64 {
+        self.live_checks(now).map(|c| c.false_positive_rate).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_all_checks() {
+        let reg = CheckRegistry::rsc_default();
+        assert_eq!(reg.configs().len(), CheckKind::ALL.len());
+    }
+
+    #[test]
+    fn fs_mount_not_live_early() {
+        let reg = CheckRegistry::rsc_default();
+        let live_day10: Vec<CheckKind> =
+            reg.live_checks(SimTime::from_days(10)).map(|c| c.kind).collect();
+        assert!(!live_day10.contains(&CheckKind::FsMount));
+        assert!(live_day10.contains(&CheckKind::IbLink));
+        let live_day200: Vec<CheckKind> =
+            reg.live_checks(SimTime::from_days(200)).map(|c| c.kind).collect();
+        assert!(live_day200.contains(&CheckKind::FsMount));
+    }
+
+    #[test]
+    fn rollout_annotations_sorted() {
+        let reg = CheckRegistry::rsc_default();
+        let anns = reg.rollout_annotations();
+        assert!(!anns.is_empty());
+        for w in anns.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ideal_registry_is_perfect() {
+        let reg = CheckRegistry::ideal();
+        for c in reg.configs() {
+            assert_eq!(c.miss_rate, 0.0);
+            assert_eq!(c.false_positive_rate, 0.0);
+            assert_eq!(c.rollout, SimTime::ZERO);
+        }
+        assert_eq!(reg.total_false_positive_rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn fp_rate_grows_with_rollouts() {
+        let reg = CheckRegistry::rsc_default();
+        let early = reg.total_false_positive_rate(SimTime::from_days(1));
+        let late = reg.total_false_positive_rate(SimTime::from_days(200));
+        assert!(late > early);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad miss rate")]
+    fn rejects_bad_miss_rate() {
+        let _ = CheckRegistry::new(vec![CheckConfig {
+            kind: CheckKind::IbLink,
+            rollout: SimTime::ZERO,
+            miss_rate: 1.5,
+            false_positive_rate: 0.0,
+        }]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Repair workflows: how long a node stays in remediation.
+//!
+//! Transient faults (link flaps, driver wedges) clear with a reset on the
+//! order of an hour or two; permanent faults open a vendor ticket and hold
+//! the node for days (paper §II-E distinguishes the two classes).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::SimDuration;
+
+/// Lognormal repair-duration model, split by fault permanence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairPolicy {
+    /// Median repair time for transient faults.
+    pub transient_median: SimDuration,
+    /// Lognormal sigma for transient repairs.
+    pub transient_sigma: f64,
+    /// Median repair time for permanent faults (vendor ticket).
+    pub permanent_median: SimDuration,
+    /// Lognormal sigma for permanent repairs.
+    pub permanent_sigma: f64,
+}
+
+impl RepairPolicy {
+    /// The default RSC-like policy: transient resets with a 90-minute
+    /// median, vendor repairs with a 3-day median.
+    pub fn rsc_default() -> Self {
+        RepairPolicy {
+            transient_median: SimDuration::from_mins(90),
+            transient_sigma: 0.6,
+            permanent_median: SimDuration::from_days(3),
+            permanent_sigma: 0.7,
+        }
+    }
+
+    /// An idealized instant-repair policy (for ablations).
+    pub fn instant() -> Self {
+        RepairPolicy {
+            transient_median: SimDuration::from_secs(1),
+            transient_sigma: 0.0,
+            permanent_median: SimDuration::from_secs(1),
+            permanent_sigma: 0.0,
+        }
+    }
+
+    /// Samples a repair duration.
+    pub fn sample(&self, permanent: bool, rng: &mut SimRng) -> SimDuration {
+        let (median, sigma) = if permanent {
+            (self.permanent_median, self.permanent_sigma)
+        } else {
+            (self.transient_median, self.transient_sigma)
+        };
+        if sigma == 0.0 {
+            return median;
+        }
+        let secs = rng.lognormal((median.as_secs().max(1) as f64).ln(), sigma);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        RepairPolicy::rsc_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permanent_repairs_take_longer() {
+        let policy = RepairPolicy::rsc_default();
+        let mut rng = SimRng::seed_from(1);
+        let t_mean: f64 = (0..2000)
+            .map(|_| policy.sample(false, &mut rng).as_hours())
+            .sum::<f64>()
+            / 2000.0;
+        let p_mean: f64 = (0..2000)
+            .map(|_| policy.sample(true, &mut rng).as_hours())
+            .sum::<f64>()
+            / 2000.0;
+        assert!(p_mean > 10.0 * t_mean, "t={t_mean} p={p_mean}");
+    }
+
+    #[test]
+    fn transient_median_near_90_minutes() {
+        let policy = RepairPolicy::rsc_default();
+        let mut rng = SimRng::seed_from(2);
+        let mut samples: Vec<f64> = (0..4001)
+            .map(|_| policy.sample(false, &mut rng).as_mins())
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 90.0).abs() < 8.0, "median={median}");
+    }
+
+    #[test]
+    fn instant_policy_is_deterministic() {
+        let policy = RepairPolicy::instant();
+        let mut rng = SimRng::seed_from(3);
+        assert_eq!(policy.sample(true, &mut rng), SimDuration::from_secs(1));
+        assert_eq!(policy.sample(false, &mut rng), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,194 @@
+//! The paper's Fig. 12 network experiments, as a reusable harness.
+//!
+//! - **Fig. 12a**: a 512-GPU NCCL All-Reduce run for five iterations while
+//!   bit errors are injected into fabric port registers; bandwidth with AR
+//!   stays high, without AR it collapses (the paper saw 50–75% loss).
+//! - **Fig. 12b**: sixty-four 16-GPU (2-node) All-Reduce groups flood the
+//!   fabric concurrently; AR both raises mean bandwidth and cuts variance.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+use rsc_cluster::spec::ClusterSpec;
+use rsc_sim_core::rng::SimRng;
+
+use crate::collective::{evaluate_collectives, AllReduce};
+use crate::fabric::{Fabric, LinkId, SPINE_PLANES};
+use crate::routing::RoutingPolicy;
+
+/// One iteration's result in the BER experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BerIterationResult {
+    /// Iteration index (fresh error pattern each time).
+    pub iteration: u32,
+    /// Bus bandwidth with adaptive routing, Gb/s.
+    pub with_ar_gbps: f64,
+    /// Bus bandwidth with static routing (SHIELD only), Gb/s.
+    pub without_ar_gbps: f64,
+}
+
+/// Fig. 12a: repeated 512-GPU all-reduce under injected bit errors.
+///
+/// Each iteration injects a fresh random error pattern: `degraded_fraction`
+/// of all uplinks get an error rate of `error_rate`, then the same
+/// collective is evaluated with and without AR.
+pub fn ber_injection_experiment(
+    iterations: u32,
+    degraded_fraction: f64,
+    error_rate: f64,
+    seed: u64,
+) -> Vec<BerIterationResult> {
+    let spec = ClusterSpec::new("fig12a", 64); // 512 GPUs
+    let nodes: Vec<NodeId> = (0..64).map(NodeId::new).collect();
+    let ar_job = AllReduce::new(nodes);
+    let mut rng = SimRng::seed_from(seed);
+    let mut out = Vec::with_capacity(iterations as usize);
+    for iteration in 0..iterations {
+        let mut fabric = Fabric::new(&spec);
+        for pod in 0..spec.num_pods() {
+            for rail in 0..8u8 {
+                for plane in 0..SPINE_PLANES as u8 {
+                    if rng.chance(degraded_fraction) {
+                        fabric.inject_error_rate(LinkId::Uplink { pod, rail, plane }, error_rate);
+                    }
+                }
+            }
+        }
+        let with_ar =
+            evaluate_collectives(&fabric, std::slice::from_ref(&ar_job), RoutingPolicy::Adaptive);
+        let without_ar = evaluate_collectives(
+            &fabric,
+            std::slice::from_ref(&ar_job),
+            RoutingPolicy::Static {
+                // SHIELD's conservative threshold: only near-dead links are
+                // routed around.
+                shield_threshold: 0.95,
+            },
+        );
+        out.push(BerIterationResult {
+            iteration,
+            with_ar_gbps: with_ar.busbw_gbps[0],
+            without_ar_gbps: without_ar.busbw_gbps[0],
+        });
+    }
+    out
+}
+
+/// Result of the contention experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionResult {
+    /// Per-group bandwidth with AR, Gb/s.
+    pub with_ar_gbps: Vec<f64>,
+    /// Per-group bandwidth without AR, Gb/s.
+    pub without_ar_gbps: Vec<f64>,
+}
+
+impl ContentionResult {
+    /// Mean bandwidth (with AR, without AR).
+    pub fn means(&self) -> (f64, f64) {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        (mean(&self.with_ar_gbps), mean(&self.without_ar_gbps))
+    }
+
+    /// Coefficient of variation (with AR, without AR).
+    pub fn cvs(&self) -> (f64, f64) {
+        let cv = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len().max(1) as f64;
+            if m == 0.0 || v.len() < 2 {
+                return 0.0;
+            }
+            let var = v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64;
+            var.sqrt() / m
+        };
+        (cv(&self.with_ar_gbps), cv(&self.without_ar_gbps))
+    }
+}
+
+/// Fig. 12b: `groups` concurrent 2-node (16-GPU) all-reduces flooding the
+/// fabric, evaluated with and without AR.
+///
+/// Group pairs are spread across pods so their rings contend on uplinks.
+pub fn contention_experiment(groups: usize, seed: u64) -> ContentionResult {
+    let num_nodes = (groups * 2) as u32;
+    let spec = ClusterSpec::new("fig12b", num_nodes);
+    let mut rng = SimRng::seed_from(seed);
+    // Pair nodes across the node range so most rings cross pods.
+    let mut ids: Vec<u32> = (0..num_nodes).collect();
+    // Deterministic shuffle.
+    for i in (1..ids.len()).rev() {
+        let j = rng.below((i + 1) as u64) as usize;
+        ids.swap(i, j);
+    }
+    let collectives: Vec<AllReduce> = ids
+        .chunks(2)
+        .map(|pair| AllReduce::new(vec![NodeId::new(pair[0]), NodeId::new(pair[1])]))
+        .collect();
+
+    let fabric = Fabric::new(&spec);
+    let with_ar = evaluate_collectives(&fabric, &collectives, RoutingPolicy::Adaptive);
+    let without_ar = evaluate_collectives(
+        &fabric,
+        &collectives,
+        RoutingPolicy::Static {
+            shield_threshold: 0.95,
+        },
+    );
+    ContentionResult {
+        with_ar_gbps: with_ar.busbw_gbps,
+        without_ar_gbps: without_ar.busbw_gbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_maintains_bandwidth_under_bit_errors() {
+        // Paper Obs. 12: without resilience, >50% of bandwidth can be lost.
+        let results = ber_injection_experiment(5, 0.5, 0.8, 7);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(
+                r.with_ar_gbps >= r.without_ar_gbps,
+                "AR should never be worse: {r:?}"
+            );
+        }
+        let mean_with: f64 = results.iter().map(|r| r.with_ar_gbps).sum::<f64>() / 5.0;
+        let mean_without: f64 = results.iter().map(|r| r.without_ar_gbps).sum::<f64>() / 5.0;
+        assert!(
+            mean_with > 1.5 * mean_without,
+            "with={mean_with} without={mean_without}"
+        );
+    }
+
+    #[test]
+    fn static_loses_half_or_more_bandwidth() {
+        let healthy = ber_injection_experiment(1, 0.0, 0.0, 1)[0].without_ar_gbps;
+        let degraded = ber_injection_experiment(5, 0.5, 0.8, 2);
+        let mean_degraded: f64 =
+            degraded.iter().map(|r| r.without_ar_gbps).sum::<f64>() / 5.0;
+        let loss = 1.0 - mean_degraded / healthy;
+        assert!(
+            (0.4..=0.85).contains(&loss),
+            "bandwidth loss {loss} outside the paper's 50–75% band"
+        );
+    }
+
+    #[test]
+    fn ar_reduces_variance_under_contention() {
+        let result = contention_experiment(64, 3);
+        assert_eq!(result.with_ar_gbps.len(), 64);
+        let (mean_ar, mean_static) = result.means();
+        let (cv_ar, cv_static) = result.cvs();
+        assert!(mean_ar >= mean_static, "ar={mean_ar} static={mean_static}");
+        assert!(cv_ar <= cv_static, "cv_ar={cv_ar} cv_static={cv_static}");
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let a = ber_injection_experiment(3, 0.4, 0.7, 11);
+        let b = ber_injection_experiment(3, 0.4, 0.7, 11);
+        assert_eq!(a, b);
+    }
+}

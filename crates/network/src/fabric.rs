@@ -1,0 +1,195 @@
+//! The rail-optimized InfiniBand fabric model (paper §II-B, Fig. 2).
+//!
+//! Each pod has eight *rail switches*, one per local GPU index; a server's
+//! GPU `r` connects to rail switch `r` of its pod through an access link.
+//! Rail switches reach other pods through uplinks to a set of spine planes.
+//! Links carry an error rate (fraction of bandwidth lost to
+//! retransmissions) and an up/down state — the knobs the paper turns with
+//! `mlxreg` in the Fig. 12 experiments.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+use rsc_cluster::spec::ClusterSpec;
+use rsc_cluster::topology::Topology;
+
+/// Number of spine planes each rail switch can uplink through.
+pub const SPINE_PLANES: usize = 4;
+
+/// Access-link capacity (node HCA → rail switch), Gb/s.
+pub const ACCESS_GBPS: f64 = 200.0;
+
+/// Uplink capacity (rail switch → spine plane), Gb/s.
+pub const UPLINK_GBPS: f64 = 200.0;
+
+/// A directed segment of the fabric a flow can traverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkId {
+    /// Node `node`'s rail-`rail` HCA to its pod's rail switch.
+    Access {
+        /// The server.
+        node: NodeId,
+        /// GPU/rail index, 0–7.
+        rail: u8,
+    },
+    /// Pod `pod`'s rail-`rail` switch to spine plane `plane`.
+    Uplink {
+        /// Pod index.
+        pod: u32,
+        /// Rail index, 0–7.
+        rail: u8,
+        /// Spine plane index.
+        plane: u8,
+    },
+}
+
+/// Mutable state of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkState {
+    /// Fraction of bandwidth lost to bit errors / retransmissions, `[0, 1]`.
+    pub error_rate: f64,
+    /// Whether the link is administratively/physically up.
+    pub up: bool,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        LinkState {
+            error_rate: 0.0,
+            up: true,
+        }
+    }
+}
+
+impl LinkState {
+    /// Effective capacity of the link given nominal capacity.
+    pub fn effective_capacity(&self, nominal_gbps: f64) -> f64 {
+        if !self.up {
+            0.0
+        } else {
+            nominal_gbps * (1.0 - self.error_rate.clamp(0.0, 1.0))
+        }
+    }
+}
+
+/// The fabric: topology plus per-link state.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    topology: Topology,
+    /// Sparse override map; untouched links are healthy.
+    overrides: std::collections::HashMap<LinkId, LinkState>,
+}
+
+impl Fabric {
+    /// Builds a healthy fabric for a cluster spec.
+    pub fn new(spec: &ClusterSpec) -> Self {
+        Fabric {
+            topology: Topology::new(spec),
+            overrides: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The underlying placement topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current state of a link.
+    pub fn link_state(&self, link: LinkId) -> LinkState {
+        self.overrides.get(&link).copied().unwrap_or_default()
+    }
+
+    /// Nominal capacity of a link, Gb/s.
+    pub fn nominal_capacity(&self, link: LinkId) -> f64 {
+        match link {
+            LinkId::Access { .. } => ACCESS_GBPS,
+            LinkId::Uplink { .. } => UPLINK_GBPS,
+        }
+    }
+
+    /// Effective capacity of a link, Gb/s.
+    pub fn effective_capacity(&self, link: LinkId) -> f64 {
+        self.link_state(link).effective_capacity(self.nominal_capacity(link))
+    }
+
+    /// Writes a link's error rate — the simulated `mlxreg` port-register
+    /// interface used in the paper's Fig. 12a BER-injection experiment.
+    pub fn inject_error_rate(&mut self, link: LinkId, error_rate: f64) {
+        let entry = self.overrides.entry(link).or_default();
+        entry.error_rate = error_rate.clamp(0.0, 1.0);
+    }
+
+    /// Takes a link administratively down (or back up).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        let entry = self.overrides.entry(link).or_default();
+        entry.up = up;
+    }
+
+    /// Clears all injected state.
+    pub fn heal_all(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// All uplinks of a pod's rail switch.
+    pub fn uplinks(&self, pod: u32, rail: u8) -> impl Iterator<Item = LinkId> + '_ {
+        (0..SPINE_PLANES as u8).map(move |plane| LinkId::Uplink { pod, rail, plane })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_links_run_at_nominal() {
+        let f = Fabric::new(&ClusterSpec::small_test());
+        let link = LinkId::Access {
+            node: NodeId::new(0),
+            rail: 3,
+        };
+        assert_eq!(f.effective_capacity(link), ACCESS_GBPS);
+    }
+
+    #[test]
+    fn error_injection_cuts_capacity() {
+        let mut f = Fabric::new(&ClusterSpec::small_test());
+        let link = LinkId::Uplink {
+            pod: 0,
+            rail: 1,
+            plane: 2,
+        };
+        f.inject_error_rate(link, 0.6);
+        assert!((f.effective_capacity(link) - 80.0).abs() < 1e-9);
+        f.heal_all();
+        assert_eq!(f.effective_capacity(link), UPLINK_GBPS);
+    }
+
+    #[test]
+    fn down_link_has_zero_capacity() {
+        let mut f = Fabric::new(&ClusterSpec::small_test());
+        let link = LinkId::Uplink {
+            pod: 0,
+            rail: 0,
+            plane: 0,
+        };
+        f.set_link_up(link, false);
+        assert_eq!(f.effective_capacity(link), 0.0);
+    }
+
+    #[test]
+    fn uplink_enumeration() {
+        let f = Fabric::new(&ClusterSpec::small_test());
+        assert_eq!(f.uplinks(0, 5).count(), SPINE_PLANES);
+    }
+
+    #[test]
+    fn error_rate_clamped() {
+        let mut f = Fabric::new(&ClusterSpec::small_test());
+        let link = LinkId::Access {
+            node: NodeId::new(1),
+            rail: 0,
+        };
+        f.inject_error_rate(link, 5.0);
+        assert_eq!(f.effective_capacity(link), 0.0);
+    }
+}

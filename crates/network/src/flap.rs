@@ -1,0 +1,218 @@
+//! Link flapping: links that transition between up and down states.
+//!
+//! §IV-B lists "flapping behavior that transitions between up and down
+//! states" among the link pathologies adaptive routing must tolerate.
+//! This module gives links a two-state Markov process and evaluates
+//! collective bandwidth over a flapping trajectory.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+use crate::collective::{evaluate_collectives, AllReduce};
+use crate::fabric::{Fabric, LinkId, SPINE_PLANES};
+use crate::routing::RoutingPolicy;
+
+/// Two-state Markov flap model for a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlapModel {
+    /// Mean time between a healthy link going down.
+    pub mean_up_time: SimDuration,
+    /// Mean outage length once down.
+    pub mean_down_time: SimDuration,
+}
+
+impl FlapModel {
+    /// A badly flapping optic: up for ~30 minutes, down for ~2.
+    pub fn bad_optic() -> Self {
+        FlapModel {
+            mean_up_time: SimDuration::from_mins(30),
+            mean_down_time: SimDuration::from_mins(2),
+        }
+    }
+
+    /// Long-run fraction of time the link is down.
+    pub fn down_fraction(&self) -> f64 {
+        let up = self.mean_up_time.as_secs() as f64;
+        let down = self.mean_down_time.as_secs() as f64;
+        down / (up + down).max(1.0)
+    }
+
+    /// Samples the down intervals within `[0, horizon)` for one link.
+    pub fn sample_outages(
+        &self,
+        horizon: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<(SimTime, SimTime)> {
+        let mut outages = Vec::new();
+        let up_rate = 1.0 / self.mean_up_time.as_secs().max(1) as f64;
+        let down_rate = 1.0 / self.mean_down_time.as_secs().max(1) as f64;
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + horizon;
+        loop {
+            let up_for = SimDuration::from_secs_f64(rng.exponential(up_rate));
+            t += up_for;
+            if t >= end {
+                break;
+            }
+            let down_for = SimDuration::from_secs_f64(rng.exponential(down_rate));
+            let down_end = (t + down_for).min(end);
+            outages.push((t, down_end));
+            t = down_end;
+            if t >= end {
+                break;
+            }
+        }
+        outages
+    }
+}
+
+/// One sampled instant of the flap experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlapSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Links down at this instant.
+    pub links_down: usize,
+    /// Bus bandwidth with adaptive routing, Gb/s.
+    pub with_ar_gbps: f64,
+    /// Bus bandwidth with static + SHIELD routing, Gb/s.
+    pub without_ar_gbps: f64,
+}
+
+/// Evaluates a 256-GPU all-reduce over `horizon` while `flapping_links`
+/// uplinks flap per `model`, sampling bandwidth every `sample_every`.
+pub fn flapping_experiment(
+    model: FlapModel,
+    flapping_links: usize,
+    horizon: SimDuration,
+    sample_every: SimDuration,
+    seed: u64,
+) -> Vec<FlapSample> {
+    let spec = rsc_cluster::spec::ClusterSpec::new("flap", 32); // 256 GPUs
+    let nodes: Vec<_> = (0..32).map(rsc_cluster::ids::NodeId::new).collect();
+    let job = AllReduce::new(nodes);
+    let mut rng = SimRng::seed_from(seed);
+
+    // Pick distinct uplinks to flap and sample each one's outage schedule.
+    let mut links: Vec<LinkId> = Vec::new();
+    while links.len() < flapping_links {
+        let link = LinkId::Uplink {
+            pod: rng.below(spec.num_pods() as u64) as u32,
+            rail: rng.below(8) as u8,
+            plane: rng.below(SPINE_PLANES as u64) as u8,
+        };
+        if !links.contains(&link) {
+            links.push(link);
+        }
+    }
+    let outages: Vec<Vec<(SimTime, SimTime)>> = links
+        .iter()
+        .map(|_| model.sample_outages(horizon, &mut rng))
+        .collect();
+
+    let mut samples = Vec::new();
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + horizon;
+    while t < end {
+        let mut fabric = Fabric::new(&spec);
+        let mut down = 0;
+        for (link, schedule) in links.iter().zip(&outages) {
+            let is_down = schedule.iter().any(|&(from, until)| t >= from && t < until);
+            if is_down {
+                fabric.set_link_up(*link, false);
+                down += 1;
+            }
+        }
+        let ar = evaluate_collectives(&fabric, std::slice::from_ref(&job), RoutingPolicy::Adaptive);
+        let st = evaluate_collectives(
+            &fabric,
+            std::slice::from_ref(&job),
+            RoutingPolicy::Static { shield_threshold: 0.95 },
+        );
+        samples.push(FlapSample {
+            at: t,
+            links_down: down,
+            with_ar_gbps: ar.busbw_gbps[0],
+            without_ar_gbps: st.busbw_gbps[0],
+        });
+        t += sample_every;
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_fraction_matches_rates() {
+        let m = FlapModel::bad_optic();
+        assert!((m.down_fraction() - 2.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outages_cover_expected_fraction() {
+        let m = FlapModel::bad_optic();
+        let mut rng = SimRng::seed_from(1);
+        let horizon = SimDuration::from_days(20);
+        let mut total_down = 0u64;
+        for _ in 0..20 {
+            for (from, until) in m.sample_outages(horizon, &mut rng) {
+                total_down += until.saturating_since(from).as_secs();
+            }
+        }
+        let frac = total_down as f64 / (20.0 * horizon.as_secs() as f64);
+        assert!((frac - m.down_fraction()).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn outages_are_ordered_and_within_horizon() {
+        let m = FlapModel::bad_optic();
+        let mut rng = SimRng::seed_from(2);
+        let horizon = SimDuration::from_days(1);
+        let outages = m.sample_outages(horizon, &mut rng);
+        let end = SimTime::ZERO + horizon;
+        for w in outages.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+        for (from, until) in outages {
+            assert!(from < until);
+            assert!(until <= end);
+        }
+    }
+
+    #[test]
+    fn ar_dominates_static_under_flaps() {
+        let samples = flapping_experiment(
+            FlapModel::bad_optic(),
+            24,
+            SimDuration::from_hours(4),
+            SimDuration::from_mins(15),
+            3,
+        );
+        assert!(!samples.is_empty());
+        assert!(samples.iter().any(|s| s.links_down > 0), "flaps should occur");
+        for s in &samples {
+            assert!(
+                s.with_ar_gbps >= s.without_ar_gbps - 1e-9,
+                "AR should never lose to static: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let run = || {
+            flapping_experiment(
+                FlapModel::bad_optic(),
+                8,
+                SimDuration::from_hours(2),
+                SimDuration::from_mins(30),
+                9,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Rail-optimized InfiniBand fabric model for the `rsc-reliability`
+//! workspace.
+//!
+//! Implements the paper's backend network (§II-B) and the adaptive-routing
+//! resilience experiments of §IV-B: a pod/rail/spine fabric with per-link
+//! error-rate and up/down state, static (hash + SHIELD) and adaptive
+//! routing policies, a ring all-reduce bandwidth model standing in for
+//! NCCL-Tests, and the two Fig. 12 experiment harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_network::experiments::contention_experiment;
+//!
+//! let result = contention_experiment(16, 1);
+//! let (cv_with_ar, cv_without_ar) = result.cvs();
+//! assert!(cv_with_ar <= cv_without_ar); // AR lowers variance
+//! ```
+
+pub mod collective;
+pub mod experiments;
+pub mod fabric;
+pub mod flap;
+pub mod routing;
+
+pub use collective::{evaluate_collectives, AllReduce, CollectiveBandwidth};
+pub use experiments::{ber_injection_experiment, contention_experiment, BerIterationResult, ContentionResult};
+pub use fabric::{Fabric, LinkId, LinkState};
+pub use flap::{flapping_experiment, FlapModel, FlapSample};
+pub use routing::{flow_bandwidths, route_flows, Flow, RoutedFlow, RoutingPolicy};

@@ -1,0 +1,303 @@
+//! Flow routing over the fabric: static (hash) vs adaptive routing.
+//!
+//! Adaptive Routing (paper §IV-B) picks output ports by load and health;
+//! static routing hashes each flow onto a fixed spine plane, so unlucky
+//! flows pile onto degraded or congested uplinks. SHIELD-style self-healing
+//! is modelled as a threshold that takes badly-degraded links out of the
+//! static route set (with its conservative threshold, mildly degraded
+//! links stay in service — exactly the gap AR closes).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+
+use crate::fabric::{Fabric, LinkId, SPINE_PLANES};
+
+/// How flows choose spine planes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Deterministic hash per flow; a SHIELD error-rate threshold above
+    /// which links count as down (1.0 disables SHIELD entirely).
+    Static {
+        /// Links with `error_rate >= shield_threshold` are avoided.
+        shield_threshold: f64,
+    },
+    /// Adaptive routing: per-flow choice of the least-loaded healthy
+    /// uplink, weighted by effective capacity.
+    Adaptive,
+}
+
+/// One unidirectional flow between two GPUs on the same rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source server.
+    pub src: NodeId,
+    /// Destination server.
+    pub dst: NodeId,
+    /// Rail (local GPU index) the flow travels on.
+    pub rail: u8,
+}
+
+/// A routed flow: the fabric links it occupies (empty for intra-node
+/// traffic, which rides the NVSwitch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedFlow {
+    /// The flow.
+    pub flow: Flow,
+    /// Fabric links traversed.
+    pub links: Vec<LinkId>,
+}
+
+/// Routes a set of flows under a policy, returning link assignments.
+///
+/// Adaptive routing processes flows in order, greedily placing each on the
+/// uplink with the most remaining headroom (effective capacity divided by
+/// flows already assigned) — a static approximation of per-packet
+/// adaptivity that captures its load-balancing and failure-avoidance.
+pub fn route_flows(fabric: &Fabric, flows: &[Flow], policy: RoutingPolicy) -> Vec<RoutedFlow> {
+    let mut load: std::collections::HashMap<LinkId, u32> = std::collections::HashMap::new();
+    let topo = fabric.topology();
+    flows
+        .iter()
+        .map(|&flow| {
+            let mut links = Vec::new();
+            if flow.src == flow.dst {
+                // NVSwitch-local; no fabric links.
+                return RoutedFlow { flow, links };
+            }
+            let src_pod = topo.pod_of(flow.src).index();
+            let dst_pod = topo.pod_of(flow.dst).index();
+            links.push(LinkId::Access {
+                node: flow.src,
+                rail: flow.rail,
+            });
+            if src_pod != dst_pod {
+                let up = choose_uplink(fabric, &load, src_pod, flow.rail, &flow, policy);
+                let down = choose_uplink(fabric, &load, dst_pod, flow.rail, &flow, policy);
+                links.push(up);
+                links.push(down);
+            }
+            links.push(LinkId::Access {
+                node: flow.dst,
+                rail: flow.rail,
+            });
+            for &l in &links {
+                *load.entry(l).or_insert(0) += 1;
+            }
+            RoutedFlow { flow, links }
+        })
+        .collect()
+}
+
+fn choose_uplink(
+    fabric: &Fabric,
+    load: &std::collections::HashMap<LinkId, u32>,
+    pod: u32,
+    rail: u8,
+    flow: &Flow,
+    policy: RoutingPolicy,
+) -> LinkId {
+    match policy {
+        RoutingPolicy::Static { shield_threshold } => {
+            // Deterministic hash of the flow onto a plane; SHIELD skips
+            // planes whose links look dead, scanning forward.
+            let base = (flow.src.index() as usize
+                + flow.dst.index() as usize * 31
+                + flow.rail as usize * 7)
+                % SPINE_PLANES;
+            for probe in 0..SPINE_PLANES {
+                let plane = ((base + probe) % SPINE_PLANES) as u8;
+                let link = LinkId::Uplink { pod, rail, plane };
+                let state = fabric.link_state(link);
+                if state.up && state.error_rate < shield_threshold {
+                    return link;
+                }
+            }
+            // Everything looks down; stick with the hash choice.
+            LinkId::Uplink {
+                pod,
+                rail,
+                plane: base as u8,
+            }
+        }
+        RoutingPolicy::Adaptive => {
+            // Max headroom: effective capacity / (1 + current flows).
+            fabric
+                .uplinks(pod, rail)
+                .max_by(|&a, &b| {
+                    let ha = fabric.effective_capacity(a)
+                        / (1.0 + *load.get(&a).unwrap_or(&0) as f64);
+                    let hb = fabric.effective_capacity(b)
+                        / (1.0 + *load.get(&b).unwrap_or(&0) as f64);
+                    ha.partial_cmp(&hb).expect("capacities are finite")
+                })
+                .expect("at least one uplink plane")
+        }
+    }
+}
+
+/// Max–min fair bandwidth per flow, Gb/s: each link's effective capacity is
+/// shared equally among the flows crossing it; a flow gets the minimum of
+/// its links' shares. Intra-node flows get the NVSwitch's effective
+/// bandwidth (never the bottleneck in these experiments).
+pub fn flow_bandwidths(fabric: &Fabric, routed: &[RoutedFlow]) -> Vec<f64> {
+    const NVSWITCH_GBPS: f64 = 4800.0;
+    let mut counts: std::collections::HashMap<LinkId, u32> = std::collections::HashMap::new();
+    for rf in routed {
+        for &l in &rf.links {
+            *counts.entry(l).or_insert(0) += 1;
+        }
+    }
+    routed
+        .iter()
+        .map(|rf| {
+            if rf.links.is_empty() {
+                return NVSWITCH_GBPS;
+            }
+            rf.links
+                .iter()
+                .map(|&l| fabric.effective_capacity(l) / counts[&l] as f64)
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::spec::ClusterSpec;
+
+    fn fabric() -> Fabric {
+        Fabric::new(&ClusterSpec::new("t", 80)) // 4 pods of 20 nodes
+    }
+
+    fn cross_pod_flow(rail: u8) -> Flow {
+        Flow {
+            src: NodeId::new(0),
+            dst: NodeId::new(25), // pod 1
+            rail,
+        }
+    }
+
+    #[test]
+    fn same_node_flows_use_nvswitch() {
+        let f = fabric();
+        let flows = [Flow {
+            src: NodeId::new(0),
+            dst: NodeId::new(0),
+            rail: 0,
+        }];
+        let routed = route_flows(&f, &flows, RoutingPolicy::Adaptive);
+        assert!(routed[0].links.is_empty());
+        let bw = flow_bandwidths(&f, &routed);
+        assert!(bw[0] > 1000.0);
+    }
+
+    #[test]
+    fn same_pod_flows_skip_spines() {
+        let f = fabric();
+        let flows = [Flow {
+            src: NodeId::new(0),
+            dst: NodeId::new(5),
+            rail: 2,
+        }];
+        let routed = route_flows(&f, &flows, RoutingPolicy::Adaptive);
+        assert_eq!(routed[0].links.len(), 2); // two access links only
+    }
+
+    #[test]
+    fn cross_pod_flows_take_uplinks() {
+        let f = fabric();
+        let routed = route_flows(&f, &[cross_pod_flow(0)], RoutingPolicy::Adaptive);
+        assert_eq!(routed[0].links.len(), 4);
+        assert!(matches!(routed[0].links[1], LinkId::Uplink { .. }));
+    }
+
+    #[test]
+    fn adaptive_avoids_degraded_uplinks() {
+        let mut f = fabric();
+        // Degrade three of the four planes on the source pod's rail 0.
+        for plane in 0..3u8 {
+            f.inject_error_rate(
+                LinkId::Uplink {
+                    pod: 0,
+                    rail: 0,
+                    plane,
+                },
+                0.9,
+            );
+        }
+        let routed = route_flows(&f, &[cross_pod_flow(0)], RoutingPolicy::Adaptive);
+        let up = routed[0].links[1];
+        assert_eq!(
+            up,
+            LinkId::Uplink {
+                pod: 0,
+                rail: 0,
+                plane: 3
+            }
+        );
+    }
+
+    #[test]
+    fn static_routing_hits_degraded_links_sometimes() {
+        let mut f = fabric();
+        for plane in 0..SPINE_PLANES as u8 {
+            f.inject_error_rate(
+                LinkId::Uplink {
+                    pod: 0,
+                    rail: 0,
+                    plane,
+                },
+                if plane == 0 { 0.8 } else { 0.0 },
+            );
+        }
+        // SHIELD threshold 1.0 = disabled → the hash may land on plane 0.
+        let flows: Vec<Flow> = (0..SPINE_PLANES as u32)
+            .map(|i| Flow {
+                src: NodeId::new(0),
+                dst: NodeId::new(20 + i),
+                rail: 0,
+            })
+            .collect();
+        let routed = route_flows(&f, &flows, RoutingPolicy::Static { shield_threshold: 1.1 });
+        let hits_bad = routed.iter().any(|rf| {
+            rf.links.contains(&LinkId::Uplink {
+                pod: 0,
+                rail: 0,
+                plane: 0,
+            })
+        });
+        assert!(hits_bad, "hash routing should land on the degraded plane");
+        // With SHIELD at 0.5, the degraded plane is avoided.
+        let shielded = route_flows(&f, &flows, RoutingPolicy::Static { shield_threshold: 0.5 });
+        assert!(shielded.iter().all(|rf| {
+            !rf.links.contains(&LinkId::Uplink {
+                pod: 0,
+                rail: 0,
+                plane: 0,
+            })
+        }));
+    }
+
+    #[test]
+    fn bandwidth_shares_on_contention() {
+        let f = fabric();
+        // Two flows from the same source GPU share its access link.
+        let flows = [
+            Flow {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                rail: 0,
+            },
+            Flow {
+                src: NodeId::new(0),
+                dst: NodeId::new(2),
+                rail: 0,
+            },
+        ];
+        let routed = route_flows(&f, &flows, RoutingPolicy::Adaptive);
+        let bw = flow_bandwidths(&f, &routed);
+        assert!((bw[0] - 100.0).abs() < 1e-9, "{bw:?}");
+    }
+}

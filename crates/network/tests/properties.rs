@@ -1,0 +1,144 @@
+//! Property-based tests of fabric routing and bandwidth computation.
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::NodeId;
+use rsc_cluster::spec::ClusterSpec;
+use rsc_network::collective::{evaluate_collectives, AllReduce};
+use rsc_network::fabric::{Fabric, LinkId, ACCESS_GBPS, SPINE_PLANES};
+use rsc_network::routing::{flow_bandwidths, route_flows, Flow, RoutingPolicy};
+
+fn policy_from(adaptive: bool) -> RoutingPolicy {
+    if adaptive {
+        RoutingPolicy::Adaptive
+    } else {
+        RoutingPolicy::Static { shield_threshold: 0.95 }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Routed flows are structurally valid: access links at both ends,
+    /// uplinks only for cross-pod traffic, and uplinks belong to the
+    /// correct pods and rail.
+    #[test]
+    fn routes_are_structurally_valid(
+        pairs in prop::collection::vec((0u32..80, 0u32..80, 0u8..8), 1..40),
+        adaptive in any::<bool>(),
+    ) {
+        let spec = ClusterSpec::new("p", 80);
+        let fabric = Fabric::new(&spec);
+        let flows: Vec<Flow> = pairs
+            .iter()
+            .map(|&(s, d, rail)| Flow {
+                src: NodeId::new(s),
+                dst: NodeId::new(d),
+                rail,
+            })
+            .collect();
+        let routed = route_flows(&fabric, &flows, policy_from(adaptive));
+        prop_assert_eq!(routed.len(), flows.len());
+        let topo = fabric.topology();
+        for rf in &routed {
+            if rf.flow.src == rf.flow.dst {
+                prop_assert!(rf.links.is_empty());
+                continue;
+            }
+            let same_pod = topo.pod_of(rf.flow.src) == topo.pod_of(rf.flow.dst);
+            prop_assert_eq!(rf.links.len(), if same_pod { 2 } else { 4 });
+            for l in &rf.links {
+                match *l {
+                    LinkId::Access { node, rail } => {
+                        prop_assert!(node == rf.flow.src || node == rf.flow.dst);
+                        prop_assert_eq!(rail, rf.flow.rail);
+                    }
+                    LinkId::Uplink { pod, rail, plane } => {
+                        prop_assert!(
+                            pod == topo.pod_of(rf.flow.src).index()
+                                || pod == topo.pod_of(rf.flow.dst).index()
+                        );
+                        prop_assert_eq!(rail, rf.flow.rail);
+                        prop_assert!((plane as usize) < SPINE_PLANES);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-flow bandwidth never exceeds any traversed link's capacity and
+    /// is non-negative.
+    #[test]
+    fn bandwidths_respect_capacity(
+        pairs in prop::collection::vec((0u32..40, 0u32..40, 0u8..8), 1..30),
+        degrade in prop::collection::vec((0u32..2, 0u8..8, 0u8..4, 0.0f64..1.0), 0..10),
+        adaptive in any::<bool>(),
+    ) {
+        let spec = ClusterSpec::new("p", 40);
+        let mut fabric = Fabric::new(&spec);
+        for (pod, rail, plane, err) in degrade {
+            fabric.inject_error_rate(LinkId::Uplink { pod, rail, plane }, err);
+        }
+        let flows: Vec<Flow> = pairs
+            .iter()
+            .map(|&(s, d, rail)| Flow {
+                src: NodeId::new(s),
+                dst: NodeId::new(d),
+                rail,
+            })
+            .collect();
+        let routed = route_flows(&fabric, &flows, policy_from(adaptive));
+        let bws = flow_bandwidths(&fabric, &routed);
+        for (bw, rf) in bws.iter().zip(&routed) {
+            prop_assert!(*bw >= 0.0);
+            if !rf.links.is_empty() {
+                prop_assert!(*bw <= ACCESS_GBPS + 1e-9);
+                for l in &rf.links {
+                    prop_assert!(*bw <= fabric.effective_capacity(*l) + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Collective bandwidth is positive on a healthy fabric and never
+    /// exceeds the rail-parallel access bound.
+    #[test]
+    fn collective_bandwidth_bounded(nodes in 2usize..32, adaptive in any::<bool>()) {
+        let spec = ClusterSpec::new("p", 64);
+        let fabric = Fabric::new(&spec);
+        let ar = AllReduce::new((0..nodes as u32).map(NodeId::new).collect());
+        let result = evaluate_collectives(&fabric, std::slice::from_ref(&ar), policy_from(adaptive));
+        let bw = result.busbw_gbps[0];
+        prop_assert!(bw > 0.0);
+        prop_assert!(bw <= 8.0 * ACCESS_GBPS + 1e-9);
+    }
+
+    /// Degrading links never increases adaptive-routing bandwidth.
+    #[test]
+    fn degradation_is_monotone_for_adaptive(err in 0.0f64..1.0) {
+        let spec = ClusterSpec::new("p", 40);
+        let ar = AllReduce::new(vec![
+            NodeId::new(0),
+            NodeId::new(10),
+            NodeId::new(25),
+            NodeId::new(35),
+        ]);
+        let healthy = {
+            let fabric = Fabric::new(&spec);
+            evaluate_collectives(&fabric, std::slice::from_ref(&ar), RoutingPolicy::Adaptive)
+                .busbw_gbps[0]
+        };
+        let mut fabric = Fabric::new(&spec);
+        for pod in 0..2 {
+            for rail in 0..8 {
+                for plane in 0..SPINE_PLANES as u8 {
+                    fabric.inject_error_rate(LinkId::Uplink { pod, rail, plane }, err);
+                }
+            }
+        }
+        let degraded =
+            evaluate_collectives(&fabric, std::slice::from_ref(&ar), RoutingPolicy::Adaptive)
+                .busbw_gbps[0];
+        prop_assert!(degraded <= healthy + 1e-9);
+    }
+}

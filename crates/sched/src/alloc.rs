@@ -1,0 +1,300 @@
+//! GPU slot accounting and topology-aware gang allocation.
+//!
+//! Sub-node jobs (the >90% of jobs smaller than one server, Obs. 7) share
+//! nodes at GPU-slot granularity; multi-node jobs take whole servers.
+//! Multi-node placement packs pods first, mirroring Slurm's attempt to
+//! "co-locate the tasks given the physical network topology" (§II-A).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::NodeId;
+use rsc_cluster::node::GPUS_PER_NODE;
+use rsc_cluster::topology::Topology;
+
+use crate::job::JobSpec;
+
+/// Tracks free GPU slots and schedulability for every node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePool {
+    topology: Topology,
+    free_slots: Vec<u8>,
+    available: Vec<bool>,
+}
+
+impl ResourcePool {
+    /// Creates a pool with all nodes available and empty.
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.num_nodes() as usize;
+        ResourcePool {
+            topology,
+            free_slots: vec![GPUS_PER_NODE as u8; n],
+            available: vec![true; n],
+        }
+    }
+
+    /// The placement topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Marks a node schedulable or not (driven by cluster health state).
+    /// Resource accounting is unchanged; running jobs are the scheduler's
+    /// concern.
+    pub fn set_available(&mut self, node: NodeId, available: bool) {
+        self.available[node.as_usize()] = available;
+    }
+
+    /// Whether a node is currently schedulable.
+    pub fn is_available(&self, node: NodeId) -> bool {
+        self.available[node.as_usize()]
+    }
+
+    /// Free GPU slots on a node.
+    pub fn free_slots(&self, node: NodeId) -> u8 {
+        self.free_slots[node.as_usize()]
+    }
+
+    /// Total free GPUs on available nodes.
+    pub fn total_free_gpus(&self) -> u64 {
+        self.free_slots
+            .iter()
+            .zip(&self.available)
+            .filter(|(_, &a)| a)
+            .map(|(&f, _)| f as u64)
+            .sum()
+    }
+
+    /// Total GPUs in the pool (available or not).
+    pub fn total_gpus(&self) -> u64 {
+        self.free_slots.len() as u64 * GPUS_PER_NODE as u64
+    }
+
+    /// Attempts to find an allocation for the spec without committing it.
+    ///
+    /// Sub-node jobs best-fit into the fullest node that still fits them
+    /// (reducing fragmentation); multi-node jobs take fully-free nodes,
+    /// packing pods with the most free capacity first.
+    pub fn try_allocate(&self, spec: &JobSpec) -> Option<Vec<NodeId>> {
+        if spec.is_sub_node() {
+            self.best_fit_sub_node(spec.gpus as u8).map(|n| vec![n])
+        } else {
+            self.pack_whole_nodes(spec.nodes_needed() as usize)
+        }
+    }
+
+    fn best_fit_sub_node(&self, gpus: u8) -> Option<NodeId> {
+        let mut best: Option<(u8, usize)> = None;
+        for (i, (&free, &avail)) in self.free_slots.iter().zip(&self.available).enumerate() {
+            if !avail || free < gpus {
+                continue;
+            }
+            // Prefer the tightest fit; ties go to the lowest index for
+            // determinism.
+            match best {
+                Some((bf, _)) if bf <= free => {}
+                _ => best = Some((free, i)),
+            }
+            if free == gpus {
+                break; // perfect fit
+            }
+        }
+        best.map(|(_, i)| NodeId::new(i as u32))
+    }
+
+    fn pack_whole_nodes(&self, needed: usize) -> Option<Vec<NodeId>> {
+        // Gather fully-free nodes grouped by pod (node ids are pod-ordered).
+        let free_nodes: Vec<u32> = self
+            .free_slots
+            .iter()
+            .zip(&self.available)
+            .enumerate()
+            .filter(|(_, (&f, &a))| a && f as usize == GPUS_PER_NODE)
+            .map(|(i, _)| i as u32)
+            .collect();
+        if free_nodes.len() < needed {
+            return None;
+        }
+        // Group by pod, then take from the pods with the most free nodes so
+        // jobs span as few pods as possible.
+        let mut by_pod: Vec<(u32, Vec<u32>)> = Vec::new();
+        for idx in free_nodes {
+            let pod = self.topology.pod_of(NodeId::new(idx)).index();
+            match by_pod.last_mut() {
+                Some((p, v)) if *p == pod => v.push(idx),
+                _ => by_pod.push((pod, vec![idx])),
+            }
+        }
+        by_pod.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut chosen = Vec::with_capacity(needed);
+        for (_, nodes) in by_pod {
+            for idx in nodes {
+                chosen.push(NodeId::new(idx));
+                if chosen.len() == needed {
+                    chosen.sort();
+                    return Some(chosen);
+                }
+            }
+        }
+        None
+    }
+
+    /// Commits an allocation previously returned by [`Self::try_allocate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes cannot hold the job (double-commit bug).
+    pub fn commit(&mut self, nodes: &[NodeId], spec: &JobSpec) {
+        if spec.is_sub_node() {
+            let n = nodes[0].as_usize();
+            assert!(
+                self.free_slots[n] >= spec.gpus as u8,
+                "commit over capacity on {}",
+                nodes[0]
+            );
+            self.free_slots[n] -= spec.gpus as u8;
+        } else {
+            for &node in nodes {
+                let n = node.as_usize();
+                assert!(
+                    self.free_slots[n] as usize == GPUS_PER_NODE,
+                    "commit on non-free node {node}"
+                );
+                self.free_slots[n] = 0;
+            }
+        }
+    }
+
+    /// Releases a previously committed allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the release would exceed node capacity (double-release bug).
+    pub fn release(&mut self, nodes: &[NodeId], spec: &JobSpec) {
+        if spec.is_sub_node() {
+            let n = nodes[0].as_usize();
+            let new = self.free_slots[n] + spec.gpus as u8;
+            assert!(new as usize <= GPUS_PER_NODE, "release over capacity on {}", nodes[0]);
+            self.free_slots[n] = new;
+        } else {
+            for &node in nodes {
+                let n = node.as_usize();
+                assert!(self.free_slots[n] == 0, "release of non-committed node {node}");
+                self.free_slots[n] = GPUS_PER_NODE as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::JobId;
+    use rsc_cluster::spec::ClusterSpec;
+    use rsc_sim_core::time::{SimDuration, SimTime};
+
+    use crate::job::{Destiny, QosClass};
+
+    fn pool(nodes: u32) -> ResourcePool {
+        ResourcePool::new(Topology::new(&ClusterSpec::new("t", nodes)))
+    }
+
+    fn spec(gpus: u32) -> JobSpec {
+        JobSpec {
+            id: JobId::new(1),
+            project: Default::default(),
+            run: None,
+            gpus,
+            submit_at: SimTime::ZERO,
+            work: SimDuration::from_hours(1),
+            time_limit: SimDuration::from_days(7),
+            qos: QosClass::Normal,
+            checkpoint_interval: SimDuration::from_hours(1),
+            restart_overhead: SimDuration::from_mins(5),
+            destiny: Destiny::Complete,
+            requeue_on_user_failure: false,
+        }
+    }
+
+    #[test]
+    fn sub_node_jobs_share_a_node() {
+        let mut p = pool(4);
+        let s1 = spec(3);
+        let a1 = p.try_allocate(&s1).unwrap();
+        p.commit(&a1, &s1);
+        let s2 = spec(5);
+        let a2 = p.try_allocate(&s2).unwrap();
+        p.commit(&a2, &s2);
+        // Best fit packs both onto the same node (3 + 5 = 8).
+        assert_eq!(a1, a2);
+        assert_eq!(p.free_slots(a1[0]), 0);
+    }
+
+    #[test]
+    fn multi_node_requires_fully_free_nodes() {
+        let mut p = pool(2);
+        let small = spec(1);
+        let a = p.try_allocate(&small).unwrap();
+        p.commit(&a, &small);
+        // 16-GPU job needs two fully-free nodes; only one remains.
+        assert!(p.try_allocate(&spec(16)).is_none());
+        assert!(p.try_allocate(&spec(8)).is_some());
+    }
+
+    #[test]
+    fn multi_node_packs_single_pod_when_possible() {
+        // 40 nodes = 2 pods of 20.
+        let mut p = pool(40);
+        // Occupy 10 nodes of pod 0 so pod 1 has more capacity.
+        for i in 0..10 {
+            let s = spec(8);
+            let nodes = vec![NodeId::new(i)];
+            p.commit(&nodes, &s);
+        }
+        let a = p.try_allocate(&spec(80)).unwrap(); // 10 nodes
+        let pods = p.topology().pods_spanned(a.iter());
+        assert_eq!(pods, 1, "allocation should fit in one pod: {a:?}");
+        // They should come from pod 1 (20 free) rather than pod 0 (10 free).
+        assert!(a.iter().all(|n| p.topology().pod_of(*n).index() == 1));
+    }
+
+    #[test]
+    fn unavailable_nodes_are_skipped() {
+        let mut p = pool(2);
+        p.set_available(NodeId::new(0), false);
+        let a = p.try_allocate(&spec(8)).unwrap();
+        assert_eq!(a, vec![NodeId::new(1)]);
+        p.set_available(NodeId::new(1), false);
+        assert!(p.try_allocate(&spec(1)).is_none());
+    }
+
+    #[test]
+    fn commit_release_roundtrip() {
+        let mut p = pool(4);
+        let s = spec(16);
+        let a = p.try_allocate(&s).unwrap();
+        p.commit(&a, &s);
+        assert_eq!(p.total_free_gpus(), 16);
+        p.release(&a, &s);
+        assert_eq!(p.total_free_gpus(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of non-committed node")]
+    fn double_release_panics() {
+        let mut p = pool(1);
+        let s = spec(8);
+        p.release(&[NodeId::new(0)], &s);
+    }
+
+    #[test]
+    fn allocation_exhausts_then_fails() {
+        let mut p = pool(2);
+        let s = spec(8);
+        for _ in 0..2 {
+            let a = p.try_allocate(&s).unwrap();
+            p.commit(&a, &s);
+        }
+        assert!(p.try_allocate(&spec(1)).is_none());
+        assert_eq!(p.total_free_gpus(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Slurm-like gang scheduler model for the `rsc-reliability` workspace.
+//!
+//! Reproduces the scheduling semantics the paper's clusters run on
+//! (§II-A): multifactor priorities over QoS tiers, gang allocation at GPU
+//! and whole-node granularity with topology-aware packing, preemption only
+//! after a two-hour runtime floor, seven-day lifetime caps, and automatic
+//! requeue of infrastructure-killed jobs under the same job id. Every
+//! terminal transition writes a [`accounting::JobRecord`] — the simulated
+//! `sacct` log that the analysis crates consume.
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_cluster::ids::JobId;
+//! use rsc_cluster::spec::ClusterSpec;
+//! use rsc_cluster::topology::Topology;
+//! use rsc_sched::job::{Destiny, JobSpec, JobStatus, QosClass};
+//! use rsc_sched::sched::{SchedConfig, Scheduler};
+//! use rsc_sim_core::time::{SimDuration, SimTime};
+//!
+//! let topo = Topology::new(&ClusterSpec::small_test());
+//! let mut sched = Scheduler::new(topo, SchedConfig::rsc_default());
+//! sched.submit(JobSpec {
+//!     id: JobId::new(1),
+//!     project: Default::default(),
+//!     run: None,
+//!     gpus: 64,
+//!     submit_at: SimTime::ZERO,
+//!     work: SimDuration::from_hours(4),
+//!     time_limit: SimDuration::from_days(1),
+//!     qos: QosClass::High,
+//!     checkpoint_interval: SimDuration::from_hours(1),
+//!     restart_overhead: SimDuration::from_mins(5),
+//!     destiny: Destiny::Complete,
+//!     requeue_on_user_failure: false,
+//! });
+//! let started = sched.cycle(SimTime::from_mins(1));
+//! assert_eq!(started.len(), 1);
+//! assert_eq!(started[0].nodes.len(), 8); // 64 GPUs = 8 whole nodes
+//! sched.finish(JobId::new(1), 0, JobStatus::Completed, SimTime::from_hours(5));
+//! assert_eq!(sched.records().len(), 1);
+//! ```
+
+pub mod accounting;
+pub mod alloc;
+pub mod job;
+pub mod project;
+pub mod sched;
+
+pub use accounting::JobRecord;
+pub use alloc::ResourcePool;
+pub use job::{Destiny, Job, JobSpec, JobState, JobStatus, QosClass};
+pub use project::{ProjectId, ProjectQuotas, ProjectUsage};
+pub use sched::{InterruptCause, SchedConfig, Scheduler, StartedAttempt};

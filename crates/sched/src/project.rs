@@ -1,0 +1,145 @@
+//! Projects and GPU quotas.
+//!
+//! "The cluster is configured such that groups of users have a maximum
+//! quota of GPUs that is determined by a project-specific allocation"
+//! (paper §II-A). Quotas bound how much of the cluster one project can
+//! hold at once; the scheduler skips jobs whose project is at quota even
+//! when free GPUs exist.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a project (research group allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProjectId(u32);
+
+impl ProjectId {
+    /// Creates a project id.
+    pub const fn new(raw: u32) -> Self {
+        ProjectId(raw)
+    }
+
+    /// The raw id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for ProjectId {
+    /// The catch-all default project (id 0).
+    fn default() -> Self {
+        ProjectId(0)
+    }
+}
+
+impl std::fmt::Display for ProjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "proj{}", self.0)
+    }
+}
+
+/// Per-project GPU quotas. Projects without an entry are unlimited.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProjectQuotas {
+    limits: HashMap<ProjectId, u64>,
+}
+
+impl ProjectQuotas {
+    /// No quotas: every project may use the whole cluster.
+    pub fn unlimited() -> Self {
+        ProjectQuotas::default()
+    }
+
+    /// Sets a project's maximum concurrently-allocated GPUs.
+    pub fn set(&mut self, project: ProjectId, max_gpus: u64) {
+        self.limits.insert(project, max_gpus);
+    }
+
+    /// Builder-style [`Self::set`].
+    pub fn with(mut self, project: ProjectId, max_gpus: u64) -> Self {
+        self.set(project, max_gpus);
+        self
+    }
+
+    /// The quota for a project, if any.
+    pub fn quota(&self, project: ProjectId) -> Option<u64> {
+        self.limits.get(&project).copied()
+    }
+
+    /// Whether a project could start a job of `gpus` GPUs given its
+    /// current `usage`.
+    pub fn allows(&self, project: ProjectId, usage: u64, gpus: u64) -> bool {
+        match self.quota(project) {
+            None => true,
+            Some(limit) => usage + gpus <= limit,
+        }
+    }
+}
+
+/// Running per-project GPU usage accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProjectUsage {
+    busy: HashMap<ProjectId, u64>,
+}
+
+impl ProjectUsage {
+    /// Zero usage.
+    pub fn new() -> Self {
+        ProjectUsage::default()
+    }
+
+    /// GPUs currently held by a project.
+    pub fn busy(&self, project: ProjectId) -> u64 {
+        self.busy.get(&project).copied().unwrap_or(0)
+    }
+
+    /// Records an allocation.
+    pub fn acquire(&mut self, project: ProjectId, gpus: u64) {
+        *self.busy.entry(project).or_insert(0) += gpus;
+    }
+
+    /// Records a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on under-release (accounting bug).
+    pub fn release(&mut self, project: ProjectId, gpus: u64) {
+        let entry = self.busy.entry(project).or_insert(0);
+        debug_assert!(*entry >= gpus, "project usage under-release for {project}");
+        *entry = entry.saturating_sub(gpus);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_allows_everything() {
+        let q = ProjectQuotas::unlimited();
+        assert!(q.allows(ProjectId::new(1), 1 << 40, 1 << 40));
+        assert_eq!(q.quota(ProjectId::new(1)), None);
+    }
+
+    #[test]
+    fn quota_binds() {
+        let q = ProjectQuotas::unlimited().with(ProjectId::new(1), 100);
+        assert!(q.allows(ProjectId::new(1), 60, 40));
+        assert!(!q.allows(ProjectId::new(1), 61, 40));
+        // Other projects unaffected.
+        assert!(q.allows(ProjectId::new(2), 0, 1000));
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut u = ProjectUsage::new();
+        let p = ProjectId::new(3);
+        u.acquire(p, 64);
+        u.acquire(p, 8);
+        assert_eq!(u.busy(p), 72);
+        u.release(p, 64);
+        assert_eq!(u.busy(p), 8);
+        assert_eq!(u.busy(ProjectId::new(9)), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of scheduler invariants under random workloads.
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::{JobId, NodeId};
+use rsc_cluster::spec::ClusterSpec;
+use rsc_cluster::topology::Topology;
+use rsc_sched::job::{Destiny, JobSpec, JobStatus, QosClass};
+use rsc_sched::sched::{InterruptCause, SchedConfig, Scheduler};
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+fn spec(id: u64, gpus: u32, qos: QosClass, submit_mins: u64) -> JobSpec {
+    JobSpec {
+        id: JobId::new(id),
+        project: Default::default(),
+        run: None,
+        gpus,
+        submit_at: SimTime::from_mins(submit_mins),
+        work: SimDuration::from_hours(2),
+        time_limit: SimDuration::from_days(1),
+        qos,
+        checkpoint_interval: SimDuration::from_hours(1),
+        restart_overhead: SimDuration::from_mins(5),
+        destiny: Destiny::Complete,
+        requeue_on_user_failure: false,
+    }
+}
+
+fn qos_from(idx: u8) -> QosClass {
+    match idx % 3 {
+        0 => QosClass::Low,
+        1 => QosClass::Normal,
+        _ => QosClass::High,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GPU accounting never leaks: busy + free == total at every step,
+    /// whatever interleaving of submit / cycle / interrupt / finish runs.
+    #[test]
+    fn accounting_is_conserved(
+        sizes in prop::collection::vec((1u32..64, 0u8..3), 1..40),
+        interrupt_node in 0u32..16,
+    ) {
+        let topo = Topology::new(&ClusterSpec::new("p", 16));
+        let mut sched = Scheduler::new(topo, SchedConfig::rsc_default());
+        let total = sched.pool().total_gpus();
+        let mut t = 1u64;
+        for (i, (gpus, qos)) in sizes.iter().enumerate() {
+            sched.submit(spec(i as u64 + 1, (*gpus).min(128), qos_from(*qos), t));
+            t += 1;
+            let started = sched.cycle(SimTime::from_mins(t));
+            for s in &started {
+                // Gang property: whole allocation or nothing.
+                prop_assert!(!s.nodes.is_empty());
+            }
+            prop_assert_eq!(sched.busy_gpus() + sched.pool().total_free_gpus(), total);
+        }
+        sched.interrupt_node(
+            NodeId::new(interrupt_node),
+            InterruptCause::NodeHang,
+            SimTime::from_mins(t + 1),
+        );
+        prop_assert_eq!(sched.busy_gpus() + sched.pool().total_free_gpus(), total);
+    }
+
+    /// Records are well-formed: start ≥ enqueue, end ≥ start, node count
+    /// matches the job's gang size.
+    #[test]
+    fn records_are_well_formed(
+        sizes in prop::collection::vec((1u32..32, 0u8..3), 1..30),
+    ) {
+        let topo = Topology::new(&ClusterSpec::new("p", 8));
+        let mut sched = Scheduler::new(topo, SchedConfig::rsc_default());
+        let mut t = 1u64;
+        let mut started_ids = Vec::new();
+        for (i, (gpus, qos)) in sizes.iter().enumerate() {
+            sched.submit(spec(i as u64 + 1, (*gpus).min(64), qos_from(*qos), t));
+            for s in sched.cycle(SimTime::from_mins(t)) {
+                started_ids.push((s.job, s.attempt));
+            }
+            t += 2;
+        }
+        for (id, attempt) in started_ids {
+            sched.finish(id, attempt, JobStatus::Completed, SimTime::from_mins(t + 60));
+        }
+        for r in sched.records() {
+            let start = r.started_at.expect("completed records started");
+            prop_assert!(start >= r.enqueued_at);
+            prop_assert!(r.ended_at >= start);
+            if r.gpus >= 8 {
+                prop_assert_eq!(r.nodes.len() as u32, r.gpus.div_ceil(8));
+            } else {
+                prop_assert_eq!(r.nodes.len(), 1);
+            }
+        }
+    }
+
+    /// Node interruption requeues every affected job exactly once with a
+    /// bumped attempt, and the node ends up empty.
+    #[test]
+    fn interrupts_requeue_once(
+        njobs in 1usize..10,
+        cause_idx in 0u8..3,
+    ) {
+        let topo = Topology::new(&ClusterSpec::new("p", 1));
+        let mut sched = Scheduler::new(topo, SchedConfig::rsc_default());
+        for i in 0..njobs {
+            // 1-GPU jobs share the single node (8 slots).
+            sched.submit(spec(i as u64 + 1, 1, QosClass::Normal, 1));
+        }
+        let started = sched.cycle(SimTime::from_mins(1));
+        let expected = njobs.min(8);
+        prop_assert_eq!(started.len(), expected);
+        let cause = match cause_idx % 3 {
+            0 => InterruptCause::NodeHang,
+            1 => InterruptCause::HealthCheck,
+            _ => InterruptCause::AppCrash,
+        };
+        let victims = sched.interrupt_node(NodeId::new(0), cause, SimTime::from_hours(1));
+        prop_assert_eq!(victims.len(), expected);
+        prop_assert!(sched.jobs_on_node(NodeId::new(0)).is_empty());
+        for v in victims {
+            let job = sched.job(v).expect("requeued job exists");
+            prop_assert!(job.is_pending());
+            prop_assert_eq!(job.attempt, 1);
+        }
+    }
+
+    /// Priority ordering: when capacity suffices for exactly one job, the
+    /// higher QoS submission always wins regardless of submission order.
+    #[test]
+    fn higher_qos_wins(flip in any::<bool>()) {
+        let topo = Topology::new(&ClusterSpec::new("p", 1));
+        let mut sched = Scheduler::new(topo, SchedConfig::rsc_default());
+        let (first, second) = if flip {
+            (QosClass::High, QosClass::Low)
+        } else {
+            (QosClass::Low, QosClass::High)
+        };
+        sched.submit(spec(1, 8, first, 1));
+        sched.submit(spec(2, 8, second, 1));
+        let started = sched.cycle(SimTime::from_mins(2));
+        prop_assert_eq!(started.len(), 1);
+        let winner = sched.job(started[0].job).expect("winner exists");
+        prop_assert_eq!(winner.spec.qos, QosClass::High);
+    }
+}

@@ -1,0 +1,432 @@
+//! Deterministic random sources and distribution samplers.
+//!
+//! Every random draw in the simulator flows through [`SimRng`], a thin
+//! wrapper around a seeded [`rand::rngs::StdRng`]. Subsystems obtain
+//! independent streams with [`SimRng::fork`], so adding draws to one
+//! subsystem never perturbs another — a prerequisite for reproducible
+//! experiments and A/B ablations.
+//!
+//! Distribution samplers (exponential, normal, lognormal, gamma, Weibull,
+//! Poisson, Pareto) are implemented here directly rather than pulling in an
+//! external distributions crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic random number generator for simulations.
+///
+/// ```
+/// use rsc_sim_core::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// Forking is stable: the child depends only on the parent's seed
+    /// material drawn at fork time and on `label`, so forking the same labels
+    /// in the same order yields the same streams.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        // SplitMix64-style mix of (base, label) for good seed dispersion.
+        let mut z = base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seed_from(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_range requires lo < hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below requires n > 0");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+
+    /// Exponential variate with the given `rate` (λ); mean is `1/rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        // Inverse CDF; 1 - U avoids ln(0).
+        -(1.0 - self.uniform()).ln() / rate
+    }
+
+    /// Standard normal variate (Box–Muller, polar form).
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "std_dev must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Lognormal variate where the *underlying normal* has the given
+    /// `mu`/`sigma` (i.e. the median is `exp(mu)`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Gamma variate with shape `k` and scale `theta` (mean `k·theta`),
+    /// using Marsaglia–Tsang squeeze with the boost for `k < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `theta` is not strictly positive.
+    pub fn gamma(&mut self, k: f64, theta: f64) -> f64 {
+        assert!(k > 0.0 && theta > 0.0, "gamma parameters must be positive");
+        if k < 1.0 {
+            // Boost: Gamma(k) = Gamma(k+1) * U^(1/k).
+            let u = self.uniform().max(f64::MIN_POSITIVE);
+            return self.gamma(k + 1.0, theta) * u.powf(1.0 / k);
+        }
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.standard_normal();
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = self.uniform();
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+            {
+                return d * v * theta;
+            }
+        }
+    }
+
+    /// Weibull variate with the given shape and scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        scale * (-(1.0 - self.uniform()).ln()).powf(1.0 / shape)
+    }
+
+    /// Pareto variate with minimum `x_min` and tail index `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        x_min / (1.0 - self.uniform()).powf(1.0 / alpha)
+    }
+
+    /// Poisson variate with mean `lambda`.
+    ///
+    /// Uses Knuth's product method for small means and a rounded normal
+    /// approximation beyond `lambda = 256` (relative error there is well
+    /// under a percent, which is ample for event counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda <= 256.0 {
+            let l = (-lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= self.uniform();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.normal(lambda, lambda.sqrt());
+            if x < 0.0 {
+                0
+            } else {
+                x.round() as u64
+            }
+        }
+    }
+}
+
+/// A discrete distribution over `0..n` with fixed weights, sampled in
+/// `O(log n)` by binary search over the cumulative sum.
+///
+/// ```
+/// use rsc_sim_core::rng::{SimRng, WeightedIndex};
+///
+/// let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = SimRng::seed_from(7);
+/// let idx = dist.sample(&mut rng);
+/// assert!(idx == 0 || idx == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Error from constructing a [`WeightedIndex`] with invalid weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidWeightsError;
+
+impl std::fmt::Display for InvalidWeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "weights must be non-negative, finite, and sum to a positive value")
+    }
+}
+
+impl std::error::Error for InvalidWeightsError {}
+
+impl WeightedIndex {
+    /// Builds a weighted sampler from an iterator of non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWeightsError`] if any weight is negative or
+    /// non-finite, or if all weights are zero.
+    pub fn new<I>(weights: I) -> Result<Self, InvalidWeightsError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(InvalidWeightsError);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(InvalidWeightsError);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (cannot occur for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a category index proportional to its weight.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let x = rng.uniform() * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_stable() {
+        let mut parent1 = SimRng::seed_from(1);
+        let mut parent2 = SimRng::seed_from(1);
+        let mut a1 = parent1.fork(10);
+        let mut a2 = parent2.fork(10);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+
+        let mut parent3 = SimRng::seed_from(1);
+        let mut b = parent3.fork(11);
+        let mut a3 = SimRng::seed_from(1).fork(10);
+        assert_ne!(a3.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let mut rng = SimRng::seed_from(2);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.exponential(0.25)).collect();
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = SimRng::seed_from(3);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.normal(10.0, 2.0)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn gamma_matches_moments() {
+        let mut rng = SimRng::seed_from(4);
+        // shape 3, scale 2 → mean 6, var 12.
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.gamma(3.0, 2.0)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 6.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 12.0).abs() < 0.6, "var={var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_positive() {
+        let mut rng = SimRng::seed_from(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.gamma(0.5, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 0.5).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = SimRng::seed_from(6);
+        let small: Vec<f64> = (0..30_000).map(|_| rng.poisson(3.0) as f64).collect();
+        let (mean, var) = mean_and_var(&small);
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 3.0).abs() < 0.25, "var={var}");
+
+        let large: Vec<f64> = (0..10_000).map(|_| rng.poisson(1000.0) as f64).collect();
+        let (mean, _) = mean_and_var(&large);
+        assert!((mean - 1000.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let mut rng = SimRng::seed_from(7);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.weibull(1.0, 5.0)).collect();
+        let (mean, _) = mean_and_var(&samples);
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = SimRng::seed_from(8);
+        for _ in 0..1000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = SimRng::seed_from(9);
+        let mut samples: Vec<f64> = (0..30_001).map(|_| rng.lognormal(1.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 1.0f64.exp()).abs() < 0.08, "median={median}");
+    }
+
+    #[test]
+    fn weighted_index_proportions() {
+        let dist = WeightedIndex::new([1.0, 3.0]).unwrap();
+        let mut rng = SimRng::seed_from(10);
+        let mut counts = [0u32; 2];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([1.0, -1.0]).is_err());
+        assert!(WeightedIndex::new([f64::NAN]).is_err());
+        assert!(WeightedIndex::new(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let dist = WeightedIndex::new([1.0, 0.0, 1.0]).unwrap();
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..10_000 {
+            assert_ne!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(12);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+}

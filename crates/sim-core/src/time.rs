@@ -1,0 +1,379 @@
+//! Simulation time and duration newtypes.
+//!
+//! All simulation timestamps are integer **seconds** since the start of the
+//! simulated measurement window. Integer seconds are precise enough for
+//! cluster-level events (health checks fire every five minutes, jobs run for
+//! hours) while keeping event ordering exact and platform-independent.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in whole seconds since simulation start.
+///
+/// `SimTime` is ordered, copyable, and supports arithmetic with
+/// [`SimDuration`]:
+///
+/// ```
+/// use rsc_sim_core::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_hours(2);
+/// assert_eq!(t.as_secs(), 7200);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_mins(120));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in whole seconds.
+///
+/// ```
+/// use rsc_sim_core::time::SimDuration;
+///
+/// assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+/// assert_eq!(SimDuration::from_hours(1).as_days(), 1.0 / 24.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; useful as an "infinite" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates a time from whole minutes since simulation start.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60)
+    }
+
+    /// Creates a time from whole hours since simulation start.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3600)
+    }
+
+    /// Creates a time from whole days since simulation start.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 86_400)
+    }
+
+    /// Seconds since simulation start.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Days since simulation start, as a float (for rate math and reporting).
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// Hours since simulation start, as a float.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The duration since an earlier time, saturating to zero if `earlier`
+    /// is actually later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400)
+    }
+
+    /// Creates a duration from fractional days, rounding to the nearest
+    /// second. Negative or non-finite inputs clamp to zero.
+    pub fn from_days_f64(days: f64) -> Self {
+        SimDuration(to_secs_saturating(days * 86_400.0))
+    }
+
+    /// Creates a duration from fractional hours, rounding to the nearest
+    /// second. Negative or non-finite inputs clamp to zero.
+    pub fn from_hours_f64(hours: f64) -> Self {
+        SimDuration(to_secs_saturating(hours * 3600.0))
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// whole second. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(to_secs_saturating(secs))
+    }
+
+    /// Whole seconds in this duration.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in fractional minutes.
+    pub fn as_mins(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// This duration in fractional hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// This duration in fractional days.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the nearest
+    /// second and saturating on overflow.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration(to_secs_saturating(self.0 as f64 * factor))
+    }
+}
+
+/// Converts fractional seconds to whole seconds, clamping negatives and
+/// non-finite values to zero and saturating at `u64::MAX`.
+fn to_secs_saturating(secs: f64) -> u64 {
+    if !secs.is_finite() || secs <= 0.0 {
+        if secs == f64::INFINITY {
+            return u64::MAX;
+        }
+        return 0;
+    }
+    if secs >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        secs.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Duration between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is uncertain.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`SimDuration::saturating_sub`] when the ordering is uncertain.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimDuration subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / 86_400;
+        let rem = self.0 % 86_400;
+        let h = rem / 3600;
+        let m = (rem % 3600) / 60;
+        let s = rem % 60;
+        write!(f, "d{d}+{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 86_400 {
+            write!(f, "{:.2}d", self.as_days())
+        } else if self.0 >= 3600 {
+            write!(f, "{:.2}h", self.as_hours())
+        } else if self.0 >= 60 {
+            write!(f, "{:.1}m", self.as_mins())
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_hours(5);
+        assert_eq!(t.as_secs(), 5 * 3600);
+        assert_eq!(t + SimDuration::from_hours(1), SimTime::from_hours(6));
+        assert_eq!(SimTime::from_hours(6) - t, SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_days(2), SimDuration::from_hours(48));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(SimDuration::from_days_f64(0.5), SimDuration::from_hours(12));
+        assert_eq!(SimDuration::from_hours_f64(1.5), SimDuration::from_mins(90));
+        assert!((SimDuration::from_days(3).as_days() - 3.0).abs() < 1e-12);
+        assert!((SimTime::from_days(3).as_days() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_floats_clamp() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(20);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(90_061).to_string(), "d1+01:01:01");
+        assert_eq!(SimDuration::from_secs(30).to_string(), "30s");
+        assert_eq!(SimDuration::from_mins(5).to_string(), "5.0m");
+        assert_eq!(SimDuration::from_hours(3).to_string(), "3.00h");
+        assert_eq!(SimDuration::from_days(2).to_string(), "2.00d");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        assert_eq!(SimDuration::from_hours(2).mul_f64(0.5), SimDuration::from_hours(1));
+        assert_eq!(SimDuration::from_secs(10).mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let x = SimDuration::from_secs(1);
+        let y = SimDuration::from_secs(2);
+        assert_eq!(x.min(y), x);
+        assert_eq!(x.max(y), y);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the simulation primitives.
+
+use proptest::prelude::*;
+use rsc_sim_core::event::EventQueue;
+use rsc_sim_core::rng::{SimRng, WeightedIndex};
+use rsc_sim_core::special;
+use rsc_sim_core::stats::{quantile_sorted, Ecdf, StreamingStats};
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn time_add_sub_roundtrip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = SimTime::from_secs(base);
+        let d = SimDuration::from_secs(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn duration_float_roundtrip(secs in 0u64..1_000_000_000u64) {
+        let d = SimDuration::from_secs(secs);
+        let back = SimDuration::from_days_f64(d.as_days());
+        // Round-tripping through days loses at most one second to rounding.
+        let diff = back.as_secs().abs_diff(d.as_secs());
+        prop_assert!(diff <= 1, "diff={diff}");
+    }
+
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn queue_same_time_is_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_secs(5), i);
+        }
+        for i in 0..n {
+            prop_assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn streaming_stats_matches_batch(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let s: StreamingStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_concat(
+        a in prop::collection::vec(-1e3f64..1e3, 1..50),
+        b in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let mut sa: StreamingStats = a.iter().copied().collect();
+        let sb: StreamingStats = b.iter().copied().collect();
+        let combined: StreamingStats = a.iter().chain(b.iter()).copied().collect();
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), combined.count());
+        prop_assert!((sa.mean() - combined.mean()).abs() < 1e-9);
+        prop_assert!((sa.variance() - combined.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ecdf_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let cdf = Ecdf::from_samples(xs.clone());
+        let mut probes: Vec<f64> = xs;
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for &p in &probes {
+            let v = cdf.eval(p);
+            prop_assert!(v >= last);
+            prop_assert!((0.0..=1.0).contains(&v));
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(mut xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = quantile_sorted(&xs, i as f64 / 10.0).unwrap();
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn gamma_quantile_is_monotone(shape in 0.2f64..50.0, scale in 0.01f64..100.0) {
+        let mut last = 0.0;
+        for i in 1..10 {
+            let q = special::gamma_quantile(i as f64 / 10.0, shape, scale);
+            prop_assert!(q >= last, "shape={shape} scale={scale}");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive(seed in 0u64..1000, rate in 1e-6f64..1e3) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.exponential(rate) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn weighted_index_in_bounds(
+        seed in 0u64..1000,
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let dist = WeightedIndex::new(weights.iter().copied()).unwrap();
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            let idx = dist.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+            prop_assert!(weights[idx] > 0.0, "sampled zero-weight index {idx}");
+        }
+    }
+
+    #[test]
+    fn rng_same_seed_same_stream(seed in 0u64..u64::MAX) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

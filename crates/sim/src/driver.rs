@@ -1,0 +1,597 @@
+//! The wired-up cluster simulation.
+//!
+//! [`ClusterSim`] merges four deterministic streams — job arrivals, the
+//! failure injector, scheduled job endings, and repair completions — into
+//! one discrete-event run, reproducing the operational behaviour described
+//! in the paper's §II: health checks pull bad nodes, jobs requeue under the
+//! same id, hung nodes surface as NODE_FAIL after a heartbeat timeout,
+//! permanent-but-undetected faults create restart loops until a check
+//! (possibly rolled out later) finally catches them.
+
+use std::collections::{HashMap, HashSet};
+
+use rsc_cluster::cluster::Cluster;
+use rsc_cluster::ids::{JobId, NodeId};
+use rsc_cluster::node::NodeState;
+use rsc_failure::injector::{FailureEvent, FailureInjector};
+use rsc_failure::lemon::LemonPlan;
+use rsc_failure::modes::{ModeId, Severity};
+use rsc_failure::signals::SignalKind;
+use rsc_failure::process::HazardSchedule;
+use rsc_health::monitor::HealthMonitor;
+use rsc_sched::job::{Destiny, JobStatus};
+use rsc_sched::sched::{InterruptCause, Scheduler, StartedAttempt};
+use rsc_sim_core::event::EventQueue;
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
+use rsc_workload::generator::JobStream;
+
+use crate::config::{EraPreset, SimConfig};
+
+/// Internal future events.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    /// A job attempt reaches its user-driven end (destiny, cancel, timeout).
+    JobEnd {
+        job: JobId,
+        attempt: u32,
+        status: JobStatus,
+    },
+    /// A hardware fault crashes a running attempt.
+    HwCrash { job: JobId, attempt: u32 },
+    /// The scheduler heartbeat declares a hung node failed.
+    HangDetected { node: NodeId },
+    /// A node repair completes.
+    RepairDone { node: NodeId },
+    /// Daily housekeeping: false-positive generation, utilization sampling.
+    DailySweep,
+}
+
+/// A deterministic, seeded simulation of one cluster over a time horizon.
+pub struct ClusterSim {
+    config: SimConfig,
+    cluster: Cluster,
+    sched: Scheduler,
+    monitor: HealthMonitor,
+    injector: FailureInjector,
+    stream: JobStream,
+    events: EventQueue<Ev>,
+    rng: SimRng,
+    telemetry: TelemetryStore,
+    lemons: LemonPlan,
+    /// Nodes with a permanent fault no check has caught yet.
+    broken: HashMap<NodeId, ModeId>,
+    /// Nodes draining (leave service when their last job ends).
+    draining: HashSet<NodeId>,
+    /// Utilization samples (fraction busy), taken daily.
+    utilization_samples: Vec<f64>,
+    now: SimTime,
+}
+
+impl ClusterSim {
+    /// Builds a simulation from a config and a seed. Identical inputs give
+    /// byte-identical telemetry.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let cluster = Cluster::new(config.cluster.clone());
+        let num_nodes = config.cluster.num_nodes();
+
+        // Era node sets and lemons are sampled from dedicated streams.
+        let mut era_rng = rng.fork(1);
+        let ib_spike_nodes: Vec<NodeId> = {
+            let mut set = Vec::new();
+            while set.len() < config.ib_spike_node_count.min(num_nodes as usize) {
+                let n = NodeId::new(era_rng.below(num_nodes as u64) as u32);
+                if !set.contains(&n) {
+                    set.push(n);
+                }
+            }
+            set
+        };
+        let mut schedule = HazardSchedule::new(config.modes.clone());
+        schedule = match config.eras {
+            EraPreset::None => schedule,
+            EraPreset::Rsc1 => schedule.rsc1_eras(ib_spike_nodes),
+            EraPreset::Rsc2 => schedule.rsc2_eras(ib_spike_nodes),
+        };
+        let mut lemon_rng = rng.fork(2);
+        let lemons = LemonPlan::plant_with_rate(
+            &mut lemon_rng,
+            num_nodes,
+            config.lemon_count,
+            config.lemon_extra_rate_median,
+        );
+        lemons.apply(&mut schedule);
+
+        let injector = FailureInjector::new(schedule, num_nodes, rng.fork(3));
+        let monitor = HealthMonitor::new(config.registry.clone(), rng.fork(4));
+        let stream = JobStream::new(config.workload.clone(), rng.fork(5));
+        let mut sched = Scheduler::new(cluster.topology().clone(), config.sched);
+        sched.set_quotas(config.quotas.clone());
+        let telemetry = TelemetryStore::new(config.cluster.name(), num_nodes);
+
+        let mut events = EventQueue::new();
+        events.schedule(SimTime::from_days(1), Ev::DailySweep);
+
+        ClusterSim {
+            config,
+            cluster,
+            sched,
+            monitor,
+            injector,
+            stream,
+            events,
+            rng,
+            telemetry,
+            lemons,
+            broken: HashMap::new(),
+            draining: HashSet::new(),
+            utilization_samples: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The scenario being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Ground truth: the planted lemon nodes.
+    pub fn lemons(&self) -> &LemonPlan {
+        &self.lemons
+    }
+
+    /// The cluster state (for inspection between/after runs).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mean sampled cluster utilization so far (busy GPUs / total GPUs).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.utilization_samples.is_empty() {
+            return 0.0;
+        }
+        self.utilization_samples.iter().sum::<f64>() / self.utilization_samples.len() as f64
+    }
+
+    /// Runs the simulation for `duration` beyond the current time and
+    /// returns the accumulated telemetry.
+    ///
+    /// May be called repeatedly to extend a run; telemetry accumulates.
+    pub fn run(&mut self, duration: SimDuration) -> &TelemetryStore {
+        let horizon = self.now + duration;
+        loop {
+            let t_submit = self.stream.peek_time();
+            let t_event = self.events.peek_time().unwrap_or(SimTime::MAX);
+            let t_other = t_submit.min(t_event).min(horizon);
+
+            // Drain failures occurring strictly before the next other event.
+            if let Some(failure) = self.injector.next_before(t_other) {
+                self.now = failure.at;
+                self.handle_failure(failure);
+                self.run_cycle();
+                continue;
+            }
+
+            if t_other >= horizon {
+                break;
+            }
+
+            if t_submit <= t_event {
+                self.now = t_submit;
+                let spec = self.stream.next_job();
+                self.sched.submit(spec);
+            } else {
+                let (at, ev) = self.events.pop().expect("peeked event exists");
+                self.now = at;
+                self.handle_event(ev);
+            }
+            self.run_cycle();
+        }
+        self.now = horizon;
+        self.finish_run();
+        &self.telemetry
+    }
+
+    /// Consumes the simulation, returning the telemetry store.
+    pub fn into_telemetry(mut self) -> TelemetryStore {
+        self.finish_run();
+        self.telemetry
+    }
+
+    fn finish_run(&mut self) {
+        for record in self.sched.take_records() {
+            self.telemetry.push_job(record);
+        }
+        self.telemetry.set_gpu_swaps(self.cluster.total_gpu_swaps());
+        self.telemetry.set_horizon(self.now);
+    }
+
+    // ---- event handling ----
+
+    fn handle_event(&mut self, ev: Ev) {
+        match ev {
+            Ev::JobEnd { job, attempt, status } => {
+                self.sched.finish(job, attempt, status, self.now);
+            }
+            Ev::HwCrash { job, attempt } => {
+                let nodes: Vec<NodeId> = self
+                    .sched
+                    .job(job)
+                    .map(|j| j.allocated_nodes().to_vec())
+                    .unwrap_or_default();
+                if self.sched.crash_job(job, attempt, self.now) {
+                    self.maybe_exclude(&nodes, job);
+                    self.check_drained(&nodes);
+                    // The broken hardware re-manifests with every crash,
+                    // giving (possibly newly rolled-out) checks another
+                    // chance to catch it.
+                    for node in nodes {
+                        self.remanifest_broken(node);
+                    }
+                }
+            }
+            Ev::HangDetected { node } => {
+                // The node stopped heartbeating: NODE_FAIL its jobs and pull
+                // it for remediation.
+                if self.cluster.node(node).state() != NodeState::Remediation {
+                    let victims = self.sched.interrupt_node(node, InterruptCause::NodeHang, self.now);
+                    for v in victims {
+                        self.maybe_exclude(&[node], v);
+                    }
+                    self.remediate(node, true);
+                }
+            }
+            Ev::RepairDone { node } => {
+                self.cluster.repair_node(node);
+                self.broken.remove(&node);
+                self.draining.remove(&node);
+                self.sched.set_node_available(node, true);
+                self.telemetry.push_node_event(NodeEvent {
+                    node,
+                    at: self.now,
+                    kind: NodeEventKind::ExitRemediation,
+                });
+            }
+            Ev::DailySweep => {
+                let from = self.now - SimDuration::from_days(1);
+                let fps = self.monitor.false_positives_between(
+                    from,
+                    self.now,
+                    self.config.cluster.num_nodes(),
+                );
+                for fp in fps {
+                    // False positives look real to the infrastructure: a
+                    // high-severity FP pulls a healthy node.
+                    self.telemetry.push_health_event(fp);
+                    if fp.severity == Severity::High
+                        && self.cluster.node(fp.node).state() == NodeState::Healthy
+                    {
+                        let victims =
+                            self.sched
+                                .interrupt_node(fp.node, InterruptCause::HealthCheck, self.now);
+                        for v in victims {
+                            self.maybe_exclude(&[fp.node], v);
+                        }
+                        self.remediate(fp.node, false);
+                    }
+                }
+                let busy = self.sched.busy_gpus() as f64;
+                self.utilization_samples
+                    .push(busy / self.config.cluster.total_gpus() as f64);
+                // Flush accounting records into telemetry incrementally.
+                for record in self.sched.take_records() {
+                    self.telemetry.push_job(record);
+                }
+                self.events.schedule(self.now + SimDuration::from_days(1), Ev::DailySweep);
+            }
+        }
+    }
+
+    fn handle_failure(&mut self, failure: FailureEvent) {
+        // Lemon defects evade diagnosis: the repair shop finds "no trouble",
+        // the node returns to service quickly, and the defect (the elevated
+        // hazard) persists — the recurring pattern §IV-A hunts for.
+        let failure = FailureEvent {
+            permanent: failure.permanent && !self.lemons.is_lemon(failure.node),
+            ..failure
+        };
+        self.telemetry.push_ground_truth(failure);
+        let node = failure.node;
+        if self.cluster.node(node).state() == NodeState::Remediation {
+            return; // already out of service
+        }
+
+        // Record component damage and raise the co-occurring signals.
+        let spec = self.injector.schedule().catalog().mode(failure.mode).clone();
+        if failure.permanent {
+            self.apply_permanent_damage(node, &spec);
+        }
+        let signals = self.config.cooccurrence.expand(&failure, &mut self.rng);
+        for signal in &signals {
+            if let SignalKind::Xid(xid) = signal.kind {
+                let slot = self.rng.below(rsc_cluster::node::GPUS_PER_NODE as u64) as u8;
+                self.cluster.node_mut(node).gpu_mut(slot).record_xid(xid);
+            }
+        }
+        let mut detections = Vec::new();
+        for signal in &signals {
+            detections.extend(self.monitor.observe_signal(signal));
+        }
+        for d in &detections {
+            self.telemetry.push_health_event(*d);
+        }
+
+        let highest = detections.iter().map(|d| d.severity).find(|s| *s == Severity::High);
+        if highest.is_some() {
+            // High-severity check: immediate removal + reschedule.
+            let victims = self.sched.interrupt_node(node, InterruptCause::HealthCheck, self.now);
+            for v in victims {
+                self.maybe_exclude(&[node], v);
+            }
+            self.remediate(node, false);
+        } else if !detections.is_empty() {
+            // Low-severity only: drain; the fault may still crash jobs.
+            self.drain_node(node);
+            self.crash_jobs_on_node(node, self.config.low_severity_crash_prob);
+            if self.sched.jobs_on_node(node).is_empty() {
+                self.remediate(node, true);
+            }
+        } else {
+            // Undetected.
+            if !spec.observable {
+                // Hung node: heartbeat will notice shortly.
+                self.events.schedule(
+                    self.now + self.config.heartbeat_timeout,
+                    Ev::HangDetected { node },
+                );
+            } else {
+                // Missed/pre-rollout detection: the fault still crashes the
+                // jobs running through it.
+                let p = match spec.severity {
+                    Severity::High => 1.0,
+                    Severity::Low => self.config.low_severity_crash_prob,
+                };
+                self.crash_jobs_on_node(node, p);
+                // Permanent damage with no detection leaves a silently
+                // broken node: every future job placed there will crash
+                // (and re-raise signals) until some check finally fires —
+                // the paper's restart-loop pathology.
+                if failure.permanent {
+                    self.broken.insert(node, failure.mode);
+                }
+            }
+        }
+    }
+
+    fn apply_permanent_damage(&mut self, node: NodeId, spec: &rsc_failure::modes::ModeSpec) {
+        use rsc_cluster::component::ComponentHealth;
+        self.cluster
+            .node_mut(node)
+            .set_component_health(spec.component, ComponentHealth::Failed);
+        if spec.component == rsc_cluster::component::ComponentKind::Gpu {
+            let slot = self.rng.below(rsc_cluster::node::GPUS_PER_NODE as u64) as u8;
+            self.cluster
+                .node_mut(node)
+                .gpu_mut(slot)
+                .set_health(ComponentHealth::Failed);
+        }
+    }
+
+    /// Crashes each job on `node` independently with probability `p`,
+    /// via the FAILED (application-visible) path.
+    fn crash_jobs_on_node(&mut self, node: NodeId, p: f64) {
+        let victims: Vec<(JobId, u32)> = self
+            .sched
+            .jobs_on_node(node)
+            .iter()
+            .map(|&id| (id, self.sched.job(id).expect("running job exists").attempt))
+            .collect();
+        for (id, attempt) in victims {
+            if self.rng.chance(p) {
+                let nodes: Vec<NodeId> = self
+                    .sched
+                    .job(id)
+                    .map(|j| j.allocated_nodes().to_vec())
+                    .unwrap_or_default();
+                if self.sched.crash_job(id, attempt, self.now) {
+                    self.maybe_exclude(&nodes, id);
+                    self.check_drained(&nodes);
+                }
+            }
+        }
+    }
+
+    /// Pulls a node into remediation and schedules its repair. Idempotent:
+    /// a node already in remediation is left alone.
+    fn remediate(&mut self, node: NodeId, transient_only: bool) {
+        if self.cluster.node(node).state() == NodeState::Remediation {
+            return;
+        }
+        self.cluster.remediate_node(node, self.now);
+        self.sched.set_node_available(node, false);
+        self.draining.remove(&node);
+        self.telemetry.push_node_event(NodeEvent {
+            node,
+            at: self.now,
+            kind: NodeEventKind::EnterRemediation,
+        });
+        let permanent = !transient_only
+            && (self.broken.contains_key(&node)
+                || self
+                    .cluster
+                    .node(node)
+                    .gpus()
+                    .iter()
+                    .any(|g| g.health() != rsc_cluster::component::ComponentHealth::Ok)
+                || rsc_cluster::component::ComponentKind::ALL.iter().any(|&k| {
+                    self.cluster.node(node).component_health(k)
+                        != rsc_cluster::component::ComponentHealth::Ok
+                }));
+        let dur = self.config.repair.sample(permanent, &mut self.rng);
+        self.events.schedule(self.now + dur, Ev::RepairDone { node });
+    }
+
+    /// Re-raises a silently-broken node's signals, detecting and removing
+    /// it if a matching check is now live.
+    fn remanifest_broken(&mut self, node: NodeId) {
+        let Some(&mode) = self.broken.get(&node) else {
+            return;
+        };
+        if self.cluster.node(node).state() == NodeState::Remediation {
+            return;
+        }
+        let spec = self.injector.schedule().catalog().mode(mode).clone();
+        let synthetic = FailureEvent {
+            at: self.now,
+            node,
+            mode,
+            symptom: spec.symptom,
+            permanent: true,
+        };
+        let signals = self.config.cooccurrence.expand(&synthetic, &mut self.rng);
+        let mut detections = Vec::new();
+        for signal in &signals {
+            detections.extend(self.monitor.observe_signal(signal));
+        }
+        for d in &detections {
+            self.telemetry.push_health_event(*d);
+        }
+        if detections.iter().any(|d| d.severity == Severity::High) {
+            let victims = self.sched.interrupt_node(node, InterruptCause::HealthCheck, self.now);
+            for v in victims {
+                self.maybe_exclude(&[node], v);
+            }
+            self.remediate(node, false);
+        } else if !detections.is_empty() {
+            // Low-severity catch: stop feeding the broken node new jobs; it
+            // remediates once its current jobs finish.
+            self.drain_node(node);
+            if self.sched.jobs_on_node(node).is_empty() {
+                self.remediate(node, false);
+            }
+        }
+    }
+
+    /// Marks a node draining (idempotent), syncing scheduler availability
+    /// and telemetry.
+    fn drain_node(&mut self, node: NodeId) {
+        if self.draining.insert(node) {
+            self.cluster.node_mut(node).begin_drain();
+            self.sched.set_node_available(node, false);
+            self.telemetry.push_node_event(NodeEvent {
+                node,
+                at: self.now,
+                kind: NodeEventKind::Drain,
+            });
+        }
+    }
+
+    /// After a job vacates nodes, move now-empty draining nodes onward.
+    fn check_drained(&mut self, nodes: &[NodeId]) {
+        for &node in nodes {
+            if self.draining.contains(&node) && self.sched.jobs_on_node(node).is_empty() {
+                self.remediate(node, true);
+            }
+        }
+    }
+
+    /// Users sometimes exclude nodes after failures (the weakly-correlated
+    /// lemon signal from Fig. 11).
+    fn maybe_exclude(&mut self, nodes: &[NodeId], job: JobId) {
+        if nodes.is_empty() {
+            return;
+        }
+        if self.rng.chance(self.config.exclusion_prob) {
+            let node = nodes[self.rng.below(nodes.len() as u64) as usize];
+            self.telemetry.push_exclusion(ExclusionEvent {
+                node,
+                job,
+                at: self.now,
+            });
+        }
+    }
+
+    /// Runs a scheduling cycle and post-processes starts: runs the Slurm
+    /// prolog (preflight) against silently-broken nodes, schedules each
+    /// surviving attempt's natural end, and arms crashes for jobs that
+    /// land on undetected broken hardware.
+    fn run_cycle(&mut self) {
+        let started = self.sched.cycle(self.now);
+        for s in started {
+            if let Some(&broken_node) = s.nodes.iter().find(|n| self.broken.contains_key(n)) {
+                // Preflight: the prolog check may catch the bad node right
+                // at job start — the job goes straight back to the queue
+                // and the node to remediation, no failure record.
+                if self.rng.chance(self.config.preflight_detect_prob) {
+                    self.sched
+                        .interrupt_node(broken_node, InterruptCause::HealthCheck, self.now);
+                    self.remediate(broken_node, false);
+                    continue;
+                }
+                // Undetected: the job will crash shortly after start; the
+                // crash re-raises the node's signals.
+                let delay = SimDuration::from_secs_f64(self.rng.uniform_range(60.0, 1800.0));
+                self.events.schedule(
+                    self.now + delay,
+                    Ev::HwCrash {
+                        job: s.job,
+                        attempt: s.attempt,
+                    },
+                );
+            }
+            self.arm_job_end(&s);
+        }
+    }
+
+    /// Schedules the earliest of destiny / cancel / timeout for an attempt.
+    /// No-op when the attempt already ended (e.g. a preflight kill on a
+    /// shared node earlier in the same batch).
+    fn arm_job_end(&mut self, s: &StartedAttempt) {
+        let Some(job) = self.sched.job(s.job) else {
+            return;
+        };
+        if job.attempt != s.attempt || !job.is_running() {
+            return;
+        }
+        let spec = &job.spec;
+        let (destiny_work, destiny_status) = spec.destiny_work();
+        let remaining = destiny_work.saturating_sub(job.checkpointed_work);
+        let natural_at = s.started_at + spec.restart_overhead + remaining.max(SimDuration::from_secs(1));
+        let mut end_at = natural_at;
+        let mut status = destiny_status;
+
+        if let Destiny::Cancelled { after } = spec.destiny {
+            let cancel_at = s.started_at + after.max(SimDuration::from_secs(1));
+            if cancel_at < end_at {
+                end_at = cancel_at;
+                status = JobStatus::Cancelled;
+            }
+        }
+        let timeout_at = s.started_at + spec.time_limit;
+        if timeout_at < end_at {
+            end_at = timeout_at;
+            status = JobStatus::Timeout;
+        }
+        self.events.schedule(
+            end_at,
+            Ev::JobEnd {
+                job: s.job,
+                attempt: s.attempt,
+                status,
+            },
+        );
+    }
+}
+
+impl std::fmt::Debug for ClusterSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("cluster", &self.config.cluster.name())
+            .field("now", &self.now)
+            .field("pending", &self.sched.pending_count())
+            .field("running", &self.sched.running_count())
+            .finish()
+    }
+}

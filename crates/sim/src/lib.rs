@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The wired-up cluster simulation for the `rsc-reliability` workspace.
+//!
+//! [`driver::ClusterSim`] combines the substrates — cluster hardware model,
+//! Slurm-like scheduler, failure injector, health monitor, and workload
+//! generator — into one deterministic discrete-event simulation that emits
+//! the telemetry streams (`rsc-telemetry`) every analysis in `rsc-core`
+//! consumes. [`config::SimConfig`] describes a scenario; presets replicate
+//! the paper's RSC-1 and RSC-2 environments at full or reduced scale.
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_sim::config::SimConfig;
+//! use rsc_sim::driver::ClusterSim;
+//! use rsc_sim_core::time::SimDuration;
+//!
+//! let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 42);
+//! let telemetry = sim.run(SimDuration::from_days(3));
+//! assert!(!telemetry.jobs().is_empty());
+//! ```
+
+pub mod config;
+pub mod driver;
+
+pub use config::{EraPreset, SimConfig};
+pub use driver::ClusterSim;

@@ -1,0 +1,176 @@
+//! Checkpoint cost modelling.
+//!
+//! Fig. 10's conclusion — minute-scale checkpoint intervals at 100k GPUs —
+//! silently assumes "checkpoint writes are non-blocking" (paper §III).
+//! This module makes that assumption explicit and priceable: checkpoint
+//! size follows from model scale, write time from storage bandwidth, and
+//! the training-time stall from the write mode.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::time::SimDuration;
+
+use crate::tier::TierSpec;
+
+/// How a checkpoint write interacts with training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WriteMode {
+    /// Training halts for the full write (naive synchronous save).
+    Blocking,
+    /// Training halts only to snapshot state to host memory; the write
+    /// drains asynchronously. The stall is the snapshot time.
+    NonBlocking {
+        /// Seconds to snapshot state into host memory.
+        snapshot_secs: f64,
+    },
+}
+
+/// A job's checkpointing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Checkpoint size in GB (roughly 12–16 bytes/parameter for mixed
+    /// precision with optimizer state).
+    pub size_gb: f64,
+    /// Interval between checkpoints.
+    pub interval: SimDuration,
+    /// Write mode.
+    pub mode: WriteMode,
+    /// Number of parallel writer clients (typically data-parallel ranks
+    /// sharding the save).
+    pub writers: u32,
+}
+
+impl CheckpointSpec {
+    /// A spec sized for a model of `params_billions` parameters saved in
+    /// sharded form by `writers` clients (16 bytes/param: bf16 weights +
+    /// fp32 optimizer moments).
+    pub fn for_model(params_billions: f64, interval: SimDuration, writers: u32) -> Self {
+        CheckpointSpec {
+            size_gb: params_billions * 16.0,
+            interval,
+            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            writers: writers.max(1),
+        }
+    }
+
+    /// Wallclock time for the full write to land on `tier`, accounting for
+    /// per-client and aggregate bandwidth limits.
+    pub fn write_duration(&self, tier: &TierSpec) -> SimDuration {
+        let per_client = tier.write_bandwidth_per_client(self.writers);
+        let per_client_share_gb = self.size_gb / self.writers as f64;
+        SimDuration::from_secs_f64(per_client_share_gb / per_client.max(1e-9))
+    }
+
+    /// Training stall per checkpoint under the write mode.
+    pub fn stall_duration(&self, tier: &TierSpec) -> SimDuration {
+        match self.mode {
+            WriteMode::Blocking => self.write_duration(tier),
+            WriteMode::NonBlocking { snapshot_secs } => {
+                SimDuration::from_secs_f64(snapshot_secs)
+            }
+        }
+    }
+
+    /// Fraction of training time lost to checkpoint stalls (0 when the
+    /// interval is zero-length — treated as undefined → 0).
+    pub fn stall_fraction(&self, tier: &TierSpec) -> f64 {
+        let interval = self.interval.as_secs() as f64;
+        if interval <= 0.0 {
+            return 0.0;
+        }
+        (self.stall_duration(tier).as_secs() as f64 / interval).min(1.0)
+    }
+
+    /// Whether the async write drains before the next checkpoint starts —
+    /// if not, the configured interval is *infeasible* on this tier and
+    /// writes will back up.
+    pub fn is_sustainable(&self, tier: &TierSpec) -> bool {
+        self.write_duration(tier) <= self.interval
+    }
+
+    /// The minimum sustainable checkpoint interval on a tier: the write
+    /// duration itself (any shorter and writes pile up).
+    pub fn min_sustainable_interval(&self, tier: &TierSpec) -> SimDuration {
+        self.write_duration(tier)
+    }
+
+    /// The aggregate write bandwidth (GB/s) a fleet of `jobs` identical
+    /// jobs checkpointing on this cadence demands in steady state.
+    pub fn fleet_demand_gbps(&self, jobs: u32) -> f64 {
+        let interval = self.interval.as_secs().max(1) as f64;
+        jobs as f64 * self.size_gb / interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::{StorageTier, TierSpec};
+
+    fn objectstore() -> TierSpec {
+        TierSpec::rsc_default(StorageTier::ObjectStore)
+    }
+
+    #[test]
+    fn write_duration_scales_with_size() {
+        // 1.6 TB checkpoint (100B params), 25 writers at 40 GB/s each.
+        let spec = CheckpointSpec::for_model(100.0, SimDuration::from_mins(30), 25);
+        let d = spec.write_duration(&objectstore());
+        // 1600 GB / (25 × 40 GB/s) = 1.6 s... per client share 64 GB / 40 = 1.6 s.
+        assert!((d.as_secs() as f64 - 2.0).abs() <= 1.0, "{d}");
+        let bigger = CheckpointSpec::for_model(1000.0, SimDuration::from_mins(30), 25);
+        assert!(bigger.write_duration(&objectstore()) > d);
+    }
+
+    #[test]
+    fn aggregate_limit_binds_with_many_writers() {
+        // 1000 writers: fair share = 1 GB/s each, not the 40 GB/s cap.
+        let spec = CheckpointSpec {
+            size_gb: 1000.0,
+            interval: SimDuration::from_mins(10),
+            mode: WriteMode::Blocking,
+            writers: 1000,
+        };
+        let d = spec.write_duration(&objectstore());
+        // Per-client share 1 GB at 1 GB/s → 1 s.
+        assert_eq!(d.as_secs(), 1);
+    }
+
+    #[test]
+    fn blocking_stall_equals_write_nonblocking_is_snapshot() {
+        let tier = objectstore();
+        let mut spec = CheckpointSpec::for_model(400.0, SimDuration::from_mins(10), 8);
+        spec.mode = WriteMode::Blocking;
+        assert_eq!(spec.stall_duration(&tier), spec.write_duration(&tier));
+        spec.mode = WriteMode::NonBlocking { snapshot_secs: 10.0 };
+        assert_eq!(spec.stall_duration(&tier).as_secs(), 10);
+        assert!(spec.stall_fraction(&tier) < 0.02);
+    }
+
+    #[test]
+    fn nfs_cannot_sustain_minute_checkpoints_for_big_models() {
+        let nfs = TierSpec::rsc_default(StorageTier::Nfs);
+        // 70B params sharded over 8 writers to NFS (5 GB/s per client cap,
+        // 200 GB/s aggregate): 1120 GB / 40 GB/s = 28 s per write... but a
+        // 2-minute cadence across a fleet is the killer (see fleet_demand).
+        let spec = CheckpointSpec::for_model(70.0, SimDuration::from_mins(2), 8);
+        assert!(spec.is_sustainable(&nfs));
+        // One hundred such jobs demand 100 × 1120 GB / 120 s ≈ 933 GB/s —
+        // far beyond the NFS tier's 200 GB/s aggregate.
+        assert!(spec.fleet_demand_gbps(100) > nfs.aggregate_write_gbps);
+    }
+
+    #[test]
+    fn unsustainable_interval_detected() {
+        let nfs = TierSpec::rsc_default(StorageTier::Nfs);
+        // A 10 TB checkpoint from one writer at 5 GB/s = 2000 s > 60 s.
+        let spec = CheckpointSpec {
+            size_gb: 10_000.0,
+            interval: SimDuration::from_mins(1),
+            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            writers: 1,
+        };
+        assert!(!spec.is_sustainable(&nfs));
+        assert!(spec.min_sustainable_interval(&nfs) > spec.interval);
+    }
+}

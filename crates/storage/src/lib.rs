@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Storage substrate for the `rsc-reliability` workspace.
+//!
+//! Models the paper's three storage offerings (§II-A: NFS, AirStore,
+//! ObjectStore) at the granularity reliability analysis needs — write
+//! bandwidth under contention — and prices the checkpoint cadences the
+//! ETTR analysis demands (Fig. 10 assumes non-blocking checkpoint writes;
+//! [`requirements`] quantifies what happens when they are not, and how
+//! much sustained bandwidth frequent checkpointing costs).
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_sim_core::time::SimDuration;
+//! use rsc_storage::checkpoint::CheckpointSpec;
+//! use rsc_storage::tier::{StorageTier, TierSpec};
+//!
+//! // A 70B-parameter model checkpointing every 30 minutes via 8 shards.
+//! let spec = CheckpointSpec::for_model(70.0, SimDuration::from_mins(30), 8);
+//! let tier = TierSpec::rsc_default(StorageTier::ObjectStore);
+//! assert!(spec.is_sustainable(&tier));
+//! assert!(spec.stall_fraction(&tier) < 0.01); // non-blocking: cheap
+//! ```
+
+pub mod checkpoint;
+pub mod requirements;
+pub mod tier;
+
+pub use checkpoint::{CheckpointSpec, WriteMode};
+pub use requirements::{cadence_cost, ettr_with_stalls, writers_needed, CadenceCost};
+pub use tier::{StorageTier, TierSpec};

@@ -1,0 +1,125 @@
+//! Storage requirements implied by reliability targets.
+//!
+//! Closes the loop the paper opens: Fig. 10 says a 100k-GPU run needs
+//! ~2-minute checkpoints for ETTR 0.9 at an RSC-2-like failure rate; this
+//! module computes what that *costs* the storage system — sustained write
+//! bandwidth, stall overhead, and the ETTR actually achieved once
+//! checkpoint stalls are charged as restart-overhead-like unproductive
+//! time.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::time::SimDuration;
+
+use crate::checkpoint::CheckpointSpec;
+use crate::tier::TierSpec;
+
+/// The storage-side verdict on a checkpoint cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CadenceCost {
+    /// Per-job sustained write demand, GB/s.
+    pub sustained_write_gbps: f64,
+    /// Training-time fraction lost to checkpoint stalls.
+    pub stall_fraction: f64,
+    /// Whether writes drain before the next checkpoint.
+    pub sustainable: bool,
+}
+
+/// Prices a checkpoint cadence on a tier.
+pub fn cadence_cost(spec: &CheckpointSpec, tier: &TierSpec) -> CadenceCost {
+    CadenceCost {
+        sustained_write_gbps: spec.fleet_demand_gbps(1),
+        stall_fraction: spec.stall_fraction(tier),
+        sustainable: spec.is_sustainable(tier),
+    }
+}
+
+/// ETTR degradation factor from checkpoint stalls: multiply an interval's
+/// productive share by `1 − stall_fraction`. This composes with the
+/// failure-driven expected-ETTR: stalls are deterministic unproductive
+/// time *every* interval, not just on interruption.
+pub fn ettr_with_stalls(failure_driven_ettr: f64, stall_fraction: f64) -> f64 {
+    (failure_driven_ettr * (1.0 - stall_fraction.clamp(0.0, 1.0))).clamp(0.0, 1.0)
+}
+
+/// The smallest checkpoint size shards (writers) needed to land a
+/// checkpoint of `size_gb` within `budget` on a tier, or `None` if even
+/// unlimited sharding cannot (aggregate bandwidth bound).
+pub fn writers_needed(
+    size_gb: f64,
+    budget: SimDuration,
+    tier: &TierSpec,
+) -> Option<u32> {
+    let budget_secs = budget.as_secs().max(1) as f64;
+    // Aggregate bound: even infinitely sharded, the tier moves at most
+    // aggregate × budget.
+    if size_gb > tier.aggregate_write_gbps * budget_secs {
+        return None;
+    }
+    // Each writer moves at most per_client × budget.
+    let per_writer_gb = tier.per_client_write_gbps * budget_secs;
+    Some((size_gb / per_writer_gb).ceil().max(1.0) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::WriteMode;
+    use crate::tier::{StorageTier, TierSpec};
+
+    #[test]
+    fn two_minute_checkpoints_at_100k_gpus_are_storage_feasible_only_sharded() {
+        // A 100k-GPU run: ~2T params → 32 TB checkpoints, 2-minute cadence
+        // (Fig. 10's ETTR-0.9 requirement at the RSC-2 rate).
+        let tier = TierSpec::rsc_default(StorageTier::ObjectStore);
+        let size_gb = 32_000.0;
+        let budget = SimDuration::from_mins(1); // drain well within cadence
+        let writers = writers_needed(size_gb, budget, &tier).expect("feasible");
+        // 32 TB in 60 s needs ≥534 GB/s: > 13 writers at 40 GB/s each.
+        assert!(writers > 13, "writers={writers}");
+        let spec = CheckpointSpec {
+            size_gb,
+            interval: SimDuration::from_mins(2),
+            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            writers,
+        };
+        let cost = cadence_cost(&spec, &tier);
+        assert!(cost.sustainable, "{cost:?}");
+        // Sustained demand ≈ 267 GB/s from this one job.
+        assert!((cost.sustained_write_gbps - 266.7).abs() < 5.0);
+    }
+
+    #[test]
+    fn infeasible_when_aggregate_bound() {
+        let tier = TierSpec::rsc_default(StorageTier::Nfs); // 200 GB/s aggregate
+        // 100 TB in one minute is beyond the tier no matter the sharding.
+        assert!(writers_needed(100_000.0, SimDuration::from_mins(1), &tier).is_none());
+    }
+
+    #[test]
+    fn stalls_compound_with_failure_ettr() {
+        assert!((ettr_with_stalls(0.9, 0.1) - 0.81).abs() < 1e-12);
+        assert_eq!(ettr_with_stalls(0.9, 0.0), 0.9);
+        assert_eq!(ettr_with_stalls(1.2, -0.5), 1.0); // clamped
+    }
+
+    #[test]
+    fn blocking_writes_erase_fig10_gains() {
+        // The paper's caveat, quantified: a blocking 2-minute cadence for
+        // a big model can stall a large share of training time.
+        let tier = TierSpec::rsc_default(StorageTier::ObjectStore);
+        let spec = CheckpointSpec {
+            size_gb: 32_000.0,
+            interval: SimDuration::from_mins(2),
+            mode: WriteMode::Blocking,
+            writers: 25, // aggregate-saturating
+        };
+        let blocking_stall = spec.stall_fraction(&tier);
+        assert!(blocking_stall > 0.2, "stall={blocking_stall}");
+        let nonblocking = CheckpointSpec {
+            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            ..spec
+        };
+        assert!(nonblocking.stall_fraction(&tier) < 0.1);
+    }
+}

@@ -1,0 +1,135 @@
+//! The cluster's three storage offerings (paper §II-A).
+//!
+//! 1. an NFS-exported flash tier for home directories, environments, and
+//!    "common patterns such as checkpointing";
+//! 2. **AirStore**, a high-bandwidth read-only dataset cache;
+//! 3. **ObjectStore**, high-capacity object storage "for checkpointing and
+//!    storing files when the NFS endpoint is insufficient".
+//!
+//! Users "interpolate between ease of use and performance" by picking a
+//! tier; the models here carry the knobs that matter to reliability
+//! analysis — aggregate and per-client write bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// One storage offering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageTier {
+    /// POSIX/NFS flash tier: easiest to use, least write bandwidth.
+    Nfs,
+    /// AirStore dataset cache: read-optimized (writes are for ingestion,
+    /// not checkpoints, but modelled for completeness).
+    AirStore,
+    /// ObjectStore: the high-throughput checkpoint target.
+    ObjectStore,
+}
+
+impl StorageTier {
+    /// All tiers.
+    pub const ALL: [StorageTier; 3] = [
+        StorageTier::Nfs,
+        StorageTier::AirStore,
+        StorageTier::ObjectStore,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageTier::Nfs => "nfs",
+            StorageTier::AirStore => "airstore",
+            StorageTier::ObjectStore => "objectstore",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Bandwidth/capacity description of a tier deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Which tier this describes.
+    pub tier: StorageTier,
+    /// Aggregate write bandwidth across all clients, GB/s.
+    pub aggregate_write_gbps: f64,
+    /// Per-client write bandwidth cap, GB/s.
+    pub per_client_write_gbps: f64,
+    /// Aggregate read bandwidth, GB/s.
+    pub aggregate_read_gbps: f64,
+}
+
+impl TierSpec {
+    /// RSC-like deployment defaults: flash NFS at moderate write
+    /// bandwidth, AirStore read-optimized, ObjectStore write-scalable.
+    pub fn rsc_default(tier: StorageTier) -> Self {
+        match tier {
+            StorageTier::Nfs => TierSpec {
+                tier,
+                aggregate_write_gbps: 200.0,
+                per_client_write_gbps: 5.0,
+                aggregate_read_gbps: 400.0,
+            },
+            StorageTier::AirStore => TierSpec {
+                tier,
+                aggregate_write_gbps: 100.0,
+                per_client_write_gbps: 2.0,
+                aggregate_read_gbps: 2_000.0,
+            },
+            StorageTier::ObjectStore => TierSpec {
+                tier,
+                aggregate_write_gbps: 1_000.0,
+                per_client_write_gbps: 40.0,
+                aggregate_read_gbps: 1_000.0,
+            },
+        }
+    }
+
+    /// Effective per-writer bandwidth with `writers` concurrent clients:
+    /// the per-client cap until the aggregate saturates, then a fair share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writers == 0`.
+    pub fn write_bandwidth_per_client(&self, writers: u32) -> f64 {
+        assert!(writers > 0, "need at least one writer");
+        let fair = self.aggregate_write_gbps / writers as f64;
+        fair.min(self.per_client_write_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = StorageTier::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn per_client_cap_binds_at_low_concurrency() {
+        let spec = TierSpec::rsc_default(StorageTier::ObjectStore);
+        assert_eq!(spec.write_bandwidth_per_client(1), 40.0);
+        // 1000 GB/s aggregate / 40 GB/s cap = 25 writers before sharing.
+        assert_eq!(spec.write_bandwidth_per_client(25), 40.0);
+        assert_eq!(spec.write_bandwidth_per_client(100), 10.0);
+    }
+
+    #[test]
+    fn airstore_is_read_optimized() {
+        let spec = TierSpec::rsc_default(StorageTier::AirStore);
+        assert!(spec.aggregate_read_gbps > 10.0 * spec.aggregate_write_gbps);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one writer")]
+    fn zero_writers_rejected() {
+        let _ = TierSpec::rsc_default(StorageTier::Nfs).write_bandwidth_per_client(0);
+    }
+}

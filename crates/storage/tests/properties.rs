@@ -1,0 +1,100 @@
+//! Property-based tests of the storage models.
+
+use proptest::prelude::*;
+
+use rsc_sim_core::time::SimDuration;
+use rsc_storage::checkpoint::{CheckpointSpec, WriteMode};
+use rsc_storage::requirements::{ettr_with_stalls, writers_needed};
+use rsc_storage::tier::{StorageTier, TierSpec};
+
+proptest! {
+    /// Per-client bandwidth is monotone non-increasing in writer count and
+    /// never exceeds either limit.
+    #[test]
+    fn bandwidth_sharing_monotone(writers in 1u32..10_000) {
+        for tier in StorageTier::ALL {
+            let spec = TierSpec::rsc_default(tier);
+            let bw = spec.write_bandwidth_per_client(writers);
+            prop_assert!(bw > 0.0);
+            prop_assert!(bw <= spec.per_client_write_gbps + 1e-9);
+            prop_assert!(bw * writers as f64 <= spec.aggregate_write_gbps * 1.0 + 1e-6
+                || bw == spec.per_client_write_gbps);
+            let bw_more = spec.write_bandwidth_per_client(writers + 1);
+            prop_assert!(bw_more <= bw + 1e-12);
+        }
+    }
+
+    /// Write duration is monotone in size and anti-monotone in writers
+    /// (until the aggregate limit binds, where it flattens).
+    #[test]
+    fn write_duration_monotonicity(
+        size_gb in 1.0f64..100_000.0,
+        writers in 1u32..1000,
+    ) {
+        let tier = TierSpec::rsc_default(StorageTier::ObjectStore);
+        let mk = |size: f64, w: u32| CheckpointSpec {
+            size_gb: size,
+            interval: SimDuration::from_mins(10),
+            mode: WriteMode::Blocking,
+            writers: w,
+        };
+        let base = mk(size_gb, writers).write_duration(&tier);
+        let bigger = mk(size_gb * 2.0, writers).write_duration(&tier);
+        prop_assert!(bigger >= base);
+        let more_writers = mk(size_gb, writers * 2).write_duration(&tier);
+        prop_assert!(more_writers <= base + SimDuration::from_secs(1));
+    }
+
+    /// `writers_needed` returns a count that actually meets the budget.
+    #[test]
+    fn writers_needed_is_sufficient(
+        size_gb in 1.0f64..50_000.0,
+        budget_secs in 10u64..3600,
+    ) {
+        let tier = TierSpec::rsc_default(StorageTier::ObjectStore);
+        let budget = SimDuration::from_secs(budget_secs);
+        if let Some(writers) = writers_needed(size_gb, budget, &tier) {
+            let spec = CheckpointSpec {
+                size_gb,
+                interval: budget,
+                mode: WriteMode::Blocking,
+                writers,
+            };
+            prop_assert!(
+                spec.write_duration(&tier) <= budget + SimDuration::from_secs(1),
+                "writers={writers} duration={} budget={budget}",
+                spec.write_duration(&tier)
+            );
+        } else {
+            // Infeasible means even the aggregate can't move it in time.
+            prop_assert!(size_gb > tier.aggregate_write_gbps * budget_secs as f64);
+        }
+    }
+
+    /// Stall fractions stay in [0, 1] and compose sanely with ETTR.
+    #[test]
+    fn stall_fraction_bounded(
+        size_gb in 1.0f64..100_000.0,
+        interval_mins in 1u64..240,
+        writers in 1u32..500,
+        blocking in any::<bool>(),
+        ettr in 0.0f64..1.0,
+    ) {
+        let tier = TierSpec::rsc_default(StorageTier::Nfs);
+        let spec = CheckpointSpec {
+            size_gb,
+            interval: SimDuration::from_mins(interval_mins),
+            mode: if blocking {
+                WriteMode::Blocking
+            } else {
+                WriteMode::NonBlocking { snapshot_secs: 10.0 }
+            },
+            writers,
+        };
+        let stall = spec.stall_fraction(&tier);
+        prop_assert!((0.0..=1.0).contains(&stall));
+        let combined = ettr_with_stalls(ettr, stall);
+        prop_assert!((0.0..=1.0).contains(&combined));
+        prop_assert!(combined <= ettr + 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal CSV output for exporting simulated telemetry and figure data.
+//!
+//! Hand-rolled (RFC-4180 quoting) to keep the dependency set to the
+//! workspace allowlist.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// or newlines are quoted, with embedded quotes doubled.
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders one row.
+pub fn format_row<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut row = String::new();
+    for (i, f) in fields.into_iter().enumerate() {
+        if i > 0 {
+            row.push(',');
+        }
+        let _ = write!(row, "{}", escape_field(f.as_ref()));
+    }
+    row
+}
+
+/// Writes a CSV table to `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+pub fn write_csv<W, R, S>(w: &mut W, header: &[&str], rows: R) -> io::Result<()>
+where
+    W: Write,
+    R: IntoIterator<Item = Vec<S>>,
+    S: AsRef<str>,
+{
+    writeln!(w, "{}", format_row(header.iter().copied()))?;
+    for row in rows {
+        writeln!(w, "{}", format_row(row.iter().map(|s| s.as_ref())))?;
+    }
+    Ok(())
+}
+
+/// Writes a CSV table to a file path, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any error from directory creation or file I/O.
+pub fn write_csv_file<P, R, S>(path: P, header: &[&str], rows: R) -> io::Result<()>
+where
+    P: AsRef<Path>,
+    R: IntoIterator<Item = Vec<S>>,
+    S: AsRef<str>,
+{
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    write_csv(&mut w, header, rows)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(escape_field("abc"), "abc");
+        assert_eq!(escape_field("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn full_table_roundtrip() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &["name", "value"],
+            vec![
+                vec!["plain".to_string(), "1".to_string()],
+                vec!["with,comma".to_string(), "2".to_string()],
+            ],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "name,value\nplain,1\n\"with,comma\",2\n");
+    }
+}

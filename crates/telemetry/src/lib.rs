@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Telemetry collection and querying for the `rsc-reliability` workspace.
+//!
+//! A [`store::TelemetryStore`] gathers everything a simulated cluster run
+//! logs — job accounting records, health-check events, node lifecycle
+//! transitions, user node exclusions, and the ground-truth failure stream —
+//! and offers the time-window queries the analyses in `rsc-core` are built
+//! on. [`rolling`] provides the 30-day rolling failure-rate series behind
+//! the paper's Fig. 5, [`csv`] a dependency-free CSV exporter, and
+//! [`trace`] a `sacct`-like job-trace schema so the analyses can run over
+//! real accounting data.
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_telemetry::rolling::rolling_rate;
+//! use rsc_sim_core::time::{SimDuration, SimTime};
+//!
+//! let failures = vec![SimTime::from_days(10), SimTime::from_days(12)];
+//! let series = rolling_rate(
+//!     &failures,
+//!     SimTime::from_days(60),
+//!     SimDuration::from_days(30),
+//!     SimDuration::from_days(5),
+//!     100,
+//! );
+//! assert!(!series.is_empty());
+//! ```
+
+pub mod csv;
+pub mod rolling;
+pub mod store;
+pub mod trace;
+
+pub use store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};

@@ -1,0 +1,162 @@
+//! Rolling-window rate series (paper Fig. 5: 30-day rolling average of the
+//! per-node-day failure rate, by failure mode).
+
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+/// A `(day, value)` time series point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Day index of the evaluation point.
+    pub day: f64,
+    /// Value at that day (e.g. failures per node-day).
+    pub value: f64,
+}
+
+/// Computes a rolling-average *event rate* over time.
+///
+/// For each step `t` in `[window, horizon]`, the value is
+/// `count(events in (t - window, t]) / (window_days × num_nodes)` — i.e.
+/// events per node-day, matching the paper's normalization.
+///
+/// `times` must be sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `window` or `step` is zero, or `num_nodes` is zero.
+pub fn rolling_rate(
+    times: &[SimTime],
+    horizon: SimTime,
+    window: SimDuration,
+    step: SimDuration,
+    num_nodes: u32,
+) -> Vec<SeriesPoint> {
+    assert!(!window.is_zero() && !step.is_zero(), "window and step must be positive");
+    assert!(num_nodes > 0, "num_nodes must be positive");
+    debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+
+    let denom = window.as_days() * num_nodes as f64;
+    let mut out = Vec::new();
+    let mut t = SimTime::ZERO + window;
+    let mut lo = 0usize; // first event index with time > t - window
+    let mut hi = 0usize; // first event index with time > t
+    while t <= horizon {
+        let from = t - window;
+        while lo < times.len() && times[lo] <= from {
+            lo += 1;
+        }
+        while hi < times.len() && times[hi] <= t {
+            hi += 1;
+        }
+        out.push(SeriesPoint {
+            day: t.as_days(),
+            value: (hi - lo) as f64 / denom,
+        });
+        t += step;
+    }
+    out
+}
+
+/// Buckets event times into fixed-width bins, returning counts per bin —
+/// the building block for per-mode stacked series.
+///
+/// # Panics
+///
+/// Panics if `bin` is zero.
+pub fn bin_counts(times: &[SimTime], horizon: SimTime, bin: SimDuration) -> Vec<u64> {
+    assert!(!bin.is_zero(), "bin must be positive");
+    let nbins = horizon.as_secs().div_ceil(bin.as_secs()).max(1) as usize;
+    let mut counts = vec![0u64; nbins];
+    for &t in times {
+        if t > horizon {
+            continue;
+        }
+        let idx = ((t.as_secs() / bin.as_secs()) as usize).min(nbins - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_yields_flat_series() {
+        // One event per node-day on 10 nodes → 10 events/day for 100 days.
+        let times: Vec<SimTime> = (0..1000)
+            .map(|i| SimTime::from_secs(i * 8640 + 1))
+            .collect();
+        let series = rolling_rate(
+            &times,
+            SimTime::from_days(100),
+            SimDuration::from_days(30),
+            SimDuration::from_days(1),
+            10,
+        );
+        assert!(!series.is_empty());
+        for p in &series {
+            assert!((p.value - 1.0).abs() < 0.05, "day={} value={}", p.day, p.value);
+        }
+    }
+
+    #[test]
+    fn spike_appears_and_decays() {
+        // Background zero, burst of 300 events on day 50, 10 nodes,
+        // 30-day window → window containing the burst reads 1/node-day.
+        let times: Vec<SimTime> = (0..300)
+            .map(|i| SimTime::from_secs(50 * 86_400 + i))
+            .collect();
+        let series = rolling_rate(
+            &times,
+            SimTime::from_days(100),
+            SimDuration::from_days(30),
+            SimDuration::from_days(1),
+            10,
+        );
+        let at = |day: f64| {
+            series
+                .iter()
+                .find(|p| (p.day - day).abs() < 0.5)
+                .unwrap()
+                .value
+        };
+        assert_eq!(at(45.0), 0.0);
+        assert!((at(60.0) - 1.0).abs() < 1e-9);
+        assert_eq!(at(85.0), 0.0); // window slid past the burst
+    }
+
+    #[test]
+    fn bin_counts_cover_horizon() {
+        let times = vec![
+            SimTime::from_days(0),
+            SimTime::from_days(1),
+            SimTime::from_secs(86_400 + 1),
+            SimTime::from_days(9),
+        ];
+        let counts = bin_counts(&times, SimTime::from_days(10), SimDuration::from_days(1));
+        assert_eq!(counts.len(), 10);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn events_beyond_horizon_ignored() {
+        let times = vec![SimTime::from_days(20)];
+        let counts = bin_counts(&times, SimTime::from_days(10), SimDuration::from_days(1));
+        assert_eq!(counts.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window and step")]
+    fn zero_window_rejected() {
+        let _ = rolling_rate(
+            &[],
+            SimTime::from_days(1),
+            SimDuration::ZERO,
+            SimDuration::from_days(1),
+            1,
+        );
+    }
+}

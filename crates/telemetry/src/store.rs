@@ -1,0 +1,291 @@
+//! The telemetry store: every log stream a simulation produces, with the
+//! time-window queries the analyses need.
+//!
+//! This is the simulated stand-in for the paper's production data sources:
+//! Slurm accounting (`sacct`), fleet health-check events, node lifecycle
+//! transitions, user node-exclusion lists, and — unavailable in production
+//! but invaluable for validation — the ground-truth failure injections.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use rsc_cluster::ids::{JobId, NodeId};
+use rsc_failure::injector::FailureEvent;
+use rsc_health::monitor::HealthEvent;
+use rsc_sched::accounting::JobRecord;
+use rsc_sim_core::time::SimTime;
+
+/// A node lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeEventKind {
+    /// Node marked draining (low-severity check).
+    Drain,
+    /// Node pulled into remediation.
+    EnterRemediation,
+    /// Node repaired and returned to service.
+    ExitRemediation,
+}
+
+/// A node lifecycle event record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeEvent {
+    /// The node.
+    pub node: NodeId,
+    /// When the transition happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: NodeEventKind,
+}
+
+/// A user excluding a node from their future submissions (the
+/// `excl_jobid_count` lemon signal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExclusionEvent {
+    /// The excluded node.
+    pub node: NodeId,
+    /// The job whose failure prompted the exclusion.
+    pub job: JobId,
+    /// When the exclusion was added.
+    pub at: SimTime,
+}
+
+/// All telemetry collected from one simulated cluster run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetryStore {
+    cluster_name: String,
+    num_nodes: u32,
+    horizon: SimTime,
+    jobs: Vec<JobRecord>,
+    health_events: Vec<HealthEvent>,
+    node_events: Vec<NodeEvent>,
+    exclusions: Vec<ExclusionEvent>,
+    ground_truth_failures: Vec<FailureEvent>,
+    gpu_swaps: u64,
+    #[serde(skip)]
+    node_health_index: Option<HashMap<NodeId, Vec<usize>>>,
+}
+
+impl TelemetryStore {
+    /// Creates an empty store for a cluster.
+    pub fn new(cluster_name: impl Into<String>, num_nodes: u32) -> Self {
+        TelemetryStore {
+            cluster_name: cluster_name.into(),
+            num_nodes,
+            ..TelemetryStore::default()
+        }
+    }
+
+    /// The cluster this telemetry came from.
+    pub fn cluster_name(&self) -> &str {
+        &self.cluster_name
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// End of the measurement window.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Sets the measurement horizon (called once by the simulation driver).
+    pub fn set_horizon(&mut self, horizon: SimTime) {
+        self.horizon = horizon;
+    }
+
+    /// Total GPU swaps performed by repairs over the run — the paper
+    /// corroborates failure-rate differences with GPU swap rates (§III).
+    pub fn gpu_swaps(&self) -> u64 {
+        self.gpu_swaps
+    }
+
+    /// Records the cumulative GPU swap count (driver-maintained).
+    pub fn set_gpu_swaps(&mut self, swaps: u64) {
+        self.gpu_swaps = swaps;
+    }
+
+    /// Appends a job accounting record.
+    pub fn push_job(&mut self, record: JobRecord) {
+        self.jobs.push(record);
+    }
+
+    /// Appends many job records.
+    pub fn extend_jobs<I: IntoIterator<Item = JobRecord>>(&mut self, records: I) {
+        self.jobs.extend(records);
+    }
+
+    /// Appends a health event, invalidating the per-node index.
+    pub fn push_health_event(&mut self, event: HealthEvent) {
+        self.node_health_index = None;
+        self.health_events.push(event);
+    }
+
+    /// Appends a node lifecycle event.
+    pub fn push_node_event(&mut self, event: NodeEvent) {
+        self.node_events.push(event);
+    }
+
+    /// Appends a user node-exclusion event.
+    pub fn push_exclusion(&mut self, event: ExclusionEvent) {
+        self.exclusions.push(event);
+    }
+
+    /// Appends a ground-truth failure injection.
+    pub fn push_ground_truth(&mut self, event: FailureEvent) {
+        self.ground_truth_failures.push(event);
+    }
+
+    /// All job accounting records, in completion order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// All health events, in detection order.
+    pub fn health_events(&self) -> &[HealthEvent] {
+        &self.health_events
+    }
+
+    /// All node lifecycle events.
+    pub fn node_events(&self) -> &[NodeEvent] {
+        &self.node_events
+    }
+
+    /// All user node exclusions.
+    pub fn exclusions(&self) -> &[ExclusionEvent] {
+        &self.exclusions
+    }
+
+    /// Ground-truth failure injections (not available to "operators";
+    /// used to validate attribution and detection).
+    pub fn ground_truth_failures(&self) -> &[FailureEvent] {
+        &self.ground_truth_failures
+    }
+
+    /// Health events on `node` within `[from, to]`, in time order.
+    ///
+    /// Builds a per-node index on first use; call
+    /// [`Self::build_indexes`] once after loading to pay the cost upfront.
+    pub fn health_events_for_node(
+        &mut self,
+        node: NodeId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<&HealthEvent> {
+        self.build_indexes();
+        let index = self
+            .node_health_index
+            .as_ref()
+            .expect("index built above");
+        match index.get(&node) {
+            Some(idxs) => idxs
+                .iter()
+                .map(|&i| &self.health_events[i])
+                .filter(|e| e.at >= from && e.at <= to)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Builds the per-node health-event index if absent.
+    pub fn build_indexes(&mut self) {
+        if self.node_health_index.is_some() {
+            return;
+        }
+        let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, e) in self.health_events.iter().enumerate() {
+            index.entry(e.node).or_default().push(i);
+        }
+        self.node_health_index = Some(index);
+    }
+
+    /// Total node-days of job runtime across all records (the failure-rate
+    /// denominator), restricted to jobs using more than `min_gpus` GPUs.
+    pub fn node_days_of_runtime(&self, min_gpus: u32) -> f64 {
+        self.jobs
+            .iter()
+            .filter(|r| r.gpus > min_gpus)
+            .map(|r| r.node_days())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_failure::modes::Severity;
+    use rsc_health::check::CheckKind;
+    use rsc_sched::job::{JobStatus, QosClass};
+
+    fn health_event(node: u32, at_secs: u64) -> HealthEvent {
+        HealthEvent {
+            at: SimTime::from_secs(at_secs),
+            node: NodeId::new(node),
+            check: CheckKind::IbLink,
+            severity: Severity::High,
+            signal: None,
+            false_positive: false,
+        }
+    }
+
+    fn job_record(gpus: u32, nodes: u32, hours: u64) -> JobRecord {
+        JobRecord {
+            job: JobId::new(1),
+            attempt: 0,
+            run: None,
+            gpus,
+            qos: QosClass::Normal,
+            nodes: (0..nodes).map(NodeId::new).collect(),
+            enqueued_at: SimTime::ZERO,
+            started_at: Some(SimTime::ZERO),
+            ended_at: SimTime::from_hours(hours),
+            status: JobStatus::Completed,
+            preempted_by: None,
+            instigator: None,
+        }
+    }
+
+    #[test]
+    fn window_query_filters_by_node_and_time() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_health_event(health_event(1, 100));
+        store.push_health_event(health_event(1, 200));
+        store.push_health_event(health_event(2, 150));
+        let hits = store.health_events_for_node(
+            NodeId::new(1),
+            SimTime::from_secs(150),
+            SimTime::from_secs(300),
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].at, SimTime::from_secs(200));
+    }
+
+    #[test]
+    fn index_invalidated_on_push() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_health_event(health_event(1, 100));
+        let _ = store.health_events_for_node(NodeId::new(1), SimTime::ZERO, SimTime::MAX);
+        store.push_health_event(health_event(1, 500));
+        let hits = store.health_events_for_node(NodeId::new(1), SimTime::ZERO, SimTime::MAX);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn node_days_filters_small_jobs() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_job(job_record(8, 1, 24)); // 1 node-day
+        store.push_job(job_record(256, 32, 24)); // 32 node-days
+        assert!((store.node_days_of_runtime(0) - 33.0).abs() < 1e-12);
+        assert!((store.node_days_of_runtime(128) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_node_query_is_empty() {
+        let mut store = TelemetryStore::new("t", 4);
+        assert!(store
+            .health_events_for_node(NodeId::new(3), SimTime::ZERO, SimTime::MAX)
+            .is_empty());
+    }
+}

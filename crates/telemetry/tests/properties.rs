@@ -1,0 +1,99 @@
+//! Property-based tests for telemetry: trace roundtrip and rolling rates.
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::{JobId, JobRunId, NodeId};
+use rsc_sched::accounting::JobRecord;
+use rsc_sched::job::{JobStatus, QosClass};
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::rolling::{bin_counts, rolling_rate};
+use rsc_telemetry::trace::{export_jobs, import_jobs};
+
+fn arb_status(idx: u8) -> JobStatus {
+    JobStatus::ALL[idx as usize % JobStatus::ALL.len()]
+}
+
+fn arb_qos(idx: u8) -> QosClass {
+    match idx % 3 {
+        0 => QosClass::Low,
+        1 => QosClass::Normal,
+        _ => QosClass::High,
+    }
+}
+
+prop_compose! {
+    fn arb_record()(
+        job in 1u64..1_000_000,
+        attempt in 0u32..50,
+        run in prop::option::of(1u64..1000),
+        gpus in 1u32..4096,
+        qos_idx in 0u8..3,
+        node_count in 0usize..8,
+        enq in 0u64..1_000_000,
+        start_offset in prop::option::of(0u64..100_000),
+        runtime in 0u64..1_000_000,
+        status_idx in 0u8..8,
+        preempted_by in prop::option::of(1u64..1000),
+        instigator in prop::option::of(1u64..1000),
+    ) -> JobRecord {
+        let started_at = start_offset.map(|o| SimTime::from_secs(enq + o));
+        let ended_at = match started_at {
+            Some(s) => s + SimDuration::from_secs(runtime),
+            None => SimTime::from_secs(enq + runtime),
+        };
+        JobRecord {
+            job: JobId::new(job),
+            attempt,
+            run: run.map(JobRunId::new),
+            gpus,
+            qos: arb_qos(qos_idx),
+            nodes: (0..node_count as u32).map(NodeId::new).collect(),
+            enqueued_at: SimTime::from_secs(enq),
+            started_at,
+            ended_at,
+            status: arb_status(status_idx),
+            preempted_by: preempted_by.map(JobId::new),
+            instigator: instigator.map(JobId::new),
+        }
+    }
+}
+
+proptest! {
+    /// Any set of records survives a CSV export/import roundtrip exactly.
+    #[test]
+    fn trace_roundtrip(records in prop::collection::vec(arb_record(), 0..50)) {
+        let mut buf = Vec::new();
+        export_jobs(&mut buf, &records).expect("in-memory write");
+        let back = import_jobs(std::io::BufReader::new(buf.as_slice())).expect("parse");
+        prop_assert_eq!(back, records);
+    }
+
+    /// Rolling rates are non-negative and conserve events against the
+    /// direct bin counts.
+    #[test]
+    fn rolling_rate_consistency(
+        times_raw in prop::collection::vec(0u64..100u64, 0..200),
+        window_days in 1u64..30,
+        nodes in 1u32..100,
+    ) {
+        let mut times: Vec<SimTime> = times_raw.iter().map(|&d| SimTime::from_days(d)).collect();
+        times.sort();
+        let horizon = SimTime::from_days(100);
+        let series = rolling_rate(
+            &times,
+            horizon,
+            SimDuration::from_days(window_days),
+            SimDuration::from_days(1),
+            nodes,
+        );
+        for p in &series {
+            prop_assert!(p.value >= 0.0);
+            // A window can never hold more than every event.
+            prop_assert!(
+                p.value <= times.len() as f64 / (window_days as f64 * nodes as f64) + 1e-9
+            );
+        }
+        let counts = bin_counts(&times, horizon, SimDuration::from_days(1));
+        prop_assert_eq!(counts.iter().sum::<u64>() as usize, times.len());
+    }
+}

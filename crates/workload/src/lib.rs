@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generation for the `rsc-reliability` workspace.
+//!
+//! Provides [`profile::WorkloadProfile`] descriptions of the RSC-1 and
+//! RSC-2 job populations — size mix, durations, QoS structure, and user
+//! destinies, calibrated to the paper's Figs. 3 and 6 — and a lazy
+//! Poisson-arrival [`generator::JobStream`] that turns a profile into the
+//! submission stream a simulation consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use rsc_sim_core::rng::SimRng;
+//! use rsc_sim_core::time::SimTime;
+//! use rsc_workload::generator::JobStream;
+//! use rsc_workload::profile::WorkloadProfile;
+//!
+//! let profile = WorkloadProfile::rsc1().scaled(1.0 / 64.0);
+//! let mut stream = JobStream::new(profile, SimRng::seed_from(7));
+//! let day_one = stream.take_until(SimTime::from_days(1));
+//! assert!(!day_one.is_empty());
+//! ```
+
+pub mod generator;
+pub mod profile;
+
+pub use generator::JobStream;
+pub use profile::{JobShape, SizeBucket, WorkloadProfile};

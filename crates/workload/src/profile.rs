@@ -1,0 +1,449 @@
+//! Cluster workload profiles.
+//!
+//! Calibrated to the paper's published marginals:
+//!
+//! - job-size mix (Fig. 6 / Obs. 7): >40% single-GPU jobs, >90% smaller
+//!   than one server, yet ≥256-GPU jobs consume about two thirds of all
+//!   GPU time and 4k-GPU jobs alone over a tenth;
+//! - status mix (Fig. 3): ~60% COMPLETED, ~24% FAILED, small CANCELLED /
+//!   OOM / TIMEOUT fractions — user destinies here, with PREEMPTED /
+//!   REQUEUED / NODE_FAIL emerging from scheduler dynamics;
+//! - priority structure (§III): the larger the job, the higher its QoS.
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::rng::{SimRng, WeightedIndex};
+use rsc_sim_core::time::SimDuration;
+
+use rsc_sched::job::{Destiny, QosClass};
+
+/// Per-size-bucket workload parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeBucket {
+    /// GPUs per job in this bucket.
+    pub gpus: u32,
+    /// Fraction of submitted jobs in this bucket.
+    pub job_fraction: f64,
+    /// Mean running duration (hours) for the bucket.
+    pub mean_duration_hours: f64,
+    /// Lognormal sigma of the duration distribution.
+    pub duration_sigma: f64,
+    /// Probability the job is High QoS (else split Normal/Low below).
+    pub high_qos_prob: f64,
+    /// Probability the job is Low QoS (rest is Normal).
+    pub low_qos_prob: f64,
+}
+
+/// A complete cluster workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Display name ("RSC-1", "RSC-2", ...).
+    pub name: String,
+    /// Job submissions per day.
+    pub jobs_per_day: f64,
+    /// Size buckets (fractions should sum to ~1).
+    pub buckets: Vec<SizeBucket>,
+    /// Fraction of jobs destined to fail with a user bug.
+    pub user_failure_prob: f64,
+    /// Fraction of jobs the user cancels midway.
+    pub cancel_prob: f64,
+    /// Fraction of jobs that die OOM.
+    pub oom_prob: f64,
+    /// Fraction of jobs whose time limit undercuts their work (TIMEOUT).
+    pub timeout_prob: f64,
+    /// Fraction of jobs whose submit scripts requeue even on user failure
+    /// (the crash-loop anti-pattern).
+    pub crash_loop_prob: f64,
+    /// Default checkpoint interval.
+    pub checkpoint_interval: SimDuration,
+    /// Default restart overhead (`u0`).
+    pub restart_overhead: SimDuration,
+    /// Diurnal modulation of the arrival rate: instantaneous rate is
+    /// `jobs_per_day/86400 × (1 + amplitude·sin(2π·hour/24))`, peaking
+    /// mid-simulated-day. Zero disables the cycle.
+    pub diurnal_amplitude: f64,
+}
+
+impl WorkloadProfile {
+    /// The RSC-1 profile: 7.2k jobs/day on 16k GPUs, LLM-heavy large-job
+    /// tail up to 4096 GPUs.
+    pub fn rsc1() -> Self {
+        WorkloadProfile {
+            name: "RSC-1".to_string(),
+            jobs_per_day: 7200.0,
+            buckets: vec![
+                bucket(1, 0.4460, 2.2, 1.0, 0.0, 0.50),
+                bucket(2, 0.2230, 2.5, 1.0, 0.0, 0.50),
+                bucket(4, 0.2230, 2.8, 1.0, 0.0, 0.45),
+                bucket(8, 0.0641, 4.0, 0.9, 0.02, 0.30),
+                bucket(16, 0.0267, 6.0, 0.9, 0.03, 0.25),
+                bucket(32, 0.0100, 8.0, 0.8, 0.05, 0.20),
+                bucket(64, 0.0033, 12.0, 0.8, 0.10, 0.15),
+                bucket(128, 0.0018, 16.0, 0.7, 0.25, 0.10),
+                bucket(256, 0.0012, 20.0, 0.7, 0.60, 0.05),
+                bucket(512, 0.00050, 28.0, 0.6, 0.80, 0.02),
+                bucket(1024, 0.00022, 36.0, 0.6, 0.90, 0.0),
+                bucket(2048, 0.00007, 44.0, 0.5, 0.95, 0.0),
+                bucket(4096, 0.00003, 50.0, 0.5, 1.0, 0.0),
+            ],
+            user_failure_prob: 0.25,
+            cancel_prob: 0.04,
+            oom_prob: 0.002,
+            timeout_prob: 0.007,
+            crash_loop_prob: 0.001,
+            checkpoint_interval: SimDuration::from_mins(60),
+            restart_overhead: SimDuration::from_mins(5),
+            diurnal_amplitude: 0.3,
+        }
+    }
+
+    /// The RSC-2 profile: 4.4k jobs/day on 8k GPUs, vision-heavy — a
+    /// stronger single-GPU tilt and a smaller large-job tail (max 1k GPUs).
+    pub fn rsc2() -> Self {
+        WorkloadProfile {
+            name: "RSC-2".to_string(),
+            jobs_per_day: 4400.0,
+            buckets: vec![
+                bucket(1, 0.5560, 2.4, 1.0, 0.0, 0.50),
+                bucket(2, 0.1800, 2.6, 1.0, 0.0, 0.50),
+                bucket(4, 0.1700, 3.0, 1.0, 0.0, 0.45),
+                bucket(8, 0.0530, 4.5, 0.9, 0.02, 0.30),
+                bucket(16, 0.0220, 6.5, 0.9, 0.03, 0.25),
+                bucket(32, 0.0095, 9.0, 0.8, 0.05, 0.20),
+                bucket(64, 0.0045, 13.0, 0.8, 0.12, 0.15),
+                bucket(128, 0.0025, 18.0, 0.7, 0.30, 0.10),
+                bucket(256, 0.0015, 24.0, 0.7, 0.65, 0.05),
+                bucket(512, 0.00070, 30.0, 0.6, 0.85, 0.0),
+                bucket(1024, 0.00030, 40.0, 0.6, 0.95, 0.0),
+            ],
+            user_failure_prob: 0.25,
+            cancel_prob: 0.04,
+            oom_prob: 0.002,
+            timeout_prob: 0.007,
+            crash_loop_prob: 0.001,
+            checkpoint_interval: SimDuration::from_mins(60),
+            restart_overhead: SimDuration::from_mins(5),
+            diurnal_amplitude: 0.3,
+        }
+    }
+
+    /// A scaled-down copy: arrival rate and every bucket's size cap scaled
+    /// by `factor` (for running the full 11-month storyline on a small
+    /// simulated cluster).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let mut out = self.clone();
+        out.jobs_per_day *= factor;
+        let max_gpus = (self
+            .buckets
+            .iter()
+            .map(|b| b.gpus)
+            .max()
+            .unwrap_or(8) as f64
+            * factor)
+            .max(8.0) as u32;
+        // Drop buckets above the scaled cap, folding their job mass into
+        // the largest surviving bucket so totals stay normalized.
+        let mut dropped = 0.0;
+        out.buckets.retain(|b| {
+            if b.gpus <= max_gpus {
+                true
+            } else {
+                dropped += b.job_fraction;
+                false
+            }
+        });
+        if let Some(last) = out.buckets.last_mut() {
+            last.job_fraction += dropped;
+        }
+        out
+    }
+
+    /// Mean GPU-hours consumed per submitted job (analytic, from bucket
+    /// means).
+    pub fn mean_gpu_hours_per_job(&self) -> f64 {
+        let total: f64 = self.buckets.iter().map(|b| b.job_fraction).sum();
+        self.buckets
+            .iter()
+            .map(|b| b.job_fraction / total * b.gpus as f64 * b.mean_duration_hours)
+            .sum()
+    }
+
+    /// Offered load in GPU-hours per day.
+    pub fn offered_gpu_hours_per_day(&self) -> f64 {
+        self.jobs_per_day * self.mean_gpu_hours_per_job()
+    }
+
+    /// Scales bucket durations so the offered load hits
+    /// `utilization × total_gpus × 24 h/day`.
+    pub fn calibrate_load(&mut self, total_gpus: u32, utilization: f64) {
+        let target = total_gpus as f64 * 24.0 * utilization;
+        let current = self.offered_gpu_hours_per_day();
+        if current > 0.0 {
+            let k = target / current;
+            for b in &mut self.buckets {
+                b.mean_duration_hours *= k;
+            }
+        }
+    }
+
+    /// Samples one job's static shape: `(gpus, duration, qos, destiny,
+    /// timeout, crash_loop)`.
+    pub fn sample_shape(&self, rng: &mut SimRng) -> JobShape {
+        let dist = WeightedIndex::new(self.buckets.iter().map(|b| b.job_fraction))
+            .expect("bucket fractions are valid weights");
+        self.sample_shape_with(&dist, rng)
+    }
+
+    /// Same as [`Self::sample_shape`] but reusing a prebuilt weight table
+    /// (for hot generation loops).
+    pub fn sample_shape_with(&self, dist: &WeightedIndex, rng: &mut SimRng) -> JobShape {
+        let b = &self.buckets[dist.sample(rng)];
+        // Lognormal duration with the bucket's mean: mu = ln(mean) - s²/2.
+        let mu = b.mean_duration_hours.ln() - b.duration_sigma * b.duration_sigma / 2.0;
+        let hours = rng.lognormal(mu, b.duration_sigma).clamp(0.05, 6.5 * 24.0);
+        let work = SimDuration::from_hours_f64(hours);
+
+        let qos = if rng.chance(b.high_qos_prob) {
+            QosClass::High
+        } else if rng.chance(b.low_qos_prob / (1.0 - b.high_qos_prob).max(1e-9)) {
+            QosClass::Low
+        } else {
+            QosClass::Normal
+        };
+
+        let destiny = {
+            let u = rng.uniform();
+            if u < self.user_failure_prob {
+                Destiny::UserFailure {
+                    at_work_fraction: rng.uniform_range(0.01, 1.0),
+                }
+            } else if u < self.user_failure_prob + self.cancel_prob {
+                Destiny::Cancelled {
+                    after: work.mul_f64(rng.uniform_range(0.05, 0.9)),
+                }
+            } else if u < self.user_failure_prob + self.cancel_prob + self.oom_prob {
+                Destiny::OutOfMemory {
+                    at_work_fraction: rng.uniform_range(0.01, 1.0),
+                }
+            } else {
+                Destiny::Complete
+            }
+        };
+
+        let times_out = rng.chance(self.timeout_prob);
+        let time_limit = if times_out {
+            work.mul_f64(rng.uniform_range(0.3, 0.9))
+        } else {
+            // Generous limit: work plus healthy margin, capped later by the
+            // scheduler's 7-day lifetime.
+            work.mul_f64(1.5) + SimDuration::from_hours(2)
+        };
+
+        JobShape {
+            gpus: b.gpus,
+            work,
+            time_limit,
+            qos,
+            destiny,
+            crash_loop: rng.chance(self.crash_loop_prob),
+        }
+    }
+
+    /// Builds the sampling table for [`Self::sample_shape_with`].
+    pub fn weight_table(&self) -> WeightedIndex {
+        WeightedIndex::new(self.buckets.iter().map(|b| b.job_fraction))
+            .expect("bucket fractions are valid weights")
+    }
+}
+
+/// A sampled job shape, before ids and submit times are assigned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobShape {
+    /// GPUs requested.
+    pub gpus: u32,
+    /// Productive work required.
+    pub work: SimDuration,
+    /// Requested time limit.
+    pub time_limit: SimDuration,
+    /// Scheduling tier.
+    pub qos: QosClass,
+    /// User-driven fate.
+    pub destiny: Destiny,
+    /// Whether the submit script requeues on user failure.
+    pub crash_loop: bool,
+}
+
+fn bucket(
+    gpus: u32,
+    job_fraction: f64,
+    mean_duration_hours: f64,
+    duration_sigma: f64,
+    high_qos_prob: f64,
+    low_qos_prob: f64,
+) -> SizeBucket {
+    SizeBucket {
+        gpus,
+        job_fraction,
+        mean_duration_hours,
+        duration_sigma,
+        high_qos_prob,
+        low_qos_prob,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for p in [WorkloadProfile::rsc1(), WorkloadProfile::rsc2()] {
+            let sum: f64 = p.buckets.iter().map(|b| b.job_fraction).sum();
+            assert!((sum - 1.0).abs() < 0.01, "{}: sum={sum}", p.name);
+        }
+    }
+
+    #[test]
+    fn job_size_marginals_match_observation_7() {
+        for p in [WorkloadProfile::rsc1(), WorkloadProfile::rsc2()] {
+            let one_gpu: f64 = p
+                .buckets
+                .iter()
+                .filter(|b| b.gpus == 1)
+                .map(|b| b.job_fraction)
+                .sum();
+            assert!(one_gpu > 0.40, "{}: 1-GPU fraction {one_gpu}", p.name);
+            let sub_node: f64 = p
+                .buckets
+                .iter()
+                .filter(|b| b.gpus < 8)
+                .map(|b| b.job_fraction)
+                .sum();
+            assert!(sub_node > 0.85, "{}: sub-node fraction {sub_node}", p.name);
+        }
+    }
+
+    #[test]
+    fn gpu_time_dominated_by_large_jobs() {
+        for (p, min_share) in [(WorkloadProfile::rsc1(), 0.60), (WorkloadProfile::rsc2(), 0.45)] {
+            let total: f64 = p
+                .buckets
+                .iter()
+                .map(|b| b.job_fraction * b.gpus as f64 * b.mean_duration_hours)
+                .sum();
+            let large: f64 = p
+                .buckets
+                .iter()
+                .filter(|b| b.gpus >= 256)
+                .map(|b| b.job_fraction * b.gpus as f64 * b.mean_duration_hours)
+                .sum();
+            let share = large / total;
+            assert!(share > min_share && share < 0.80, "{}: 256+ share {share}", p.name);
+            let sub_node: f64 = p
+                .buckets
+                .iter()
+                .filter(|b| b.gpus < 8)
+                .map(|b| b.job_fraction * b.gpus as f64 * b.mean_duration_hours)
+                .sum();
+            assert!(sub_node / total < 0.10, "{}: sub-node GPU share", p.name);
+        }
+    }
+
+    #[test]
+    fn rsc1_4k_jobs_consume_about_an_eighth() {
+        let p = WorkloadProfile::rsc1();
+        let total: f64 = p
+            .buckets
+            .iter()
+            .map(|b| b.job_fraction * b.gpus as f64 * b.mean_duration_hours)
+            .sum();
+        let big: f64 = p
+            .buckets
+            .iter()
+            .filter(|b| b.gpus == 4096)
+            .map(|b| b.job_fraction * b.gpus as f64 * b.mean_duration_hours)
+            .sum();
+        let share = big / total;
+        assert!((0.06..=0.20).contains(&share), "4k share={share}");
+        let frac: f64 = p
+            .buckets
+            .iter()
+            .filter(|b| b.gpus == 4096)
+            .map(|b| b.job_fraction)
+            .sum();
+        assert!(frac < 0.01, "4k jobs should be <1% of jobs");
+    }
+
+    #[test]
+    fn calibrate_load_hits_target() {
+        let mut p = WorkloadProfile::rsc1();
+        p.calibrate_load(16_384, 0.83);
+        let offered = p.offered_gpu_hours_per_day();
+        let target = 16_384.0 * 24.0 * 0.83;
+        assert!((offered - target).abs() / target < 1e-9);
+    }
+
+    #[test]
+    fn sampled_shapes_are_sane() {
+        let p = WorkloadProfile::rsc1();
+        let mut rng = SimRng::seed_from(1);
+        let dist = p.weight_table();
+        let mut one_gpu = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = p.sample_shape_with(&dist, &mut rng);
+            assert!(s.gpus >= 1 && s.gpus <= 4096);
+            assert!(s.work > SimDuration::ZERO);
+            assert!(s.time_limit > SimDuration::ZERO);
+            if s.gpus == 1 {
+                one_gpu += 1;
+            }
+        }
+        let frac = one_gpu as f64 / n as f64;
+        assert!((frac - 0.446).abs() < 0.02, "1-GPU sampled frac={frac}");
+    }
+
+    #[test]
+    fn large_jobs_are_high_qos() {
+        let p = WorkloadProfile::rsc1();
+        let mut rng = SimRng::seed_from(2);
+        let dist = p.weight_table();
+        let mut large_high = 0;
+        let mut large_total = 0;
+        for _ in 0..200_000 {
+            let s = p.sample_shape_with(&dist, &mut rng);
+            if s.gpus >= 512 {
+                large_total += 1;
+                if s.qos == QosClass::High {
+                    large_high += 1;
+                }
+            }
+        }
+        assert!(large_total > 20, "need large samples, got {large_total}");
+        assert!(
+            large_high as f64 / large_total as f64 > 0.7,
+            "large jobs should be mostly high QoS"
+        );
+    }
+
+    #[test]
+    fn scaled_profile_drops_oversized_buckets() {
+        let p = WorkloadProfile::rsc1().scaled(1.0 / 16.0);
+        let max = p.buckets.iter().map(|b| b.gpus).max().unwrap();
+        assert_eq!(max, 256);
+        let sum: f64 = p.buckets.iter().map(|b| b.job_fraction).sum();
+        assert!((sum - 1.0).abs() < 0.01);
+        assert!((p.jobs_per_day - 450.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn scaled_rejects_bad_factor() {
+        let _ = WorkloadProfile::rsc1().scaled(0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Capacity planning for a future AI supercomputer: project MTTF and
+//! checkpoint requirements across candidate cluster sizes and reliability
+//! grades (the paper's §III "looking towards the future" exercise).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use rsc_reliability::analysis::ettr::requirements::max_coupled_interval_mins;
+use rsc_reliability::analysis::mttf::MttfProjection;
+
+fn main() {
+    let sizes = [16_384u32, 32_768, 65_536, 100_000, 131_072];
+    let grades = [
+        ("RSC-1 grade (6.50/1k node-days)", 6.50e-3),
+        ("RSC-2 grade (2.34/1k node-days)", 2.34e-3),
+        ("next-gen    (1.00/1k node-days)", 1.00e-3),
+    ];
+
+    println!("projected MTTF of a full-cluster job:");
+    print!("{:>36}", "");
+    for s in sizes {
+        print!("{s:>12}");
+    }
+    println!();
+    for (label, r_f) in grades {
+        let proj = MttfProjection::new(r_f);
+        print!("{label:>36}");
+        for s in sizes {
+            let h = proj.mttf_hours(s);
+            let cell = if h >= 1.0 {
+                format!("{h:.1}h")
+            } else {
+                format!("{:.0}min", h * 60.0)
+            };
+            print!("{cell:>12}");
+        }
+        println!();
+    }
+
+    println!("\ncheckpoint cadence needed for E[ETTR] = 0.9 (u0 coupled, 1-min queues):");
+    print!("{:>36}", "");
+    for s in sizes {
+        print!("{s:>12}");
+    }
+    println!();
+    for (label, r_f) in grades {
+        print!("{label:>36}");
+        for s in sizes {
+            let cell = match max_coupled_interval_mins(s, r_f, 0.9, 1.0, 7.0) {
+                Some(m) if m >= 1.0 => format!("{m:.0}min"),
+                Some(m) => format!("{:.0}s", m * 60.0),
+                None => "n/a".to_string(),
+            };
+            print!("{cell:>12}");
+        }
+        println!();
+    }
+
+    println!("\nreading: at 100k GPUs even an RSC-2-grade fleet needs ~2-minute");
+    println!("checkpoint+restart cycles for ETTR 0.9 — motivating the paper's call");
+    println!("for fault-tolerant training that *copes with* failure rather than");
+    println!("merely recovering from it.");
+}

@@ -1,0 +1,82 @@
+//! NCCL-timeout triage: reproduce the paper's §V debugging methodology —
+//! compare per-rank collective logs to find the first collective where
+//! some ranks arrived and others did not, and classify the likely domain.
+//!
+//! Run with: `cargo run --release --example nccl_timeout_triage`
+
+use rsc_reliability::analysis::nccl_debug::{
+    diagnose, healthy_traces, CollectiveKind, TimeoutVerdict,
+};
+
+fn describe(verdict: &TimeoutVerdict) {
+    match verdict {
+        TimeoutVerdict::NoHangObserved => {
+            println!("  -> no hang in this window; look elsewhere");
+        }
+        TimeoutVerdict::MismatchedCollectives { seq, variants } => {
+            println!("  -> SPMD mismatch at collective #{seq} (user-program domain):");
+            for (kind, ranks) in variants {
+                println!("       {kind} issued by ranks {ranks:?}");
+            }
+            println!("     fix the divergent branch; the network is innocent");
+        }
+        TimeoutVerdict::MissingRanks { seq, missing } => {
+            println!("  -> collective #{seq} never saw ranks {missing:?}");
+            println!("     those ranks are stuck *before* the collective — check their");
+            println!("     hosts (crash, data loader, preempted process) first");
+        }
+        TimeoutVerdict::StuckInCollective { seq } => {
+            println!("  -> every rank entered collective #{seq}, none left:");
+            println!("     suspect the fabric between participants (hardware domain)");
+        }
+    }
+}
+
+fn main() {
+    println!("scenario 1: a healthy 16-rank run");
+    let traces = healthy_traces(16, 100);
+    describe(&diagnose(&traces));
+
+    println!("\nscenario 2: rank 5's data loader wedges before step 42");
+    let mut traces = healthy_traces(16, 100);
+    traces[5].ops.truncate(42);
+    for t in traces.iter_mut() {
+        for op in t.ops.iter_mut() {
+            if op.seq >= 42 {
+                op.exited = false;
+            }
+        }
+    }
+    describe(&diagnose(&traces));
+
+    println!("\nscenario 3: a branch on rank 0 issues an extra broadcast");
+    let mut traces = healthy_traces(8, 50);
+    for t in traces.iter_mut() {
+        for op in t.ops.iter_mut() {
+            if op.seq >= 17 {
+                op.exited = false;
+            }
+        }
+    }
+    traces[0].ops[17].kind = CollectiveKind::Broadcast;
+    describe(&diagnose(&traces));
+
+    println!("\nscenario 4: an IB link dies mid-all-reduce");
+    let mut traces = healthy_traces(8, 50);
+    for t in traces.iter_mut() {
+        for op in t.ops.iter_mut() {
+            if op.seq == 30 {
+                op.exited = false;
+            }
+            if op.seq > 30 {
+                op.entered = false;
+                op.exited = false;
+            }
+        }
+    }
+    describe(&diagnose(&traces));
+
+    println!("\n(paper §V: \"by logging which ranks started each collective … we can");
+    println!(" find the first collective where some ranks started the collective but");
+    println!(" others did not, and further investigate the missing ranks\")");
+}

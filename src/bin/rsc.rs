@@ -1,0 +1,300 @@
+//! `rsc` — command-line front end for the reproduction.
+//!
+//! Subcommands:
+//!
+//! - `simulate` — run a simulated cluster and export a `sacct`-style job
+//!   trace CSV;
+//! - `analyze`  — run the paper's job-level analyses over a trace CSV
+//!   (simulated or converted from real accounting data);
+//! - `project`  — MTTF projections from a failure rate;
+//! - `ettr`     — expected-ETTR calculator (analytic + Monte Carlo).
+//!
+//! Run `rsc help` for usage.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use rsc_reliability::analysis::ettr::analytical::{expected_ettr, EttrParams};
+use rsc_reliability::analysis::ettr::jobrun::{
+    ettr_by_size_bucket, long_high_priority_runs, reconstruct_job_runs,
+};
+use rsc_reliability::analysis::ettr::montecarlo::monte_carlo_ettr;
+use rsc_reliability::analysis::cluster_goodput::goodput_waterfall;
+use rsc_reliability::analysis::goodput::goodput_loss;
+use rsc_reliability::analysis::queueing::{mean_wait_hours, wait_by_size_and_qos};
+use rsc_reliability::analysis::mttf::{mttf_by_job_size, FailureScope, MttfProjection};
+use rsc_reliability::analysis::attribution::AttributionConfig;
+use rsc_reliability::analysis::report::{size_distribution, status_breakdown};
+use rsc_reliability::sim::{ClusterSim, SimConfig};
+use rsc_reliability::simcore::rng::SimRng;
+use rsc_reliability::simcore::time::SimDuration;
+use rsc_reliability::telemetry::store::TelemetryStore;
+use rsc_reliability::telemetry::trace::{export_jobs, import_jobs};
+
+const USAGE: &str = "\
+rsc — reliability analysis for large-scale ML clusters
+
+USAGE:
+  rsc simulate [--cluster rsc1|rsc2|small] [--days N] [--scale D]
+               [--seed S] [--lemons N] [--out trace.csv]
+  rsc analyze  --trace trace.csv
+  rsc project  [--rate PER_1000_NODE_DAYS] [--gpus N[,N...]]
+  rsc ettr     --gpus N [--rate R] [--checkpoint MIN] [--overhead MIN]
+               [--queue MIN] [--work DAYS] [--trials N]
+  rsc help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "project" => cmd_project(&flags),
+        "ettr" => cmd_ettr(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+    }
+}
+
+fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+    }
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let cluster = flags.get("cluster").map(String::as_str).unwrap_or("small");
+    let days = flag_u64(flags, "days", 30)?;
+    let scale = flag_u64(flags, "scale", 1)? as u32;
+    let seed = flag_u64(flags, "seed", 42)?;
+    let mut config = match cluster {
+        "rsc1" => SimConfig::rsc1(),
+        "rsc2" => SimConfig::rsc2(),
+        "small" => SimConfig::small_test_cluster(),
+        other => return Err(format!("unknown cluster {other:?} (rsc1|rsc2|small)")),
+    };
+    if scale > 1 {
+        config = config.scaled_down(scale);
+    }
+    if let Some(l) = flags.get("lemons") {
+        config.lemon_count = l.parse().map_err(|_| "--lemons expects an integer")?;
+    }
+    println!(
+        "simulating {} ({} nodes, {} GPUs) for {days} days, seed {seed}...",
+        config.cluster.name(),
+        config.cluster.num_nodes(),
+        config.cluster.total_gpus()
+    );
+    let mut sim = ClusterSim::new(config, seed);
+    sim.run(SimDuration::from_days(days));
+    println!("mean utilization: {:.1}%", sim.mean_utilization() * 100.0);
+    let store = sim.into_telemetry();
+    println!(
+        "records: {} jobs, {} health events, {} failures injected, {} GPU swaps",
+        store.jobs().len(),
+        store.health_events().len(),
+        store.ground_truth_failures().len(),
+        store.gpu_swaps()
+    );
+    if let Some(path) = flags.get("out") {
+        let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        export_jobs(&mut w, store.jobs()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("trace").ok_or("analyze requires --trace <file>")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let records = import_jobs(BufReader::new(file)).map_err(|e| e.to_string())?;
+    if records.is_empty() {
+        return Err("trace contains no records".to_string());
+    }
+    let num_nodes = records
+        .iter()
+        .flat_map(|r| r.nodes.iter().map(|n| n.index() + 1))
+        .max()
+        .unwrap_or(1);
+    let mut store = TelemetryStore::new("trace", num_nodes);
+    let horizon = records.iter().map(|r| r.ended_at).max().expect("non-empty");
+    store.extend_jobs(records);
+    store.set_horizon(horizon);
+
+    println!("== status breakdown ==");
+    for s in status_breakdown(&store) {
+        if s.job_fraction > 0.0 {
+            println!(
+                "  {:<14} {:>7.3}% of jobs  {:>7.3}% of GPU-time",
+                s.status.label(),
+                s.job_fraction * 100.0,
+                s.gpu_time_fraction * 100.0
+            );
+        }
+    }
+
+    println!("\n== job-size distribution ==");
+    for s in size_distribution(&store) {
+        println!(
+            "  {:>6} GPUs  {:>7.3}% of jobs  {:>7.3}% of GPU-time",
+            s.gpus,
+            s.job_fraction * 100.0,
+            s.gpu_time_fraction * 100.0
+        );
+    }
+
+    println!("\n== MTTF by job size (all failure statuses) ==");
+    let points = mttf_by_job_size(
+        &mut store,
+        FailureScope::AllFailures,
+        &AttributionConfig::paper_default(),
+    );
+    for p in points {
+        if p.failures > 0 {
+            println!(
+                "  {:>6} GPUs  {:>5} failures  MTTF {:>9.1} h",
+                p.gpus, p.failures, p.mttf_hours
+            );
+        }
+    }
+
+    println!("\n== job runs (ETTR at 60-min checkpoints, 5-min restarts) ==");
+    let runs = reconstruct_job_runs(&store);
+    let selected = long_high_priority_runs(&runs, SimDuration::from_hours(24));
+    println!("  {} runs total, {} long high-priority", runs.len(), selected.len());
+    for b in ettr_by_size_bucket(
+        &selected,
+        SimDuration::from_mins(60),
+        SimDuration::from_mins(5),
+    ) {
+        println!(
+            "  {:>6}-{:<6} GPUs  {:>4} runs  mean ETTR {:.3}",
+            b.gpus_lo, b.gpus_hi, b.runs, b.mean_ettr
+        );
+    }
+
+    let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+    println!(
+        "\n== goodput loss == {:.0} GPU-h from failures, {:.0} GPU-h from requeue preemptions ({:.1}% second-order)",
+        loss.total_failure_loss,
+        loss.total_preemption_loss,
+        loss.preemption_share() * 100.0
+    );
+
+    let w = goodput_waterfall(
+        &store,
+        8,
+        SimDuration::from_mins(60),
+        SimDuration::from_mins(5),
+    );
+    let (p, r, l, i) = w.fractions();
+    println!(
+        "== capacity waterfall == productive {:.1}% | restart {:.2}% | replay {:.2}% | idle {:.1}%",
+        p * 100.0,
+        r * 100.0,
+        l * 100.0,
+        i * 100.0
+    );
+
+    println!("\n== queue waits == mean {:.2} h overall", mean_wait_hours(&store));
+    for b in wait_by_size_and_qos(&store) {
+        if b.count >= 50 {
+            println!(
+                "  {:>6}+ GPUs {:<7} {:>6} starts, mean {:.2} h, max {:.1} h",
+                b.gpus_lo,
+                b.qos.to_string(),
+                b.count,
+                b.mean_wait_hours,
+                b.max_wait_hours
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_project(flags: &HashMap<String, String>) -> Result<(), String> {
+    let rate = flag_f64(flags, "rate", 6.50)? / 1000.0;
+    let gpus: Vec<u32> = match flags.get("gpus") {
+        None => vec![1024, 4096, 16_384, 65_536, 131_072],
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad GPU count {s:?}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let proj = MttfProjection::new(rate);
+    println!("MTTF projections at {:.2} failures per 1000 node-days:", rate * 1000.0);
+    for g in gpus {
+        let h = proj.mttf_hours(g);
+        if h >= 1.0 {
+            println!("  {g:>8} GPUs -> {h:.2} h");
+        } else {
+            println!("  {g:>8} GPUs -> {:.1} min", h * 60.0);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ettr(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpus = flag_u64(flags, "gpus", 0)? as u32;
+    if gpus == 0 {
+        return Err("ettr requires --gpus <count>".to_string());
+    }
+    let params = EttrParams {
+        nodes: gpus.div_ceil(8),
+        r_f: flag_f64(flags, "rate", 6.50)? / 1000.0,
+        queue_time: flag_f64(flags, "queue", 5.0)? / 60.0 / 24.0,
+        restart_overhead: flag_f64(flags, "overhead", 5.0)? / 60.0 / 24.0,
+        checkpoint_interval: flag_f64(flags, "checkpoint", 60.0)? / 60.0 / 24.0,
+        productive_time: flag_f64(flags, "work", 7.0)?,
+    };
+    let trials = flag_u64(flags, "trials", 4000)? as u32;
+    let analytic = expected_ettr(&params);
+    let mut rng = SimRng::seed_from(1);
+    let mc = monte_carlo_ettr(&params, trials, &mut rng);
+    println!("job: {gpus} GPUs ({} nodes), MTTF {:.2} h", params.nodes, params.mttf_days() * 24.0);
+    println!("expected failures over the run: {:.2}", params.expected_failures());
+    println!("E[ETTR] analytic:     {analytic:.4}");
+    println!("E[ETTR] monte carlo:  {:.4} ± {:.4} ({} trials)", mc.mean, 1.645 * mc.std_error, trials);
+    Ok(())
+}

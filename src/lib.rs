@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # rsc-reliability
+//!
+//! A reliability-analysis toolkit and cluster simulator reproducing
+//! *"Revisiting Reliability in Large-Scale Machine Learning Research
+//! Clusters"* (HPCA 2025).
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! - [`simcore`] — discrete-event simulation primitives;
+//! - [`cluster`] — the hardware model (nodes, GPUs, racks, pods);
+//! - [`network`] — the rail-optimized InfiniBand fabric and adaptive routing;
+//! - [`failure`] — failure taxonomy, hazard processes, and lemon nodes;
+//! - [`health`] — periodic health checks and remediation;
+//! - [`sched`] — the Slurm-like gang scheduler;
+//! - [`workload`] — RSC-1/RSC-2 synthetic workload profiles;
+//! - [`storage`] — NFS/AirStore/ObjectStore tiers and checkpoint costs;
+//! - [`telemetry`] — simulated cluster logs and time-window queries;
+//! - [`sim`] — the wired-up cluster simulation;
+//! - [`analysis`] — the paper's contribution: attribution, MTTF, ETTR,
+//!   lemon detection, and goodput accounting.
+//!
+//! # Quickstart
+//!
+//! Simulate a small cluster for a week and compute its hardware failure
+//! rate:
+//!
+//! ```
+//! use rsc_reliability::sim::{ClusterSim, SimConfig};
+//! use rsc_reliability::simcore::time::SimDuration;
+//!
+//! let config = SimConfig::small_test_cluster();
+//! let mut sim = ClusterSim::new(config, 42);
+//! let telemetry = sim.run(SimDuration::from_days(7));
+//! assert!(telemetry.jobs().len() > 0);
+//! ```
+
+pub use rsc_cluster as cluster;
+pub use rsc_core as analysis;
+pub use rsc_failure as failure;
+pub use rsc_health as health;
+pub use rsc_network as network;
+pub use rsc_sched as sched;
+pub use rsc_sim as sim;
+pub use rsc_sim_core as simcore;
+pub use rsc_storage as storage;
+pub use rsc_telemetry as telemetry;
+pub use rsc_workload as workload;

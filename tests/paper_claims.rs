@@ -1,0 +1,88 @@
+//! Integration tests pinning the paper's quantitative claims that the
+//! library must reproduce analytically (no simulation required).
+
+use rsc_reliability::analysis::ettr::analytical::{expected_ettr, EttrParams};
+use rsc_reliability::analysis::ettr::montecarlo::monte_carlo_ettr;
+use rsc_reliability::analysis::ettr::requirements::max_coupled_interval_mins;
+use rsc_reliability::analysis::mttf::MttfProjection;
+use rsc_reliability::simcore::rng::SimRng;
+
+const RSC1_RATE: f64 = 6.50e-3;
+const RSC2_RATE: f64 = 2.34e-3;
+
+#[test]
+fn obs8_mttf_projections() {
+    let proj = MttfProjection::new(RSC1_RATE);
+    // "we project the MTTF for 16384 GPU jobs to be 1.8 hours and for
+    //  131072 GPU jobs to be 0.23 hours"
+    assert!((proj.mttf_hours(16_384) - 1.8).abs() < 0.05);
+    assert!((proj.mttf_hours(131_072) - 0.23).abs() < 0.01);
+    // "the MTTF implied by an RSC-1-like failure rate is ~15 minutes" at
+    // O(100k) GPUs.
+    let mins = proj.mttf_hours(100_000) * 60.0;
+    assert!((12.0..=20.0).contains(&mins), "{mins}");
+}
+
+#[test]
+fn hypothetical_16k_run_ettr() {
+    // "expected ETTR would be 0.7 for a 60 minute checkpoint interval.
+    //  Moving to a 5 minute checkpoint interval would increase expected
+    //  ETTR to 0.93."
+    let base = EttrParams {
+        nodes: 2048,
+        r_f: RSC1_RATE,
+        queue_time: 1.0 / 24.0 / 60.0,
+        restart_overhead: 5.0 / 60.0 / 24.0,
+        checkpoint_interval: 1.0 / 24.0,
+        productive_time: 7.0,
+    };
+    assert!((expected_ettr(&base) - 0.70).abs() < 0.03);
+    let fast = EttrParams {
+        checkpoint_interval: 5.0 / 60.0 / 24.0,
+        ..base
+    };
+    assert!((expected_ettr(&fast) - 0.93).abs() < 0.02);
+}
+
+#[test]
+fn fig10_checkpoint_requirements() {
+    // "a checkpoint interval of ~7 minutes is necessary to have an
+    //  E[ETTR] = 0.5, which increases to ~21 minutes if failure rates are
+    //  closer to RSC-2" (restart overhead coupled to the interval).
+    let rsc1 = max_coupled_interval_mins(100_000, RSC1_RATE, 0.5, 1.0, 7.0).unwrap();
+    let rsc2 = max_coupled_interval_mins(100_000, RSC2_RATE, 0.5, 1.0, 7.0).unwrap();
+    assert!((4.0..=10.0).contains(&rsc1), "rsc1={rsc1}");
+    assert!((13.0..=25.0).contains(&rsc2), "rsc2={rsc2}");
+    // "to reach ETTR of 0.9 at an RSC-2 failure rate, you would need ~2
+    //  minute checkpointing and ~2 minute restart overhead"
+    let target09 = max_coupled_interval_mins(100_000, RSC2_RATE, 0.9, 1.0, 7.0).unwrap();
+    assert!((1.0..=5.0).contains(&target09), "{target09}");
+}
+
+#[test]
+fn analytic_vs_monte_carlo_agreement() {
+    // "the approximation above is accurate to within ~5%" — even for an
+    // 8k-GPU, week-long run.
+    let params = EttrParams {
+        nodes: 1024,
+        r_f: RSC1_RATE,
+        queue_time: 5.0 / 60.0 / 24.0,
+        restart_overhead: 5.0 / 60.0 / 24.0,
+        checkpoint_interval: 1.0 / 24.0,
+        productive_time: 7.0,
+    };
+    let mut rng = SimRng::seed_from(9);
+    let mc = monte_carlo_ettr(&params, 8000, &mut rng);
+    let analytic = expected_ettr(&params);
+    let rel = (mc.mean - analytic).abs() / mc.mean;
+    assert!(rel < 0.05, "rel={rel}");
+}
+
+#[test]
+fn mttf_ratio_between_clusters_tracks_rates() {
+    let p1 = MttfProjection::new(RSC1_RATE);
+    let p2 = MttfProjection::new(RSC2_RATE);
+    let ratio = p2.mttf_hours(8192) / p1.mttf_hours(8192);
+    // MTTFs round to whole simulated seconds, so compare loosely.
+    assert!((ratio - RSC1_RATE / RSC2_RATE).abs() < 1e-3, "{ratio}");
+}
