@@ -11,29 +11,31 @@ use rsc_core::mttf::{gamma_mttf_ci, mttf_by_job_size, FailureScope};
 use rsc_sim::config::SimConfig;
 use rsc_sim::driver::ClusterSim;
 use rsc_sim_core::time::{SimDuration, SimTime};
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
-fn store() -> TelemetryStore {
+fn store() -> TelemetryView {
     let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 77);
     sim.run(SimDuration::from_days(30));
-    let mut t = sim.into_telemetry();
-    t.build_indexes();
-    t
+    sim.into_telemetry().seal()
 }
 
 fn bench_attribution(c: &mut Criterion) {
-    let mut t = store();
+    let t = store();
     c.bench_function("attribute_failures_30_days", |b| {
-        b.iter(|| attribute_failures(&mut t, &AttributionConfig::paper_default()).len());
+        b.iter(|| attribute_failures(&t, &AttributionConfig::paper_default()).len());
     });
 }
 
 fn bench_mttf(c: &mut Criterion) {
-    let mut t = store();
+    let t = store();
     c.bench_function("mttf_by_job_size_30_days", |b| {
         b.iter(|| {
-            mttf_by_job_size(&mut t, FailureScope::AllFailures, &AttributionConfig::paper_default())
-                .len()
+            mttf_by_job_size(
+                &t,
+                FailureScope::AllFailures,
+                &AttributionConfig::paper_default(),
+            )
+            .len()
         });
     });
     c.bench_function("gamma_mttf_ci", |b| {
@@ -42,9 +44,9 @@ fn bench_mttf(c: &mut Criterion) {
 }
 
 fn bench_goodput(c: &mut Criterion) {
-    let mut t = store();
+    let t = store();
     c.bench_function("goodput_loss_30_days", |b| {
-        b.iter(|| goodput_loss(&mut t, &AttributionConfig::paper_default()).total_failure_loss);
+        b.iter(|| goodput_loss(&t, &AttributionConfig::paper_default()).total_failure_loss);
     });
 }
 

@@ -41,5 +41,10 @@ fn bench_requirement_solver(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_analytic, bench_monte_carlo, bench_requirement_solver);
+criterion_group!(
+    benches,
+    bench_analytic,
+    bench_monte_carlo,
+    bench_requirement_solver
+);
 criterion_main!(benches);

@@ -25,7 +25,9 @@ fn bench_single_collective(c: &mut Criterion) {
             evaluate_collectives(
                 &fabric,
                 std::slice::from_ref(&ar),
-                RoutingPolicy::Static { shield_threshold: 0.95 },
+                RoutingPolicy::Static {
+                    shield_threshold: 0.95,
+                },
             )
             .busbw_gbps[0]
         });

@@ -40,7 +40,11 @@ fn bench_cycle_with_backlog(c: &mut Criterion) {
                         2 => 32,
                         _ => 2,
                     };
-                    let qos = if i % 10 == 0 { QosClass::High } else { QosClass::Low };
+                    let qos = if i % 10 == 0 {
+                        QosClass::High
+                    } else {
+                        QosClass::Low
+                    };
                     sched.submit(spec(i + 1, gpus, qos));
                 }
                 sched

@@ -15,7 +15,7 @@ fn main() {
         "Attribution window sweep (paper default: 10 min before / 5 after)",
         "RSC-1 at 1/8 scale, 120 simulated days",
     );
-    let mut store = rsc_bench::run_rsc1(8, 120, rsc_bench::FIGURE_SEED);
+    let store = rsc_bench::run_rsc1(8, 120, rsc_bench::FIGURE_SEED);
 
     println!(
         "\n{:>14} {:>12} {:>14} {:>16}",
@@ -28,7 +28,7 @@ fn main() {
             window_before: SimDuration::from_mins(before_mins),
             window_after: SimDuration::from_mins(5),
         };
-        let attributions = attribute_failures(&mut store, &config);
+        let attributions = attribute_failures(&store, &config);
         // Coverage: infra-interrupted records (NODE_FAIL / REQUEUED) that
         // received a cause.
         let infra: Vec<_> = attributions
@@ -42,7 +42,7 @@ fn main() {
             .collect();
         let covered = infra.iter().filter(|a| a.is_attributed()).count();
         let coverage = covered as f64 / infra.len().max(1) as f64;
-        let accuracy = attribution_accuracy(&mut store, &config);
+        let accuracy = attribution_accuracy(&store, &config);
         println!(
             "{:>10} min {:>12} {:>14}",
             before_mins,

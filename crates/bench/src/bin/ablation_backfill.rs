@@ -28,7 +28,7 @@ fn main() {
         let mut sim = ClusterSim::new(config, rsc_bench::FIGURE_SEED);
         sim.run(SimDuration::from_days(120));
         let util = sim.mean_utilization();
-        let store = sim.into_telemetry();
+        let store = sim.into_telemetry().seal();
         println!("\n--- {name} (mean utilization {:.1}%) ---", util * 100.0);
         println!(
             "{:>8} {:>8} {:>8} {:>14} {:>12}",
@@ -56,7 +56,14 @@ fn main() {
     println!(" that the biggest runs waited less than average)");
     rsc_bench::save_csv(
         "ablation_backfill.csv",
-        &["policy", "gpus_lo", "qos", "starts", "mean_wait_hours", "max_wait_hours"],
+        &[
+            "policy",
+            "gpus_lo",
+            "qos",
+            "starts",
+            "mean_wait_hours",
+            "max_wait_hours",
+        ],
         rows,
     );
 }

@@ -25,13 +25,15 @@ fn main() {
     let mut rows = Vec::new();
     for period_mins in [1u64, 5, 15, 60] {
         let mut config = SimConfig::rsc1().scaled_down(8);
-        config.registry = config.registry.with_period(SimDuration::from_mins(period_mins));
+        config.registry = config
+            .registry
+            .with_period(SimDuration::from_mins(period_mins));
         let mut sim = ClusterSim::new(config, rsc_bench::FIGURE_SEED);
         sim.run(SimDuration::from_days(90));
         let util = sim.mean_utilization();
-        let mut store = sim.into_telemetry();
+        let store = sim.into_telemetry().seal();
         let events = store.health_events().len();
-        let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+        let loss = goodput_loss(&store, &AttributionConfig::paper_default());
         let total = loss.total_failure_loss + loss.total_preemption_loss;
         println!(
             "{:>7}min {:>16} {:>20.0} {:>17.1}%",
@@ -53,7 +55,12 @@ fn main() {
     println!(" hour-granularity sweeps largely preserve at these failure rates)");
     rsc_bench::save_csv(
         "ablation_check_period.csv",
-        &["period_mins", "health_events", "goodput_loss_gpu_hours", "utilization"],
+        &[
+            "period_mins",
+            "health_events",
+            "goodput_loss_gpu_hours",
+            "utilization",
+        ],
         rows,
     );
 }

@@ -57,7 +57,9 @@ fn main() {
             let spec = CheckpointSpec {
                 size_gb,
                 interval,
-                mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+                mode: WriteMode::NonBlocking {
+                    snapshot_secs: 10.0,
+                },
                 writers,
             };
             let stall = spec.stall_fraction(&tier);
@@ -109,7 +111,14 @@ fn main() {
     println!(" here priced at ~270 GB/s of sustained write bandwidth per run)");
     rsc_bench::save_csv(
         "ablation_checkpoint_storage.csv",
-        &["interval_mins", "tier", "writers", "stall_fraction", "demand_gbps", "ettr_total"],
+        &[
+            "interval_mins",
+            "tier",
+            "writers",
+            "stall_fraction",
+            "demand_gbps",
+            "ettr_total",
+        ],
         rows,
     );
 }

@@ -22,7 +22,7 @@ fn main() {
     let mut sim = ClusterSim::new(config, rsc_bench::FIGURE_SEED);
     sim.run(SimDuration::from_days(84));
     let truth = sim.lemons().node_ids();
-    let store = sim.into_telemetry();
+    let store = sim.into_telemetry().seal();
     let from = store.horizon() - SimDuration::from_days(56);
     let features = compute_features(&store, from, store.horizon());
 
@@ -39,12 +39,10 @@ fn main() {
                 min_xid_cnt: (base.min_xid_cnt as f64 * scale).round().max(1.0) as u32,
                 min_tickets: (base.min_tickets as f64 * scale).round().max(1.0) as u32,
                 min_out_count: (base.min_out_count as f64 * scale).round().max(1.0) as u32,
-                min_multi_node_fails: (base.min_multi_node_fails as f64 * scale)
-                    .round()
-                    .max(1.0) as u32,
-                min_single_node_fails: (base.min_single_node_fails as f64 * scale)
-                    .round()
-                    .max(1.0) as u32,
+                min_multi_node_fails: (base.min_multi_node_fails as f64 * scale).round().max(1.0)
+                    as u32,
+                min_single_node_fails: (base.min_single_node_fails as f64 * scale).round().max(1.0)
+                    as u32,
                 min_single_node_rate: base.min_single_node_rate * scale,
                 min_criteria,
             };
@@ -52,7 +50,11 @@ fn main() {
             let q = DetectionQuality::evaluate(&detected, &truth);
             let p = q.precision();
             let r = q.recall();
-            let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+            let f1 = if p + r > 0.0 {
+                2.0 * p * r / (p + r)
+            } else {
+                0.0
+            };
             println!(
                 "{label:>10} {min_criteria:>10} {:>9} {:>9} {:>11} {:>8} {f1:>8.2}",
                 detected.len(),
@@ -74,7 +76,14 @@ fn main() {
     println!(" at the F1 knee, matching the paper's manually tuned >85% accuracy)");
     rsc_bench::save_csv(
         "ablation_lemon_thresholds.csv",
-        &["strictness", "min_criteria", "flagged", "precision", "recall", "f1"],
+        &[
+            "strictness",
+            "min_criteria",
+            "flagged",
+            "precision",
+            "recall",
+            "f1",
+        ],
         rows,
     );
 }

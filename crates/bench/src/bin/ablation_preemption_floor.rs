@@ -30,7 +30,7 @@ fn main() {
         let mut sim = ClusterSim::new(config, rsc_bench::FIGURE_SEED);
         sim.run(SimDuration::from_days(90));
         let util = sim.mean_utilization();
-        let store = sim.into_telemetry();
+        let store = sim.into_telemetry().seal();
 
         let shares = status_breakdown(&store);
         let preempted = shares
@@ -78,7 +78,13 @@ fn main() {
     println!(" letting the lowest tier finish real work)");
     rsc_bench::save_csv(
         "ablation_preemption_floor.csv",
-        &["floor_mins", "preempted_fraction", "low_qos_completed_gpu_hours", "high_qos_mean_wait_hours", "utilization"],
+        &[
+            "floor_mins",
+            "preempted_fraction",
+            "low_qos_completed_gpu_hours",
+            "high_qos_mean_wait_hours",
+            "utilization",
+        ],
         rows,
     );
 }

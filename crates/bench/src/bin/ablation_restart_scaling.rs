@@ -49,7 +49,13 @@ fn main() {
     println!(" of checkpoint losses — §V's case for rearchitecting initialization)");
     rsc_bench::save_csv(
         "ablation_restart_scaling.csv",
-        &["gpus", "naive_u0_secs", "optimized_u0_secs", "ettr_naive", "ettr_optimized"],
+        &[
+            "gpus",
+            "naive_u0_secs",
+            "optimized_u0_secs",
+            "ettr_naive",
+            "ettr_optimized",
+        ],
         rows,
     );
 }

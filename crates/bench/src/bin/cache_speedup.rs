@@ -1,0 +1,62 @@
+//! Harness check: the telemetry artifact cache must make warm figure
+//! invocations at least 5× faster than cold ones.
+//!
+//! Runs a representative figure scenario (RSC-1 at 1/8 scale) twice
+//! against a dedicated cache directory: once cold (simulate + write
+//! artifact), once warm (decode the snapshot). Reports both timings and
+//! exits nonzero if the warm path is not ≥5× faster.
+
+use std::time::Instant;
+
+use rsc_sim::runner::ScenarioRunner;
+
+fn main() -> std::process::ExitCode {
+    let args = rsc_bench::BenchArgs::parse(8);
+    rsc_bench::banner(
+        "Cache speedup",
+        "Warm artifact-cache load vs cold simulation",
+        &args.scale_note("RSC-1"),
+    );
+
+    // A dedicated cache subdirectory so this check never poisons (or is
+    // flattered by) the shared figure cache.
+    let dir = rsc_sim::runner::default_cache_dir().join("cache_speedup");
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = ScenarioRunner::new().with_cache_dir(&dir);
+    let spec = rsc_bench::rsc1_spec(args.scale, args.days, args.seed);
+
+    let t0 = Instant::now();
+    let (cold_views, cold_stats) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+    let cold = t0.elapsed();
+    assert_eq!(cold_stats.misses, 1, "first run must be a cache miss");
+
+    let t1 = Instant::now();
+    let (warm_views, warm_stats) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+    let warm = t1.elapsed();
+    assert_eq!(warm_stats.hits, 1, "second run must be a cache hit");
+
+    assert_eq!(
+        cold_views[0].jobs(),
+        warm_views[0].jobs(),
+        "cache hit must reproduce the simulation"
+    );
+
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+    println!(
+        "\ncold (simulate + write artifact): {:>10.3} s",
+        cold.as_secs_f64()
+    );
+    println!(
+        "warm (load artifact):             {:>10.3} s",
+        warm.as_secs_f64()
+    );
+    println!("speedup: {speedup:.1}x (required: >= 5x)");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if speedup >= 5.0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: warm cache load is not >= 5x faster than simulation");
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -49,7 +49,13 @@ fn main() {
     println!(" long-running hypothetical jobs such as 8k GPUs)");
     rsc_bench::save_csv(
         "ettr_validation.csv",
-        &["gpus", "analytic", "monte_carlo", "rel_diff", "mean_failures"],
+        &[
+            "gpus",
+            "analytic",
+            "monte_carlo",
+            "rel_diff",
+            "mean_failures",
+        ],
         rows,
     );
 }

@@ -9,8 +9,7 @@
 use rsc_core::fit::{fit_failure_process, fit_weibull};
 use rsc_core::queueing::{mean_wait_hours, wait_by_size_and_qos};
 use rsc_sim::config::{EraPreset, SimConfig};
-use rsc_sim::driver::ClusterSim;
-use rsc_sim_core::time::SimDuration;
+use rsc_sim::runner::ScenarioSpec;
 
 fn main() {
     rsc_bench::banner(
@@ -19,28 +18,36 @@ fn main() {
         "RSC-1 at 1/8 scale, 330 days: stationary vs lemons+eras",
     );
 
-    println!("\n{:>26} {:>8} {:>10} {:>10} {:>8}", "scenario", "gaps", "shape", "scale (h)", "KS");
+    println!(
+        "\n{:>26} {:>8} {:>10} {:>10} {:>8}",
+        "scenario", "gaps", "shape", "scale (h)", "KS"
+    );
     println!("{}", "-".repeat(68));
     let mut rows = Vec::new();
     let scenarios: Vec<(&str, SimConfig)> = vec![
-        (
-            "stationary, no lemons",
-            {
-                let mut c = SimConfig::rsc1().scaled_down(8);
-                c.eras = EraPreset::None;
-                c.lemon_count = 0;
-                // Keep the observed total comparable: fold the lemon share
-                // back into the base.
-                c.modes = c.modes.scaled_rates(1.0 / 0.78);
-                c
-            },
-        ),
+        ("stationary, no lemons", {
+            let mut c = SimConfig::rsc1().scaled_down(8);
+            c.eras = EraPreset::None;
+            c.lemon_count = 0;
+            // Keep the observed total comparable: fold the lemon share
+            // back into the base.
+            c.modes = c.modes.scaled_rates(1.0 / 0.78);
+            c
+        }),
         ("lemons + eras (default)", SimConfig::rsc1().scaled_down(8)),
     ];
-    for (name, config) in scenarios {
-        let mut sim = ClusterSim::new(config, rsc_bench::FIGURE_SEED);
-        sim.run(SimDuration::from_days(rsc_bench::MEASUREMENT_DAYS));
-        let store = sim.into_telemetry();
+    let specs: Vec<ScenarioSpec> = scenarios
+        .iter()
+        .map(|(_, config)| {
+            ScenarioSpec::new(
+                config.clone(),
+                rsc_bench::FIGURE_SEED,
+                rsc_bench::MEASUREMENT_DAYS,
+            )
+        })
+        .collect();
+    let views = rsc_bench::run_specs(&specs);
+    for ((name, _), store) in scenarios.iter().zip(views) {
         let fit = fit_failure_process(&store, 50).expect("enough failures");
         println!(
             "{name:>26} {:>8} {:>10.3} {:>10.2} {:>8.3}",
@@ -130,7 +137,13 @@ fn main() {
     println!(" a fleet-wide driver regression, make the pooled process bursty)");
     rsc_bench::save_csv(
         "failure_process_fit.csv",
-        &["scenario", "gaps", "weibull_shape", "weibull_scale_hours", "ks_distance"],
+        &[
+            "scenario",
+            "gaps",
+            "weibull_shape",
+            "weibull_scale_hours",
+            "ks_distance",
+        ],
         rows,
     );
 }

@@ -50,7 +50,10 @@ fn main() {
         "{:>26} {:>14} {:>14}",
         "failure rate", "ETTR = 0.5", "ETTR = 0.9"
     );
-    for (label, r_f) in [("RSC-1-like (6.50)", 6.5e-3), ("RSC-2-like (2.34)", 2.34e-3)] {
+    for (label, r_f) in [
+        ("RSC-1-like (6.50)", 6.5e-3),
+        ("RSC-2-like (2.34)", 2.34e-3),
+    ] {
         let half = max_coupled_interval_mins(100_000, r_f, 0.5, 1.0, 7.0)
             .map(|m| format!("{m:.1} min"))
             .unwrap_or_else(|| "unreachable".into());

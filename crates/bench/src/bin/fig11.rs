@@ -17,7 +17,7 @@ fn main() {
     let mut sim = ClusterSim::new(config, rsc_bench::FIGURE_SEED);
     sim.run(SimDuration::from_days(28));
     let lemon_ids = sim.lemons().node_ids();
-    let store = sim.into_telemetry();
+    let store = sim.into_telemetry().seal();
 
     let features = compute_features(&store, SimTime::ZERO, store.horizon());
     let cdfs = feature_cdfs(&features);

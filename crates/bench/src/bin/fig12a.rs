@@ -48,7 +48,12 @@ fn main() {
     println!(" cluster saw 50–75% bandwidth loss during bring-up)");
     rsc_bench::save_csv(
         "fig12a_ber_allreduce.csv",
-        &["iteration", "with_ar_gbps", "without_ar_gbps", "static_loss_fraction"],
+        &[
+            "iteration",
+            "with_ar_gbps",
+            "without_ar_gbps",
+            "static_loss_fraction",
+        ],
         rows,
     );
 }

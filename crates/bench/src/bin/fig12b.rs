@@ -16,8 +16,14 @@ fn main() {
 
     println!("\n{:>22} {:>12} {:>12}", "", "with AR", "without AR");
     println!("{}", "-".repeat(48));
-    println!("{:>22} {:>8.0} Gb/s {:>8.0} Gb/s", "mean group bandwidth", mean_ar, mean_st);
-    println!("{:>22} {:>12.3} {:>12.3}", "coeff. of variation", cv_ar, cv_st);
+    println!(
+        "{:>22} {:>8.0} Gb/s {:>8.0} Gb/s",
+        "mean group bandwidth", mean_ar, mean_st
+    );
+    println!(
+        "{:>22} {:>12.3} {:>12.3}",
+        "coeff. of variation", cv_ar, cv_st
+    );
 
     let ar_cdf = Ecdf::from_samples(result.with_ar_gbps.iter().copied());
     let st_cdf = Ecdf::from_samples(result.without_ar_gbps.iter().copied());
@@ -28,7 +34,11 @@ fn main() {
         let a = ar_cdf.quantile(q).unwrap_or(0.0);
         let s = st_cdf.quantile(q).unwrap_or(0.0);
         println!("{:>7.0}% {a:>12.0} {s:>12.0}", q * 100.0);
-        rows.push(vec![format!("{q:.2}"), format!("{a:.1}"), format!("{s:.1}")]);
+        rows.push(vec![
+            format!("{q:.2}"),
+            format!("{a:.1}"),
+            format!("{s:.1}"),
+        ]);
     }
     println!("\n(paper: with many NCCL rings in flight, AR lowers performance");
     println!(" variation and achieves higher bandwidth by spreading flows away");

@@ -4,12 +4,13 @@
 use rsc_core::report::status_breakdown;
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(8);
     rsc_bench::banner(
         "Fig. 3",
         "Scheduler job status breakdown (RSC-1)",
-        "RSC-1 at 1/8 scale, 330 simulated days",
+        &args.scale_note("RSC-1"),
     );
-    let store = rsc_bench::run_rsc1(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED);
+    let store = rsc_bench::run_rsc1(args.scale, args.days, args.seed);
     println!("records: {}", store.jobs().len());
     let shares = status_breakdown(&store);
 

@@ -4,19 +4,17 @@
 use rsc_core::attribution::{cause_rates, AttributionConfig};
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(8);
     rsc_bench::banner(
         "Fig. 4",
         "Attributed hardware failures per GPU-hour",
-        "both clusters at 1/8 scale, 330 simulated days, 10/5-min window",
+        &format!("both clusters, {}; 10/5-min window", args.scale_note("")),
     );
     let config = AttributionConfig::paper_default();
     let mut rows = Vec::new();
-    for (name, store) in [
-        ("RSC-1", rsc_bench::run_rsc1(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
-        ("RSC-2", rsc_bench::run_rsc2(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
-    ] {
-        let mut store = store;
-        let rates = cause_rates(&mut store, &config);
+    let (rsc1, rsc2) = rsc_bench::run_both(args.scale, args.days, args.seed);
+    for (name, store) in [("RSC-1", rsc1), ("RSC-2", rsc2)] {
+        let rates = cause_rates(&store, &config);
         let swap_rate = store.gpu_swaps() as f64
             / (store.num_nodes() as f64 * 8.0 * store.horizon().as_days() / 365.25);
         println!(

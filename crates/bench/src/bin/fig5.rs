@@ -9,15 +9,16 @@ use rsc_sim_core::time::{SimDuration, SimTime};
 use rsc_telemetry::rolling::rolling_rate;
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(8);
     rsc_bench::banner(
         "Fig. 5",
         "Failure-rate evolution by mode (30-day rolling average)",
-        "RSC-1 at 1/8 scale, 330 simulated days",
+        &args.scale_note("RSC-1"),
     );
-    let mut store = rsc_bench::run_rsc1(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED);
+    let store = rsc_bench::run_rsc1(args.scale, args.days, args.seed);
     let num_nodes = store.num_nodes();
     let horizon = store.horizon();
-    let attributions = attribute_failures(&mut store, &AttributionConfig::paper_default());
+    let attributions = attribute_failures(&store, &AttributionConfig::paper_default());
 
     // Collect failure times per attributed cause (infra failures only).
     let mut series: std::collections::BTreeMap<String, Vec<SimTime>> = Default::default();
@@ -28,7 +29,10 @@ fn main() {
         if !is_hw {
             continue;
         }
-        let label = a.cause.map(|c| c.label().to_string()).unwrap_or_else(|| "unattributed".into());
+        let label = a
+            .cause
+            .map(|c| c.label().to_string())
+            .unwrap_or_else(|| "unattributed".into());
         series.entry(label).or_default().push(r.ended_at);
     }
     for times in series.values_mut() {
@@ -45,7 +49,14 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     println!("\nfailures per 1000 node-days (rows = day, columns = mode):");
     let labels: Vec<String> = series.keys().cloned().collect();
-    println!("{:>6} {}", "day", labels.iter().map(|l| format!("{l:>14}")).collect::<String>());
+    println!(
+        "{:>6} {}",
+        "day",
+        labels
+            .iter()
+            .map(|l| format!("{l:>14}"))
+            .collect::<String>()
+    );
     let per_mode: Vec<Vec<rsc_telemetry::rolling::SeriesPoint>> = labels
         .iter()
         .map(|l| rolling_rate(&series[l], horizon, window, step, num_nodes))

@@ -4,16 +4,15 @@
 use rsc_core::report::size_distribution;
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(8);
     rsc_bench::banner(
         "Fig. 6",
         "Job distribution by jobs and by compute",
-        "both clusters at 1/8 scale (max job 512 GPUs at this scale), 330 days",
+        &format!("both clusters, {}", args.scale_note("")),
     );
     let mut rows = Vec::new();
-    for (name, store) in [
-        ("RSC-1", rsc_bench::run_rsc1(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
-        ("RSC-2", rsc_bench::run_rsc2(8, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
-    ] {
+    let (rsc1, rsc2) = rsc_bench::run_both(args.scale, args.days, args.seed);
+    for (name, store) in [("RSC-1", rsc1), ("RSC-2", rsc2)] {
         let dist = size_distribution(&store);
         println!("\n--- {name} ---");
         println!("{:>6} {:>11} {:>13}", "GPUs", "% of jobs", "% of compute");
@@ -33,8 +32,16 @@ fn main() {
                 format!("{:.6}", s.gpu_time_fraction),
             ]);
         }
-        let one_gpu: f64 = dist.iter().filter(|s| s.gpus == 1).map(|s| s.job_fraction).sum();
-        let sub_node: f64 = dist.iter().filter(|s| s.gpus < 8).map(|s| s.job_fraction).sum();
+        let one_gpu: f64 = dist
+            .iter()
+            .filter(|s| s.gpus == 1)
+            .map(|s| s.job_fraction)
+            .sum();
+        let sub_node: f64 = dist
+            .iter()
+            .filter(|s| s.gpus < 8)
+            .map(|s| s.job_fraction)
+            .sum();
         let sub_node_gpu: f64 = dist
             .iter()
             .filter(|s| s.gpus < 8)
@@ -45,7 +52,10 @@ fn main() {
             .filter(|s| s.gpus >= 256 / 8)
             .map(|s| s.gpu_time_fraction)
             .sum();
-        println!("\n  1-GPU jobs: {} of jobs (paper: >40%)", rsc_bench::pct(one_gpu));
+        println!(
+            "\n  1-GPU jobs: {} of jobs (paper: >40%)",
+            rsc_bench::pct(one_gpu)
+        );
         println!(
             "  <1 server: {} of jobs, {} of compute (paper: >90% / <10%)",
             rsc_bench::pct(sub_node),

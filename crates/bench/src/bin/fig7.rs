@@ -2,31 +2,30 @@
 //! the theoretical 1/(N·r_f) projection.
 
 use rsc_core::attribution::AttributionConfig;
-use rsc_core::mttf::{
-    estimate_node_failure_rate, mttf_by_job_size, FailureScope, MttfProjection,
-};
+use rsc_core::mttf::{estimate_node_failure_rate, mttf_by_job_size, FailureScope, MttfProjection};
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(1);
     rsc_bench::banner(
         "Fig. 7",
         "MTTF by job size vs 1/(N·r_f) projection",
-        "both clusters at FULL scale, 330 simulated days (takes ~1 min)",
+        &format!("both clusters, {} (takes ~1 min cold)", args.scale_note("")),
     );
     let config = AttributionConfig::paper_default();
     let mut rows = Vec::new();
-    for (name, mut store) in [
-        ("RSC-1", rsc_bench::run_rsc1(1, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
-        ("RSC-2", rsc_bench::run_rsc2(1, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
-    ] {
-        let r_f = estimate_node_failure_rate(&mut store, &config, 128);
+    let (rsc1, rsc2) = rsc_bench::run_both(args.scale, args.days, args.seed);
+    for (name, store) in [("RSC-1", rsc1), ("RSC-2", rsc2)] {
+        let r_f = estimate_node_failure_rate(&store, &config, 128);
         let proj = if r_f > 0.0 {
             Some(MttfProjection::new(r_f))
         } else {
             None
         };
-        println!("\n--- {name}: estimated r_f = {:.2} per 1000 node-days (paper: 6.50 / 2.34) ---",
-            r_f * 1000.0);
-        let points = mttf_by_job_size(&mut store, FailureScope::InfraOnly, &config);
+        println!(
+            "\n--- {name}: estimated r_f = {:.2} per 1000 node-days (paper: 6.50 / 2.34) ---",
+            r_f * 1000.0
+        );
+        let points = mttf_by_job_size(&store, FailureScope::InfraOnly, &config);
         println!(
             "{:>7} {:>9} {:>13} {:>22} {:>13}",
             "GPUs", "failures", "MTTF (h)", "90% CI (h)", "projected (h)"
@@ -58,16 +57,29 @@ fn main() {
             ]);
         }
         if let Some(pr) = &proj {
-            println!("\n  projections: 16,384 GPUs → {:.1} h (paper: 1.8 h at RSC-1 rate)",
-                pr.mttf_hours(16_384));
-            println!("               131,072 GPUs → {:.2} h (paper: 0.23 h)", pr.mttf_hours(131_072));
+            println!(
+                "\n  projections: 16,384 GPUs → {:.1} h (paper: 1.8 h at RSC-1 rate)",
+                pr.mttf_hours(16_384)
+            );
+            println!(
+                "               131,072 GPUs → {:.2} h (paper: 0.23 h)",
+                pr.mttf_hours(131_072)
+            );
         }
     }
     println!("\n(paper: 1024-GPU MTTF ≈ 7.9 h, ~2 orders below 8-GPU jobs at 47.7 d;");
     println!(" empirical curve tracks 1/N from 32 GPUs up)");
     rsc_bench::save_csv(
         "fig7_mttf.csv",
-        &["cluster", "gpus", "failures", "mttf_hours", "ci_lo", "ci_hi", "projected_hours"],
+        &[
+            "cluster",
+            "gpus",
+            "failures",
+            "mttf_hours",
+            "ci_lo",
+            "ci_hi",
+            "projected_hours",
+        ],
         rows,
     );
 }

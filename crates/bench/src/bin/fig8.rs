@@ -5,18 +5,20 @@ use rsc_core::attribution::AttributionConfig;
 use rsc_core::goodput::goodput_loss;
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(4);
     rsc_bench::banner(
         "Fig. 8",
         "Cluster goodput loss from failures and requeue preemptions",
-        "both clusters at 1/4 scale, 330 simulated days, hourly-checkpoint assumption",
+        &format!(
+            "both clusters, {}; hourly-checkpoint assumption",
+            args.scale_note("")
+        ),
     );
     let config = AttributionConfig::paper_default();
     let mut rows = Vec::new();
-    for (name, mut store) in [
-        ("RSC-1", rsc_bench::run_rsc1(4, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
-        ("RSC-2", rsc_bench::run_rsc2(4, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
-    ] {
-        let loss = goodput_loss(&mut store, &config);
+    let (rsc1, rsc2) = rsc_bench::run_both(args.scale, args.days, args.seed);
+    for (name, store) in [("RSC-1", rsc1), ("RSC-2", rsc2)] {
+        let loss = goodput_loss(&store, &config);
         println!("\n--- {name} ---");
         println!(
             "{:>7} {:>20} {:>22}",
@@ -48,7 +50,12 @@ fn main() {
     println!(" loss profile tilts to moderate sizes and is an order of magnitude lower)");
     rsc_bench::save_csv(
         "fig8_goodput_loss.csv",
-        &["cluster", "gpus", "failure_loss_gpu_hours", "preemption_loss_gpu_hours"],
+        &[
+            "cluster",
+            "gpus",
+            "failure_loss_gpu_hours",
+            "preemption_loss_gpu_hours",
+        ],
         rows,
     );
 }

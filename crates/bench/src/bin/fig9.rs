@@ -8,19 +8,21 @@ use rsc_core::mttf::estimate_node_failure_rate;
 use rsc_sim_core::time::SimDuration;
 
 fn main() {
+    let args = rsc_bench::BenchArgs::parse(1);
     rsc_bench::banner(
         "Fig. 9",
         "Expected vs measured job-run ETTR by size",
-        "both clusters at FULL scale, 330 days; Δt_cp = 60 min, u0 = 5 min; runs ≥ 24 h, high priority",
+        &format!(
+            "both clusters, {}; Δt_cp = 60 min, u0 = 5 min; runs ≥ 24 h, high priority",
+            args.scale_note("")
+        ),
     );
     let ckpt = SimDuration::from_mins(60);
     let u0 = SimDuration::from_mins(5);
     let mut rows = Vec::new();
-    for (name, mut store) in [
-        ("RSC-1", rsc_bench::run_rsc1(1, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED)),
-        ("RSC-2", rsc_bench::run_rsc2(1, rsc_bench::MEASUREMENT_DAYS, rsc_bench::FIGURE_SEED + 1)),
-    ] {
-        let r_f = estimate_node_failure_rate(&mut store, &AttributionConfig::paper_default(), 128);
+    let (rsc1, rsc2) = rsc_bench::run_both(args.scale, args.days, args.seed);
+    for (name, store) in [("RSC-1", rsc1), ("RSC-2", rsc2)] {
+        let r_f = estimate_node_failure_rate(&store, &AttributionConfig::paper_default(), 128);
         let runs = reconstruct_job_runs(&store);
         let selected = long_high_priority_runs(&runs, SimDuration::from_hours(24));
         let buckets = ettr_by_size_bucket(&selected, ckpt, u0);
@@ -69,7 +71,15 @@ fn main() {
     println!(" the largest RSC-1 runs sit above prediction — their queues are shorter)");
     rsc_bench::save_csv(
         "fig9_ettr.csv",
-        &["cluster", "gpus_lo", "runs", "measured_ettr", "ci_lo", "ci_hi", "expected_ettr"],
+        &[
+            "cluster",
+            "gpus_lo",
+            "runs",
+            "measured_ettr",
+            "ci_lo",
+            "ci_hi",
+            "expected_ettr",
+        ],
         rows,
     );
 }

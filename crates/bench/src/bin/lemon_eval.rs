@@ -2,9 +2,7 @@
 //! removal on large-job failure rates (paper: >85% accuracy; 512+ GPU job
 //! failures 14% → 4%).
 
-use rsc_core::lemon::{
-    compute_features, large_job_failure_rate, DetectionQuality, LemonDetector,
-};
+use rsc_core::lemon::{compute_features, large_job_failure_rate, DetectionQuality, LemonDetector};
 use rsc_sim::config::SimConfig;
 use rsc_sim::driver::ClusterSim;
 use rsc_sim_core::time::{SimDuration, SimTime};
@@ -27,7 +25,7 @@ fn main() {
     let mut sim = ClusterSim::new(config.clone(), rsc_bench::FIGURE_SEED);
     sim.run(SimDuration::from_days(84));
     let truth = sim.lemons().node_ids();
-    let store = sim.into_telemetry();
+    let store = sim.into_telemetry().seal();
     let from = store.horizon() - SimDuration::from_days(56);
     let features = compute_features(&store, from, store.horizon());
     let detector = LemonDetector::rsc_default();
@@ -52,7 +50,7 @@ fn main() {
     clean_config.lemon_count = 0;
     let mut clean = ClusterSim::new(clean_config, rsc_bench::FIGURE_SEED);
     clean.run(SimDuration::from_days(84));
-    let clean_store = clean.into_telemetry();
+    let clean_store = clean.into_telemetry().seal();
     let without_lemons = large_job_failure_rate(&clean_store, 128);
 
     println!(
@@ -77,7 +75,13 @@ fn main() {
     rows[0].truncate(5);
     rsc_bench::save_csv(
         "lemon_eval.csv",
-        &["row", "precision", "recall", "large_job_failure_with", "large_job_failure_without"],
+        &[
+            "row",
+            "precision",
+            "recall",
+            "large_job_failure_with",
+            "large_job_failure_without",
+        ],
         rows,
     );
 

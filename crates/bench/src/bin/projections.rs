@@ -12,10 +12,15 @@ fn main() {
     let mut rows = Vec::new();
     for (name, r_f) in [("RSC-1", 6.50e-3), ("RSC-2", 2.34e-3)] {
         let proj = MttfProjection::new(r_f);
-        println!("\n--- {name} (r_f = {:.2} per 1000 node-days) ---", r_f * 1000.0);
+        println!(
+            "\n--- {name} (r_f = {:.2} per 1000 node-days) ---",
+            r_f * 1000.0
+        );
         println!("{:>12} {:>12} {:>14}", "GPUs", "nodes", "MTTF");
         println!("{}", "-".repeat(40));
-        for gpus in [1024u32, 4096, 8192, 16_384, 32_768, 65_536, 100_000, 131_072] {
+        for gpus in [
+            1024u32, 4096, 8192, 16_384, 32_768, 65_536, 100_000, 131_072,
+        ] {
             let hours = proj.mttf_hours(gpus);
             let fmt = if hours >= 1.0 {
                 format!("{hours:.2} h")
@@ -23,7 +28,11 @@ fn main() {
                 format!("{:.1} min", hours * 60.0)
             };
             println!("{gpus:>12} {:>12} {fmt:>14}", gpus.div_ceil(8));
-            rows.push(vec![name.to_string(), gpus.to_string(), format!("{hours:.4}")]);
+            rows.push(vec![
+                name.to_string(),
+                gpus.to_string(),
+                format!("{hours:.4}"),
+            ]);
         }
     }
     println!("\n(paper: 16,384 GPUs → 1.8 h; 131,072 GPUs → 0.23 h at the RSC-1 rate;");

@@ -36,7 +36,13 @@ fn main() {
     }
     rsc_bench::save_csv(
         "table1_taxonomy.csv",
-        &["symptom", "user_program", "system_software", "hardware_infra", "likely_causes"],
+        &[
+            "symptom",
+            "user_program",
+            "system_software",
+            "hardware_infra",
+            "likely_causes",
+        ],
         rows,
     );
 }

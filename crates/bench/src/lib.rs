@@ -4,14 +4,25 @@
 //!
 //! Every binary regenerates one table or figure from the paper by running
 //! the simulator (at a stated scale) and printing the same rows/series the
-//! paper reports, plus a CSV copy under `target/figures/`.
+//! paper reports, plus a CSV copy under [`figures_dir`].
+//!
+//! Simulation goes through [`rsc_sim::ScenarioRunner`]: scenarios execute
+//! in parallel where a figure needs more than one, and sealed telemetry is
+//! cached as snapshots under the runner's artifact directory (default
+//! `target/telemetry/`), so re-running a figure binary — or a second
+//! binary wanting the same scenario — loads the artifact instead of
+//! simulating for minutes. Delete the cache directory (or change any
+//! scenario parameter) to force fresh runs.
+//!
+//! Binaries take `--seed N`, `--days N`, and `--scale N` flags (see
+//! [`BenchArgs`]) so scenarios can be varied without recompiling.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use rsc_sim::config::SimConfig;
-use rsc_sim::driver::ClusterSim;
-use rsc_sim_core::time::SimDuration;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_sim::runner::{ScenarioRunner, ScenarioSpec};
+use rsc_telemetry::view::TelemetryView;
 
 /// Standard measurement horizon: the paper covers 11 months.
 pub const MEASUREMENT_DAYS: u64 = 330;
@@ -19,30 +30,179 @@ pub const MEASUREMENT_DAYS: u64 = 330;
 /// Default seed for figure regeneration (fixed for reproducibility).
 pub const FIGURE_SEED: u64 = 20_250_301;
 
-/// Runs an RSC-1-like simulation at `1/divisor` scale for `days`.
-pub fn run_rsc1(divisor: u32, days: u64, seed: u64) -> TelemetryStore {
-    run(SimConfig::rsc1(), divisor, days, seed)
+/// The scenario runner the harness binaries share: default artifact
+/// cache (override with `RSC_TELEMETRY_CACHE`), default worker pool.
+pub fn runner() -> ScenarioRunner {
+    ScenarioRunner::new()
 }
 
-/// Runs an RSC-2-like simulation at `1/divisor` scale for `days`.
-pub fn run_rsc2(divisor: u32, days: u64, seed: u64) -> TelemetryStore {
-    run(SimConfig::rsc2(), divisor, days, seed)
+/// The RSC-1 scenario spec at `1/divisor` scale for `days`.
+pub fn rsc1_spec(divisor: u32, days: u64, seed: u64) -> ScenarioSpec {
+    spec(SimConfig::rsc1(), divisor, days, seed)
 }
 
-fn run(config: SimConfig, divisor: u32, days: u64, seed: u64) -> TelemetryStore {
+/// The RSC-2 scenario spec at `1/divisor` scale for `days`.
+pub fn rsc2_spec(divisor: u32, days: u64, seed: u64) -> ScenarioSpec {
+    spec(SimConfig::rsc2(), divisor, days, seed)
+}
+
+fn spec(config: SimConfig, divisor: u32, days: u64, seed: u64) -> ScenarioSpec {
     let config = if divisor > 1 {
         config.scaled_down(divisor)
     } else {
         config
     };
-    let mut sim = ClusterSim::new(config, seed);
-    sim.run(SimDuration::from_days(days));
-    sim.into_telemetry()
+    ScenarioSpec::new(config, seed, days)
 }
 
-/// Where figure CSVs land.
+/// Runs (or loads from cache) an RSC-1-like simulation at `1/divisor`
+/// scale for `days`, returning sealed telemetry.
+pub fn run_rsc1(divisor: u32, days: u64, seed: u64) -> Arc<TelemetryView> {
+    runner().run_one(&rsc1_spec(divisor, days, seed))
+}
+
+/// Runs (or loads from cache) an RSC-2-like simulation at `1/divisor`
+/// scale for `days`, returning sealed telemetry.
+pub fn run_rsc2(divisor: u32, days: u64, seed: u64) -> Arc<TelemetryView> {
+    runner().run_one(&rsc2_spec(divisor, days, seed))
+}
+
+/// Runs the RSC-1 and RSC-2 scenarios *in parallel* (RSC-2 seeded with
+/// `seed + 1` as the figure binaries conventionally do), returning both
+/// sealed views.
+pub fn run_both(divisor: u32, days: u64, seed: u64) -> (Arc<TelemetryView>, Arc<TelemetryView>) {
+    let specs = [
+        rsc1_spec(divisor, days, seed),
+        rsc2_spec(divisor, days, seed + 1),
+    ];
+    let mut views = runner().run_all(&specs).into_iter();
+    let rsc1 = views.next().expect("runner returns one view per spec");
+    let rsc2 = views.next().expect("runner returns one view per spec");
+    (rsc1, rsc2)
+}
+
+/// Runs a batch of scenario specs in parallel through the shared runner.
+pub fn run_specs(specs: &[ScenarioSpec]) -> Vec<Arc<TelemetryView>> {
+    runner().run_all(specs)
+}
+
+/// Common command-line arguments for the figure/table binaries.
+///
+/// Supported flags, each as `--flag N` or `--flag=N`:
+///
+/// * `--seed N` — RNG seed (default [`FIGURE_SEED`]);
+/// * `--days N` — horizon in days (default [`MEASUREMENT_DAYS`]);
+/// * `--scale N` — run clusters at `1/N` scale (default per binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// RNG seed.
+    pub seed: u64,
+    /// Horizon in days.
+    pub days: u64,
+    /// Scale divisor: simulate at `1/scale` of full cluster size.
+    pub scale: u32,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`, exiting with a usage message on
+    /// malformed flags. `default_scale` is the binary's stated scale.
+    pub fn parse(default_scale: u32) -> Self {
+        match Self::parse_from(std::env::args().skip(1), default_scale) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--seed N] [--days N] [--scale N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`parse`](Self::parse)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown flags, missing values, or
+    /// unparseable numbers.
+    pub fn parse_from<I>(args: I, default_scale: u32) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut out = BenchArgs {
+            seed: FIGURE_SEED,
+            days: MEASUREMENT_DAYS,
+            scale: default_scale,
+        };
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            let mut value = |name: &str| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => iter
+                        .next()
+                        .ok_or_else(|| format!("{name} requires a value")),
+                }
+            };
+            match flag.as_str() {
+                "--seed" => {
+                    let v = value("--seed")?;
+                    out.seed = v.parse().map_err(|_| format!("bad --seed: {v:?}"))?;
+                }
+                "--days" => {
+                    let v = value("--days")?;
+                    out.days = v.parse().map_err(|_| format!("bad --days: {v:?}"))?;
+                    if out.days == 0 {
+                        return Err("--days must be positive".to_string());
+                    }
+                }
+                "--scale" => {
+                    let v = value("--scale")?;
+                    out.scale = v.parse().map_err(|_| format!("bad --scale: {v:?}"))?;
+                    if out.scale == 0 {
+                        return Err("--scale must be positive".to_string());
+                    }
+                }
+                other => return Err(format!("unknown flag: {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// A short human-readable summary for figure banners. `cluster` may be
+    /// empty when the binary names the clusters itself.
+    pub fn scale_note(&self, cluster: &str) -> String {
+        let prefix = if cluster.is_empty() {
+            String::new()
+        } else {
+            format!("{cluster} ")
+        };
+        format!(
+            "{prefix}at 1/{} scale, {} simulated days, seed {}",
+            self.scale, self.days, self.seed
+        )
+    }
+}
+
+/// Where figure CSVs land, resolved in order:
+///
+/// 1. `$RSC_FIGURES_DIR` — explicit override;
+/// 2. `$CARGO_TARGET_DIR/figures` — follows a relocated target dir;
+/// 3. `target/figures` relative to the working directory.
 pub fn figures_dir() -> PathBuf {
-    PathBuf::from("target/figures")
+    if let Ok(dir) = std::env::var("RSC_FIGURES_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        if !target.is_empty() {
+            return Path::new(&target).join("figures");
+        }
+    }
+    PathBuf::from("target").join("figures")
 }
 
 /// Writes a figure CSV and reports the path.
@@ -88,6 +248,10 @@ pub fn banner(id: &str, title: &str, scale_note: &str) {
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str], default_scale: u32) -> Result<BenchArgs, String> {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()), default_scale)
+    }
+
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.0), "0%");
@@ -104,8 +268,32 @@ mod tests {
     }
 
     #[test]
+    fn args_defaults() {
+        let a = parse(&[], 8).unwrap();
+        assert_eq!(a.seed, FIGURE_SEED);
+        assert_eq!(a.days, MEASUREMENT_DAYS);
+        assert_eq!(a.scale, 8);
+    }
+
+    #[test]
+    fn args_parse_both_styles() {
+        let a = parse(&["--seed", "7", "--days=14", "--scale", "32"], 8).unwrap();
+        assert_eq!((a.seed, a.days, a.scale), (7, 14, 32));
+    }
+
+    #[test]
+    fn args_reject_garbage() {
+        assert!(parse(&["--seed"], 8).is_err());
+        assert!(parse(&["--days", "zero"], 8).is_err());
+        assert!(parse(&["--days", "0"], 8).is_err());
+        assert!(parse(&["--scale=0"], 8).is_err());
+        assert!(parse(&["--frobnicate", "1"], 8).is_err());
+    }
+
+    #[test]
     fn small_run_produces_telemetry() {
-        let t = run_rsc1(32, 2, 1);
-        assert!(!t.jobs().is_empty());
+        // Uncached spec path: keep harness tests hermetic.
+        let view = rsc_sim::ScenarioRunner::without_cache().run_one(&rsc1_spec(32, 2, 1));
+        assert!(!view.jobs().is_empty());
     }
 }

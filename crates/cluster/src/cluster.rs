@@ -88,7 +88,10 @@ impl Cluster {
 
     /// Number of schedulable nodes.
     pub fn schedulable_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.state().is_schedulable()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.state().is_schedulable())
+            .count()
     }
 
     /// Number of nodes currently in remediation.
@@ -157,7 +160,9 @@ mod tests {
     fn repair_counts_gpu_swaps() {
         let mut c = Cluster::new(ClusterSpec::new("t", 2));
         let id = NodeId::new(0);
-        c.node_mut(id).gpu_mut(3).set_health(ComponentHealth::Failed);
+        c.node_mut(id)
+            .gpu_mut(3)
+            .set_health(ComponentHealth::Failed);
         c.remediate_node(id, SimTime::ZERO);
         c.repair_node(id);
         assert_eq!(c.total_gpu_swaps(), 1);

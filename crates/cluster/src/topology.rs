@@ -136,7 +136,12 @@ mod tests {
     #[test]
     fn pods_spanned_dedups() {
         let t = topo();
-        let nodes = [NodeId::new(0), NodeId::new(3), NodeId::new(21), NodeId::new(22)];
+        let nodes = [
+            NodeId::new(0),
+            NodeId::new(3),
+            NodeId::new(21),
+            NodeId::new(22),
+        ];
         assert_eq!(t.pods_spanned(nodes.iter()), 2);
     }
 }

@@ -5,6 +5,9 @@
 //! within the last 10 minutes of the job's lifetime or 5 minutes after it.
 //! When several checks fire (they deliberately overlap), the most specific
 //! cause wins; NODE_FAILs with no matching events stay *unattributed*.
+//!
+//! All functions take a sealed [`TelemetryView`] — window queries are
+//! `&self` binary searches, so any number of analyses can share one run.
 
 use std::collections::HashMap;
 
@@ -14,8 +17,8 @@ use rsc_failure::taxonomy::FailureSymptom;
 use rsc_health::check::CheckKind;
 use rsc_sched::accounting::JobRecord;
 use rsc_sched::job::JobStatus;
-use rsc_sim_core::time::{SimDuration, SimTime};
-use rsc_telemetry::store::TelemetryStore;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::view::TelemetryView;
 
 /// Attribution window parameters (paper defaults: 10 min before the end of
 /// the job, 5 min after).
@@ -90,31 +93,22 @@ fn check_specificity(check: CheckKind) -> u8 {
     }
 }
 
-/// Attributes every failure-status record in a telemetry store.
+/// Attributes every failure-status record in a sealed telemetry view.
 ///
 /// Returns one [`Attribution`] per record with a failure status
 /// (FAILED / NODE_FAIL / REQUEUED). Pure user failures come back
 /// unattributed, as they should.
-pub fn attribute_failures(
-    store: &mut TelemetryStore,
-    config: &AttributionConfig,
-) -> Vec<Attribution> {
-    store.build_indexes();
-    let records: Vec<(usize, Vec<rsc_cluster::ids::NodeId>, SimTime, JobStatus)> = store
-        .jobs()
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| is_failure_status(r.status))
-        .map(|(i, r)| (i, r.nodes.clone(), r.ended_at, r.status))
-        .collect();
-
-    let mut out = Vec::with_capacity(records.len());
-    for (index, nodes, ended_at, _status) in records {
-        let from = ended_at - config.window_before;
-        let to = ended_at + config.window_after;
+pub fn attribute_failures(view: &TelemetryView, config: &AttributionConfig) -> Vec<Attribution> {
+    let mut out = Vec::new();
+    for (index, record) in view.jobs().iter().enumerate() {
+        if !is_failure_status(record.status) {
+            continue;
+        }
+        let from = record.ended_at - config.window_before;
+        let to = record.ended_at + config.window_after;
         let mut checks: Vec<CheckKind> = Vec::new();
-        for &node in &nodes {
-            for event in store.health_events_for_node(node, from, to) {
+        for &node in &record.nodes {
+            for event in view.health_events_for_node(node, from, to) {
                 if !checks.contains(&event.check) {
                     checks.push(event.check);
                 }
@@ -148,12 +142,12 @@ pub struct CauseRates {
 /// Only NODE_FAIL/REQUEUED records and FAILED records *with* an attribution
 /// count as hardware failures; FAILED without any health event in the
 /// window is treated as a user failure and skipped.
-pub fn cause_rates(store: &mut TelemetryStore, config: &AttributionConfig) -> CauseRates {
-    let attributions = attribute_failures(store, config);
-    let total_gpu_hours: f64 = store.jobs().iter().map(|r| r.gpu_time().as_hours()).sum();
+pub fn cause_rates(view: &TelemetryView, config: &AttributionConfig) -> CauseRates {
+    let attributions = attribute_failures(view, config);
+    let total_gpu_hours: f64 = view.jobs().iter().map(|r| r.gpu_time().as_hours()).sum();
     let mut counts: HashMap<Option<FailureSymptom>, u64> = HashMap::new();
     for a in &attributions {
-        let status = store.jobs()[a.record_index].status;
+        let status = view.jobs()[a.record_index].status;
         let is_hw = match status {
             JobStatus::NodeFail | JobStatus::Requeued => true,
             JobStatus::Failed => a.is_attributed(),
@@ -177,28 +171,24 @@ pub fn cause_rates(store: &mut TelemetryStore, config: &AttributionConfig) -> Ca
 /// Validation against ground truth: the fraction of hardware-interrupted
 /// records whose attributed cause matches the symptom of a ground-truth
 /// failure injected on one of the job's nodes within the window.
-pub fn attribution_accuracy(store: &mut TelemetryStore, config: &AttributionConfig) -> f64 {
-    let attributions = attribute_failures(store, config);
-    let truths: Vec<(rsc_cluster::ids::NodeId, SimTime, FailureSymptom)> = store
-        .ground_truth_failures()
-        .iter()
-        .map(|f| (f.node, f.at, f.symptom))
-        .collect();
+pub fn attribution_accuracy(view: &TelemetryView, config: &AttributionConfig) -> f64 {
+    let attributions = attribute_failures(view, config);
     let mut checked = 0u64;
     let mut correct = 0u64;
     for a in &attributions {
         let Some(cause) = a.cause else { continue };
-        let record: &JobRecord = &store.jobs()[a.record_index];
+        let record: &JobRecord = &view.jobs()[a.record_index];
         let from = record.ended_at - config.window_before - SimDuration::from_mins(10);
         let to = record.ended_at + config.window_after;
-        let truth = truths.iter().find(|(node, at, _)| {
-            record.nodes.contains(node) && *at >= from && *at <= to
-        });
-        if let Some((_, _, symptom)) = truth {
+        let truth = view
+            .ground_truth_failures()
+            .iter()
+            .find(|f| record.nodes.contains(&f.node) && f.at >= from && f.at <= to);
+        if let Some(truth) = truth {
             checked += 1;
             // Co-occurrence makes some cross-attribution legitimate (PCIe ↔
             // GPU-off-bus); count symptom-family matches.
-            if same_family(cause, *symptom) {
+            if same_family(cause, truth.symptom) {
                 correct += 1;
             }
         }
@@ -224,27 +214,27 @@ fn same_family(a: FailureSymptom, b: FailureSymptom) -> bool {
 /// one of their nodes while running. Production tuning keeps this under
 /// 1%; values above that suggest checks are firing spuriously (or the
 /// workload is colliding with real failures it happens to survive).
-pub fn completed_jobs_seeing_checks(store: &mut TelemetryStore) -> f64 {
-    store.build_indexes();
-    let completed: Vec<(Vec<rsc_cluster::ids::NodeId>, SimTime, SimTime)> = store
-        .jobs()
-        .iter()
-        .filter(|r| r.status == JobStatus::Completed)
-        .filter_map(|r| r.started_at.map(|s| (r.nodes.clone(), s, r.ended_at)))
-        .collect();
-    if completed.is_empty() {
-        return 0.0;
-    }
+pub fn completed_jobs_seeing_checks(view: &TelemetryView) -> f64 {
+    let mut total = 0u64;
     let mut observed = 0u64;
-    for (nodes, start, end) in &completed {
-        let hit = nodes
+    for r in view.jobs() {
+        if r.status != JobStatus::Completed {
+            continue;
+        }
+        let Some(start) = r.started_at else { continue };
+        total += 1;
+        let hit = r
+            .nodes
             .iter()
-            .any(|&n| !store.health_events_for_node(n, *start, *end).is_empty());
+            .any(|&n| !view.health_events_for_node(n, start, r.ended_at).is_empty());
         if hit {
             observed += 1;
         }
     }
-    observed as f64 / completed.len() as f64
+    if total == 0 {
+        return 0.0;
+    }
+    observed as f64 / total as f64
 }
 
 #[cfg(test)]
@@ -254,6 +244,8 @@ mod tests {
     use rsc_failure::modes::Severity;
     use rsc_health::monitor::HealthEvent;
     use rsc_sched::job::QosClass;
+    use rsc_sim_core::time::SimTime;
+    use rsc_telemetry::TelemetryStore;
 
     fn record(id: u64, status: JobStatus, node: u32, end_hours: u64) -> JobRecord {
         JobRecord {
@@ -293,7 +285,8 @@ mod tests {
             SimTime::from_hours(10) - SimDuration::from_mins(5),
             CheckKind::IbLink,
         ));
-        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        let view = store.seal();
+        let atts = attribute_failures(&view, &AttributionConfig::paper_default());
         assert_eq!(atts.len(), 1);
         assert_eq!(atts[0].cause, Some(FailureSymptom::InfinibandLink));
     }
@@ -307,7 +300,8 @@ mod tests {
             SimTime::from_hours(10) - SimDuration::from_mins(30),
             CheckKind::IbLink,
         ));
-        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        let view = store.seal();
+        let atts = attribute_failures(&view, &AttributionConfig::paper_default());
         assert!(!atts[0].is_attributed());
     }
 
@@ -316,7 +310,8 @@ mod tests {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, JobStatus::NodeFail, 2, 10));
         store.push_health_event(health(3, SimTime::from_hours(10), CheckKind::IbLink));
-        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        let view = store.seal();
+        let atts = attribute_failures(&view, &AttributionConfig::paper_default());
         assert!(!atts[0].is_attributed());
     }
 
@@ -328,7 +323,8 @@ mod tests {
         store.push_health_event(health(2, at, CheckKind::Ipmi));
         store.push_health_event(health(2, at, CheckKind::PcieLink));
         store.push_health_event(health(2, at, CheckKind::GpuAccessible));
-        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        let view = store.seal();
+        let atts = attribute_failures(&view, &AttributionConfig::paper_default());
         assert_eq!(atts[0].cause, Some(FailureSymptom::PcieError));
         assert_eq!(atts[0].checks.len(), 3);
     }
@@ -337,7 +333,8 @@ mod tests {
     fn completed_jobs_are_not_attributed() {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, JobStatus::Completed, 2, 10));
-        let atts = attribute_failures(&mut store, &AttributionConfig::paper_default());
+        let view = store.seal();
+        let atts = attribute_failures(&view, &AttributionConfig::paper_default());
         assert!(atts.is_empty());
     }
 
@@ -347,7 +344,8 @@ mod tests {
         // A user failure (no events) and a hardware NODE_FAIL.
         store.push_job(record(1, JobStatus::Failed, 1, 10));
         store.push_job(record(2, JobStatus::NodeFail, 2, 12));
-        let rates = cause_rates(&mut store, &AttributionConfig::paper_default());
+        let view = store.seal();
+        let rates = cause_rates(&view, &AttributionConfig::paper_default());
         // Only the NODE_FAIL shows up (as unattributed).
         let total: f64 = rates.rates.iter().map(|(_, r)| r).sum();
         assert!(total > 0.0);
@@ -361,9 +359,10 @@ mod tests {
         store.push_job(record(1, JobStatus::Completed, 1, 10));
         store.push_job(record(2, JobStatus::Completed, 2, 10));
         store.push_job(record(3, JobStatus::Failed, 3, 10)); // not counted
-        // An event during job 1's runtime only.
+                                                             // An event during job 1's runtime only.
         store.push_health_event(health(1, SimTime::from_hours(5), CheckKind::EthLink));
-        let frac = completed_jobs_seeing_checks(&mut store);
+        let view = store.seal();
+        let frac = completed_jobs_seeing_checks(&view);
         assert!((frac - 0.5).abs() < 1e-9, "{frac}");
     }
 
@@ -371,12 +370,19 @@ mod tests {
     fn calibration_zero_without_events() {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, JobStatus::Completed, 1, 10));
-        assert_eq!(completed_jobs_seeing_checks(&mut store), 0.0);
+        let view = store.seal();
+        assert_eq!(completed_jobs_seeing_checks(&view), 0.0);
     }
 
     #[test]
     fn family_matching() {
-        assert!(same_family(FailureSymptom::PcieError, FailureSymptom::GpuUnavailable));
-        assert!(!same_family(FailureSymptom::PcieError, FailureSymptom::InfinibandLink));
+        assert!(same_family(
+            FailureSymptom::PcieError,
+            FailureSymptom::GpuUnavailable
+        ));
+        assert!(!same_family(
+            FailureSymptom::PcieError,
+            FailureSymptom::InfinibandLink
+        ));
     }
 }

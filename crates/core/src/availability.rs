@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 use rsc_cluster::ids::NodeId;
 use rsc_sim_core::stats::StreamingStats;
 use rsc_sim_core::time::{SimDuration, SimTime};
-use rsc_telemetry::store::{NodeEventKind, TelemetryStore};
+use rsc_telemetry::store::NodeEventKind;
+use rsc_telemetry::view::TelemetryView;
 
 /// One node's availability summary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,19 +41,19 @@ pub struct FleetAvailability {
     pub lost_node_days: f64,
 }
 
-/// Computes fleet availability from a telemetry store's node events.
+/// Computes fleet availability from a sealed view's node events.
 ///
 /// Remediation intervals still open at the horizon are charged up to the
 /// horizon.
-pub fn fleet_availability(store: &TelemetryStore) -> FleetAvailability {
-    let n = store.num_nodes() as usize;
-    let horizon = store.horizon();
+pub fn fleet_availability(view: &TelemetryView) -> FleetAvailability {
+    let n = view.num_nodes() as usize;
+    let horizon = view.horizon();
     let mut down_since: Vec<Option<SimTime>> = vec![None; n];
     let mut downtime: Vec<SimDuration> = vec![SimDuration::ZERO; n];
     let mut repairs: Vec<u32> = vec![0; n];
     let mut repair_times: Vec<f64> = Vec::new();
 
-    for e in store.node_events() {
+    for e in view.node_events() {
         let i = e.node.as_usize();
         match e.kind {
             NodeEventKind::EnterRemediation => {
@@ -116,6 +117,7 @@ pub fn worst_nodes(fleet: &FleetAvailability, k: usize) -> Vec<&NodeAvailability
 mod tests {
     use super::*;
     use rsc_telemetry::store::NodeEvent;
+    use rsc_telemetry::TelemetryStore;
 
     fn store_with(events: Vec<(u32, u64, NodeEventKind)>, horizon_h: u64) -> TelemetryStore {
         let mut store = TelemetryStore::new("t", 4);
@@ -142,7 +144,7 @@ mod tests {
             ],
             100,
         );
-        let fleet = fleet_availability(&store);
+        let fleet = fleet_availability(&store.seal());
         let node1 = &fleet.nodes[1];
         assert_eq!(node1.repairs, 2);
         assert_eq!(node1.downtime, SimDuration::from_hours(10));
@@ -154,7 +156,7 @@ mod tests {
     fn open_interval_charged_to_horizon() {
         use NodeEventKind::*;
         let store = store_with(vec![(2, 90, EnterRemediation)], 100);
-        let fleet = fleet_availability(&store);
+        let fleet = fleet_availability(&store.seal());
         assert_eq!(fleet.nodes[2].downtime, SimDuration::from_hours(10));
         assert_eq!(fleet.nodes[2].repairs, 0); // visit never completed
     }
@@ -164,7 +166,7 @@ mod tests {
         use NodeEventKind::*;
         // One of four nodes down for the whole 100 h window.
         let store = store_with(vec![(0, 0, EnterRemediation)], 100);
-        let fleet = fleet_availability(&store);
+        let fleet = fleet_availability(&store.seal());
         assert!((fleet.fleet_availability - 0.75).abs() < 1e-9);
         assert!((fleet.lost_node_days - 100.0 / 24.0).abs() < 1e-9);
     }
@@ -181,7 +183,7 @@ mod tests {
             ],
             100,
         );
-        let fleet = fleet_availability(&store);
+        let fleet = fleet_availability(&store.seal());
         let worst = worst_nodes(&fleet, 2);
         assert_eq!(worst[0].node, NodeId::new(3));
         assert_eq!(worst[1].node, NodeId::new(0));
@@ -191,7 +193,7 @@ mod tests {
     fn empty_store_is_fully_available() {
         let mut store = TelemetryStore::new("t", 4);
         store.set_horizon(SimTime::from_days(10));
-        let fleet = fleet_availability(&store);
+        let fleet = fleet_availability(&store.seal());
         assert_eq!(fleet.fleet_availability, 1.0);
         assert_eq!(fleet.mttr_hours, 0.0);
     }

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use rsc_sched::job::JobStatus;
 use rsc_sim_core::time::SimDuration;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 /// Decomposition of a cluster's GPU-time over the measurement window.
 /// All values in GPU-hours; fractions available via [`Self::fractions`].
@@ -53,17 +53,16 @@ impl GoodputWaterfall {
 /// attempt pays its spec'd restart overhead; every *interrupted* attempt
 /// additionally loses half a checkpoint interval of progress.
 pub fn goodput_waterfall(
-    store: &TelemetryStore,
+    view: &TelemetryView,
     gpus_per_node: u32,
     checkpoint_interval: SimDuration,
     restart_overhead: SimDuration,
 ) -> GoodputWaterfall {
-    let capacity =
-        store.num_nodes() as f64 * gpus_per_node as f64 * store.horizon().as_hours();
+    let capacity = view.num_nodes() as f64 * gpus_per_node as f64 * view.horizon().as_hours();
     let mut scheduled = 0.0f64;
     let mut restart = 0.0f64;
     let mut replay = 0.0f64;
-    for r in store.jobs() {
+    for r in view.jobs() {
         if r.started_at.is_none() {
             continue;
         }
@@ -100,6 +99,8 @@ mod tests {
     use rsc_sched::accounting::JobRecord;
     use rsc_sched::job::QosClass;
     use rsc_sim_core::time::SimTime;
+    use rsc_telemetry::TelemetryStore;
+    use rsc_telemetry::TelemetryView;
 
     fn record(id: u64, gpus: u32, hours: u64, status: JobStatus) -> JobRecord {
         JobRecord {
@@ -118,11 +119,11 @@ mod tests {
         }
     }
 
-    fn store(records: Vec<JobRecord>, nodes: u32, horizon_h: u64) -> TelemetryStore {
+    fn store(records: Vec<JobRecord>, nodes: u32, horizon_h: u64) -> TelemetryView {
         let mut s = TelemetryStore::new("t", nodes);
         s.extend_jobs(records);
         s.set_horizon(SimTime::from_hours(horizon_h));
-        s
+        s.seal()
     }
 
     #[test]
@@ -135,15 +136,14 @@ mod tests {
             2,
             24,
         );
-        let w = goodput_waterfall(
-            &s,
-            8,
-            SimDuration::from_hours(1),
-            SimDuration::from_mins(6),
-        );
+        let w = goodput_waterfall(&s, 8, SimDuration::from_hours(1), SimDuration::from_mins(6));
         assert!((w.capacity - 2.0 * 8.0 * 24.0).abs() < 1e-9);
         let total = w.productive + w.restart_overhead + w.replay_loss + w.idle;
-        assert!((total - w.capacity).abs() < 1e-6, "total={total} cap={}", w.capacity);
+        assert!(
+            (total - w.capacity).abs() < 1e-6,
+            "total={total} cap={}",
+            w.capacity
+        );
         let (p, r, l, i) = w.fractions();
         assert!((p + r + l + i - 1.0).abs() < 1e-9);
     }
@@ -174,12 +174,7 @@ mod tests {
             1,
             24,
         );
-        let w = goodput_waterfall(
-            &s,
-            8,
-            SimDuration::from_hours(1),
-            SimDuration::from_mins(6),
-        );
+        let w = goodput_waterfall(&s, 8, SimDuration::from_hours(1), SimDuration::from_mins(6));
         assert!(w.productive >= 0.0);
         assert!(w.restart_overhead <= 8.0 * 3.0 / 60.0 + 1e-9);
     }

@@ -38,7 +38,10 @@ impl EttrParams {
         ] {
             assert!(v >= 0.0 && v.is_finite(), "{name} must be non-negative");
         }
-        assert!(self.productive_time > 0.0, "productive_time must be positive");
+        assert!(
+            self.productive_time > 0.0,
+            "productive_time must be positive"
+        );
         self
     }
 

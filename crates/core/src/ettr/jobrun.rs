@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use rsc_sched::accounting::JobRecord;
 use rsc_sched::job::{JobStatus, QosClass};
 use rsc_sim_core::time::SimDuration;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 /// A reconstructed job run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,7 +40,11 @@ impl JobRun {
     /// Every attempt pays the restart overhead; every *interrupted*
     /// (non-final) attempt additionally loses half a checkpoint interval of
     /// progress in expectation.
-    pub fn measured_ettr(&self, checkpoint_interval: SimDuration, restart_overhead: SimDuration) -> f64 {
+    pub fn measured_ettr(
+        &self,
+        checkpoint_interval: SimDuration,
+        restart_overhead: SimDuration,
+    ) -> f64 {
         let scheduled = self.scheduled.as_days();
         let queued = self.queued.as_days();
         let wallclock = scheduled + queued;
@@ -55,15 +59,15 @@ impl JobRun {
     }
 }
 
-/// Groups a store's records into job runs.
+/// Groups a sealed view's records into job runs.
 ///
 /// Records sharing an explicit run id form one run; records without one
 /// group by job id (requeues of the same id are one logical task).
-pub fn reconstruct_job_runs(store: &TelemetryStore) -> Vec<JobRun> {
+pub fn reconstruct_job_runs(view: &TelemetryView) -> Vec<JobRun> {
     // Keyed map iterates deterministically, so ties in the final sort
     // keep a stable, reproducible order.
     let mut groups: BTreeMap<(u8, u64), Vec<&JobRecord>> = BTreeMap::new();
-    for r in store.jobs() {
+    for r in view.jobs() {
         let key = match r.run {
             Some(run) => (0u8, run.raw()),
             None => (1u8, r.job.raw()),
@@ -149,6 +153,7 @@ mod tests {
     use super::*;
     use rsc_cluster::ids::{JobId, JobRunId, NodeId};
     use rsc_sim_core::time::SimTime;
+    use rsc_telemetry::TelemetryStore;
 
     fn record(
         job: u64,
@@ -181,7 +186,7 @@ mod tests {
         store.push_job(record(1, None, 0, 0, 0, 10, JobStatus::NodeFail));
         store.push_job(record(1, None, 1, 10, 11, 30, JobStatus::Completed));
         store.push_job(record(2, None, 0, 0, 0, 5, JobStatus::Completed));
-        let runs = reconstruct_job_runs(&store);
+        let runs = reconstruct_job_runs(&store.seal());
         assert_eq!(runs.len(), 2);
         let big = runs.iter().find(|r| r.attempts == 2).unwrap();
         assert_eq!(big.scheduled, SimDuration::from_hours(29));
@@ -194,7 +199,7 @@ mod tests {
         let mut store = TelemetryStore::new("t", 64);
         store.push_job(record(1, Some(9), 0, 0, 0, 10, JobStatus::NodeFail));
         store.push_job(record(2, Some(9), 0, 10, 10, 20, JobStatus::Completed));
-        let runs = reconstruct_job_runs(&store);
+        let runs = reconstruct_job_runs(&store.seal());
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].attempts, 2);
     }
@@ -230,7 +235,7 @@ mod tests {
         let mut low = record(2, None, 0, 0, 0, 30, JobStatus::Completed);
         low.qos = QosClass::Low;
         store.push_job(low);
-        let runs = reconstruct_job_runs(&store);
+        let runs = reconstruct_job_runs(&store.seal());
         let selected = long_high_priority_runs(&runs, SimDuration::from_hours(24));
         assert_eq!(selected.len(), 1);
         assert_eq!(selected[0].qos, QosClass::High);

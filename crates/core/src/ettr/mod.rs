@@ -22,7 +22,13 @@ pub mod requirements;
 pub mod restart;
 
 pub use analytical::{expected_ettr, expected_ettr_simplified, EttrParams};
-pub use jobrun::{ettr_by_size_bucket, long_high_priority_runs, reconstruct_job_runs, EttrBucket, JobRun};
-pub use montecarlo::{monte_carlo_ettr, monte_carlo_ettr_with_loss, CheckpointLossModel, MonteCarloEttr};
-pub use requirements::{max_checkpoint_interval_mins, max_coupled_interval_mins, sweep, SweepPoint};
+pub use jobrun::{
+    ettr_by_size_bucket, long_high_priority_runs, reconstruct_job_runs, EttrBucket, JobRun,
+};
+pub use montecarlo::{
+    monte_carlo_ettr, monte_carlo_ettr_with_loss, CheckpointLossModel, MonteCarloEttr,
+};
+pub use requirements::{
+    max_checkpoint_interval_mins, max_coupled_interval_mins, sweep, SweepPoint,
+};
 pub use restart::RestartOverheadModel;

@@ -188,8 +188,7 @@ mod tests {
         // and the uncorrelated mean.
         let analytic_doubled = expected_ettr(&doubled);
         assert!(
-            correlated.mean > analytic_doubled - 0.01
-                && correlated.mean < uncorrelated.mean,
+            correlated.mean > analytic_doubled - 0.01 && correlated.mean < uncorrelated.mean,
             "mc={} bound={analytic_doubled} uncorrelated={}",
             correlated.mean,
             uncorrelated.mean

@@ -166,8 +166,8 @@ mod tests {
     fn rsc1_8k_gpu_requirement_is_about_half_an_hour() {
         // Obs. 10: 8,000 GPUs on RSC-1 with 1-minute queues needs roughly
         // 30-minute checkpoints for ETTR 0.9.
-        let cp = max_checkpoint_interval_mins(8_000, RSC1_RATE, 0.9, 1.0, 5.0, 7.0)
-            .expect("reachable");
+        let cp =
+            max_checkpoint_interval_mins(8_000, RSC1_RATE, 0.9, 1.0, 5.0, 7.0).expect("reachable");
         assert!((20.0..=45.0).contains(&cp), "cp={cp}");
     }
 
@@ -194,8 +194,14 @@ mod tests {
             }
         }
         // For fixed interval, the lower failure rate gives higher ETTR.
-        let low = pts.iter().find(|p| p.r_f == RSC2_RATE && p.checkpoint_mins == 7.0).unwrap();
-        let high = pts.iter().find(|p| p.r_f == RSC1_RATE && p.checkpoint_mins == 7.0).unwrap();
+        let low = pts
+            .iter()
+            .find(|p| p.r_f == RSC2_RATE && p.checkpoint_mins == 7.0)
+            .unwrap();
+        let high = pts
+            .iter()
+            .find(|p| p.r_f == RSC1_RATE && p.checkpoint_mins == 7.0)
+            .unwrap();
         assert!(low.ettr > high.ettr);
     }
 }

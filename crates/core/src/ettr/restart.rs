@@ -93,11 +93,13 @@ mod tests {
         // naive restart path costs real ETTR.
         let r_f = 2.34e-3;
         let cp = 5.0 / 60.0 / 24.0;
-        let naive =
-            RestartOverheadModel::naive().expected_ettr(100_000, r_f, 1e-4, cp, 7.0);
+        let naive = RestartOverheadModel::naive().expected_ettr(100_000, r_f, 1e-4, cp, 7.0);
         let optimized =
             RestartOverheadModel::optimized().expected_ettr(100_000, r_f, 1e-4, cp, 7.0);
-        assert!(optimized > naive + 0.02, "naive={naive} optimized={optimized}");
+        assert!(
+            optimized > naive + 0.02,
+            "naive={naive} optimized={optimized}"
+        );
         // At small scale the two are indistinguishable.
         let naive_small = RestartOverheadModel::naive().expected_ettr(512, r_f, 1e-4, cp, 7.0);
         let opt_small = RestartOverheadModel::optimized().expected_ettr(512, r_f, 1e-4, cp, 7.0);

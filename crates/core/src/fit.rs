@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use rsc_sim_core::time::SimTime;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 /// A fitted Weibull distribution (exponential when `shape == 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -103,9 +103,9 @@ fn ks_distance(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
 }
 
 /// Extracts the cluster-wide failure interarrival times (hours) from a
-/// telemetry store's ground-truth failure stream.
-pub fn failure_interarrivals_hours(store: &TelemetryStore) -> Vec<f64> {
-    let mut times: Vec<SimTime> = store.ground_truth_failures().iter().map(|f| f.at).collect();
+/// sealed view's ground-truth failure stream.
+pub fn failure_interarrivals_hours(view: &TelemetryView) -> Vec<f64> {
+    let mut times: Vec<SimTime> = view.ground_truth_failures().iter().map(|f| f.at).collect();
     times.sort();
     times
         .windows(2)
@@ -116,8 +116,8 @@ pub fn failure_interarrivals_hours(store: &TelemetryStore) -> Vec<f64> {
 
 /// Fits the failure process of a telemetry store, or `None` with fewer
 /// than `min_samples` interarrivals.
-pub fn fit_failure_process(store: &TelemetryStore, min_samples: usize) -> Option<WeibullFit> {
-    let gaps = failure_interarrivals_hours(store);
+pub fn fit_failure_process(view: &TelemetryView, min_samples: usize) -> Option<WeibullFit> {
+    let gaps = failure_interarrivals_hours(view);
     if gaps.len() < min_samples {
         return None;
     }
@@ -190,7 +190,11 @@ mod tests {
         let samples: Vec<f64> = (0..3000).map(|_| rng.weibull(3.0, 1.0)).collect();
         let (_, ks_exp) = fit_exponential(&samples);
         let fit = fit_weibull(&samples);
-        assert!(ks_exp > 4.0 * fit.ks_distance, "exp={ks_exp} weibull={}", fit.ks_distance);
+        assert!(
+            ks_exp > 4.0 * fit.ks_distance,
+            "exp={ks_exp} weibull={}",
+            fit.ks_distance
+        );
     }
 
     #[test]

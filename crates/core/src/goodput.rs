@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use rsc_sched::job::JobStatus;
 use rsc_sim_core::time::SimDuration;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 use crate::attribution::{attribute_failures, AttributionConfig};
 
@@ -58,12 +58,12 @@ fn lost_gpu_hours(runtime: SimDuration, gpus: u32) -> f64 {
 
 /// Computes Fig. 8: lost goodput by job size from attributed failures and
 /// instigated preemptions.
-pub fn goodput_loss(store: &mut TelemetryStore, config: &AttributionConfig) -> GoodputLoss {
+pub fn goodput_loss(view: &TelemetryView, config: &AttributionConfig) -> GoodputLoss {
     // First-order: NODE_FAIL / REQUEUED always; FAILED only when attributed.
-    let attributions = attribute_failures(store, config);
+    let attributions = attribute_failures(view, config);
     let mut first_order: Vec<(u32, f64)> = Vec::new();
     for a in &attributions {
-        let r = &store.jobs()[a.record_index];
+        let r = &view.jobs()[a.record_index];
         let is_hw = matches!(r.status, JobStatus::NodeFail | JobStatus::Requeued)
             || (r.status == JobStatus::Failed && a.is_attributed());
         if is_hw {
@@ -72,7 +72,7 @@ pub fn goodput_loss(store: &mut TelemetryStore, config: &AttributionConfig) -> G
     }
 
     // Second-order: preempted records with a recorded instigator.
-    let second_order: Vec<(u32, f64)> = store
+    let second_order: Vec<(u32, f64)> = view
         .jobs()
         .iter()
         .filter(|r| r.status == JobStatus::Preempted && r.instigator.is_some())
@@ -117,6 +117,7 @@ mod tests {
     use rsc_sched::accounting::JobRecord;
     use rsc_sched::job::QosClass;
     use rsc_sim_core::time::SimTime;
+    use rsc_telemetry::TelemetryStore;
 
     fn record(id: u64, gpus: u32, status: JobStatus, runtime_mins: u64) -> JobRecord {
         JobRecord {
@@ -145,7 +146,7 @@ mod tests {
     fn node_fails_count_without_attribution() {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, 1024, JobStatus::NodeFail, 120));
-        let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+        let loss = goodput_loss(&store.seal(), &AttributionConfig::paper_default());
         assert!((loss.total_failure_loss - 512.0).abs() < 1e-9); // 0.5h × 1024
         assert_eq!(loss.total_preemption_loss, 0.0);
     }
@@ -154,7 +155,7 @@ mod tests {
     fn plain_user_failures_do_not_count() {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, 64, JobStatus::Failed, 120));
-        let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+        let loss = goodput_loss(&store.seal(), &AttributionConfig::paper_default());
         assert_eq!(loss.total_failure_loss, 0.0);
     }
 
@@ -169,7 +170,7 @@ mod tests {
         let mut fresh = record(3, 16, JobStatus::Preempted, 240);
         fresh.preempted_by = Some(JobId::new(10));
         store.push_job(fresh);
-        let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+        let loss = goodput_loss(&store.seal(), &AttributionConfig::paper_default());
         assert!((loss.total_preemption_loss - 8.0).abs() < 1e-9); // 0.5h × 16
         assert!((loss.preemption_share() - 1.0).abs() < 1e-9);
     }
@@ -179,7 +180,7 @@ mod tests {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, 1000, JobStatus::NodeFail, 120));
         store.push_job(record(2, 1024, JobStatus::NodeFail, 120));
-        let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+        let loss = goodput_loss(&store.seal(), &AttributionConfig::paper_default());
         assert_eq!(loss.by_size.len(), 1);
         assert_eq!(loss.by_size[0].gpus, 1024);
     }

@@ -14,7 +14,8 @@ use rsc_cluster::ids::NodeId;
 use rsc_sched::job::JobStatus;
 use rsc_sim_core::stats::Ecdf;
 use rsc_sim_core::time::SimTime;
-use rsc_telemetry::store::{NodeEventKind, TelemetryStore};
+use rsc_telemetry::store::NodeEventKind;
+use rsc_telemetry::view::TelemetryView;
 
 /// The seven lemon-detection signals for one node (paper §IV-A).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,15 +59,15 @@ impl LemonFeatures {
 }
 
 /// Computes features for every node over `[from, to]`.
-pub fn compute_features(store: &TelemetryStore, from: SimTime, to: SimTime) -> Vec<LemonFeatures> {
-    let n = store.num_nodes() as usize;
+pub fn compute_features(view: &TelemetryView, from: SimTime, to: SimTime) -> Vec<LemonFeatures> {
+    let n = view.num_nodes() as usize;
     let mut features: Vec<LemonFeatures> = (0..n)
         .map(|i| LemonFeatures::new(NodeId::new(i as u32)))
         .collect();
 
     // excl_jobid_count: distinct excluding jobs per node.
     let mut excluders: Vec<HashSet<u64>> = vec![HashSet::new(); n];
-    for e in store.exclusions() {
+    for e in view.exclusions() {
         if e.at >= from && e.at <= to {
             excluders[e.node.as_usize()].insert(e.job.raw());
         }
@@ -77,7 +78,7 @@ pub fn compute_features(store: &TelemetryStore, from: SimTime, to: SimTime) -> V
 
     // xid_cnt: distinct XID codes per node from health events.
     let mut xids: Vec<HashSet<u16>> = vec![HashSet::new(); n];
-    for e in store.health_events() {
+    for e in view.health_events() {
         if e.at < from || e.at > to {
             continue;
         }
@@ -90,7 +91,7 @@ pub fn compute_features(store: &TelemetryStore, from: SimTime, to: SimTime) -> V
     }
 
     // tickets / out_count from node lifecycle events.
-    for e in store.node_events() {
+    for e in view.node_events() {
         if e.at < from || e.at > to {
             continue;
         }
@@ -109,13 +110,16 @@ pub fn compute_features(store: &TelemetryStore, from: SimTime, to: SimTime) -> V
     // failures: blaming every node of a failed 32-node job would swamp the
     // signal with innocent bystanders.
     let mut event_times: Vec<Vec<SimTime>> = vec![Vec::new(); n];
-    for e in store.health_events() {
+    for e in view.health_events() {
         event_times[e.node.as_usize()].push(e.at);
     }
     // A node pulled from service at the failure instant is implicated even
     // when no check fired (the NODE_FAIL heartbeat path).
-    for e in store.node_events() {
-        if matches!(e.kind, NodeEventKind::EnterRemediation | NodeEventKind::Drain) {
+    for e in view.node_events() {
+        if matches!(
+            e.kind,
+            NodeEventKind::EnterRemediation | NodeEventKind::Drain
+        ) {
             event_times[e.node.as_usize()].push(e.at);
         }
     }
@@ -132,7 +136,7 @@ pub fn compute_features(store: &TelemetryStore, from: SimTime, to: SimTime) -> V
 
     // Job-derived failure counts.
     let mut single_jobs: Vec<u32> = vec![0; n];
-    for r in store.jobs() {
+    for r in view.jobs() {
         if r.ended_at < from || r.ended_at > to || r.started_at.is_none() {
             continue;
         }
@@ -283,7 +287,11 @@ impl LemonDetector {
                     let detected = candidate.detect(features);
                     let q = DetectionQuality::evaluate(&detected, ground_truth);
                     let (p, r) = (q.precision(), q.recall());
-                    let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+                    let f1 = if p + r > 0.0 {
+                        2.0 * p * r / (p + r)
+                    } else {
+                        0.0
+                    };
                     if f1 > best.1 {
                         best = (candidate, f1);
                     }
@@ -378,10 +386,10 @@ pub fn feature_cdfs(features: &[LemonFeatures]) -> Vec<(&'static str, Ecdf)> {
 
 /// The fraction of large jobs (≥ `min_gpus`) that end in an infrastructure
 /// failure — the paper's before/after lemon-removal metric (14% → 4%).
-pub fn large_job_failure_rate(store: &TelemetryStore, min_gpus: u32) -> f64 {
+pub fn large_job_failure_rate(view: &TelemetryView, min_gpus: u32) -> f64 {
     let mut total = 0u64;
     let mut failed = 0u64;
-    for r in store.jobs() {
+    for r in view.jobs() {
         if r.gpus < min_gpus || r.started_at.is_none() {
             continue;
         }

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use rsc_sim_core::special::gamma_quantile;
 use rsc_sim_core::time::SimDuration;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 use crate::attribution::{attribute_failures, AttributionConfig};
 use rsc_sched::job::JobStatus;
@@ -58,17 +58,17 @@ pub fn power_of_two_bucket(gpus: u32) -> u32 {
 /// Exposure is each record's runtime; a record counts as a failure per the
 /// scope. Buckets are powers of two in servers.
 pub fn mttf_by_job_size(
-    store: &mut TelemetryStore,
+    view: &TelemetryView,
     scope: FailureScope,
     config: &AttributionConfig,
 ) -> Vec<MttfPoint> {
     // Precompute which record indices are infra failures when needed.
     let infra: std::collections::HashSet<usize> = match scope {
         FailureScope::AllFailures => std::collections::HashSet::new(),
-        FailureScope::InfraOnly => attribute_failures(store, config)
+        FailureScope::InfraOnly => attribute_failures(view, config)
             .into_iter()
             .filter(|a| {
-                let status = store.jobs()[a.record_index].status;
+                let status = view.jobs()[a.record_index].status;
                 matches!(status, JobStatus::NodeFail | JobStatus::Requeued)
                     || (status == JobStatus::Failed && a.is_attributed())
             })
@@ -76,8 +76,9 @@ pub fn mttf_by_job_size(
             .collect(),
     };
 
-    let mut buckets: std::collections::BTreeMap<u32, (u64, f64)> = std::collections::BTreeMap::new();
-    for (i, r) in store.jobs().iter().enumerate() {
+    let mut buckets: std::collections::BTreeMap<u32, (u64, f64)> =
+        std::collections::BTreeMap::new();
+    for (i, r) in view.jobs().iter().enumerate() {
         if r.started_at.is_none() {
             continue;
         }
@@ -136,14 +137,14 @@ pub fn gamma_mttf_ci(failures: u64, exposure_hours: f64, confidence: f64) -> Opt
 /// the paper's way: infra failures of jobs larger than `min_gpus` GPUs,
 /// divided by total node-days of runtime of those jobs.
 pub fn estimate_node_failure_rate(
-    store: &mut TelemetryStore,
+    view: &TelemetryView,
     config: &AttributionConfig,
     min_gpus: u32,
 ) -> f64 {
-    let attributions = attribute_failures(store, config);
+    let attributions = attribute_failures(view, config);
     let mut failures = 0u64;
     for a in &attributions {
-        let r = &store.jobs()[a.record_index];
+        let r = &view.jobs()[a.record_index];
         if r.gpus <= min_gpus {
             continue;
         }
@@ -153,7 +154,7 @@ pub fn estimate_node_failure_rate(
             failures += 1;
         }
     }
-    let node_days = store.node_days_of_runtime(min_gpus);
+    let node_days = view.node_days_of_runtime(min_gpus);
     if node_days <= 0.0 {
         return 0.0;
     }

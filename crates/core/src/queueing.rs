@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use rsc_sched::job::QosClass;
 use rsc_sim_core::stats::StreamingStats;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 /// Queue-wait summary for one (size bucket, QoS) cell.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,9 +30,9 @@ pub struct WaitBucket {
 }
 
 /// Computes wait statistics per (size, QoS) over all started attempts.
-pub fn wait_by_size_and_qos(store: &TelemetryStore) -> Vec<WaitBucket> {
+pub fn wait_by_size_and_qos(view: &TelemetryView) -> Vec<WaitBucket> {
     let mut cells: BTreeMap<(u32, u8), StreamingStats> = BTreeMap::new();
-    for r in store.jobs() {
+    for r in view.jobs() {
         if r.started_at.is_none() {
             continue;
         }
@@ -65,9 +65,9 @@ pub fn wait_by_size_and_qos(store: &TelemetryStore) -> Vec<WaitBucket> {
 
 /// The mean queue wait (hours) across every started attempt — the `q`
 /// parameter the analytical ETTR model wants.
-pub fn mean_wait_hours(store: &TelemetryStore) -> f64 {
+pub fn mean_wait_hours(view: &TelemetryView) -> f64 {
     let mut stats = StreamingStats::new();
-    for r in store.jobs() {
+    for r in view.jobs() {
         if r.started_at.is_some() {
             stats.push(r.queue_wait().as_hours());
         }
@@ -82,6 +82,7 @@ mod tests {
     use rsc_sched::accounting::JobRecord;
     use rsc_sched::job::JobStatus;
     use rsc_sim_core::time::SimTime;
+    use rsc_telemetry::TelemetryStore;
 
     fn record(id: u64, gpus: u32, qos: QosClass, wait_hours: u64) -> JobRecord {
         JobRecord {
@@ -107,7 +108,7 @@ mod tests {
         store.push_job(record(2, 8, QosClass::Low, 2));
         store.push_job(record(3, 8, QosClass::High, 0));
         store.push_job(record(4, 256, QosClass::High, 1));
-        let buckets = wait_by_size_and_qos(&store);
+        let buckets = wait_by_size_and_qos(&store.seal());
         assert_eq!(buckets.len(), 3);
         let low8 = buckets
             .iter()
@@ -123,7 +124,7 @@ mod tests {
         let mut store = TelemetryStore::new("t", 4);
         store.push_job(record(1, 8, QosClass::Low, 4));
         store.push_job(record(2, 8, QosClass::High, 0));
-        assert!((mean_wait_hours(&store) - 2.0).abs() < 1e-9);
+        assert!((mean_wait_hours(&store.seal()) - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -132,7 +133,8 @@ mod tests {
         let mut r = record(1, 8, QosClass::Low, 4);
         r.started_at = None;
         store.push_job(r);
-        assert!(wait_by_size_and_qos(&store).is_empty());
-        assert_eq!(mean_wait_hours(&store), 0.0);
+        let view = store.seal();
+        assert!(wait_by_size_and_qos(&view).is_empty());
+        assert_eq!(mean_wait_hours(&view), 0.0);
     }
 }

@@ -63,8 +63,7 @@ impl RepairUnitModel {
         let tolerated = self.failure_rate_per_gpu_day * self.in_place_tolerance;
         // Per GPU-day of operation: pulls × unit_size × mttr GPU-days lost
         // to pulled units, plus tolerated × 1 × mttr lost to degraded GPUs.
-        let lost = pulls * self.gpus_per_unit as f64 * self.mttr_days
-            + tolerated * self.mttr_days;
+        let lost = pulls * self.gpus_per_unit as f64 * self.mttr_days + tolerated * self.mttr_days;
         lost.min(1.0)
     }
 

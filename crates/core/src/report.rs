@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use rsc_failure::taxonomy::FailureSymptom;
 use rsc_sched::job::JobStatus;
-use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
 
 /// One Fig. 3 row: a scheduler status with its share of jobs and GPU-time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,19 +21,23 @@ pub struct StatusShare {
 }
 
 /// Computes the Fig. 3 scheduler status breakdown.
-pub fn status_breakdown(store: &TelemetryStore) -> Vec<StatusShare> {
-    let total_jobs = store.jobs().len() as f64;
-    let total_gpu_time: f64 = store.jobs().iter().map(|r| r.gpu_time().as_hours()).sum();
+pub fn status_breakdown(view: &TelemetryView) -> Vec<StatusShare> {
+    let total_jobs = view.jobs().len() as f64;
+    let total_gpu_time: f64 = view.jobs().iter().map(|r| r.gpu_time().as_hours()).sum();
     JobStatus::ALL
         .iter()
         .map(|&status| {
-            let records = store.jobs().iter().filter(|r| r.status == status);
+            let records = view.jobs().iter().filter(|r| r.status == status);
             let (count, gpu_time) = records.fold((0u64, 0.0f64), |(c, g), r| {
                 (c + 1, g + r.gpu_time().as_hours())
             });
             StatusShare {
                 status,
-                job_fraction: if total_jobs > 0.0 { count as f64 / total_jobs } else { 0.0 },
+                job_fraction: if total_jobs > 0.0 {
+                    count as f64 / total_jobs
+                } else {
+                    0.0
+                },
                 gpu_time_fraction: if total_gpu_time > 0.0 {
                     gpu_time / total_gpu_time
                 } else {
@@ -56,14 +60,14 @@ pub struct SizeShare {
 }
 
 /// Computes the Fig. 6 job-size distribution (by jobs and by compute).
-pub fn size_distribution(store: &TelemetryStore) -> Vec<SizeShare> {
+pub fn size_distribution(view: &TelemetryView) -> Vec<SizeShare> {
     let mut jobs: BTreeMap<u32, u64> = BTreeMap::new();
     let mut gpu_time: BTreeMap<u32, f64> = BTreeMap::new();
     // Count logical jobs once (attempt 0) but credit GPU-time from every
     // attempt.
     let mut total_jobs = 0u64;
     let mut total_gpu_time = 0.0f64;
-    for r in store.jobs() {
+    for r in view.jobs() {
         if r.attempt == 0 {
             *jobs.entry(r.gpus).or_insert(0) += 1;
             total_jobs += 1;
@@ -108,6 +112,7 @@ mod tests {
     use rsc_sched::accounting::JobRecord;
     use rsc_sched::job::QosClass;
     use rsc_sim_core::time::SimTime;
+    use rsc_telemetry::TelemetryStore;
 
     fn record(id: u64, attempt: u32, gpus: u32, hours: u64, status: JobStatus) -> JobRecord {
         JobRecord {
@@ -132,7 +137,7 @@ mod tests {
         store.push_job(record(1, 0, 8, 2, JobStatus::Completed));
         store.push_job(record(2, 0, 8, 2, JobStatus::Failed));
         store.push_job(record(3, 0, 16, 4, JobStatus::Completed));
-        let shares = status_breakdown(&store);
+        let shares = status_breakdown(&store.seal());
         let total_jobs: f64 = shares.iter().map(|s| s.job_fraction).sum();
         let total_gpu: f64 = shares.iter().map(|s| s.gpu_time_fraction).sum();
         assert!((total_jobs - 1.0).abs() < 1e-9);
@@ -150,7 +155,7 @@ mod tests {
         store.push_job(record(1, 0, 8, 2, JobStatus::NodeFail));
         store.push_job(record(1, 1, 8, 3, JobStatus::Completed));
         store.push_job(record(2, 0, 16, 1, JobStatus::Completed));
-        let dist = size_distribution(&store);
+        let dist = size_distribution(&store.seal());
         let eight = dist.iter().find(|s| s.gpus == 8).unwrap();
         assert!((eight.job_fraction - 0.5).abs() < 1e-9);
         // GPU-time for size 8 counts both attempts: (2+3)×8 = 40 of 56.

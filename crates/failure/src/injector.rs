@@ -153,7 +153,9 @@ mod tests {
     #[test]
     fn era_multiplier_increases_counts_in_window() {
         let mut schedule = HazardSchedule::new(ModeCatalog::rsc1());
-        let ib = schedule.mode_by_symptom(FailureSymptom::InfinibandLink).unwrap();
+        let ib = schedule
+            .mode_by_symptom(FailureSymptom::InfinibandLink)
+            .unwrap();
         schedule.add_modifier(RateModifier {
             mode: ib,
             nodes: NodeFilter::All,
@@ -165,7 +167,9 @@ mod tests {
         let events = inj.drain_until(SimTime::from_days(100));
         let ib_in_window = events
             .iter()
-            .filter(|e| e.mode == ib && e.at >= SimTime::from_days(50) && e.at < SimTime::from_days(60))
+            .filter(|e| {
+                e.mode == ib && e.at >= SimTime::from_days(50) && e.at < SimTime::from_days(60)
+            })
             .count();
         let ib_before = events
             .iter()

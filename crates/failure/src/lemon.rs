@@ -221,7 +221,11 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let plan = LemonPlan::plant(&mut rng, 1000, 40);
         for l in plan.lemons() {
-            assert!(l.extra_rate_per_day > 0.01, "lemon extra rate too small: {}", l.extra_rate_per_day);
+            assert!(
+                l.extra_rate_per_day > 0.01,
+                "lemon extra rate too small: {}",
+                l.extra_rate_per_day
+            );
         }
     }
 

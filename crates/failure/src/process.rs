@@ -105,7 +105,10 @@ impl HazardSchedule {
     ///
     /// Panics if the factor is negative or non-finite.
     pub fn add_node_multiplier(&mut self, node: NodeId, mode: ModeId, factor: f64) {
-        assert!(factor >= 0.0 && factor.is_finite(), "factor must be non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "factor must be non-negative"
+        );
         *self.node_multipliers.entry((node, mode)).or_insert(1.0) *= factor;
     }
 

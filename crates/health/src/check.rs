@@ -67,11 +67,17 @@ impl CheckKind {
         match self {
             CheckKind::GpuAccessible => matches!(signal, SignalKind::Xid(FallenOffBus)),
             CheckKind::GpuMemory => {
-                matches!(signal, SignalKind::Xid(DoubleBitEcc) | SignalKind::Xid(RowRemapFailure))
+                matches!(
+                    signal,
+                    SignalKind::Xid(DoubleBitEcc) | SignalKind::Xid(RowRemapFailure)
+                )
             }
             CheckKind::NvLink => matches!(signal, SignalKind::Xid(NvlinkError)),
             CheckKind::GpuDriver => {
-                matches!(signal, SignalKind::Xid(GspTimeout) | SignalKind::Xid(Other(_)))
+                matches!(
+                    signal,
+                    SignalKind::Xid(GspTimeout) | SignalKind::Xid(Other(_))
+                )
             }
             CheckKind::PcieLink => matches!(signal, SignalKind::PcieError),
             CheckKind::IbLink => matches!(signal, SignalKind::IbLinkError),

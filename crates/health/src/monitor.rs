@@ -118,7 +118,8 @@ impl HealthMonitor {
         let count = self.rng.poisson(expected);
         let mut events: Vec<HealthEvent> = (0..count)
             .map(|_| {
-                let offset = SimDuration::from_secs_f64(self.rng.uniform() * (to - from).as_secs() as f64);
+                let offset =
+                    SimDuration::from_secs_f64(self.rng.uniform() * (to - from).as_secs() as f64);
                 let at = ceil_to_period(from + offset, self.registry.period());
                 let node = NodeId::new(self.rng.below(num_nodes as u64) as u32);
                 let check = live[self.rng.below(live.len() as u64) as usize];

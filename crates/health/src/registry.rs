@@ -41,7 +41,11 @@ impl CheckRegistry {
     /// Panics if any rate is outside `[0, 1]` / negative.
     pub fn new(configs: Vec<CheckConfig>) -> Self {
         for c in &configs {
-            assert!((0.0..=1.0).contains(&c.miss_rate), "bad miss rate for {}", c.kind);
+            assert!(
+                (0.0..=1.0).contains(&c.miss_rate),
+                "bad miss rate for {}",
+                c.kind
+            );
             assert!(
                 c.false_positive_rate >= 0.0 && c.false_positive_rate.is_finite(),
                 "bad FP rate for {}",
@@ -163,12 +167,16 @@ mod tests {
     #[test]
     fn fs_mount_not_live_early() {
         let reg = CheckRegistry::rsc_default();
-        let live_day10: Vec<CheckKind> =
-            reg.live_checks(SimTime::from_days(10)).map(|c| c.kind).collect();
+        let live_day10: Vec<CheckKind> = reg
+            .live_checks(SimTime::from_days(10))
+            .map(|c| c.kind)
+            .collect();
         assert!(!live_day10.contains(&CheckKind::FsMount));
         assert!(live_day10.contains(&CheckKind::IbLink));
-        let live_day200: Vec<CheckKind> =
-            reg.live_checks(SimTime::from_days(200)).map(|c| c.kind).collect();
+        let live_day200: Vec<CheckKind> = reg
+            .live_checks(SimTime::from_days(200))
+            .map(|c| c.kind)
+            .collect();
         assert!(live_day200.contains(&CheckKind::FsMount));
     }
 

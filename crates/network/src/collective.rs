@@ -93,7 +93,10 @@ impl CollectiveBandwidth {
 
     /// Minimum per-collective bandwidth.
     pub fn min(&self) -> f64 {
-        self.busbw_gbps.iter().copied().fold(f64::INFINITY, f64::min)
+        self.busbw_gbps
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -181,10 +184,7 @@ mod tests {
         for pod in 0..4 {
             for rail in 0..8 {
                 for plane in 0..2u8 {
-                    f.inject_error_rate(
-                        crate::fabric::LinkId::Uplink { pod, rail, plane },
-                        0.8,
-                    );
+                    f.inject_error_rate(crate::fabric::LinkId::Uplink { pod, rail, plane }, 0.8);
                 }
             }
         }
@@ -198,7 +198,9 @@ mod tests {
         let st = evaluate_collectives(
             &f,
             std::slice::from_ref(&ar),
-            RoutingPolicy::Static { shield_threshold: 1.1 },
+            RoutingPolicy::Static {
+                shield_threshold: 1.1,
+            },
         );
         let ad = evaluate_collectives(&f, &[ar], RoutingPolicy::Adaptive);
         assert!(

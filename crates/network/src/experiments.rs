@@ -54,8 +54,11 @@ pub fn ber_injection_experiment(
                 }
             }
         }
-        let with_ar =
-            evaluate_collectives(&fabric, std::slice::from_ref(&ar_job), RoutingPolicy::Adaptive);
+        let with_ar = evaluate_collectives(
+            &fabric,
+            std::slice::from_ref(&ar_job),
+            RoutingPolicy::Adaptive,
+        );
         let without_ar = evaluate_collectives(
             &fabric,
             std::slice::from_ref(&ar_job),
@@ -166,8 +169,7 @@ mod tests {
     fn static_loses_half_or_more_bandwidth() {
         let healthy = ber_injection_experiment(1, 0.0, 0.0, 1)[0].without_ar_gbps;
         let degraded = ber_injection_experiment(5, 0.5, 0.8, 2);
-        let mean_degraded: f64 =
-            degraded.iter().map(|r| r.without_ar_gbps).sum::<f64>() / 5.0;
+        let mean_degraded: f64 = degraded.iter().map(|r| r.without_ar_gbps).sum::<f64>() / 5.0;
         let loss = 1.0 - mean_degraded / healthy;
         assert!(
             (0.4..=0.85).contains(&loss),

@@ -109,7 +109,8 @@ impl Fabric {
 
     /// Effective capacity of a link, Gb/s.
     pub fn effective_capacity(&self, link: LinkId) -> f64 {
-        self.link_state(link).effective_capacity(self.nominal_capacity(link))
+        self.link_state(link)
+            .effective_capacity(self.nominal_capacity(link))
     }
 
     /// Writes a link's error rate — the simulated `mlxreg` port-register

@@ -129,7 +129,9 @@ pub fn flapping_experiment(
         let st = evaluate_collectives(
             &fabric,
             std::slice::from_ref(&job),
-            RoutingPolicy::Static { shield_threshold: 0.95 },
+            RoutingPolicy::Static {
+                shield_threshold: 0.95,
+            },
         );
         samples.push(FlapSample {
             at: t,
@@ -193,7 +195,10 @@ mod tests {
             3,
         );
         assert!(!samples.is_empty());
-        assert!(samples.iter().any(|s| s.links_down > 0), "flaps should occur");
+        assert!(
+            samples.iter().any(|s| s.links_down > 0),
+            "flaps should occur"
+        );
         for s in &samples {
             assert!(
                 s.with_ar_gbps >= s.without_ar_gbps - 1e-9,

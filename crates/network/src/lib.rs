@@ -26,7 +26,9 @@ pub mod flap;
 pub mod routing;
 
 pub use collective::{evaluate_collectives, AllReduce, CollectiveBandwidth};
-pub use experiments::{ber_injection_experiment, contention_experiment, BerIterationResult, ContentionResult};
+pub use experiments::{
+    ber_injection_experiment, contention_experiment, BerIterationResult, ContentionResult,
+};
 pub use fabric::{Fabric, LinkId, LinkState};
 pub use flap::{flapping_experiment, FlapModel, FlapSample};
 pub use routing::{flow_bandwidths, route_flows, Flow, RoutedFlow, RoutingPolicy};

@@ -125,10 +125,10 @@ fn choose_uplink(
             fabric
                 .uplinks(pod, rail)
                 .max_by(|&a, &b| {
-                    let ha = fabric.effective_capacity(a)
-                        / (1.0 + *load.get(&a).unwrap_or(&0) as f64);
-                    let hb = fabric.effective_capacity(b)
-                        / (1.0 + *load.get(&b).unwrap_or(&0) as f64);
+                    let ha =
+                        fabric.effective_capacity(a) / (1.0 + *load.get(&a).unwrap_or(&0) as f64);
+                    let hb =
+                        fabric.effective_capacity(b) / (1.0 + *load.get(&b).unwrap_or(&0) as f64);
                     ha.partial_cmp(&hb).expect("capacities are finite")
                 })
                 .expect("at least one uplink plane")
@@ -260,7 +260,13 @@ mod tests {
                 rail: 0,
             })
             .collect();
-        let routed = route_flows(&f, &flows, RoutingPolicy::Static { shield_threshold: 1.1 });
+        let routed = route_flows(
+            &f,
+            &flows,
+            RoutingPolicy::Static {
+                shield_threshold: 1.1,
+            },
+        );
         let hits_bad = routed.iter().any(|rf| {
             rf.links.contains(&LinkId::Uplink {
                 pod: 0,
@@ -270,7 +276,13 @@ mod tests {
         });
         assert!(hits_bad, "hash routing should land on the degraded plane");
         // With SHIELD at 0.5, the degraded plane is avoided.
-        let shielded = route_flows(&f, &flows, RoutingPolicy::Static { shield_threshold: 0.5 });
+        let shielded = route_flows(
+            &f,
+            &flows,
+            RoutingPolicy::Static {
+                shield_threshold: 0.5,
+            },
+        );
         assert!(shielded.iter().all(|rf| {
             !rf.links.contains(&LinkId::Uplink {
                 pod: 0,

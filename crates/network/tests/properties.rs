@@ -12,7 +12,9 @@ fn policy_from(adaptive: bool) -> RoutingPolicy {
     if adaptive {
         RoutingPolicy::Adaptive
     } else {
-        RoutingPolicy::Static { shield_threshold: 0.95 }
+        RoutingPolicy::Static {
+            shield_threshold: 0.95,
+        }
     }
 }
 

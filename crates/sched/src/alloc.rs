@@ -173,12 +173,19 @@ impl ResourcePool {
         if spec.is_sub_node() {
             let n = nodes[0].as_usize();
             let new = self.free_slots[n] + spec.gpus as u8;
-            assert!(new as usize <= GPUS_PER_NODE, "release over capacity on {}", nodes[0]);
+            assert!(
+                new as usize <= GPUS_PER_NODE,
+                "release over capacity on {}",
+                nodes[0]
+            );
             self.free_slots[n] = new;
         } else {
             for &node in nodes {
                 let n = node.as_usize();
-                assert!(self.free_slots[n] == 0, "release of non-committed node {node}");
+                assert!(
+                    self.free_slots[n] == 0,
+                    "release of non-committed node {node}"
+                );
                 self.free_slots[n] = GPUS_PER_NODE as u8;
             }
         }

@@ -320,7 +320,9 @@ mod tests {
     #[test]
     fn destiny_work_for_user_failure() {
         let mut s = spec(8);
-        s.destiny = Destiny::UserFailure { at_work_fraction: 0.5 };
+        s.destiny = Destiny::UserFailure {
+            at_work_fraction: 0.5,
+        };
         let (w, status) = s.destiny_work();
         assert_eq!(w, SimDuration::from_hours(5));
         assert_eq!(status, JobStatus::Failed);

@@ -263,10 +263,11 @@ impl Scheduler {
             let can_preempt = spec.qos > QosClass::Low && !spec.is_sub_node();
             // Project quota: a project at its allocation waits even when
             // free GPUs exist.
-            if !self
-                .quotas
-                .allows(spec.project, self.usage.busy(spec.project), spec.gpus as u64)
-            {
+            if !self.quotas.allows(
+                spec.project,
+                self.usage.busy(spec.project),
+                spec.gpus as u64,
+            ) {
                 continue;
             }
             // Quick rejects: total free capacity, then monotone size caps.
@@ -296,7 +297,9 @@ impl Scheduler {
                 if let Some((nodes, victims)) = self.plan_preemption(&spec, now) {
                     let preemptor_restarting = matches!(
                         self.last_interrupt.get(&id),
-                        Some(JobStatus::NodeFail) | Some(JobStatus::Requeued) | Some(JobStatus::Failed)
+                        Some(JobStatus::NodeFail)
+                            | Some(JobStatus::Requeued)
+                            | Some(JobStatus::Failed)
                     );
                     for victim in &victims {
                         self.preempt(*victim, id, preemptor_restarting, now);
@@ -308,25 +311,19 @@ impl Scheduler {
                     free_gpus = self.pool.total_free_gpus();
                 } else {
                     min_failed_nodes = min_failed_nodes.min(spec.nodes_needed());
-                    if self.config.backfill == BackfillPolicy::Conservative
-                        && shadow_time.is_none()
+                    if self.config.backfill == BackfillPolicy::Conservative && shadow_time.is_none()
                     {
-                        shadow_time = Some(
-                            self.earliest_whole_nodes_free(spec.nodes_needed() as usize, now),
-                        );
+                        shadow_time =
+                            Some(self.earliest_whole_nodes_free(spec.nodes_needed() as usize, now));
                     }
                 }
             } else if spec.is_sub_node() {
                 min_failed_subnode = min_failed_subnode.min(spec.gpus);
             } else {
                 min_failed_nodes = min_failed_nodes.min(spec.nodes_needed());
-                if self.config.backfill == BackfillPolicy::Conservative
-                    && shadow_time.is_none()
-                {
-                    shadow_time = Some(self.earliest_whole_nodes_free(
-                        spec.nodes_needed() as usize,
-                        now,
-                    ));
+                if self.config.backfill == BackfillPolicy::Conservative && shadow_time.is_none() {
+                    shadow_time =
+                        Some(self.earliest_whole_nodes_free(spec.nodes_needed() as usize, now));
                 }
             }
         }
@@ -355,7 +352,9 @@ impl Scheduler {
             .jobs
             .values()
             .filter_map(|j| match &j.state {
-                JobState::Running { nodes, started_at } if nodes.len() > 1 || !j.spec.is_sub_node() => {
+                JobState::Running { nodes, started_at }
+                    if nodes.len() > 1 || !j.spec.is_sub_node() =>
+                {
                     Some((*started_at + j.spec.time_limit, nodes.len()))
                 }
                 _ => None,
@@ -466,11 +465,7 @@ impl Scheduler {
     /// Finds whole nodes for a high-QoS job by reclaiming nodes whose every
     /// occupant is a lower-tier job past the preemption floor. Returns the
     /// planned node set and the victim jobs.
-    fn plan_preemption(
-        &self,
-        spec: &JobSpec,
-        now: SimTime,
-    ) -> Option<(Vec<NodeId>, Vec<JobId>)> {
+    fn plan_preemption(&self, spec: &JobSpec, now: SimTime) -> Option<(Vec<NodeId>, Vec<JobId>)> {
         let needed = spec.nodes_needed() as usize;
         let mut chosen: Vec<NodeId> = Vec::new();
         let mut victims: Vec<JobId> = Vec::new();
@@ -659,13 +654,21 @@ mod tests {
         let mut s = sched(1);
         s.submit(spec(1, 8, QosClass::Normal));
         let started = s.cycle(SimTime::from_mins(1));
-        let ok = s.finish(JobId::new(1), started[0].attempt, JobStatus::Completed, SimTime::from_hours(5));
+        let ok = s.finish(
+            JobId::new(1),
+            started[0].attempt,
+            JobStatus::Completed,
+            SimTime::from_hours(5),
+        );
         assert!(ok);
         assert_eq!(s.running_count(), 0);
         assert_eq!(s.busy_gpus(), 0);
         let rec = &s.records()[0];
         assert_eq!(rec.status, JobStatus::Completed);
-        assert_eq!(rec.runtime(), SimDuration::from_hours(5) - SimDuration::from_mins(1));
+        assert_eq!(
+            rec.runtime(),
+            SimDuration::from_hours(5) - SimDuration::from_mins(1)
+        );
     }
 
     #[test]
@@ -673,9 +676,18 @@ mod tests {
         let mut s = sched(1);
         s.submit(spec(1, 8, QosClass::Normal));
         s.cycle(SimTime::from_mins(1));
-        s.interrupt_node(NodeId::new(0), InterruptCause::NodeHang, SimTime::from_hours(1));
+        s.interrupt_node(
+            NodeId::new(0),
+            InterruptCause::NodeHang,
+            SimTime::from_hours(1),
+        );
         // The old attempt's completion event arrives late.
-        assert!(!s.finish(JobId::new(1), 0, JobStatus::Completed, SimTime::from_hours(2)));
+        assert!(!s.finish(
+            JobId::new(1),
+            0,
+            JobStatus::Completed,
+            SimTime::from_hours(2)
+        ));
     }
 
     #[test]
@@ -683,7 +695,11 @@ mod tests {
         let mut s = sched(2);
         s.submit(spec(1, 16, QosClass::Normal));
         s.cycle(SimTime::from_mins(1));
-        let victims = s.interrupt_node(NodeId::new(1), InterruptCause::NodeHang, SimTime::from_hours(3));
+        let victims = s.interrupt_node(
+            NodeId::new(1),
+            InterruptCause::NodeHang,
+            SimTime::from_hours(3),
+        );
         assert_eq!(victims, vec![JobId::new(1)]);
         let job = s.job(JobId::new(1)).unwrap();
         assert!(job.is_pending());
@@ -727,7 +743,11 @@ mod tests {
         // low job that grabbed capacity in between.
         s.submit(spec(1, 16, QosClass::High));
         s.cycle(SimTime::from_mins(1));
-        s.interrupt_node(NodeId::new(0), InterruptCause::NodeHang, SimTime::from_hours(1));
+        s.interrupt_node(
+            NodeId::new(0),
+            InterruptCause::NodeHang,
+            SimTime::from_hours(1),
+        );
         // Low job fills the vacuum.
         s.submit(spec(2, 16, QosClass::Low));
         // Make node 0 unavailable so the high job cannot start; low can't
@@ -742,7 +762,11 @@ mod tests {
         let started = s.cycle(SimTime::from_hours(3));
         assert_eq!(started[0].job, JobId::new(1));
         // Now the high job fails via node hang and requeues.
-        s.interrupt_node(NodeId::new(0), InterruptCause::NodeHang, SimTime::from_hours(4));
+        s.interrupt_node(
+            NodeId::new(0),
+            InterruptCause::NodeHang,
+            SimTime::from_hours(4),
+        );
         // The low job gets back in (it is the only pending job that fits
         // first by priority? both pending: high has priority, takes nodes).
         let restarted = s.cycle(SimTime::from_hours(4));
@@ -793,7 +817,12 @@ mod tests {
         sp.run = Some(JobRunId::new(77));
         s.submit(sp);
         s.cycle(SimTime::from_mins(1));
-        s.finish(JobId::new(1), 0, JobStatus::Completed, SimTime::from_hours(2));
+        s.finish(
+            JobId::new(1),
+            0,
+            JobStatus::Completed,
+            SimTime::from_hours(2),
+        );
         assert_eq!(s.records()[0].run, Some(JobRunId::new(77)));
     }
 
@@ -805,7 +834,11 @@ mod tests {
         let started = s.cycle(SimTime::from_mins(1));
         assert_eq!(started.len(), 2);
         assert_eq!(s.busy_gpus(), 8);
-        let victims = s.interrupt_node(NodeId::new(0), InterruptCause::HealthCheck, SimTime::from_hours(1));
+        let victims = s.interrupt_node(
+            NodeId::new(0),
+            InterruptCause::HealthCheck,
+            SimTime::from_hours(1),
+        );
         assert_eq!(victims.len(), 2);
         assert!(s.records().iter().all(|r| r.status == JobStatus::Requeued));
     }
@@ -867,7 +900,12 @@ mod quota_tests {
         s.submit(spec(2, 8, 1));
         let first = s.cycle(SimTime::from_mins(1));
         assert_eq!(first.len(), 1);
-        s.finish(JobId::new(1), 0, JobStatus::Completed, SimTime::from_hours(1));
+        s.finish(
+            JobId::new(1),
+            0,
+            JobStatus::Completed,
+            SimTime::from_hours(1),
+        );
         assert_eq!(s.project_usage(ProjectId::new(1)), 0);
         let second = s.cycle(SimTime::from_hours(1));
         assert_eq!(second.len(), 1);
@@ -880,7 +918,11 @@ mod quota_tests {
         s.submit(spec(1, 16, 5));
         s.cycle(SimTime::from_mins(1));
         assert_eq!(s.project_usage(ProjectId::new(5)), 16);
-        s.interrupt_node(NodeId::new(0), InterruptCause::NodeHang, SimTime::from_hours(1));
+        s.interrupt_node(
+            NodeId::new(0),
+            InterruptCause::NodeHang,
+            SimTime::from_hours(1),
+        );
         assert_eq!(s.project_usage(ProjectId::new(5)), 0);
         let restarted = s.cycle(SimTime::from_hours(1));
         assert_eq!(restarted.len(), 1);
@@ -965,6 +1007,9 @@ mod backfill_tests {
         let t = s.earliest_whole_nodes_free(3, SimTime::from_mins(1));
         assert_eq!(t, SimTime::from_mins(1) + SimDuration::from_hours(10));
         // More nodes than running jobs can ever free.
-        assert_eq!(s.earliest_whole_nodes_free(5, SimTime::from_mins(1)), SimTime::MAX);
+        assert_eq!(
+            s.earliest_whole_nodes_free(5, SimTime::from_mins(1)),
+            SimTime::MAX
+        );
     }
 }

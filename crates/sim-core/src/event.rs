@@ -197,7 +197,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(10), "a");
         q.schedule(SimTime::from_secs(20), "b");
-        assert_eq!(q.pop_until(SimTime::from_secs(15)), Some((SimTime::from_secs(10), "a")));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(15)),
+            Some((SimTime::from_secs(10), "a"))
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(15)), None);
         assert_eq!(q.len(), 1);
     }

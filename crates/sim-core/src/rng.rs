@@ -151,9 +151,7 @@ impl SimRng {
                 continue;
             }
             let u = self.uniform();
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * theta;
             }
         }
@@ -165,7 +163,10 @@ impl SimRng {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
-        assert!(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "weibull parameters must be positive"
+        );
         scale * (-(1.0 - self.uniform()).ln()).powf(1.0 / shape)
     }
 
@@ -175,7 +176,10 @@ impl SimRng {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         x_min / (1.0 - self.uniform()).powf(1.0 / alpha)
     }
 
@@ -189,7 +193,10 @@ impl SimRng {
     ///
     /// Panics if `lambda` is negative or non-finite.
     pub fn poisson(&mut self, lambda: f64) -> u64 {
-        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be non-negative"
+        );
         if lambda == 0.0 {
             return 0;
         }
@@ -238,7 +245,10 @@ pub struct InvalidWeightsError;
 
 impl std::fmt::Display for InvalidWeightsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "weights must be non-negative, finite, and sum to a positive value")
+        write!(
+            f,
+            "weights must be non-negative, finite, and sum to a positive value"
+        )
     }
 }
 

@@ -111,7 +111,10 @@ pub fn gamma_cdf(x: f64, shape: f64, scale: f64) -> f64 {
 ///
 /// Panics if `shape` or `scale` is not strictly positive.
 pub fn gamma_quantile(p: f64, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma parameters must be positive"
+    );
     let p = p.clamp(1e-12, 1.0 - 1e-12);
     // Bracket: mean ± enough standard deviations, expanded as needed.
     let mean = shape * scale;
@@ -243,10 +246,9 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
+    result + x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))))
 }
 
 #[cfg(test)]
@@ -321,7 +323,10 @@ mod tests {
     fn digamma_recurrence() {
         // ψ(x+1) = ψ(x) + 1/x
         for &x in &[0.5, 1.0, 2.3, 7.7] {
-            assert!((digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9, "x={x}");
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-9,
+                "x={x}"
+            );
         }
         // ψ(1) = -γ (Euler–Mascheroni)
         assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-9);

@@ -464,8 +464,10 @@ mod bootstrap_tests {
         let stats: StreamingStats = xs.iter().copied().collect();
         let (nlo, nhi) = stats.mean_confidence_interval(0.90);
         let (blo, bhi) = bootstrap_mean_ci(&xs, 0.90, 4000, &mut rng).unwrap();
-        assert!((nlo - blo).abs() < 0.05 && (nhi - bhi).abs() < 0.05,
-            "normal ({nlo},{nhi}) vs bootstrap ({blo},{bhi})");
+        assert!(
+            (nlo - blo).abs() < 0.05 && (nhi - bhi).abs() < 0.05,
+            "normal ({nlo},{nhi}) vs bootstrap ({blo},{bhi})"
+        );
     }
 
     #[test]

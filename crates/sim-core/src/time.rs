@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_secs(), 7200);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_mins(120));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in whole seconds.
@@ -33,7 +35,9 @@ pub struct SimTime(u64);
 /// assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
 /// assert_eq!(SimDuration::from_hours(1).as_days(), 1.0 / 24.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -355,13 +359,19 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 
     #[test]
     fn mul_f64_scales() {
-        assert_eq!(SimDuration::from_hours(2).mul_f64(0.5), SimDuration::from_hours(1));
+        assert_eq!(
+            SimDuration::from_hours(2).mul_f64(0.5),
+            SimDuration::from_hours(1)
+        );
         assert_eq!(SimDuration::from_secs(10).mul_f64(0.0), SimDuration::ZERO);
     }
 

@@ -130,10 +130,7 @@ impl SimConfig {
         assert!(divisor > 0, "divisor must be positive");
         let nodes = self.cluster.num_nodes() / divisor;
         assert!(nodes > 0, "too large a divisor");
-        let cluster = ClusterSpec::new(
-            format!("{}/{}", self.cluster.name(), divisor),
-            nodes,
-        );
+        let cluster = ClusterSpec::new(format!("{}/{}", self.cluster.name(), divisor), nodes);
         let mut workload = self.workload.scaled(1.0 / divisor as f64);
         workload.calibrate_load(cluster.total_gpus(), 0.95);
         SimConfig {
@@ -181,14 +178,14 @@ mod tests {
         let c = SimConfig::rsc1();
         assert_eq!(c.cluster.total_gpus(), 16_384);
         // Residual base + expected lemon contribution ≈ published total.
-        let lemon_rate = c.lemon_count as f64 * c.lemon_extra_rate_median
-            / c.cluster.num_nodes() as f64;
+        let lemon_rate =
+            c.lemon_count as f64 * c.lemon_extra_rate_median / c.cluster.num_nodes() as f64;
         let total = c.modes.total_rate() + lemon_rate;
         assert!((total - 6.5e-3).abs() < 0.5e-3, "rsc1 total={total}");
         let c2 = SimConfig::rsc2();
         assert_eq!(c2.cluster.total_gpus(), 8_192);
-        let lemon_rate2 = c2.lemon_count as f64 * c2.lemon_extra_rate_median
-            / c2.cluster.num_nodes() as f64;
+        let lemon_rate2 =
+            c2.lemon_count as f64 * c2.lemon_extra_rate_median / c2.cluster.num_nodes() as f64;
         let total2 = c2.modes.total_rate() + lemon_rate2;
         assert!((total2 - 2.34e-3).abs() < 0.3e-3, "rsc2 total={total2}");
     }

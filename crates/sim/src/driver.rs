@@ -16,8 +16,8 @@ use rsc_cluster::node::NodeState;
 use rsc_failure::injector::{FailureEvent, FailureInjector};
 use rsc_failure::lemon::LemonPlan;
 use rsc_failure::modes::{ModeId, Severity};
-use rsc_failure::signals::SignalKind;
 use rsc_failure::process::HazardSchedule;
+use rsc_failure::signals::SignalKind;
 use rsc_health::monitor::HealthMonitor;
 use rsc_sched::job::{Destiny, JobStatus};
 use rsc_sched::sched::{InterruptCause, Scheduler, StartedAttempt};
@@ -212,7 +212,11 @@ impl ClusterSim {
 
     fn handle_event(&mut self, ev: Ev) {
         match ev {
-            Ev::JobEnd { job, attempt, status } => {
+            Ev::JobEnd {
+                job,
+                attempt,
+                status,
+            } => {
                 self.sched.finish(job, attempt, status, self.now);
             }
             Ev::HwCrash { job, attempt } => {
@@ -236,7 +240,9 @@ impl ClusterSim {
                 // The node stopped heartbeating: NODE_FAIL its jobs and pull
                 // it for remediation.
                 if self.cluster.node(node).state() != NodeState::Remediation {
-                    let victims = self.sched.interrupt_node(node, InterruptCause::NodeHang, self.now);
+                    let victims =
+                        self.sched
+                            .interrupt_node(node, InterruptCause::NodeHang, self.now);
                     for v in victims {
                         self.maybe_exclude(&[node], v);
                     }
@@ -268,9 +274,11 @@ impl ClusterSim {
                     if fp.severity == Severity::High
                         && self.cluster.node(fp.node).state() == NodeState::Healthy
                     {
-                        let victims =
-                            self.sched
-                                .interrupt_node(fp.node, InterruptCause::HealthCheck, self.now);
+                        let victims = self.sched.interrupt_node(
+                            fp.node,
+                            InterruptCause::HealthCheck,
+                            self.now,
+                        );
                         for v in victims {
                             self.maybe_exclude(&[fp.node], v);
                         }
@@ -284,7 +292,8 @@ impl ClusterSim {
                 for record in self.sched.take_records() {
                     self.telemetry.push_job(record);
                 }
-                self.events.schedule(self.now + SimDuration::from_days(1), Ev::DailySweep);
+                self.events
+                    .schedule(self.now + SimDuration::from_days(1), Ev::DailySweep);
             }
         }
     }
@@ -304,7 +313,12 @@ impl ClusterSim {
         }
 
         // Record component damage and raise the co-occurring signals.
-        let spec = self.injector.schedule().catalog().mode(failure.mode).clone();
+        let spec = self
+            .injector
+            .schedule()
+            .catalog()
+            .mode(failure.mode)
+            .clone();
         if failure.permanent {
             self.apply_permanent_damage(node, &spec);
         }
@@ -323,10 +337,15 @@ impl ClusterSim {
             self.telemetry.push_health_event(*d);
         }
 
-        let highest = detections.iter().map(|d| d.severity).find(|s| *s == Severity::High);
+        let highest = detections
+            .iter()
+            .map(|d| d.severity)
+            .find(|s| *s == Severity::High);
         if highest.is_some() {
             // High-severity check: immediate removal + reschedule.
-            let victims = self.sched.interrupt_node(node, InterruptCause::HealthCheck, self.now);
+            let victims = self
+                .sched
+                .interrupt_node(node, InterruptCause::HealthCheck, self.now);
             for v in victims {
                 self.maybe_exclude(&[node], v);
             }
@@ -430,7 +449,8 @@ impl ClusterSim {
                         != rsc_cluster::component::ComponentHealth::Ok
                 }));
         let dur = self.config.repair.sample(permanent, &mut self.rng);
-        self.events.schedule(self.now + dur, Ev::RepairDone { node });
+        self.events
+            .schedule(self.now + dur, Ev::RepairDone { node });
     }
 
     /// Re-raises a silently-broken node's signals, detecting and removing
@@ -459,7 +479,9 @@ impl ClusterSim {
             self.telemetry.push_health_event(*d);
         }
         if detections.iter().any(|d| d.severity == Severity::High) {
-            let victims = self.sched.interrupt_node(node, InterruptCause::HealthCheck, self.now);
+            let victims = self
+                .sched
+                .interrupt_node(node, InterruptCause::HealthCheck, self.now);
             for v in victims {
                 self.maybe_exclude(&[node], v);
             }
@@ -558,7 +580,8 @@ impl ClusterSim {
         let spec = &job.spec;
         let (destiny_work, destiny_status) = spec.destiny_work();
         let remaining = destiny_work.saturating_sub(job.checkpointed_work);
-        let natural_at = s.started_at + spec.restart_overhead + remaining.max(SimDuration::from_secs(1));
+        let natural_at =
+            s.started_at + spec.restart_overhead + remaining.max(SimDuration::from_secs(1));
         let mut end_at = natural_at;
         let mut status = destiny_status;
 

@@ -8,6 +8,10 @@
 //! the telemetry streams (`rsc-telemetry`) every analysis in `rsc-core`
 //! consumes. [`config::SimConfig`] describes a scenario; presets replicate
 //! the paper's RSC-1 and RSC-2 environments at full or reduced scale.
+//! [`runner::ScenarioRunner`] executes batches of scenarios across worker
+//! threads with an on-disk telemetry artifact cache, returning sealed
+//! [`rsc_telemetry::TelemetryView`]s that are byte-identical whether
+//! simulated sequentially, in parallel, or loaded from cache.
 //!
 //! # Example
 //!
@@ -23,6 +27,8 @@
 
 pub mod config;
 pub mod driver;
+pub mod runner;
 
 pub use config::{EraPreset, SimConfig};
 pub use driver::ClusterSim;
+pub use runner::{CacheStats, ScenarioRunner, ScenarioSpec};

@@ -1,0 +1,362 @@
+//! Shared scenario runtime: parallel execution and a telemetry artifact
+//! cache.
+//!
+//! A [`ScenarioSpec`] names one simulation — (config, seed, horizon in
+//! days) — and [`ScenarioRunner`] executes batches of them, fanning out
+//! across `std::thread` workers and consulting an on-disk snapshot cache
+//! so repeated invocations (bench figures, ablations, tests) load sealed
+//! telemetry instead of re-simulating.
+//!
+//! # Cache layout and invalidation
+//!
+//! Artifacts live under one directory (default `target/telemetry/`,
+//! overridable — see [`default_cache_dir`]) as
+//! `{fingerprint:016x}.snap`, where the fingerprint is a 64-bit FNV-1a
+//! hash over the scenario's `Debug`-formatted config, its seed and
+//! horizon, and [`SNAPSHOT_VERSION`]. Any change to the config shape,
+//! scenario parameters, or snapshot format therefore changes the key and
+//! invalidates stale artifacts; unreadable or corrupt artifacts are
+//! re-simulated and rewritten, never trusted.
+//!
+//! # Determinism
+//!
+//! The simulation itself is deterministic in (config, seed), snapshots
+//! round-trip byte-identically, and workers only partition *which*
+//! scenario each thread runs — never split one scenario — so sequential,
+//! parallel, and cache-hit execution all produce byte-identical
+//! telemetry. `tests/determinism.rs` at the workspace root proves this.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::snapshot::{load_snapshot_file, save_snapshot_file, SNAPSHOT_VERSION};
+use rsc_telemetry::view::TelemetryView;
+
+use crate::config::SimConfig;
+use crate::driver::ClusterSim;
+
+/// One scenario to execute: a configuration, an RNG seed, and a horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario configuration.
+    pub config: SimConfig,
+    /// RNG seed for the deterministic simulation.
+    pub seed: u64,
+    /// Horizon in days.
+    pub days: u64,
+}
+
+impl ScenarioSpec {
+    /// Creates a spec.
+    pub fn new(config: SimConfig, seed: u64, days: u64) -> Self {
+        ScenarioSpec { config, seed, days }
+    }
+
+    /// Stable cache fingerprint: FNV-1a 64 over the `Debug` rendering of
+    /// the config plus seed, horizon, and the snapshot format version.
+    ///
+    /// `Debug` output covers every field of [`SimConfig`] (all substrate
+    /// configs derive `Debug` structurally), so any parameter change
+    /// yields a new fingerprint and a cache miss rather than a stale hit.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(format!("{:?}", self.config).as_bytes());
+        eat(&self.seed.to_le_bytes());
+        eat(&self.days.to_le_bytes());
+        eat(&SNAPSHOT_VERSION.to_le_bytes());
+        h
+    }
+
+    /// The cache file name for this spec.
+    pub fn cache_file_name(&self) -> String {
+        format!("{:016x}.snap", self.fingerprint())
+    }
+
+    /// Runs the simulation synchronously (no cache) and seals the result.
+    pub fn simulate(&self) -> TelemetryView {
+        let mut sim = ClusterSim::new(self.config.clone(), self.seed);
+        sim.run(SimDuration::from_days(self.days));
+        sim.into_telemetry().seal()
+    }
+}
+
+/// Cache accounting from one [`ScenarioRunner::run_all_with_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Scenarios satisfied from the artifact cache.
+    pub hits: usize,
+    /// Scenarios that had to simulate (and, with a cache dir, wrote an
+    /// artifact afterwards).
+    pub misses: usize,
+}
+
+/// Executes scenario specs across worker threads with an artifact cache.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunner {
+    cache_dir: Option<PathBuf>,
+    workers: usize,
+}
+
+impl Default for ScenarioRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioRunner {
+    /// A runner using [`default_cache_dir`] and one worker per available
+    /// CPU (capped at 8 — scenarios are memory-hungry).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ScenarioRunner {
+            cache_dir: Some(default_cache_dir()),
+            workers,
+        }
+    }
+
+    /// A runner that never touches the disk cache.
+    pub fn without_cache() -> Self {
+        ScenarioRunner {
+            cache_dir: None,
+            ..Self::new()
+        }
+    }
+
+    /// Replaces the cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Runs one scenario, consulting the cache.
+    pub fn run_one(&self, spec: &ScenarioSpec) -> Arc<TelemetryView> {
+        let (view, _hit) = self.run_one_tracked(spec);
+        view
+    }
+
+    fn run_one_tracked(&self, spec: &ScenarioSpec) -> (Arc<TelemetryView>, bool) {
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(spec.cache_file_name());
+            if let Ok(view) = load_snapshot_file(&path) {
+                return (Arc::new(view), true);
+            }
+            let view = spec.simulate();
+            // Best-effort: a failed write just means the next run
+            // simulates again.
+            let _ = write_artifact(&path, &view);
+            (Arc::new(view), false)
+        } else {
+            (Arc::new(spec.simulate()), false)
+        }
+    }
+
+    /// Runs every spec, in parallel across the worker pool, returning
+    /// views in spec order. Duplicate specs (same fingerprint) execute
+    /// once and share one `Arc`.
+    pub fn run_all(&self, specs: &[ScenarioSpec]) -> Vec<Arc<TelemetryView>> {
+        self.run_all_with_stats(specs).0
+    }
+
+    /// [`run_all`](Self::run_all), also reporting cache hits/misses.
+    pub fn run_all_with_stats(
+        &self,
+        specs: &[ScenarioSpec],
+    ) -> (Vec<Arc<TelemetryView>>, CacheStats) {
+        // Dedup by fingerprint so a batch with repeated scenarios does
+        // the work once.
+        let mut unique: Vec<&ScenarioSpec> = Vec::new();
+        let mut slot_of: HashMap<u64, usize> = HashMap::new();
+        for spec in specs {
+            let fp = spec.fingerprint();
+            slot_of.entry(fp).or_insert_with(|| {
+                unique.push(spec);
+                unique.len() - 1
+            });
+        }
+
+        let results: Vec<Mutex<Option<(Arc<TelemetryView>, bool)>>> =
+            (0..unique.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let threads = self.workers.min(unique.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= unique.len() {
+                        break;
+                    }
+                    let out = self.run_one_tracked(unique[i]);
+                    *results[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+
+        let mut stats = CacheStats::default();
+        let done: Vec<Arc<TelemetryView>> = results
+            .into_iter()
+            .map(|m| {
+                let (view, hit) = m
+                    .into_inner()
+                    .unwrap()
+                    .expect("worker pool covered every slot");
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                view
+            })
+            .collect();
+        let views = specs
+            .iter()
+            .map(|spec| Arc::clone(&done[slot_of[&spec.fingerprint()]]))
+            .collect();
+        (views, stats)
+    }
+}
+
+/// Writes a snapshot atomically: to a `.tmp` sibling first, then renamed
+/// into place, so readers never observe a half-written artifact.
+fn write_artifact(path: &Path, view: &TelemetryView) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    save_snapshot_file(&tmp, view)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The default artifact-cache directory, resolved in order:
+///
+/// 1. `$RSC_TELEMETRY_CACHE` — explicit override;
+/// 2. `$CARGO_TARGET_DIR/telemetry` — follows a relocated target dir;
+/// 3. `target/telemetry` relative to the working directory.
+pub fn default_cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("RSC_TELEMETRY_CACHE") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        if !target.is_empty() {
+            return Path::new(&target).join("telemetry");
+        }
+    }
+    PathBuf::from("target").join("telemetry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rsc-runner-{tag}-{}", std::process::id()))
+    }
+
+    fn tiny_spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::new(SimConfig::small_test_cluster(), seed, 2)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = tiny_spec(1);
+        assert_eq!(a.fingerprint(), tiny_spec(1).fingerprint());
+        assert_ne!(a.fingerprint(), tiny_spec(2).fingerprint());
+        let mut longer = tiny_spec(1);
+        longer.days = 3;
+        assert_ne!(a.fingerprint(), longer.fingerprint());
+        let mut tweaked = tiny_spec(1);
+        tweaked.config.exclusion_prob += 0.01;
+        assert_ne!(a.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn uncached_parallel_matches_sequential() {
+        let specs = vec![tiny_spec(7), tiny_spec(8)];
+        let runner = ScenarioRunner::without_cache().workers(2);
+        let parallel = runner.run_all(&specs);
+        for (spec, view) in specs.iter().zip(&parallel) {
+            let sequential = spec.simulate();
+            assert_eq!(view.jobs(), sequential.jobs());
+            assert_eq!(view.health_events(), sequential.health_events());
+        }
+    }
+
+    #[test]
+    fn cache_hit_reproduces_simulation() {
+        let dir = temp_cache("hit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
+        let spec = tiny_spec(11);
+        let (_, cold) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+        assert_eq!((cold.hits, cold.misses), (0, 1));
+        let (views, warm) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+        assert_eq!((warm.hits, warm.misses), (1, 0));
+        let fresh = spec.simulate();
+        assert_eq!(views[0].jobs(), fresh.jobs());
+        assert_eq!(
+            views[0].ground_truth_failures(),
+            fresh.ground_truth_failures()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_resimulated() {
+        let dir = temp_cache("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec(13);
+        let path = dir.join(spec.cache_file_name());
+        std::fs::write(&path, b"not a snapshot\n").unwrap();
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
+        let (views, stats) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(views[0].jobs(), spec.simulate().jobs());
+        // The artifact was repaired in place.
+        let (_, warm) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+        assert_eq!((warm.hits, warm.misses), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_specs_share_one_result() {
+        let specs = vec![tiny_spec(17), tiny_spec(17)];
+        let runner = ScenarioRunner::without_cache().workers(2);
+        let views = runner.run_all(&specs);
+        assert!(Arc::ptr_eq(&views[0], &views[1]));
+    }
+
+    #[test]
+    fn default_cache_dir_has_telemetry_leaf() {
+        // Whichever branch resolves, the layout contract is a
+        // `telemetry/` leaf unless RSC_TELEMETRY_CACHE overrides it all.
+        let dir = default_cache_dir();
+        if std::env::var("RSC_TELEMETRY_CACHE").is_err() {
+            assert_eq!(dir.file_name().unwrap(), "telemetry");
+        }
+    }
+}

@@ -143,7 +143,10 @@ fn lemons_repair_fast_and_keep_failing() {
             .filter(|f| f.node == *lemon)
             .all(|f| !f.permanent));
     }
-    assert!(total >= 8, "lemons should fail often in aggregate, got {total}");
+    assert!(
+        total >= 8,
+        "lemons should fail often in aggregate, got {total}"
+    );
 }
 
 #[test]

@@ -17,7 +17,10 @@ fn simulation_is_deterministic() {
     let b = small_run(5, 42);
     assert_eq!(a.jobs().len(), b.jobs().len());
     assert_eq!(a.health_events().len(), b.health_events().len());
-    assert_eq!(a.ground_truth_failures().len(), b.ground_truth_failures().len());
+    assert_eq!(
+        a.ground_truth_failures().len(),
+        b.ground_truth_failures().len()
+    );
     for (x, y) in a.jobs().iter().zip(b.jobs()) {
         assert_eq!(x, y);
     }
@@ -34,7 +37,10 @@ fn different_seeds_diverge() {
 fn most_jobs_complete() {
     let t = small_run(10, 7);
     let total = t.jobs().len() as f64;
-    assert!(total > 1000.0, "expected a busy cluster, got {total} records");
+    assert!(
+        total > 1000.0,
+        "expected a busy cluster, got {total} records"
+    );
     let completed = t
         .jobs()
         .iter()

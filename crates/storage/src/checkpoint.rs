@@ -48,7 +48,9 @@ impl CheckpointSpec {
         CheckpointSpec {
             size_gb: params_billions * 16.0,
             interval,
-            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            mode: WriteMode::NonBlocking {
+                snapshot_secs: 10.0,
+            },
             writers: writers.max(1),
         }
     }
@@ -65,9 +67,7 @@ impl CheckpointSpec {
     pub fn stall_duration(&self, tier: &TierSpec) -> SimDuration {
         match self.mode {
             WriteMode::Blocking => self.write_duration(tier),
-            WriteMode::NonBlocking { snapshot_secs } => {
-                SimDuration::from_secs_f64(snapshot_secs)
-            }
+            WriteMode::NonBlocking { snapshot_secs } => SimDuration::from_secs_f64(snapshot_secs),
         }
     }
 
@@ -142,7 +142,9 @@ mod tests {
         let mut spec = CheckpointSpec::for_model(400.0, SimDuration::from_mins(10), 8);
         spec.mode = WriteMode::Blocking;
         assert_eq!(spec.stall_duration(&tier), spec.write_duration(&tier));
-        spec.mode = WriteMode::NonBlocking { snapshot_secs: 10.0 };
+        spec.mode = WriteMode::NonBlocking {
+            snapshot_secs: 10.0,
+        };
         assert_eq!(spec.stall_duration(&tier).as_secs(), 10);
         assert!(spec.stall_fraction(&tier) < 0.02);
     }
@@ -167,7 +169,9 @@ mod tests {
         let spec = CheckpointSpec {
             size_gb: 10_000.0,
             interval: SimDuration::from_mins(1),
-            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            mode: WriteMode::NonBlocking {
+                snapshot_secs: 10.0,
+            },
             writers: 1,
         };
         assert!(!spec.is_sustainable(&nfs));

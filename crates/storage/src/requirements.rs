@@ -45,11 +45,7 @@ pub fn ettr_with_stalls(failure_driven_ettr: f64, stall_fraction: f64) -> f64 {
 /// The smallest checkpoint size shards (writers) needed to land a
 /// checkpoint of `size_gb` within `budget` on a tier, or `None` if even
 /// unlimited sharding cannot (aggregate bandwidth bound).
-pub fn writers_needed(
-    size_gb: f64,
-    budget: SimDuration,
-    tier: &TierSpec,
-) -> Option<u32> {
+pub fn writers_needed(size_gb: f64, budget: SimDuration, tier: &TierSpec) -> Option<u32> {
     let budget_secs = budget.as_secs().max(1) as f64;
     // Aggregate bound: even infinitely sharded, the tier moves at most
     // aggregate × budget.
@@ -80,7 +76,9 @@ mod tests {
         let spec = CheckpointSpec {
             size_gb,
             interval: SimDuration::from_mins(2),
-            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            mode: WriteMode::NonBlocking {
+                snapshot_secs: 10.0,
+            },
             writers,
         };
         let cost = cadence_cost(&spec, &tier);
@@ -92,7 +90,7 @@ mod tests {
     #[test]
     fn infeasible_when_aggregate_bound() {
         let tier = TierSpec::rsc_default(StorageTier::Nfs); // 200 GB/s aggregate
-        // 100 TB in one minute is beyond the tier no matter the sharding.
+                                                            // 100 TB in one minute is beyond the tier no matter the sharding.
         assert!(writers_needed(100_000.0, SimDuration::from_mins(1), &tier).is_none());
     }
 
@@ -117,7 +115,9 @@ mod tests {
         let blocking_stall = spec.stall_fraction(&tier);
         assert!(blocking_stall > 0.2, "stall={blocking_stall}");
         let nonblocking = CheckpointSpec {
-            mode: WriteMode::NonBlocking { snapshot_secs: 10.0 },
+            mode: WriteMode::NonBlocking {
+                snapshot_secs: 10.0,
+            },
             ..spec
         };
         assert!(nonblocking.stall_fraction(&tier) < 0.1);

@@ -5,9 +5,13 @@
 //! A [`store::TelemetryStore`] gathers everything a simulated cluster run
 //! logs — job accounting records, health-check events, node lifecycle
 //! transitions, user node exclusions, and the ground-truth failure stream —
-//! and offers the time-window queries the analyses in `rsc-core` are built
-//! on. [`rolling`] provides the 30-day rolling failure-rate series behind
-//! the paper's Fig. 5, [`csv`] a dependency-free CSV exporter, and
+//! and seals into an immutable [`view::TelemetryView`] with the per-node,
+//! time-sorted indexes the analyses in `rsc-core` are built on — window
+//! queries on a sealed view are `&self` binary searches, so one run can be
+//! shared across analyses and threads. [`snapshot`] persists a sealed view
+//! to disk in a versioned, hand-rolled text format (the scenario cache's
+//! artifact), [`rolling`] provides the 30-day rolling failure-rate series
+//! behind the paper's Fig. 5, [`csv`] a dependency-free CSV exporter, and
 //! [`trace`] a `sacct`-like job-trace schema so the analyses can run over
 //! real accounting data.
 //!
@@ -30,7 +34,10 @@
 
 pub mod csv;
 pub mod rolling;
+pub mod snapshot;
 pub mod store;
 pub mod trace;
+pub mod view;
 
 pub use store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
+pub use view::TelemetryView;

@@ -30,9 +30,15 @@ pub fn rolling_rate(
     step: SimDuration,
     num_nodes: u32,
 ) -> Vec<SeriesPoint> {
-    assert!(!window.is_zero() && !step.is_zero(), "window and step must be positive");
+    assert!(
+        !window.is_zero() && !step.is_zero(),
+        "window and step must be positive"
+    );
     assert!(num_nodes > 0, "num_nodes must be positive");
-    debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+    debug_assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "times must be sorted"
+    );
 
     let denom = window.as_days() * num_nodes as f64;
     let mut out = Vec::new();
@@ -95,7 +101,12 @@ mod tests {
         );
         assert!(!series.is_empty());
         for p in &series {
-            assert!((p.value - 1.0).abs() < 0.05, "day={} value={}", p.day, p.value);
+            assert!(
+                (p.value - 1.0).abs() < 0.05,
+                "day={} value={}",
+                p.day,
+                p.value
+            );
         }
     }
 

@@ -1,0 +1,607 @@
+//! Versioned on-disk snapshots of sealed telemetry.
+//!
+//! A snapshot is the cacheable artifact of one simulated run: every stream
+//! a [`TelemetryView`] holds, in a hand-rolled, line-oriented text format in
+//! the same spirit as the `sacct`-style job trace (`trace.rs`) — no external
+//! serialization crates. The encoding is canonical, so
+//! `write → read → write` reproduces the original bytes exactly; the
+//! scenario runner relies on this to prove cache hits are byte-identical to
+//! fresh simulation.
+//!
+//! Layout (version 1):
+//!
+//! ```text
+//! rsc-telemetry-snapshot v1
+//! cluster <name>
+//! nodes <u32>
+//! horizon <seconds>
+//! gpu_swaps <u64>
+//! jobs <count>          — then one trace-format row per record
+//! health <count>        — at,node,check,severity,signal,false_positive
+//! node_events <count>   — at,node,kind
+//! exclusions <count>    — at,node,job
+//! failures <count>      — at,node,mode,symptom,permanent
+//! end
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+use rsc_cluster::gpu::XidError;
+use rsc_cluster::ids::{JobId, NodeId};
+use rsc_failure::injector::FailureEvent;
+use rsc_failure::modes::{ModeId, Severity};
+use rsc_failure::signals::SignalKind;
+use rsc_failure::taxonomy::FailureSymptom;
+use rsc_health::check::CheckKind;
+use rsc_health::monitor::HealthEvent;
+use rsc_sim_core::time::SimTime;
+
+use crate::store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
+use crate::trace::{format_job_row, parse_job_row};
+use crate::view::TelemetryView;
+
+/// Format version written by [`write_snapshot`]; bumped on any change to
+/// the encoding. Participates in the scenario-cache fingerprint so stale
+/// artifacts are never loaded by a newer binary.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &str = "rsc-telemetry-snapshot v1";
+
+/// Error from loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The snapshot text is malformed; `line` is 1-based.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Parse { line, message } => {
+                write!(f, "snapshot line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn severity_label(s: Severity) -> &'static str {
+    match s {
+        Severity::High => "high",
+        Severity::Low => "low",
+    }
+}
+
+fn parse_severity(s: &str) -> Option<Severity> {
+    match s {
+        "high" => Some(Severity::High),
+        "low" => Some(Severity::Low),
+        _ => None,
+    }
+}
+
+/// Lossless signal tag. Named XID variants encode as `xid<code>`; the
+/// catch-all [`XidError::Other`] encodes as `xido<code>` so that e.g.
+/// `Other(48)` and `DoubleBitEcc` (also code 48) stay distinct.
+fn signal_tag(s: SignalKind) -> String {
+    match s {
+        SignalKind::Xid(XidError::Other(code)) => format!("xido{code}"),
+        SignalKind::Xid(x) => format!("xid{}", x.code()),
+        other => other.label(),
+    }
+}
+
+fn parse_signal(s: &str) -> Option<SignalKind> {
+    match s {
+        "pcie_err" => return Some(SignalKind::PcieError),
+        "ipmi_critical" => return Some(SignalKind::IpmiCriticalInterrupt),
+        "ib_link_err" => return Some(SignalKind::IbLinkError),
+        "eth_link_err" => return Some(SignalKind::EthLinkError),
+        "fs_mount_missing" => return Some(SignalKind::FsMountMissing),
+        "dram_ue" => return Some(SignalKind::MainMemoryError),
+        "service_down" => return Some(SignalKind::ServiceFailure),
+        "blockdev_err" => return Some(SignalKind::BlockDeviceError),
+        "unresponsive" => return Some(SignalKind::NodeUnresponsive),
+        "power_fault" => return Some(SignalKind::PowerFault),
+        "thermal_warn" => return Some(SignalKind::ThermalWarning),
+        _ => {}
+    }
+    if let Some(code) = s.strip_prefix("xido") {
+        return code
+            .parse::<u16>()
+            .ok()
+            .map(|c| SignalKind::Xid(XidError::Other(c)));
+    }
+    if let Some(code) = s.strip_prefix("xid") {
+        let xid = match code.parse::<u16>().ok()? {
+            48 => XidError::DoubleBitEcc,
+            64 => XidError::RowRemapFailure,
+            74 => XidError::NvlinkError,
+            79 => XidError::FallenOffBus,
+            119 => XidError::GspTimeout,
+            31 => XidError::MemoryPageFault,
+            _ => return None,
+        };
+        return Some(SignalKind::Xid(xid));
+    }
+    None
+}
+
+fn parse_check(s: &str) -> Option<CheckKind> {
+    CheckKind::ALL.iter().copied().find(|c| c.label() == s)
+}
+
+fn parse_symptom(s: &str) -> Option<FailureSymptom> {
+    FailureSymptom::ALL.iter().copied().find(|x| x.label() == s)
+}
+
+fn node_event_kind_label(k: NodeEventKind) -> &'static str {
+    match k {
+        NodeEventKind::Drain => "drain",
+        NodeEventKind::EnterRemediation => "enter_remediation",
+        NodeEventKind::ExitRemediation => "exit_remediation",
+    }
+}
+
+fn parse_node_event_kind(s: &str) -> Option<NodeEventKind> {
+    match s {
+        "drain" => Some(NodeEventKind::Drain),
+        "enter_remediation" => Some(NodeEventKind::EnterRemediation),
+        "exit_remediation" => Some(NodeEventKind::ExitRemediation),
+        _ => None,
+    }
+}
+
+/// Writes a sealed view as a version-1 snapshot.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; rejects cluster names containing
+/// newlines (they would corrupt the line-oriented format).
+pub fn write_snapshot<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<()> {
+    if view.cluster_name().contains(['\n', '\r']) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cluster name contains a newline",
+        ));
+    }
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "cluster {}", view.cluster_name())?;
+    writeln!(w, "nodes {}", view.num_nodes())?;
+    writeln!(w, "horizon {}", view.horizon().as_secs())?;
+    writeln!(w, "gpu_swaps {}", view.gpu_swaps())?;
+
+    writeln!(w, "jobs {}", view.jobs().len())?;
+    for r in view.jobs() {
+        writeln!(w, "{}", format_job_row(r))?;
+    }
+
+    writeln!(w, "health {}", view.health_events().len())?;
+    for e in view.health_events() {
+        writeln!(
+            w,
+            "{},{},{},{},{},{}",
+            e.at.as_secs(),
+            e.node.index(),
+            e.check.label(),
+            severity_label(e.severity),
+            e.signal.map(signal_tag).unwrap_or_default(),
+            u8::from(e.false_positive),
+        )?;
+    }
+
+    writeln!(w, "node_events {}", view.node_events().len())?;
+    for e in view.node_events() {
+        writeln!(
+            w,
+            "{},{},{}",
+            e.at.as_secs(),
+            e.node.index(),
+            node_event_kind_label(e.kind),
+        )?;
+    }
+
+    writeln!(w, "exclusions {}", view.exclusions().len())?;
+    for e in view.exclusions() {
+        writeln!(w, "{},{},{}", e.at.as_secs(), e.node.index(), e.job.raw())?;
+    }
+
+    writeln!(w, "failures {}", view.ground_truth_failures().len())?;
+    for e in view.ground_truth_failures() {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            e.at.as_secs(),
+            e.node.index(),
+            e.mode.0,
+            e.symptom.label(),
+            u8::from(e.permanent),
+        )?;
+    }
+
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+struct Lines<R> {
+    inner: io::Lines<R>,
+    line_no: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn next_line(&mut self) -> Result<String, SnapshotError> {
+        self.line_no += 1;
+        match self.inner.next() {
+            Some(Ok(line)) => Ok(line),
+            Some(Err(e)) => Err(SnapshotError::Io(e)),
+            None => Err(SnapshotError::Parse {
+                line: self.line_no,
+                message: "unexpected end of snapshot".to_string(),
+            }),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SnapshotError {
+        SnapshotError::Parse {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+}
+
+/// Expects `<keyword> <value>` and returns the value.
+fn keyword_value<'a, R: BufRead>(
+    lines: &Lines<R>,
+    line: &'a str,
+    keyword: &str,
+) -> Result<&'a str, SnapshotError> {
+    match line.split_once(' ') {
+        Some((k, v)) if k == keyword => Ok(v),
+        _ => Err(lines.err(format!("expected `{keyword} <value>`, got {line:?}"))),
+    }
+}
+
+fn parse_count<R: BufRead>(lines: &Lines<R>, value: &str) -> Result<usize, SnapshotError> {
+    value
+        .parse::<usize>()
+        .map_err(|_| lines.err(format!("bad count: {value:?}")))
+}
+
+fn parse_u64_field<R: BufRead>(
+    lines: &Lines<R>,
+    s: &str,
+    what: &str,
+) -> Result<u64, SnapshotError> {
+    s.parse::<u64>()
+        .map_err(|_| lines.err(format!("bad {what}: {s:?}")))
+}
+
+/// Reads a version-1 snapshot into a sealed view.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Parse`] with the 1-based line number on any
+/// malformed or truncated input — never panics — and
+/// [`SnapshotError::Io`] if the reader fails.
+pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
+    let mut lines = Lines {
+        inner: r.lines(),
+        line_no: 0,
+    };
+
+    let magic = lines.next_line()?;
+    if magic != MAGIC {
+        return Err(lines.err(format!("bad header: {magic:?} (expected {MAGIC:?})")));
+    }
+    let line = lines.next_line()?;
+    let name = keyword_value(&lines, &line, "cluster")?.to_string();
+    let line = lines.next_line()?;
+    let num_nodes = parse_u64_field(&lines, keyword_value(&lines, &line, "nodes")?, "node count")?;
+    let line = lines.next_line()?;
+    let horizon = parse_u64_field(&lines, keyword_value(&lines, &line, "horizon")?, "horizon")?;
+    let line = lines.next_line()?;
+    let gpu_swaps = parse_u64_field(
+        &lines,
+        keyword_value(&lines, &line, "gpu_swaps")?,
+        "gpu_swaps",
+    )?;
+
+    let mut store = TelemetryStore::new(name, num_nodes as u32);
+    store.set_horizon(SimTime::from_secs(horizon));
+    store.set_gpu_swaps(gpu_swaps);
+
+    let line = lines.next_line()?;
+    let count = parse_count(&lines, keyword_value(&lines, &line, "jobs")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let record = parse_job_row(&row, lines.line_no)
+            .map_err(|e| lines.err(format!("bad job row: {}", e.message)))?;
+        store.push_job(record);
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(&lines, keyword_value(&lines, &line, "health")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 6 {
+            return Err(lines.err(format!("health row needs 6 fields, got {}", fields.len())));
+        }
+        let signal = if fields[4].is_empty() {
+            None
+        } else {
+            Some(
+                parse_signal(fields[4])
+                    .ok_or_else(|| lines.err(format!("bad signal: {:?}", fields[4])))?,
+            )
+        };
+        store.push_health_event(HealthEvent {
+            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
+            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
+            check: parse_check(fields[2])
+                .ok_or_else(|| lines.err(format!("bad check: {:?}", fields[2])))?,
+            severity: parse_severity(fields[3])
+                .ok_or_else(|| lines.err(format!("bad severity: {:?}", fields[3])))?,
+            signal,
+            false_positive: parse_bool_field(&lines, fields[5])?,
+        });
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(&lines, keyword_value(&lines, &line, "node_events")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 3 {
+            return Err(lines.err(format!(
+                "node_event row needs 3 fields, got {}",
+                fields.len()
+            )));
+        }
+        store.push_node_event(NodeEvent {
+            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
+            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
+            kind: parse_node_event_kind(fields[2])
+                .ok_or_else(|| lines.err(format!("bad node event kind: {:?}", fields[2])))?,
+        });
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(&lines, keyword_value(&lines, &line, "exclusions")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 3 {
+            return Err(lines.err(format!(
+                "exclusion row needs 3 fields, got {}",
+                fields.len()
+            )));
+        }
+        store.push_exclusion(ExclusionEvent {
+            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
+            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
+            job: JobId::new(parse_u64_field(&lines, fields[2], "job")?),
+        });
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(&lines, keyword_value(&lines, &line, "failures")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 5 {
+            return Err(lines.err(format!("failure row needs 5 fields, got {}", fields.len())));
+        }
+        store.push_ground_truth(FailureEvent {
+            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
+            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
+            mode: ModeId(parse_u64_field(&lines, fields[2], "mode")? as usize),
+            symptom: parse_symptom(fields[3])
+                .ok_or_else(|| lines.err(format!("bad symptom: {:?}", fields[3])))?,
+            permanent: parse_bool_field(&lines, fields[4])?,
+        });
+    }
+
+    let line = lines.next_line()?;
+    if line != "end" {
+        return Err(lines.err(format!("expected `end`, got {line:?}")));
+    }
+    Ok(store.seal())
+}
+
+fn parse_bool_field<R: BufRead>(lines: &Lines<R>, s: &str) -> Result<bool, SnapshotError> {
+    match s {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(lines.err(format!("bad bool: {s:?}"))),
+    }
+}
+
+/// Writes a snapshot to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_snapshot_file(path: &Path, view: &TelemetryView) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, view)?;
+    fs::write(path, buf)
+}
+
+/// Loads a snapshot from `path`.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on I/O failure or malformed content.
+pub fn load_snapshot_file(path: &Path) -> Result<TelemetryView, SnapshotError> {
+    let file = fs::File::open(path)?;
+    read_snapshot(BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::JobRunId;
+    use rsc_sched::accounting::JobRecord;
+    use rsc_sched::job::{JobStatus, QosClass};
+
+    fn sample_view() -> TelemetryView {
+        let mut store = TelemetryStore::new("RSC-T", 16);
+        store.set_horizon(SimTime::from_hours(24));
+        store.set_gpu_swaps(5);
+        store.push_job(JobRecord {
+            job: JobId::new(7),
+            attempt: 1,
+            run: Some(JobRunId::new(3)),
+            gpus: 16,
+            qos: QosClass::High,
+            nodes: vec![NodeId::new(0), NodeId::new(4)],
+            enqueued_at: SimTime::from_secs(10),
+            started_at: Some(SimTime::from_secs(60)),
+            ended_at: SimTime::from_secs(5000),
+            status: JobStatus::NodeFail,
+            preempted_by: None,
+            instigator: Some(JobId::new(2)),
+        });
+        store.push_health_event(HealthEvent {
+            at: SimTime::from_secs(120),
+            node: NodeId::new(4),
+            check: CheckKind::GpuMemory,
+            severity: Severity::High,
+            signal: Some(SignalKind::Xid(XidError::DoubleBitEcc)),
+            false_positive: false,
+        });
+        store.push_health_event(HealthEvent {
+            at: SimTime::from_secs(130),
+            node: NodeId::new(4),
+            check: CheckKind::GpuDriver,
+            severity: Severity::Low,
+            signal: Some(SignalKind::Xid(XidError::Other(48))),
+            false_positive: true,
+        });
+        store.push_node_event(NodeEvent {
+            node: NodeId::new(4),
+            at: SimTime::from_secs(140),
+            kind: NodeEventKind::EnterRemediation,
+        });
+        store.push_exclusion(ExclusionEvent {
+            node: NodeId::new(4),
+            job: JobId::new(7),
+            at: SimTime::from_secs(150),
+        });
+        store.push_ground_truth(FailureEvent {
+            at: SimTime::from_secs(115),
+            node: NodeId::new(4),
+            mode: ModeId(2),
+            symptom: FailureSymptom::GpuMemoryError,
+            permanent: true,
+        });
+        store.seal()
+    }
+
+    fn to_bytes(view: &TelemetryView) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, view).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let view = sample_view();
+        let bytes = to_bytes(&view);
+        let back = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(to_bytes(&back), bytes);
+        assert_eq!(back.jobs(), view.jobs());
+        assert_eq!(back.health_events(), view.health_events());
+        assert_eq!(back.node_events(), view.node_events());
+        assert_eq!(back.exclusions(), view.exclusions());
+        assert_eq!(back.ground_truth_failures(), view.ground_truth_failures());
+        assert_eq!(back.gpu_swaps(), view.gpu_swaps());
+        assert_eq!(back.horizon(), view.horizon());
+        assert_eq!(back.cluster_name(), view.cluster_name());
+        assert_eq!(back.num_nodes(), view.num_nodes());
+    }
+
+    #[test]
+    fn named_and_other_xids_stay_distinct() {
+        let view = sample_view();
+        let back = read_snapshot(to_bytes(&view).as_slice()).unwrap();
+        let signals: Vec<Option<SignalKind>> =
+            back.health_events().iter().map(|e| e.signal).collect();
+        assert_eq!(signals[0], Some(SignalKind::Xid(XidError::DoubleBitEcc)));
+        assert_eq!(signals[1], Some(SignalKind::Xid(XidError::Other(48))));
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let view = TelemetryStore::new("empty", 0).seal();
+        let bytes = to_bytes(&view);
+        let back = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(to_bytes(&back), bytes);
+        assert!(back.jobs().is_empty());
+    }
+
+    #[test]
+    fn truncated_input_is_a_clean_error() {
+        let bytes = to_bytes(&sample_view());
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 5] {
+            let err = read_snapshot(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Parse { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_fields_error_with_line_numbers() {
+        let text = String::from_utf8(to_bytes(&sample_view())).unwrap();
+        let corrupted = text.replace("gpu_memory", "not_a_check");
+        let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
+        match err {
+            SnapshotError::Parse { line, message } => {
+                assert!(line > 0);
+                assert!(message.contains("bad"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let err = read_snapshot("some other file\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rsc-snap-test-{}", std::process::id()));
+        let path = dir.join("sample.snap");
+        let view = sample_view();
+        save_snapshot_file(&path, &view).unwrap();
+        let back = load_snapshot_file(&path).unwrap();
+        assert_eq!(to_bytes(&back), to_bytes(&view));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

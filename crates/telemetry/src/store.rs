@@ -175,10 +175,7 @@ impl TelemetryStore {
         to: SimTime,
     ) -> Vec<&HealthEvent> {
         self.build_indexes();
-        let index = self
-            .node_health_index
-            .as_ref()
-            .expect("index built above");
+        let index = self.node_health_index.as_ref().expect("index built above");
         match index.get(&node) {
             Some(idxs) => idxs
                 .iter()
@@ -199,6 +196,26 @@ impl TelemetryStore {
             index.entry(e.node).or_default().push(i);
         }
         self.node_health_index = Some(index);
+    }
+
+    /// Seals the store into an immutable, fully-indexed
+    /// [`TelemetryView`](crate::view::TelemetryView).
+    ///
+    /// Sealing consumes the writer: after this point no events can be
+    /// appended, window queries are `&self` binary searches, and the view
+    /// can be shared freely across analyses and threads.
+    pub fn seal(self) -> crate::view::TelemetryView {
+        crate::view::TelemetryView::from_parts(
+            self.cluster_name,
+            self.num_nodes,
+            self.horizon,
+            self.jobs,
+            self.health_events,
+            self.node_events,
+            self.exclusions,
+            self.ground_truth_failures,
+            self.gpu_swaps,
+        )
     }
 
     /// Total node-days of job runtime across all records (the failure-rate

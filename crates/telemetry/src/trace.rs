@@ -76,6 +76,40 @@ fn parse_qos(s: &str) -> Option<QosClass> {
     }
 }
 
+/// Formats one record as a trace CSV row (no trailing newline).
+///
+/// Shared by [`export_jobs`] and the snapshot codec
+/// ([`crate::snapshot`]) so both serialize jobs byte-identically.
+pub fn format_job_row(r: &JobRecord) -> String {
+    let nodes = r
+        .nodes
+        .iter()
+        .map(|n| n.index().to_string())
+        .collect::<Vec<_>>()
+        .join(";");
+    let row = [
+        r.job.raw().to_string(),
+        r.attempt.to_string(),
+        r.run.map(|x| x.raw().to_string()).unwrap_or_default(),
+        r.gpus.to_string(),
+        qos_label(r.qos).to_string(),
+        nodes,
+        r.enqueued_at.as_secs().to_string(),
+        r.started_at
+            .map(|t| t.as_secs().to_string())
+            .unwrap_or_default(),
+        r.ended_at.as_secs().to_string(),
+        status_label(r.status).to_string(),
+        r.preempted_by
+            .map(|x| x.raw().to_string())
+            .unwrap_or_default(),
+        r.instigator
+            .map(|x| x.raw().to_string())
+            .unwrap_or_default(),
+    ];
+    format_row(row.iter().map(|s| s.as_str()))
+}
+
 /// Writes job records as a trace CSV.
 ///
 /// # Errors
@@ -84,29 +118,64 @@ fn parse_qos(s: &str) -> Option<QosClass> {
 pub fn export_jobs<W: Write>(w: &mut W, records: &[JobRecord]) -> io::Result<()> {
     writeln!(w, "{}", format_row(TRACE_HEADER.iter().copied()))?;
     for r in records {
-        let nodes = r
-            .nodes
-            .iter()
-            .map(|n| n.index().to_string())
-            .collect::<Vec<_>>()
-            .join(";");
-        let row = [
-            r.job.raw().to_string(),
-            r.attempt.to_string(),
-            r.run.map(|x| x.raw().to_string()).unwrap_or_default(),
-            r.gpus.to_string(),
-            qos_label(r.qos).to_string(),
-            nodes,
-            r.enqueued_at.as_secs().to_string(),
-            r.started_at.map(|t| t.as_secs().to_string()).unwrap_or_default(),
-            r.ended_at.as_secs().to_string(),
-            status_label(r.status).to_string(),
-            r.preempted_by.map(|x| x.raw().to_string()).unwrap_or_default(),
-            r.instigator.map(|x| x.raw().to_string()).unwrap_or_default(),
-        ];
-        writeln!(w, "{}", format_row(row.iter().map(|s| s.as_str())))?;
+        writeln!(w, "{}", format_job_row(r))?;
     }
     Ok(())
+}
+
+/// Parses one trace CSV row into a record; `line_no` is the 1-based line
+/// number reported in errors.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] when the row is malformed.
+pub fn parse_job_row(line: &str, line_no: usize) -> Result<JobRecord, ParseTraceError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    let err = |message: &str| ParseTraceError {
+        line: line_no,
+        message: message.to_string(),
+    };
+    if fields.len() != TRACE_HEADER.len() {
+        return Err(err(&format!(
+            "expected {} fields, got {}",
+            TRACE_HEADER.len(),
+            fields.len()
+        )));
+    }
+    let parse_u64 = |s: &str, what: &str| -> Result<u64, ParseTraceError> {
+        s.parse::<u64>()
+            .map_err(|_| err(&format!("bad {what}: {s:?}")))
+    };
+    let opt_u64 = |s: &str, what: &str| -> Result<Option<u64>, ParseTraceError> {
+        if s.is_empty() {
+            Ok(None)
+        } else {
+            parse_u64(s, what).map(Some)
+        }
+    };
+    let nodes = if fields[5].is_empty() {
+        Vec::new()
+    } else {
+        fields[5]
+            .split(';')
+            .map(|s| parse_u64(s, "node id").map(|v| NodeId::new(v as u32)))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok(JobRecord {
+        job: JobId::new(parse_u64(fields[0], "job id")?),
+        attempt: parse_u64(fields[1], "attempt")? as u32,
+        run: opt_u64(fields[2], "run id")?.map(JobRunId::new),
+        gpus: parse_u64(fields[3], "gpus")? as u32,
+        qos: parse_qos(fields[4]).ok_or_else(|| err(&format!("bad qos: {:?}", fields[4])))?,
+        nodes,
+        enqueued_at: SimTime::from_secs(parse_u64(fields[6], "enqueued_at")?),
+        started_at: opt_u64(fields[7], "started_at")?.map(SimTime::from_secs),
+        ended_at: SimTime::from_secs(parse_u64(fields[8], "ended_at")?),
+        status: parse_status(fields[9])
+            .ok_or_else(|| err(&format!("bad status: {:?}", fields[9])))?,
+        preempted_by: opt_u64(fields[10], "preempted_by")?.map(JobId::new),
+        instigator: opt_u64(fields[11], "instigator")?.map(JobId::new),
+    })
 }
 
 /// Reads job records from a trace CSV (header row required).
@@ -128,51 +197,7 @@ pub fn import_jobs<R: BufRead>(r: R) -> Result<Vec<JobRecord>, ParseTraceError> 
         if line.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        let err = |message: &str| ParseTraceError {
-            line: i + 1,
-            message: message.to_string(),
-        };
-        if fields.len() != TRACE_HEADER.len() {
-            return Err(err(&format!(
-                "expected {} fields, got {}",
-                TRACE_HEADER.len(),
-                fields.len()
-            )));
-        }
-        let parse_u64 = |s: &str, what: &str| -> Result<u64, ParseTraceError> {
-            s.parse::<u64>().map_err(|_| err(&format!("bad {what}: {s:?}")))
-        };
-        let opt_u64 = |s: &str, what: &str| -> Result<Option<u64>, ParseTraceError> {
-            if s.is_empty() {
-                Ok(None)
-            } else {
-                parse_u64(s, what).map(Some)
-            }
-        };
-        let nodes = if fields[5].is_empty() {
-            Vec::new()
-        } else {
-            fields[5]
-                .split(';')
-                .map(|s| parse_u64(s, "node id").map(|v| NodeId::new(v as u32)))
-                .collect::<Result<Vec<_>, _>>()?
-        };
-        out.push(JobRecord {
-            job: JobId::new(parse_u64(fields[0], "job id")?),
-            attempt: parse_u64(fields[1], "attempt")? as u32,
-            run: opt_u64(fields[2], "run id")?.map(JobRunId::new),
-            gpus: parse_u64(fields[3], "gpus")? as u32,
-            qos: parse_qos(fields[4]).ok_or_else(|| err(&format!("bad qos: {:?}", fields[4])))?,
-            nodes,
-            enqueued_at: SimTime::from_secs(parse_u64(fields[6], "enqueued_at")?),
-            started_at: opt_u64(fields[7], "started_at")?.map(SimTime::from_secs),
-            ended_at: SimTime::from_secs(parse_u64(fields[8], "ended_at")?),
-            status: parse_status(fields[9])
-                .ok_or_else(|| err(&format!("bad status: {:?}", fields[9])))?,
-            preempted_by: opt_u64(fields[10], "preempted_by")?.map(JobId::new),
-            instigator: opt_u64(fields[11], "instigator")?.map(JobId::new),
-        });
+        out.push(parse_job_row(&line, i + 1)?);
     }
     Ok(out)
 }

@@ -1,0 +1,311 @@
+//! The immutable, fully-indexed read side of the telemetry pipeline.
+//!
+//! [`TelemetryStore`] is the append-only writer the simulation driver fills;
+//! sealing it produces a [`TelemetryView`]: a frozen copy of every stream
+//! plus per-node, time-sorted indexes built exactly once. Window queries on
+//! the view are `&self` binary searches, so any number of analyses — or
+//! threads, the view is `Send + Sync` — can share one sealed run.
+
+use std::collections::HashMap;
+
+use rsc_cluster::ids::NodeId;
+use rsc_failure::injector::FailureEvent;
+use rsc_health::monitor::HealthEvent;
+use rsc_sched::accounting::JobRecord;
+use rsc_sim_core::time::SimTime;
+
+use crate::store::{ExclusionEvent, NodeEvent, TelemetryStore};
+
+/// An immutable, sealed view over one run's telemetry.
+///
+/// Constructed by [`TelemetryStore::seal`] or by loading a snapshot
+/// ([`crate::snapshot`]). All accessors take `&self`; the per-node health
+/// index is built once at seal time and never invalidated.
+#[derive(Debug, Clone)]
+pub struct TelemetryView {
+    cluster_name: String,
+    num_nodes: u32,
+    horizon: SimTime,
+    jobs: Vec<JobRecord>,
+    health_events: Vec<HealthEvent>,
+    node_events: Vec<NodeEvent>,
+    exclusions: Vec<ExclusionEvent>,
+    ground_truth_failures: Vec<FailureEvent>,
+    gpu_swaps: u64,
+    /// Per node: indices into `health_events`, sorted by (time, position).
+    node_health_index: HashMap<NodeId, Vec<usize>>,
+}
+
+impl TelemetryView {
+    /// Builds a view from the parts of a consumed store.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        cluster_name: String,
+        num_nodes: u32,
+        horizon: SimTime,
+        jobs: Vec<JobRecord>,
+        health_events: Vec<HealthEvent>,
+        node_events: Vec<NodeEvent>,
+        exclusions: Vec<ExclusionEvent>,
+        ground_truth_failures: Vec<FailureEvent>,
+        gpu_swaps: u64,
+    ) -> Self {
+        let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, e) in health_events.iter().enumerate() {
+            index.entry(e.node).or_default().push(i);
+        }
+        for idxs in index.values_mut() {
+            // Stable by (time, insertion position) so equal timestamps keep
+            // their detection order and the sort is deterministic.
+            idxs.sort_by_key(|&i| (health_events[i].at, i));
+        }
+        TelemetryView {
+            cluster_name,
+            num_nodes,
+            horizon,
+            jobs,
+            health_events,
+            node_events,
+            exclusions,
+            ground_truth_failures,
+            gpu_swaps,
+            node_health_index: index,
+        }
+    }
+
+    /// The cluster this telemetry came from.
+    pub fn cluster_name(&self) -> &str {
+        &self.cluster_name
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// End of the measurement window.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Total GPU swaps performed by repairs over the run.
+    pub fn gpu_swaps(&self) -> u64 {
+        self.gpu_swaps
+    }
+
+    /// All job accounting records, in completion order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// All health events, in detection order.
+    pub fn health_events(&self) -> &[HealthEvent] {
+        &self.health_events
+    }
+
+    /// All node lifecycle events.
+    pub fn node_events(&self) -> &[NodeEvent] {
+        &self.node_events
+    }
+
+    /// All user node exclusions.
+    pub fn exclusions(&self) -> &[ExclusionEvent] {
+        &self.exclusions
+    }
+
+    /// Ground-truth failure injections (not available to "operators";
+    /// used to validate attribution and detection).
+    pub fn ground_truth_failures(&self) -> &[FailureEvent] {
+        &self.ground_truth_failures
+    }
+
+    /// Health events on `node` within `[from, to]`, in time order.
+    ///
+    /// A binary search over the per-node index built at seal time — no
+    /// mutation, no lazy state, safe to call from many threads at once.
+    pub fn health_events_for_node(
+        &self,
+        node: NodeId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<&HealthEvent> {
+        let Some(idxs) = self.node_health_index.get(&node) else {
+            return Vec::new();
+        };
+        let lo = idxs.partition_point(|&i| self.health_events[i].at < from);
+        let hi = idxs.partition_point(|&i| self.health_events[i].at <= to);
+        idxs[lo..hi]
+            .iter()
+            .map(|&i| &self.health_events[i])
+            .collect()
+    }
+
+    /// Total node-days of job runtime across all records (the failure-rate
+    /// denominator), restricted to jobs using more than `min_gpus` GPUs.
+    pub fn node_days_of_runtime(&self, min_gpus: u32) -> f64 {
+        self.jobs
+            .iter()
+            .filter(|r| r.gpus > min_gpus)
+            .map(|r| r.node_days())
+            .sum()
+    }
+
+    /// Copies the view's streams back into an append-only store, e.g. to
+    /// derive a modified scenario from a loaded snapshot.
+    pub fn to_store(&self) -> TelemetryStore {
+        let mut store = TelemetryStore::new(self.cluster_name.clone(), self.num_nodes);
+        store.set_horizon(self.horizon);
+        store.set_gpu_swaps(self.gpu_swaps);
+        store.extend_jobs(self.jobs.iter().cloned());
+        for e in &self.health_events {
+            store.push_health_event(*e);
+        }
+        for e in &self.node_events {
+            store.push_node_event(*e);
+        }
+        for e in &self.exclusions {
+            store.push_exclusion(*e);
+        }
+        for e in &self.ground_truth_failures {
+            store.push_ground_truth(*e);
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::JobId;
+    use rsc_failure::modes::Severity;
+    use rsc_health::check::CheckKind;
+    use rsc_sched::job::{JobStatus, QosClass};
+
+    fn health_event(node: u32, at_secs: u64) -> HealthEvent {
+        HealthEvent {
+            at: SimTime::from_secs(at_secs),
+            node: NodeId::new(node),
+            check: CheckKind::IbLink,
+            severity: Severity::High,
+            signal: None,
+            false_positive: false,
+        }
+    }
+
+    fn job_record(gpus: u32, nodes: u32, hours: u64) -> JobRecord {
+        JobRecord {
+            job: JobId::new(1),
+            attempt: 0,
+            run: None,
+            gpus,
+            qos: QosClass::Normal,
+            nodes: (0..nodes).map(NodeId::new).collect(),
+            enqueued_at: SimTime::ZERO,
+            started_at: Some(SimTime::ZERO),
+            ended_at: SimTime::from_hours(hours),
+            status: JobStatus::Completed,
+            preempted_by: None,
+            instigator: None,
+        }
+    }
+
+    #[test]
+    fn sealed_window_query_matches_store() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_health_event(health_event(1, 100));
+        store.push_health_event(health_event(1, 200));
+        store.push_health_event(health_event(2, 150));
+        store.push_health_event(health_event(1, 150));
+        let mut mutable = store.clone();
+        let expect: Vec<HealthEvent> = mutable
+            .health_events_for_node(
+                NodeId::new(1),
+                SimTime::from_secs(120),
+                SimTime::from_secs(300),
+            )
+            .into_iter()
+            .copied()
+            .collect();
+        let view = store.seal();
+        let got: Vec<HealthEvent> = view
+            .health_events_for_node(
+                NodeId::new(1),
+                SimTime::from_secs(120),
+                SimTime::from_secs(300),
+            )
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(got.len(), 2);
+        // The sealed index is time-sorted; the store returns insertion
+        // order, which for the driver is also time order.
+        let mut expect_sorted = expect;
+        expect_sorted.sort_by_key(|e| e.at);
+        assert_eq!(got, expect_sorted);
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_health_event(health_event(3, 100));
+        store.push_health_event(health_event(3, 200));
+        store.push_health_event(health_event(3, 300));
+        let view = store.seal();
+        let hits = view.health_events_for_node(
+            NodeId::new(3),
+            SimTime::from_secs(100),
+            SimTime::from_secs(300),
+        );
+        assert_eq!(hits.len(), 3);
+        let hits = view.health_events_for_node(
+            NodeId::new(3),
+            SimTime::from_secs(101),
+            SimTime::from_secs(299),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn unknown_node_query_is_empty() {
+        let view = TelemetryStore::new("t", 4).seal();
+        assert!(view
+            .health_events_for_node(NodeId::new(3), SimTime::ZERO, SimTime::MAX)
+            .is_empty());
+    }
+
+    #[test]
+    fn scalars_and_streams_survive_sealing() {
+        let mut store = TelemetryStore::new("rsc-test", 8);
+        store.set_horizon(SimTime::from_hours(10));
+        store.set_gpu_swaps(3);
+        store.push_job(job_record(8, 1, 24));
+        store.push_health_event(health_event(1, 60));
+        let view = store.seal();
+        assert_eq!(view.cluster_name(), "rsc-test");
+        assert_eq!(view.num_nodes(), 8);
+        assert_eq!(view.horizon(), SimTime::from_hours(10));
+        assert_eq!(view.gpu_swaps(), 3);
+        assert_eq!(view.jobs().len(), 1);
+        assert_eq!(view.health_events().len(), 1);
+        assert!((view.node_days_of_runtime(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_store_round_trips_all_streams() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.set_horizon(SimTime::from_hours(1));
+        store.push_job(job_record(8, 1, 1));
+        store.push_health_event(health_event(1, 10));
+        let view = store.clone().seal();
+        let back = view.to_store();
+        assert_eq!(back.jobs(), store.jobs());
+        assert_eq!(back.health_events(), store.health_events());
+        assert_eq!(back.horizon(), store.horizon());
+    }
+
+    #[test]
+    fn view_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TelemetryView>();
+    }
+}

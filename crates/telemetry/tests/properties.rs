@@ -1,12 +1,22 @@
-//! Property-based tests for telemetry: trace roundtrip and rolling rates.
+//! Property-based tests for telemetry: trace and snapshot roundtrips and
+//! rolling rates.
 
 use proptest::prelude::*;
 
+use rsc_cluster::gpu::XidError;
 use rsc_cluster::ids::{JobId, JobRunId, NodeId};
+use rsc_failure::injector::FailureEvent;
+use rsc_failure::modes::{ModeId, Severity};
+use rsc_failure::signals::SignalKind;
+use rsc_failure::taxonomy::FailureSymptom;
+use rsc_health::check::CheckKind;
+use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
 use rsc_sched::job::{JobStatus, QosClass};
 use rsc_sim_core::time::{SimDuration, SimTime};
 use rsc_telemetry::rolling::{bin_counts, rolling_rate};
+use rsc_telemetry::snapshot::{read_snapshot, write_snapshot};
+use rsc_telemetry::store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
 use rsc_telemetry::trace::{export_jobs, import_jobs};
 
 fn arb_status(idx: u8) -> JobStatus {
@@ -95,5 +105,164 @@ proptest! {
         }
         let counts = bin_counts(&times, horizon, SimDuration::from_days(1));
         prop_assert_eq!(counts.iter().sum::<u64>() as usize, times.len());
+    }
+}
+
+fn arb_signal(idx: u8, code: u16) -> SignalKind {
+    const NAMED: [XidError; 6] = [
+        XidError::DoubleBitEcc,
+        XidError::RowRemapFailure,
+        XidError::NvlinkError,
+        XidError::FallenOffBus,
+        XidError::GspTimeout,
+        XidError::MemoryPageFault,
+    ];
+    match idx % 13 {
+        0 => SignalKind::Xid(NAMED[code as usize % NAMED.len()]),
+        1 => SignalKind::Xid(XidError::Other(code)),
+        2 => SignalKind::PcieError,
+        3 => SignalKind::IpmiCriticalInterrupt,
+        4 => SignalKind::IbLinkError,
+        5 => SignalKind::EthLinkError,
+        6 => SignalKind::FsMountMissing,
+        7 => SignalKind::MainMemoryError,
+        8 => SignalKind::ServiceFailure,
+        9 => SignalKind::BlockDeviceError,
+        10 => SignalKind::NodeUnresponsive,
+        11 => SignalKind::PowerFault,
+        _ => SignalKind::ThermalWarning,
+    }
+}
+
+prop_compose! {
+    fn arb_health()(
+        at in 0u64..10_000_000,
+        node in 0u32..4096,
+        check_idx in 0usize..CheckKind::ALL.len(),
+        high in any::<bool>(),
+        signal in prop::option::of((0u8..13, 0u16..200)),
+        false_positive in any::<bool>(),
+    ) -> HealthEvent {
+        HealthEvent {
+            at: SimTime::from_secs(at),
+            node: NodeId::new(node),
+            check: CheckKind::ALL[check_idx],
+            severity: if high { Severity::High } else { Severity::Low },
+            signal: signal.map(|(idx, code)| arb_signal(idx, code)),
+            false_positive,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_node_event()(
+        at in 0u64..10_000_000,
+        node in 0u32..4096,
+        kind_idx in 0u8..3,
+    ) -> NodeEvent {
+        NodeEvent {
+            node: NodeId::new(node),
+            at: SimTime::from_secs(at),
+            kind: match kind_idx {
+                0 => NodeEventKind::Drain,
+                1 => NodeEventKind::EnterRemediation,
+                _ => NodeEventKind::ExitRemediation,
+            },
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_exclusion()(
+        at in 0u64..10_000_000,
+        node in 0u32..4096,
+        job in 1u64..1_000_000,
+    ) -> ExclusionEvent {
+        ExclusionEvent {
+            node: NodeId::new(node),
+            job: JobId::new(job),
+            at: SimTime::from_secs(at),
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_failure()(
+        at in 0u64..10_000_000,
+        node in 0u32..4096,
+        mode in 0usize..40,
+        symptom_idx in 0usize..FailureSymptom::ALL.len(),
+        permanent in any::<bool>(),
+    ) -> FailureEvent {
+        FailureEvent {
+            at: SimTime::from_secs(at),
+            node: NodeId::new(node),
+            mode: ModeId(mode),
+            symptom: FailureSymptom::ALL[symptom_idx],
+            permanent,
+        }
+    }
+}
+
+proptest! {
+    /// Any telemetry content — all five streams plus the scalars —
+    /// survives a snapshot write/read roundtrip exactly, and the
+    /// serialization is canonical (write → read → write is byte-stable).
+    #[test]
+    fn snapshot_roundtrip_all_streams(
+        name in "[a-zA-Z0-9_/.-]{0,24}",
+        num_nodes in 1u32..5000,
+        horizon in 0u64..100_000_000,
+        gpu_swaps in 0u64..10_000,
+        jobs in prop::collection::vec(arb_record(), 0..20),
+        health in prop::collection::vec(arb_health(), 0..30),
+        node_events in prop::collection::vec(arb_node_event(), 0..20),
+        exclusions in prop::collection::vec(arb_exclusion(), 0..20),
+        failures in prop::collection::vec(arb_failure(), 0..20),
+    ) {
+        let mut store = TelemetryStore::new(&name, num_nodes);
+        store.extend_jobs(jobs);
+        for e in health { store.push_health_event(e); }
+        for e in node_events { store.push_node_event(e); }
+        for e in exclusions { store.push_exclusion(e); }
+        for e in failures { store.push_ground_truth(e); }
+        store.set_horizon(SimTime::from_secs(horizon));
+        store.set_gpu_swaps(gpu_swaps);
+        let view = store.seal();
+
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &view).expect("in-memory write");
+        let back = read_snapshot(bytes.as_slice()).expect("parse own output");
+
+        prop_assert_eq!(back.cluster_name(), view.cluster_name());
+        prop_assert_eq!(back.num_nodes(), view.num_nodes());
+        prop_assert_eq!(back.horizon(), view.horizon());
+        prop_assert_eq!(back.gpu_swaps(), view.gpu_swaps());
+        prop_assert_eq!(back.jobs(), view.jobs());
+        prop_assert_eq!(back.health_events(), view.health_events());
+        prop_assert_eq!(back.node_events(), view.node_events());
+        prop_assert_eq!(back.exclusions(), view.exclusions());
+        prop_assert_eq!(back.ground_truth_failures(), view.ground_truth_failures());
+
+        let mut again = Vec::new();
+        write_snapshot(&mut again, &back).expect("rewrite");
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// Arbitrary garbage — including mutated valid snapshots — must parse
+    /// to a clean error or a view, never panic.
+    #[test]
+    fn snapshot_reader_never_panics(
+        prefix_len in 0usize..400,
+        garbage in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut store = TelemetryStore::new("fuzz", 8);
+        store.set_horizon(SimTime::from_days(1));
+        let view = store.seal();
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &view).expect("in-memory write");
+        bytes.truncate(prefix_len.min(bytes.len()));
+        bytes.extend_from_slice(&garbage);
+        let _ = read_snapshot(bytes.as_slice());
     }
 }

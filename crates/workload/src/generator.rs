@@ -47,7 +47,8 @@ impl JobStream {
         let max_rate = base * (1.0 + amp);
         let mut t = from;
         loop {
-            let gap = SimDuration::from_secs_f64(rng.exponential(max_rate)).max(SimDuration::from_secs(1));
+            let gap = SimDuration::from_secs_f64(rng.exponential(max_rate))
+                .max(SimDuration::from_secs(1));
             t += gap;
             if amp == 0.0 {
                 return t;

@@ -138,13 +138,7 @@ impl WorkloadProfile {
         assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
         let mut out = self.clone();
         out.jobs_per_day *= factor;
-        let max_gpus = (self
-            .buckets
-            .iter()
-            .map(|b| b.gpus)
-            .max()
-            .unwrap_or(8) as f64
-            * factor)
+        let max_gpus = (self.buckets.iter().map(|b| b.gpus).max().unwrap_or(8) as f64 * factor)
             .max(8.0) as u32;
         // Drop buckets above the scaled cap, folding their job mass into
         // the largest surviving bucket so totals stay normalized.
@@ -330,7 +324,10 @@ mod tests {
 
     #[test]
     fn gpu_time_dominated_by_large_jobs() {
-        for (p, min_share) in [(WorkloadProfile::rsc1(), 0.60), (WorkloadProfile::rsc2(), 0.45)] {
+        for (p, min_share) in [
+            (WorkloadProfile::rsc1(), 0.60),
+            (WorkloadProfile::rsc2(), 0.45),
+        ] {
             let total: f64 = p
                 .buckets
                 .iter()
@@ -343,7 +340,11 @@ mod tests {
                 .map(|b| b.job_fraction * b.gpus as f64 * b.mean_duration_hours)
                 .sum();
             let share = large / total;
-            assert!(share > min_share && share < 0.80, "{}: 256+ share {share}", p.name);
+            assert!(
+                share > min_share && share < 0.80,
+                "{}: 256+ share {share}",
+                p.name
+            );
             let sub_node: f64 = p
                 .buckets
                 .iter()

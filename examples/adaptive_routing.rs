@@ -19,7 +19,12 @@ fn main() {
 
     let policies = [
         ("adaptive routing", RoutingPolicy::Adaptive),
-        ("static + SHIELD", RoutingPolicy::Static { shield_threshold: 0.95 }),
+        (
+            "static + SHIELD",
+            RoutingPolicy::Static {
+                shield_threshold: 0.95,
+            },
+        ),
     ];
 
     println!("healthy fabric:");

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example lemon_hunt`
 
-use rsc_reliability::analysis::lemon::{
-    compute_features, DetectionQuality, LemonDetector,
-};
+use rsc_reliability::analysis::lemon::{compute_features, DetectionQuality, LemonDetector};
 use rsc_reliability::sim::{ClusterSim, SimConfig};
 use rsc_reliability::simcore::time::{SimDuration, SimTime};
 
@@ -15,7 +13,10 @@ fn main() {
     config.lemon_count = 4;
     let mut sim = ClusterSim::new(config, 1234);
     let truth = sim.lemons().node_ids();
-    println!("planted {} lemons among 64 nodes (ground truth hidden from the detector)", truth.len());
+    println!(
+        "planted {} lemons among 64 nodes (ground truth hidden from the detector)",
+        truth.len()
+    );
     for lemon in sim.lemons().lemons() {
         println!(
             "  {} root cause: {}, +{:.2} failures/day",
@@ -24,7 +25,7 @@ fn main() {
     }
 
     sim.run(SimDuration::from_days(28));
-    let store = sim.into_telemetry();
+    let store = sim.into_telemetry().seal();
 
     let features = compute_features(&store, SimTime::ZERO, store.horizon());
     let detector = LemonDetector::rsc_default();
@@ -37,7 +38,11 @@ fn main() {
     for f in &features {
         let score = detector.score(f);
         if score >= 1 {
-            let marker = if truth.contains(&f.node) { " <- lemon" } else { "" };
+            let marker = if truth.contains(&f.node) {
+                " <- lemon"
+            } else {
+                ""
+            };
             println!(
                 "{:>8} {:>6} {:>5} {:>8} {:>10} {:>12} {:>12} {:>7}{marker}",
                 f.node.to_string(),

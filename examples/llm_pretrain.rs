@@ -14,10 +14,16 @@ fn main() {
     let gpus = 8_192u32;
     let nodes = gpus / 8;
     let r_f = 6.5e-3; // RSC-1's failures per node-day
-    println!("pretraining run: {gpus} GPUs ({nodes} nodes), r_f = {:.2}/1000 node-days", r_f * 1000.0);
+    println!(
+        "pretraining run: {gpus} GPUs ({nodes} nodes), r_f = {:.2}/1000 node-days",
+        r_f * 1000.0
+    );
     println!("MTTF for this run: {:.1} h\n", 24.0 / (nodes as f64 * r_f));
 
-    println!("{:>18} {:>12} {:>14}", "checkpoint every", "E[ETTR]", "monte carlo");
+    println!(
+        "{:>18} {:>12} {:>14}",
+        "checkpoint every", "E[ETTR]", "monte carlo"
+    );
     println!("{}", "-".repeat(48));
     let mut rng = SimRng::seed_from(7);
     for ckpt_mins in [120.0, 60.0, 30.0, 15.0, 5.0] {
@@ -33,7 +39,10 @@ fn main() {
         let mc = monte_carlo_ettr(&params, 2_000, &mut rng);
         println!(
             "{:>14} min {:>12.3} {:>10.3} ±{:.3}",
-            ckpt_mins, analytic, mc.mean, 1.645 * mc.std_error
+            ckpt_mins,
+            analytic,
+            mc.mean,
+            1.645 * mc.std_error
         );
     }
 
@@ -44,9 +53,7 @@ fn main() {
         ("2x better than RSC-2", 1.17e-3),
     ] {
         match max_coupled_interval_mins(gpus, rate, 0.9, 1.0, 14.0) {
-            Some(mins) => println!(
-                "  {label:<22} checkpoint (and restart) every {mins:.0} min"
-            ),
+            Some(mins) => println!("  {label:<22} checkpoint (and restart) every {mins:.0} min"),
             None => println!("  {label:<22} unreachable at any checkpoint cadence"),
         }
     }

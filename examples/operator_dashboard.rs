@@ -22,10 +22,17 @@ fn main() {
     let mut sim = ClusterSim::new(config, 2026);
     sim.run(SimDuration::from_days(30));
     let util = sim.mean_utilization();
-    let mut store = sim.into_telemetry();
+    let store = sim.into_telemetry().seal();
 
-    println!("=== cluster health report: {} (30 days) ===", store.cluster_name());
-    println!("jobs: {}   utilization: {:.1}%", store.jobs().len(), util * 100.0);
+    println!(
+        "=== cluster health report: {} (30 days) ===",
+        store.cluster_name()
+    );
+    println!(
+        "jobs: {}   utilization: {:.1}%",
+        store.jobs().len(),
+        util * 100.0
+    );
 
     // Goodput waterfall.
     let w = goodput_waterfall(
@@ -36,8 +43,13 @@ fn main() {
     );
     let (p, r, l, i) = w.fractions();
     println!("\n-- goodput waterfall (fraction of capacity) --");
-    println!("  productive {:.1}% | restart {:.2}% | replay {:.2}% | idle {:.1}%",
-        p * 100.0, r * 100.0, l * 100.0, i * 100.0);
+    println!(
+        "  productive {:.1}% | restart {:.2}% | replay {:.2}% | idle {:.1}%",
+        p * 100.0,
+        r * 100.0,
+        l * 100.0,
+        i * 100.0
+    );
 
     // Fleet availability.
     let fleet = fleet_availability(&store);
@@ -60,7 +72,7 @@ fn main() {
     }
 
     // Failure causes + process character.
-    let rates = cause_rates(&mut store, &AttributionConfig::paper_default());
+    let rates = cause_rates(&store, &AttributionConfig::paper_default());
     println!("\n-- top failure causes (per GPU-hour) --");
     for (cause, rate) in rates.rates.iter().take(4) {
         println!(
@@ -83,7 +95,7 @@ fn main() {
     }
 
     // Check calibration.
-    let calib = completed_jobs_seeing_checks(&mut store);
+    let calib = completed_jobs_seeing_checks(&store);
     println!("\n-- health-check calibration --");
     println!(
         "  {:.2}% of completed jobs saw a failed check (target: <1%)",

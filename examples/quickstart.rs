@@ -20,11 +20,14 @@ fn main() {
     let mut sim = ClusterSim::new(config, 42);
     sim.run(SimDuration::from_days(28));
     println!("mean utilization: {:.1}%", sim.mean_utilization() * 100.0);
-    let mut telemetry = sim.into_telemetry();
+    let telemetry = sim.into_telemetry().seal();
 
     println!("\njob records: {}", telemetry.jobs().len());
     println!("health events: {}", telemetry.health_events().len());
-    println!("injected failures (ground truth): {}", telemetry.ground_truth_failures().len());
+    println!(
+        "injected failures (ground truth): {}",
+        telemetry.ground_truth_failures().len()
+    );
 
     println!("\nscheduler status breakdown:");
     for share in status_breakdown(&telemetry) {
@@ -39,7 +42,7 @@ fn main() {
     }
 
     let attribution = AttributionConfig::paper_default();
-    let rates = cause_rates(&mut telemetry, &attribution);
+    let rates = cause_rates(&telemetry, &attribution);
     println!("\ntop attributed failure causes (per GPU-hour):");
     for (cause, rate) in rates.rates.iter().take(5) {
         let label = cause.map(|c| c.label()).unwrap_or("unattributed");
@@ -48,10 +51,13 @@ fn main() {
 
     // Small clusters see few large-job failures in a week; fall back to the
     // paper's published rate when the estimate is empty.
-    let r_f = estimate_node_failure_rate(&mut telemetry, &attribution, 8);
+    let r_f = estimate_node_failure_rate(&telemetry, &attribution, 8);
     let r_f = if r_f > 0.0 { r_f } else { 6.5e-3 };
     let projection = MttfProjection::new(r_f);
-    println!("\nnode failure rate: {:.2} per 1000 node-days", r_f * 1000.0);
+    println!(
+        "\nnode failure rate: {:.2} per 1000 node-days",
+        r_f * 1000.0
+    );
     println!("projected MTTF if this cluster ran one giant job:");
     for gpus in [512u32, 4096, 16_384] {
         println!("  {gpus:>6} GPUs -> {:>7.1} h", projection.mttf_hours(gpus));

@@ -16,16 +16,16 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use rsc_reliability::analysis::attribution::AttributionConfig;
+use rsc_reliability::analysis::cluster_goodput::goodput_waterfall;
 use rsc_reliability::analysis::ettr::analytical::{expected_ettr, EttrParams};
 use rsc_reliability::analysis::ettr::jobrun::{
     ettr_by_size_bucket, long_high_priority_runs, reconstruct_job_runs,
 };
 use rsc_reliability::analysis::ettr::montecarlo::monte_carlo_ettr;
-use rsc_reliability::analysis::cluster_goodput::goodput_waterfall;
 use rsc_reliability::analysis::goodput::goodput_loss;
-use rsc_reliability::analysis::queueing::{mean_wait_hours, wait_by_size_and_qos};
 use rsc_reliability::analysis::mttf::{mttf_by_job_size, FailureScope, MttfProjection};
-use rsc_reliability::analysis::attribution::AttributionConfig;
+use rsc_reliability::analysis::queueing::{mean_wait_hours, wait_by_size_and_qos};
 use rsc_reliability::analysis::report::{size_distribution, status_breakdown};
 use rsc_reliability::sim::{ClusterSim, SimConfig};
 use rsc_reliability::simcore::rng::SimRng;
@@ -91,14 +91,18 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn flag_u64(flags: &HashMap<String, String>, name: &str, default: u64) -> Result<u64, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects an integer, got {v:?}")),
     }
 }
 
 fn flag_f64(flags: &HashMap<String, String>, name: &str, default: f64) -> Result<f64, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} expects a number, got {v:?}")),
     }
 }
 
@@ -146,7 +150,9 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
-    let path = flags.get("trace").ok_or("analyze requires --trace <file>")?;
+    let path = flags
+        .get("trace")
+        .ok_or("analyze requires --trace <file>")?;
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let records = import_jobs(BufReader::new(file)).map_err(|e| e.to_string())?;
     if records.is_empty() {
@@ -161,6 +167,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     let horizon = records.iter().map(|r| r.ended_at).max().expect("non-empty");
     store.extend_jobs(records);
     store.set_horizon(horizon);
+    let store = store.seal();
 
     println!("== status breakdown ==");
     for s in status_breakdown(&store) {
@@ -186,7 +193,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
 
     println!("\n== MTTF by job size (all failure statuses) ==");
     let points = mttf_by_job_size(
-        &mut store,
+        &store,
         FailureScope::AllFailures,
         &AttributionConfig::paper_default(),
     );
@@ -202,7 +209,11 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("\n== job runs (ETTR at 60-min checkpoints, 5-min restarts) ==");
     let runs = reconstruct_job_runs(&store);
     let selected = long_high_priority_runs(&runs, SimDuration::from_hours(24));
-    println!("  {} runs total, {} long high-priority", runs.len(), selected.len());
+    println!(
+        "  {} runs total, {} long high-priority",
+        runs.len(),
+        selected.len()
+    );
     for b in ettr_by_size_bucket(
         &selected,
         SimDuration::from_mins(60),
@@ -214,7 +225,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
 
-    let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+    let loss = goodput_loss(&store, &AttributionConfig::paper_default());
     println!(
         "\n== goodput loss == {:.0} GPU-h from failures, {:.0} GPU-h from requeue preemptions ({:.1}% second-order)",
         loss.total_failure_loss,
@@ -237,7 +248,10 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         i * 100.0
     );
 
-    println!("\n== queue waits == mean {:.2} h overall", mean_wait_hours(&store));
+    println!(
+        "\n== queue waits == mean {:.2} h overall",
+        mean_wait_hours(&store)
+    );
     for b in wait_by_size_and_qos(&store) {
         if b.count >= 50 {
             println!(
@@ -263,7 +277,10 @@ fn cmd_project(flags: &HashMap<String, String>) -> Result<(), String> {
             .collect::<Result<_, _>>()?,
     };
     let proj = MttfProjection::new(rate);
-    println!("MTTF projections at {:.2} failures per 1000 node-days:", rate * 1000.0);
+    println!(
+        "MTTF projections at {:.2} failures per 1000 node-days:",
+        rate * 1000.0
+    );
     for g in gpus {
         let h = proj.mttf_hours(g);
         if h >= 1.0 {
@@ -292,9 +309,21 @@ fn cmd_ettr(flags: &HashMap<String, String>) -> Result<(), String> {
     let analytic = expected_ettr(&params);
     let mut rng = SimRng::seed_from(1);
     let mc = monte_carlo_ettr(&params, trials, &mut rng);
-    println!("job: {gpus} GPUs ({} nodes), MTTF {:.2} h", params.nodes, params.mttf_days() * 24.0);
-    println!("expected failures over the run: {:.2}", params.expected_failures());
+    println!(
+        "job: {gpus} GPUs ({} nodes), MTTF {:.2} h",
+        params.nodes,
+        params.mttf_days() * 24.0
+    );
+    println!(
+        "expected failures over the run: {:.2}",
+        params.expected_failures()
+    );
     println!("E[ETTR] analytic:     {analytic:.4}");
-    println!("E[ETTR] monte carlo:  {:.4} ± {:.4} ({} trials)", mc.mean, 1.645 * mc.std_error, trials);
+    println!(
+        "E[ETTR] monte carlo:  {:.4} ± {:.4} ({} trials)",
+        mc.mean,
+        1.645 * mc.std_error,
+        trials
+    );
     Ok(())
 }

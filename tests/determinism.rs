@@ -1,10 +1,14 @@
 //! Whole-system determinism: identical (config, seed) pairs must produce
 //! byte-identical telemetry across every stream — the property all
-//! reproducible experiments and A/B ablations rest on.
+//! reproducible experiments and A/B ablations rest on — and the scenario
+//! runner must preserve it whether scenarios execute sequentially, in
+//! parallel across worker threads, or load from the artifact cache.
 
-use rsc_reliability::sim::{ClusterSim, SimConfig};
+use rsc_reliability::sim::{ClusterSim, ScenarioRunner, ScenarioSpec, SimConfig};
 use rsc_reliability::simcore::time::SimDuration;
+use rsc_reliability::telemetry::snapshot::write_snapshot;
 use rsc_reliability::telemetry::trace::export_jobs;
+use rsc_reliability::telemetry::TelemetryView;
 
 fn run(seed: u64, lemons: usize) -> rsc_reliability::telemetry::TelemetryStore {
     let mut config = SimConfig::small_test_cluster();
@@ -12,6 +16,29 @@ fn run(seed: u64, lemons: usize) -> rsc_reliability::telemetry::TelemetryStore {
     let mut sim = ClusterSim::new(config, seed);
     sim.run(SimDuration::from_days(10));
     sim.into_telemetry()
+}
+
+fn spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(SimConfig::small_test_cluster(), seed, 5)
+}
+
+/// The canonical byte rendering of a sealed view: its snapshot.
+fn snapshot_bytes(view: &TelemetryView) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, view).unwrap();
+    buf
+}
+
+/// Asserts every stream and scalar agrees, then the bytes do too.
+fn assert_identical(a: &TelemetryView, b: &TelemetryView) {
+    assert_eq!(a.jobs(), b.jobs());
+    assert_eq!(a.health_events(), b.health_events());
+    assert_eq!(a.node_events(), b.node_events());
+    assert_eq!(a.exclusions(), b.exclusions());
+    assert_eq!(a.ground_truth_failures(), b.ground_truth_failures());
+    assert_eq!(a.gpu_swaps(), b.gpu_swaps());
+    assert_eq!(a.horizon(), b.horizon());
+    assert_eq!(snapshot_bytes(a), snapshot_bytes(b));
 }
 
 #[test]
@@ -35,6 +62,63 @@ fn all_streams_identical_across_runs() {
 }
 
 #[test]
+fn sealing_preserves_every_stream() {
+    let store = run(555, 1);
+    let (jobs, health, nodes, excl, truth, swaps, horizon) = (
+        store.jobs().to_vec(),
+        store.health_events().to_vec(),
+        store.node_events().to_vec(),
+        store.exclusions().to_vec(),
+        store.ground_truth_failures().to_vec(),
+        store.gpu_swaps(),
+        store.horizon(),
+    );
+    let view = store.seal();
+    assert_eq!(view.jobs(), &jobs[..]);
+    assert_eq!(view.health_events(), &health[..]);
+    assert_eq!(view.node_events(), &nodes[..]);
+    assert_eq!(view.exclusions(), &excl[..]);
+    assert_eq!(view.ground_truth_failures(), &truth[..]);
+    assert_eq!(view.gpu_swaps(), swaps);
+    assert_eq!(view.horizon(), horizon);
+}
+
+#[test]
+fn parallel_runner_matches_sequential_simulation() {
+    let specs = [spec(31), spec(32), spec(33)];
+    let parallel = ScenarioRunner::without_cache().workers(3).run_all(&specs);
+    for (s, view) in specs.iter().zip(&parallel) {
+        let sequential = s.simulate();
+        assert_identical(view, &sequential);
+    }
+}
+
+#[test]
+fn cache_hit_matches_sequential_simulation() {
+    let dir = std::env::temp_dir().join(format!("rsc-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(2);
+    let specs = [spec(41), spec(42)];
+
+    let (cold, s1) = runner.run_all_with_stats(&specs);
+    assert_eq!((s1.hits, s1.misses), (0, 2));
+    let (warm, s2) = runner.run_all_with_stats(&specs);
+    assert_eq!((s2.hits, s2.misses), (2, 0));
+
+    for ((s, cold_view), warm_view) in specs.iter().zip(&cold).zip(&warm) {
+        let sequential = s.simulate();
+        // Cold (simulated in a worker), warm (decoded from the artifact),
+        // and sequential all agree byte-for-byte.
+        assert_identical(cold_view, &sequential);
+        assert_identical(warm_view, &sequential);
+        // And the artifact on disk is exactly the snapshot serialization.
+        let on_disk = std::fs::read(dir.join(s.cache_file_name())).unwrap();
+        assert_eq!(on_disk, snapshot_bytes(&sequential));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn seed_isolation_between_subsystems() {
     // Changing the lemon count must not change the workload stream: the
     // first submitted jobs are identical even though lemon planting draws
@@ -45,10 +129,7 @@ fn seed_isolation_between_subsystems() {
     let first_b: Vec<_> = b.jobs().iter().map(|r| (r.job, r.gpus)).take(50).collect();
     // Job ids and sizes submitted early agree (the dynamics diverge later
     // as lemon failures reorder completions).
-    let agreement = first_a
-        .iter()
-        .filter(|x| first_b.contains(x))
-        .count();
+    let agreement = first_a.iter().filter(|x| first_b.contains(x)).count();
     assert!(agreement >= 45, "only {agreement}/50 early jobs agree");
 }
 

@@ -7,38 +7,36 @@ use rsc_reliability::analysis::attribution::{
 use rsc_reliability::analysis::ettr::jobrun::reconstruct_job_runs;
 use rsc_reliability::analysis::goodput::goodput_loss;
 use rsc_reliability::analysis::lemon::compute_features;
-use rsc_reliability::analysis::mttf::{
-    estimate_node_failure_rate, mttf_by_job_size, FailureScope,
-};
+use rsc_reliability::analysis::mttf::{estimate_node_failure_rate, mttf_by_job_size, FailureScope};
 use rsc_reliability::analysis::report::{size_distribution, status_breakdown};
 use rsc_reliability::sim::{ClusterSim, SimConfig};
 use rsc_reliability::simcore::time::{SimDuration, SimTime};
 
-fn telemetry(days: u64, seed: u64) -> rsc_reliability::telemetry::TelemetryStore {
+fn telemetry(days: u64, seed: u64) -> rsc_reliability::telemetry::TelemetryView {
     let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), seed);
     sim.run(SimDuration::from_days(days));
-    sim.into_telemetry()
+    sim.into_telemetry().seal()
 }
 
 #[test]
 fn attribution_pipeline_produces_causes() {
-    let mut store = telemetry(45, 101);
+    let store = telemetry(45, 101);
     let config = AttributionConfig::paper_default();
-    let attributions = attribute_failures(&mut store, &config);
+    let attributions = attribute_failures(&store, &config);
     assert!(!attributions.is_empty());
     let attributed = attributions.iter().filter(|a| a.is_attributed()).count();
     assert!(attributed > 0, "some failures should have causes");
     // Most FAILED records are pure user failures and stay unattributed.
     assert!(attributed < attributions.len());
-    let rates = cause_rates(&mut store, &config);
+    let rates = cause_rates(&store, &config);
     assert!(rates.total_gpu_hours > 0.0);
     assert!(!rates.rates.is_empty());
 }
 
 #[test]
 fn attribution_mostly_matches_ground_truth() {
-    let mut store = telemetry(60, 102);
-    let acc = attribution_accuracy(&mut store, &AttributionConfig::paper_default());
+    let store = telemetry(60, 102);
+    let acc = attribution_accuracy(&store, &AttributionConfig::paper_default());
     assert!(acc > 0.7, "attribution accuracy {acc} too low");
 }
 
@@ -46,16 +44,19 @@ fn attribution_mostly_matches_ground_truth() {
 fn infra_mttf_decreases_with_job_size() {
     // Infrastructure failures scale with node count (Fig. 7); user
     // failures do not, so the MTTF scaling claim is about infra only.
-    let mut store = telemetry(120, 103);
+    let store = telemetry(120, 103);
     let points = mttf_by_job_size(
-        &mut store,
+        &store,
         FailureScope::InfraOnly,
         &AttributionConfig::paper_default(),
     );
     assert!(points.len() >= 3);
     // Compare small vs large buckets that saw enough failures to estimate.
     let small = points.iter().find(|p| p.gpus <= 16 && p.failures >= 3);
-    let large = points.iter().rev().find(|p| p.gpus >= 64 && p.failures >= 3);
+    let large = points
+        .iter()
+        .rev()
+        .find(|p| p.gpus >= 64 && p.failures >= 3);
     if let (Some(s), Some(l)) = (small, large) {
         assert!(
             l.mttf_hours < s.mttf_hours,
@@ -69,9 +70,9 @@ fn infra_mttf_decreases_with_job_size() {
 
 #[test]
 fn failure_rate_estimate_is_plausible() {
-    let mut store = telemetry(60, 104);
+    let store = telemetry(60, 104);
     // Jobs > 8 GPUs (the small cluster's "large" jobs).
-    let r_f = estimate_node_failure_rate(&mut store, &AttributionConfig::paper_default(), 8);
+    let r_f = estimate_node_failure_rate(&store, &AttributionConfig::paper_default(), 8);
     // The injected total is 6.5e-3/node-day; the job-level estimate sees
     // the per-node rate amplified by gang scheduling (one node's failure
     // fails a multi-node job) so it can exceed the hardware rate.
@@ -93,8 +94,8 @@ fn job_runs_reconstruct_and_measure() {
 
 #[test]
 fn goodput_loss_accounts_both_orders() {
-    let mut store = telemetry(60, 106);
-    let loss = goodput_loss(&mut store, &AttributionConfig::paper_default());
+    let store = telemetry(60, 106);
+    let loss = goodput_loss(&store, &AttributionConfig::paper_default());
     assert!(loss.total_failure_loss > 0.0);
     let share = loss.preemption_share();
     assert!((0.0..1.0).contains(&share));
@@ -130,7 +131,8 @@ fn facade_reexports_are_wired() {
     let _ = rsc_reliability::cluster::ClusterSpec::rsc1();
     let _ = rsc_reliability::failure::ModeCatalog::rsc1();
     let _ = rsc_reliability::health::CheckRegistry::ideal();
-    let _ = rsc_reliability::network::Fabric::new(&rsc_reliability::cluster::ClusterSpec::small_test());
+    let _ =
+        rsc_reliability::network::Fabric::new(&rsc_reliability::cluster::ClusterSpec::small_test());
     let _ = rsc_reliability::workload::WorkloadProfile::rsc1();
     let _ = rsc_reliability::analysis::mttf::MttfProjection::new(1e-3);
 }

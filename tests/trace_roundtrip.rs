@@ -18,7 +18,7 @@ use rsc_reliability::telemetry::trace::{export_jobs, import_jobs};
 fn analyses_survive_trace_serialization() {
     let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 314);
     sim.run(SimDuration::from_days(14));
-    let original = sim.into_telemetry();
+    let original = sim.into_telemetry().seal();
 
     // Round-trip the job records through the CSV schema.
     let mut buf = Vec::new();
@@ -29,6 +29,7 @@ fn analyses_survive_trace_serialization() {
     let mut reloaded = TelemetryStore::new("reloaded", original.num_nodes());
     reloaded.extend_jobs(records);
     reloaded.set_horizon(original.horizon());
+    let reloaded = reloaded.seal();
 
     // Job-level analyses must agree exactly.
     let a = status_breakdown(&original);
