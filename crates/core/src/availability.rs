@@ -69,7 +69,18 @@ pub fn fleet_availability(view: &TelemetryView) -> FleetAvailability {
                     repair_times.push(d.as_hours());
                 }
             }
-            NodeEventKind::Drain => {}
+            // Drains and the fallible-remediation transitions (failed
+            // attempts, escalations, probation) all happen while the node's
+            // remediation interval is already open; quarantine simply never
+            // closes it, so the open interval is charged to the horizon
+            // below.
+            NodeEventKind::Drain
+            | NodeEventKind::RepairAttemptFailed
+            | NodeEventKind::RepairEscalated
+            | NodeEventKind::EnterProbation
+            | NodeEventKind::ProbationPassed
+            | NodeEventKind::ProbationFailed
+            | NodeEventKind::Quarantined => {}
         }
     }
     // Open intervals run to the horizon.

@@ -26,6 +26,9 @@ pub struct GoodputLossPoint {
     /// GPU-hours lost to second-order preemptions (victims of a failed
     /// job's requeue).
     pub preemption_loss_gpu_hours: f64,
+    /// GPU-hours of already-banked work discarded because checkpoints were
+    /// unreadable at restore time (fallible recovery, re-done work).
+    pub fallback_loss_gpu_hours: f64,
 }
 
 /// Full goodput-loss accounting for a telemetry store.
@@ -37,6 +40,8 @@ pub struct GoodputLoss {
     pub total_failure_loss: f64,
     /// Total second-order loss, GPU-hours.
     pub total_preemption_loss: f64,
+    /// Total checkpoint-fallback loss, GPU-hours.
+    pub total_fallback_loss: f64,
 }
 
 impl GoodputLoss {
@@ -87,6 +92,7 @@ pub fn goodput_loss(view: &TelemetryView, config: &AttributionConfig) -> Goodput
             gpus: b,
             failure_loss_gpu_hours: 0.0,
             preemption_loss_gpu_hours: 0.0,
+            fallback_loss_gpu_hours: 0.0,
         });
         e.failure_loss_gpu_hours += loss;
     }
@@ -96,17 +102,34 @@ pub fn goodput_loss(view: &TelemetryView, config: &AttributionConfig) -> Goodput
             gpus: b,
             failure_loss_gpu_hours: 0.0,
             preemption_loss_gpu_hours: 0.0,
+            fallback_loss_gpu_hours: 0.0,
         });
         e.preemption_loss_gpu_hours += loss;
+    }
+
+    // Third stream: work discarded when a restart's newest checkpoints
+    // were unreadable. Priced directly from the fallback events — the lost
+    // work was productive time already paid for once.
+    for e in view.ckpt_fallbacks() {
+        let b = bucket_of(e.gpus);
+        let point = buckets.entry(b).or_insert(GoodputLossPoint {
+            gpus: b,
+            failure_loss_gpu_hours: 0.0,
+            preemption_loss_gpu_hours: 0.0,
+            fallback_loss_gpu_hours: 0.0,
+        });
+        point.fallback_loss_gpu_hours += e.lost.as_hours() * e.gpus as f64;
     }
 
     let by_size: Vec<GoodputLossPoint> = buckets.into_values().collect();
     let total_failure_loss = by_size.iter().map(|p| p.failure_loss_gpu_hours).sum();
     let total_preemption_loss = by_size.iter().map(|p| p.preemption_loss_gpu_hours).sum();
+    let total_fallback_loss = by_size.iter().map(|p| p.fallback_loss_gpu_hours).sum();
     GoodputLoss {
         by_size,
         total_failure_loss,
         total_preemption_loss,
+        total_fallback_loss,
     }
 }
 
@@ -173,6 +196,27 @@ mod tests {
         let loss = goodput_loss(&store.seal(), &AttributionConfig::paper_default());
         assert!((loss.total_preemption_loss - 8.0).abs() < 1e-9); // 0.5h × 16
         assert!((loss.preemption_share() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_fallbacks_price_as_fallback_loss() {
+        use rsc_telemetry::store::CheckpointFallbackEvent;
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_ckpt_fallback(CheckpointFallbackEvent {
+            at: SimTime::from_hours(5),
+            job: JobId::new(1),
+            gpus: 128,
+            intervals: 2,
+            lost: SimDuration::from_hours(2),
+        });
+        let loss = goodput_loss(&store.seal(), &AttributionConfig::paper_default());
+        assert!((loss.total_fallback_loss - 256.0).abs() < 1e-9); // 2h × 128
+        assert_eq!(loss.by_size.len(), 1);
+        assert_eq!(loss.by_size[0].gpus, 128);
+        assert!((loss.by_size[0].fallback_loss_gpu_hours - 256.0).abs() < 1e-9);
+        // Fallback loss is its own stream: first/second-order stay zero.
+        assert_eq!(loss.total_failure_loss, 0.0);
+        assert_eq!(loss.total_preemption_loss, 0.0);
     }
 
     #[test]

@@ -102,7 +102,21 @@ pub fn compute_features(view: &TelemetryView, from: SimTime, to: SimTime) -> Vec
                 f.out_count += 1;
             }
             NodeEventKind::Drain => f.out_count += 1,
-            NodeEventKind::ExitRemediation => {}
+            // Fallible-remediation churn: every failed repair attempt and
+            // flunked probation files another ticket against the node, and
+            // quarantine is one final service removal — so budget-exhausted
+            // nodes light up the detector's ticket/out-count criteria.
+            NodeEventKind::RepairAttemptFailed | NodeEventKind::ProbationFailed => {
+                f.tickets += 1;
+            }
+            NodeEventKind::Quarantined => {
+                f.tickets += 1;
+                f.out_count += 1;
+            }
+            NodeEventKind::ExitRemediation
+            | NodeEventKind::RepairEscalated
+            | NodeEventKind::EnterProbation
+            | NodeEventKind::ProbationPassed => {}
         }
     }
 

@@ -29,11 +29,16 @@
 //! ```
 
 pub mod check;
+pub mod lifecycle;
 pub mod monitor;
 pub mod registry;
 pub mod remediation;
 
 pub use check::CheckKind;
+pub use lifecycle::{
+    AttemptOutcome, LifecycleState, NodeLifecycle, ProbationOutcome, ProbationPolicy,
+    RemediationPolicy, RepairRung, RungPolicy,
+};
 pub use monitor::{HealthEvent, HealthMonitor};
 pub use registry::{CheckConfig, CheckRegistry};
 pub use remediation::RepairPolicy;

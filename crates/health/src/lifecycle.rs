@@ -1,0 +1,624 @@
+//! Fallible node recovery: the remediation escalation ladder, probation
+//! gating, and quarantine.
+//!
+//! The paper's recovery story (§II-E) assumes repairs succeed; real repair
+//! shops work an *escalation ladder* — soft reset → reboot → firmware
+//! reflash / GPU swap → vendor ticket — where each rung succeeds only with
+//! some probability, retries back off, and a node that churns through its
+//! budget is written off (quarantined). A node that does come back first
+//! serves a probation window running health checks before re-admission;
+//! failing probation sends it back down the ladder.
+//!
+//! [`NodeLifecycle`] is the per-node state machine; [`RemediationPolicy`]
+//! parameterizes it. The driver in `rsc-sim` owns the clock and the event
+//! queue — this module only decides *what happens next*, so the machine is
+//! small enough to property-test exhaustively (no node is ever stuck,
+//! backoff is monotone, quarantine is absorbing).
+
+use serde::{Deserialize, Serialize};
+
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::SimDuration;
+
+/// One rung of the repair escalation ladder, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RepairRung {
+    /// Soft reset: driver reload / GPU reset, minutes.
+    SoftReset,
+    /// Full reboot and re-image, under an hour.
+    Reboot,
+    /// Firmware reflash or GPU swap by a datacenter tech, hours.
+    HardwareSwap,
+    /// Vendor RMA ticket, days.
+    VendorTicket,
+}
+
+impl RepairRung {
+    /// All rungs, cheapest first.
+    pub const ALL: [RepairRung; 4] = [
+        RepairRung::SoftReset,
+        RepairRung::Reboot,
+        RepairRung::HardwareSwap,
+        RepairRung::VendorTicket,
+    ];
+
+    /// The next (more drastic) rung, or `None` at the top of the ladder.
+    pub fn next(self) -> Option<RepairRung> {
+        match self {
+            RepairRung::SoftReset => Some(RepairRung::Reboot),
+            RepairRung::Reboot => Some(RepairRung::HardwareSwap),
+            RepairRung::HardwareSwap => Some(RepairRung::VendorTicket),
+            RepairRung::VendorTicket => None,
+        }
+    }
+
+    /// Index into per-rung policy tables.
+    pub fn index(self) -> usize {
+        match self {
+            RepairRung::SoftReset => 0,
+            RepairRung::Reboot => 1,
+            RepairRung::HardwareSwap => 2,
+            RepairRung::VendorTicket => 3,
+        }
+    }
+
+    /// Short stable label for reports and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairRung::SoftReset => "soft_reset",
+            RepairRung::Reboot => "reboot",
+            RepairRung::HardwareSwap => "hardware_swap",
+            RepairRung::VendorTicket => "vendor_ticket",
+        }
+    }
+}
+
+/// Per-rung repair behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RungPolicy {
+    /// Probability one attempt at this rung fixes the node.
+    pub success_prob: f64,
+    /// Median attempt duration (lognormal).
+    pub median: SimDuration,
+    /// Lognormal sigma for the attempt duration (0 = deterministic).
+    pub sigma: f64,
+    /// Attempts at this rung before escalating to the next.
+    pub max_attempts: u32,
+}
+
+/// Probation gating for nodes returning from repair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbationPolicy {
+    /// Whether returning nodes serve a probation window at all.
+    pub enabled: bool,
+    /// How long a returning node runs health checks before re-admission.
+    pub window: SimDuration,
+    /// Probability the probation health checks fail anyway (flaky return).
+    pub fail_prob: f64,
+}
+
+impl ProbationPolicy {
+    /// Probation turned off: repaired nodes re-admit immediately.
+    pub fn disabled() -> Self {
+        ProbationPolicy {
+            enabled: false,
+            window: SimDuration::ZERO,
+            fail_prob: 0.0,
+        }
+    }
+}
+
+/// Full policy for the fallible remediation lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemediationPolicy {
+    /// Ladder rung policies, indexed by [`RepairRung::index`].
+    pub rungs: [RungPolicy; 4],
+    /// Exponential backoff base applied per prior failed attempt (≥ 1).
+    pub backoff_base: f64,
+    /// Ceiling on the backoff multiplier. Without a cap, late attempts at
+    /// the vendor-ticket rung (days-long medians) would outlast any
+    /// realistic measurement horizon and the budget could never exhaust.
+    pub max_backoff: f64,
+    /// Total failed attempts (including failed probations) across the
+    /// whole ladder before the node is quarantined.
+    pub max_total_attempts: u32,
+    /// Probation gating for returning nodes.
+    pub probation: ProbationPolicy,
+}
+
+impl RemediationPolicy {
+    /// The legacy idealization: every repair succeeds on the first try and
+    /// returning nodes re-admit immediately. With this policy the driver
+    /// takes the exact pre-ladder code path, so simulated telemetry is
+    /// byte-identical to runs that predate the lifecycle machinery.
+    pub fn infallible() -> Self {
+        let sure = |median: SimDuration| RungPolicy {
+            success_prob: 1.0,
+            median,
+            sigma: 0.0,
+            max_attempts: 1,
+        };
+        RemediationPolicy {
+            rungs: [
+                sure(SimDuration::from_mins(15)),
+                sure(SimDuration::from_mins(45)),
+                sure(SimDuration::from_hours(8)),
+                sure(SimDuration::from_days(3)),
+            ],
+            backoff_base: 1.0,
+            max_backoff: 1.0,
+            max_total_attempts: u32::MAX,
+            probation: ProbationPolicy::disabled(),
+        }
+    }
+
+    /// The RSC-like fallible ladder: cheap rungs often fail (a soft reset
+    /// rarely fixes real hardware), drastic rungs usually work; two tries
+    /// per rung, 1.5× backoff capped at 4×, a budget of one full ladder
+    /// walk (9 attempts), and a 6-hour probation window that ~5% of
+    /// returning nodes flunk.
+    pub fn rsc_default() -> Self {
+        let rung = |p: f64, median: SimDuration, sigma: f64, tries: u32| RungPolicy {
+            success_prob: p,
+            median,
+            sigma,
+            max_attempts: tries,
+        };
+        RemediationPolicy {
+            rungs: [
+                rung(0.55, SimDuration::from_mins(15), 0.4, 2),
+                rung(0.65, SimDuration::from_mins(45), 0.5, 2),
+                rung(0.80, SimDuration::from_hours(8), 0.6, 2),
+                rung(0.90, SimDuration::from_days(3), 0.7, 3),
+            ],
+            backoff_base: 1.5,
+            max_backoff: 4.0,
+            max_total_attempts: 9,
+            probation: ProbationPolicy {
+                enabled: true,
+                window: SimDuration::from_hours(6),
+                fail_prob: 0.05,
+            },
+        }
+    }
+
+    /// A copy with every rung's failure probability forced to `p` (i.e.
+    /// success probability `1 - p`) — the single knob the
+    /// `ablation_remediation` sweep turns.
+    pub fn with_failure_prob(mut self, p: f64) -> Self {
+        let success = (1.0 - p).clamp(0.0, 1.0);
+        for rung in &mut self.rungs {
+            rung.success_prob = success;
+        }
+        self
+    }
+
+    /// Whether this policy is the legacy idealization: first attempts
+    /// always succeed and there is no probation. The driver uses this to
+    /// take the byte-identical pre-ladder path.
+    pub fn is_infallible(&self) -> bool {
+        self.rungs.iter().all(|r| r.success_prob >= 1.0) && !self.probation.enabled
+    }
+
+    /// The rung policy for a rung.
+    pub fn rung(&self, rung: RepairRung) -> &RungPolicy {
+        &self.rungs[rung.index()]
+    }
+}
+
+impl Default for RemediationPolicy {
+    fn default() -> Self {
+        RemediationPolicy::infallible()
+    }
+}
+
+/// Where a node currently is in its recovery lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleState {
+    /// Healthy and schedulable.
+    InService,
+    /// Out of service; a repair attempt at `rung` is underway.
+    InRepair {
+        /// Current ladder rung.
+        rung: RepairRung,
+        /// Failed attempts so far at this rung.
+        attempt_in_rung: u32,
+    },
+    /// Repair reported success; the node is running probation checks.
+    Probation {
+        /// The rung whose repair claimed success.
+        rung: RepairRung,
+    },
+    /// Written off after exhausting the attempt budget. Absorbing.
+    Quarantined,
+}
+
+/// What a resolved repair attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The rung fixed the node. `probation` says whether it must now serve
+    /// a probation window before re-admission.
+    Succeeded {
+        /// Rung that succeeded.
+        rung: RepairRung,
+        /// Whether probation gating applies.
+        probation: bool,
+    },
+    /// The attempt failed; the machine stays in repair.
+    Failed {
+        /// Rung that failed.
+        rung: RepairRung,
+        /// `Some(next)` when the failure exhausted the rung's attempts and
+        /// escalated the ladder.
+        escalated_to: Option<RepairRung>,
+    },
+    /// The failure exhausted the total budget: the node is quarantined.
+    Quarantined,
+}
+
+/// What resolving a probation window did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbationOutcome {
+    /// Checks stayed green: the node re-admits to service.
+    Passed,
+    /// Checks failed: back down the ladder (escalated past the rung that
+    /// claimed success).
+    Failed {
+        /// The rung the node re-enters repair at.
+        rung: RepairRung,
+    },
+    /// The failed probation exhausted the budget: quarantined.
+    Quarantined,
+}
+
+/// Per-node recovery state machine.
+///
+/// The driver owns time; this type only transitions on the driver's
+/// resolve calls and reports what to do next. All randomness comes in via
+/// the caller's [`SimRng`], keeping the machine deterministic and
+/// replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLifecycle {
+    state: LifecycleState,
+    /// Failed attempts (repairs + probations) since entering repair.
+    total_failures: u32,
+}
+
+impl NodeLifecycle {
+    /// Enters repair: transient-looking faults start at the bottom of the
+    /// ladder, known-permanent damage goes straight to the hardware rung.
+    pub fn begin(permanent: bool) -> Self {
+        let rung = if permanent {
+            RepairRung::HardwareSwap
+        } else {
+            RepairRung::SoftReset
+        };
+        NodeLifecycle {
+            state: LifecycleState::InRepair {
+                rung,
+                attempt_in_rung: 0,
+            },
+            total_failures: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LifecycleState {
+        self.state
+    }
+
+    /// Failed attempts so far (repairs plus flunked probations).
+    pub fn total_failures(&self) -> u32 {
+        self.total_failures
+    }
+
+    /// Whether the node has been written off.
+    pub fn is_quarantined(&self) -> bool {
+        self.state == LifecycleState::Quarantined
+    }
+
+    /// Backoff multiplier for the *pending* attempt:
+    /// `backoff_base ^ total_failures`, clamped to the policy's
+    /// `max_backoff` ceiling. Monotone non-decreasing over a node's
+    /// episode whenever `backoff_base ≥ 1` (clamping preserves
+    /// monotonicity).
+    pub fn backoff_multiplier(&self, policy: &RemediationPolicy) -> f64 {
+        policy
+            .backoff_base
+            .max(1.0)
+            .powi(self.total_failures as i32)
+            .min(policy.max_backoff.max(1.0))
+    }
+
+    /// Samples the duration of the pending repair attempt: the rung's
+    /// lognormal base duration scaled by the backoff multiplier. Returns
+    /// zero when not in repair (quarantined or in service — the driver
+    /// should not be scheduling attempts then).
+    pub fn attempt_duration(&self, policy: &RemediationPolicy, rng: &mut SimRng) -> SimDuration {
+        let LifecycleState::InRepair { rung, .. } = self.state else {
+            return SimDuration::ZERO;
+        };
+        let rp = policy.rung(rung);
+        let base = if rp.sigma == 0.0 {
+            rp.median
+        } else {
+            let secs = rng.lognormal((rp.median.as_secs().max(1) as f64).ln(), rp.sigma);
+            SimDuration::from_secs_f64(secs)
+        };
+        base.mul_f64(self.backoff_multiplier(policy))
+    }
+
+    /// Resolves the pending repair attempt: samples rung success and
+    /// advances the machine. On a quarantined machine this is a no-op
+    /// returning [`AttemptOutcome::Quarantined`] (quarantine is absorbing).
+    pub fn resolve_attempt(
+        &mut self,
+        policy: &RemediationPolicy,
+        rng: &mut SimRng,
+    ) -> AttemptOutcome {
+        let LifecycleState::InRepair {
+            rung,
+            attempt_in_rung,
+        } = self.state
+        else {
+            return match self.state {
+                LifecycleState::Quarantined => AttemptOutcome::Quarantined,
+                _ => AttemptOutcome::Succeeded {
+                    rung: RepairRung::SoftReset,
+                    probation: false,
+                },
+            };
+        };
+        if rng.chance(policy.rung(rung).success_prob) {
+            if policy.probation.enabled {
+                self.state = LifecycleState::Probation { rung };
+                AttemptOutcome::Succeeded {
+                    rung,
+                    probation: true,
+                }
+            } else {
+                self.state = LifecycleState::InService;
+                AttemptOutcome::Succeeded {
+                    rung,
+                    probation: false,
+                }
+            }
+        } else {
+            self.total_failures += 1;
+            if self.total_failures >= policy.max_total_attempts {
+                self.state = LifecycleState::Quarantined;
+                return AttemptOutcome::Quarantined;
+            }
+            let tries = attempt_in_rung + 1;
+            if tries >= policy.rung(rung).max_attempts {
+                // Exhausted this rung: escalate, or keep hammering the top
+                // rung until the budget quarantines the node.
+                match rung.next() {
+                    Some(next) => {
+                        self.state = LifecycleState::InRepair {
+                            rung: next,
+                            attempt_in_rung: 0,
+                        };
+                        AttemptOutcome::Failed {
+                            rung,
+                            escalated_to: Some(next),
+                        }
+                    }
+                    None => {
+                        self.state = LifecycleState::InRepair {
+                            rung,
+                            attempt_in_rung: tries,
+                        };
+                        AttemptOutcome::Failed {
+                            rung,
+                            escalated_to: None,
+                        }
+                    }
+                }
+            } else {
+                self.state = LifecycleState::InRepair {
+                    rung,
+                    attempt_in_rung: tries,
+                };
+                AttemptOutcome::Failed {
+                    rung,
+                    escalated_to: None,
+                }
+            }
+        }
+    }
+
+    /// Resolves the probation window: the node either re-admits or goes
+    /// back down the ladder (one rung past the repair that claimed
+    /// success — it evidently didn't hold). No-op on a quarantined node.
+    pub fn resolve_probation(
+        &mut self,
+        policy: &RemediationPolicy,
+        rng: &mut SimRng,
+    ) -> ProbationOutcome {
+        let LifecycleState::Probation { rung } = self.state else {
+            return match self.state {
+                LifecycleState::Quarantined => ProbationOutcome::Quarantined,
+                _ => ProbationOutcome::Passed,
+            };
+        };
+        if rng.chance(policy.probation.fail_prob) {
+            self.total_failures += 1;
+            if self.total_failures >= policy.max_total_attempts {
+                self.state = LifecycleState::Quarantined;
+                return ProbationOutcome::Quarantined;
+            }
+            let next = rung.next().unwrap_or(RepairRung::VendorTicket);
+            self.state = LifecycleState::InRepair {
+                rung: next,
+                attempt_in_rung: 0,
+            };
+            ProbationOutcome::Failed { rung: next }
+        } else {
+            self.state = LifecycleState::InService;
+            ProbationOutcome::Passed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infallible_policy_succeeds_first_try_without_probation() {
+        let policy = RemediationPolicy::infallible();
+        assert!(policy.is_infallible());
+        let mut rng = SimRng::seed_from(1);
+        let mut lc = NodeLifecycle::begin(false);
+        match lc.resolve_attempt(&policy, &mut rng) {
+            AttemptOutcome::Succeeded { probation, .. } => assert!(!probation),
+            other => panic!("expected success, got {other:?}"),
+        }
+        assert_eq!(lc.state(), LifecycleState::InService);
+    }
+
+    #[test]
+    fn rsc_default_is_fallible() {
+        assert!(!RemediationPolicy::rsc_default().is_infallible());
+        // Zero failure probability alone is not infallible while probation
+        // still gates re-admission.
+        let p = RemediationPolicy::rsc_default().with_failure_prob(0.0);
+        assert!(!p.is_infallible());
+        assert!(p.rungs.iter().all(|r| r.success_prob >= 1.0));
+    }
+
+    #[test]
+    fn permanent_faults_start_at_hardware_rung() {
+        let lc = NodeLifecycle::begin(true);
+        assert_eq!(
+            lc.state(),
+            LifecycleState::InRepair {
+                rung: RepairRung::HardwareSwap,
+                attempt_in_rung: 0
+            }
+        );
+    }
+
+    #[test]
+    fn failures_escalate_up_the_ladder() {
+        let policy = RemediationPolicy::rsc_default().with_failure_prob(1.0);
+        let mut rng = SimRng::seed_from(3);
+        let mut lc = NodeLifecycle::begin(false);
+        let mut seen = Vec::new();
+        loop {
+            match lc.resolve_attempt(&policy, &mut rng) {
+                AttemptOutcome::Failed {
+                    escalated_to: Some(next),
+                    ..
+                } => seen.push(next),
+                AttemptOutcome::Failed { .. } => {}
+                AttemptOutcome::Quarantined => break,
+                AttemptOutcome::Succeeded { .. } => panic!("cannot succeed at p=1"),
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                RepairRung::Reboot,
+                RepairRung::HardwareSwap,
+                RepairRung::VendorTicket
+            ]
+        );
+        assert!(lc.is_quarantined());
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines_and_is_absorbing() {
+        let mut policy = RemediationPolicy::rsc_default().with_failure_prob(1.0);
+        policy.max_total_attempts = 3;
+        let mut rng = SimRng::seed_from(4);
+        let mut lc = NodeLifecycle::begin(false);
+        for _ in 0..2 {
+            assert!(matches!(
+                lc.resolve_attempt(&policy, &mut rng),
+                AttemptOutcome::Failed { .. }
+            ));
+        }
+        assert_eq!(
+            lc.resolve_attempt(&policy, &mut rng),
+            AttemptOutcome::Quarantined
+        );
+        // Absorbing: further resolutions change nothing.
+        assert_eq!(
+            lc.resolve_attempt(&policy, &mut rng),
+            AttemptOutcome::Quarantined
+        );
+        assert_eq!(
+            lc.resolve_probation(&policy, &mut rng),
+            ProbationOutcome::Quarantined
+        );
+        assert!(lc.is_quarantined());
+    }
+
+    #[test]
+    fn probation_pass_readmits_fail_goes_back_down_ladder() {
+        let mut policy = RemediationPolicy::rsc_default().with_failure_prob(0.0);
+        let mut rng = SimRng::seed_from(5);
+
+        policy.probation.fail_prob = 0.0;
+        let mut lc = NodeLifecycle::begin(false);
+        assert!(matches!(
+            lc.resolve_attempt(&policy, &mut rng),
+            AttemptOutcome::Succeeded {
+                probation: true,
+                ..
+            }
+        ));
+        assert_eq!(
+            lc.resolve_probation(&policy, &mut rng),
+            ProbationOutcome::Passed
+        );
+        assert_eq!(lc.state(), LifecycleState::InService);
+
+        policy.probation.fail_prob = 1.0;
+        let mut lc = NodeLifecycle::begin(false);
+        lc.resolve_attempt(&policy, &mut rng);
+        match lc.resolve_probation(&policy, &mut rng) {
+            ProbationOutcome::Failed { rung } => assert_eq!(rung, RepairRung::Reboot),
+            other => panic!("expected probation failure, got {other:?}"),
+        }
+        assert!(matches!(
+            lc.state(),
+            LifecycleState::InRepair {
+                rung: RepairRung::Reboot,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn backoff_grows_with_failures() {
+        let policy = RemediationPolicy::rsc_default().with_failure_prob(1.0);
+        let mut rng = SimRng::seed_from(6);
+        let mut lc = NodeLifecycle::begin(false);
+        let mut last = 0.0f64;
+        while !lc.is_quarantined() {
+            let m = lc.backoff_multiplier(&policy);
+            assert!(m >= last, "backoff shrank: {m} < {last}");
+            last = m;
+            lc.resolve_attempt(&policy, &mut rng);
+        }
+        assert!(last > 1.0);
+    }
+
+    #[test]
+    fn attempt_durations_scale_with_backoff() {
+        let mut policy = RemediationPolicy::rsc_default().with_failure_prob(1.0);
+        for rung in &mut policy.rungs {
+            rung.sigma = 0.0; // deterministic durations isolate the backoff
+        }
+        let mut rng = SimRng::seed_from(7);
+        let mut lc = NodeLifecycle::begin(false);
+        let d0 = lc.attempt_duration(&policy, &mut rng);
+        assert_eq!(d0, policy.rung(RepairRung::SoftReset).median);
+        lc.resolve_attempt(&policy, &mut rng); // fail #1: same rung, backoff 1.5
+        let d1 = lc.attempt_duration(&policy, &mut rng);
+        assert_eq!(d1, policy.rung(RepairRung::SoftReset).median.mul_f64(1.5));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the remediation state machine's invariants.
+//!
+//! Three invariants must hold for any policy the config layer can express:
+//! no node is ever stuck (every lifecycle reaches `InService` or
+//! `Quarantined` within a bound derived from the retry budget), backoff is
+//! monotone non-decreasing across failed attempts, and quarantine is an
+//! absorbing state.
+
+use proptest::prelude::*;
+
+use rsc_health::lifecycle::{
+    AttemptOutcome, LifecycleState, NodeLifecycle, ProbationOutcome, ProbationPolicy,
+    RemediationPolicy,
+};
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::SimDuration;
+
+/// A policy with every knob driven from small integer inputs, so proptest
+/// explores the corners (0%, 100%) as well as the middle.
+fn policy_from(
+    success_pct: u32,
+    probation_fail_pct: u32,
+    probation_on: bool,
+    budget: u32,
+    backoff_centi: u32,
+) -> RemediationPolicy {
+    let mut policy = RemediationPolicy::rsc_default();
+    for rung in &mut policy.rungs {
+        rung.success_prob = success_pct as f64 / 100.0;
+        rung.sigma = 0.0;
+    }
+    policy.max_total_attempts = budget;
+    policy.backoff_base = backoff_centi as f64 / 100.0;
+    policy.probation = ProbationPolicy {
+        enabled: probation_on,
+        window: SimDuration::from_hours(6),
+        fail_prob: probation_fail_pct as f64 / 100.0,
+    };
+    policy
+}
+
+/// Drives one lifecycle to a terminal state, returning the number of
+/// resolution steps taken (or `None` if it never terminated).
+fn drive(
+    lc: &mut NodeLifecycle,
+    policy: &RemediationPolicy,
+    rng: &mut SimRng,
+    max_steps: u32,
+) -> Option<u32> {
+    for step in 0..max_steps {
+        match lc.state() {
+            LifecycleState::InService | LifecycleState::Quarantined => return Some(step),
+            LifecycleState::InRepair { .. } => {
+                lc.resolve_attempt(policy, rng);
+            }
+            LifecycleState::Probation { .. } => {
+                lc.resolve_probation(policy, rng);
+            }
+        }
+    }
+    matches!(
+        lc.state(),
+        LifecycleState::InService | LifecycleState::Quarantined
+    )
+    .then_some(max_steps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No node is ever stuck: whatever the rung probabilities, probation
+    /// policy, budget, and RNG stream, the machine reaches `InService` or
+    /// `Quarantined` within a step bound derived from the retry budget.
+    /// Every failed attempt and flunked probation consumes budget, and a
+    /// success inserts at most one probation step before re-admission, so
+    /// `2 × budget + 4` steps always suffice.
+    #[test]
+    fn lifecycle_always_terminates(
+        seed in 0u64..1_000_000,
+        success_pct in 0u32..=100,
+        probation_fail_pct in 0u32..=100,
+        probation_on in any::<bool>(),
+        permanent in any::<bool>(),
+        budget in 1u32..=24,
+        backoff_centi in 100u32..=300,
+    ) {
+        let policy = policy_from(
+            success_pct,
+            probation_fail_pct,
+            probation_on,
+            budget,
+            backoff_centi,
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let mut lc = NodeLifecycle::begin(permanent);
+        let bound = 2 * budget + 4;
+        let steps = drive(&mut lc, &policy, &mut rng, bound);
+        prop_assert!(
+            steps.is_some(),
+            "lifecycle stuck after {bound} steps in {:?}",
+            lc.state()
+        );
+        prop_assert!(matches!(
+            lc.state(),
+            LifecycleState::InService | LifecycleState::Quarantined
+        ));
+    }
+
+    /// Backoff is monotone: across consecutive failed attempts both the
+    /// backoff multiplier and the (sigma = 0) attempt duration never
+    /// decrease — retries always wait at least as long as the last try.
+    #[test]
+    fn backoff_is_monotone_nondecreasing(
+        seed in 0u64..1_000_000,
+        permanent in any::<bool>(),
+        budget in 2u32..=24,
+        backoff_centi in 100u32..=300,
+    ) {
+        // success 0%: every attempt fails, walking the whole ladder.
+        let policy = policy_from(0, 0, false, budget, backoff_centi);
+        let mut rng = SimRng::seed_from(seed);
+        let mut lc = NodeLifecycle::begin(permanent);
+        let mut last_multiplier = 0.0f64;
+        let mut last_duration = SimDuration::ZERO;
+        while matches!(lc.state(), LifecycleState::InRepair { .. }) {
+            let multiplier = lc.backoff_multiplier(&policy);
+            let duration = lc.attempt_duration(&policy, &mut rng);
+            prop_assert!(
+                multiplier >= last_multiplier,
+                "multiplier shrank: {last_multiplier} -> {multiplier}"
+            );
+            prop_assert!(
+                duration >= last_duration,
+                "duration shrank: {last_duration} -> {duration}"
+            );
+            last_multiplier = multiplier;
+            last_duration = duration;
+            lc.resolve_attempt(&policy, &mut rng);
+        }
+        // All-failing attempts must exhaust the budget into quarantine.
+        prop_assert_eq!(lc.state(), LifecycleState::Quarantined);
+    }
+
+    /// Quarantine is absorbing: once quarantined, no sequence of further
+    /// resolutions changes the state or the failure count, and both
+    /// resolvers report `Quarantined`.
+    #[test]
+    fn quarantine_is_absorbing(
+        seed in 0u64..1_000_000,
+        extra_steps in 1u32..16,
+        success_pct in 0u32..=100,
+    ) {
+        // Budget 1, success 0%: quarantined on the first failed attempt.
+        let quarantine_policy = policy_from(0, 0, false, 1, 150);
+        let mut rng = SimRng::seed_from(seed);
+        let mut lc = NodeLifecycle::begin(false);
+        lc.resolve_attempt(&quarantine_policy, &mut rng);
+        prop_assert!(lc.is_quarantined());
+        let failures = lc.total_failures();
+        // Even under a generous policy, the machine must not revive.
+        let lenient = policy_from(success_pct, 0, true, 24, 150);
+        for _ in 0..extra_steps {
+            let a = lc.resolve_attempt(&lenient, &mut rng);
+            prop_assert_eq!(a, AttemptOutcome::Quarantined);
+            let p = lc.resolve_probation(&lenient, &mut rng);
+            prop_assert_eq!(p, ProbationOutcome::Quarantined);
+            prop_assert!(lc.is_quarantined());
+            prop_assert_eq!(lc.total_failures(), failures);
+        }
+    }
+}

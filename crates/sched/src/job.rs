@@ -284,6 +284,21 @@ impl Job {
         let (destiny_work, _) = self.spec.destiny_work();
         self.checkpointed_work = (self.checkpointed_work + banked).min(destiny_work);
     }
+
+    /// Discards the newest `intervals` checkpoints (unreadable at restore
+    /// time), rolling banked progress back and returning the productive
+    /// work lost. Never rolls below zero; a zero checkpoint interval has
+    /// no discrete checkpoints to lose, so nothing is discarded.
+    pub fn discard_checkpoints(&mut self, intervals: u32) -> SimDuration {
+        let interval = self.spec.checkpoint_interval;
+        if interval.as_secs() == 0 || intervals == 0 {
+            return SimDuration::ZERO;
+        }
+        let requested = SimDuration::from_secs(interval.as_secs() * intervals as u64);
+        let lost = requested.min(self.checkpointed_work);
+        self.checkpointed_work = self.checkpointed_work.saturating_sub(lost);
+        lost
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +379,34 @@ mod tests {
         s.checkpoint_interval = SimDuration::ZERO;
         let mut j = Job::new(s);
         j.bank_progress(SimDuration::from_mins(90));
+        assert_eq!(j.checkpointed_work, SimDuration::from_mins(90));
+    }
+
+    #[test]
+    fn discard_checkpoints_rolls_back_whole_intervals() {
+        let mut j = Job::new(spec(8));
+        j.bank_progress(SimDuration::from_hours(5));
+        assert_eq!(j.discard_checkpoints(2), SimDuration::from_hours(2));
+        assert_eq!(j.checkpointed_work, SimDuration::from_hours(3));
+        assert_eq!(j.remaining_work(), SimDuration::from_hours(7));
+    }
+
+    #[test]
+    fn discard_checkpoints_clamps_at_zero() {
+        let mut j = Job::new(spec(8));
+        j.bank_progress(SimDuration::from_hours(1));
+        assert_eq!(j.discard_checkpoints(5), SimDuration::from_hours(1));
+        assert_eq!(j.checkpointed_work, SimDuration::ZERO);
+        assert_eq!(j.discard_checkpoints(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn discard_checkpoints_noop_for_continuous_checkpointing() {
+        let mut s = spec(8);
+        s.checkpoint_interval = SimDuration::ZERO;
+        let mut j = Job::new(s);
+        j.bank_progress(SimDuration::from_mins(90));
+        assert_eq!(j.discard_checkpoints(3), SimDuration::ZERO);
         assert_eq!(j.checkpointed_work, SimDuration::from_mins(90));
     }
 

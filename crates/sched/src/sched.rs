@@ -429,6 +429,21 @@ impl Scheduler {
         &self.node_jobs[node.as_usize()]
     }
 
+    /// Rolls a job's banked progress back by up to `intervals` checkpoints
+    /// (the newest checkpoints were unreadable at restore time). Returns
+    /// the lost work and the job's GPU count when anything was actually
+    /// discarded, `None` for unknown jobs or no-op rollbacks — so callers
+    /// only log fallback events that cost something.
+    pub fn rollback_checkpoints(
+        &mut self,
+        id: JobId,
+        intervals: u32,
+    ) -> Option<(SimDuration, u32)> {
+        let job = self.jobs.get_mut(&id)?;
+        let lost = job.discard_checkpoints(intervals);
+        (lost > SimDuration::ZERO).then_some((lost, job.spec.gpus))
+    }
+
     // ---- internals ----
 
     fn start_job(

@@ -5,11 +5,13 @@ use serde::{Deserialize, Serialize};
 use rsc_cluster::spec::ClusterSpec;
 use rsc_failure::cooccur::CooccurrenceProfile;
 use rsc_failure::modes::ModeCatalog;
+use rsc_health::lifecycle::RemediationPolicy;
 use rsc_health::registry::CheckRegistry;
 use rsc_health::remediation::RepairPolicy;
 use rsc_sched::project::ProjectQuotas;
 use rsc_sched::sched::SchedConfig;
 use rsc_sim_core::time::SimDuration;
+use rsc_storage::checkpoint::CheckpointFallbackPolicy;
 use rsc_workload::profile::WorkloadProfile;
 
 /// Which era storyline (paper Fig. 5) to overlay on the failure rates.
@@ -38,6 +40,14 @@ pub struct SimConfig {
     pub registry: CheckRegistry,
     /// Repair-duration model.
     pub repair: RepairPolicy,
+    /// Fallible-remediation lifecycle (escalation ladder, retry budgets,
+    /// probation). The default, [`RemediationPolicy::infallible`], keeps the
+    /// legacy always-succeeds repair path and its exact RNG stream.
+    pub remediation: RemediationPolicy,
+    /// Fallible checkpoint restores. The default,
+    /// [`CheckpointFallbackPolicy::disabled`], keeps restarts lossless
+    /// beyond the usual floor-to-checkpoint rule.
+    pub ckpt_fallback: CheckpointFallbackPolicy,
     /// Scheduler policy.
     pub sched: SchedConfig,
     /// Project GPU quotas (unlimited by default).
@@ -79,6 +89,8 @@ impl SimConfig {
             cooccurrence: CooccurrenceProfile::rsc1(),
             registry: CheckRegistry::rsc_default(),
             repair: RepairPolicy::rsc_default(),
+            remediation: RemediationPolicy::infallible(),
+            ckpt_fallback: CheckpointFallbackPolicy::disabled(),
             sched: SchedConfig::rsc_default(),
             quotas: ProjectQuotas::unlimited(),
             eras: EraPreset::Rsc1,
@@ -106,6 +118,8 @@ impl SimConfig {
             cooccurrence: CooccurrenceProfile::rsc2(),
             registry: CheckRegistry::rsc_default(),
             repair: RepairPolicy::rsc_default(),
+            remediation: RemediationPolicy::infallible(),
+            ckpt_fallback: CheckpointFallbackPolicy::disabled(),
             sched: SchedConfig::rsc_default(),
             quotas: ProjectQuotas::unlimited(),
             eras: EraPreset::Rsc2,
@@ -155,6 +169,8 @@ impl SimConfig {
             cooccurrence: CooccurrenceProfile::rsc1(),
             registry: CheckRegistry::rsc_default(),
             repair: RepairPolicy::rsc_default(),
+            remediation: RemediationPolicy::infallible(),
+            ckpt_fallback: CheckpointFallbackPolicy::disabled(),
             sched: SchedConfig::rsc_default(),
             quotas: ProjectQuotas::unlimited(),
             eras: EraPreset::None,

@@ -18,13 +18,16 @@ use rsc_failure::lemon::LemonPlan;
 use rsc_failure::modes::{ModeId, Severity};
 use rsc_failure::process::HazardSchedule;
 use rsc_failure::signals::SignalKind;
+use rsc_health::lifecycle::{AttemptOutcome, NodeLifecycle, ProbationOutcome};
 use rsc_health::monitor::HealthMonitor;
 use rsc_sched::job::{Destiny, JobStatus};
 use rsc_sched::sched::{InterruptCause, Scheduler, StartedAttempt};
 use rsc_sim_core::event::EventQueue;
 use rsc_sim_core::rng::SimRng;
 use rsc_sim_core::time::{SimDuration, SimTime};
-use rsc_telemetry::store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
+use rsc_telemetry::store::{
+    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore,
+};
 use rsc_workload::generator::JobStream;
 
 use crate::config::{EraPreset, SimConfig};
@@ -42,8 +45,12 @@ enum Ev {
     HwCrash { job: JobId, attempt: u32 },
     /// The scheduler heartbeat declares a hung node failed.
     HangDetected { node: NodeId },
-    /// A node repair completes.
+    /// A node repair completes (legacy infallible path).
     RepairDone { node: NodeId },
+    /// A fallible repair attempt on the escalation ladder resolves.
+    RepairAttempt { node: NodeId },
+    /// A returning node's probation window closes.
+    ProbationEnd { node: NodeId },
     /// Daily housekeeping: false-positive generation, utilization sampling.
     DailySweep,
 }
@@ -64,6 +71,9 @@ pub struct ClusterSim {
     broken: HashMap<NodeId, ModeId>,
     /// Nodes draining (leave service when their last job ends).
     draining: HashSet<NodeId>,
+    /// Per-node remediation state machines (fallible path only; empty when
+    /// the policy is infallible).
+    lifecycles: HashMap<NodeId, NodeLifecycle>,
     /// Utilization samples (fraction busy), taken daily.
     utilization_samples: Vec<f64>,
     now: SimTime,
@@ -127,6 +137,7 @@ impl ClusterSim {
             lemons,
             broken: HashMap::new(),
             draining: HashSet::new(),
+            lifecycles: HashMap::new(),
             utilization_samples: Vec::new(),
             now: SimTime::ZERO,
         }
@@ -250,16 +261,10 @@ impl ClusterSim {
                 }
             }
             Ev::RepairDone { node } => {
-                self.cluster.repair_node(node);
-                self.broken.remove(&node);
-                self.draining.remove(&node);
-                self.sched.set_node_available(node, true);
-                self.telemetry.push_node_event(NodeEvent {
-                    node,
-                    at: self.now,
-                    kind: NodeEventKind::ExitRemediation,
-                });
+                self.return_to_service(node);
             }
+            Ev::RepairAttempt { node } => self.handle_repair_attempt(node),
+            Ev::ProbationEnd { node } => self.handle_probation_end(node),
             Ev::DailySweep => {
                 let from = self.now - SimDuration::from_days(1);
                 let fps = self.monitor.false_positives_between(
@@ -448,9 +453,114 @@ impl ClusterSim {
                     self.cluster.node(node).component_health(k)
                         != rsc_cluster::component::ComponentHealth::Ok
                 }));
-        let dur = self.config.repair.sample(permanent, &mut self.rng);
-        self.events
-            .schedule(self.now + dur, Ev::RepairDone { node });
+        if self.config.remediation.is_infallible() {
+            // Legacy path: repairs always succeed after one sampled
+            // duration. Draws exactly the RNG stream pre-lifecycle builds
+            // drew, keeping disabled-path telemetry byte-identical.
+            let dur = self.config.repair.sample(permanent, &mut self.rng);
+            self.events
+                .schedule(self.now + dur, Ev::RepairDone { node });
+        } else {
+            let policy = self.config.remediation;
+            let lc = NodeLifecycle::begin(permanent);
+            let dur = lc.attempt_duration(&policy, &mut self.rng);
+            self.lifecycles.insert(node, lc);
+            self.events
+                .schedule(self.now + dur, Ev::RepairAttempt { node });
+        }
+    }
+
+    /// Returns a repaired node to service: the terminal success transition
+    /// of both the legacy and the fallible repair paths.
+    fn return_to_service(&mut self, node: NodeId) {
+        self.cluster.repair_node(node);
+        self.broken.remove(&node);
+        self.draining.remove(&node);
+        self.lifecycles.remove(&node);
+        self.sched.set_node_available(node, true);
+        self.telemetry.push_node_event(NodeEvent {
+            node,
+            at: self.now,
+            kind: NodeEventKind::ExitRemediation,
+        });
+    }
+
+    /// Emits a lifecycle transition for `node`.
+    fn push_lifecycle_event(&mut self, node: NodeId, kind: NodeEventKind) {
+        self.telemetry.push_node_event(NodeEvent {
+            node,
+            at: self.now,
+            kind,
+        });
+    }
+
+    /// Resolves one fallible repair attempt: succeed (into service or
+    /// probation), retry/escalate with backoff, or quarantine.
+    fn handle_repair_attempt(&mut self, node: NodeId) {
+        let policy = self.config.remediation;
+        let Some(mut lc) = self.lifecycles.get(&node).copied() else {
+            return;
+        };
+        match lc.resolve_attempt(&policy, &mut self.rng) {
+            AttemptOutcome::Succeeded {
+                probation: false, ..
+            } => {
+                self.return_to_service(node);
+            }
+            AttemptOutcome::Succeeded {
+                probation: true, ..
+            } => {
+                self.lifecycles.insert(node, lc);
+                self.push_lifecycle_event(node, NodeEventKind::EnterProbation);
+                self.events.schedule(
+                    self.now + policy.probation.window,
+                    Ev::ProbationEnd { node },
+                );
+            }
+            AttemptOutcome::Failed { escalated_to, .. } => {
+                self.push_lifecycle_event(node, NodeEventKind::RepairAttemptFailed);
+                if escalated_to.is_some() {
+                    self.push_lifecycle_event(node, NodeEventKind::RepairEscalated);
+                }
+                let dur = lc.attempt_duration(&policy, &mut self.rng);
+                self.lifecycles.insert(node, lc);
+                self.events
+                    .schedule(self.now + dur, Ev::RepairAttempt { node });
+            }
+            AttemptOutcome::Quarantined => {
+                self.lifecycles.insert(node, lc);
+                self.push_lifecycle_event(node, NodeEventKind::Quarantined);
+                // The node stays in `NodeState::Remediation` forever: its
+                // open remediation interval is charged to the horizon, and
+                // the Quarantined event feeds lemon detection.
+            }
+        }
+    }
+
+    /// Closes a node's probation window: re-admit, or back down the ladder.
+    fn handle_probation_end(&mut self, node: NodeId) {
+        let policy = self.config.remediation;
+        let Some(mut lc) = self.lifecycles.get(&node).copied() else {
+            return;
+        };
+        match lc.resolve_probation(&policy, &mut self.rng) {
+            ProbationOutcome::Passed => {
+                self.push_lifecycle_event(node, NodeEventKind::ProbationPassed);
+                self.return_to_service(node);
+            }
+            ProbationOutcome::Failed { .. } => {
+                self.push_lifecycle_event(node, NodeEventKind::ProbationFailed);
+                let dur = lc.attempt_duration(&policy, &mut self.rng);
+                self.lifecycles.insert(node, lc);
+                self.events
+                    .schedule(self.now + dur, Ev::RepairAttempt { node });
+            }
+            ProbationOutcome::Quarantined => {
+                self.lifecycles.insert(node, lc);
+                self.push_lifecycle_event(node, NodeEventKind::ProbationFailed);
+                self.push_lifecycle_event(node, NodeEventKind::Quarantined);
+            }
+        }
     }
 
     /// Re-raises a silently-broken node's signals, detecting and removing
@@ -563,7 +673,39 @@ impl ClusterSim {
                     },
                 );
             }
+            self.maybe_ckpt_fallback(&s);
             self.arm_job_end(&s);
+        }
+    }
+
+    /// At restart time, the newest checkpoints may be unreadable: roll the
+    /// job's banked progress back and log the lost work. Draws nothing when
+    /// the fallback policy is disabled (the default), so legacy runs keep
+    /// their exact RNG stream.
+    fn maybe_ckpt_fallback(&mut self, s: &StartedAttempt) {
+        let policy = self.config.ckpt_fallback;
+        if !policy.is_enabled() || s.attempt == 0 {
+            return;
+        }
+        let has_banked = self
+            .sched
+            .job(s.job)
+            .is_some_and(|j| j.checkpointed_work > SimDuration::ZERO);
+        if !has_banked {
+            return;
+        }
+        let intervals = policy.sample_fallback(&mut self.rng);
+        if intervals == 0 {
+            return;
+        }
+        if let Some((lost, gpus)) = self.sched.rollback_checkpoints(s.job, intervals) {
+            self.telemetry.push_ckpt_fallback(CheckpointFallbackEvent {
+                at: self.now,
+                job: s.job,
+                gpus,
+                intervals,
+                lost,
+            });
         }
     }
 

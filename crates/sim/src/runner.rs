@@ -99,7 +99,25 @@ pub struct CacheStats {
     /// Scenarios that had to simulate (and, with a cache dir, wrote an
     /// artifact afterwards).
     pub misses: usize,
+    /// Of the misses, how many found an artifact on disk that failed to
+    /// load (truncated, malformed, wrong version). These were re-simulated
+    /// and the artifact rewritten — but repeated corruption points at a
+    /// bad disk or a concurrent writer and deserves a look.
+    pub corrupt: usize,
 }
+
+/// How one scenario was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunOutcome {
+    Hit,
+    Miss,
+    /// An artifact existed but failed to load — re-simulated and rewritten.
+    CorruptMiss,
+}
+
+/// One worker slot's completed run: the sealed view plus how the cache
+/// satisfied it.
+type SlotResult = Mutex<Option<(Arc<TelemetryView>, RunOutcome)>>;
 
 /// Executes scenario specs across worker threads with an artifact cache.
 #[derive(Debug, Clone)]
@@ -150,23 +168,32 @@ impl ScenarioRunner {
 
     /// Runs one scenario, consulting the cache.
     pub fn run_one(&self, spec: &ScenarioSpec) -> Arc<TelemetryView> {
-        let (view, _hit) = self.run_one_tracked(spec);
+        let (view, outcome) = self.run_one_tracked(spec);
+        if outcome == RunOutcome::CorruptMiss {
+            eprintln!("warning: corrupt telemetry artifact re-simulated and rewritten");
+        }
         view
     }
 
-    fn run_one_tracked(&self, spec: &ScenarioSpec) -> (Arc<TelemetryView>, bool) {
+    fn run_one_tracked(&self, spec: &ScenarioSpec) -> (Arc<TelemetryView>, RunOutcome) {
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(spec.cache_file_name());
+            let existed = path.exists();
             if let Ok(view) = load_snapshot_file(&path) {
-                return (Arc::new(view), true);
+                return (Arc::new(view), RunOutcome::Hit);
             }
+            let outcome = if existed {
+                RunOutcome::CorruptMiss
+            } else {
+                RunOutcome::Miss
+            };
             let view = spec.simulate();
             // Best-effort: a failed write just means the next run
             // simulates again.
             let _ = write_artifact(&path, &view);
-            (Arc::new(view), false)
+            (Arc::new(view), outcome)
         } else {
-            (Arc::new(spec.simulate()), false)
+            (Arc::new(spec.simulate()), RunOutcome::Miss)
         }
     }
 
@@ -194,8 +221,7 @@ impl ScenarioRunner {
             });
         }
 
-        let results: Vec<Mutex<Option<(Arc<TelemetryView>, bool)>>> =
-            (0..unique.len()).map(|_| Mutex::new(None)).collect();
+        let results: Vec<SlotResult> = (0..unique.len()).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let threads = self.workers.min(unique.len()).max(1);
         std::thread::scope(|scope| {
@@ -215,18 +241,27 @@ impl ScenarioRunner {
         let done: Vec<Arc<TelemetryView>> = results
             .into_iter()
             .map(|m| {
-                let (view, hit) = m
+                let (view, outcome) = m
                     .into_inner()
                     .unwrap()
                     .expect("worker pool covered every slot");
-                if hit {
-                    stats.hits += 1;
-                } else {
-                    stats.misses += 1;
+                match outcome {
+                    RunOutcome::Hit => stats.hits += 1,
+                    RunOutcome::Miss => stats.misses += 1,
+                    RunOutcome::CorruptMiss => {
+                        stats.misses += 1;
+                        stats.corrupt += 1;
+                    }
                 }
                 view
             })
             .collect();
+        if stats.corrupt > 0 {
+            eprintln!(
+                "warning: {} corrupt telemetry artifact(s) re-simulated and rewritten",
+                stats.corrupt
+            );
+        }
         let views = specs
             .iter()
             .map(|spec| Arc::clone(&done[slot_of[&spec.fingerprint()]]))
@@ -335,10 +370,24 @@ mod tests {
         let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
         let (views, stats) = runner.run_all_with_stats(std::slice::from_ref(&spec));
         assert_eq!((stats.hits, stats.misses), (0, 1));
+        // The planted garbage was detected as corruption, not a plain miss.
+        assert_eq!(stats.corrupt, 1);
         assert_eq!(views[0].jobs(), spec.simulate().jobs());
         // The artifact was repaired in place.
         let (_, warm) = runner.run_all_with_stats(std::slice::from_ref(&spec));
         assert_eq!((warm.hits, warm.misses), (1, 0));
+        assert_eq!(warm.corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_miss_is_not_counted_corrupt() {
+        let dir = temp_cache("fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
+        let spec = tiny_spec(19);
+        let (_, cold) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+        assert_eq!((cold.hits, cold.misses, cold.corrupt), (0, 1, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,172 @@
+//! End-to-end tests of the fallible-remediation lifecycle through the
+//! driver: the disabled path stays on the v1 telemetry surface, the
+//! fallible path degrades availability monotonically in repair-failure
+//! probability, quarantined nodes feed lemon detection, and fallible
+//! telemetry round-trips through the v2 snapshot codec.
+
+use rsc_core::availability::fleet_availability;
+use rsc_core::lemon::compute_features;
+use rsc_health::lifecycle::RemediationPolicy;
+use rsc_sim::config::SimConfig;
+use rsc_sim::driver::ClusterSim;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_storage::checkpoint::CheckpointFallbackPolicy;
+use rsc_telemetry::snapshot::{read_snapshot, write_snapshot};
+use rsc_telemetry::store::NodeEventKind;
+use rsc_telemetry::view::TelemetryView;
+
+fn run(config: SimConfig, days: u64, seed: u64) -> TelemetryView {
+    let mut sim = ClusterSim::new(config, seed);
+    sim.run(SimDuration::from_days(days));
+    sim.into_telemetry().seal()
+}
+
+fn fallible(p: f64) -> SimConfig {
+    let mut config = SimConfig::small_test_cluster();
+    config.remediation = RemediationPolicy::rsc_default().with_failure_prob(p);
+    config.ckpt_fallback = CheckpointFallbackPolicy::rsc_default();
+    config
+}
+
+/// With the default (infallible) policy the simulation must stay on the v1
+/// telemetry surface: no lifecycle event kinds, no checkpoint fallbacks,
+/// and a snapshot that still carries the v1 magic — so disabled-path
+/// artifacts are byte-compatible with pre-lifecycle builds.
+#[test]
+fn default_config_stays_on_v1_surface() {
+    let config = SimConfig::small_test_cluster();
+    assert!(config.remediation.is_infallible());
+    assert!(!config.ckpt_fallback.is_enabled());
+    let view = run(config, 5, 42);
+    assert!(view.node_events().iter().all(|e| e.kind.is_v1()));
+    assert!(view.ckpt_fallbacks().is_empty());
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &view).expect("snapshot writes");
+    let text = String::from_utf8(bytes).expect("snapshot is utf-8");
+    assert!(
+        text.starts_with("rsc-telemetry-snapshot v1"),
+        "disabled-path snapshot must keep the v1 magic"
+    );
+}
+
+/// The fallible path and the legacy path are the same simulation when the
+/// policy is infallible: flipping only the probation/success knobs changes
+/// telemetry, but `infallible()` must reproduce the default run exactly.
+#[test]
+fn explicit_infallible_policy_is_byte_identical_to_default() {
+    let mut explicit = SimConfig::small_test_cluster();
+    explicit.remediation = RemediationPolicy::infallible();
+    explicit.ckpt_fallback = CheckpointFallbackPolicy::disabled();
+    let a = run(SimConfig::small_test_cluster(), 5, 42);
+    let b = run(explicit, 5, 42);
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    write_snapshot(&mut bytes_a, &a).expect("snapshot writes");
+    write_snapshot(&mut bytes_b, &b).expect("snapshot writes");
+    assert_eq!(bytes_a, bytes_b);
+}
+
+/// Availability falls as repairs get less likely to work: every failed
+/// attempt stretches the node's remediation interval by backoff and
+/// escalation. Averaged over seeds to keep the comparison about the
+/// policy, not one RNG trajectory.
+#[test]
+fn availability_falls_with_repair_failure_probability() {
+    let seeds = [11u64, 12, 13];
+    let mean_availability = |p: f64| {
+        let total: f64 = seeds
+            .iter()
+            .map(|&s| fleet_availability(&run(fallible(p), 10, s)).fleet_availability)
+            .sum();
+        total / seeds.len() as f64
+    };
+    let lo = mean_availability(0.0);
+    let mid = mean_availability(0.5);
+    let hi = mean_availability(0.9);
+    assert!(
+        lo > mid && mid > hi,
+        "availability must fall in p: {lo:.5} / {mid:.5} / {hi:.5}"
+    );
+}
+
+/// A harsh policy (tiny budget, near-certain attempt failure) quarantines
+/// nodes, and every quarantined node surfaces in the lemon detector's
+/// input features with ticket churn and an out-count.
+#[test]
+fn quarantined_nodes_feed_lemon_features() {
+    let mut config = fallible(0.95);
+    config.remediation.max_total_attempts = 3;
+    let view = run(config, 10, 7);
+    let quarantined: Vec<_> = view
+        .node_events()
+        .iter()
+        .filter(|e| e.kind == NodeEventKind::Quarantined)
+        .map(|e| e.node)
+        .collect();
+    assert!(
+        !quarantined.is_empty(),
+        "a 3-attempt budget at p=0.95 must quarantine nodes"
+    );
+    let features = compute_features(&view, SimTime::ZERO, view.horizon());
+    for node in &quarantined {
+        let f = features
+            .iter()
+            .find(|f| f.node == *node)
+            .expect("quarantined node present in lemon features");
+        assert!(f.tickets > 0, "quarantine must count as ticket churn");
+        assert!(f.out_count > 0, "quarantined node was taken out of service");
+    }
+}
+
+/// Fallible-path telemetry (lifecycle events + checkpoint fallbacks)
+/// round-trips bit-exactly through the v2 snapshot codec.
+#[test]
+fn fallible_telemetry_round_trips_through_snapshot() {
+    let mut config = fallible(0.6);
+    // Corrupt checkpoints aggressively so the short window is guaranteed
+    // to exercise the fallback section of the codec.
+    config.ckpt_fallback.corrupt_prob = 0.5;
+    let view = run(config, 10, 21);
+    assert!(
+        view.node_events().iter().any(|e| !e.kind.is_v1()),
+        "fallible run should emit lifecycle events"
+    );
+    assert!(
+        !view.ckpt_fallbacks().is_empty(),
+        "fallible run should emit checkpoint fallbacks"
+    );
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &view).expect("snapshot writes");
+    let text = String::from_utf8(bytes.clone()).expect("snapshot is utf-8");
+    assert!(text.starts_with("rsc-telemetry-snapshot v2"));
+    let restored = read_snapshot(&bytes[..]).expect("snapshot reads back");
+    let mut bytes2 = Vec::new();
+    write_snapshot(&mut bytes2, &restored).expect("snapshot rewrites");
+    assert_eq!(bytes, bytes2);
+}
+
+/// Quarantine is terminal in the driver too: a quarantined node never
+/// re-enters service, so its remediation interval stays open and there is
+/// no ExitRemediation after the Quarantined event.
+#[test]
+fn quarantine_is_terminal_in_the_driver() {
+    let mut config = fallible(0.95);
+    config.remediation.max_total_attempts = 3;
+    let view = run(config, 10, 7);
+    let mut quarantined_at: std::collections::HashMap<_, SimTime> = Default::default();
+    for e in view.node_events() {
+        if e.kind == NodeEventKind::Quarantined {
+            quarantined_at.entry(e.node).or_insert(e.at);
+        }
+    }
+    assert!(!quarantined_at.is_empty());
+    for e in view.node_events() {
+        if let Some(at) = quarantined_at.get(&e.node) {
+            assert!(
+                e.at <= *at || e.kind != NodeEventKind::ExitRemediation,
+                "node {:?} exited remediation after quarantine",
+                e.node
+            );
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use rsc_sim_core::rng::SimRng;
 use rsc_sim_core::time::SimDuration;
 
 use crate::tier::TierSpec;
@@ -102,6 +103,65 @@ impl CheckpointSpec {
     }
 }
 
+/// Fallible checkpoint reads at restart time.
+///
+/// The paper's ETTR model assumes the newest checkpoint always restores; in
+/// practice restores fail — partial writes racing a crash, silent object
+/// corruption, metadata loss — and the attempt falls back to an older
+/// checkpoint, re-doing the work in between. Each checkpoint is tried
+/// newest-first; every unreadable one costs one more interval of lost work,
+/// up to [`max_fallback`](Self::max_fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointFallbackPolicy {
+    /// Probability an individual checkpoint is unreadable at restore time.
+    pub corrupt_prob: f64,
+    /// Most intervals a single restart may fall back (the retention floor:
+    /// older checkpoints are assumed readable from cold storage).
+    pub max_fallback: u32,
+}
+
+impl CheckpointFallbackPolicy {
+    /// Checkpoints never fail to restore — the pre-fallible behaviour.
+    /// Samples draw nothing from the RNG, keeping legacy runs
+    /// byte-identical.
+    pub fn disabled() -> Self {
+        CheckpointFallbackPolicy {
+            corrupt_prob: 0.0,
+            max_fallback: 0,
+        }
+    }
+
+    /// The fallible default used by the remediation ablation: a 2% per-
+    /// checkpoint restore failure rate with at most 3 intervals of fallback.
+    pub fn rsc_default() -> Self {
+        CheckpointFallbackPolicy {
+            corrupt_prob: 0.02,
+            max_fallback: 3,
+        }
+    }
+
+    /// Whether restores can fail at all under this policy.
+    pub fn is_enabled(&self) -> bool {
+        self.corrupt_prob > 0.0 && self.max_fallback > 0
+    }
+
+    /// Samples how many checkpoint intervals a restart falls back: tries
+    /// checkpoints newest-first, each unreadable with
+    /// [`corrupt_prob`](Self::corrupt_prob), stopping at the first readable
+    /// one or at the [`max_fallback`](Self::max_fallback) floor. Draws
+    /// nothing when disabled.
+    pub fn sample_fallback(&self, rng: &mut SimRng) -> u32 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut intervals = 0;
+        while intervals < self.max_fallback && rng.chance(self.corrupt_prob) {
+            intervals += 1;
+        }
+        intervals
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +220,45 @@ mod tests {
         // One hundred such jobs demand 100 × 1120 GB / 120 s ≈ 933 GB/s —
         // far beyond the NFS tier's 200 GB/s aggregate.
         assert!(spec.fleet_demand_gbps(100) > nfs.aggregate_write_gbps);
+    }
+
+    #[test]
+    fn disabled_fallback_never_draws() {
+        let policy = CheckpointFallbackPolicy::disabled();
+        let mut a = SimRng::seed_from(99);
+        let mut b = SimRng::seed_from(99);
+        for _ in 0..10 {
+            assert_eq!(policy.sample_fallback(&mut a), 0);
+        }
+        // Same stream position as a never-sampled twin: no draws happened.
+        assert_eq!(a.below(1 << 30), b.below(1 << 30));
+    }
+
+    #[test]
+    fn fallback_capped_at_max() {
+        let policy = CheckpointFallbackPolicy {
+            corrupt_prob: 1.0,
+            max_fallback: 3,
+        };
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..5 {
+            assert_eq!(policy.sample_fallback(&mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn fallback_rate_tracks_corrupt_prob() {
+        let policy = CheckpointFallbackPolicy {
+            corrupt_prob: 0.5,
+            max_fallback: 8,
+        };
+        let mut rng = SimRng::seed_from(42);
+        let n = 4000;
+        let nonzero = (0..n)
+            .filter(|_| policy.sample_fallback(&mut rng) > 0)
+            .count();
+        let rate = nonzero as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
     }
 
     #[test]

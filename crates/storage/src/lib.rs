@@ -27,6 +27,6 @@ pub mod checkpoint;
 pub mod requirements;
 pub mod tier;
 
-pub use checkpoint::{CheckpointSpec, WriteMode};
+pub use checkpoint::{CheckpointFallbackPolicy, CheckpointSpec, WriteMode};
 pub use requirements::{cadence_cost, ettr_with_stalls, writers_needed, CadenceCost};
 pub use tier::{StorageTier, TierSpec};

@@ -39,5 +39,7 @@ pub mod store;
 pub mod trace;
 pub mod view;
 
-pub use store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
+pub use store::{
+    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore,
+};
 pub use view::TelemetryView;

@@ -23,6 +23,16 @@
 //! failures <count>      — at,node,mode,symptom,permanent
 //! end
 //! ```
+//!
+//! Version 2 extends version 1 with the fallible-remediation vocabulary:
+//! the `node_events` section admits the lifecycle kinds
+//! (`repair_attempt_failed`, `repair_escalated`, `enter_probation`,
+//! `probation_passed`, `probation_failed`, `quarantined`) and a
+//! `ckpt_fallbacks <count>` section (rows `at,job,gpus,intervals,lost`)
+//! sits between `failures` and `end`. The writer emits version 1 whenever
+//! a view contains no version-2 content, so runs with the fallible path
+//! disabled stay byte-identical to pre-v2 snapshots; the reader decodes
+//! both versions (a v1 header with v2 content is rejected).
 
 use std::fmt;
 use std::fs;
@@ -37,18 +47,21 @@ use rsc_failure::signals::SignalKind;
 use rsc_failure::taxonomy::FailureSymptom;
 use rsc_health::check::CheckKind;
 use rsc_health::monitor::HealthEvent;
-use rsc_sim_core::time::SimTime;
+use rsc_sim_core::time::{SimDuration, SimTime};
 
-use crate::store::{ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore};
+use crate::store::{
+    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore,
+};
 use crate::trace::{format_job_row, parse_job_row};
 use crate::view::TelemetryView;
 
-/// Format version written by [`write_snapshot`]; bumped on any change to
-/// the encoding. Participates in the scenario-cache fingerprint so stale
-/// artifacts are never loaded by a newer binary.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Highest format version [`write_snapshot`] emits; bumped on any change
+/// to the encoding. Participates in the scenario-cache fingerprint so
+/// stale artifacts are never loaded by a newer binary.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
-const MAGIC: &str = "rsc-telemetry-snapshot v1";
+const MAGIC_V1: &str = "rsc-telemetry-snapshot v1";
+const MAGIC_V2: &str = "rsc-telemetry-snapshot v2";
 
 /// Error from loading a snapshot.
 #[derive(Debug)]
@@ -158,19 +171,40 @@ fn node_event_kind_label(k: NodeEventKind) -> &'static str {
         NodeEventKind::Drain => "drain",
         NodeEventKind::EnterRemediation => "enter_remediation",
         NodeEventKind::ExitRemediation => "exit_remediation",
+        NodeEventKind::RepairAttemptFailed => "repair_attempt_failed",
+        NodeEventKind::RepairEscalated => "repair_escalated",
+        NodeEventKind::EnterProbation => "enter_probation",
+        NodeEventKind::ProbationPassed => "probation_passed",
+        NodeEventKind::ProbationFailed => "probation_failed",
+        NodeEventKind::Quarantined => "quarantined",
     }
 }
 
-fn parse_node_event_kind(s: &str) -> Option<NodeEventKind> {
+/// Version-gated kind parser: the v1 vocabulary rejects lifecycle kinds.
+fn parse_node_event_kind(s: &str, version: u32) -> Option<NodeEventKind> {
     match s {
         "drain" => Some(NodeEventKind::Drain),
         "enter_remediation" => Some(NodeEventKind::EnterRemediation),
         "exit_remediation" => Some(NodeEventKind::ExitRemediation),
+        _ if version < 2 => None,
+        "repair_attempt_failed" => Some(NodeEventKind::RepairAttemptFailed),
+        "repair_escalated" => Some(NodeEventKind::RepairEscalated),
+        "enter_probation" => Some(NodeEventKind::EnterProbation),
+        "probation_passed" => Some(NodeEventKind::ProbationPassed),
+        "probation_failed" => Some(NodeEventKind::ProbationFailed),
+        "quarantined" => Some(NodeEventKind::Quarantined),
         _ => None,
     }
 }
 
-/// Writes a sealed view as a version-1 snapshot.
+/// Whether a view holds anything outside the version-1 vocabulary.
+fn has_v2_content(view: &TelemetryView) -> bool {
+    !view.ckpt_fallbacks().is_empty() || view.node_events().iter().any(|e| !e.kind.is_v1())
+}
+
+/// Writes a sealed view as a snapshot: version 1 when the view has no
+/// version-2 content (keeping legacy runs byte-identical), version 2
+/// otherwise.
 ///
 /// # Errors
 ///
@@ -183,7 +217,8 @@ pub fn write_snapshot<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<(
             "cluster name contains a newline",
         ));
     }
-    writeln!(w, "{MAGIC}")?;
+    let v2 = has_v2_content(view);
+    writeln!(w, "{}", if v2 { MAGIC_V2 } else { MAGIC_V1 })?;
     writeln!(w, "cluster {}", view.cluster_name())?;
     writeln!(w, "nodes {}", view.num_nodes())?;
     writeln!(w, "horizon {}", view.horizon().as_secs())?;
@@ -235,6 +270,21 @@ pub fn write_snapshot<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<(
             e.symptom.label(),
             u8::from(e.permanent),
         )?;
+    }
+
+    if v2 {
+        writeln!(w, "ckpt_fallbacks {}", view.ckpt_fallbacks().len())?;
+        for e in view.ckpt_fallbacks() {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                e.at.as_secs(),
+                e.job.raw(),
+                e.gpus,
+                e.intervals,
+                e.lost.as_secs(),
+            )?;
+        }
     }
 
     writeln!(w, "end")?;
@@ -294,13 +344,14 @@ fn parse_u64_field<R: BufRead>(
         .map_err(|_| lines.err(format!("bad {what}: {s:?}")))
 }
 
-/// Reads a version-1 snapshot into a sealed view.
+/// Reads a version-1 or version-2 snapshot into a sealed view.
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Parse`] with the 1-based line number on any
 /// malformed or truncated input — never panics — and
-/// [`SnapshotError::Io`] if the reader fails.
+/// [`SnapshotError::Io`] if the reader fails. Unknown versions and v2
+/// vocabulary inside a v1 snapshot are rejected.
 pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     let mut lines = Lines {
         inner: r.lines(),
@@ -308,9 +359,15 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     };
 
     let magic = lines.next_line()?;
-    if magic != MAGIC {
-        return Err(lines.err(format!("bad header: {magic:?} (expected {MAGIC:?})")));
-    }
+    let version = match magic.as_str() {
+        m if m == MAGIC_V1 => 1,
+        m if m == MAGIC_V2 => 2,
+        _ => {
+            return Err(lines.err(format!(
+                "bad header: {magic:?} (expected {MAGIC_V1:?} or {MAGIC_V2:?})"
+            )))
+        }
+    };
     let line = lines.next_line()?;
     let name = keyword_value(&lines, &line, "cluster")?.to_string();
     let line = lines.next_line()?;
@@ -379,7 +436,7 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
         store.push_node_event(NodeEvent {
             at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
             node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
-            kind: parse_node_event_kind(fields[2])
+            kind: parse_node_event_kind(fields[2], version)
                 .ok_or_else(|| lines.err(format!("bad node event kind: {:?}", fields[2])))?,
         });
     }
@@ -418,6 +475,28 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
                 .ok_or_else(|| lines.err(format!("bad symptom: {:?}", fields[3])))?,
             permanent: parse_bool_field(&lines, fields[4])?,
         });
+    }
+
+    if version >= 2 {
+        let line = lines.next_line()?;
+        let count = parse_count(&lines, keyword_value(&lines, &line, "ckpt_fallbacks")?)?;
+        for _ in 0..count {
+            let row = lines.next_line()?;
+            let fields: Vec<&str> = row.split(',').collect();
+            if fields.len() != 5 {
+                return Err(lines.err(format!(
+                    "ckpt_fallback row needs 5 fields, got {}",
+                    fields.len()
+                )));
+            }
+            store.push_ckpt_fallback(CheckpointFallbackEvent {
+                at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
+                job: JobId::new(parse_u64_field(&lines, fields[1], "job")?),
+                gpus: parse_u64_field(&lines, fields[2], "gpus")? as u32,
+                intervals: parse_u64_field(&lines, fields[3], "intervals")? as u32,
+                lost: SimDuration::from_secs(parse_u64_field(&lines, fields[4], "lost")?),
+            });
+        }
     }
 
     let line = lines.next_line()?;
@@ -592,6 +671,132 @@ mod tests {
     fn wrong_magic_rejected() {
         let err = read_snapshot("some other file\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad header"));
+    }
+
+    /// A view with v2 content: lifecycle node events plus one checkpoint
+    /// fallback.
+    fn sample_v2_view() -> TelemetryView {
+        let base = sample_view();
+        let mut store = base.to_store();
+        store.push_node_event(NodeEvent {
+            node: NodeId::new(4),
+            at: SimTime::from_secs(200),
+            kind: NodeEventKind::RepairAttemptFailed,
+        });
+        store.push_node_event(NodeEvent {
+            node: NodeId::new(4),
+            at: SimTime::from_secs(210),
+            kind: NodeEventKind::RepairEscalated,
+        });
+        store.push_node_event(NodeEvent {
+            node: NodeId::new(4),
+            at: SimTime::from_secs(400),
+            kind: NodeEventKind::EnterProbation,
+        });
+        store.push_node_event(NodeEvent {
+            node: NodeId::new(4),
+            at: SimTime::from_secs(500),
+            kind: NodeEventKind::ProbationFailed,
+        });
+        store.push_node_event(NodeEvent {
+            node: NodeId::new(4),
+            at: SimTime::from_secs(900),
+            kind: NodeEventKind::Quarantined,
+        });
+        store.push_ckpt_fallback(CheckpointFallbackEvent {
+            at: SimTime::from_secs(600),
+            job: JobId::new(7),
+            gpus: 16,
+            intervals: 2,
+            lost: SimDuration::from_hours(2),
+        });
+        store.seal()
+    }
+
+    #[test]
+    fn v1_views_still_write_the_v1_magic() {
+        let bytes = to_bytes(&sample_view());
+        let first = bytes.split(|&b| b == b'\n').next().unwrap();
+        assert_eq!(first, MAGIC_V1.as_bytes());
+        assert!(!String::from_utf8(bytes).unwrap().contains("ckpt_fallbacks"));
+    }
+
+    #[test]
+    fn v2_round_trip_is_byte_identical() {
+        let view = sample_v2_view();
+        let bytes = to_bytes(&view);
+        let first = bytes.split(|&b| b == b'\n').next().unwrap();
+        assert_eq!(first, MAGIC_V2.as_bytes());
+        let back = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(to_bytes(&back), bytes);
+        assert_eq!(back.node_events(), view.node_events());
+        assert_eq!(back.ckpt_fallbacks(), view.ckpt_fallbacks());
+    }
+
+    #[test]
+    fn v1_header_rejects_v2_event_kinds() {
+        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        // Forge a v1 header onto a stream carrying v2 vocabulary: the
+        // version-gated parser must refuse the lifecycle kind.
+        let forged = text.replace(MAGIC_V2, MAGIC_V1);
+        let err = read_snapshot(forged.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("bad node event kind"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_kind_tag_rejected_in_v2() {
+        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let corrupted = text.replace("repair_escalated", "warp_drive_realigned");
+        let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad node event kind"), "{err}");
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let bumped = text.replace(MAGIC_V2, "rsc-telemetry-snapshot v3");
+        let err = read_snapshot(bumped.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad header"), "{err}");
+    }
+
+    #[test]
+    fn truncated_v2_stream_is_a_clean_error() {
+        let bytes = to_bytes(&sample_v2_view());
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 5] {
+            let err = read_snapshot(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Parse { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_requires_ckpt_fallbacks_section() {
+        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        // Drop the ckpt_fallbacks section entirely: the v2 reader must not
+        // silently accept a v1-shaped body.
+        let gutted: String = text
+            .lines()
+            .filter(|l| !l.starts_with("ckpt_fallbacks") && !l.starts_with("600,7,"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = read_snapshot(gutted.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("expected `ckpt_fallbacks"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_fallback_row_rejected() {
+        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let corrupted = text.replace("600,7,16,2,7200", "600,7,sixteen,2,7200");
+        let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad gpus"), "{err}");
     }
 
     #[test]

@@ -14,9 +14,13 @@ use rsc_cluster::ids::{JobId, NodeId};
 use rsc_failure::injector::FailureEvent;
 use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
-use rsc_sim_core::time::SimTime;
+use rsc_sim_core::time::{SimDuration, SimTime};
 
 /// A node lifecycle transition.
+///
+/// The first three variants are the version-1 snapshot vocabulary; the
+/// rest were added with the fallible-remediation lifecycle and force the
+/// version-2 snapshot format when present.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NodeEventKind {
     /// Node marked draining (low-severity check).
@@ -25,6 +29,44 @@ pub enum NodeEventKind {
     EnterRemediation,
     /// Node repaired and returned to service.
     ExitRemediation,
+    /// A repair attempt on the escalation ladder failed.
+    RepairAttemptFailed,
+    /// Repeated failures escalated the repair to a more drastic rung.
+    RepairEscalated,
+    /// A repaired node began its probation window.
+    EnterProbation,
+    /// The node passed probation (an `ExitRemediation` follows).
+    ProbationPassed,
+    /// The node flunked probation and went back down the ladder.
+    ProbationFailed,
+    /// The node exhausted its repair budget and was written off.
+    Quarantined,
+}
+
+impl NodeEventKind {
+    /// Whether this kind exists in the version-1 snapshot vocabulary.
+    pub fn is_v1(self) -> bool {
+        matches!(
+            self,
+            NodeEventKind::Drain | NodeEventKind::EnterRemediation | NodeEventKind::ExitRemediation
+        )
+    }
+}
+
+/// A job attempt restarting from an older checkpoint because newer ones
+/// were unreadable (fallible recovery on the storage side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointFallbackEvent {
+    /// When the fallback happened (at attempt start).
+    pub at: SimTime,
+    /// The restarting job.
+    pub job: JobId,
+    /// GPUs the job holds (so the lost work prices without a job lookup).
+    pub gpus: u32,
+    /// How many checkpoint intervals the attempt fell back.
+    pub intervals: u32,
+    /// Productive work discarded and re-done.
+    pub lost: SimDuration,
 }
 
 /// A node lifecycle event record.
@@ -61,6 +103,8 @@ pub struct TelemetryStore {
     node_events: Vec<NodeEvent>,
     exclusions: Vec<ExclusionEvent>,
     ground_truth_failures: Vec<FailureEvent>,
+    #[serde(default)]
+    ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
     gpu_swaps: u64,
     #[serde(skip)]
     node_health_index: Option<HashMap<NodeId, Vec<usize>>>,
@@ -138,6 +182,11 @@ impl TelemetryStore {
         self.ground_truth_failures.push(event);
     }
 
+    /// Appends a checkpoint-fallback event.
+    pub fn push_ckpt_fallback(&mut self, event: CheckpointFallbackEvent) {
+        self.ckpt_fallbacks.push(event);
+    }
+
     /// All job accounting records, in completion order.
     pub fn jobs(&self) -> &[JobRecord] {
         &self.jobs
@@ -162,6 +211,11 @@ impl TelemetryStore {
     /// used to validate attribution and detection).
     pub fn ground_truth_failures(&self) -> &[FailureEvent] {
         &self.ground_truth_failures
+    }
+
+    /// All checkpoint-fallback events, in occurrence order.
+    pub fn ckpt_fallbacks(&self) -> &[CheckpointFallbackEvent] {
+        &self.ckpt_fallbacks
     }
 
     /// Health events on `node` within `[from, to]`, in time order.
@@ -214,6 +268,7 @@ impl TelemetryStore {
             self.node_events,
             self.exclusions,
             self.ground_truth_failures,
+            self.ckpt_fallbacks,
             self.gpu_swaps,
         )
     }

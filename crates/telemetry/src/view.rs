@@ -14,7 +14,7 @@ use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
 use rsc_sim_core::time::SimTime;
 
-use crate::store::{ExclusionEvent, NodeEvent, TelemetryStore};
+use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, TelemetryStore};
 
 /// An immutable, sealed view over one run's telemetry.
 ///
@@ -31,6 +31,7 @@ pub struct TelemetryView {
     node_events: Vec<NodeEvent>,
     exclusions: Vec<ExclusionEvent>,
     ground_truth_failures: Vec<FailureEvent>,
+    ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
     gpu_swaps: u64,
     /// Per node: indices into `health_events`, sorted by (time, position).
     node_health_index: HashMap<NodeId, Vec<usize>>,
@@ -48,6 +49,7 @@ impl TelemetryView {
         node_events: Vec<NodeEvent>,
         exclusions: Vec<ExclusionEvent>,
         ground_truth_failures: Vec<FailureEvent>,
+        ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
         gpu_swaps: u64,
     ) -> Self {
         let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
@@ -68,6 +70,7 @@ impl TelemetryView {
             node_events,
             exclusions,
             ground_truth_failures,
+            ckpt_fallbacks,
             gpu_swaps,
             node_health_index: index,
         }
@@ -119,6 +122,11 @@ impl TelemetryView {
         &self.ground_truth_failures
     }
 
+    /// All checkpoint-fallback events, in occurrence order.
+    pub fn ckpt_fallbacks(&self) -> &[CheckpointFallbackEvent] {
+        &self.ckpt_fallbacks
+    }
+
     /// Health events on `node` within `[from, to]`, in time order.
     ///
     /// A binary search over the per-node index built at seal time — no
@@ -168,6 +176,9 @@ impl TelemetryView {
         }
         for e in &self.ground_truth_failures {
             store.push_ground_truth(*e);
+        }
+        for e in &self.ckpt_fallbacks {
+            store.push_ckpt_fallback(*e);
         }
         store
     }
