@@ -1,0 +1,93 @@
+//! Harness check: the streaming reliability monitor must cost under 5% of
+//! simulation wall-clock.
+//!
+//! Runs a representative figure scenario (RSC-1 at 1/8 scale) uncached,
+//! twice per round: bare, and with a full
+//! [`rsc_monitor::ReliabilityMonitor`] attached to the event bus. The
+//! overhead is the best per-round paired ratio over k rounds, so slow
+//! background-load drift cancels. Reports the timings, the end-of-run
+//! monitor summary, and a CSV row, and exits nonzero if the overhead
+//! exceeds the budget (`RSC_MONITOR_OVERHEAD_MAX_PCT`, default 5).
+
+use std::time::Instant;
+
+use rsc_monitor::config::MonitorConfig;
+use rsc_monitor::monitor::ReliabilityMonitor;
+use rsc_sim::bus::SharedObserver;
+
+const ROUNDS: usize = 5;
+
+fn main() -> std::process::ExitCode {
+    let args = rsc_bench::BenchArgs::parse(8);
+    rsc_bench::banner(
+        "Monitor overhead",
+        "Streaming monitor cost vs bare simulation",
+        &args.scale_note("RSC-1"),
+    );
+    let max_pct: f64 = std::env::var("RSC_MONITOR_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+
+    let spec = rsc_bench::rsc1_spec(args.scale, args.days, args.seed);
+
+    // Each round times bare and monitored back-to-back and compares them
+    // as a ratio, so background load (which drifts on a timescale longer
+    // than one round) cancels within the pair; taking the best ratio over
+    // the rounds then discards pairs a load spike still split.
+    let mut bare = f64::INFINITY;
+    let mut monitored = f64::INFINITY;
+    let mut overhead_pct = f64::INFINITY;
+    let mut last_report = None;
+    for round in 0..ROUNDS {
+        let t0 = Instant::now();
+        let baseline = spec.simulate();
+        let bare_s = t0.elapsed().as_secs_f64();
+
+        let handle = SharedObserver::new(ReliabilityMonitor::new(MonitorConfig::rsc_default()));
+        let t1 = Instant::now();
+        let observed = spec.simulate_observed(Box::new(handle.clone()));
+        let monitored_s = t1.elapsed().as_secs_f64();
+
+        assert_eq!(
+            baseline.jobs(),
+            observed.jobs(),
+            "monitor must not perturb the simulation"
+        );
+        let round_pct = (monitored_s - bare_s) / bare_s * 100.0;
+        println!(
+            "round {round}: bare {bare_s:.3} s, monitored {monitored_s:.3} s ({round_pct:+.2}%)"
+        );
+        bare = bare.min(bare_s);
+        monitored = monitored.min(monitored_s);
+        overhead_pct = overhead_pct.min(round_pct);
+        last_report = Some(handle.with(|m| m.report()));
+    }
+
+    println!("\nbest of {ROUNDS}: bare {bare:.3} s, monitored {monitored:.3} s");
+    println!("overhead (best paired round): {overhead_pct:.2}% (budget: {max_pct:.1}%)");
+
+    let report = last_report.expect("at least one round ran");
+    println!("\nmonitor summary:");
+    for line in report.summary_lines() {
+        println!("  {line}");
+    }
+
+    rsc_bench::save_csv(
+        "monitor_overhead.csv",
+        &["bare_s", "monitored_s", "overhead_pct", "budget_pct"],
+        vec![vec![
+            format!("{bare:.4}"),
+            format!("{monitored:.4}"),
+            format!("{overhead_pct:.3}"),
+            format!("{max_pct:.1}"),
+        ]],
+    );
+
+    if overhead_pct <= max_pct {
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: monitor overhead {overhead_pct:.2}% exceeds {max_pct:.1}% budget");
+        std::process::ExitCode::FAILURE
+    }
+}

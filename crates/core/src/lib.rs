@@ -67,5 +67,8 @@ pub use attribution::{attribute_failures, cause_rates, Attribution, AttributionC
 pub use ettr::{expected_ettr, EttrParams};
 pub use goodput::{goodput_loss, GoodputLoss};
 pub use lemon::{compute_features, DetectionQuality, LemonDetector, LemonFeatures};
-pub use mttf::{estimate_node_failure_rate, mttf_by_job_size, MttfPoint, MttfProjection};
+pub use mttf::{
+    estimate_node_failure_rate, estimate_status_only_failure_rate, mttf_by_job_size, MttfPoint,
+    MttfProjection,
+};
 pub use report::{size_distribution, status_breakdown, SizeShare, StatusShare};

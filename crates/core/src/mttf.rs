@@ -161,6 +161,28 @@ pub fn estimate_node_failure_rate(
     failures as f64 / node_days
 }
 
+/// The status-only node-failure rate: NODE_FAIL / REQUEUED endings of
+/// jobs larger than `min_gpus` GPUs over their node-days of runtime.
+///
+/// This is the estimate an *online* consumer can maintain incrementally —
+/// it needs no health-event attribution pass, only job records — and the
+/// batch anchor the `rsc-monitor` streaming estimator is proven against.
+/// It undercounts [`estimate_node_failure_rate`] by the FAILED-with-
+/// attribution term, so treat it as a lower bound on `r_f`.
+pub fn estimate_status_only_failure_rate(view: &TelemetryView, min_gpus: u32) -> f64 {
+    let failures = view
+        .jobs()
+        .iter()
+        .filter(|r| r.gpus > min_gpus)
+        .filter(|r| matches!(r.status, JobStatus::NodeFail | JobStatus::Requeued))
+        .count() as u64;
+    let node_days = view.node_days_of_runtime(min_gpus);
+    if node_days <= 0.0 {
+        return 0.0;
+    }
+    failures as f64 / node_days
+}
+
 /// Theoretical MTTF projection from a node failure rate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MttfProjection {

@@ -1,0 +1,355 @@
+//! Windowed lemon-node signals: a streaming, bounded-memory twin of
+//! [`rsc_core::lemon::compute_features`].
+//!
+//! Ring buffers hold only the trailing `window` of each input stream, so
+//! memory is bounded by window content, not run length. Multi-node blame
+//! needs events up to five minutes *after* a job ends (the paper's
+//! attribution window), so infra-failed multi-node jobs park in a pending
+//! queue until their blame window closes — blame is then frozen exactly as
+//! the batch pass would compute it, because every event in
+//! `[end − 10 min, end + 5 min]` has been delivered by that point.
+//!
+//! With a window at least as long as the run, the features at the horizon
+//! equal the batch computation over `[0, horizon]` bit-for-bit; shorter
+//! windows are the deliberate "trailing 28 days" operational view.
+
+use std::collections::{HashSet, VecDeque};
+
+use rsc_cluster::ids::NodeId;
+use rsc_core::lemon::LemonFeatures;
+use rsc_health::monitor::HealthEvent;
+use rsc_sched::accounting::JobRecord;
+use rsc_sched::job::JobStatus;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::{ExclusionEvent, NodeEvent, NodeEventKind};
+
+/// How far before a job's end an implicating event may lie (paper §III).
+const BLAME_BEFORE: SimDuration = SimDuration::from_mins(10);
+/// How far after a job's end an implicating event may lie.
+const BLAME_AFTER: SimDuration = SimDuration::from_mins(5);
+
+/// Streaming windowed lemon-feature estimator.
+#[derive(Debug, Clone)]
+pub struct WindowedLemon {
+    window: SimDuration,
+    num_nodes: usize,
+    /// `(at, node, job id)` for user exclusions.
+    exclusions: VecDeque<(SimTime, u32, u64)>,
+    /// `(at, node, xid code)` for XID-bearing health events.
+    xids: VecDeque<(SimTime, u32, u16)>,
+    /// `(at, node, kind)` for ticket/out-count lifecycle transitions.
+    lifecycle: VecDeque<(SimTime, u32, NodeEventKind)>,
+    /// Per-node implication times: every health event plus
+    /// `EnterRemediation`/`Drain`, time-ordered, kept only as long as a
+    /// pending job could still need them.
+    implication: Vec<VecDeque<SimTime>>,
+    /// `(ended_at, node, infra_failed)` for started single-node jobs.
+    singles: VecDeque<(SimTime, u32, bool)>,
+    /// `(ended_at, blamed nodes)` for resolved multi-node infra failures.
+    multis: VecDeque<(SimTime, Vec<u32>)>,
+    /// Multi-node infra failures awaiting blame-window close.
+    pending: VecDeque<(SimTime, Vec<u32>)>,
+}
+
+impl WindowedLemon {
+    /// An empty estimator over `num_nodes` with the given trailing window.
+    pub fn new(num_nodes: u32, window: SimDuration) -> Self {
+        WindowedLemon {
+            window,
+            num_nodes: num_nodes as usize,
+            exclusions: VecDeque::new(),
+            xids: VecDeque::new(),
+            lifecycle: VecDeque::new(),
+            implication: vec![VecDeque::new(); num_nodes as usize],
+            singles: VecDeque::new(),
+            multis: VecDeque::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Folds one terminal job record in.
+    pub fn observe_job(&mut self, r: &JobRecord) {
+        if r.started_at.is_none() {
+            return;
+        }
+        let infra = matches!(r.status, JobStatus::NodeFail | JobStatus::Requeued);
+        if r.nodes.len() == 1 {
+            self.singles
+                .push_back((r.ended_at, r.nodes[0].index(), infra));
+        } else if infra {
+            self.pending
+                .push_back((r.ended_at, r.nodes.iter().map(|n| n.index()).collect()));
+        }
+    }
+
+    /// Folds one health event in (false positives included — the batch
+    /// pass treats them as implication evidence too).
+    pub fn observe_health(&mut self, e: &HealthEvent) {
+        if let Some(rsc_failure::signals::SignalKind::Xid(x)) = e.signal {
+            self.xids.push_back((e.at, e.node.index(), x.code()));
+        }
+        if let Some(times) = self.implication.get_mut(e.node.as_usize()) {
+            times.push_back(e.at);
+        }
+    }
+
+    /// Folds one node lifecycle event in.
+    pub fn observe_node_event(&mut self, e: &NodeEvent) {
+        match e.kind {
+            NodeEventKind::EnterRemediation
+            | NodeEventKind::Drain
+            | NodeEventKind::RepairAttemptFailed
+            | NodeEventKind::ProbationFailed
+            | NodeEventKind::Quarantined => {
+                self.lifecycle.push_back((e.at, e.node.index(), e.kind));
+            }
+            _ => {}
+        }
+        if matches!(
+            e.kind,
+            NodeEventKind::EnterRemediation | NodeEventKind::Drain
+        ) {
+            if let Some(times) = self.implication.get_mut(e.node.as_usize()) {
+                times.push_back(e.at);
+            }
+        }
+    }
+
+    /// Folds one user exclusion in.
+    pub fn observe_exclusion(&mut self, e: &ExclusionEvent) {
+        self.exclusions
+            .push_back((e.at, e.node.index(), e.job.raw()));
+    }
+
+    /// Resolves pending multi-node blames whose window has closed
+    /// (strictly — ties wait for the next tick), or everything at
+    /// end-of-run when `finished` is set.
+    pub fn resolve(&mut self, now: SimTime, finished: bool) {
+        while let Some((ended_at, _)) = self.pending.front() {
+            if !finished && now.saturating_since(*ended_at) <= BLAME_AFTER {
+                break;
+            }
+            let (ended_at, nodes) = self.pending.pop_front().expect("front exists");
+            let blamed: Vec<u32> = nodes
+                .iter()
+                .copied()
+                .filter(|&n| self.implicated(n, ended_at))
+                .collect();
+            // A NODE_FAIL hang with no implicating events blames the whole
+            // allocation, exactly as the batch pass falls back.
+            let blamed = if blamed.is_empty() { nodes } else { blamed };
+            self.multis.push_back((ended_at, blamed));
+        }
+    }
+
+    fn implicated(&self, node: u32, end: SimTime) -> bool {
+        let Some(times) = self.implication.get(node as usize) else {
+            return false;
+        };
+        times.iter().any(|&t| {
+            t.saturating_since(end) <= BLAME_AFTER && end.saturating_since(t) <= BLAME_BEFORE
+        })
+    }
+
+    /// Evicts ring entries that have aged out of the window behind `now`.
+    /// Implication times are kept on their own shorter horizon (one tick
+    /// interval plus the blame lookback).
+    pub fn evict(&mut self, now: SimTime) {
+        let w = self.window;
+        Self::evict_ring(&mut self.exclusions, now, w, |e| e.0);
+        Self::evict_ring(&mut self.xids, now, w, |e| e.0);
+        Self::evict_ring(&mut self.lifecycle, now, w, |e| e.0);
+        Self::evict_ring(&mut self.singles, now, w, |e| e.0);
+        Self::evict_ring(&mut self.multis, now, w, |e| e.0);
+        let blame_keep = SimDuration::from_days(2);
+        for times in &mut self.implication {
+            while let Some(&t) = times.front() {
+                if now.saturating_since(t) <= blame_keep {
+                    break;
+                }
+                times.pop_front();
+            }
+        }
+    }
+
+    fn evict_ring<T>(
+        ring: &mut VecDeque<T>,
+        now: SimTime,
+        window: SimDuration,
+        at: impl Fn(&T) -> SimTime,
+    ) {
+        while let Some(front) = ring.front() {
+            if now.saturating_since(at(front)) <= window {
+                break;
+            }
+            ring.pop_front();
+        }
+    }
+
+    /// Computes the seven Table-II features over the trailing window ending
+    /// at `now`, mirroring the batch pass over `[now − window, now]`.
+    pub fn features(&self, now: SimTime) -> Vec<LemonFeatures> {
+        let in_window = |at: SimTime| at <= now && now.saturating_since(at) <= self.window;
+        let n = self.num_nodes;
+        let mut features: Vec<LemonFeatures> = (0..n)
+            .map(|i| LemonFeatures::new(NodeId::new(i as u32)))
+            .collect();
+
+        let mut excluders: Vec<HashSet<u64>> = vec![HashSet::new(); n];
+        for &(at, node, job) in &self.exclusions {
+            if in_window(at) {
+                excluders[node as usize].insert(job);
+            }
+        }
+        for (i, set) in excluders.iter().enumerate() {
+            features[i].excl_jobid_count = set.len() as u32;
+        }
+
+        let mut xid_sets: Vec<HashSet<u16>> = vec![HashSet::new(); n];
+        for &(at, node, code) in &self.xids {
+            if in_window(at) {
+                xid_sets[node as usize].insert(code);
+            }
+        }
+        for (i, set) in xid_sets.iter().enumerate() {
+            features[i].xid_cnt = set.len() as u32;
+        }
+
+        for &(at, node, kind) in &self.lifecycle {
+            if !in_window(at) {
+                continue;
+            }
+            let f = &mut features[node as usize];
+            match kind {
+                NodeEventKind::EnterRemediation => {
+                    f.tickets += 1;
+                    f.out_count += 1;
+                }
+                NodeEventKind::Drain => f.out_count += 1,
+                NodeEventKind::RepairAttemptFailed | NodeEventKind::ProbationFailed => {
+                    f.tickets += 1;
+                }
+                NodeEventKind::Quarantined => {
+                    f.tickets += 1;
+                    f.out_count += 1;
+                }
+                _ => {}
+            }
+        }
+
+        let mut single_totals: Vec<u32> = vec![0; n];
+        for &(ended_at, node, infra) in &self.singles {
+            if !in_window(ended_at) {
+                continue;
+            }
+            single_totals[node as usize] += 1;
+            if infra {
+                features[node as usize].single_node_node_fails += 1;
+            }
+        }
+        for (ended_at, blamed) in &self.multis {
+            if !in_window(*ended_at) {
+                continue;
+            }
+            for &node in blamed {
+                features[node as usize].multi_node_node_fails += 1;
+            }
+        }
+        for (i, &total) in single_totals.iter().enumerate() {
+            if total > 0 {
+                features[i].single_node_node_failure_rate =
+                    features[i].single_node_node_fails as f64 / total as f64;
+            }
+        }
+        features
+    }
+
+    /// Multi-node infra failures still awaiting blame-window close.
+    pub fn pending_blames(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::JobId;
+    use rsc_failure::modes::Severity;
+    use rsc_health::check::CheckKind;
+    use rsc_sched::job::QosClass;
+
+    fn multi_fail(nodes: &[u32], ended_h: u64) -> JobRecord {
+        JobRecord {
+            job: JobId::new(9),
+            attempt: 0,
+            run: None,
+            gpus: 8 * nodes.len() as u32,
+            qos: QosClass::Normal,
+            nodes: nodes.iter().map(|&n| NodeId::new(n)).collect(),
+            enqueued_at: SimTime::ZERO,
+            started_at: Some(SimTime::ZERO),
+            ended_at: SimTime::from_hours(ended_h),
+            status: JobStatus::NodeFail,
+            preempted_by: None,
+            instigator: None,
+        }
+    }
+
+    fn health(node: u32, at: SimTime) -> HealthEvent {
+        HealthEvent {
+            at,
+            node: NodeId::new(node),
+            check: CheckKind::IbLink,
+            severity: Severity::High,
+            signal: None,
+            false_positive: false,
+        }
+    }
+
+    #[test]
+    fn blame_narrows_to_implicated_node() {
+        let mut w = WindowedLemon::new(4, SimDuration::from_days(60));
+        let end = SimTime::from_hours(10);
+        w.observe_health(&health(2, end));
+        w.observe_job(&multi_fail(&[1, 2, 3], 10));
+        w.resolve(SimTime::from_days(1), false);
+        let f = w.features(SimTime::from_days(1));
+        assert_eq!(f[2].multi_node_node_fails, 1);
+        assert_eq!(f[1].multi_node_node_fails, 0);
+        assert_eq!(f[3].multi_node_node_fails, 0);
+    }
+
+    #[test]
+    fn unimplicated_failure_blames_all() {
+        let mut w = WindowedLemon::new(4, SimDuration::from_days(60));
+        w.observe_job(&multi_fail(&[0, 1], 10));
+        w.resolve(SimTime::from_days(1), false);
+        let f = w.features(SimTime::from_days(1));
+        assert_eq!(f[0].multi_node_node_fails, 1);
+        assert_eq!(f[1].multi_node_node_fails, 1);
+    }
+
+    #[test]
+    fn blame_waits_for_window_close() {
+        let mut w = WindowedLemon::new(2, SimDuration::from_days(60));
+        w.observe_job(&multi_fail(&[0, 1], 10));
+        // 3 minutes after the end: the +5 min window is still open.
+        w.resolve(SimTime::from_hours(10) + SimDuration::from_mins(3), false);
+        assert_eq!(w.pending_blames(), 1);
+        w.resolve(SimTime::from_hours(11), false);
+        assert_eq!(w.pending_blames(), 0);
+    }
+
+    #[test]
+    fn eviction_drops_old_signals() {
+        let mut w = WindowedLemon::new(2, SimDuration::from_days(7));
+        w.observe_exclusion(&ExclusionEvent {
+            node: NodeId::new(1),
+            job: JobId::new(5),
+            at: SimTime::from_days(1),
+        });
+        assert_eq!(w.features(SimTime::from_days(2))[1].excl_jobid_count, 1);
+        w.evict(SimTime::from_days(20));
+        assert_eq!(w.features(SimTime::from_days(20))[1].excl_jobid_count, 0);
+    }
+}

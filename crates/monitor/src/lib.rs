@@ -1,0 +1,74 @@
+//! `rsc-monitor`: an online streaming reliability monitor over the
+//! simulator's event bus.
+//!
+//! The batch analyses in `rsc-core` answer reliability questions after a
+//! run has sealed its telemetry. This crate answers the same questions
+//! *while the run is happening*, the way a production observability stack
+//! would: a [`ReliabilityMonitor`] attaches to the
+//! [`rsc_sim::bus`] event stream and maintains bounded-memory incremental
+//! estimators —
+//!
+//! - cumulative per-job-size MTTF with Gamma confidence intervals, an
+//!   exact streaming twin of [`rsc_core::mttf::mttf_by_job_size`];
+//! - a rolling-window MTTF with a moment-based interval, for regression
+//!   detection;
+//! - the status-only failure rate `r_f` and a continuously re-evaluated
+//!   analytic expected ETTR for a reference job (paper Eq. 1);
+//! - fleet availability, MTTR, and log-bucketed time-to-detect /
+//!   time-to-repair histograms;
+//! - windowed lemon scores over the paper's Table-II signals
+//!   ([`rsc_core::lemon`]);
+//!
+//! plus a typed, deduplicated alert pipeline ([`alerts`]) with
+//! raise/clear hysteresis and debounce.
+//!
+//! Two delivery paths produce identical end states: live attachment
+//! during simulation, and [`replay::replay_view`] over a sealed
+//! [`rsc_telemetry::view::TelemetryView`] (used when the scenario cache
+//! skips simulation — see [`runner::MonitoredRunner`]). The agreement
+//! tests in `tests/agreement.rs` pin streaming-vs-batch equality:
+//! counters and cumulative estimators match the batch analyses exactly;
+//! windowed and histogram-based readouts match within documented
+//! tolerances.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rsc_monitor::config::MonitorConfig;
+//! use rsc_monitor::monitor::ReliabilityMonitor;
+//! use rsc_sim::bus::SharedObserver;
+//! use rsc_sim::config::SimConfig;
+//! use rsc_sim::driver::ClusterSim;
+//! use rsc_sim_core::time::SimDuration;
+//!
+//! let handle = SharedObserver::new(ReliabilityMonitor::new(MonitorConfig::rsc_default()));
+//! let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 42);
+//! sim.attach_observer(Box::new(handle.clone()));
+//! sim.run(SimDuration::from_days(3));
+//! let report = handle.with(|m| m.report());
+//! assert!(report.counters.jobs > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alerts;
+pub mod config;
+pub mod estimators;
+pub mod export;
+pub mod lemon;
+pub mod monitor;
+pub mod replay;
+pub mod report;
+pub mod runner;
+
+pub use alerts::{Alert, AlertEngine, AlertKey, AlertSignal};
+pub use config::{AlertPolicy, MonitorConfig, RefJob};
+pub use estimators::{
+    AvailabilitySnapshot, Counters, DetectionLatency, LogHistogram, RollingMttf,
+    RollingMttfEstimate, StreamingAvailability, StreamingFailureRate, StreamingMttf,
+};
+pub use lemon::WindowedLemon;
+pub use monitor::ReliabilityMonitor;
+pub use replay::replay_view;
+pub use report::{HistogramSummary, LemonSuspect, MonitorReport};
+pub use runner::{MonitoredRun, MonitoredRunner};

@@ -1,0 +1,154 @@
+//! Replaying a sealed [`TelemetryView`] through a [`SimObserver`].
+//!
+//! Cached scenario runs skip the simulation entirely and hand back a
+//! sealed view; replay reconstructs the event sequence the live bus would
+//! have produced so streaming consumers reach the same end state either
+//! way:
+//!
+//! - point events (health, node, exclusion, ground truth, checkpoint
+//!   fallback) are merged by timestamp, ties broken by the driver's causal
+//!   order at one instant (injection → detection → node transition →
+//!   exclusion → fallback);
+//! - job records are delivered at the first daily sweep at or after their
+//!   `ended_at`, exactly as scheduler accounting flushes them live;
+//! - a [`SimEvent::Tick`] fires at each whole day strictly inside the
+//!   horizon (the live driver's loop exits before a sweep scheduled at the
+//!   horizon itself runs);
+//! - the tail (events after the last sweep) flushes before the single
+//!   [`SimEvent::Finish`].
+
+use rsc_sim::bus::{SimEvent, SimObserver};
+use rsc_sim_core::time::SimTime;
+use rsc_telemetry::view::TelemetryView;
+
+/// Streams `view` into `observer` as the equivalent live event sequence.
+///
+/// End-of-run observer state matches a live run that produced the same
+/// telemetry; `rsc-monitor`'s agreement tests assert the two reports are
+/// equal.
+pub fn replay_view(view: &TelemetryView, observer: &mut dyn SimObserver) {
+    observer.on_event(&SimEvent::Start {
+        cluster: view.cluster_name(),
+        num_nodes: view.num_nodes(),
+    });
+
+    // Merge the point-event streams. Each source slice is chronological;
+    // the stable sort keys on (time, causal priority) and preserves
+    // within-stream order for exact ties.
+    let mut points: Vec<(SimTime, u8, SimEvent<'_>)> = Vec::with_capacity(
+        view.ground_truth_failures().len()
+            + view.health_events().len()
+            + view.node_events().len()
+            + view.exclusions().len()
+            + view.ckpt_fallbacks().len(),
+    );
+    for e in view.ground_truth_failures() {
+        points.push((e.at, 0, SimEvent::GroundTruth(e)));
+    }
+    for e in view.health_events() {
+        points.push((e.at, 1, SimEvent::Health(e)));
+    }
+    for e in view.node_events() {
+        points.push((e.at, 2, SimEvent::Node(e)));
+    }
+    for e in view.exclusions() {
+        points.push((e.at, 3, SimEvent::Exclusion(e)));
+    }
+    for e in view.ckpt_fallbacks() {
+        points.push((e.at, 4, SimEvent::CkptFallback(e)));
+    }
+    points.sort_by_key(|&(at, priority, _)| (at, priority));
+
+    let jobs = view.jobs();
+    let horizon = view.horizon();
+    let mut next_point = 0;
+    let mut next_job = 0;
+
+    let mut day = 1u64;
+    loop {
+        let t = SimTime::from_days(day);
+        if t >= horizon {
+            break;
+        }
+        while next_point < points.len() && points[next_point].0 <= t {
+            observer.on_event(&points[next_point].2);
+            next_point += 1;
+        }
+        // Job records are grouped in the view by the sweep that flushed
+        // them, so a single cursor suffices.
+        while next_job < jobs.len() && jobs[next_job].ended_at <= t {
+            observer.on_event(&SimEvent::Job(&jobs[next_job]));
+            next_job += 1;
+        }
+        observer.on_event(&SimEvent::Tick { now: t });
+        day += 1;
+    }
+
+    // Tail: everything after the last sweep, then final accounting.
+    while next_point < points.len() {
+        observer.on_event(&points[next_point].2);
+        next_point += 1;
+    }
+    while next_job < jobs.len() {
+        observer.on_event(&SimEvent::Job(&jobs[next_job]));
+        next_job += 1;
+    }
+
+    observer.on_event(&SimEvent::Finish {
+        horizon,
+        gpu_swaps: view.gpu_swaps(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_sim::bus::CountingObserver;
+    use rsc_sim::config::SimConfig;
+    use rsc_sim::driver::ClusterSim;
+    use rsc_sim_core::time::SimDuration;
+
+    #[test]
+    fn replay_delivers_every_record_and_daily_ticks() {
+        let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 5);
+        sim.run(SimDuration::from_days(4));
+        let view = sim.into_telemetry().seal();
+
+        let mut counter = CountingObserver::default();
+        replay_view(&view, &mut counter);
+
+        assert_eq!(counter.jobs as usize, view.jobs().len());
+        assert_eq!(counter.health as usize, view.health_events().len());
+        assert_eq!(counter.node as usize, view.node_events().len());
+        assert_eq!(counter.exclusions as usize, view.exclusions().len());
+        assert_eq!(
+            counter.ground_truth as usize,
+            view.ground_truth_failures().len()
+        );
+        assert_eq!(counter.ckpt_fallbacks as usize, view.ckpt_fallbacks().len());
+        // A 4-day run sweeps at days 1..=3; the sweep scheduled at the
+        // horizon never fires.
+        assert_eq!(counter.ticks, 3);
+    }
+
+    #[test]
+    fn replay_matches_live_counts() {
+        let handle = rsc_sim::bus::SharedObserver::new(CountingObserver::default());
+        let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 6);
+        sim.attach_observer(Box::new(handle.clone()));
+        sim.run(SimDuration::from_days(3));
+        let view = sim.into_telemetry().seal();
+        let live = handle.with(|c| *c);
+
+        let mut replayed = CountingObserver::default();
+        replay_view(&view, &mut replayed);
+
+        assert_eq!(live.jobs, replayed.jobs);
+        assert_eq!(live.health, replayed.health);
+        assert_eq!(live.node, replayed.node);
+        assert_eq!(live.exclusions, replayed.exclusions);
+        assert_eq!(live.ground_truth, replayed.ground_truth);
+        assert_eq!(live.ckpt_fallbacks, replayed.ckpt_fallbacks);
+        assert_eq!(live.ticks, replayed.ticks);
+    }
+}

@@ -1,0 +1,150 @@
+//! Scenario execution with the monitor attached: live when the scenario
+//! simulates, replayed when the artifact cache satisfies it, identical
+//! report either way.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rsc_sim::bus::SharedObserver;
+use rsc_sim::runner::{ObservedOutcome, ScenarioRunner, ScenarioSpec};
+use rsc_telemetry::view::TelemetryView;
+
+use crate::config::MonitorConfig;
+use crate::export::{write_alerts_csv, write_report_json};
+use crate::monitor::ReliabilityMonitor;
+use crate::replay::replay_view;
+use crate::report::MonitorReport;
+
+/// One monitored scenario run.
+#[derive(Debug)]
+pub struct MonitoredRun {
+    /// The sealed telemetry.
+    pub view: Arc<TelemetryView>,
+    /// The monitor report, when the monitor was enabled.
+    pub report: Option<MonitorReport>,
+    /// Whether the scenario simulated live or was replayed from cache.
+    pub outcome: ObservedOutcome,
+    /// Paths of the written report artifacts (JSON report, alerts CSV),
+    /// when the runner has a cache directory and the monitor was enabled.
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// A [`ScenarioRunner`] that attaches a [`ReliabilityMonitor`] to every
+/// scenario it executes.
+///
+/// With the monitor disabled (the default [`MonitorConfig`]) this is a
+/// plain pass-through: no observer is attached and the simulated
+/// telemetry is byte-identical to an unmonitored run. Enabled, each
+/// scenario yields a [`MonitorReport`] — streamed live on cache misses,
+/// reconstructed via [`replay_view`] on hits — and, when the runner
+/// caches artifacts, the report JSON and alert CSV are written next to
+/// the telemetry snapshot as `{fingerprint:016x}.monitor.json` and
+/// `{fingerprint:016x}.alerts.csv`.
+#[derive(Debug, Clone)]
+pub struct MonitoredRunner {
+    runner: ScenarioRunner,
+    config: MonitorConfig,
+}
+
+impl MonitoredRunner {
+    /// Wraps a scenario runner with a monitor configuration.
+    pub fn new(runner: ScenarioRunner, config: MonitorConfig) -> Self {
+        MonitoredRunner { runner, config }
+    }
+
+    /// The wrapped runner.
+    pub fn runner(&self) -> &ScenarioRunner {
+        &self.runner
+    }
+
+    /// The monitor configuration applied to each scenario.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Executes one scenario with the monitor attached.
+    pub fn run_one(&self, spec: &ScenarioSpec) -> MonitoredRun {
+        if !self.config.enabled {
+            let view = self.runner.run_one(spec);
+            return MonitoredRun {
+                view,
+                report: None,
+                outcome: ObservedOutcome::Live,
+                artifacts: Vec::new(),
+            };
+        }
+
+        let handle = SharedObserver::new(ReliabilityMonitor::new(self.config.clone()));
+        let (view, outcome) = self.runner.run_one_observed(spec, Box::new(handle.clone()));
+        if outcome == ObservedOutcome::CachedSkipped {
+            handle.with(|monitor| replay_view(&view, monitor));
+        }
+        let report = handle.with(|monitor| monitor.report());
+
+        let mut artifacts = Vec::new();
+        if let Some(dir) = self.runner.cache_dir() {
+            let fp = spec.fingerprint();
+            let json_path = dir.join(format!("{fp:016x}.monitor.json"));
+            let csv_path = dir.join(format!("{fp:016x}.alerts.csv"));
+            // Best-effort, like the telemetry artifact itself: a failed
+            // write only costs a rebuild next run.
+            if write_report_json(&json_path, &report).is_ok() {
+                artifacts.push(json_path);
+            }
+            if write_alerts_csv(&csv_path, &report.alerts).is_ok() {
+                artifacts.push(csv_path);
+            }
+        }
+
+        MonitoredRun {
+            view,
+            report: Some(report),
+            outcome,
+            artifacts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_sim::config::SimConfig;
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rsc-monitored-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn disabled_monitor_is_passthrough() {
+        let runner =
+            MonitoredRunner::new(ScenarioRunner::without_cache(), MonitorConfig::disabled());
+        let spec = ScenarioSpec::new(SimConfig::small_test_cluster(), 3, 2);
+        let run = runner.run_one(&spec);
+        assert!(run.report.is_none());
+        assert!(run.artifacts.is_empty());
+        assert_eq!(run.view.jobs(), spec.simulate().jobs());
+    }
+
+    #[test]
+    fn cached_replay_reports_like_live() {
+        let dir = temp_cache("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = MonitoredRunner::new(
+            ScenarioRunner::new().with_cache_dir(&dir).workers(1),
+            MonitorConfig::rsc_default(),
+        );
+        let spec = ScenarioSpec::new(SimConfig::small_test_cluster(), 5, 3);
+
+        let cold = runner.run_one(&spec);
+        assert_eq!(cold.outcome, ObservedOutcome::Live);
+        let warm = runner.run_one(&spec);
+        assert_eq!(warm.outcome, ObservedOutcome::CachedSkipped);
+
+        // The replayed report equals the live one, field for field.
+        assert_eq!(cold.report, warm.report);
+        // Both runs wrote (or rewrote) the report artifacts.
+        assert_eq!(warm.artifacts.len(), 2);
+        assert!(warm.artifacts.iter().all(|p| p.exists()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

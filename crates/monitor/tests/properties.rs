@@ -1,0 +1,269 @@
+//! Property tests for the streaming estimators and the alert engine.
+//!
+//! Two invariants, each checked both by `proptest` strategies and by a
+//! plain deterministic mirror (the mirrors run in minimal environments
+//! where the proptest harness is stubbed out):
+//!
+//! 1. **streaming equals batch** — for arbitrary synthetic telemetry,
+//!    replaying the sealed view through a [`ReliabilityMonitor`] yields
+//!    cumulative MTTF points, failure rate, and availability identical to
+//!    the `rsc-core` batch analyses;
+//! 2. **alerts never flap inside the debounce window** — for arbitrary
+//!    raise/clear/hold signal sequences at arbitrary times, consecutive
+//!    transitions of one key are at least the debounce apart.
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::{JobId, NodeId};
+use rsc_core::availability::fleet_availability;
+use rsc_core::mttf::{estimate_status_only_failure_rate, mttf_by_job_size, FailureScope};
+use rsc_core::AttributionConfig;
+use rsc_monitor::alerts::{AlertEngine, AlertKey, AlertSignal};
+use rsc_monitor::config::MonitorConfig;
+use rsc_monitor::monitor::ReliabilityMonitor;
+use rsc_monitor::replay::replay_view;
+use rsc_sched::accounting::JobRecord;
+use rsc_sched::job::{JobStatus, QosClass};
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::{NodeEvent, NodeEventKind, TelemetryStore};
+use rsc_telemetry::view::TelemetryView;
+
+const NODES: u32 = 8;
+const HORIZON_DAYS: u64 = 20;
+
+/// A tiny deterministic generator so the plain mirrors can sweep many
+/// synthetic cases without the proptest runtime.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One synthetic job: (start_hours, runtime_hours, gpus, status_pick).
+type JobCase = (u32, u32, u32, u8);
+/// One synthetic remediation visit: (node, enter_hours, repair_hours).
+type VisitCase = (u32, u32, u32);
+
+fn status_from(pick: u8) -> JobStatus {
+    match pick % 5 {
+        0 => JobStatus::Completed,
+        1 => JobStatus::Failed,
+        2 => JobStatus::NodeFail,
+        3 => JobStatus::Requeued,
+        _ => JobStatus::Cancelled,
+    }
+}
+
+fn synthetic_view(jobs: &[JobCase], visits: &[VisitCase]) -> TelemetryView {
+    let mut store = TelemetryStore::new("prop", NODES);
+    let horizon = SimTime::from_days(HORIZON_DAYS);
+    let horizon_hours = HORIZON_DAYS * 24;
+    // Chronological by end time so the store matches the driver's
+    // flush-ordered layout (grouped under daily sweeps).
+    let mut ordered: Vec<&JobCase> = jobs.iter().collect();
+    ordered.sort_by_key(|&&(start, runtime, _, _)| start as u64 + runtime as u64);
+    for (i, &&(start_h, runtime_h, gpus, pick)) in ordered.iter().enumerate() {
+        let started_at = SimTime::from_hours(start_h as u64 % horizon_hours);
+        let ended_at = started_at + SimDuration::from_hours(1 + runtime_h as u64 % 72);
+        store.push_job(JobRecord {
+            job: JobId::new(i as u64),
+            attempt: 0,
+            run: None,
+            gpus: 1 + gpus % 64,
+            qos: QosClass::Normal,
+            nodes: vec![NodeId::new(i as u32 % NODES)],
+            enqueued_at: started_at,
+            started_at: Some(started_at),
+            ended_at,
+            status: status_from(pick),
+            preempted_by: None,
+            instigator: None,
+        });
+    }
+    let mut node_events: Vec<NodeEvent> = Vec::new();
+    for &(node, enter_h, repair_h) in visits {
+        let at = SimTime::from_hours(enter_h as u64 % (horizon_hours - 48));
+        let exit = at + SimDuration::from_hours(1 + repair_h as u64 % 48);
+        node_events.push(NodeEvent {
+            node: NodeId::new(node % NODES),
+            at,
+            kind: NodeEventKind::EnterRemediation,
+        });
+        node_events.push(NodeEvent {
+            node: NodeId::new(node % NODES),
+            at: exit,
+            kind: NodeEventKind::ExitRemediation,
+        });
+    }
+    node_events.sort_by_key(|e| e.at);
+    for e in node_events {
+        store.push_node_event(e);
+    }
+    store.set_horizon(horizon);
+    store.seal()
+}
+
+fn assert_streaming_equals_batch(view: &TelemetryView) {
+    let config = MonitorConfig::unwindowed(HORIZON_DAYS);
+    let min_gpus = config.min_gpus;
+    let mut monitor = ReliabilityMonitor::new(config);
+    replay_view(view, &mut monitor);
+
+    assert_eq!(
+        monitor.mttf().points(),
+        mttf_by_job_size(
+            view,
+            FailureScope::AllFailures,
+            &AttributionConfig::default()
+        )
+    );
+    assert_eq!(
+        monitor.failure_rate().rate(),
+        estimate_status_only_failure_rate(view, min_gpus)
+    );
+    let batch = fleet_availability(view);
+    let snap = monitor.availability().snapshot(view.horizon());
+    assert_eq!(snap.fleet_availability, batch.fleet_availability);
+    assert_eq!(snap.mttr_hours, batch.mttr_hours);
+    assert_eq!(snap.lost_node_days, batch.lost_node_days);
+    assert_eq!(monitor.counters().jobs as usize, view.jobs().len());
+    assert_eq!(
+        monitor.counters().node_events as usize,
+        view.node_events().len()
+    );
+}
+
+/// Replays one signal schedule through an engine and asserts the no-flap
+/// invariant: per key, consecutive transitions are >= debounce apart.
+fn assert_no_flap(debounce_days: u64, schedule: &[(u32, u8, bool)]) {
+    let debounce = SimDuration::from_days(debounce_days);
+    let mut engine = AlertEngine::new(debounce);
+    let mut last_transition: std::collections::BTreeMap<AlertKey, SimTime> =
+        std::collections::BTreeMap::new();
+    let mut t = SimTime::ZERO;
+    for &(advance_mins, key_pick, raise) in schedule {
+        t = t + SimDuration::from_mins(advance_mins as u64 % (5 * 24 * 60));
+        let key = match key_pick % 3 {
+            0 => AlertKey::MttfRegression,
+            1 => AlertKey::QuarantineSurge,
+            _ => AlertKey::LemonSuspect(NodeId::new(key_pick as u32 % 4)),
+        };
+        let signal = if raise {
+            AlertSignal::Raise {
+                value: 1.0,
+                threshold: 1.0,
+                message: String::new(),
+            }
+        } else {
+            AlertSignal::Clear
+        };
+        if engine.evaluate(t, key, signal) {
+            if let Some(&prev) = last_transition.get(&key) {
+                assert!(
+                    t.saturating_since(prev) >= debounce,
+                    "key {key:?} flapped: transitions at {prev:?} and {t:?} < {debounce:?} apart"
+                );
+            }
+            last_transition.insert(key, t);
+        }
+    }
+    // Structural sanity: every alert in the log that cleared did so at or
+    // after its raise.
+    for a in engine.log() {
+        if let Some(cleared) = a.cleared_at {
+            assert!(cleared >= a.raised_at);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_streaming_equals_batch(
+        jobs in proptest::collection::vec((0u32..480, 0u32..96, 0u32..64, 0u8..8), 0..60),
+        visits in proptest::collection::vec((0u32..8, 0u32..400, 0u32..60), 0..20),
+    ) {
+        assert_streaming_equals_batch(&synthetic_view(&jobs, &visits));
+    }
+
+    #[test]
+    fn prop_alerts_never_flap(
+        debounce_days in 0u64..4,
+        schedule in proptest::collection::vec((0u32..4000, 0u8..8, 0u8..2), 0..200),
+    ) {
+        let schedule: Vec<(u32, u8, bool)> =
+            schedule.into_iter().map(|(a, k, r)| (a, k, r == 1)).collect();
+        assert_no_flap(debounce_days, &schedule);
+    }
+}
+
+#[test]
+fn mirror_streaming_equals_batch() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    for _ in 0..48 {
+        let jobs: Vec<JobCase> = (0..rng.below(60))
+            .map(|_| {
+                (
+                    rng.below(480) as u32,
+                    rng.below(96) as u32,
+                    rng.below(64) as u32,
+                    rng.below(8) as u8,
+                )
+            })
+            .collect();
+        let visits: Vec<VisitCase> = (0..rng.below(20))
+            .map(|_| {
+                (
+                    rng.below(8) as u32,
+                    rng.below(400) as u32,
+                    rng.below(60) as u32,
+                )
+            })
+            .collect();
+        assert_streaming_equals_batch(&synthetic_view(&jobs, &visits));
+    }
+}
+
+#[test]
+fn mirror_alerts_never_flap() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0002);
+    for _ in 0..48 {
+        let debounce_days = rng.below(4);
+        let schedule: Vec<(u32, u8, bool)> = (0..rng.below(200))
+            .map(|_| {
+                (
+                    rng.below(4000) as u32,
+                    rng.below(8) as u8,
+                    rng.below(2) == 0,
+                )
+            })
+            .collect();
+        assert_no_flap(debounce_days, &schedule);
+    }
+}
+
+#[test]
+fn mirror_empty_view_is_all_zero() {
+    let view = synthetic_view(&[], &[]);
+    let mut monitor = ReliabilityMonitor::new(MonitorConfig::unwindowed(HORIZON_DAYS));
+    replay_view(&view, &mut monitor);
+    assert_eq!(monitor.counters().jobs, 0);
+    assert!(monitor.mttf().points().is_empty());
+    assert_eq!(monitor.failure_rate().rate(), 0.0);
+    assert!(monitor.expected_ettr().is_none());
+    let snap = monitor.availability().snapshot(view.horizon());
+    assert_eq!(snap.fleet_availability, 1.0);
+    assert_eq!(snap.completed_repairs, 0);
+}

@@ -1,0 +1,239 @@
+//! The simulation event bus: a zero-copy observer hook over the driver's
+//! telemetry streams.
+//!
+//! [`ClusterSim`](crate::driver::ClusterSim) records everything it does in
+//! a [`rsc_telemetry::TelemetryStore`]; the bus mirrors each record to any
+//! attached [`SimObserver`] *at the simulated instant it is produced*, so
+//! online consumers (the `rsc-monitor` crate's streaming estimators, live
+//! dashboards, alerting) see the run as a stream instead of a sealed
+//! post-run view.
+//!
+//! Observers are strictly passive: they receive borrowed events, never
+//! touch the simulation RNG, and are consulted only when at least one is
+//! attached — the default path (no observers) performs a single
+//! `is_empty()` check per record and produces byte-identical telemetry to
+//! builds that predate the bus. `rsc-sim/tests/sim_behaviour.rs` proves
+//! the attached path changes nothing either.
+
+use rsc_failure::injector::FailureEvent;
+use rsc_health::monitor::HealthEvent;
+use rsc_sched::accounting::JobRecord;
+use rsc_sim_core::time::SimTime;
+use rsc_telemetry::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent};
+
+/// One item of the simulation's event stream, borrowed from the driver at
+/// the moment the corresponding telemetry record is appended.
+#[derive(Debug, Clone, Copy)]
+pub enum SimEvent<'a> {
+    /// The run is starting (sent once, when the observer is attached).
+    Start {
+        /// Cluster name (matches the telemetry store's).
+        cluster: &'a str,
+        /// Number of nodes in the cluster.
+        num_nodes: u32,
+    },
+    /// A job attempt reached a terminal state. Job records are flushed
+    /// from scheduler accounting at each daily sweep (and once more at the
+    /// end of the run), so a record arrives at the first sweep at or after
+    /// its `ended_at`, carrying its own timestamps.
+    Job(&'a JobRecord),
+    /// A health check fired (real detection or false positive).
+    Health(&'a HealthEvent),
+    /// A node lifecycle transition.
+    Node(&'a NodeEvent),
+    /// A user excluded a node after a job failure.
+    Exclusion(&'a ExclusionEvent),
+    /// A ground-truth failure injection (not operator-visible in
+    /// production; carried on the bus so validation-side consumers can
+    /// measure detection latency).
+    GroundTruth(&'a FailureEvent),
+    /// A restarting job fell back to an older checkpoint.
+    CkptFallback(&'a CheckpointFallbackEvent),
+    /// The daily housekeeping sweep ran: a natural cadence for windowed
+    /// re-evaluation. All job records with `ended_at <= now` have been
+    /// delivered by the time the tick arrives.
+    Tick {
+        /// Current simulated time.
+        now: SimTime,
+    },
+    /// The run (or one `run()` segment) finished; final accounting has
+    /// been flushed.
+    Finish {
+        /// The measurement horizon.
+        horizon: SimTime,
+        /// Cumulative GPU swaps performed by repairs.
+        gpu_swaps: u64,
+    },
+}
+
+impl SimEvent<'_> {
+    /// The simulated time this event is anchored at, when it has one.
+    pub fn at(&self) -> Option<SimTime> {
+        match self {
+            SimEvent::Start { .. } => None,
+            SimEvent::Job(r) => Some(r.ended_at),
+            SimEvent::Health(e) => Some(e.at),
+            SimEvent::Node(e) => Some(e.at),
+            SimEvent::Exclusion(e) => Some(e.at),
+            SimEvent::GroundTruth(e) => Some(e.at),
+            SimEvent::CkptFallback(e) => Some(e.at),
+            SimEvent::Tick { now } => Some(*now),
+            SimEvent::Finish { horizon, .. } => Some(*horizon),
+        }
+    }
+}
+
+/// A passive consumer of the simulation event stream.
+///
+/// Implementations must not assume they see every run from the start:
+/// [`SimEvent::Start`] is delivered on attach, which may happen mid-run.
+/// Observers are called synchronously from the driver's hot path — keep
+/// per-event work O(1)-amortized and defer heavy evaluation to
+/// [`SimEvent::Tick`].
+pub trait SimObserver: Send {
+    /// Receives one event.
+    fn on_event(&mut self, event: &SimEvent<'_>);
+}
+
+/// A trivial observer that counts events — useful for tests and overhead
+/// measurements of the bus itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingObserver {
+    /// Events received, by coarse category, in declaration order:
+    /// jobs, health, node, exclusion, ground truth, fallback, ticks.
+    pub jobs: u64,
+    /// Health events received.
+    pub health: u64,
+    /// Node lifecycle events received.
+    pub node: u64,
+    /// Exclusions received.
+    pub exclusions: u64,
+    /// Ground-truth injections received.
+    pub ground_truth: u64,
+    /// Checkpoint fallbacks received.
+    pub ckpt_fallbacks: u64,
+    /// Daily ticks received.
+    pub ticks: u64,
+}
+
+impl SimObserver for CountingObserver {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::Start { .. } | SimEvent::Finish { .. } => {}
+            SimEvent::Job(_) => self.jobs += 1,
+            SimEvent::Health(_) => self.health += 1,
+            SimEvent::Node(_) => self.node += 1,
+            SimEvent::Exclusion(_) => self.exclusions += 1,
+            SimEvent::GroundTruth(_) => self.ground_truth += 1,
+            SimEvent::CkptFallback(_) => self.ckpt_fallbacks += 1,
+            SimEvent::Tick { .. } => self.ticks += 1,
+        }
+    }
+}
+
+/// A shared handle wrapping an observer so the caller can keep access to
+/// it while the simulation owns the attached half.
+///
+/// The driver takes observers by `Box<dyn SimObserver>`; wrapping state in
+/// `SharedObserver` lets callers read results after the run without
+/// downcasting:
+///
+/// ```
+/// use rsc_sim::bus::{CountingObserver, SharedObserver};
+/// use rsc_sim::config::SimConfig;
+/// use rsc_sim::driver::ClusterSim;
+/// use rsc_sim_core::time::SimDuration;
+///
+/// let handle = SharedObserver::new(CountingObserver::default());
+/// let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 7);
+/// sim.attach_observer(Box::new(handle.clone()));
+/// sim.run(SimDuration::from_days(2));
+/// assert!(handle.with(|c| c.jobs) > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedObserver<T>(std::sync::Arc<std::sync::Mutex<T>>);
+
+impl<T> Clone for SharedObserver<T> {
+    fn clone(&self) -> Self {
+        SharedObserver(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl<T> SharedObserver<T> {
+    /// Wraps an observer in a shared handle.
+    pub fn new(inner: T) -> Self {
+        SharedObserver(std::sync::Arc::new(std::sync::Mutex::new(inner)))
+    }
+
+    /// Runs `f` against the wrapped observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (an observer panicked mid-event).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.lock().expect("observer lock poisoned"))
+    }
+
+    /// Unwraps the inner observer if this is the last handle, otherwise
+    /// returns `self` back.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other handles are still alive.
+    pub fn try_into_inner(self) -> Result<T, Self> {
+        match std::sync::Arc::try_unwrap(self.0) {
+            Ok(mutex) => Ok(mutex.into_inner().expect("observer lock poisoned")),
+            Err(arc) => Err(SharedObserver(arc)),
+        }
+    }
+}
+
+impl<T: SimObserver> SimObserver for SharedObserver<T> {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self.0
+            .lock()
+            .expect("observer lock poisoned")
+            .on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::NodeId;
+    use rsc_telemetry::store::NodeEventKind;
+
+    #[test]
+    fn event_times_are_exposed() {
+        let node_event = NodeEvent {
+            node: NodeId::new(1),
+            at: SimTime::from_hours(3),
+            kind: NodeEventKind::Drain,
+        };
+        assert_eq!(
+            SimEvent::Node(&node_event).at(),
+            Some(SimTime::from_hours(3))
+        );
+        assert_eq!(
+            SimEvent::Start {
+                cluster: "c",
+                num_nodes: 4
+            }
+            .at(),
+            None
+        );
+    }
+
+    #[test]
+    fn shared_observer_counts_through_handle() {
+        let handle = SharedObserver::new(CountingObserver::default());
+        let mut attached: Box<dyn SimObserver> = Box::new(handle.clone());
+        attached.on_event(&SimEvent::Tick {
+            now: SimTime::from_days(1),
+        });
+        assert_eq!(handle.with(|c| c.ticks), 1);
+        drop(attached);
+        let inner = handle.try_into_inner().expect("last handle");
+        assert_eq!(inner.ticks, 1);
+    }
+}

@@ -19,7 +19,7 @@ use rsc_failure::modes::{ModeId, Severity};
 use rsc_failure::process::HazardSchedule;
 use rsc_failure::signals::SignalKind;
 use rsc_health::lifecycle::{AttemptOutcome, NodeLifecycle, ProbationOutcome};
-use rsc_health::monitor::HealthMonitor;
+use rsc_health::monitor::{HealthEvent, HealthMonitor};
 use rsc_sched::job::{Destiny, JobStatus};
 use rsc_sched::sched::{InterruptCause, Scheduler, StartedAttempt};
 use rsc_sim_core::event::EventQueue;
@@ -30,6 +30,7 @@ use rsc_telemetry::store::{
 };
 use rsc_workload::generator::JobStream;
 
+use crate::bus::{SimEvent, SimObserver};
 use crate::config::{EraPreset, SimConfig};
 
 /// Internal future events.
@@ -76,6 +77,10 @@ pub struct ClusterSim {
     lifecycles: HashMap<NodeId, NodeLifecycle>,
     /// Utilization samples (fraction busy), taken daily.
     utilization_samples: Vec<f64>,
+    /// Attached event-stream observers (the online-monitoring hook).
+    /// Empty by default: the no-observer path is a single `is_empty()`
+    /// check per record and leaves telemetry byte-identical.
+    observers: Vec<Box<dyn SimObserver>>,
     now: SimTime,
 }
 
@@ -139,7 +144,33 @@ impl ClusterSim {
             draining: HashSet::new(),
             lifecycles: HashMap::new(),
             utilization_samples: Vec::new(),
+            observers: Vec::new(),
             now: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches an event-stream observer (see [`crate::bus`]). The
+    /// observer immediately receives [`SimEvent::Start`], then every
+    /// telemetry record as the run produces it. Observers are passive:
+    /// they never touch the simulation RNG, so attaching one leaves the
+    /// telemetry byte-identical to an unobserved run.
+    pub fn attach_observer(&mut self, mut observer: Box<dyn SimObserver>) {
+        observer.on_event(&SimEvent::Start {
+            cluster: self.config.cluster.name(),
+            num_nodes: self.config.cluster.num_nodes(),
+        });
+        self.observers.push(observer);
+    }
+
+    /// Detaches and returns all attached observers.
+    pub fn take_observers(&mut self) -> Vec<Box<dyn SimObserver>> {
+        std::mem::take(&mut self.observers)
+    }
+
+    /// Mirrors one event to every attached observer.
+    fn emit(&mut self, event: &SimEvent<'_>) {
+        for obs in &mut self.observers {
+            obs.on_event(event);
         }
     }
 
@@ -212,11 +243,29 @@ impl ClusterSim {
     }
 
     fn finish_run(&mut self) {
+        self.flush_job_records();
+        let gpu_swaps = self.cluster.total_gpu_swaps();
+        self.telemetry.set_gpu_swaps(gpu_swaps);
+        self.telemetry.set_horizon(self.now);
+        self.emit(&SimEvent::Finish {
+            horizon: self.now,
+            gpu_swaps,
+        });
+    }
+
+    /// Moves completed accounting records from the scheduler into
+    /// telemetry, mirroring each to the bus.
+    fn flush_job_records(&mut self) {
         for record in self.sched.take_records() {
+            self.emit(&SimEvent::Job(&record));
             self.telemetry.push_job(record);
         }
-        self.telemetry.set_gpu_swaps(self.cluster.total_gpu_swaps());
-        self.telemetry.set_horizon(self.now);
+    }
+
+    /// Records a health-check firing (and mirrors it to the bus).
+    fn record_health_event(&mut self, event: HealthEvent) {
+        self.emit(&SimEvent::Health(&event));
+        self.telemetry.push_health_event(event);
     }
 
     // ---- event handling ----
@@ -275,7 +324,7 @@ impl ClusterSim {
                 for fp in fps {
                     // False positives look real to the infrastructure: a
                     // high-severity FP pulls a healthy node.
-                    self.telemetry.push_health_event(fp);
+                    self.record_health_event(fp);
                     if fp.severity == Severity::High
                         && self.cluster.node(fp.node).state() == NodeState::Healthy
                     {
@@ -293,10 +342,11 @@ impl ClusterSim {
                 let busy = self.sched.busy_gpus() as f64;
                 self.utilization_samples
                     .push(busy / self.config.cluster.total_gpus() as f64);
-                // Flush accounting records into telemetry incrementally.
-                for record in self.sched.take_records() {
-                    self.telemetry.push_job(record);
-                }
+                // Flush accounting records into telemetry incrementally,
+                // then tick the bus: observers see every record with
+                // `ended_at <= now` before the tick's windowed re-eval.
+                self.flush_job_records();
+                self.emit(&SimEvent::Tick { now: self.now });
                 self.events
                     .schedule(self.now + SimDuration::from_days(1), Ev::DailySweep);
             }
@@ -311,6 +361,7 @@ impl ClusterSim {
             permanent: failure.permanent && !self.lemons.is_lemon(failure.node),
             ..failure
         };
+        self.emit(&SimEvent::GroundTruth(&failure));
         self.telemetry.push_ground_truth(failure);
         let node = failure.node;
         if self.cluster.node(node).state() == NodeState::Remediation {
@@ -339,7 +390,7 @@ impl ClusterSim {
             detections.extend(self.monitor.observe_signal(signal));
         }
         for d in &detections {
-            self.telemetry.push_health_event(*d);
+            self.record_health_event(*d);
         }
 
         let highest = detections
@@ -436,11 +487,7 @@ impl ClusterSim {
         self.cluster.remediate_node(node, self.now);
         self.sched.set_node_available(node, false);
         self.draining.remove(&node);
-        self.telemetry.push_node_event(NodeEvent {
-            node,
-            at: self.now,
-            kind: NodeEventKind::EnterRemediation,
-        });
+        self.record_node_event(node, NodeEventKind::EnterRemediation);
         let permanent = !transient_only
             && (self.broken.contains_key(&node)
                 || self
@@ -478,20 +525,19 @@ impl ClusterSim {
         self.draining.remove(&node);
         self.lifecycles.remove(&node);
         self.sched.set_node_available(node, true);
-        self.telemetry.push_node_event(NodeEvent {
-            node,
-            at: self.now,
-            kind: NodeEventKind::ExitRemediation,
-        });
+        self.record_node_event(node, NodeEventKind::ExitRemediation);
     }
 
-    /// Emits a lifecycle transition for `node`.
-    fn push_lifecycle_event(&mut self, node: NodeId, kind: NodeEventKind) {
-        self.telemetry.push_node_event(NodeEvent {
+    /// Records a node lifecycle transition at the current time (and
+    /// mirrors it to the bus).
+    fn record_node_event(&mut self, node: NodeId, kind: NodeEventKind) {
+        let event = NodeEvent {
             node,
             at: self.now,
             kind,
-        });
+        };
+        self.emit(&SimEvent::Node(&event));
+        self.telemetry.push_node_event(event);
     }
 
     /// Resolves one fallible repair attempt: succeed (into service or
@@ -511,16 +557,16 @@ impl ClusterSim {
                 probation: true, ..
             } => {
                 self.lifecycles.insert(node, lc);
-                self.push_lifecycle_event(node, NodeEventKind::EnterProbation);
+                self.record_node_event(node, NodeEventKind::EnterProbation);
                 self.events.schedule(
                     self.now + policy.probation.window,
                     Ev::ProbationEnd { node },
                 );
             }
             AttemptOutcome::Failed { escalated_to, .. } => {
-                self.push_lifecycle_event(node, NodeEventKind::RepairAttemptFailed);
+                self.record_node_event(node, NodeEventKind::RepairAttemptFailed);
                 if escalated_to.is_some() {
-                    self.push_lifecycle_event(node, NodeEventKind::RepairEscalated);
+                    self.record_node_event(node, NodeEventKind::RepairEscalated);
                 }
                 let dur = lc.attempt_duration(&policy, &mut self.rng);
                 self.lifecycles.insert(node, lc);
@@ -529,7 +575,7 @@ impl ClusterSim {
             }
             AttemptOutcome::Quarantined => {
                 self.lifecycles.insert(node, lc);
-                self.push_lifecycle_event(node, NodeEventKind::Quarantined);
+                self.record_node_event(node, NodeEventKind::Quarantined);
                 // The node stays in `NodeState::Remediation` forever: its
                 // open remediation interval is charged to the horizon, and
                 // the Quarantined event feeds lemon detection.
@@ -545,11 +591,11 @@ impl ClusterSim {
         };
         match lc.resolve_probation(&policy, &mut self.rng) {
             ProbationOutcome::Passed => {
-                self.push_lifecycle_event(node, NodeEventKind::ProbationPassed);
+                self.record_node_event(node, NodeEventKind::ProbationPassed);
                 self.return_to_service(node);
             }
             ProbationOutcome::Failed { .. } => {
-                self.push_lifecycle_event(node, NodeEventKind::ProbationFailed);
+                self.record_node_event(node, NodeEventKind::ProbationFailed);
                 let dur = lc.attempt_duration(&policy, &mut self.rng);
                 self.lifecycles.insert(node, lc);
                 self.events
@@ -557,8 +603,8 @@ impl ClusterSim {
             }
             ProbationOutcome::Quarantined => {
                 self.lifecycles.insert(node, lc);
-                self.push_lifecycle_event(node, NodeEventKind::ProbationFailed);
-                self.push_lifecycle_event(node, NodeEventKind::Quarantined);
+                self.record_node_event(node, NodeEventKind::ProbationFailed);
+                self.record_node_event(node, NodeEventKind::Quarantined);
             }
         }
     }
@@ -586,7 +632,7 @@ impl ClusterSim {
             detections.extend(self.monitor.observe_signal(signal));
         }
         for d in &detections {
-            self.telemetry.push_health_event(*d);
+            self.record_health_event(*d);
         }
         if detections.iter().any(|d| d.severity == Severity::High) {
             let victims = self
@@ -612,11 +658,7 @@ impl ClusterSim {
         if self.draining.insert(node) {
             self.cluster.node_mut(node).begin_drain();
             self.sched.set_node_available(node, false);
-            self.telemetry.push_node_event(NodeEvent {
-                node,
-                at: self.now,
-                kind: NodeEventKind::Drain,
-            });
+            self.record_node_event(node, NodeEventKind::Drain);
         }
     }
 
@@ -637,11 +679,13 @@ impl ClusterSim {
         }
         if self.rng.chance(self.config.exclusion_prob) {
             let node = nodes[self.rng.below(nodes.len() as u64) as usize];
-            self.telemetry.push_exclusion(ExclusionEvent {
+            let event = ExclusionEvent {
                 node,
                 job,
                 at: self.now,
-            });
+            };
+            self.emit(&SimEvent::Exclusion(&event));
+            self.telemetry.push_exclusion(event);
         }
     }
 
@@ -699,13 +743,15 @@ impl ClusterSim {
             return;
         }
         if let Some((lost, gpus)) = self.sched.rollback_checkpoints(s.job, intervals) {
-            self.telemetry.push_ckpt_fallback(CheckpointFallbackEvent {
+            let event = CheckpointFallbackEvent {
                 at: self.now,
                 job: s.job,
                 gpus,
                 intervals,
                 lost,
-            });
+            };
+            self.emit(&SimEvent::CkptFallback(&event));
+            self.telemetry.push_ckpt_fallback(event);
         }
     }
 

@@ -25,10 +25,12 @@
 //! assert!(!telemetry.jobs().is_empty());
 //! ```
 
+pub mod bus;
 pub mod config;
 pub mod driver;
 pub mod runner;
 
+pub use bus::{SimEvent, SimObserver};
 pub use config::{EraPreset, SimConfig};
 pub use driver::ClusterSim;
-pub use runner::{CacheStats, ScenarioRunner, ScenarioSpec};
+pub use runner::{CacheStats, ObservedOutcome, ScenarioRunner, ScenarioSpec};

@@ -89,6 +89,28 @@ impl ScenarioSpec {
         sim.run(SimDuration::from_days(self.days));
         sim.into_telemetry().seal()
     }
+
+    /// Runs the simulation with an event-stream observer attached (see
+    /// [`crate::bus`]), sealing the result. The observer sees the run
+    /// live; telemetry is byte-identical to [`Self::simulate`].
+    pub fn simulate_observed(&self, observer: Box<dyn crate::bus::SimObserver>) -> TelemetryView {
+        let mut sim = ClusterSim::new(self.config.clone(), self.seed);
+        sim.attach_observer(observer);
+        sim.run(SimDuration::from_days(self.days));
+        sim.into_telemetry().seal()
+    }
+}
+
+/// How [`ScenarioRunner::run_one_observed`] satisfied the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedOutcome {
+    /// The scenario was simulated live: the observer saw the full event
+    /// stream as it happened.
+    Live,
+    /// A cached artifact satisfied the scenario; the observer was never
+    /// invoked. Callers wanting streaming state can replay the returned
+    /// view through their observer (`rsc-monitor` does exactly this).
+    CachedSkipped,
 }
 
 /// Cache accounting from one [`ScenarioRunner::run_all_with_stats`] call.
@@ -166,6 +188,11 @@ impl ScenarioRunner {
         self
     }
 
+    /// The artifact-cache directory, if caching is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
     /// Runs one scenario, consulting the cache.
     pub fn run_one(&self, spec: &ScenarioSpec) -> Arc<TelemetryView> {
         let (view, outcome) = self.run_one_tracked(spec);
@@ -173,6 +200,35 @@ impl ScenarioRunner {
             eprintln!("warning: corrupt telemetry artifact re-simulated and rewritten");
         }
         view
+    }
+
+    /// Runs one scenario with an event-stream observer attached, still
+    /// consulting the artifact cache.
+    ///
+    /// On a cache hit the simulation never runs, so the observer receives
+    /// nothing and the outcome is [`ObservedOutcome::CachedSkipped`] — the
+    /// caller decides whether to replay the sealed view through its
+    /// observer. On a miss the scenario simulates live with the observer
+    /// attached and the artifact is written as usual.
+    pub fn run_one_observed(
+        &self,
+        spec: &ScenarioSpec,
+        observer: Box<dyn crate::bus::SimObserver>,
+    ) -> (Arc<TelemetryView>, ObservedOutcome) {
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(spec.cache_file_name());
+            if let Ok(view) = load_snapshot_file(&path) {
+                return (Arc::new(view), ObservedOutcome::CachedSkipped);
+            }
+            let view = spec.simulate_observed(observer);
+            let _ = write_artifact(&path, &view);
+            (Arc::new(view), ObservedOutcome::Live)
+        } else {
+            (
+                Arc::new(spec.simulate_observed(observer)),
+                ObservedOutcome::Live,
+            )
+        }
     }
 
     fn run_one_tracked(&self, spec: &ScenarioSpec) -> (Arc<TelemetryView>, RunOutcome) {

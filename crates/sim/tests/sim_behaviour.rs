@@ -176,3 +176,49 @@ fn run_extends_incrementally() {
     let straight4 = sim2.run(SimDuration::from_days(4)).jobs().len();
     assert_eq!(after2, straight4);
 }
+
+#[test]
+fn attached_observer_leaves_telemetry_byte_identical() {
+    use rsc_sim::bus::{CountingObserver, SharedObserver};
+    use rsc_telemetry::snapshot::write_snapshot;
+
+    let baseline = small_run(5, 31).seal();
+
+    let handle = SharedObserver::new(CountingObserver::default());
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 31);
+    sim.attach_observer(Box::new(handle.clone()));
+    sim.run(SimDuration::from_days(5));
+    let observed = sim.into_telemetry().seal();
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    write_snapshot(&mut a, &baseline).unwrap();
+    write_snapshot(&mut b, &observed).unwrap();
+    assert_eq!(a, b, "observer changed the serialized telemetry");
+}
+
+#[test]
+fn observer_sees_consistent_event_counts() {
+    use rsc_sim::bus::{CountingObserver, SharedObserver};
+
+    let handle = SharedObserver::new(CountingObserver::default());
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), 37);
+    sim.attach_observer(Box::new(handle.clone()));
+    sim.run(SimDuration::from_days(5));
+    let view = sim.into_telemetry().seal();
+    let counts = handle.with(|c| *c);
+
+    assert_eq!(counts.jobs as usize, view.jobs().len());
+    assert_eq!(counts.health as usize, view.health_events().len());
+    assert_eq!(counts.node as usize, view.node_events().len());
+    assert_eq!(counts.exclusions as usize, view.exclusions().len());
+    assert_eq!(
+        counts.ground_truth as usize,
+        view.ground_truth_failures().len()
+    );
+    assert_eq!(counts.ckpt_fallbacks as usize, view.ckpt_fallbacks().len());
+    // A D-day run sweeps at days 1..D-1: the driver's loop exits before
+    // the sweep scheduled exactly at the horizon fires.
+    assert_eq!(counts.ticks, 4);
+    assert!(counts.jobs > 0 && counts.health > 0);
+}

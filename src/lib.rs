@@ -19,7 +19,9 @@
 //! - [`telemetry`] — simulated cluster logs and time-window queries;
 //! - [`sim`] — the wired-up cluster simulation;
 //! - [`analysis`] — the paper's contribution: attribution, MTTF, ETTR,
-//!   lemon detection, and goodput accounting.
+//!   lemon detection, and goodput accounting;
+//! - [`monitor`] — the online streaming reliability monitor and alerting
+//!   pipeline over the simulator's event bus.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use rsc_cluster as cluster;
 pub use rsc_core as analysis;
 pub use rsc_failure as failure;
 pub use rsc_health as health;
+pub use rsc_monitor as monitor;
 pub use rsc_network as network;
 pub use rsc_sched as sched;
 pub use rsc_sim as sim;
