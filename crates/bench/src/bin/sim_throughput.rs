@@ -1,0 +1,333 @@
+//! Simulation hot-path throughput: events/sec and wall-time across
+//! cluster sizes, persisted as a tracked perf trajectory.
+//!
+//! Runs the RSC-1-like scaling scenario (see [`rsc_bench::rsc1_sized_spec`])
+//! at a sweep of node counts, timing the event loop and the telemetry seal
+//! separately, best-of-N rounds like `monitor_overhead` so background-load
+//! spikes are discarded. Results merge into `BENCH_sim_throughput.json` at
+//! the working directory (the repo root in CI): the `baseline` section is
+//! preserved verbatim across runs, so the file always carries the pre-PR
+//! reference numbers alongside the current ones and reports the speedup.
+//!
+//! Flags:
+//!
+//! * `--days N` — horizon per scale (default 30);
+//! * `--seed N` — RNG seed (default [`rsc_bench::FIGURE_SEED`]);
+//! * `--rounds N` — best-of-N rounds per scale (default 2);
+//! * `--nodes A,B,C` — node counts to sweep (default `1024,16384,102400`);
+//! * `--smoke` — CI-sized sweep: `256,1024` nodes, 5 days, marked
+//!   `"smoke": true` so it is never mistaken for trajectory numbers;
+//! * `--rebaseline` — overwrite the stored baseline with this run;
+//! * `--min-speedup X` — exit nonzero unless every scale present in both
+//!   baseline and current sped up by at least `X`;
+//! * `--out PATH` — output file (default `BENCH_sim_throughput.json`);
+//! * `--determinism-check` — run one small scenario twice and fail unless
+//!   the sealed snapshots are byte-identical (the CI determinism gate).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rsc_bench::{json_number_field, json_object_field};
+use rsc_sim::driver::ClusterSim;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::snapshot::write_snapshot;
+
+#[derive(Debug, Clone)]
+struct Args {
+    days: u64,
+    seed: u64,
+    rounds: usize,
+    nodes: Vec<u32>,
+    smoke: bool,
+    rebaseline: bool,
+    min_speedup: Option<f64>,
+    out: String,
+    determinism_check: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            days: 30,
+            seed: rsc_bench::FIGURE_SEED,
+            rounds: 2,
+            nodes: vec![1024, 16_384, 102_400],
+            smoke: false,
+            rebaseline: false,
+            min_speedup: None,
+            out: "BENCH_sim_throughput.json".to_string(),
+            determinism_check: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut out = Args::default();
+    let mut iter = std::env::args().skip(1);
+    let mut nodes_overridden = false;
+    while let Some(arg) = iter.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| -> String {
+            inline.clone().or_else(|| iter.next()).unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        let bad = |name: &str, v: &str| -> ! {
+            eprintln!("error: bad {name}: {v:?}");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--days" => {
+                let v = value("--days");
+                out.days = v.parse().unwrap_or_else(|_| bad("--days", &v));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                out.seed = v.parse().unwrap_or_else(|_| bad("--seed", &v));
+            }
+            "--rounds" => {
+                let v = value("--rounds");
+                out.rounds = v.parse().unwrap_or_else(|_| bad("--rounds", &v));
+                out.rounds = out.rounds.max(1);
+            }
+            "--nodes" => {
+                let v = value("--nodes");
+                out.nodes = v
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| bad("--nodes", &v)))
+                    .collect();
+                nodes_overridden = true;
+            }
+            "--smoke" => out.smoke = true,
+            "--rebaseline" => out.rebaseline = true,
+            "--min-speedup" => {
+                let v = value("--min-speedup");
+                out.min_speedup = Some(v.parse().unwrap_or_else(|_| bad("--min-speedup", &v)));
+            }
+            "--out" => out.out = value("--out"),
+            "--determinism-check" => out.determinism_check = true,
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!(
+                    "usage: [--days N] [--seed N] [--rounds N] [--nodes A,B,C] [--smoke] \
+                     [--rebaseline] [--min-speedup X] [--out PATH] [--determinism-check]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if out.smoke {
+        if !nodes_overridden {
+            out.nodes = vec![256, 1024];
+        }
+        out.days = out.days.min(5);
+    }
+    out
+}
+
+/// One scale's best-of-rounds measurement.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    nodes: u32,
+    events: u64,
+    jobs: usize,
+    wall_s: f64,
+    seal_s: f64,
+}
+
+impl Measurement {
+    fn total_s(&self) -> f64 {
+        self.wall_s + self.seal_s
+    }
+    fn events_per_s(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
+    let spec = rsc_bench::rsc1_sized_spec(nodes, days, seed);
+    let mut best: Option<Measurement> = None;
+    for round in 0..rounds {
+        let t0 = Instant::now();
+        let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+        sim.run(SimDuration::from_days(spec.days));
+        let events = sim.events_processed();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let view = sim.into_telemetry().seal();
+        let seal_s = t1.elapsed().as_secs_f64();
+        let m = Measurement {
+            nodes,
+            events,
+            jobs: view.jobs().len(),
+            wall_s,
+            seal_s,
+        };
+        println!(
+            "  round {round}: {events} events in {wall_s:.3} s ({:.0} ev/s), seal {seal_s:.3} s",
+            m.events_per_s()
+        );
+        match best {
+            Some(b) if b.total_s() <= m.total_s() => {}
+            _ => best = Some(m),
+        }
+    }
+    best.expect("at least one round ran")
+}
+
+/// Renders one `"scales"` entry; field order is part of the file format
+/// (the merge logic re-reads it with substring scans).
+fn scale_json(m: &Measurement) -> String {
+    format!(
+        "\"{}\": {{\"wall_s\": {:.4}, \"seal_s\": {:.4}, \"total_s\": {:.4}, \
+         \"events\": {}, \"events_per_s\": {:.1}, \"jobs\": {}}}",
+        m.nodes,
+        m.wall_s,
+        m.seal_s,
+        m.total_s(),
+        m.events,
+        m.events_per_s(),
+        m.jobs
+    )
+}
+
+fn section_json(days: u64, seed: u64, smoke: bool, measurements: &[Measurement]) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"days\": {days}, \"seed\": {seed}");
+    if smoke {
+        s.push_str(", \"smoke\": true");
+    }
+    s.push_str(", \"scales\": {");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&scale_json(m));
+    }
+    s.push_str("}}");
+    s
+}
+
+/// Baseline total seconds for `nodes`, if the stored baseline has it.
+fn baseline_total_s(baseline: &str, nodes: u32) -> Option<f64> {
+    let scales = json_object_field(baseline, "scales")?;
+    let entry = json_object_field(scales, &nodes.to_string())?;
+    json_number_field(entry, "total_s")
+}
+
+fn determinism_check() -> std::process::ExitCode {
+    let spec = rsc_bench::rsc1_sized_spec(256, 5, rsc_bench::FIGURE_SEED);
+    let snap = |spec: &rsc_sim::runner::ScenarioSpec| {
+        let view = spec.simulate();
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &view).expect("snapshot serializes");
+        bytes
+    };
+    let a = snap(&spec);
+    let b = snap(&spec);
+    if a == b {
+        println!(
+            "determinism-check: OK ({} byte snapshot identical across two runs)",
+            a.len()
+        );
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: two runs of the same scenario produced different snapshot bytes");
+        std::process::ExitCode::FAILURE
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let args = parse_args();
+    if args.determinism_check {
+        return determinism_check();
+    }
+    rsc_bench::banner(
+        "sim_throughput",
+        "Event-loop throughput and telemetry-seal wall time",
+        &format!(
+            "nodes {:?}, {} days, seed {}, best of {} round(s)",
+            args.nodes, args.days, args.seed, args.rounds
+        ),
+    );
+
+    let mut measurements = Vec::new();
+    for &nodes in &args.nodes {
+        println!("\n== {nodes} nodes × {} days ==", args.days);
+        measurements.push(measure(nodes, args.days, args.seed, args.rounds));
+    }
+
+    let current = section_json(args.days, args.seed, args.smoke, &measurements);
+    let previous = std::fs::read_to_string(&args.out).unwrap_or_default();
+    // A smoke run never overwrites the stored trajectory baseline; a full
+    // run seeds it on first write (or on --rebaseline).
+    let baseline: String = if args.rebaseline {
+        current.clone()
+    } else {
+        match json_object_field(&previous, "baseline") {
+            Some(b) => b.to_string(),
+            None if args.smoke => String::new(),
+            None => current.clone(),
+        }
+    };
+
+    println!(
+        "\n{:>8} {:>12} {:>10} {:>10} {:>12} {:>9}",
+        "nodes", "events", "wall (s)", "seal (s)", "events/s", "speedup"
+    );
+    let mut speedups = String::new();
+    let mut min_seen = f64::INFINITY;
+    // Speedups are only meaningful against a baseline over the same
+    // horizon and seed; a smoke run (shorter days) reports "-".
+    let comparable = json_number_field(&baseline, "days") == Some(args.days as f64)
+        && json_number_field(&baseline, "seed") == Some(args.seed as f64);
+    for m in &measurements {
+        let speedup = comparable
+            .then(|| baseline_total_s(&baseline, m.nodes))
+            .flatten()
+            .map(|b| b / m.total_s());
+        let label = speedup.map_or("-".to_string(), |s| format!("{s:.2}x"));
+        println!(
+            "{:>8} {:>12} {:>10.3} {:>10.3} {:>12.0} {:>9}",
+            m.nodes,
+            m.events,
+            m.wall_s,
+            m.seal_s,
+            m.events_per_s(),
+            label
+        );
+        if let Some(s) = speedup {
+            min_seen = min_seen.min(s);
+            if !speedups.is_empty() {
+                speedups.push_str(", ");
+            }
+            let _ = write!(speedups, "\"{}\": {s:.3}", m.nodes);
+        }
+    }
+
+    let mut body = String::from("{\n  \"bench\": \"sim_throughput\",\n");
+    if !baseline.is_empty() {
+        let _ = writeln!(body, "  \"baseline\": {baseline},");
+    }
+    let _ = writeln!(body, "  \"current\": {current},");
+    let _ = writeln!(body, "  \"speedup_total\": {{{speedups}}}\n}}");
+    match std::fs::write(&args.out, &body) {
+        Ok(()) => println!("\n[json] wrote {}", args.out),
+        Err(e) => {
+            eprintln!("error: failed to write {}: {e}", args.out);
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(min) = args.min_speedup {
+        if min_seen < min {
+            eprintln!("FAIL: speedup {min_seen:.2}x below required {min:.2}x");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -55,6 +55,28 @@ fn spec(config: SimConfig, divisor: u32, days: u64, seed: u64) -> ScenarioSpec {
     ScenarioSpec::new(config, seed, days)
 }
 
+/// An RSC-1-like scenario resized to exactly `num_nodes` nodes (up *or*
+/// down from RSC-1's 2,048), with the arrival rate scaled proportionally
+/// and the offered load re-calibrated — the `sim_throughput` scaling
+/// scenario. Era storylines are disabled so runs at different sizes stay
+/// comparable (stationary failure rates, scheduler-bound behaviour).
+pub fn rsc1_sized_spec(num_nodes: u32, days: u64, seed: u64) -> ScenarioSpec {
+    let base = SimConfig::rsc1();
+    let factor = num_nodes as f64 / base.cluster.num_nodes() as f64;
+    let cluster = rsc_cluster::spec::ClusterSpec::new(format!("RSC-1@{num_nodes}"), num_nodes);
+    let mut workload = base.workload.scaled(factor);
+    workload.calibrate_load(cluster.total_gpus(), 0.95);
+    let config = SimConfig {
+        cluster,
+        workload,
+        eras: rsc_sim::config::EraPreset::None,
+        lemon_count: ((base.lemon_count as f64 * factor) as usize).max(1),
+        ib_spike_node_count: 0,
+        ..base
+    };
+    ScenarioSpec::new(config, seed, days)
+}
+
 /// Runs (or loads from cache) an RSC-1-like simulation at `1/divisor`
 /// scale for `days`, returning sealed telemetry.
 pub fn run_rsc1(divisor: u32, days: u64, seed: u64) -> Arc<TelemetryView> {
@@ -186,6 +208,53 @@ impl BenchArgs {
     }
 }
 
+/// Extracts the balanced `{...}` object following `"key":` in `text`,
+/// or `None` if the key is absent or not followed by an object. Scans
+/// textually (the bench JSON files contain no strings with braces), so
+/// the perf-trajectory files can be merged without a JSON dependency.
+pub fn json_object_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(at) = text[from..].find(&needle) {
+        let after = from + at + needle.len();
+        let rest = text[after..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(':') {
+            let body = stripped.trim_start();
+            if body.starts_with('{') {
+                let start = text.len() - body.len();
+                let mut depth = 0usize;
+                for (i, c) in text[start..].char_indices() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(&text[start..start + i + 1]);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                return None; // unbalanced
+            }
+        }
+        from = after;
+    }
+    None
+}
+
+/// Extracts the number following the first `"key":` in `text`.
+pub fn json_number_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    let rest = text[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Where figure CSVs land, resolved in order:
 ///
 /// 1. `$RSC_FIGURES_DIR` — explicit override;
@@ -288,6 +357,38 @@ mod tests {
         assert!(parse(&["--days", "0"], 8).is_err());
         assert!(parse(&["--scale=0"], 8).is_err());
         assert!(parse(&["--frobnicate", "1"], 8).is_err());
+    }
+
+    #[test]
+    fn json_object_field_extracts_balanced() {
+        let text = r#"{"bench": "x", "baseline": {"days": 30, "scales": {"1024": {"wall_s": 1.5}}}, "current": {"days": 5}}"#;
+        let baseline = json_object_field(text, "baseline").unwrap();
+        assert!(baseline.starts_with('{') && baseline.ends_with('}'));
+        assert!(baseline.contains("\"scales\""));
+        assert!(!baseline.contains("\"current\""));
+        let scales = json_object_field(baseline, "scales").unwrap();
+        let entry = json_object_field(scales, "1024").unwrap();
+        assert_eq!(json_number_field(entry, "wall_s"), Some(1.5));
+        assert_eq!(json_object_field(text, "missing"), None);
+        // Key present but not an object: skipped, not mis-parsed.
+        assert_eq!(json_object_field(text, "bench"), None);
+    }
+
+    #[test]
+    fn json_number_field_parses_variants() {
+        let text = r#"{"a": 12, "b": -3.25, "c": 1.2e3, "d": true}"#;
+        assert_eq!(json_number_field(text, "a"), Some(12.0));
+        assert_eq!(json_number_field(text, "b"), Some(-3.25));
+        assert_eq!(json_number_field(text, "c"), Some(1200.0));
+        assert_eq!(json_number_field(text, "d"), None);
+        assert_eq!(json_number_field(text, "zz"), None);
+    }
+
+    #[test]
+    fn sized_spec_matches_node_count() {
+        let spec = rsc1_sized_spec(512, 3, 1);
+        assert_eq!(spec.config.cluster.num_nodes(), 512);
+        assert_eq!(spec.days, 3);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Byte-identity proof for the indexed scheduler hot path.
+//!
+//! The scheduler keeps its pre-optimization O(nodes) scans as retained
+//! `*_naive` reference implementations — verbatim the code that shipped
+//! before the indexed cycle landed. Running the default scenario set with
+//! the naive scans routed in must produce sealed snapshots byte-identical
+//! to the indexed runs: same starts, same preemption victims, same
+//! reservation times, same RNG stream, same bytes.
+
+use rsc_bench::{rsc1_sized_spec, rsc1_spec, rsc2_spec};
+use rsc_sim::{ClusterSim, ScenarioSpec};
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::snapshot::write_snapshot;
+
+fn snapshot_bytes(spec: &ScenarioSpec, naive: bool) -> Vec<u8> {
+    let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+    sim.set_naive_scheduler_scans(naive);
+    sim.run(SimDuration::from_days(spec.days));
+    let view = sim.into_telemetry().seal();
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &view).expect("in-memory snapshot write");
+    bytes
+}
+
+#[test]
+fn indexed_scheduler_matches_naive_scans_byte_for_byte() {
+    // The default scenario set at test scale: both cluster presets (their
+    // era schedules exercise different failure mixes) plus a resized RSC-1
+    // large enough to hit preemption and conservative-backfill
+    // reservations.
+    let specs = [
+        rsc1_spec(64, 7, 20250301),
+        rsc2_spec(64, 7, 20250301),
+        rsc1_sized_spec(256, 5, 7),
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let indexed = snapshot_bytes(spec, false);
+        let naive = snapshot_bytes(spec, true);
+        assert!(
+            indexed == naive,
+            "scenario {i}: sealed snapshot differs between indexed and naive scans \
+             ({} vs {} bytes)",
+            indexed.len(),
+            naive.len()
+        );
+    }
+}

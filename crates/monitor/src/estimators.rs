@@ -391,10 +391,8 @@ impl StreamingAvailability {
             return;
         }
         match e.kind {
-            NodeEventKind::EnterRemediation => {
-                if self.down_since[i].is_none() {
-                    self.down_since[i] = Some(e.at);
-                }
+            NodeEventKind::EnterRemediation if self.down_since[i].is_none() => {
+                self.down_since[i] = Some(e.at);
             }
             NodeEventKind::ExitRemediation => {
                 if let Some(start) = self.down_since[i].take() {

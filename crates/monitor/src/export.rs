@@ -53,6 +53,43 @@ pub fn write_alerts_csv<P: AsRef<Path>>(path: P, alerts: &[Alert]) -> io::Result
     write_csv_file(path, &ALERTS_CSV_HEADER, alerts_rows(alerts))
 }
 
+/// Column header of the combined multi-scenario alert rollup CSV: the
+/// per-scenario [`ALERTS_CSV_HEADER`] columns behind a scenario
+/// fingerprint column.
+pub const ALERTS_ROLLUP_CSV_HEADER: [&str; 8] = [
+    "scenario",
+    "kind",
+    "node",
+    "raised_at_days",
+    "cleared_at_days",
+    "value",
+    "threshold",
+    "message",
+];
+
+/// Writes one combined alert CSV covering a batch of scenarios, each
+/// entry a `(scenario label, alert log)` pair. Rows keep entry order,
+/// then alert order, so identical batches write identical bytes.
+///
+/// # Errors
+///
+/// Returns any error from directory creation or file I/O.
+pub fn write_alerts_rollup_csv<P: AsRef<Path>>(
+    path: P,
+    entries: &[(String, &[Alert])],
+) -> io::Result<()> {
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .flat_map(|(label, alerts)| {
+            alerts_rows(alerts).into_iter().map(move |mut row| {
+                row.insert(0, label.clone());
+                row
+            })
+        })
+        .collect();
+    write_csv_file(path, &ALERTS_ROLLUP_CSV_HEADER, rows)
+}
+
 /// Writes a monitor report as JSON, creating parent directories.
 ///
 /// # Errors
@@ -91,6 +128,28 @@ mod tests {
         assert_eq!(rows[0][0], "lemon_suspect");
         assert_eq!(rows[0][1], "7");
         assert_eq!(rows[0][3], ""); // still active
+    }
+
+    #[test]
+    fn rollup_prefixes_rows_with_scenario_label() {
+        let dir = std::env::temp_dir().join(format!("rsc_rollup_test_{}", std::process::id()));
+        let path = dir.join("alerts_rollup.csv");
+        let a = sample_alert();
+        let entries = vec![
+            ("0000000000000001".to_string(), std::slice::from_ref(&a)),
+            ("0000000000000002".to_string(), &[][..]),
+        ];
+        write_alerts_rollup_csv(&path, &entries).expect("write rollup");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let mut lines = body.lines();
+        assert_eq!(
+            lines.next().expect("header"),
+            ALERTS_ROLLUP_CSV_HEADER.join(",")
+        );
+        let row = lines.next().expect("one data row");
+        assert!(row.starts_with("0000000000000001,lemon_suspect,7,"));
+        assert_eq!(lines.next(), None); // empty scenario adds no rows
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -71,4 +71,4 @@ pub use lemon::WindowedLemon;
 pub use monitor::ReliabilityMonitor;
 pub use replay::replay_view;
 pub use report::{HistogramSummary, LemonSuspect, MonitorReport};
-pub use runner::{MonitoredRun, MonitoredRunner};
+pub use runner::{MonitoredBatch, MonitoredRun, MonitoredRunner};

@@ -9,8 +9,9 @@ use rsc_sim::bus::SharedObserver;
 use rsc_sim::runner::{ObservedOutcome, ScenarioRunner, ScenarioSpec};
 use rsc_telemetry::view::TelemetryView;
 
+use crate::alerts::Alert;
 use crate::config::MonitorConfig;
-use crate::export::{write_alerts_csv, write_report_json};
+use crate::export::{write_alerts_csv, write_alerts_rollup_csv, write_report_json};
 use crate::monitor::ReliabilityMonitor;
 use crate::replay::replay_view;
 use crate::report::MonitorReport;
@@ -103,6 +104,54 @@ impl MonitoredRunner {
             artifacts,
         }
     }
+
+    /// Executes a batch of scenarios with the monitor attached, writing
+    /// one combined `alerts_rollup.csv` next to the artifact cache.
+    ///
+    /// When the wrapped runner has a cache directory, the batch first
+    /// simulates across the runner's worker pool (warming the telemetry
+    /// cache in parallel), then produces each monitor report by replaying
+    /// the sealed views — so the monitored pass costs one read over
+    /// cached telemetry rather than a second simulation. Scenarios keep
+    /// their input order in both the returned runs and the rollup rows,
+    /// labelled by spec fingerprint.
+    pub fn run_all(&self, specs: &[ScenarioSpec]) -> MonitoredBatch {
+        if self.runner.cache_dir().is_some() {
+            let _ = self.runner.run_all(specs);
+        }
+        let runs: Vec<MonitoredRun> = specs.iter().map(|s| self.run_one(s)).collect();
+
+        let mut rollup = None;
+        if self.config.enabled {
+            if let Some(dir) = self.runner.cache_dir() {
+                let entries: Vec<(String, &[Alert])> = specs
+                    .iter()
+                    .zip(&runs)
+                    .filter_map(|(spec, run)| {
+                        run.report
+                            .as_ref()
+                            .map(|r| (format!("{:016x}", spec.fingerprint()), r.alerts.as_slice()))
+                    })
+                    .collect();
+                let path = dir.join("alerts_rollup.csv");
+                // Best-effort, like the per-scenario artifacts.
+                if write_alerts_rollup_csv(&path, &entries).is_ok() {
+                    rollup = Some(path);
+                }
+            }
+        }
+        MonitoredBatch { runs, rollup }
+    }
+}
+
+/// The result of a [`MonitoredRunner::run_all`] batch.
+#[derive(Debug)]
+pub struct MonitoredBatch {
+    /// Per-scenario monitored runs, in spec order.
+    pub runs: Vec<MonitoredRun>,
+    /// Path of the combined alert rollup CSV, when the runner has a
+    /// cache directory and the monitor was enabled.
+    pub rollup: Option<PathBuf>,
 }
 
 #[cfg(test)]
@@ -123,6 +172,44 @@ mod tests {
         assert!(run.report.is_none());
         assert!(run.artifacts.is_empty());
         assert_eq!(run.view.jobs(), spec.simulate().jobs());
+    }
+
+    #[test]
+    fn batch_writes_combined_rollup() {
+        let dir = temp_cache("rollup");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = MonitoredRunner::new(
+            ScenarioRunner::new().with_cache_dir(&dir).workers(2),
+            MonitorConfig::rsc_default(),
+        );
+        let specs = [
+            ScenarioSpec::new(SimConfig::small_test_cluster(), 5, 3),
+            ScenarioSpec::new(SimConfig::small_test_cluster(), 7, 3),
+        ];
+        let batch = runner.run_all(&specs);
+        assert_eq!(batch.runs.len(), 2);
+        let rollup = batch.rollup.expect("rollup written next to cache");
+        assert_eq!(rollup, dir.join("alerts_rollup.csv"));
+        let body = std::fs::read_to_string(&rollup).expect("rollup readable");
+        let header = body.lines().next().expect("header row");
+        assert!(header.starts_with("scenario,kind,node,"));
+        // Every data row is labelled with one of the batch fingerprints.
+        let fps: Vec<String> = specs
+            .iter()
+            .map(|s| format!("{:016x}", s.fingerprint()))
+            .collect();
+        for line in body.lines().skip(1) {
+            assert!(fps.iter().any(|fp| line.starts_with(fp.as_str())));
+        }
+        // A second identical batch replays from cache and rewrites the
+        // same bytes.
+        let again = runner.run_all(&specs);
+        assert!(again
+            .runs
+            .iter()
+            .all(|r| r.outcome == ObservedOutcome::CachedSkipped));
+        assert_eq!(std::fs::read_to_string(&rollup).expect("reread"), body);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -153,7 +153,7 @@ fn assert_no_flap(debounce_days: u64, schedule: &[(u32, u8, bool)]) {
         std::collections::BTreeMap::new();
     let mut t = SimTime::ZERO;
     for &(advance_mins, key_pick, raise) in schedule {
-        t = t + SimDuration::from_mins(advance_mins as u64 % (5 * 24 * 60));
+        t += SimDuration::from_mins(advance_mins as u64 % (5 * 24 * 60));
         let key = match key_pick % 3 {
             0 => AlertKey::MttfRegression,
             1 => AlertKey::QuarantineSurge,

@@ -5,6 +5,8 @@
 //! Multi-node placement packs pods first, mirroring Slurm's attempt to
 //! "co-locate the tasks given the physical network topology" (§II-A).
 
+use std::collections::BTreeSet;
+
 use serde::{Deserialize, Serialize};
 
 use rsc_cluster::ids::NodeId;
@@ -13,22 +15,123 @@ use rsc_cluster::topology::Topology;
 
 use crate::job::JobSpec;
 
+/// Incrementally-maintained derived views of the pool, so allocation
+/// queries don't rescan every node (DESIGN.md §9).
+///
+/// Invariants (over *available* nodes only):
+///
+/// * `free_gpus` = Σ free slots;
+/// * `by_free[f]` holds exactly the nodes with `f` free slots, for
+///   `f ≥ 1` (fully-busy nodes are indexed nowhere — no query looks
+///   for zero free slots);
+/// * `whole_by_pod[p]` holds the fully-free nodes of pod `p`, and
+///   `whole_total` their overall count (so `whole_by_pod[p]` mirrors
+///   `by_free[8]` split by pod).
+///
+/// Unavailable nodes are absent from every structure; toggling
+/// availability re-files the node. Rebuilt from scratch rather than
+/// serialized (see the `serde(skip)` on the pool field).
+#[derive(Debug, Clone, Default)]
+struct PoolIndex {
+    free_gpus: u64,
+    by_free: [BTreeSet<u32>; GPUS_PER_NODE + 1],
+    whole_by_pod: Vec<BTreeSet<u32>>,
+    whole_total: usize,
+}
+
 /// Tracks free GPU slots and schedulability for every node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResourcePool {
     topology: Topology,
     free_slots: Vec<u8>,
     available: Vec<bool>,
+    // Derived data: deterministic function of the three fields above.
+    // Skipped by serde, so anything deserializing a pool must call
+    // `rebuild_index` before use (nothing in-tree serializes pools;
+    // the derives exist for embedding in config-like structs).
+    #[serde(skip)]
+    index: PoolIndex,
+}
+
+/// Equality over the real state only; the index is derived.
+impl PartialEq for ResourcePool {
+    fn eq(&self, other: &Self) -> bool {
+        self.topology == other.topology
+            && self.free_slots == other.free_slots
+            && self.available == other.available
+    }
 }
 
 impl ResourcePool {
     /// Creates a pool with all nodes available and empty.
     pub fn new(topology: Topology) -> Self {
         let n = topology.num_nodes() as usize;
-        ResourcePool {
+        let mut pool = ResourcePool {
             topology,
             free_slots: vec![GPUS_PER_NODE as u8; n],
             available: vec![true; n],
+            index: PoolIndex::default(),
+        };
+        pool.rebuild_index();
+        pool
+    }
+
+    /// Recomputes the derived index from the node state. O(n log n);
+    /// needed only after construction or deserialization.
+    pub fn rebuild_index(&mut self) {
+        let num_pods = (0..self.free_slots.len())
+            .map(|i| self.topology.pod_of(NodeId::new(i as u32)).index() + 1)
+            .max()
+            .unwrap_or(0) as usize;
+        self.index = PoolIndex {
+            free_gpus: 0,
+            by_free: Default::default(),
+            whole_by_pod: vec![BTreeSet::new(); num_pods],
+            whole_total: 0,
+        };
+        for i in 0..self.free_slots.len() {
+            if self.available[i] {
+                self.index_insert(i);
+            }
+        }
+    }
+
+    /// Files an available node into the index. Must not already be filed.
+    fn index_insert(&mut self, i: usize) {
+        let free = self.free_slots[i];
+        self.index.free_gpus += free as u64;
+        if free > 0 {
+            self.index.by_free[free as usize].insert(i as u32);
+        }
+        if free as usize == GPUS_PER_NODE {
+            let pod = self.topology.pod_of(NodeId::new(i as u32)).index() as usize;
+            self.index.whole_by_pod[pod].insert(i as u32);
+            self.index.whole_total += 1;
+        }
+    }
+
+    /// Removes an available node from the index ahead of a state change.
+    fn index_remove(&mut self, i: usize) {
+        let free = self.free_slots[i];
+        self.index.free_gpus -= free as u64;
+        if free > 0 {
+            self.index.by_free[free as usize].remove(&(i as u32));
+        }
+        if free as usize == GPUS_PER_NODE {
+            let pod = self.topology.pod_of(NodeId::new(i as u32)).index() as usize;
+            self.index.whole_by_pod[pod].remove(&(i as u32));
+            self.index.whole_total -= 1;
+        }
+    }
+
+    /// Updates a node's free-slot count, keeping the index current.
+    fn set_free_slots(&mut self, i: usize, free: u8) {
+        if self.available[i] {
+            self.index_remove(i);
+            self.free_slots[i] = free;
+            self.index_insert(i);
+        } else {
+            self.free_slots[i] = free;
         }
     }
 
@@ -41,7 +144,17 @@ impl ResourcePool {
     /// Resource accounting is unchanged; running jobs are the scheduler's
     /// concern.
     pub fn set_available(&mut self, node: NodeId, available: bool) {
-        self.available[node.as_usize()] = available;
+        let i = node.as_usize();
+        if self.available[i] == available {
+            return;
+        }
+        if available {
+            self.available[i] = true;
+            self.index_insert(i);
+        } else {
+            self.index_remove(i);
+            self.available[i] = false;
+        }
     }
 
     /// Whether a node is currently schedulable.
@@ -54,14 +167,31 @@ impl ResourcePool {
         self.free_slots[node.as_usize()]
     }
 
-    /// Total free GPUs on available nodes.
+    /// Total free GPUs on available nodes. O(1) via the index.
     pub fn total_free_gpus(&self) -> u64 {
+        self.index.free_gpus
+    }
+
+    /// The naive-scan equivalent of [`Self::total_free_gpus`], retained as
+    /// the reference the property tests pin the index against.
+    #[doc(hidden)]
+    pub fn total_free_gpus_naive(&self) -> u64 {
         self.free_slots
             .iter()
             .zip(&self.available)
             .filter(|(_, &a)| a)
             .map(|(&f, _)| f as u64)
             .sum()
+    }
+
+    /// Count of fully-free available nodes. O(1) via the index.
+    pub fn free_whole_nodes(&self) -> usize {
+        self.index.whole_total
+    }
+
+    /// Ascending iterator over fully-free available nodes.
+    pub(crate) fn free_whole_iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.index.by_free[GPUS_PER_NODE].iter().copied()
     }
 
     /// Total GPUs in the pool (available or not).
@@ -82,7 +212,22 @@ impl ResourcePool {
         }
     }
 
+    /// Tightest fit, ties to the lowest node index: exactly the minimum
+    /// of `(free, index)` over nodes that fit — so the first non-empty
+    /// free-count bucket at or above `gpus` holds the answer.
     fn best_fit_sub_node(&self, gpus: u8) -> Option<NodeId> {
+        for f in gpus as usize..=GPUS_PER_NODE {
+            if let Some(&i) = self.index.by_free[f].first() {
+                return Some(NodeId::new(i));
+            }
+        }
+        None
+    }
+
+    /// The naive-scan equivalent of [`Self::best_fit_sub_node`] (reference
+    /// for the property tests).
+    #[doc(hidden)]
+    pub fn best_fit_sub_node_naive(&self, gpus: u8) -> Option<NodeId> {
         let mut best: Option<(u8, usize)> = None;
         for (i, (&free, &avail)) in self.free_slots.iter().zip(&self.available).enumerate() {
             if !avail || free < gpus {
@@ -101,7 +246,40 @@ impl ResourcePool {
         best.map(|(_, i)| NodeId::new(i as u32))
     }
 
+    /// Takes whole nodes from the pods with the most free capacity first
+    /// (fewest pods spanned), nodes in ascending id order within a pod,
+    /// result sorted — byte-for-byte the choice the old full scan made,
+    /// but O(pods·log pods + needed) off the pod-bucketed free sets.
     fn pack_whole_nodes(&self, needed: usize) -> Option<Vec<NodeId>> {
+        if self.index.whole_total < needed {
+            return None;
+        }
+        let mut by_pod: Vec<(u32, &BTreeSet<u32>)> = self
+            .index
+            .whole_by_pod
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(p, set)| (p as u32, set))
+            .collect();
+        by_pod.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut chosen = Vec::with_capacity(needed);
+        for (_, nodes) in by_pod {
+            for &idx in nodes {
+                chosen.push(NodeId::new(idx));
+                if chosen.len() == needed {
+                    chosen.sort();
+                    return Some(chosen);
+                }
+            }
+        }
+        None
+    }
+
+    /// The naive-scan equivalent of [`Self::pack_whole_nodes`] (reference
+    /// for the property tests).
+    #[doc(hidden)]
+    pub fn pack_whole_nodes_naive(&self, needed: usize) -> Option<Vec<NodeId>> {
         // Gather fully-free nodes grouped by pod (node ids are pod-ordered).
         let free_nodes: Vec<u32> = self
             .free_slots
@@ -138,6 +316,18 @@ impl ResourcePool {
         None
     }
 
+    /// Naive-scan allocation (reference for the property tests): same
+    /// routing as [`Self::try_allocate`] over the `_naive` primitives.
+    #[doc(hidden)]
+    pub fn try_allocate_naive(&self, spec: &JobSpec) -> Option<Vec<NodeId>> {
+        if spec.is_sub_node() {
+            self.best_fit_sub_node_naive(spec.gpus as u8)
+                .map(|n| vec![n])
+        } else {
+            self.pack_whole_nodes_naive(spec.nodes_needed() as usize)
+        }
+    }
+
     /// Commits an allocation previously returned by [`Self::try_allocate`].
     ///
     /// # Panics
@@ -151,7 +341,7 @@ impl ResourcePool {
                 "commit over capacity on {}",
                 nodes[0]
             );
-            self.free_slots[n] -= spec.gpus as u8;
+            self.set_free_slots(n, self.free_slots[n] - spec.gpus as u8);
         } else {
             for &node in nodes {
                 let n = node.as_usize();
@@ -159,7 +349,7 @@ impl ResourcePool {
                     self.free_slots[n] as usize == GPUS_PER_NODE,
                     "commit on non-free node {node}"
                 );
-                self.free_slots[n] = 0;
+                self.set_free_slots(n, 0);
             }
         }
     }
@@ -178,7 +368,7 @@ impl ResourcePool {
                 "release over capacity on {}",
                 nodes[0]
             );
-            self.free_slots[n] = new;
+            self.set_free_slots(n, new);
         } else {
             for &node in nodes {
                 let n = node.as_usize();
@@ -186,7 +376,7 @@ impl ResourcePool {
                     self.free_slots[n] == 0,
                     "release of non-committed node {node}"
                 );
-                self.free_slots[n] = GPUS_PER_NODE as u8;
+                self.set_free_slots(n, GPUS_PER_NODE as u8);
             }
         }
     }
@@ -291,6 +481,82 @@ mod tests {
         let mut p = pool(1);
         let s = spec(8);
         p.release(&[NodeId::new(0)], &s);
+    }
+
+    #[test]
+    fn index_tracks_naive_scans_through_churn() {
+        let mut p = pool(40);
+        // Drive a deterministic mix of commits, releases, and availability
+        // flips, checking the indexed queries against the naive scans at
+        // every step.
+        let mut live: Vec<(Vec<NodeId>, JobSpec)> = Vec::new();
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        for step in 0..400 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match x % 4 {
+                0 | 1 => {
+                    let gpus = 1 + (x >> 8) as u32 % 24;
+                    let s = spec(gpus);
+                    if let Some(nodes) = p.try_allocate(&s) {
+                        assert_eq!(Some(nodes.clone()), p.try_allocate_naive(&s), "step {step}");
+                        p.commit(&nodes, &s);
+                        live.push((nodes, s));
+                    } else {
+                        assert_eq!(p.try_allocate_naive(&s), None, "step {step}");
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let (nodes, s) = live.swap_remove((x >> 8) as usize % live.len());
+                        p.release(&nodes, &s);
+                    }
+                }
+                _ => {
+                    let node = NodeId::new((x >> 8) as u32 % 40);
+                    // Only flip nodes with no live allocation, mirroring how
+                    // the scheduler drains nodes before long unavailability.
+                    if !live.iter().any(|(ns, _)| ns.contains(&node)) {
+                        let avail = p.is_available(node);
+                        p.set_available(node, !avail);
+                    }
+                }
+            }
+            assert_eq!(
+                p.total_free_gpus(),
+                p.total_free_gpus_naive(),
+                "step {step}"
+            );
+            for gpus in [1u8, 3, 7] {
+                assert_eq!(
+                    p.best_fit_sub_node(gpus),
+                    p.best_fit_sub_node_naive(gpus),
+                    "step {step} gpus {gpus}"
+                );
+            }
+            for needed in [1usize, 2, 5, 11] {
+                assert_eq!(
+                    p.pack_whole_nodes(needed),
+                    p.pack_whole_nodes_naive(needed),
+                    "step {step} needed {needed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_index_matches_incremental() {
+        let mut p = pool(8);
+        let s = spec(16);
+        let a = p.try_allocate(&s).unwrap();
+        p.commit(&a, &s);
+        p.set_available(NodeId::new(5), false);
+        let mut rebuilt = p.clone();
+        rebuilt.rebuild_index();
+        assert_eq!(p.total_free_gpus(), rebuilt.total_free_gpus());
+        assert_eq!(p.free_whole_nodes(), rebuilt.free_whole_nodes());
+        assert_eq!(p.try_allocate(&spec(24)), rebuilt.try_allocate(&spec(24)));
     }
 
     #[test]

@@ -113,15 +113,39 @@ pub struct StartedAttempt {
 type PendKey = (u8, u64, u64);
 
 fn pend_key(spec: &JobSpec) -> PendKey {
-    let tier = match spec.qos {
+    (qos_tier(spec.qos), spec.submit_at.as_secs(), spec.id.raw())
+}
+
+/// QoS as a small ordinal: High = 0, Normal = 1, Low = 2 (lower number =
+/// higher priority, matching the pending-queue key).
+fn qos_tier(qos: QosClass) -> u8 {
+    match qos {
         QosClass::High => 0u8,
         QosClass::Normal => 1,
         QosClass::Low => 2,
-    };
-    (tier, spec.submit_at.as_secs(), spec.id.raw())
+    }
 }
 
+/// Sentinel tier for a node with no running occupants.
+const NO_OCCUPANTS: u8 = u8::MAX;
+
+/// A peekable ascending stream of node indices, used to merge the
+/// preemption-candidate sources in [`Scheduler::plan_preemption`].
+type NodeIdxIter<'a> = std::iter::Peekable<Box<dyn Iterator<Item = u32> + 'a>>;
+
 /// The scheduler: queue, running set, resource pool, and accounting log.
+///
+/// Besides the core state, the scheduler maintains three derived indexes
+/// (DESIGN.md §9) so a cycle never rescans all nodes or all jobs:
+///
+/// * `whole_node_frees` — `(time-limit end estimate, job) → node count`
+///   for every running whole-node job, giving the conservative-backfill
+///   reservation estimate by in-order traversal;
+/// * `node_best_tier` / `occupied_by_tier` — per-node best (numerically
+///   lowest) occupant QoS tier, and the occupied nodes bucketed by that
+///   tier, so preemption planning only visits nodes whose occupants are
+///   *all* below the preemptor's tier;
+/// * a reusable scan-order buffer for `cycle`.
 #[derive(Debug)]
 pub struct Scheduler {
     config: SchedConfig,
@@ -133,6 +157,11 @@ pub struct Scheduler {
     last_interrupt: HashMap<JobId, JobStatus>,
     quotas: ProjectQuotas,
     usage: ProjectUsage,
+    whole_node_frees: std::collections::BTreeMap<(SimTime, JobId), usize>,
+    node_best_tier: Vec<u8>,
+    occupied_by_tier: [std::collections::BTreeSet<u32>; 3],
+    cycle_order: Vec<JobId>,
+    naive_scans: bool,
 }
 
 impl Scheduler {
@@ -149,7 +178,21 @@ impl Scheduler {
             last_interrupt: HashMap::new(),
             quotas: ProjectQuotas::unlimited(),
             usage: ProjectUsage::new(),
+            whole_node_frees: std::collections::BTreeMap::new(),
+            node_best_tier: vec![NO_OCCUPANTS; n],
+            occupied_by_tier: Default::default(),
+            cycle_order: Vec::new(),
+            naive_scans: false,
         }
+    }
+
+    /// Routes every allocation and planning query through the retained
+    /// naive full-scan reference implementations instead of the indexes.
+    /// Test-only: the byte-identity suite simulates whole scenarios both
+    /// ways and asserts identical sealed telemetry.
+    #[doc(hidden)]
+    pub fn set_naive_scans(&mut self, on: bool) {
+        self.naive_scans = on;
     }
 
     /// Installs project GPU quotas (paper §II-A's project allocations).
@@ -238,13 +281,11 @@ impl Scheduler {
     /// preemption floor allows.
     pub fn cycle(&mut self, now: SimTime) -> Vec<StartedAttempt> {
         // The queue iterates in priority order by construction: QoS tier,
-        // then age, then id. Cap the scan so deep backlogs stay cheap.
-        let order: Vec<JobId> = self
-            .pending
-            .values()
-            .take(self.config.max_scan)
-            .copied()
-            .collect();
+        // then age, then id. Cap the scan so deep backlogs stay cheap, and
+        // reuse one buffer across cycles instead of allocating per event.
+        let mut order = std::mem::take(&mut self.cycle_order);
+        order.clear();
+        order.extend(self.pending.values().take(self.config.max_scan).copied());
 
         let mut started = Vec::new();
         let mut free_gpus = self.pool.total_free_gpus();
@@ -258,7 +299,7 @@ impl Scheduler {
         // Conservative backfill: once a whole-node job cannot start, jobs
         // that would run past its reservation must wait.
         let mut shadow_time: Option<SimTime> = None;
-        for id in order {
+        for &id in &order {
             let spec = self.jobs[&id].spec.clone();
             let can_preempt = spec.qos > QosClass::Low && !spec.is_sub_node();
             // Project quota: a project at its allocation waits even when
@@ -289,7 +330,7 @@ impl Scheduler {
                     continue;
                 }
             }
-            if let Some(nodes) = self.pool.try_allocate(&spec) {
+            if let Some(nodes) = self.allocate(&spec) {
                 free_gpus = free_gpus.saturating_sub(spec.gpus as u64);
                 started.push(self.start_job(id, nodes, now, Vec::new()));
             } else if can_preempt && preempt_budget > 0 {
@@ -304,8 +345,7 @@ impl Scheduler {
                     for victim in &victims {
                         self.preempt(*victim, id, preemptor_restarting, now);
                     }
-                    self.pool
-                        .try_allocate(&spec)
+                    self.allocate(&spec)
                         .expect("preemption plan freed enough nodes");
                     started.push(self.start_job(id, nodes, now, victims));
                     free_gpus = self.pool.total_free_gpus();
@@ -327,14 +367,53 @@ impl Scheduler {
                 }
             }
         }
+        self.cycle_order = order;
         started
+    }
+
+    /// Allocation query, routed through the naive reference scans when
+    /// [`Self::set_naive_scans`] is on.
+    fn allocate(&self, spec: &JobSpec) -> Option<Vec<NodeId>> {
+        if self.naive_scans {
+            self.pool.try_allocate_naive(spec)
+        } else {
+            self.pool.try_allocate(spec)
+        }
     }
 
     /// Earliest time at least `needed` whole nodes are free, assuming every
     /// running job runs to its time limit (an upper bound, hence a
     /// *conservative* reservation). Returns [`SimTime::MAX`] if running
     /// jobs can never free enough.
-    fn earliest_whole_nodes_free(&self, needed: usize, now: SimTime) -> SimTime {
+    ///
+    /// O(answer) off the maintained `whole_node_frees` index: the free
+    /// count is the pool's whole-node counter, and end estimates come
+    /// pre-sorted. Only the crossing time is returned, so tie order among
+    /// equal estimates cannot affect the result — exactly as in the naive
+    /// sort, which also ordered by time alone.
+    #[doc(hidden)]
+    pub fn earliest_whole_nodes_free(&self, needed: usize, now: SimTime) -> SimTime {
+        if self.naive_scans {
+            return self.earliest_whole_nodes_free_naive(needed, now);
+        }
+        if self.pool.free_whole_nodes() >= needed {
+            return now;
+        }
+        let mut acc = self.pool.free_whole_nodes();
+        for (&(t, _), &n) in &self.whole_node_frees {
+            acc += n;
+            if acc >= needed {
+                return t;
+            }
+        }
+        SimTime::MAX
+    }
+
+    /// The naive-scan equivalent of [`Self::earliest_whole_nodes_free`]
+    /// (reference for the property tests): recount free nodes, rebuild and
+    /// sort the end-estimate list from the running set.
+    #[doc(hidden)]
+    pub fn earliest_whole_nodes_free_naive(&self, needed: usize, now: SimTime) -> SimTime {
         let mut free_now = 0usize;
         for idx in 0..self.node_jobs.len() {
             let node = NodeId::new(idx as u32);
@@ -415,7 +494,10 @@ impl Scheduler {
         cause: InterruptCause,
         now: SimTime,
     ) -> Vec<JobId> {
-        let victims: Vec<JobId> = self.node_jobs[node.as_usize()].clone();
+        // Take the occupant list instead of cloning it: every occupant is
+        // about to be ended (emptying the list), and `end_attempt` handles
+        // a missing node entry fine.
+        let victims: Vec<JobId> = std::mem::take(&mut self.node_jobs[node.as_usize()]);
         for &id in &victims {
             let status = cause.status();
             self.last_interrupt.insert(id, status);
@@ -463,8 +545,16 @@ impl Scheduler {
             started_at: now,
         };
         let attempt = job.attempt;
+        let tier = qos_tier(job.spec.qos);
+        let whole_node = !job.spec.is_sub_node();
+        let end_estimate = now + job.spec.time_limit;
         for &n in &nodes {
             self.node_jobs[n.as_usize()].push(id);
+            self.occupant_added(n.as_usize(), tier);
+        }
+        if whole_node {
+            self.whole_node_frees
+                .insert((end_estimate, id), nodes.len());
         }
         let key = pend_key(&self.jobs[&id].spec);
         self.pending.remove(&key);
@@ -477,10 +567,148 @@ impl Scheduler {
         }
     }
 
+    /// Index hook: a `tier`-QoS occupant landed on node `n`. Promotes the
+    /// node's best-occupant tier and re-files it in the tier buckets.
+    fn occupant_added(&mut self, n: usize, tier: u8) {
+        let cur = self.node_best_tier[n];
+        if tier < cur {
+            if cur != NO_OCCUPANTS {
+                self.occupied_by_tier[cur as usize].remove(&(n as u32));
+            }
+            self.occupied_by_tier[tier as usize].insert(n as u32);
+            self.node_best_tier[n] = tier;
+        }
+    }
+
+    /// Index hook: an occupant left node `n`; recompute the best tier from
+    /// the (≤ 8) remaining occupants and re-file the node.
+    fn occupant_removed(&mut self, n: usize) {
+        let new = self.node_jobs[n]
+            .iter()
+            .map(|id| qos_tier(self.jobs[id].spec.qos))
+            .min()
+            .unwrap_or(NO_OCCUPANTS);
+        let cur = self.node_best_tier[n];
+        if new != cur {
+            if cur != NO_OCCUPANTS {
+                self.occupied_by_tier[cur as usize].remove(&(n as u32));
+            }
+            if new != NO_OCCUPANTS {
+                self.occupied_by_tier[new as usize].insert(n as u32);
+            }
+            self.node_best_tier[n] = new;
+        }
+    }
+
     /// Finds whole nodes for a high-QoS job by reclaiming nodes whose every
     /// occupant is a lower-tier job past the preemption floor. Returns the
     /// planned node set and the victim jobs.
-    fn plan_preemption(&self, spec: &JobSpec, now: SimTime) -> Option<(Vec<NodeId>, Vec<JobId>)> {
+    ///
+    /// Candidate nodes come from two indexed sources instead of a full
+    /// scan: the pool's free-whole-node set, and the occupied-node tier
+    /// buckets for tiers strictly below the preemptor's — a node is in
+    /// bucket `t` when its *best* occupant has tier `t`, so buckets above
+    /// the preemptor's tier contain exactly the nodes where every occupant
+    /// outranks it, i.e. where nothing can be preempted. Both sources
+    /// iterate in ascending node order and are disjoint (occupants hold
+    /// slots), so merging them visits the same qualifying nodes in the
+    /// same order as the naive ascending scan; only the time-dependent
+    /// preemption-floor check remains per-node.
+    #[doc(hidden)]
+    pub fn plan_preemption(
+        &self,
+        spec: &JobSpec,
+        now: SimTime,
+    ) -> Option<(Vec<NodeId>, Vec<JobId>)> {
+        if self.naive_scans {
+            return self.plan_preemption_naive(spec, now);
+        }
+        let needed = spec.nodes_needed() as usize;
+        let my_tier = qos_tier(spec.qos);
+        let candidate_occupied: usize = ((my_tier + 1)..3)
+            .map(|t| self.occupied_by_tier[t as usize].len())
+            .sum();
+        // Even ignoring the floor, there aren't enough reclaimable nodes.
+        if self.pool.free_whole_nodes() + candidate_occupied < needed {
+            return None;
+        }
+        let mut sources: Vec<(NodeIdxIter<'_>, bool)> = Vec::with_capacity(3);
+        sources.push((
+            (Box::new(self.pool.free_whole_iter()) as Box<dyn Iterator<Item = u32>>).peekable(),
+            true,
+        ));
+        for t in (my_tier + 1)..3 {
+            sources.push((
+                (Box::new(self.occupied_by_tier[t as usize].iter().copied())
+                    as Box<dyn Iterator<Item = u32>>)
+                    .peekable(),
+                false,
+            ));
+        }
+        let mut chosen: Vec<NodeId> = Vec::new();
+        let mut victims: Vec<JobId> = Vec::new();
+        while chosen.len() < needed {
+            let mut min: Option<(usize, u32, bool)> = None;
+            for (si, (it, is_free)) in sources.iter_mut().enumerate() {
+                if let Some(&idx) = it.peek() {
+                    if min.is_none_or(|(_, m, _)| idx < m) {
+                        min = Some((si, idx, *is_free));
+                    }
+                }
+            }
+            let Some((si, idx, is_free)) = min else {
+                break;
+            };
+            sources[si].0.next();
+            if is_free {
+                chosen.push(NodeId::new(idx));
+                continue;
+            }
+            let node = NodeId::new(idx);
+            if !self.pool.is_available(node) {
+                continue;
+            }
+            let occupants = &self.node_jobs[idx as usize];
+            let all_preemptible = !occupants.is_empty()
+                && occupants.iter().all(|jid| {
+                    let j = &self.jobs[jid];
+                    if j.spec.qos >= spec.qos {
+                        return false;
+                    }
+                    match &j.state {
+                        JobState::Running { started_at, .. } => {
+                            now.saturating_since(*started_at) >= self.config.preemption_floor
+                        }
+                        _ => false,
+                    }
+                });
+            if all_preemptible {
+                chosen.push(node);
+                for jid in occupants {
+                    if !victims.contains(jid) {
+                        victims.push(*jid);
+                    }
+                }
+            }
+        }
+        if chosen.len() == needed {
+            // Multi-node victims may straddle planned and unplanned nodes;
+            // preempting them frees extra capacity, which is fine.
+            Some((chosen, victims))
+        } else {
+            None
+        }
+    }
+
+    /// The naive full-scan equivalent of [`Self::plan_preemption`]
+    /// (reference for the property tests): walk every node in ascending
+    /// order, taking free-whole and all-preemptible nodes until satisfied.
+    #[doc(hidden)]
+    pub fn plan_preemption_naive(
+        &self,
+        spec: &JobSpec,
+        now: SimTime,
+    ) -> Option<(Vec<NodeId>, Vec<JobId>)> {
         let needed = spec.nodes_needed() as usize;
         let mut chosen: Vec<NodeId> = Vec::new();
         let mut victims: Vec<JobId> = Vec::new();
@@ -553,9 +781,15 @@ impl Scheduler {
         requeue: bool,
     ) {
         let job = self.jobs.get_mut(&id).expect("job exists");
-        let (nodes, started_at) = match &job.state {
-            JobState::Running { nodes, started_at } => (nodes.clone(), *started_at),
-            _ => panic!("end_attempt on non-running job {id}"),
+        // Take the node list out of the state instead of cloning it; the
+        // single owned copy threads through the index updates, the pool
+        // release, and finally the accounting record.
+        let (nodes, started_at) = match std::mem::replace(&mut job.state, JobState::Pending) {
+            JobState::Running { nodes, started_at } => (nodes, started_at),
+            other => {
+                job.state = other;
+                panic!("end_attempt on non-running job {id}")
+            }
         };
         let ran = now.saturating_since(started_at);
         job.scheduled_time += ran;
@@ -568,25 +802,12 @@ impl Scheduler {
             let productive = ran.saturating_sub(job.spec.restart_overhead);
             job.bank_progress(productive);
         }
-        let record = JobRecord {
-            job: id,
-            attempt: job.attempt,
-            run: job.spec.run,
-            gpus: job.spec.gpus,
-            qos: job.spec.qos,
-            nodes: nodes.clone(),
-            enqueued_at: job.last_enqueued_at,
-            started_at: Some(started_at),
-            ended_at: now,
-            status,
-            preempted_by,
-            instigator,
-        };
+        let attempt = job.attempt;
+        let enqueued_at = job.last_enqueued_at;
         let spec = job.spec.clone();
         let requeue = requeue && job.attempt < self.config.max_requeues;
         if requeue {
             job.attempt += 1;
-            job.state = JobState::Pending;
             job.last_enqueued_at = now;
             self.pending.insert(pend_key(&spec), id);
         } else {
@@ -596,12 +817,30 @@ impl Scheduler {
             self.jobs.remove(&id);
             self.last_interrupt.remove(&id);
         }
-        self.records.push(record);
+        if !spec.is_sub_node() {
+            self.whole_node_frees
+                .remove(&(started_at + spec.time_limit, id));
+        }
         self.usage.release(spec.project, spec.gpus as u64);
         self.pool.release(&nodes, &spec);
         for &n in &nodes {
             self.node_jobs[n.as_usize()].retain(|&j| j != id);
+            self.occupant_removed(n.as_usize());
         }
+        self.records.push(JobRecord {
+            job: id,
+            attempt,
+            run: spec.run,
+            gpus: spec.gpus,
+            qos: spec.qos,
+            nodes,
+            enqueued_at,
+            started_at: Some(started_at),
+            ended_at: now,
+            status,
+            preempted_by,
+            instigator,
+        });
     }
 }
 

@@ -34,6 +34,105 @@ fn qos_from(idx: u8) -> QosClass {
     }
 }
 
+/// Drives an indexed scheduler and a naive-scan scheduler through one
+/// command stream, panicking on the first divergence. `(op, gpus, qos,
+/// node)` tuples: op 0/1 submit, 2 interrupts `node`, 3 finishes the
+/// oldest live attempt. Shared by the proptest below and a deterministic
+/// pseudo-random smoke test.
+fn run_lockstep(cmds: &[(u8, u32, u8, u32)]) {
+    let topo = Topology::new(&ClusterSpec::new("p", 24));
+    let mut indexed = Scheduler::new(topo.clone(), SchedConfig::rsc_default());
+    let mut naive = Scheduler::new(topo, SchedConfig::rsc_default());
+    naive.set_naive_scans(true);
+    let mut t = 1u64;
+    let mut live: Vec<(JobId, u32)> = Vec::new();
+    for (i, &(op, gpus, qos, node)) in cmds.iter().enumerate() {
+        t += 1;
+        let now = SimTime::from_mins(t);
+        match op {
+            // Submit a job; sizes span sub-node (1..8) through multi-node
+            // gangs (up to 10 whole nodes).
+            0 | 1 => {
+                let s = spec(i as u64 + 1, gpus, qos_from(qos), t);
+                indexed.submit(s.clone());
+                naive.submit(s);
+            }
+            // Infrastructure interrupt on a pseudo-random node.
+            2 => {
+                let a = indexed.interrupt_node(NodeId::new(node), InterruptCause::NodeHang, now);
+                let b = naive.interrupt_node(NodeId::new(node), InterruptCause::NodeHang, now);
+                assert_eq!(a, b, "step {i}: interrupt victims diverge");
+            }
+            // Finish the oldest still-live attempt.
+            _ => {
+                if let Some((id, attempt)) = live.first().copied() {
+                    live.remove(0);
+                    let a = indexed.finish(id, attempt, JobStatus::Completed, now);
+                    let b = naive.finish(id, attempt, JobStatus::Completed, now);
+                    assert_eq!(a, b, "step {i}: finish outcome diverges");
+                }
+            }
+        }
+        let a = indexed.cycle(now);
+        let b = naive.cycle(now);
+        assert_eq!(a.len(), b.len(), "step {i}: started counts diverge");
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.job, y.job, "step {i}: started job diverges");
+            assert_eq!(x.attempt, y.attempt, "step {i}: attempt diverges");
+            assert_eq!(x.nodes, y.nodes, "step {i}: node sets diverge");
+            assert_eq!(x.preempted, y.preempted, "step {i}: victims diverge");
+            live.push((x.job, x.attempt));
+        }
+        // Point queries agree too, not just the composite cycle: the
+        // reservation-time scan and a preemption plan for a probe job that
+        // likely needs victims.
+        for needed in [1usize, 3, 24] {
+            assert_eq!(
+                indexed.earliest_whole_nodes_free(needed, now),
+                naive.earliest_whole_nodes_free(needed, now),
+                "step {i}: reservation time diverges for needed={needed}"
+            );
+        }
+        let probe = spec(900_000 + i as u64, 4 * 8, QosClass::High, t);
+        assert_eq!(
+            indexed.plan_preemption(&probe, now),
+            naive.plan_preemption(&probe, now),
+            "step {i}: preemption plan diverges"
+        );
+        assert_eq!(indexed.busy_gpus(), naive.busy_gpus());
+        assert_eq!(
+            indexed.pool().total_free_gpus(),
+            naive.pool().total_free_gpus()
+        );
+    }
+}
+
+/// Deterministic pseudo-random lockstep runs (always executed, even where
+/// the proptest harness is unavailable): 16 streams of 120 commands each.
+#[test]
+fn indexed_matches_naive_lockstep_deterministic() {
+    for seed in 0u64..16 {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 16
+        };
+        let cmds: Vec<(u8, u32, u8, u32)> = (0..120)
+            .map(|_| {
+                (
+                    (step() % 4) as u8,
+                    (step() % 79 + 1) as u32,
+                    (step() % 3) as u8,
+                    (step() % 24) as u32,
+                )
+            })
+            .collect();
+        run_lockstep(&cmds);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -127,6 +226,19 @@ proptest! {
             prop_assert!(job.is_pending());
             prop_assert_eq!(job.attempt, 1);
         }
+    }
+
+    /// The indexed hot path is a pure optimization: a scheduler running on
+    /// the incremental indexes and one routed through the retained naive
+    /// O(nodes) scans, driven in lockstep through the same random command
+    /// stream, make identical decisions — same starts (ids, attempts, node
+    /// sets), same preemption victims, same conservative-backfill
+    /// reservation times, and identical pool accounting at every step.
+    #[test]
+    fn indexed_scheduler_matches_naive_reference(
+        cmds in prop::collection::vec((0u8..4, 1u32..80, 0u8..3, 0u32..24), 1..60),
+    ) {
+        run_lockstep(&cmds);
     }
 
     /// Priority ordering: when capacity suffices for exactly one job, the

@@ -206,6 +206,81 @@ mod tests {
     }
 
     #[test]
+    fn million_same_timestamp_events_keep_insertion_order() {
+        // The hot-path guarantee the whole simulator's determinism rests
+        // on: a deep burst of simultaneous events drains in exactly the
+        // order it was scheduled, at heap scale (sift-down paths several
+        // levels deep), not just for toy sizes.
+        const N: u64 = 1_000_000;
+        let t = SimTime::from_secs(99);
+        let mut q = EventQueue::new();
+        // A later event scheduled first must still pop last.
+        q.schedule(SimTime::from_secs(100), u64::MAX);
+        for i in 0..N {
+            q.schedule(t, i);
+        }
+        assert_eq!(q.len() as u64, N + 1);
+        for i in 0..N {
+            let (at, e) = q.pop().expect("burst event");
+            assert_eq!(at, t);
+            assert_eq!(e, i, "insertion order violated at element {i}");
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_secs(100), u64::MAX)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_bursts_drain_by_time_then_insertion() {
+        // Two timestamps interleaved during scheduling still drain as two
+        // clean insertion-ordered runs.
+        let (t1, t2) = (SimTime::from_secs(5), SimTime::from_secs(6));
+        let mut q = EventQueue::new();
+        for i in 0..10_000u32 {
+            q.schedule(if i % 2 == 0 { t1 } else { t2 }, i);
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        let expect: Vec<u32> = (0..10_000)
+            .filter(|i| i % 2 == 0)
+            .chain((0..10_000).filter(|i| i % 2 == 1))
+            .collect();
+        assert_eq!(drained, expect);
+    }
+
+    #[test]
+    fn pop_until_boundary_is_inclusive() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "exact");
+        // The limit is inclusive: an event exactly at the limit pops.
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(10)),
+            Some((SimTime::from_secs(10), "exact"))
+        );
+        // An event one tick past the limit stays queued...
+        q.schedule(SimTime::from_secs(20), "later");
+        assert_eq!(q.pop_until(SimTime::from_secs(19)), None);
+        // ...and the refusal leaves the clock untouched.
+        assert_eq!(q.now(), SimTime::from_secs(10));
+        // An empty queue refuses politely at any limit.
+        q.pop();
+        assert_eq!(q.pop_until(SimTime::MAX), None);
+    }
+
+    #[test]
+    fn pop_until_drains_ties_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule(SimTime::from_secs(7), i);
+        }
+        q.schedule(SimTime::from_secs(8), 999);
+        let mut got = Vec::new();
+        while let Some((_, e)) = q.pop_until(SimTime::from_secs(7)) {
+            got.push(e);
+        }
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
     fn clear_keeps_clock() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(5), ());

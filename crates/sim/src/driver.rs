@@ -81,6 +81,9 @@ pub struct ClusterSim {
     /// Empty by default: the no-observer path is a single `is_empty()`
     /// check per record and leaves telemetry byte-identical.
     observers: Vec<Box<dyn SimObserver>>,
+    /// Occurrences processed by the event loop (failures, submissions,
+    /// popped future events) — the throughput-bench numerator.
+    events_processed: u64,
     now: SimTime,
 }
 
@@ -145,6 +148,7 @@ impl ClusterSim {
             lifecycles: HashMap::new(),
             utilization_samples: Vec::new(),
             observers: Vec::new(),
+            events_processed: 0,
             now: SimTime::ZERO,
         }
     }
@@ -189,6 +193,22 @@ impl ClusterSim {
         &self.cluster
     }
 
+    /// Occurrences the event loop has processed so far: injected failures,
+    /// job submissions, and popped future events. The denominator-free
+    /// throughput metric `sim_throughput` reports as events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Routes scheduler allocation queries through the retained naive
+    /// reference scans instead of the incremental indexes. Test hook for
+    /// byte-identity checks (indexed vs naive runs must produce identical
+    /// telemetry); not part of the public API.
+    #[doc(hidden)]
+    pub fn set_naive_scheduler_scans(&mut self, naive: bool) {
+        self.sched.set_naive_scans(naive);
+    }
+
     /// Mean sampled cluster utilization so far (busy GPUs / total GPUs).
     pub fn mean_utilization(&self) -> f64 {
         if self.utilization_samples.is_empty() {
@@ -211,6 +231,7 @@ impl ClusterSim {
             // Drain failures occurring strictly before the next other event.
             if let Some(failure) = self.injector.next_before(t_other) {
                 self.now = failure.at;
+                self.events_processed += 1;
                 self.handle_failure(failure);
                 self.run_cycle();
                 continue;
@@ -220,6 +241,7 @@ impl ClusterSim {
                 break;
             }
 
+            self.events_processed += 1;
             if t_submit <= t_event {
                 self.now = t_submit;
                 let spec = self.stream.next_job();
@@ -256,7 +278,14 @@ impl ClusterSim {
     /// Moves completed accounting records from the scheduler into
     /// telemetry, mirroring each to the bus.
     fn flush_job_records(&mut self) {
-        for record in self.sched.take_records() {
+        let records = self.sched.take_records();
+        if self.observers.is_empty() {
+            // The common unobserved path moves the whole batch in one
+            // extend instead of a per-record call.
+            self.telemetry.extend_jobs(records);
+            return;
+        }
+        for record in records {
             self.emit(&SimEvent::Job(&record));
             self.telemetry.push_job(record);
         }

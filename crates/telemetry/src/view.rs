@@ -37,6 +37,79 @@ pub struct TelemetryView {
     node_health_index: HashMap<NodeId, Vec<usize>>,
 }
 
+/// Below this many health events the seal-time index is built serially:
+/// thread spawn overhead would dominate the scan.
+const PARALLEL_SEAL_MIN_EVENTS: usize = 1 << 14;
+
+/// Builds the per-node health index serially (the reference path).
+fn build_health_index_serial(health_events: &[HealthEvent]) -> HashMap<NodeId, Vec<usize>> {
+    let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, e) in health_events.iter().enumerate() {
+        index.entry(e.node).or_default().push(i);
+    }
+    for idxs in index.values_mut() {
+        // Stable by (time, insertion position) so equal timestamps keep
+        // their detection order and the sort is deterministic.
+        idxs.sort_by_key(|&i| (health_events[i].at, i));
+    }
+    index
+}
+
+/// Builds the per-node health index, sharding the node-id space across
+/// worker threads for large event streams.
+///
+/// Shards are contiguous node-id ranges, so whole pods land in one shard
+/// (pods are contiguous id ranges in [`rsc_cluster::topology`]). Each
+/// worker scans the full event stream but indexes only its own nodes, so
+/// the shard maps are disjoint and the merged result is identical to the
+/// serial build — same keys, same sorted index vectors — for every worker
+/// count, including 1. Worker count follows the `ScenarioRunner`
+/// convention in `rsc-sim`: one thread per available core.
+fn build_health_index(
+    num_nodes: u32,
+    health_events: &[HealthEvent],
+) -> HashMap<NodeId, Vec<usize>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if health_events.len() < PARALLEL_SEAL_MIN_EVENTS || workers < 2 || num_nodes == 0 {
+        return build_health_index_serial(health_events);
+    }
+    let shards = workers.min(num_nodes as usize);
+    let per_shard = (num_nodes as usize).div_ceil(shards);
+    // Out-of-range node ids (never produced by the driver, but accepted by
+    // the store) clamp into the last shard so no event is ever dropped.
+    let shard_of = |node: NodeId| (node.index() as usize / per_shard).min(shards - 1);
+    let mut partials: Vec<HashMap<NodeId, Vec<usize>>> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
+                    for (i, e) in health_events.iter().enumerate() {
+                        if shard_of(e.node) == s {
+                            index.entry(e.node).or_default().push(i);
+                        }
+                    }
+                    for idxs in index.values_mut() {
+                        idxs.sort_by_key(|&i| (health_events[i].at, i));
+                    }
+                    index
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("seal shard worker panicked"));
+        }
+    });
+    let mut index: HashMap<NodeId, Vec<usize>> =
+        HashMap::with_capacity(partials.iter().map(HashMap::len).sum());
+    for partial in partials {
+        index.extend(partial);
+    }
+    index
+}
+
 impl TelemetryView {
     /// Builds a view from the parts of a consumed store.
     #[allow(clippy::too_many_arguments)]
@@ -52,15 +125,7 @@ impl TelemetryView {
         ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
         gpu_swaps: u64,
     ) -> Self {
-        let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, e) in health_events.iter().enumerate() {
-            index.entry(e.node).or_default().push(i);
-        }
-        for idxs in index.values_mut() {
-            // Stable by (time, insertion position) so equal timestamps keep
-            // their detection order and the sort is deterministic.
-            idxs.sort_by_key(|&i| (health_events[i].at, i));
-        }
+        let index = build_health_index(num_nodes, &health_events);
         TelemetryView {
             cluster_name,
             num_nodes,
@@ -312,6 +377,36 @@ mod tests {
         assert_eq!(back.jobs(), store.jobs());
         assert_eq!(back.health_events(), store.health_events());
         assert_eq!(back.horizon(), store.horizon());
+    }
+
+    #[test]
+    fn sharded_index_matches_serial_on_large_stream() {
+        // Enough events to cross PARALLEL_SEAL_MIN_EVENTS, with adversarial
+        // ordering: duplicate timestamps, interleaved nodes, and one id
+        // beyond num_nodes (clamps into the last shard, never dropped).
+        let num_nodes = 64;
+        let count = super::PARALLEL_SEAL_MIN_EVENTS + 1000;
+        let mut x: u64 = 9;
+        let events: Vec<HealthEvent> = (0..count)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let node = (x >> 33) % (num_nodes as u64 + 2);
+                let at = (x >> 11) % 512;
+                health_event(node as u32, at)
+            })
+            .collect();
+        let serial = super::build_health_index_serial(&events);
+        let sharded = super::build_health_index(num_nodes, &events);
+        assert_eq!(serial, sharded);
+        let total: usize = sharded.values().map(Vec::len).sum();
+        assert_eq!(total, count);
+        for idxs in sharded.values() {
+            assert!(idxs
+                .windows(2)
+                .all(|w| (events[w[0]].at, w[0]) < (events[w[1]].at, w[1])));
+        }
     }
 
     #[test]

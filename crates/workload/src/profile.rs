@@ -127,17 +127,23 @@ impl WorkloadProfile {
         }
     }
 
-    /// A scaled-down copy: arrival rate and every bucket's size cap scaled
-    /// by `factor` (for running the full 11-month storyline on a small
-    /// simulated cluster).
+    /// A rescaled copy: the arrival rate is multiplied by `factor`, and —
+    /// when scaling *down* — buckets larger than the scaled size cap are
+    /// dropped with their job mass folded into the largest survivor (for
+    /// running the full 11-month storyline on a small simulated cluster).
+    /// Scaling up (`factor > 1`) keeps the bucket mix unchanged: a bigger
+    /// cluster sees proportionally more of the same jobs.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 < factor <= 1`.
+    /// Panics unless `factor > 0`.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        assert!(factor > 0.0, "factor must be positive");
         let mut out = self.clone();
         out.jobs_per_day *= factor;
+        if factor >= 1.0 {
+            return out;
+        }
         let max_gpus = (self.buckets.iter().map(|b| b.gpus).max().unwrap_or(8) as f64 * factor)
             .max(8.0) as u32;
         // Drop buckets above the scaled cap, folding their job mass into
@@ -443,8 +449,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "factor must be in")]
+    #[should_panic(expected = "factor must be positive")]
     fn scaled_rejects_bad_factor() {
         let _ = WorkloadProfile::rsc1().scaled(0.0);
+    }
+
+    #[test]
+    fn scaled_up_keeps_bucket_mix() {
+        let base = WorkloadProfile::rsc1();
+        let p = base.scaled(8.0);
+        assert_eq!(p.buckets, base.buckets);
+        assert!((p.jobs_per_day - base.jobs_per_day * 8.0).abs() < 1e-9);
     }
 }
