@@ -9,26 +9,33 @@
 //! preserved verbatim across runs, so the file always carries the pre-PR
 //! reference numbers alongside the current ones and reports the speedup.
 //!
+//! Alongside the headline wall time, each scale gets a per-phase breakdown
+//! (inject vs. queue vs. sched vs. handle) from one extra instrumented run —
+//! the timed run is separate so `Instant` overhead never contaminates the
+//! speedup-gated numbers.
+//!
 //! Flags:
 //!
 //! * `--days N` — horizon per scale (default 30);
 //! * `--seed N` — RNG seed (default [`rsc_bench::FIGURE_SEED`]);
 //! * `--rounds N` — best-of-N rounds per scale (default 2);
 //! * `--nodes A,B,C` — node counts to sweep (default `1024,16384,102400`);
-//! * `--smoke` — CI-sized sweep: `256,1024` nodes, 5 days, marked
+//! * `--smoke` — CI-sized sweep: `256,1024,102400` nodes, 3 days, marked
 //!   `"smoke": true` so it is never mistaken for trajectory numbers;
 //! * `--rebaseline` — overwrite the stored baseline with this run;
 //! * `--min-speedup X` — exit nonzero unless every scale present in both
 //!   baseline and current sped up by at least `X`;
 //! * `--out PATH` — output file (default `BENCH_sim_throughput.json`);
-//! * `--determinism-check` — run one small scenario twice and fail unless
-//!   the sealed snapshots are byte-identical (the CI determinism gate).
+//! * `--determinism-check` — run a small scenario and a short 102400-node
+//!   scenario twice each and fail unless the sealed snapshots are
+//!   byte-identical (the CI determinism gate, now covering the tiered
+//!   queue's rebase/overflow paths at fleet scale).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use rsc_bench::{json_number_field, json_object_field};
-use rsc_sim::driver::ClusterSim;
+use rsc_sim::driver::{ClusterSim, PhaseTimings};
 use rsc_sim_core::time::SimDuration;
 use rsc_telemetry::snapshot::write_snapshot;
 
@@ -122,14 +129,17 @@ fn parse_args() -> Args {
     }
     if out.smoke {
         if !nodes_overridden {
-            out.nodes = vec![256, 1024];
+            // Include the fleet scale so CI exercises the 102400-node hot
+            // path; the shortened horizon keeps it inside the smoke budget.
+            out.nodes = vec![256, 1024, 102_400];
         }
-        out.days = out.days.min(5);
+        out.days = out.days.min(3);
     }
     out
 }
 
-/// One scale's best-of-rounds measurement.
+/// One scale's best-of-rounds measurement, plus the phase breakdown from a
+/// separate instrumented run.
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
     nodes: u32,
@@ -137,6 +147,7 @@ struct Measurement {
     jobs: usize,
     wall_s: f64,
     seal_s: f64,
+    phases: Option<PhaseTimings>,
 }
 
 impl Measurement {
@@ -166,6 +177,7 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
             jobs: view.jobs().len(),
             wall_s,
             seal_s,
+            phases: None,
         };
         println!(
             "  round {round}: {events} events in {wall_s:.3} s ({:.0} ev/s), seal {seal_s:.3} s",
@@ -176,15 +188,30 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
             _ => best = Some(m),
         }
     }
-    best.expect("at least one round ran")
+    let mut best = best.expect("at least one round ran");
+
+    // Phase attribution from one instrumented run, kept out of the
+    // speedup-gated rounds so `Instant` overhead never skews them.
+    let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+    sim.enable_phase_timings();
+    sim.run(SimDuration::from_days(spec.days));
+    if let Some(p) = sim.phase_timings() {
+        println!(
+            "  phases: inject {:.3} s, queue {:.3} s, sched {:.3} s, handle {:.3} s",
+            p.inject_s, p.queue_s, p.sched_s, p.handle_s
+        );
+        best.phases = Some(p);
+    }
+    best
 }
 
 /// Renders one `"scales"` entry; field order is part of the file format
-/// (the merge logic re-reads it with substring scans).
+/// (the merge logic re-reads it with substring scans, so new fields append
+/// after the existing ones).
 fn scale_json(m: &Measurement) -> String {
-    format!(
+    let mut s = format!(
         "\"{}\": {{\"wall_s\": {:.4}, \"seal_s\": {:.4}, \"total_s\": {:.4}, \
-         \"events\": {}, \"events_per_s\": {:.1}, \"jobs\": {}}}",
+         \"events\": {}, \"events_per_s\": {:.1}, \"jobs\": {}",
         m.nodes,
         m.wall_s,
         m.seal_s,
@@ -192,7 +219,17 @@ fn scale_json(m: &Measurement) -> String {
         m.events,
         m.events_per_s(),
         m.jobs
-    )
+    );
+    if let Some(p) = m.phases {
+        let _ = write!(
+            s,
+            ", \"phases\": {{\"inject_s\": {:.4}, \"queue_s\": {:.4}, \
+             \"sched_s\": {:.4}, \"handle_s\": {:.4}}}",
+            p.inject_s, p.queue_s, p.sched_s, p.handle_s
+        );
+    }
+    s.push('}');
+    s
 }
 
 fn section_json(days: u64, seed: u64, smoke: bool, measurements: &[Measurement]) -> String {
@@ -220,25 +257,34 @@ fn baseline_total_s(baseline: &str, nodes: u32) -> Option<f64> {
 }
 
 fn determinism_check() -> std::process::ExitCode {
-    let spec = rsc_bench::rsc1_sized_spec(256, 5, rsc_bench::FIGURE_SEED);
+    // A small scenario plus a short fleet-scale one: the latter drives the
+    // tiered event queue through rebase/overflow and the superposition
+    // injector through a large alias table.
+    let scales = [(256u32, 5u64), (102_400, 1)];
     let snap = |spec: &rsc_sim::runner::ScenarioSpec| {
         let view = spec.simulate();
         let mut bytes = Vec::new();
         write_snapshot(&mut bytes, &view).expect("snapshot serializes");
         bytes
     };
-    let a = snap(&spec);
-    let b = snap(&spec);
-    if a == b {
-        println!(
-            "determinism-check: OK ({} byte snapshot identical across two runs)",
-            a.len()
-        );
-        std::process::ExitCode::SUCCESS
-    } else {
-        eprintln!("FAIL: two runs of the same scenario produced different snapshot bytes");
-        std::process::ExitCode::FAILURE
+    for (nodes, days) in scales {
+        let spec = rsc_bench::rsc1_sized_spec(nodes, days, rsc_bench::FIGURE_SEED);
+        let a = snap(&spec);
+        let b = snap(&spec);
+        if a == b {
+            println!(
+                "determinism-check: OK at {nodes} nodes × {days} d \
+                 ({} byte snapshot identical across two runs)",
+                a.len()
+            );
+        } else {
+            eprintln!(
+                "FAIL: two runs at {nodes} nodes × {days} d produced different snapshot bytes"
+            );
+            return std::process::ExitCode::FAILURE;
+        }
     }
+    std::process::ExitCode::SUCCESS
 }
 
 fn main() -> std::process::ExitCode {
@@ -285,11 +331,18 @@ fn main() -> std::process::ExitCode {
     // horizon and seed; a smoke run (shorter days) reports "-".
     let comparable = json_number_field(&baseline, "days") == Some(args.days as f64)
         && json_number_field(&baseline, "seed") == Some(args.seed as f64);
+    if !comparable && !baseline.is_empty() {
+        eprintln!("note: baseline days/seed differ from this run; per-scale speedups skipped");
+    }
+    let mut skipped_scales = Vec::new();
     for m in &measurements {
-        let speedup = comparable
+        let baseline_total = comparable
             .then(|| baseline_total_s(&baseline, m.nodes))
-            .flatten()
-            .map(|b| b / m.total_s());
+            .flatten();
+        if comparable && baseline_total.is_none() {
+            skipped_scales.push(m.nodes);
+        }
+        let speedup = baseline_total.map(|b| b / m.total_s());
         let label = speedup.map_or("-".to_string(), |s| format!("{s:.2}x"));
         println!(
             "{:>8} {:>12} {:>10.3} {:>10.3} {:>12.0} {:>9}",
@@ -307,6 +360,14 @@ fn main() -> std::process::ExitCode {
             }
             let _ = write!(speedups, "\"{}\": {s:.3}", m.nodes);
         }
+    }
+    if !skipped_scales.is_empty() {
+        // A scale missing from the stored baseline would otherwise vanish
+        // silently from `speedup_total` — say so, and say how to fix it.
+        eprintln!(
+            "note: no stored baseline for scale(s) {skipped_scales:?}; their speedups \
+             were skipped — run with --rebaseline to capture them"
+        );
     }
 
     let mut body = String::from("{\n  \"bench\": \"sim_throughput\",\n");

@@ -1,11 +1,19 @@
-//! Byte-identity proof for the indexed scheduler hot path.
+//! Byte-identity proofs for the simulation hot paths.
 //!
-//! The scheduler keeps its pre-optimization O(nodes) scans as retained
-//! `*_naive` reference implementations — verbatim the code that shipped
-//! before the indexed cycle landed. Running the default scenario set with
-//! the naive scans routed in must produce sealed snapshots byte-identical
-//! to the indexed runs: same starts, same preemption victims, same
-//! reservation times, same RNG stream, same bytes.
+//! Two retained reference implementations back these checks:
+//!
+//! * the scheduler keeps its pre-optimization O(nodes) scans as `*_naive`
+//!   reference code — verbatim what shipped before the indexed cycle;
+//! * the future-event queue keeps a single-binary-heap backend behind
+//!   `set_reference_event_queue` — the pre-tiered implementation.
+//!
+//! Running the default scenario set with either reference routed in must
+//! produce sealed snapshots byte-identical to the optimized runs: same
+//! starts, same preemption victims, same pop order, same RNG stream, same
+//! bytes. (The superposition failure injector is deliberately *not* in this
+//! file: it realizes the same law from different draws, so it gets the
+//! statistical-equivalence suite in `rsc-failure/tests/superposition.rs`
+//! instead of byte comparison.)
 
 use rsc_bench::{rsc1_sized_spec, rsc1_spec, rsc2_spec};
 use rsc_sim::{ClusterSim, ScenarioSpec};
@@ -44,4 +52,61 @@ fn indexed_scheduler_matches_naive_scans_byte_for_byte() {
             naive.len()
         );
     }
+}
+
+fn snapshot_bytes_queue(spec: &ScenarioSpec, reference_heap: bool) -> Vec<u8> {
+    let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+    if reference_heap {
+        sim.set_reference_event_queue();
+    }
+    sim.run(SimDuration::from_days(spec.days));
+    let view = sim.into_telemetry().seal();
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &view).expect("in-memory snapshot write");
+    bytes
+}
+
+#[test]
+fn tiered_event_queue_matches_reference_heap_byte_for_byte() {
+    // The tiered queue must preserve the *exact* (time, seq) pop order of
+    // the single binary heap — not merely a valid order — because the pop
+    // order fixes RNG draw order and therefore every downstream byte. The
+    // sized RSC-1 run is long enough (and its far-future repair/probation
+    // events spread enough) to exercise wheel rebasing and the overflow
+    // tier, not just the near band.
+    let specs = [
+        rsc1_spec(64, 7, 20250301),
+        rsc2_spec(64, 7, 20250301),
+        rsc1_sized_spec(256, 14, 7),
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let tiered = snapshot_bytes_queue(spec, false);
+        let reference = snapshot_bytes_queue(spec, true);
+        assert!(
+            tiered == reference,
+            "scenario {i}: sealed snapshot differs between tiered and reference-heap \
+             event queues ({} vs {} bytes)",
+            tiered.len(),
+            reference.len()
+        );
+    }
+}
+
+#[test]
+fn per_stream_injector_hook_runs_end_to_end() {
+    // The injector swap is same-law-different-realization, so no byte
+    // comparison — but the per-stream hook must still drive a full run to
+    // a valid sealed snapshot, and differ from the superposition run only
+    // in realization (same config, same horizon).
+    let spec = rsc1_spec(64, 7, 20250301);
+    let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+    sim.set_per_stream_injector();
+    sim.run(SimDuration::from_days(spec.days));
+    let per_stream = sim.into_telemetry().seal();
+
+    let default_run = spec.simulate();
+    assert_eq!(per_stream.horizon(), default_run.horizon());
+    // Both realizations should see failures at this scale.
+    assert!(!per_stream.ground_truth_failures().is_empty());
+    assert!(!default_run.ground_truth_failures().is_empty());
 }

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use rsc_cluster::ids::NodeId;
 use rsc_sched::job::JobStatus;
 use rsc_sim_core::stats::Ecdf;
-use rsc_sim_core::time::SimTime;
+use rsc_sim_core::time::{SimDuration, SimTime};
 use rsc_telemetry::store::NodeEventKind;
 use rsc_telemetry::view::TelemetryView;
 
@@ -188,6 +188,19 @@ pub fn compute_features(view: &TelemetryView, from: SimTime, to: SimTime) -> Vec
         }
     }
     features
+}
+
+/// Computes features over the trailing `window` ending at `now`: the batch
+/// twin of the streaming `rsc-monitor` windowed estimator, and exactly
+/// [`compute_features`] over `[now − window, now]`. The lower bound
+/// saturates at time zero, so a window at least as long as the run
+/// degenerates to the full-range pass.
+pub fn compute_windowed_features(
+    view: &TelemetryView,
+    now: SimTime,
+    window: SimDuration,
+) -> Vec<LemonFeatures> {
+    compute_features(view, now - window, now)
 }
 
 /// Threshold classifier over the features.

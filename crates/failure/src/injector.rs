@@ -1,16 +1,42 @@
 //! The failure injector: turns hazard schedules into a deterministic stream
-//! of failure events via Lewis–Shedler thinning.
+//! of failure events.
 //!
-//! For each `(node, mode)` pair we maintain a candidate event stream drawn
-//! at the mode's *maximum* rate; candidates are accepted with probability
-//! `rate(t) / max_rate`, which yields an exact non-homogeneous Poisson
-//! process for the piecewise-constant schedules used here.
+//! # Superposition sampling (default)
+//!
+//! The merged candidate process over all `(node, mode)` streams is itself a
+//! Poisson process at the summed rate — the classical superposition
+//! theorem. The injector therefore keeps **no per-stream state at all**: it
+//! draws one exponential gap at the total rate, then attributes the event
+//! to a stream categorically via an O(1) [`AliasTable`] whose weights are
+//! each stream's *exact* rate in the current hazard era. Because
+//! [`HazardSchedule`] rates are piecewise-constant in time (era modifiers)
+//! and node multipliers are time-independent, the weight vector only
+//! changes at [`HazardSchedule::era_boundaries`]; the table is rebuilt
+//! exactly there, and the in-flight gap that crossed the boundary is
+//! discarded and redrawn at the new total rate — exact by memorylessness.
+//! A Lewis–Shedler thinning acceptance (`rate(t) / weight`) is kept as a
+//! numerical safety net, but since the weight *is* the era rate the ratio
+//! is exactly 1 and consumes no randomness.
+//!
+//! This replaces a `nodes × modes`-entry candidate heap (819k entries at
+//! 102k nodes) with O(1) amortized work per emitted failure, and makes
+//! [`FailureInjector::peek_candidate_time`] a field read.
+//!
+//! # Per-stream thinning (reference)
+//!
+//! The previous implementation — one candidate stream per `(node, mode)`
+//! drawn at the mode's *maximum* rate and thin-accepted with probability
+//! `rate(t) / max_rate` — is retained behind
+//! [`FailureInjector::new_per_stream`] (`#[doc(hidden)]`, mirroring the
+//! indexed-vs-naive scheduler pattern). The two samplers realize the same
+//! law from different random draws, so the statistical-equivalence suite in
+//! `tests/superposition.rs` pins their marginals against each other.
 
 use serde::{Deserialize, Serialize};
 
 use rsc_cluster::ids::NodeId;
 use rsc_sim_core::event::EventQueue;
-use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::rng::{AliasTable, SimRng};
 use rsc_sim_core::time::{SimDuration, SimTime};
 
 use crate::modes::ModeId;
@@ -33,24 +59,158 @@ pub struct FailureEvent {
     pub permanent: bool,
 }
 
+/// Pre-allocation ceiling for [`FailureInjector::drain_until`], so an
+/// open-ended horizon can never request absurd memory up front.
+const DRAIN_PRESIZE_CAP: f64 = (1 << 20) as f64;
+
+/// Merged-process sampler state: one pending candidate plus the current
+/// era's attribution table. Weights are laid out node-major:
+/// `index = node * num_modes + mode_position`.
+struct Superposition {
+    mode_ids: Vec<ModeId>,
+    num_nodes: u32,
+    /// Sorted instants where some stream's rate changes.
+    boundaries: Vec<SimTime>,
+    /// Exclusive end of the current era ([`SimTime::MAX`] for the last).
+    era_end: SimTime,
+    /// Exact per-stream rates (per node-day) within the current era.
+    weights: Vec<f64>,
+    /// Attribution table over `weights`; `None` when the era's total rate
+    /// is zero.
+    table: Option<AliasTable>,
+    /// Summed rate of the merged process in the current era (per day).
+    total: f64,
+    /// Pre-drawn time of the next merged-process candidate; `None` once no
+    /// further event can ever occur.
+    next_candidate: Option<SimTime>,
+}
+
+impl Superposition {
+    fn new(schedule: &HazardSchedule, num_nodes: u32, rng: &mut SimRng) -> Self {
+        let mode_ids: Vec<ModeId> = schedule.catalog().iter().map(|(id, _)| id).collect();
+        let mut sp = Superposition {
+            mode_ids,
+            num_nodes,
+            boundaries: schedule.era_boundaries(),
+            era_end: SimTime::MAX,
+            weights: Vec::new(),
+            table: None,
+            total: 0.0,
+            next_candidate: None,
+        };
+        sp.rebuild(schedule, SimTime::ZERO);
+        sp.roll_next(schedule, rng, SimTime::ZERO);
+        sp
+    }
+
+    /// Rebuilds the era state for the era containing `era_start` (which
+    /// must be an era's first instant: zero or a boundary).
+    fn rebuild(&mut self, schedule: &HazardSchedule, era_start: SimTime) {
+        self.era_end = self
+            .boundaries
+            .iter()
+            .copied()
+            .find(|&b| b > era_start)
+            .unwrap_or(SimTime::MAX);
+        self.weights.clear();
+        self.weights
+            .reserve(self.num_nodes as usize * self.mode_ids.len());
+        for node_idx in 0..self.num_nodes {
+            let node = NodeId::new(node_idx);
+            for &mode in &self.mode_ids {
+                // The *exact* rate at the era start; constant through the
+                // era, so acceptance-time `rate(t)` matches it bitwise.
+                self.weights.push(schedule.rate(node, mode, era_start));
+            }
+        }
+        self.table = AliasTable::new(self.weights.iter().copied()).ok();
+        self.total = self.table.as_ref().map_or(0.0, AliasTable::total);
+    }
+
+    /// Draws the next merged-process candidate strictly after `from`,
+    /// advancing eras (and rebuilding the table) as needed. A gap that
+    /// lands past the era end is discarded and redrawn at the next era's
+    /// rate — exact for a non-homogeneous Poisson process with
+    /// piecewise-constant intensity, by memorylessness.
+    fn roll_next(&mut self, schedule: &HazardSchedule, rng: &mut SimRng, mut from: SimTime) {
+        loop {
+            if self.total <= 0.0 {
+                if self.era_end == SimTime::MAX {
+                    self.next_candidate = None;
+                    return;
+                }
+                from = self.era_end;
+                self.rebuild(schedule, from);
+                continue;
+            }
+            let gap = SimDuration::from_days_f64(rng.exponential(self.total));
+            let cand = from + gap;
+            if cand >= self.era_end {
+                if self.era_end == SimTime::MAX {
+                    self.next_candidate = None;
+                    return;
+                }
+                from = self.era_end;
+                self.rebuild(schedule, from);
+                continue;
+            }
+            self.next_candidate = Some(cand);
+            return;
+        }
+    }
+}
+
+/// Legacy per-stream thinning state: one candidate per `(node, mode)` in a
+/// shared queue, drawn at the stream's maximum rate.
+struct PerStream {
+    candidates: EventQueue<(NodeId, ModeId)>,
+    /// Sum of all stream caps (per day), for drain pre-sizing.
+    total_cap: f64,
+}
+
+// One backend lives per injector; the size gap between the variants is
+// irrelevant and boxing would only add an indirection.
+#[allow(clippy::large_enum_variant)]
+enum Backend {
+    Superposition(Superposition),
+    PerStream(PerStream),
+}
+
 /// Generates the failure event stream for a cluster.
 pub struct FailureInjector {
     schedule: HazardSchedule,
-    candidates: EventQueue<(NodeId, ModeId)>,
+    backend: Backend,
     rng: SimRng,
 }
 
 impl FailureInjector {
-    /// Creates an injector for `num_nodes` nodes under `schedule`, seeding
-    /// one candidate stream per `(node, mode)` with a positive rate bound.
+    /// Creates an injector for `num_nodes` nodes under `schedule`, using
+    /// superposition sampling over the merged `(node, mode)` process.
     pub fn new(schedule: HazardSchedule, num_nodes: u32, mut rng: SimRng) -> Self {
+        let sp = Superposition::new(&schedule, num_nodes, &mut rng);
+        FailureInjector {
+            schedule,
+            backend: Backend::Superposition(sp),
+            rng,
+        }
+    }
+
+    /// Creates an injector on the retained per-stream thinning backend:
+    /// one candidate stream per `(node, mode)` at the mode's maximum rate.
+    ///
+    /// Reference implementation for the statistical-equivalence suite; not
+    /// part of the public API.
+    #[doc(hidden)]
+    pub fn new_per_stream(schedule: HazardSchedule, num_nodes: u32, mut rng: SimRng) -> Self {
         let mut candidates = EventQueue::new();
+        let mut total_cap = 0.0;
         let mode_ids: Vec<ModeId> = schedule.catalog().iter().map(|(id, _)| id).collect();
         for node_idx in 0..num_nodes {
             let node = NodeId::new(node_idx);
             for &mode in &mode_ids {
                 let cap = schedule.max_rate(node, mode);
                 if cap > 0.0 {
+                    total_cap += cap;
                     let gap = SimDuration::from_days_f64(rng.exponential(cap));
                     candidates.schedule(SimTime::ZERO + gap, (node, mode));
                 }
@@ -58,9 +218,18 @@ impl FailureInjector {
         }
         FailureInjector {
             schedule,
-            candidates,
+            backend: Backend::PerStream(PerStream {
+                candidates,
+                total_cap,
+            }),
             rng,
         }
+    }
+
+    /// True when this injector runs the superposition backend.
+    #[doc(hidden)]
+    pub fn is_superposition(&self) -> bool {
+        matches!(self.backend, Backend::Superposition(_))
     }
 
     /// The hazard schedule driving this injector.
@@ -69,9 +238,13 @@ impl FailureInjector {
     }
 
     /// Timestamp of the next *candidate* event (an upper bound on when the
-    /// next real failure can occur).
+    /// next real failure can occur). On the superposition backend this is
+    /// a field read (O(1)); on the per-stream backend, a heap peek.
     pub fn peek_candidate_time(&self) -> Option<SimTime> {
-        self.candidates.peek_time()
+        match &self.backend {
+            Backend::Superposition(sp) => sp.next_candidate,
+            Backend::PerStream(ps) => ps.candidates.peek_time(),
+        }
     }
 
     /// Returns the next accepted failure at or before `limit`, if any.
@@ -79,32 +252,83 @@ impl FailureInjector {
     /// Rejected candidates are consumed and rescheduled internally; calling
     /// this repeatedly yields the full ordered failure stream.
     pub fn next_before(&mut self, limit: SimTime) -> Option<FailureEvent> {
-        while let Some((at, (node, mode))) = self.candidates.pop_until(limit) {
-            // Reschedule the stream's next candidate first.
-            let cap = self.schedule.max_rate(node, mode);
-            let gap = SimDuration::from_days_f64(self.rng.exponential(cap));
-            self.candidates.schedule(at + gap, (node, mode));
+        match &mut self.backend {
+            Backend::Superposition(sp) => loop {
+                let at = sp.next_candidate?;
+                if at > limit {
+                    return None;
+                }
+                let table = sp.table.as_ref().expect("pending candidate implies table");
+                // Attribute the merged event to a stream: O(1) alias draw.
+                let i = table.sample(&mut self.rng);
+                let node = NodeId::new((i / sp.mode_ids.len()) as u32);
+                let mode = sp.mode_ids[i % sp.mode_ids.len()];
+                // Thinning safety net: the weight is the exact era rate, so
+                // the ratio is 1 and `chance` short-circuits without a draw.
+                let rate = self.schedule.rate(node, mode, at);
+                let event = if rate > 0.0 && self.rng.chance(rate / sp.weights[i]) {
+                    let spec = self.schedule.catalog().mode(mode);
+                    let permanent = self.rng.chance(spec.permanent_prob);
+                    Some(FailureEvent {
+                        at,
+                        node,
+                        mode,
+                        symptom: spec.symptom,
+                        permanent,
+                    })
+                } else {
+                    None
+                };
+                sp.roll_next(&self.schedule, &mut self.rng, at);
+                if let Some(ev) = event {
+                    return Some(ev);
+                }
+            },
+            Backend::PerStream(ps) => {
+                while let Some((at, (node, mode))) = ps.candidates.pop_until(limit) {
+                    // Reschedule the stream's next candidate first.
+                    let cap = self.schedule.max_rate(node, mode);
+                    let gap = SimDuration::from_days_f64(self.rng.exponential(cap));
+                    ps.candidates.schedule(at + gap, (node, mode));
 
-            // Thinning acceptance.
-            let rate = self.schedule.rate(node, mode, at);
-            if rate > 0.0 && self.rng.chance(rate / cap) {
-                let spec = self.schedule.catalog().mode(mode);
-                let permanent = self.rng.chance(spec.permanent_prob);
-                return Some(FailureEvent {
-                    at,
-                    node,
-                    mode,
-                    symptom: spec.symptom,
-                    permanent,
-                });
+                    // Thinning acceptance.
+                    let rate = self.schedule.rate(node, mode, at);
+                    if rate > 0.0 && self.rng.chance(rate / cap) {
+                        let spec = self.schedule.catalog().mode(mode);
+                        let permanent = self.rng.chance(spec.permanent_prob);
+                        return Some(FailureEvent {
+                            at,
+                            node,
+                            mode,
+                            symptom: spec.symptom,
+                            permanent,
+                        });
+                    }
+                }
+                None
             }
         }
-        None
     }
 
-    /// Drains all failures up to `limit` into a vector (test/analysis aid).
+    /// Drains all failures up to `limit` into a vector (test/analysis aid),
+    /// pre-sized from the expected count (`total rate × horizon`) to avoid
+    /// reallocation churn.
     pub fn drain_until(&mut self, limit: SimTime) -> Vec<FailureEvent> {
-        let mut out = Vec::new();
+        let per_day = match &self.backend {
+            Backend::Superposition(sp) => sp.total,
+            Backend::PerStream(ps) => ps.total_cap,
+        };
+        let days = limit.as_secs() as f64 / 86_400.0;
+        // Expected count padded ~3σ; clamped so `SimTime::MAX` horizons
+        // cannot demand absurd allocations.
+        let expected = per_day * days;
+        let padded = expected + 3.0 * expected.sqrt() + 8.0;
+        let presize = if padded.is_finite() {
+            padded.min(DRAIN_PRESIZE_CAP) as usize
+        } else {
+            0
+        };
+        let mut out = Vec::with_capacity(presize);
         while let Some(ev) = self.next_before(limit) {
             out.push(ev);
         }
@@ -114,9 +338,19 @@ impl FailureInjector {
 
 impl std::fmt::Debug for FailureInjector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FailureInjector")
-            .field("pending_candidates", &self.candidates.len())
-            .finish()
+        match &self.backend {
+            Backend::Superposition(sp) => f
+                .debug_struct("FailureInjector")
+                .field("backend", &"superposition")
+                .field("total_rate_per_day", &sp.total)
+                .field("next_candidate", &sp.next_candidate)
+                .finish(),
+            Backend::PerStream(ps) => f
+                .debug_struct("FailureInjector")
+                .field("backend", &"per_stream")
+                .field("pending_candidates", &ps.candidates.len())
+                .finish(),
+        }
     }
 }
 
@@ -129,6 +363,11 @@ mod tests {
     fn injector(num_nodes: u32, seed: u64) -> FailureInjector {
         let schedule = HazardSchedule::new(ModeCatalog::rsc1());
         FailureInjector::new(schedule, num_nodes, SimRng::seed_from(seed))
+    }
+
+    fn per_stream_injector(num_nodes: u32, seed: u64) -> FailureInjector {
+        let schedule = HazardSchedule::new(ModeCatalog::rsc1());
+        FailureInjector::new_per_stream(schedule, num_nodes, SimRng::seed_from(seed))
     }
 
     #[test]
@@ -208,5 +447,73 @@ mod tests {
         assert!(gpu_mem.len() > 100);
         let perm = gpu_mem.iter().filter(|e| e.permanent).count() as f64 / gpu_mem.len() as f64;
         assert!((perm - 0.35).abs() < 0.1, "perm={perm}");
+    }
+
+    #[test]
+    fn per_stream_backend_same_contract() {
+        let mut inj = per_stream_injector(1000, 2);
+        assert!(!inj.is_superposition());
+        let events = inj.drain_until(SimTime::from_days(100));
+        let n = events.len() as f64;
+        assert!((n - 650.0).abs() < 3.0 * 650.0f64.sqrt(), "n={n}");
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        let a: Vec<_> = per_stream_injector(64, 7).drain_until(SimTime::from_days(30));
+        let b: Vec<_> = per_stream_injector(64, 7).drain_until(SimTime::from_days(30));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn peek_candidate_bounds_next_event() {
+        let mut inj = injector(256, 4);
+        let peek = inj.peek_candidate_time().expect("positive-rate schedule");
+        let ev = inj
+            .next_before(SimTime::from_days(3650))
+            .expect("some failure within a decade");
+        assert!(ev.at >= peek, "first event precedes the peeked candidate");
+    }
+
+    #[test]
+    fn superposition_total_tracks_era_rebuilds() {
+        // A 50× IB era should raise the merged rate inside the window and
+        // drop it back after — observable via inter-event density.
+        let mut schedule = HazardSchedule::new(ModeCatalog::rsc1());
+        let ib = schedule
+            .mode_by_symptom(FailureSymptom::InfinibandLink)
+            .unwrap();
+        schedule.add_modifier(RateModifier {
+            mode: ib,
+            nodes: NodeFilter::All,
+            from: SimTime::from_days(10),
+            until: SimTime::from_days(20),
+            multiplier: 50.0,
+        });
+        let mut inj = FailureInjector::new(schedule, 2000, SimRng::seed_from(5));
+        let events = inj.drain_until(SimTime::from_days(30));
+        let count = |lo: u64, hi: u64| {
+            events
+                .iter()
+                .filter(|e| e.at >= SimTime::from_days(lo) && e.at < SimTime::from_days(hi))
+                .count() as f64
+        };
+        let (before, during, after) = (count(0, 10), count(10, 20), count(20, 30));
+        assert!(during > 2.0 * before, "during={during} before={before}");
+        assert!(during > 2.0 * after, "during={during} after={after}");
+    }
+
+    #[test]
+    fn zero_rate_schedule_yields_no_events() {
+        // All-zero node multipliers force total rate 0 in every era.
+        let mut schedule = HazardSchedule::new(ModeCatalog::rsc1());
+        let mode_ids: Vec<ModeId> = schedule.catalog().iter().map(|(id, _)| id).collect();
+        for node_idx in 0..8 {
+            for &mode in &mode_ids {
+                schedule.add_node_multiplier(NodeId::new(node_idx), mode, 0.0);
+            }
+        }
+        let mut inj = FailureInjector::new(schedule, 8, SimRng::seed_from(6));
+        assert_eq!(inj.peek_candidate_time(), None);
+        assert!(inj.drain_until(SimTime::from_days(365)).is_empty());
     }
 }

@@ -146,6 +146,25 @@ impl HazardSchedule {
         r
     }
 
+    /// The sorted, deduplicated set of era boundaries: every finite
+    /// modifier window edge strictly inside `(SimTime::ZERO, SimTime::MAX)`.
+    ///
+    /// Because modifiers are piecewise-constant and node multipliers are
+    /// time-independent, the rate of every `(node, mode)` pair is constant
+    /// between consecutive boundaries — the superposition injector relies
+    /// on this to rebuild its alias table only at these instants.
+    pub fn era_boundaries(&self) -> Vec<SimTime> {
+        let mut bounds: Vec<SimTime> = self
+            .modifiers
+            .iter()
+            .flat_map(|m| [m.from, m.until])
+            .filter(|&t| t > SimTime::ZERO && t < SimTime::MAX)
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+        bounds
+    }
+
     /// Convenience: look up a mode id by symptom.
     pub fn mode_by_symptom(&self, symptom: FailureSymptom) -> Option<ModeId> {
         self.catalog.find_by_symptom(symptom)
@@ -276,6 +295,24 @@ mod tests {
         let base = s.catalog().mode(pcie).rate_per_node_day;
         let got = s.rate(NodeId::new(5), pcie, SimTime::ZERO);
         assert!((got - 30.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn era_boundaries_are_sorted_finite_and_deduped() {
+        // No modifiers → no boundaries.
+        assert!(schedule().era_boundaries().is_empty());
+
+        // The RSC-1 storyline has edges at days 90 (GSP from+until share
+        // it), 240, and 270; ZERO and MAX edges are excluded.
+        let s = schedule().rsc1_eras(vec![NodeId::new(1)]);
+        assert_eq!(
+            s.era_boundaries(),
+            vec![
+                SimTime::from_days(90),
+                SimTime::from_days(240),
+                SimTime::from_days(270),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Statistical-equivalence suite: superposition sampling vs. per-stream
+//! thinning.
+//!
+//! The two injector backends realize the *same* non-homogeneous Poisson law
+//! from different random draws, so no test here compares event-by-event —
+//! instead each pins distributional marginals (per-mode rates, era-window
+//! counts, permanent fractions, a chi-square over the mode split) for both
+//! backends against the analytic expectation and against each other, across
+//! several seeds. CI runs this file as the injector-equivalence smoke gate.
+
+use std::collections::HashMap;
+
+use rsc_cluster::ids::NodeId;
+use rsc_failure::injector::{FailureEvent, FailureInjector};
+use rsc_failure::modes::{ModeCatalog, ModeId};
+use rsc_failure::process::{HazardSchedule, NodeFilter, RateModifier};
+use rsc_sim_core::rng::SimRng;
+use rsc_sim_core::time::SimTime;
+
+const NODES: u32 = 1000;
+const DAYS: u64 = 100;
+const SEEDS: [u64; 4] = [11, 22, 33, 44];
+
+fn superposition(schedule: HazardSchedule, seed: u64) -> FailureInjector {
+    FailureInjector::new(schedule, NODES, SimRng::seed_from(seed))
+}
+
+fn per_stream(schedule: HazardSchedule, seed: u64) -> FailureInjector {
+    FailureInjector::new_per_stream(schedule, NODES, SimRng::seed_from(seed))
+}
+
+/// Pooled event streams over [`SEEDS`] for one backend.
+fn pooled<F>(make: F) -> Vec<FailureEvent>
+where
+    F: Fn(u64) -> FailureInjector,
+{
+    let mut all = Vec::new();
+    for seed in SEEDS {
+        all.extend(make(seed).drain_until(SimTime::from_days(DAYS)));
+    }
+    all
+}
+
+fn counts_by_mode(events: &[FailureEvent]) -> HashMap<ModeId, f64> {
+    let mut counts = HashMap::new();
+    for ev in events {
+        *counts.entry(ev.mode).or_insert(0.0) += 1.0;
+    }
+    counts
+}
+
+/// Per-mode expected pooled counts for a flat (era-free) schedule.
+fn expected_by_mode(catalog: &ModeCatalog) -> HashMap<ModeId, f64> {
+    let scale = (NODES as u64 * DAYS * SEEDS.len() as u64) as f64;
+    catalog
+        .iter()
+        .map(|(id, spec)| (id, spec.rate_per_node_day * scale))
+        .collect()
+}
+
+#[test]
+fn per_mode_rates_match_analytic_expectation_on_both_backends() {
+    let catalog = ModeCatalog::rsc1();
+    let expected = expected_by_mode(&catalog);
+    for (name, events) in [
+        (
+            "superposition",
+            pooled(|s| superposition(HazardSchedule::new(catalog.clone()), s)),
+        ),
+        (
+            "per_stream",
+            pooled(|s| per_stream(HazardSchedule::new(catalog.clone()), s)),
+        ),
+    ] {
+        let counts = counts_by_mode(&events);
+        for (&mode, &exp) in &expected {
+            let got = counts.get(&mode).copied().unwrap_or(0.0);
+            // 4σ Poisson tolerance on the pooled count.
+            let tol = 4.0 * exp.sqrt().max(1.0);
+            assert!(
+                (got - exp).abs() < tol,
+                "{name}: mode {mode} count {got} vs expected {exp} (tol {tol:.1})"
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_agree_per_mode_within_joint_poisson_tolerance() {
+    let catalog = ModeCatalog::rsc1();
+    let sp = counts_by_mode(&pooled(|s| {
+        superposition(HazardSchedule::new(catalog.clone()), s)
+    }));
+    let ps = counts_by_mode(&pooled(|s| {
+        per_stream(HazardSchedule::new(catalog.clone()), s)
+    }));
+    for (id, _) in catalog.iter() {
+        let a = sp.get(&id).copied().unwrap_or(0.0);
+        let b = ps.get(&id).copied().unwrap_or(0.0);
+        // Var(A - B) = E[A] + E[B] for independent Poisson counts.
+        let tol = 4.0 * (a + b).sqrt().max(1.0);
+        assert!(
+            (a - b).abs() < tol,
+            "mode {id}: superposition {a} vs per-stream {b} (tol {tol:.1})"
+        );
+    }
+}
+
+#[test]
+fn chi_square_mode_split_fits_on_both_backends() {
+    // Pearson chi-square of pooled per-mode counts against the analytic
+    // expectation. df = modes - 1 = 7; the α = 0.0005 critical value is
+    // ≈ 26.0, and seeds are fixed so this is a pinned, non-flaky check.
+    let catalog = ModeCatalog::rsc1();
+    let expected = expected_by_mode(&catalog);
+    for (name, events) in [
+        (
+            "superposition",
+            pooled(|s| superposition(HazardSchedule::new(catalog.clone()), s)),
+        ),
+        (
+            "per_stream",
+            pooled(|s| per_stream(HazardSchedule::new(catalog.clone()), s)),
+        ),
+    ] {
+        let counts = counts_by_mode(&events);
+        let chi2: f64 = expected
+            .iter()
+            .map(|(mode, &exp)| {
+                let got = counts.get(mode).copied().unwrap_or(0.0);
+                (got - exp).powi(2) / exp
+            })
+            .sum();
+        assert!(chi2 < 26.0, "{name}: chi-square {chi2:.2} exceeds critical");
+    }
+}
+
+#[test]
+fn era_window_counts_agree_under_rsc1_storyline() {
+    // The RSC-1 eras: GSP ×10 for days 0–90 then ×0.05, plus a 15× IB
+    // spike on two nodes during days 240–270. Both backends must put the
+    // same (analytically expected) mass in each window.
+    let spike_nodes = vec![NodeId::new(3), NodeId::new(7)];
+    let horizon = SimTime::from_days(300);
+    let make_schedule = || HazardSchedule::new(ModeCatalog::rsc1()).rsc1_eras(spike_nodes.clone());
+    let catalog = ModeCatalog::rsc1();
+    let gsp = make_schedule()
+        .mode_by_symptom(rsc_failure::taxonomy::FailureSymptom::GspTimeout)
+        .unwrap();
+    let gsp_base = catalog.mode(gsp).rate_per_node_day;
+
+    let window_count = |events: &[FailureEvent], mode: ModeId, lo: u64, hi: u64| {
+        events
+            .iter()
+            .filter(|e| {
+                e.mode == mode && e.at >= SimTime::from_days(lo) && e.at < SimTime::from_days(hi)
+            })
+            .count() as f64
+    };
+
+    for (name, make) in [
+        (
+            "superposition",
+            Box::new(|seed| superposition(make_schedule(), seed))
+                as Box<dyn Fn(u64) -> FailureInjector>,
+        ),
+        (
+            "per_stream",
+            Box::new(|seed| per_stream(make_schedule(), seed)),
+        ),
+    ] {
+        let mut events = Vec::new();
+        for seed in SEEDS {
+            events.extend(make(seed).drain_until(horizon));
+        }
+        let pool = (NODES as u64 * SEEDS.len() as u64) as f64;
+        // GSP regression era: ×10 for the first 90 days.
+        let exp_early = pool * 90.0 * 10.0 * gsp_base;
+        let got_early = window_count(&events, gsp, 0, 90);
+        let tol = 4.0 * exp_early.sqrt().max(1.0);
+        assert!(
+            (got_early - exp_early).abs() < tol,
+            "{name}: early GSP {got_early} vs {exp_early:.1} (tol {tol:.1})"
+        );
+        // Post-patch era: ×0.05 for days 90–300.
+        let exp_late = pool * 210.0 * 0.05 * gsp_base;
+        let got_late = window_count(&events, gsp, 90, 300);
+        let tol = 4.0 * exp_late.sqrt().max(2.0);
+        assert!(
+            (got_late - exp_late).abs() < tol,
+            "{name}: late GSP {got_late} vs {exp_late:.1} (tol {tol:.1})"
+        );
+        // The IB spike stays confined to the spike nodes.
+        let ib = make_schedule()
+            .mode_by_symptom(rsc_failure::taxonomy::FailureSymptom::InfinibandLink)
+            .unwrap();
+        let spike_hits = events
+            .iter()
+            .filter(|e| {
+                e.mode == ib
+                    && e.at >= SimTime::from_days(240)
+                    && e.at < SimTime::from_days(270)
+                    && spike_nodes.contains(&e.node)
+            })
+            .count() as f64;
+        let ib_base = catalog.mode(ib).rate_per_node_day;
+        let exp_spike = (spike_nodes.len() * SEEDS.len()) as f64 * 30.0 * 15.0 * ib_base;
+        // Small absolute counts: loose 5σ window with a floor.
+        let tol = (5.0 * exp_spike.sqrt()).max(5.0);
+        assert!(
+            (spike_hits - exp_spike).abs() < tol,
+            "{name}: IB spike {spike_hits} vs {exp_spike:.1} (tol {tol:.1})"
+        );
+    }
+}
+
+#[test]
+fn permanent_fractions_agree_with_mode_specs() {
+    let catalog = ModeCatalog::rsc1();
+    for (name, events) in [
+        (
+            "superposition",
+            pooled(|s| superposition(HazardSchedule::new(catalog.clone()), s)),
+        ),
+        (
+            "per_stream",
+            pooled(|s| per_stream(HazardSchedule::new(catalog.clone()), s)),
+        ),
+    ] {
+        let counts = counts_by_mode(&events);
+        for (id, spec) in catalog.iter() {
+            let n = counts.get(&id).copied().unwrap_or(0.0);
+            if n < 200.0 {
+                continue; // too few events for a meaningful fraction
+            }
+            let perm = events
+                .iter()
+                .filter(|e| e.mode == id && e.permanent)
+                .count() as f64
+                / n;
+            // 5σ binomial tolerance (floored: low-p modes are Poisson-skewed).
+            let tol = 5.0 * (spec.permanent_prob * (1.0 - spec.permanent_prob) / n).sqrt();
+            assert!(
+                (perm - spec.permanent_prob).abs() < tol.max(0.04),
+                "{name}: mode {id} permanent fraction {perm:.3} vs spec {p:.3}",
+                p = spec.permanent_prob
+            );
+        }
+    }
+}
+
+#[test]
+fn node_multipliers_shift_mass_to_lemon_nodes() {
+    // A 40× lemon multiplier on one node/mode should give that node ~40×
+    // its fair share of that mode's events — on both backends, proving the
+    // alias weights carry per-node multipliers.
+    let catalog = ModeCatalog::rsc1();
+    let (mode, _) = catalog.iter().next().expect("non-empty catalog");
+    let lemon = NodeId::new(123);
+    let make_schedule = || {
+        let mut s = HazardSchedule::new(catalog.clone());
+        s.add_node_multiplier(lemon, mode, 40.0);
+        s
+    };
+    for (name, make) in [
+        (
+            "superposition",
+            Box::new(|seed| superposition(make_schedule(), seed))
+                as Box<dyn Fn(u64) -> FailureInjector>,
+        ),
+        (
+            "per_stream",
+            Box::new(|seed| per_stream(make_schedule(), seed)),
+        ),
+    ] {
+        let events = pooled(&make);
+        let mode_events: Vec<_> = events.iter().filter(|e| e.mode == mode).collect();
+        let on_lemon = mode_events.iter().filter(|e| e.node == lemon).count() as f64;
+        let expect_frac = 40.0 / (40.0 + (NODES - 1) as f64);
+        let n = mode_events.len() as f64;
+        assert!(n > 100.0, "{name}: too few mode events ({n})");
+        let frac = on_lemon / n;
+        let tol = 5.0 * (expect_frac * (1.0 - expect_frac) / n).sqrt();
+        assert!(
+            (frac - expect_frac).abs() < tol.max(0.01),
+            "{name}: lemon share {frac:.4} vs expected {expect_frac:.4}"
+        );
+    }
+}
+
+#[test]
+fn determinism_given_seed_on_both_backends() {
+    let schedule =
+        || HazardSchedule::new(ModeCatalog::rsc1()).rsc1_eras(vec![NodeId::new(1), NodeId::new(2)]);
+    let horizon = SimTime::from_days(300);
+    let a = superposition(schedule(), 77).drain_until(horizon);
+    let b = superposition(schedule(), 77).drain_until(horizon);
+    assert_eq!(a, b, "superposition stream not reproducible");
+    assert!(!a.is_empty());
+    let c = per_stream(schedule(), 77).drain_until(horizon);
+    let d = per_stream(schedule(), 77).drain_until(horizon);
+    assert_eq!(c, d, "per-stream stream not reproducible");
+
+    let e = superposition(schedule(), 78).drain_until(horizon);
+    assert_ne!(a, e, "different seeds should differ");
+}
+
+#[test]
+fn rate_modifier_shared_with_all_filter_hits_same_totals() {
+    // An All-nodes window modifier must scale the merged rate identically
+    // on both backends (exercises alias rebuild at both window edges).
+    let ib_like = |schedule: &HazardSchedule| {
+        schedule
+            .catalog()
+            .iter()
+            .next()
+            .map(|(id, _)| id)
+            .expect("non-empty catalog")
+    };
+    let make_schedule = || {
+        let mut s = HazardSchedule::new(ModeCatalog::rsc2());
+        let mode = ib_like(&s);
+        s.add_modifier(RateModifier {
+            mode,
+            nodes: NodeFilter::All,
+            from: SimTime::from_days(20),
+            until: SimTime::from_days(40),
+            multiplier: 8.0,
+        });
+        s
+    };
+    let horizon = SimTime::from_days(60);
+    let count_in_window = |events: &[FailureEvent]| {
+        events
+            .iter()
+            .filter(|e| e.at >= SimTime::from_days(20) && e.at < SimTime::from_days(40))
+            .count() as f64
+    };
+    let mut sp_total = 0.0;
+    let mut ps_total = 0.0;
+    for seed in SEEDS {
+        sp_total += count_in_window(&superposition(make_schedule(), seed).drain_until(horizon));
+        ps_total += count_in_window(&per_stream(make_schedule(), seed).drain_until(horizon));
+    }
+    let tol = 4.0 * (sp_total + ps_total).sqrt().max(1.0);
+    assert!(
+        (sp_total - ps_total).abs() < tol,
+        "window counts: superposition {sp_total} vs per-stream {ps_total} (tol {tol:.1})"
+    );
+}

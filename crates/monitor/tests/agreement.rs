@@ -14,7 +14,7 @@
 //!   reports, field for field.
 
 use rsc_core::availability::fleet_availability;
-use rsc_core::lemon::compute_features;
+use rsc_core::lemon::{compute_features, compute_windowed_features};
 use rsc_core::mttf::{estimate_status_only_failure_rate, mttf_by_job_size, FailureScope};
 use rsc_core::AttributionConfig;
 use rsc_monitor::config::MonitorConfig;
@@ -23,7 +23,7 @@ use rsc_monitor::replay::replay_view;
 use rsc_sim::bus::SharedObserver;
 use rsc_sim::config::SimConfig;
 use rsc_sim::runner::ScenarioSpec;
-use rsc_sim_core::time::SimTime;
+use rsc_sim_core::time::{SimDuration, SimTime};
 use rsc_telemetry::view::TelemetryView;
 
 const DAYS: u64 = 30;
@@ -126,6 +126,31 @@ fn unwindowed_lemon_features_equal_batch() {
     assert_eq!(streaming, batch);
     // The fixture exercises at least one non-trivial signal.
     assert!(batch.iter().any(|f| f.tickets > 0 || f.out_count > 0));
+}
+
+#[test]
+fn windowed_lemon_features_equal_batch_twin() {
+    // The operational trailing-window view, with the window tightened to
+    // 7 days over the 30-day run so it genuinely trims early-run signal
+    // (the default 28-day window happens to cover every signal in this
+    // fixture, which would make the vacuity check below meaningless).
+    let mut config = MonitorConfig::rsc_default();
+    config.lemon_window = SimDuration::from_days(7);
+    let window = config.lemon_window;
+    let (monitor, view) = live_monitored(config);
+    let horizon = view.horizon();
+    let twin = compute_windowed_features(&view, horizon, window);
+    assert_eq!(monitor.lemon_features(), twin);
+    // The window is not vacuous: the full-range pass disagrees, so the
+    // trailing view really dropped early-run signal.
+    let full = compute_features(&view, SimTime::ZERO, horizon);
+    assert_ne!(twin, full);
+    // A window covering the whole run degenerates to the full range
+    // (the twin's lower bound saturates at time zero).
+    assert_eq!(
+        compute_windowed_features(&view, horizon, SimDuration::from_days(DAYS)),
+        full
+    );
 }
 
 #[test]

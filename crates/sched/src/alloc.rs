@@ -26,7 +26,11 @@ use crate::job::JobSpec;
 ///   for zero free slots);
 /// * `whole_by_pod[p]` holds the fully-free nodes of pod `p`, and
 ///   `whole_total` their overall count (so `whole_by_pod[p]` mirrors
-///   `by_free[8]` split by pod).
+///   `by_free[8]` split by pod);
+/// * `pods_by_fullness` holds `(Reverse(count), p)` for every pod `p`
+///   with a non-empty `whole_by_pod[p]` — its ascending order is the
+///   whole-node packing order (fullest pod first, ties to the lowest
+///   pod index), kept current so allocation never sorts.
 ///
 /// Unavailable nodes are absent from every structure; toggling
 /// availability re-files the node. Rebuilt from scratch rather than
@@ -37,6 +41,7 @@ struct PoolIndex {
     by_free: [BTreeSet<u32>; GPUS_PER_NODE + 1],
     whole_by_pod: Vec<BTreeSet<u32>>,
     whole_total: usize,
+    pods_by_fullness: BTreeSet<(std::cmp::Reverse<usize>, u32)>,
 }
 
 /// Tracks free GPU slots and schedulability for every node.
@@ -88,6 +93,7 @@ impl ResourcePool {
             by_free: Default::default(),
             whole_by_pod: vec![BTreeSet::new(); num_pods],
             whole_total: 0,
+            pods_by_fullness: BTreeSet::new(),
         };
         for i in 0..self.free_slots.len() {
             if self.available[i] {
@@ -105,7 +111,9 @@ impl ResourcePool {
         }
         if free as usize == GPUS_PER_NODE {
             let pod = self.topology.pod_of(NodeId::new(i as u32)).index() as usize;
+            let count = self.index.whole_by_pod[pod].len();
             self.index.whole_by_pod[pod].insert(i as u32);
+            self.refile_pod(pod, count, count + 1);
             self.index.whole_total += 1;
         }
     }
@@ -119,8 +127,26 @@ impl ResourcePool {
         }
         if free as usize == GPUS_PER_NODE {
             let pod = self.topology.pod_of(NodeId::new(i as u32)).index() as usize;
+            let count = self.index.whole_by_pod[pod].len();
             self.index.whole_by_pod[pod].remove(&(i as u32));
+            self.refile_pod(pod, count, count - 1);
             self.index.whole_total -= 1;
+        }
+    }
+
+    /// Moves pod `pod` from the `old`- to the `new`-count position in the
+    /// packing order (zero counts are simply absent).
+    fn refile_pod(&mut self, pod: usize, old: usize, new: usize) {
+        use std::cmp::Reverse;
+        if old > 0 {
+            self.index
+                .pods_by_fullness
+                .remove(&(Reverse(old), pod as u32));
+        }
+        if new > 0 {
+            self.index
+                .pods_by_fullness
+                .insert((Reverse(new), pod as u32));
         }
     }
 
@@ -249,23 +275,17 @@ impl ResourcePool {
     /// Takes whole nodes from the pods with the most free capacity first
     /// (fewest pods spanned), nodes in ascending id order within a pod,
     /// result sorted — byte-for-byte the choice the old full scan made,
-    /// but O(pods·log pods + needed) off the pod-bucketed free sets.
+    /// but O(needed) off the maintained packing order: `pods_by_fullness`
+    /// ascending is exactly the old per-query sort's key (free count
+    /// descending, pod index ascending; keys are unique, so stability
+    /// cannot matter), with empty pods already absent.
     fn pack_whole_nodes(&self, needed: usize) -> Option<Vec<NodeId>> {
         if self.index.whole_total < needed {
             return None;
         }
-        let mut by_pod: Vec<(u32, &BTreeSet<u32>)> = self
-            .index
-            .whole_by_pod
-            .iter()
-            .enumerate()
-            .filter(|(_, set)| !set.is_empty())
-            .map(|(p, set)| (p as u32, set))
-            .collect();
-        by_pod.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
         let mut chosen = Vec::with_capacity(needed);
-        for (_, nodes) in by_pod {
-            for &idx in nodes {
+        for &(_, pod) in &self.index.pods_by_fullness {
+            for &idx in &self.index.whole_by_pod[pod as usize] {
                 chosen.push(NodeId::new(idx));
                 if chosen.len() == needed {
                     chosen.sort();

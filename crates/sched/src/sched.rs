@@ -116,6 +116,44 @@ fn pend_key(spec: &JobSpec) -> PendKey {
     (qos_tier(spec.qos), spec.submit_at.as_secs(), spec.id.raw())
 }
 
+/// The queue-scan fields of a pending job, mirrored out of the `jobs` map
+/// into the pending queue's values. A scheduling cycle's quick rejects run
+/// over these plain `Copy` fields straight off the B-tree, so the (by far
+/// most common) reject paths never hash into the jobs map; the full spec
+/// is fetched only for the handful of entries per cycle that survive every
+/// reject and reach the allocator. The mirrored fields are immutable on
+/// `JobSpec`, so the mirror cannot go stale while the job is queued.
+#[derive(Debug, Clone, Copy)]
+struct PendEntry {
+    id: JobId,
+    gpus: u32,
+    qos: QosClass,
+    project: ProjectId,
+    time_limit: SimDuration,
+}
+
+impl PendEntry {
+    fn of(spec: &JobSpec) -> Self {
+        PendEntry {
+            id: spec.id,
+            gpus: spec.gpus,
+            qos: spec.qos,
+            project: spec.project,
+            time_limit: spec.time_limit,
+        }
+    }
+
+    /// Mirrors [`JobSpec::nodes_needed`].
+    fn nodes_needed(&self) -> u32 {
+        self.gpus.div_ceil(rsc_cluster::node::GPUS_PER_NODE as u32)
+    }
+
+    /// Mirrors [`JobSpec::is_sub_node`].
+    fn is_sub_node(&self) -> bool {
+        self.gpus < rsc_cluster::node::GPUS_PER_NODE as u32
+    }
+}
+
 /// QoS as a small ordinal: High = 0, Normal = 1, Low = 2 (lower number =
 /// higher priority, matching the pending-queue key).
 fn qos_tier(qos: QosClass) -> u8 {
@@ -145,13 +183,16 @@ type NodeIdxIter<'a> = std::iter::Peekable<Box<dyn Iterator<Item = u32> + 'a>>;
 ///   lowest) occupant QoS tier, and the occupied nodes bucketed by that
 ///   tier, so preemption planning only visits nodes whose occupants are
 ///   *all* below the preemptor's tier;
+/// * the pending queue's values are [`PendEntry`] mirrors of each spec's
+///   scan fields, so a cycle's quick rejects run off the B-tree without
+///   hashing into the jobs map;
 /// * a reusable scan-order buffer for `cycle`.
 #[derive(Debug)]
 pub struct Scheduler {
     config: SchedConfig,
     pool: ResourcePool,
     jobs: HashMap<JobId, Job>,
-    pending: std::collections::BTreeMap<PendKey, JobId>,
+    pending: std::collections::BTreeMap<PendKey, PendEntry>,
     node_jobs: Vec<Vec<JobId>>,
     records: Vec<JobRecord>,
     last_interrupt: HashMap<JobId, JobStatus>,
@@ -160,7 +201,7 @@ pub struct Scheduler {
     whole_node_frees: std::collections::BTreeMap<(SimTime, JobId), usize>,
     node_best_tier: Vec<u8>,
     occupied_by_tier: [std::collections::BTreeSet<u32>; 3],
-    cycle_order: Vec<JobId>,
+    cycle_order: Vec<PendEntry>,
     naive_scans: bool,
 }
 
@@ -254,14 +295,17 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if the job id was already submitted or the job asks for more
-    /// GPUs than the cluster has.
+    /// Panics if the job id was already submitted, the job asks for zero
+    /// GPUs, or it asks for more GPUs than the cluster has. (That every
+    /// queued job wants at least one GPU is what lets a scheduling cycle
+    /// stop scanning once the pool is exhausted.)
     pub fn submit(&mut self, mut spec: JobSpec) {
         assert!(
             !self.jobs.contains_key(&spec.id),
             "duplicate job id {}",
             spec.id
         );
+        assert!(spec.gpus >= 1, "job {} requests zero GPUs", spec.id);
         assert!(
             spec.gpus as u64 <= self.pool.total_gpus(),
             "job {} wants {} GPUs, cluster has {}",
@@ -271,7 +315,7 @@ impl Scheduler {
         );
         spec.time_limit = spec.time_limit.min(self.config.max_lifetime);
         let id = spec.id;
-        self.pending.insert(pend_key(&spec), id);
+        self.pending.insert(pend_key(&spec), PendEntry::of(&spec));
         self.jobs.insert(id, Job::new(spec));
     }
 
@@ -283,6 +327,13 @@ impl Scheduler {
         // The queue iterates in priority order by construction: QoS tier,
         // then age, then id. Cap the scan so deep backlogs stay cheap, and
         // reuse one buffer across cycles instead of allocating per event.
+        //
+        // The scan runs over the queue's mirrored [`PendEntry`] values:
+        // every reject below is a pure `continue` with no state writes, so
+        // checking the cheap `Copy` fields first (and the quota map last)
+        // cannot change which jobs reach the allocator or what any later
+        // iteration observes — it only avoids hashing into the jobs map
+        // for entries that were never going to start this cycle.
         let mut order = std::mem::take(&mut self.cycle_order);
         order.clear();
         order.extend(self.pending.values().take(self.config.max_scan).copied());
@@ -299,37 +350,39 @@ impl Scheduler {
         // Conservative backfill: once a whole-node job cannot start, jobs
         // that would run past its reservation must wait.
         let mut shadow_time: Option<SimTime> = None;
-        for &id in &order {
-            let spec = self.jobs[&id].spec.clone();
-            let can_preempt = spec.qos > QosClass::Low && !spec.is_sub_node();
-            // Project quota: a project at its allocation waits even when
-            // free GPUs exist.
-            if !self.quotas.allows(
-                spec.project,
-                self.usage.busy(spec.project),
-                spec.gpus as u64,
-            ) {
-                continue;
-            }
+        for entry in &order {
+            let can_preempt = entry.qos > QosClass::Low && !entry.is_sub_node();
             // Quick rejects: total free capacity, then monotone size caps.
-            if spec.gpus as u64 > free_gpus && !can_preempt {
+            if entry.gpus as u64 > free_gpus && !can_preempt {
                 continue;
             }
-            if spec.is_sub_node() {
-                if spec.gpus >= min_failed_subnode {
+            if entry.is_sub_node() {
+                if entry.gpus >= min_failed_subnode {
                     continue;
                 }
-            } else if spec.nodes_needed() >= min_failed_nodes
+            } else if entry.nodes_needed() >= min_failed_nodes
                 && (!can_preempt || preempt_budget == 0)
             {
                 continue;
             }
             // A standing reservation blocks backfill that would outlive it.
             if let Some(t) = shadow_time {
-                if now + spec.time_limit > t {
+                if now + entry.time_limit > t {
                     continue;
                 }
             }
+            // Project quota: a project at its allocation waits even when
+            // free GPUs exist.
+            if !self.quotas.allows(
+                entry.project,
+                self.usage.busy(entry.project),
+                entry.gpus as u64,
+            ) {
+                continue;
+            }
+            // The entry survived every reject; fetch the full spec.
+            let id = entry.id;
+            let spec = self.jobs[&id].spec.clone();
             if let Some(nodes) = self.allocate(&spec) {
                 free_gpus = free_gpus.saturating_sub(spec.gpus as u64);
                 started.push(self.start_job(id, nodes, now, Vec::new()));
@@ -365,6 +418,14 @@ impl Scheduler {
                     shadow_time =
                         Some(self.earliest_whole_nodes_free(spec.nodes_needed() as usize, now));
                 }
+            }
+            // Exhaustion break: with zero free GPUs and no preemption
+            // budget left, no remaining entry can start (every job wants
+            // at least one GPU, so non-preemptors fail the capacity check
+            // and preemptors can no longer act) — the rest of the scan
+            // would only update this cycle's local bookkeeping.
+            if free_gpus == 0 && preempt_budget == 0 {
+                break;
             }
         }
         self.cycle_order = order;
@@ -809,7 +870,7 @@ impl Scheduler {
         if requeue {
             job.attempt += 1;
             job.last_enqueued_at = now;
-            self.pending.insert(pend_key(&spec), id);
+            self.pending.insert(pend_key(&spec), PendEntry::of(&spec));
         } else {
             // Terminal: evict the job so year-long simulations don't hold
             // millions of dead entries. Stale events for evicted ids are

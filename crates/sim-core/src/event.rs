@@ -3,11 +3,41 @@
 //! [`EventQueue`] is a priority queue keyed by [`SimTime`]. Events scheduled
 //! for the same instant pop in insertion order, which makes runs fully
 //! reproducible regardless of payload type or hash ordering.
+//!
+//! # Tiered backend
+//!
+//! The default backend is a calendar/timer-wheel hybrid sized for the
+//! simulator's hot path: a **near band** of `2^13` time buckets, each
+//! spanning `2^7` seconds (a ~12-day window), plus a binary-heap
+//! **overflow** tier for events scheduled beyond the window. Each bucket is
+//! its own small `(time, seq)`-ordered heap, so a push costs `O(log b)` in
+//! the *bucket* population `b` (typically tens of events) instead of
+//! `O(log n)` in the whole pending set, and the earliest bucket is found by
+//! scanning a 128-word occupancy bitmap. Events land in the overflow heap
+//! only when scheduled further out than the window and migrate into the
+//! wheel in amortized batches when the near band drains past them — each
+//! event migrates at most once.
+//!
+//! The tiered backend preserves the *exact* `(time, seq)` pop order of a
+//! single binary heap — not just "some valid order" — so a simulation's
+//! sealed telemetry is byte-identical whichever backend runs it. The
+//! retained single-heap backend ([`EventQueue::new_reference_heap`]) exists
+//! to prove that: lockstep tests drive both on adversarial schedules and
+//! demand identical pops.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
+
+/// Near-band bucket granularity: `2^7` = 128 seconds per bucket.
+const GRANULARITY_BITS: u64 = 7;
+/// Near-band size: `2^13` = 8192 buckets, a ~12.1-day window.
+const WHEEL_BITS: u64 = 13;
+const WHEEL_SLOTS: u64 = 1 << WHEEL_BITS;
+const SLOT_MASK: u64 = WHEEL_SLOTS - 1;
+/// Occupancy bitmap words (64 buckets per word).
+const WHEEL_WORDS: usize = (WHEEL_SLOTS / 64) as usize;
 
 /// A payload scheduled at a time, with a monotone sequence number used to
 /// break ties deterministically.
@@ -41,6 +71,182 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// The timer-wheel-plus-overflow store behind the default backend.
+///
+/// Invariants:
+///
+/// - every near-band event's slot lies in `[base_slot, base_slot + WHEEL_SLOTS)`;
+/// - `base_slot <= slot(now)` at all times, so any future `schedule` maps
+///   into or beyond the current window (never below it, which would alias);
+/// - `base_slot` only advances, and only while the near band is empty.
+struct Wheel<E> {
+    buckets: Box<[BinaryHeap<Scheduled<E>>]>,
+    occupied: [u64; WHEEL_WORDS],
+    near_len: usize,
+    base_slot: u64,
+    overflow: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Self {
+        Wheel {
+            buckets: (0..WHEEL_SLOTS).map(|_| BinaryHeap::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            near_len: 0,
+            base_slot: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    fn slot_of(at: SimTime) -> u64 {
+        at.as_secs() >> GRANULARITY_BITS
+    }
+
+    fn len(&self) -> usize {
+        self.near_len + self.overflow.len()
+    }
+
+    fn insert_near(&mut self, s: Scheduled<E>) {
+        let idx = (Self::slot_of(s.at) & SLOT_MASK) as usize;
+        self.buckets[idx].push(s);
+        self.occupied[idx >> 6] |= 1 << (idx & 63);
+        self.near_len += 1;
+    }
+
+    fn schedule(&mut self, s: Scheduled<E>, now: SimTime) {
+        if self.near_len == 0 && self.overflow.is_empty() {
+            // Empty queue: every pending event is gone, so the window can
+            // slide up to the clock for free.
+            self.base_slot = Self::slot_of(now);
+        }
+        let slot = Self::slot_of(s.at);
+        debug_assert!(slot >= self.base_slot, "slot below window base");
+        if slot - self.base_slot < WHEEL_SLOTS {
+            self.insert_near(s);
+        } else {
+            self.overflow.push(s);
+        }
+    }
+
+    /// Physical index of the bucket holding the earliest near-band event.
+    ///
+    /// Scans the occupancy bitmap in *logical* window order: physical
+    /// positions `[p0, WHEEL_SLOTS)` first, then the wrapped `[0, p0)`
+    /// tail, where `p0` is the window base. Within each segment physical
+    /// order equals logical order, so the first set bit is the earliest
+    /// occupied bucket.
+    fn first_occupied(&self) -> Option<usize> {
+        if self.near_len == 0 {
+            return None;
+        }
+        let p0 = (self.base_slot & SLOT_MASK) as usize;
+        let (w0, b0) = (p0 >> 6, p0 & 63);
+        let head = self.occupied[w0] & (!0u64 << b0);
+        if head != 0 {
+            return Some((w0 << 6) + head.trailing_zeros() as usize);
+        }
+        for wi in (w0 + 1..WHEEL_WORDS).chain(0..w0) {
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some((wi << 6) + w.trailing_zeros() as usize);
+            }
+        }
+        let tail = self.occupied[w0] & !(!0u64 << b0);
+        if tail != 0 {
+            return Some((w0 << 6) + tail.trailing_zeros() as usize);
+        }
+        unreachable!("near_len > 0 but no occupied bucket");
+    }
+
+    fn peek(&self) -> Option<&Scheduled<E>> {
+        let near = self
+            .first_occupied()
+            .map(|i| self.buckets[i].peek().expect("occupied bucket"));
+        match (near, self.overflow.peek()) {
+            (Some(n), Some(o)) => Some(if (n.at, n.seq) <= (o.at, o.seq) { n } else { o }),
+            (Some(n), None) => Some(n),
+            (None, o) => o,
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        let near_idx = self.first_occupied();
+        let take_near = match (near_idx, self.overflow.peek()) {
+            (Some(i), Some(o)) => {
+                let n = self.buckets[i].peek().expect("occupied bucket");
+                (n.at, n.seq) <= (o.at, o.seq)
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_near {
+            let i = near_idx.expect("near chosen");
+            let s = self.buckets[i].pop().expect("occupied bucket");
+            self.near_len -= 1;
+            if self.buckets[i].is_empty() {
+                self.occupied[i >> 6] &= !(1 << (i & 63));
+            }
+            Some(s)
+        } else {
+            let s = self.overflow.pop().expect("overflow peeked");
+            if self.near_len == 0 {
+                // The whole near window lies behind this event: rebase to
+                // it and migrate the next window's worth out of overflow in
+                // one amortized batch.
+                self.base_slot = Self::slot_of(s.at);
+                while let Some(o) = self.overflow.peek() {
+                    if Self::slot_of(o.at) - self.base_slot >= WHEEL_SLOTS {
+                        break;
+                    }
+                    let o = self.overflow.pop().expect("peeked");
+                    self.insert_near(o);
+                }
+            }
+            Some(s)
+        }
+    }
+
+    fn clear(&mut self) {
+        for (w, word) in self.occupied.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                self.buckets[(w << 6) + b].clear();
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        self.near_len = 0;
+        self.overflow.clear();
+    }
+
+    fn take_all(&mut self) -> Vec<Scheduled<E>> {
+        let mut out = Vec::with_capacity(self.len());
+        for (w, word) in self.occupied.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.extend(self.buckets[(w << 6) + b].drain());
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        self.near_len = 0;
+        out.extend(std::mem::take(&mut self.overflow).into_vec());
+        out
+    }
+}
+
+// One backend lives per queue (one queue per driver), so the size gap
+// between the wheel and the bare heap is irrelevant; boxing would put an
+// indirection on the hot path for nothing.
+#[allow(clippy::large_enum_variant)]
+enum Backend<E> {
+    Tiered(Wheel<E>),
+    ReferenceHeap(BinaryHeap<Scheduled<E>>),
+}
+
 /// A future-event list for discrete-event simulation.
 ///
 /// ```
@@ -55,7 +261,7 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(order, ["a", "b", "c"]); // same-time events pop in insert order
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
     next_seq: u64,
     now: SimTime,
 }
@@ -67,13 +273,45 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    /// Creates an empty queue (tiered backend) with the clock at
+    /// [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: Backend::Tiered(Wheel::new()),
             next_seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Creates an empty queue on the retained single-binary-heap backend.
+    ///
+    /// Test hook for lockstep/byte-identity checks against the tiered
+    /// backend; not part of the public API.
+    #[doc(hidden)]
+    pub fn new_reference_heap() -> Self {
+        EventQueue {
+            backend: Backend::ReferenceHeap(BinaryHeap::new()),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Switches this queue to the reference single-heap backend, carrying
+    /// every pending event (and its tie-break sequence number) across.
+    ///
+    /// Test hook; not part of the public API.
+    #[doc(hidden)]
+    pub fn use_reference_heap(&mut self) {
+        if let Backend::Tiered(wheel) = &mut self.backend {
+            let pending = wheel.take_all();
+            self.backend = Backend::ReferenceHeap(BinaryHeap::from(pending));
+        }
+    }
+
+    /// True when this queue runs the reference single-heap backend.
+    #[doc(hidden)]
+    pub fn is_reference_heap(&self) -> bool {
+        matches!(self.backend, Backend::ReferenceHeap(_))
     }
 
     /// The current simulation clock: the timestamp of the most recently
@@ -84,12 +322,15 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Tiered(w) => w.len(),
+            Backend::ReferenceHeap(h) => h.len(),
+        }
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -107,17 +348,27 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let s = Scheduled { at, seq, event };
+        match &mut self.backend {
+            Backend::Tiered(w) => w.schedule(s, self.now),
+            Backend::ReferenceHeap(h) => h.push(s),
+        }
     }
 
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        match &self.backend {
+            Backend::Tiered(w) => w.peek().map(|s| s.at),
+            Backend::ReferenceHeap(h) => h.peek().map(|s| s.at),
+        }
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
+        let s = match &mut self.backend {
+            Backend::Tiered(w) => w.pop()?,
+            Backend::ReferenceHeap(h) => h.pop()?,
+        };
         self.now = s.at;
         Some((s.at, s.event))
     }
@@ -133,7 +384,10 @@ impl<E> EventQueue<E> {
 
     /// Drops all pending events without changing the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            Backend::Tiered(w) => w.clear(),
+            Backend::ReferenceHeap(h) => h.clear(),
+        }
     }
 }
 
@@ -289,5 +543,160 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return_in_order() {
+        // Events far beyond the ~12-day near window land in overflow and
+        // still pop in exact global order, including ties with near events
+        // after rebasing.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_days(100), "far-b");
+        q.schedule(SimTime::from_secs(30), "near");
+        q.schedule(SimTime::from_days(100), "far-c");
+        q.schedule(SimTime::from_days(400), "farther");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(30), "near")));
+        assert_eq!(q.pop(), Some((SimTime::from_days(100), "far-b")));
+        // After the rebase at day 100, a new near event interleaves
+        // correctly with the migrated one.
+        q.schedule(SimTime::from_days(100), "far-d");
+        assert_eq!(q.pop(), Some((SimTime::from_days(100), "far-c")));
+        assert_eq!(q.pop(), Some((SimTime::from_days(100), "far-d")));
+        assert_eq!(q.pop(), Some((SimTime::from_days(400), "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn max_sentinel_time_is_schedulable() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, "end");
+        q.schedule(SimTime::from_secs(1), "soon");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "soon")));
+        assert_eq!(q.peek_time(), Some(SimTime::MAX));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "end")));
+    }
+
+    #[test]
+    fn empty_rebase_slides_window_forward() {
+        // Drain the queue, advance far, then schedule again near the new
+        // clock: the window rebases so the event stays in the near band.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_days(50), "a");
+        q.pop();
+        q.schedule(
+            SimTime::from_days(50) + crate::time::SimDuration::from_secs(5),
+            "b",
+        );
+        q.schedule(SimTime::from_days(51), "c");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+    }
+
+    /// A tiny deterministic generator for lockstep tests (keeps this crate
+    /// free of dev-dependency cycles and runs identically everywhere).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    /// Drives the tiered and reference backends through an identical
+    /// randomized command stream and demands identical observable behavior
+    /// at every step.
+    fn lockstep(seed: u64, steps: usize, spread_secs: u64) {
+        let mut tiered = EventQueue::new();
+        let mut reference = EventQueue::new_reference_heap();
+        let mut rng = Lcg(seed);
+        let mut next_id = 0u64;
+        for _ in 0..steps {
+            match rng.next() % 5 {
+                // Schedule: biased toward bursts of ties and occasional
+                // far-future outliers.
+                0..=2 => {
+                    let base = tiered.now().as_secs();
+                    let offset = match rng.next() % 10 {
+                        0 => 0,                                   // tie with `now`
+                        1..=6 => rng.next() % spread_secs,        // near band
+                        7 | 8 => rng.next() % (spread_secs * 64), // mid
+                        _ => 40 * 86_400 + rng.next() % 86_400,   // beyond window
+                    };
+                    let at = SimTime::from_secs(base + offset);
+                    tiered.schedule(at, next_id);
+                    reference.schedule(at, next_id);
+                    next_id += 1;
+                }
+                3 => {
+                    assert_eq!(tiered.pop(), reference.pop());
+                }
+                _ => {
+                    let limit = tiered.now()
+                        + crate::time::SimDuration::from_secs(rng.next() % (spread_secs * 8));
+                    loop {
+                        let (a, b) = (tiered.pop_until(limit), reference.pop_until(limit));
+                        assert_eq!(a, b);
+                        if a.is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+            assert_eq!(tiered.len(), reference.len());
+            assert_eq!(tiered.peek_time(), reference.peek_time());
+            assert_eq!(tiered.now(), reference.now());
+        }
+        // Full drain must agree to the last event.
+        loop {
+            let (a, b) = (tiered.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_reference_heap_near_band() {
+        for seed in 0..8 {
+            lockstep(seed, 2_000, 600);
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_reference_heap_wide_spread() {
+        for seed in 100..104 {
+            lockstep(seed, 2_000, 6 * 86_400);
+        }
+    }
+
+    #[test]
+    fn reference_conversion_carries_pending_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "b");
+        q.schedule(SimTime::from_secs(5), "a");
+        q.schedule(SimTime::from_days(90), "z");
+        q.schedule(SimTime::from_secs(10), "c");
+        q.use_reference_heap();
+        assert!(q.is_reference_heap());
+        assert_eq!(q.len(), 4);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c", "z"]);
+    }
+
+    #[test]
+    fn reference_backend_passes_the_same_contract() {
+        let mut q = EventQueue::<u32>::new_reference_heap();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(42), i);
+        }
+        q.schedule(SimTime::from_secs(1), 999);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 999)));
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
     }
 }

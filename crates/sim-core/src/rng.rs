@@ -303,6 +303,124 @@ impl WeightedIndex {
     }
 }
 
+/// A discrete distribution over `0..n` with fixed weights, sampled in
+/// **O(1)** via the Walker–Vose alias method.
+///
+/// Construction is O(n) and fully deterministic (index-ordered worklists),
+/// so rebuilding a table from the same weights always yields the same
+/// internal layout — and therefore the same draw sequence for a given RNG
+/// state. Prefer this over [`WeightedIndex`] when the same distribution is
+/// sampled many times between rebuilds (e.g. the failure injector's merged
+/// candidate process, rebuilt only at hazard-era boundaries).
+///
+/// ```
+/// use rsc_sim_core::rng::{AliasTable, SimRng};
+///
+/// let dist = AliasTable::new([1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = SimRng::seed_from(7);
+/// let idx = dist.sample(&mut rng);
+/// assert!(idx == 0 || idx == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability for each column.
+    prob: Vec<f64>,
+    /// Fallback category for each column.
+    alias: Vec<u32>,
+    total: f64,
+}
+
+impl AliasTable {
+    /// Builds an alias sampler from an iterator of non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidWeightsError`] if any weight is negative or
+    /// non-finite, if all weights are zero, or if there are no (or more
+    /// than `u32::MAX`) categories.
+    pub fn new<I>(weights: I) -> Result<Self, InvalidWeightsError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let weights: Vec<f64> = weights.into_iter().collect();
+        let n = weights.len();
+        if n == 0 || n > u32::MAX as usize {
+            return Err(InvalidWeightsError);
+        }
+        let mut total = 0.0f64;
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(InvalidWeightsError);
+            }
+            total += w;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err(InvalidWeightsError);
+        }
+
+        // Vose's method: scale weights to mean 1, then pair each deficit
+        // ("small") column with a surplus ("large") donor. Stacks are
+        // filled in index order, which makes the layout deterministic.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Float-rounding leftovers sit within an ulp of 1; treat as certain.
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        Ok(AliasTable { prob, alias, total })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if there are no categories (cannot occur for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sum of the weights the table was built from.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Draws a category index proportional to its weight: one uniform
+    /// column pick plus one biased coin — O(1) regardless of `len`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let i = rng.below(self.prob.len() as u64) as usize;
+        if rng.uniform() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +546,89 @@ mod tests {
         let mut rng = SimRng::seed_from(11);
         for _ in 0..10_000 {
             assert_ne!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_table_proportions() {
+        let dist = AliasTable::new([1.0, 3.0, 4.0]).unwrap();
+        assert_eq!(dist.len(), 3);
+        assert!((dist.total() - 8.0).abs() < 1e-12);
+        let mut rng = SimRng::seed_from(10);
+        let mut counts = [0u32; 3];
+        for _ in 0..80_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        for (i, expect) in [0.125, 0.375, 0.5].into_iter().enumerate() {
+            let frac = counts[i] as f64 / 80_000.0;
+            assert!((frac - expect).abs() < 0.01, "i={i} frac={frac}");
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weighted_index_law() {
+        // Same weights, two samplers, two independent streams: the
+        // empirical distributions must agree within sampling error.
+        let weights = [0.5, 0.0, 2.5, 1.0, 7.0, 0.25];
+        let total: f64 = weights.iter().sum();
+        let alias = AliasTable::new(weights).unwrap();
+        let cumsum = WeightedIndex::new(weights).unwrap();
+        let mut rng_a = SimRng::seed_from(20);
+        let mut rng_b = SimRng::seed_from(21);
+        let n = 60_000;
+        let mut count_a = [0u32; 6];
+        let mut count_b = [0u32; 6];
+        for _ in 0..n {
+            count_a[alias.sample(&mut rng_a)] += 1;
+            count_b[cumsum.sample(&mut rng_b)] += 1;
+        }
+        for i in 0..6 {
+            let expect = weights[i] / total;
+            let fa = count_a[i] as f64 / n as f64;
+            let fb = count_b[i] as f64 / n as f64;
+            assert!((fa - expect).abs() < 0.012, "alias i={i} frac={fa}");
+            assert!((fb - expect).abs() < 0.012, "cumsum i={i} frac={fb}");
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_sampled() {
+        let dist = AliasTable::new([1.0, 0.0, 1.0]).unwrap();
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..10_000 {
+            assert_ne!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_table_uniform_weights_cover_all() {
+        let dist = AliasTable::new(vec![2.0; 64]).unwrap();
+        let mut rng = SimRng::seed_from(12);
+        let mut seen = [false; 64];
+        for _ in 0..10_000 {
+            seen[dist.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn alias_table_rejects_bad_weights() {
+        assert!(AliasTable::new([0.0, 0.0]).is_err());
+        assert!(AliasTable::new([1.0, -1.0]).is_err());
+        assert!(AliasTable::new([f64::NAN]).is_err());
+        assert!(AliasTable::new([f64::INFINITY]).is_err());
+        assert!(AliasTable::new(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn alias_table_deterministic_given_seed() {
+        let weights: Vec<f64> = (0..500).map(|i| (i % 7) as f64 + 0.25).collect();
+        let a = AliasTable::new(weights.iter().copied()).unwrap();
+        let b = AliasTable::new(weights.iter().copied()).unwrap();
+        let mut rng_a = SimRng::seed_from(13);
+        let mut rng_b = SimRng::seed_from(13);
+        for _ in 0..1_000 {
+            assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
         }
     }
 

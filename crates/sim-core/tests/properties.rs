@@ -142,4 +142,45 @@ proptest! {
             prop_assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+
+    #[test]
+    fn tiered_queue_lockstep_with_reference_heap(
+        // Offsets relative to the running clock; `None` is a pop, `Some`
+        // spans ties, near-band, and beyond-wheel-horizon schedules via
+        // the band selector.
+        ops in prop::collection::vec(
+            prop::option::of((0u8..4, 0u64..86_400)),
+            1..400,
+        )
+    ) {
+        let mut tiered = EventQueue::new();
+        let mut reference = EventQueue::new_reference_heap();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Some((band, raw)) => {
+                    let offset = match band {
+                        0 => 0,                 // tie with `now`
+                        1 => raw % 600,         // near band, inside the wheel
+                        2 => raw % (600 * 64),  // mid band
+                        _ => 40 * 86_400 + raw, // beyond the wheel horizon
+                    };
+                    let at = SimTime::from_secs(tiered.now().as_secs() + offset);
+                    tiered.schedule(at, next_id);
+                    reference.schedule(at, next_id);
+                    next_id += 1;
+                }
+                None => prop_assert_eq!(tiered.pop(), reference.pop()),
+            }
+            prop_assert_eq!(tiered.len(), reference.len());
+            prop_assert_eq!(tiered.peek_time(), reference.peek_time());
+        }
+        loop {
+            let (a, b) = (tiered.pop(), reference.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }

@@ -9,6 +9,7 @@
 //! (possibly rolled out later) finally catches them.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use rsc_cluster::cluster::Cluster;
 use rsc_cluster::ids::{JobId, NodeId};
@@ -56,6 +57,30 @@ enum Ev {
     DailySweep,
 }
 
+/// Wall-time attribution for the event loop's hot phases, accumulated only
+/// when [`ClusterSim::enable_phase_timings`] was called (the default path
+/// pays a single boolean check per phase).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Seconds in the failure injector (`next_before` sampling).
+    pub inject_s: f64,
+    /// Seconds in future-event queue peeks and pops.
+    pub queue_s: f64,
+    /// Seconds in scheduler cycles.
+    pub sched_s: f64,
+    /// Seconds handling popped events, failures, and submissions.
+    pub handle_s: f64,
+}
+
+impl PhaseTimings {
+    fn absorb(&mut self, other: PhaseTimings) {
+        self.inject_s += other.inject_s;
+        self.queue_s += other.queue_s;
+        self.sched_s += other.sched_s;
+        self.handle_s += other.handle_s;
+    }
+}
+
 /// A deterministic, seeded simulation of one cluster over a time horizon.
 pub struct ClusterSim {
     config: SimConfig,
@@ -84,6 +109,11 @@ pub struct ClusterSim {
     /// Occurrences processed by the event loop (failures, submissions,
     /// popped future events) — the throughput-bench numerator.
     events_processed: u64,
+    /// Pristine copy of the injector's forked RNG stream, so test hooks can
+    /// rebuild the injector on the reference backend with identical seeding.
+    injector_rng: SimRng,
+    /// Per-phase wall-time attribution; `None` (untimed) by default.
+    phase_timings: Option<PhaseTimings>,
     now: SimTime,
 }
 
@@ -122,7 +152,8 @@ impl ClusterSim {
         );
         lemons.apply(&mut schedule);
 
-        let injector = FailureInjector::new(schedule, num_nodes, rng.fork(3));
+        let injector_rng = rng.fork(3);
+        let injector = FailureInjector::new(schedule, num_nodes, injector_rng.clone());
         let monitor = HealthMonitor::new(config.registry.clone(), rng.fork(4));
         let stream = JobStream::new(config.workload.clone(), rng.fork(5));
         let mut sched = Scheduler::new(cluster.topology().clone(), config.sched);
@@ -149,6 +180,8 @@ impl ClusterSim {
             utilization_samples: Vec::new(),
             observers: Vec::new(),
             events_processed: 0,
+            injector_rng,
+            phase_timings: None,
             now: SimTime::ZERO,
         }
     }
@@ -209,6 +242,43 @@ impl ClusterSim {
         self.sched.set_naive_scans(naive);
     }
 
+    /// Rebuilds the failure injector on the retained per-stream thinning
+    /// backend, reusing the exact RNG stream the default superposition
+    /// injector was seeded with. Must be called before the first `run` —
+    /// it restarts the failure stream from time zero. Test hook for the
+    /// statistical-equivalence suite; not part of the public API.
+    #[doc(hidden)]
+    pub fn set_per_stream_injector(&mut self) {
+        let schedule = self.injector.schedule().clone();
+        self.injector = FailureInjector::new_per_stream(
+            schedule,
+            self.config.cluster.num_nodes(),
+            self.injector_rng.clone(),
+        );
+    }
+
+    /// Switches the future-event queue to the reference single-binary-heap
+    /// backend, carrying all pending events across. Test hook for the
+    /// tiered-queue byte-identity checks; not part of the public API.
+    #[doc(hidden)]
+    pub fn set_reference_event_queue(&mut self) {
+        self.events.use_reference_heap();
+    }
+
+    /// Turns on per-phase wall-time attribution for subsequent [`Self::run`]
+    /// calls (see [`PhaseTimings`]). Instrumentation costs a few `Instant`
+    /// reads per event, so benches measure untimed rounds for the headline
+    /// number and a timed run for the phase breakdown.
+    pub fn enable_phase_timings(&mut self) {
+        self.phase_timings.get_or_insert_with(PhaseTimings::default);
+    }
+
+    /// Accumulated phase timings, if [`Self::enable_phase_timings`] was
+    /// called before running.
+    pub fn phase_timings(&self) -> Option<PhaseTimings> {
+        self.phase_timings
+    }
+
     /// Mean sampled cluster utilization so far (busy GPUs / total GPUs).
     pub fn mean_utilization(&self) -> f64 {
         if self.utilization_samples.is_empty() {
@@ -223,17 +293,36 @@ impl ClusterSim {
     /// May be called repeatedly to extend a run; telemetry accumulates.
     pub fn run(&mut self, duration: SimDuration) -> &TelemetryStore {
         let horizon = self.now + duration;
+        let timed = self.phase_timings.is_some();
+        let mut phases = PhaseTimings::default();
         loop {
             let t_submit = self.stream.peek_time();
+            let mark = timed.then(Instant::now);
             let t_event = self.events.peek_time().unwrap_or(SimTime::MAX);
+            if let Some(m) = mark {
+                phases.queue_s += m.elapsed().as_secs_f64();
+            }
             let t_other = t_submit.min(t_event).min(horizon);
 
             // Drain failures occurring strictly before the next other event.
-            if let Some(failure) = self.injector.next_before(t_other) {
+            let mark = timed.then(Instant::now);
+            let failure = self.injector.next_before(t_other);
+            if let Some(m) = mark {
+                phases.inject_s += m.elapsed().as_secs_f64();
+            }
+            if let Some(failure) = failure {
                 self.now = failure.at;
                 self.events_processed += 1;
+                let mark = timed.then(Instant::now);
                 self.handle_failure(failure);
+                if let Some(m) = mark {
+                    phases.handle_s += m.elapsed().as_secs_f64();
+                }
+                let mark = timed.then(Instant::now);
                 self.run_cycle();
+                if let Some(m) = mark {
+                    phases.sched_s += m.elapsed().as_secs_f64();
+                }
                 continue;
             }
 
@@ -244,14 +333,33 @@ impl ClusterSim {
             self.events_processed += 1;
             if t_submit <= t_event {
                 self.now = t_submit;
+                let mark = timed.then(Instant::now);
                 let spec = self.stream.next_job();
                 self.sched.submit(spec);
+                if let Some(m) = mark {
+                    phases.handle_s += m.elapsed().as_secs_f64();
+                }
             } else {
+                let mark = timed.then(Instant::now);
                 let (at, ev) = self.events.pop().expect("peeked event exists");
+                if let Some(m) = mark {
+                    phases.queue_s += m.elapsed().as_secs_f64();
+                }
                 self.now = at;
+                let mark = timed.then(Instant::now);
                 self.handle_event(ev);
+                if let Some(m) = mark {
+                    phases.handle_s += m.elapsed().as_secs_f64();
+                }
             }
+            let mark = timed.then(Instant::now);
             self.run_cycle();
+            if let Some(m) = mark {
+                phases.sched_s += m.elapsed().as_secs_f64();
+            }
+        }
+        if let Some(t) = &mut self.phase_timings {
+            t.absorb(phases);
         }
         self.now = horizon;
         self.finish_run();
