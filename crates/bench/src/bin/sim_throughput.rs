@@ -38,6 +38,7 @@ use rsc_bench::{json_number_field, json_object_field};
 use rsc_sim::driver::{ClusterSim, PhaseTimings};
 use rsc_sim_core::time::SimDuration;
 use rsc_telemetry::snapshot::write_snapshot;
+use rsc_telemetry::SegmentStats;
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -148,6 +149,10 @@ struct Measurement {
     wall_s: f64,
     seal_s: f64,
     phases: Option<PhaseTimings>,
+    /// Telemetry recording attribution from the instrumented run: segment
+    /// counters plus the final merge-and-index seal second.
+    segments: Option<SegmentStats>,
+    final_seal_s: f64,
 }
 
 impl Measurement {
@@ -178,6 +183,8 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
             wall_s,
             seal_s,
             phases: None,
+            segments: None,
+            final_seal_s: 0.0,
         };
         println!(
             "  round {round}: {events} events in {wall_s:.3} s ({:.0} ev/s), seal {seal_s:.3} s",
@@ -191,9 +198,14 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
     let mut best = best.expect("at least one round ran");
 
     // Phase attribution from one instrumented run, kept out of the
-    // speedup-gated rounds so `Instant` overhead never skews them.
+    // speedup-gated rounds so `Instant` overhead never skews them. The
+    // same run carries the telemetry append/rotate timers and times the
+    // final merge-and-index seal, splitting seal cost into its segmented
+    // phases: per-append staging, batch hashing at rotations, and the
+    // end-of-run merge.
     let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
     sim.enable_phase_timings();
+    sim.enable_telemetry_append_timing();
     sim.run(SimDuration::from_days(spec.days));
     if let Some(p) = sim.phase_timings() {
         println!(
@@ -202,6 +214,16 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
         );
         best.phases = Some(p);
     }
+    let stats = sim.telemetry_segment_stats();
+    let t2 = Instant::now();
+    let _ = sim.into_telemetry().seal();
+    best.final_seal_s = t2.elapsed().as_secs_f64();
+    println!(
+        "  seal phases: append {:.3} s, rotate {:.3} s, final seal {:.3} s \
+         ({} rotations at capacity {})",
+        stats.append_s, stats.rotate_s, best.final_seal_s, stats.rotations, stats.capacity
+    );
+    best.segments = Some(stats);
     best
 }
 
@@ -226,6 +248,15 @@ fn scale_json(m: &Measurement) -> String {
             ", \"phases\": {{\"inject_s\": {:.4}, \"queue_s\": {:.4}, \
              \"sched_s\": {:.4}, \"handle_s\": {:.4}}}",
             p.inject_s, p.queue_s, p.sched_s, p.handle_s
+        );
+    }
+    if let Some(seg) = m.segments {
+        let _ = write!(
+            s,
+            ", \"seal_phases\": {{\"append_s\": {:.4}, \"rotate_s\": {:.4}, \
+             \"final_seal_s\": {:.4}}}, \"segments\": {{\"capacity\": {}, \
+             \"rotations\": {}}}",
+            seg.append_s, seg.rotate_s, m.final_seal_s, seg.capacity, seg.rotations
         );
     }
     s.push('}');
@@ -284,7 +315,47 @@ fn determinism_check() -> std::process::ExitCode {
             return std::process::ExitCode::FAILURE;
         }
     }
-    std::process::ExitCode::SUCCESS
+
+    // Cross-capacity: sealed v3 bytes are a pure function of the record
+    // streams, so shrinking the segment capacity until the fleet-scale run
+    // rotates mid-run must not move a single byte.
+    let spec = rsc_bench::rsc1_sized_spec(102_400, 1, rsc_bench::FIGURE_SEED);
+    let run_at = |capacity: Option<usize>| {
+        let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+        if let Some(c) = capacity {
+            sim.set_telemetry_segment_capacity(c);
+        }
+        sim.run(SimDuration::from_days(spec.days));
+        let view = sim.into_telemetry().seal();
+        let mut bytes = Vec::new();
+        write_snapshot(&mut bytes, &view).expect("snapshot serializes");
+        bytes
+    };
+    let default_bytes = run_at(None);
+    let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+    sim.set_telemetry_segment_capacity(4096);
+    sim.run(SimDuration::from_days(spec.days));
+    let rotations = sim.telemetry_segment_stats().rotations;
+    let view = sim.into_telemetry().seal();
+    let mut rotated_bytes = Vec::new();
+    write_snapshot(&mut rotated_bytes, &view).expect("snapshot serializes");
+    if rotations == 0 {
+        eprintln!("FAIL: capacity 4096 at 102400 nodes × 1 d never rotated a segment");
+        return std::process::ExitCode::FAILURE;
+    }
+    if default_bytes == rotated_bytes {
+        println!(
+            "determinism-check: OK across segment capacities at 102400 nodes × 1 d \
+             ({} byte snapshot identical, {rotations} mid-run rotations at capacity 4096)",
+            default_bytes.len()
+        );
+        std::process::ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "FAIL: segment capacity 4096 changed the sealed snapshot bytes at 102400 nodes × 1 d"
+        );
+        std::process::ExitCode::FAILURE
+    }
 }
 
 fn main() -> std::process::ExitCode {

@@ -62,56 +62,61 @@ impl CooccurrenceProfile {
     /// empty for observable modes, and contains exactly
     /// [`SignalKind::NodeUnresponsive`] for unobservable hangs.
     pub fn expand(&self, event: &FailureEvent, rng: &mut SimRng) -> Vec<NodeSignal> {
-        let mut kinds: Vec<SignalKind> = Vec::with_capacity(3);
-        match event.symptom {
-            FailureSymptom::PcieError => {
-                kinds.push(SignalKind::PcieError);
-                if rng.chance(self.pcie_xid79) {
-                    kinds.push(SignalKind::Xid(XidError::FallenOffBus));
-                    // P(IPMI | XID79 fired) = all_three / xid79.
-                    if rng.chance(self.pcie_all_three / self.pcie_xid79) {
-                        kinds.push(SignalKind::IpmiCriticalInterrupt);
-                    }
-                }
-            }
-            FailureSymptom::GpuUnavailable => {
-                kinds.push(SignalKind::Xid(XidError::FallenOffBus));
-                if rng.chance(self.gpu_unavail_pcie) {
-                    kinds.push(SignalKind::PcieError);
-                }
-            }
-            FailureSymptom::GpuMemoryError => {
-                kinds.push(SignalKind::Xid(XidError::DoubleBitEcc));
-                if rng.chance(self.gpumem_rowremap) {
-                    kinds.push(SignalKind::Xid(XidError::RowRemapFailure));
-                }
-            }
-            FailureSymptom::GpuNvlinkError => kinds.push(SignalKind::Xid(XidError::NvlinkError)),
-            FailureSymptom::GspTimeout => kinds.push(SignalKind::Xid(XidError::GspTimeout)),
-            FailureSymptom::GpuDriverFirmwareError => {
-                kinds.push(SignalKind::Xid(XidError::Other(13)))
-            }
-            FailureSymptom::InfinibandLink => {
-                kinds.push(SignalKind::IbLinkError);
-                if rng.chance(self.iblink_gpu) {
-                    kinds.push(SignalKind::Xid(XidError::FallenOffBus));
-                }
-            }
-            FailureSymptom::FilesystemMount => kinds.push(SignalKind::FsMountMissing),
-            FailureSymptom::MainMemoryError => kinds.push(SignalKind::MainMemoryError),
-            FailureSymptom::EthlinkError => kinds.push(SignalKind::EthLinkError),
-            FailureSymptom::SystemService => kinds.push(SignalKind::ServiceFailure),
-            FailureSymptom::NcclTimeout => kinds.push(SignalKind::NodeUnresponsive),
-            FailureSymptom::Oom => {}
-        }
-        kinds
-            .into_iter()
-            .map(|kind| NodeSignal {
+        let mut out = Vec::with_capacity(3);
+        self.expand_into(event, rng, &mut out);
+        out
+    }
+
+    /// [`Self::expand`] into a caller-owned buffer, so a hot loop can
+    /// reuse one allocation across events. Draws the RNG in exactly the
+    /// order `expand` does; the buffer is appended to, not cleared.
+    pub fn expand_into(&self, event: &FailureEvent, rng: &mut SimRng, out: &mut Vec<NodeSignal>) {
+        let mut raise = |kind: SignalKind| {
+            out.push(NodeSignal {
                 node: event.node,
                 kind,
                 at: event.at,
             })
-            .collect()
+        };
+        match event.symptom {
+            FailureSymptom::PcieError => {
+                raise(SignalKind::PcieError);
+                if rng.chance(self.pcie_xid79) {
+                    raise(SignalKind::Xid(XidError::FallenOffBus));
+                    // P(IPMI | XID79 fired) = all_three / xid79.
+                    if rng.chance(self.pcie_all_three / self.pcie_xid79) {
+                        raise(SignalKind::IpmiCriticalInterrupt);
+                    }
+                }
+            }
+            FailureSymptom::GpuUnavailable => {
+                raise(SignalKind::Xid(XidError::FallenOffBus));
+                if rng.chance(self.gpu_unavail_pcie) {
+                    raise(SignalKind::PcieError);
+                }
+            }
+            FailureSymptom::GpuMemoryError => {
+                raise(SignalKind::Xid(XidError::DoubleBitEcc));
+                if rng.chance(self.gpumem_rowremap) {
+                    raise(SignalKind::Xid(XidError::RowRemapFailure));
+                }
+            }
+            FailureSymptom::GpuNvlinkError => raise(SignalKind::Xid(XidError::NvlinkError)),
+            FailureSymptom::GspTimeout => raise(SignalKind::Xid(XidError::GspTimeout)),
+            FailureSymptom::GpuDriverFirmwareError => raise(SignalKind::Xid(XidError::Other(13))),
+            FailureSymptom::InfinibandLink => {
+                raise(SignalKind::IbLinkError);
+                if rng.chance(self.iblink_gpu) {
+                    raise(SignalKind::Xid(XidError::FallenOffBus));
+                }
+            }
+            FailureSymptom::FilesystemMount => raise(SignalKind::FsMountMissing),
+            FailureSymptom::MainMemoryError => raise(SignalKind::MainMemoryError),
+            FailureSymptom::EthlinkError => raise(SignalKind::EthLinkError),
+            FailureSymptom::SystemService => raise(SignalKind::ServiceFailure),
+            FailureSymptom::NcclTimeout => raise(SignalKind::NodeUnresponsive),
+            FailureSymptom::Oom => {}
+        }
     }
 }
 

@@ -62,9 +62,18 @@ impl HealthMonitor {
     /// through the scheduler's NODE_FAIL heartbeat, unattributed.
     pub fn observe_signal(&mut self, signal: &NodeSignal) -> Vec<HealthEvent> {
         let mut events = Vec::new();
+        self.observe_signal_into(signal, &mut events);
+        events
+    }
+
+    /// [`Self::observe_signal`] into a caller-owned buffer, so a hot loop
+    /// can reuse one allocation across signals. Draws the RNG in exactly
+    /// the order `observe_signal` does; the buffer is appended to, not
+    /// cleared.
+    pub fn observe_signal_into(&mut self, signal: &NodeSignal, out: &mut Vec<HealthEvent>) {
         if signal.kind == SignalKind::NodeUnresponsive {
             // Only the scheduler heartbeat catches a hung node.
-            return events;
+            return;
         }
         let detection_at = ceil_to_period(signal.at, self.registry.period());
         // Collect matching live checks first to keep RNG draws ordered.
@@ -76,7 +85,7 @@ impl HealthMonitor {
             .collect();
         for (kind, miss_rate) in matching {
             if !self.rng.chance(miss_rate) {
-                events.push(HealthEvent {
+                out.push(HealthEvent {
                     at: detection_at,
                     node: signal.node,
                     check: kind,
@@ -86,7 +95,6 @@ impl HealthMonitor {
                 });
             }
         }
-        events
     }
 
     /// Samples spurious check firings over `[from, to)` for a fleet of

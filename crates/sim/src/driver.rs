@@ -106,6 +106,12 @@ pub struct ClusterSim {
     /// Empty by default: the no-observer path is a single `is_empty()`
     /// check per record and leaves telemetry byte-identical.
     observers: Vec<Box<dyn SimObserver>>,
+    /// Reusable staging buffer for co-occurring signal expansion, so the
+    /// failure hot path allocates nothing per event.
+    staged_signals: Vec<rsc_failure::signals::NodeSignal>,
+    /// Reusable staging buffer for check detections; drained into
+    /// telemetry in one batched extend per handled failure.
+    staged_detections: Vec<HealthEvent>,
     /// Occurrences processed by the event loop (failures, submissions,
     /// popped future events) — the throughput-bench numerator.
     events_processed: u64,
@@ -179,6 +185,8 @@ impl ClusterSim {
             lifecycles: HashMap::new(),
             utilization_samples: Vec::new(),
             observers: Vec::new(),
+            staged_signals: Vec::new(),
+            staged_detections: Vec::new(),
             events_processed: 0,
             injector_rng,
             phase_timings: None,
@@ -263,6 +271,40 @@ impl ClusterSim {
     #[doc(hidden)]
     pub fn set_reference_event_queue(&mut self) {
         self.events.use_reference_heap();
+    }
+
+    /// Overrides the telemetry store's segment capacity. Sealed chain
+    /// heads and snapshot bytes are capacity-invariant, so this only
+    /// changes rotation cadence — the cross-capacity determinism gate
+    /// leans on that. Must be called before any record is appended (the
+    /// store panics otherwise); not part of the public API.
+    #[doc(hidden)]
+    pub fn set_telemetry_segment_capacity(&mut self, capacity: usize) {
+        self.telemetry.set_segment_capacity(capacity);
+    }
+
+    /// Streams sealed telemetry segments to row files under `dir` as they
+    /// rotate, keeping only the active segment of each stream in memory.
+    /// [`Self::into_telemetry`]'s seal reloads and chain-verifies the
+    /// spilled segments. Must be called before the first `run`.
+    pub fn enable_telemetry_spill(
+        &mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<()> {
+        self.telemetry.enable_spill(dir)
+    }
+
+    /// Turns on per-append wall-time attribution in the telemetry store,
+    /// so benches can split seal cost into append / rotate / final-seal
+    /// phases (see [`rsc_telemetry::SegmentStats`]).
+    pub fn enable_telemetry_append_timing(&mut self) {
+        self.telemetry.enable_append_timing();
+    }
+
+    /// Segment bookkeeping counters from the telemetry store: capacity,
+    /// rotations so far, and accumulated rotate/append seconds.
+    pub fn telemetry_segment_stats(&self) -> rsc_telemetry::SegmentStats {
+        self.telemetry.segment_stats()
     }
 
     /// Turns on per-phase wall-time attribution for subsequent [`Self::run`]
@@ -405,6 +447,24 @@ impl ClusterSim {
         self.telemetry.push_health_event(event);
     }
 
+    /// Flushes the staged detections into telemetry in one batched extend,
+    /// mirroring each to the bus first. The buffer's capacity is kept for
+    /// the next failure.
+    fn drain_staged_detections(&mut self) {
+        if self.staged_detections.is_empty() {
+            return;
+        }
+        if !self.observers.is_empty() {
+            let detections = std::mem::take(&mut self.staged_detections);
+            for d in &detections {
+                self.emit(&SimEvent::Health(d));
+            }
+            self.staged_detections = detections;
+        }
+        self.telemetry
+            .extend_health_events(self.staged_detections.drain(..));
+    }
+
     // ---- event handling ----
 
     fn handle_event(&mut self, ev: Ev) {
@@ -505,36 +565,39 @@ impl ClusterSim {
             return; // already out of service
         }
 
-        // Record component damage and raise the co-occurring signals.
-        let spec = self
-            .injector
-            .schedule()
-            .catalog()
-            .mode(failure.mode)
-            .clone();
+        // Record component damage and raise the co-occurring signals. Only
+        // the mode's scalars are needed here — copying them out avoids
+        // cloning the spec's owned fields on every injected failure.
+        let (observable, severity, component) = {
+            let spec = self.injector.schedule().catalog().mode(failure.mode);
+            (spec.observable, spec.severity, spec.component)
+        };
         if failure.permanent {
-            self.apply_permanent_damage(node, &spec);
+            self.apply_permanent_damage(node, component);
         }
-        let signals = self.config.cooccurrence.expand(&failure, &mut self.rng);
-        for signal in &signals {
-            if let SignalKind::Xid(xid) = signal.kind {
+        self.staged_signals.clear();
+        self.config
+            .cooccurrence
+            .expand_into(&failure, &mut self.rng, &mut self.staged_signals);
+        for i in 0..self.staged_signals.len() {
+            if let SignalKind::Xid(xid) = self.staged_signals[i].kind {
                 let slot = self.rng.below(rsc_cluster::node::GPUS_PER_NODE as u64) as u8;
                 self.cluster.node_mut(node).gpu_mut(slot).record_xid(xid);
             }
         }
-        let mut detections = Vec::new();
-        for signal in &signals {
-            detections.extend(self.monitor.observe_signal(signal));
+        self.staged_detections.clear();
+        for signal in &self.staged_signals {
+            self.monitor
+                .observe_signal_into(signal, &mut self.staged_detections);
         }
-        for d in &detections {
-            self.record_health_event(*d);
-        }
-
-        let highest = detections
+        let any_detection = !self.staged_detections.is_empty();
+        let any_high = self
+            .staged_detections
             .iter()
-            .map(|d| d.severity)
-            .find(|s| *s == Severity::High);
-        if highest.is_some() {
+            .any(|d| d.severity == Severity::High);
+        self.drain_staged_detections();
+
+        if any_high {
             // High-severity check: immediate removal + reschedule.
             let victims = self
                 .sched
@@ -543,7 +606,7 @@ impl ClusterSim {
                 self.maybe_exclude(&[node], v);
             }
             self.remediate(node, false);
-        } else if !detections.is_empty() {
+        } else if any_detection {
             // Low-severity only: drain; the fault may still crash jobs.
             self.drain_node(node);
             self.crash_jobs_on_node(node, self.config.low_severity_crash_prob);
@@ -552,7 +615,7 @@ impl ClusterSim {
             }
         } else {
             // Undetected.
-            if !spec.observable {
+            if !observable {
                 // Hung node: heartbeat will notice shortly.
                 self.events.schedule(
                     self.now + self.config.heartbeat_timeout,
@@ -561,7 +624,7 @@ impl ClusterSim {
             } else {
                 // Missed/pre-rollout detection: the fault still crashes the
                 // jobs running through it.
-                let p = match spec.severity {
+                let p = match severity {
                     Severity::High => 1.0,
                     Severity::Low => self.config.low_severity_crash_prob,
                 };
@@ -577,12 +640,16 @@ impl ClusterSim {
         }
     }
 
-    fn apply_permanent_damage(&mut self, node: NodeId, spec: &rsc_failure::modes::ModeSpec) {
+    fn apply_permanent_damage(
+        &mut self,
+        node: NodeId,
+        component: rsc_cluster::component::ComponentKind,
+    ) {
         use rsc_cluster::component::ComponentHealth;
         self.cluster
             .node_mut(node)
-            .set_component_health(spec.component, ComponentHealth::Failed);
-        if spec.component == rsc_cluster::component::ComponentKind::Gpu {
+            .set_component_health(component, ComponentHealth::Failed);
+        if component == rsc_cluster::component::ComponentKind::Gpu {
             let slot = self.rng.below(rsc_cluster::node::GPUS_PER_NODE as u64) as u8;
             self.cluster
                 .node_mut(node)
@@ -755,23 +822,30 @@ impl ClusterSim {
         if self.cluster.node(node).state() == NodeState::Remediation {
             return;
         }
-        let spec = self.injector.schedule().catalog().mode(mode).clone();
+        let symptom = self.injector.schedule().catalog().mode(mode).symptom;
         let synthetic = FailureEvent {
             at: self.now,
             node,
             mode,
-            symptom: spec.symptom,
+            symptom,
             permanent: true,
         };
-        let signals = self.config.cooccurrence.expand(&synthetic, &mut self.rng);
-        let mut detections = Vec::new();
-        for signal in &signals {
-            detections.extend(self.monitor.observe_signal(signal));
+        self.staged_signals.clear();
+        self.config
+            .cooccurrence
+            .expand_into(&synthetic, &mut self.rng, &mut self.staged_signals);
+        self.staged_detections.clear();
+        for signal in &self.staged_signals {
+            self.monitor
+                .observe_signal_into(signal, &mut self.staged_detections);
         }
-        for d in &detections {
-            self.record_health_event(*d);
-        }
-        if detections.iter().any(|d| d.severity == Severity::High) {
+        let any_detection = !self.staged_detections.is_empty();
+        let any_high = self
+            .staged_detections
+            .iter()
+            .any(|d| d.severity == Severity::High);
+        self.drain_staged_detections();
+        if any_high {
             let victims = self
                 .sched
                 .interrupt_node(node, InterruptCause::HealthCheck, self.now);
@@ -779,7 +853,7 @@ impl ClusterSim {
                 self.maybe_exclude(&[node], v);
             }
             self.remediate(node, false);
-        } else if !detections.is_empty() {
+        } else if any_detection {
             // Low-severity catch: stop feeding the broken node new jobs; it
             // remediates once its current jobs finish.
             self.drain_node(node);

@@ -38,18 +38,15 @@ fn hangs_surface_as_node_fail_after_heartbeat() {
     let store = sim.into_telemetry();
     let node_fails = store
         .jobs()
-        .iter()
         .filter(|r| r.status == JobStatus::NodeFail)
         .count();
     assert!(node_fails > 0, "hangs should produce NODE_FAIL records");
     // No health check can see these failures.
     assert!(store
         .health_events()
-        .iter()
         .all(|e| e.false_positive || e.signal.is_some()));
     let hang_detected = store
         .node_events()
-        .iter()
         .filter(|e| e.kind == NodeEventKind::EnterRemediation)
         .count();
     assert!(hang_detected > 0, "hung nodes should be pulled for repair");
@@ -65,7 +62,6 @@ fn high_severity_mode_requeues_jobs() {
     let store = sim.into_telemetry();
     let requeued: Vec<_> = store
         .jobs()
-        .iter()
         .filter(|r| r.status == JobStatus::Requeued)
         .collect();
     assert!(!requeued.is_empty());
@@ -74,7 +70,6 @@ fn high_severity_mode_requeues_jobs() {
     let followed_up = requeued.iter().take(20).filter(|r| {
         store
             .jobs()
-            .iter()
             .any(|other| other.job == r.job && other.attempt == r.attempt + 1)
     });
     assert!(followed_up.count() > 0);
@@ -91,12 +86,10 @@ fn pre_rollout_faults_become_visible_at_rollout() {
     let store = sim.into_telemetry();
     let before_rollout = store
         .health_events()
-        .iter()
         .filter(|e| !e.false_positive && e.at < rsc_sim_core::time::SimTime::from_days(100))
         .count();
     let after_rollout = store
         .health_events()
-        .iter()
         .filter(|e| !e.false_positive && e.at >= rsc_sim_core::time::SimTime::from_days(100))
         .count();
     assert_eq!(before_rollout, 0, "no check should fire before rollout");
@@ -131,7 +124,6 @@ fn lemons_repair_fast_and_keep_failing() {
     for lemon in &lemon_ids {
         let failures = store
             .ground_truth_failures()
-            .iter()
             .filter(|f| f.node == *lemon)
             .count();
         total += failures;
@@ -139,7 +131,6 @@ fn lemons_repair_fast_and_keep_failing() {
         // And their failures are all transient from the shop's view.
         assert!(store
             .ground_truth_failures()
-            .iter()
             .filter(|f| f.node == *lemon)
             .all(|f| !f.permanent));
     }
@@ -158,7 +149,6 @@ fn drained_nodes_enter_remediation_after_jobs_leave() {
     let store = sim.into_telemetry();
     let drains = store
         .node_events()
-        .iter()
         .filter(|e| e.kind == NodeEventKind::Drain)
         .count();
     // GSP check rolls out at day 45; before that the failures are
@@ -169,14 +159,12 @@ fn drained_nodes_enter_remediation_after_jobs_leave() {
     let store2 = sim2.into_telemetry();
     let drains2 = store2
         .node_events()
-        .iter()
         .filter(|e| e.kind == NodeEventKind::Drain)
         .count();
     assert!(drains2 > 0, "low-severity detections should drain nodes");
     // Every drain is eventually followed by remediation or the horizon.
     let remediations = store2
         .node_events()
-        .iter()
         .filter(|e| e.kind == NodeEventKind::EnterRemediation)
         .count();
     assert!(remediations > 0);

@@ -11,7 +11,7 @@ use rsc_sim::config::SimConfig;
 use rsc_sim::driver::ClusterSim;
 use rsc_sim_core::time::{SimDuration, SimTime};
 use rsc_storage::checkpoint::CheckpointFallbackPolicy;
-use rsc_telemetry::snapshot::{read_snapshot, write_snapshot};
+use rsc_telemetry::snapshot::{read_snapshot, write_snapshot, write_snapshot_legacy};
 use rsc_telemetry::store::NodeEventKind;
 use rsc_telemetry::view::TelemetryView;
 
@@ -30,8 +30,9 @@ fn fallible(p: f64) -> SimConfig {
 
 /// With the default (infallible) policy the simulation must stay on the v1
 /// telemetry surface: no lifecycle event kinds, no checkpoint fallbacks,
-/// and a snapshot that still carries the v1 magic — so disabled-path
-/// artifacts are byte-compatible with pre-lifecycle builds.
+/// and a legacy-format snapshot that still carries the v1 magic — so
+/// disabled-path artifacts written for pre-lifecycle consumers stay
+/// byte-compatible. The current writer frames the same view as v3.
 #[test]
 fn default_config_stays_on_v1_surface() {
     let config = SimConfig::small_test_cluster();
@@ -41,12 +42,16 @@ fn default_config_stays_on_v1_surface() {
     assert!(view.node_events().iter().all(|e| e.kind.is_v1()));
     assert!(view.ckpt_fallbacks().is_empty());
     let mut bytes = Vec::new();
-    write_snapshot(&mut bytes, &view).expect("snapshot writes");
+    write_snapshot_legacy(&mut bytes, &view).expect("snapshot writes");
     let text = String::from_utf8(bytes).expect("snapshot is utf-8");
     assert!(
         text.starts_with("rsc-telemetry-snapshot v1"),
-        "disabled-path snapshot must keep the v1 magic"
+        "disabled-path legacy snapshot must keep the v1 magic"
     );
+    let mut current = Vec::new();
+    write_snapshot(&mut current, &view).expect("snapshot writes");
+    let current = String::from_utf8(current).expect("snapshot is utf-8");
+    assert!(current.starts_with("rsc-telemetry-snapshot v3"));
 }
 
 /// The fallible path and the legacy path are the same simulation when the
@@ -119,7 +124,8 @@ fn quarantined_nodes_feed_lemon_features() {
 }
 
 /// Fallible-path telemetry (lifecycle events + checkpoint fallbacks)
-/// round-trips bit-exactly through the v2 snapshot codec.
+/// round-trips bit-exactly through both the current (v3, hash-chained)
+/// codec and the legacy v2 codec.
 #[test]
 fn fallible_telemetry_round_trips_through_snapshot() {
     let mut config = fallible(0.6);
@@ -138,11 +144,20 @@ fn fallible_telemetry_round_trips_through_snapshot() {
     let mut bytes = Vec::new();
     write_snapshot(&mut bytes, &view).expect("snapshot writes");
     let text = String::from_utf8(bytes.clone()).expect("snapshot is utf-8");
-    assert!(text.starts_with("rsc-telemetry-snapshot v2"));
+    assert!(text.starts_with("rsc-telemetry-snapshot v3"));
     let restored = read_snapshot(&bytes[..]).expect("snapshot reads back");
     let mut bytes2 = Vec::new();
     write_snapshot(&mut bytes2, &restored).expect("snapshot rewrites");
     assert_eq!(bytes, bytes2);
+    // The legacy writer still frames this content as v2 and round-trips.
+    let mut legacy = Vec::new();
+    write_snapshot_legacy(&mut legacy, &view).expect("snapshot writes");
+    let legacy_text = String::from_utf8(legacy.clone()).expect("snapshot is utf-8");
+    assert!(legacy_text.starts_with("rsc-telemetry-snapshot v2"));
+    let legacy_restored = read_snapshot(&legacy[..]).expect("legacy reads back");
+    let mut legacy2 = Vec::new();
+    write_snapshot_legacy(&mut legacy2, &legacy_restored).expect("legacy rewrites");
+    assert_eq!(legacy, legacy2);
 }
 
 /// Quarantine is terminal in the driver too: a quarantined node never

@@ -21,7 +21,7 @@ fn simulation_is_deterministic() {
         a.ground_truth_failures().len(),
         b.ground_truth_failures().len()
     );
-    for (x, y) in a.jobs().iter().zip(b.jobs()) {
+    for (x, y) in a.jobs().zip(b.jobs()) {
         assert_eq!(x, y);
     }
 }
@@ -43,7 +43,6 @@ fn most_jobs_complete() {
     );
     let completed = t
         .jobs()
-        .iter()
         .filter(|r| r.status == JobStatus::Completed)
         .count() as f64;
     let frac = completed / total;
@@ -56,11 +55,7 @@ fn most_jobs_complete() {
 #[test]
 fn user_failures_present() {
     let t = small_run(10, 7);
-    let failed = t
-        .jobs()
-        .iter()
-        .filter(|r| r.status == JobStatus::Failed)
-        .count() as f64;
+    let failed = t.jobs().filter(|r| r.status == JobStatus::Failed).count() as f64;
     let frac = failed / t.jobs().len() as f64;
     assert!((0.1..0.4).contains(&frac), "failed fraction {frac}");
 }
@@ -76,12 +71,11 @@ fn hardware_failures_generate_health_events_and_requeues() {
     // Some jobs should have been hit: NODE_FAIL or REQUEUED statuses exist.
     let interrupted = t
         .jobs()
-        .iter()
         .filter(|r| matches!(r.status, JobStatus::NodeFail | JobStatus::Requeued))
         .count();
     assert!(interrupted > 0, "no infra-interrupted jobs");
     // Requeued jobs keep their id: find one id with multiple attempts.
-    let has_multi_attempt = t.jobs().iter().any(|r| r.attempt > 0);
+    let has_multi_attempt = t.jobs().any(|r| r.attempt > 0);
     assert!(has_multi_attempt);
 }
 
@@ -91,12 +85,10 @@ fn node_events_balance() {
     let t = small_run(30, 11);
     let enters = t
         .node_events()
-        .iter()
         .filter(|e| e.kind == NodeEventKind::EnterRemediation)
         .count();
     let exits = t
         .node_events()
-        .iter()
         .filter(|e| e.kind == NodeEventKind::ExitRemediation)
         .count();
     assert!(enters > 0);
@@ -120,14 +112,12 @@ fn preemptions_occur_under_contention() {
     let t = small_run(15, 17);
     let preempted = t
         .jobs()
-        .iter()
         .filter(|r| r.status == JobStatus::Preempted)
         .count();
     assert!(preempted > 0, "no preemptions in a congested cluster");
     // Preempted records carry their preemptor.
     assert!(t
         .jobs()
-        .iter()
         .filter(|r| r.status == JobStatus::Preempted)
         .all(|r| r.preempted_by.is_some()));
 }
@@ -135,7 +125,7 @@ fn preemptions_occur_under_contention() {
 #[test]
 fn timeouts_and_cancels_appear() {
     let t = small_run(15, 19);
-    let statuses: Vec<JobStatus> = t.jobs().iter().map(|r| r.status).collect();
+    let statuses: Vec<JobStatus> = t.jobs().map(|r| r.status).collect();
     assert!(statuses.contains(&JobStatus::Timeout));
     assert!(statuses.contains(&JobStatus::Cancelled));
 }
@@ -151,13 +141,11 @@ fn lemon_nodes_fail_more() {
     let t = sim.into_telemetry();
     let lemon_failures = t
         .ground_truth_failures()
-        .iter()
         .filter(|f| lemon_ids.contains(&f.node))
         .count() as f64
         / lemon_ids.len() as f64;
     let other_failures = t
         .ground_truth_failures()
-        .iter()
         .filter(|f| !lemon_ids.contains(&f.node))
         .count() as f64
         / (64 - lemon_ids.len()) as f64;

@@ -32,14 +32,19 @@
 //! assert!(!series.is_empty());
 //! ```
 
+pub mod chain;
 pub mod csv;
 pub mod rolling;
+mod rows;
+pub mod segment;
 pub mod snapshot;
 pub mod store;
 pub mod trace;
 pub mod view;
 
+pub use chain::{ChainHasher, ChainRecord, GENESIS};
+pub use segment::{Cursor, SegmentSeal, SegmentedLog, DEFAULT_SEGMENT_CAPACITY};
 pub use store::{
-    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore,
+    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, SegmentStats, TelemetryStore,
 };
 pub use view::TelemetryView;

@@ -1,0 +1,262 @@
+//! Row-level text codecs for telemetry records.
+//!
+//! One encoder/decoder pair per stream, shared by every place a record
+//! crosses a byte boundary: the versioned snapshot ([`crate::snapshot`],
+//! all three format versions) and the background spill files the
+//! segmented store writes ([`crate::store`]). Keeping them in one module
+//! is what guarantees a spilled segment reloads to exactly the records
+//! that were hashed into its seal.
+//!
+//! Decoders return a plain `String` message; callers attach location
+//! context (snapshot line numbers, spill file paths).
+
+use rsc_cluster::gpu::XidError;
+use rsc_cluster::ids::{JobId, NodeId};
+use rsc_failure::injector::FailureEvent;
+use rsc_failure::modes::{ModeId, Severity};
+use rsc_failure::signals::SignalKind;
+use rsc_failure::taxonomy::FailureSymptom;
+use rsc_health::check::CheckKind;
+use rsc_health::monitor::HealthEvent;
+use rsc_sched::accounting::JobRecord;
+use rsc_sim_core::time::{SimDuration, SimTime};
+
+use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind};
+use crate::trace::{format_job_row, parse_job_row};
+
+pub(crate) fn severity_label(s: Severity) -> &'static str {
+    match s {
+        Severity::High => "high",
+        Severity::Low => "low",
+    }
+}
+
+fn parse_severity(s: &str) -> Option<Severity> {
+    match s {
+        "high" => Some(Severity::High),
+        "low" => Some(Severity::Low),
+        _ => None,
+    }
+}
+
+/// Lossless signal tag. Named XID variants encode as `xid<code>`; the
+/// catch-all [`XidError::Other`] encodes as `xido<code>` so that e.g.
+/// `Other(48)` and `DoubleBitEcc` (also code 48) stay distinct.
+pub(crate) fn signal_tag(s: SignalKind) -> String {
+    match s {
+        SignalKind::Xid(XidError::Other(code)) => format!("xido{code}"),
+        SignalKind::Xid(x) => format!("xid{}", x.code()),
+        other => other.label(),
+    }
+}
+
+pub(crate) fn parse_signal(s: &str) -> Option<SignalKind> {
+    match s {
+        "pcie_err" => return Some(SignalKind::PcieError),
+        "ipmi_critical" => return Some(SignalKind::IpmiCriticalInterrupt),
+        "ib_link_err" => return Some(SignalKind::IbLinkError),
+        "eth_link_err" => return Some(SignalKind::EthLinkError),
+        "fs_mount_missing" => return Some(SignalKind::FsMountMissing),
+        "dram_ue" => return Some(SignalKind::MainMemoryError),
+        "service_down" => return Some(SignalKind::ServiceFailure),
+        "blockdev_err" => return Some(SignalKind::BlockDeviceError),
+        "unresponsive" => return Some(SignalKind::NodeUnresponsive),
+        "power_fault" => return Some(SignalKind::PowerFault),
+        "thermal_warn" => return Some(SignalKind::ThermalWarning),
+        _ => {}
+    }
+    if let Some(code) = s.strip_prefix("xido") {
+        return code
+            .parse::<u16>()
+            .ok()
+            .map(|c| SignalKind::Xid(XidError::Other(c)));
+    }
+    if let Some(code) = s.strip_prefix("xid") {
+        let xid = match code.parse::<u16>().ok()? {
+            48 => XidError::DoubleBitEcc,
+            64 => XidError::RowRemapFailure,
+            74 => XidError::NvlinkError,
+            79 => XidError::FallenOffBus,
+            119 => XidError::GspTimeout,
+            31 => XidError::MemoryPageFault,
+            _ => return None,
+        };
+        return Some(SignalKind::Xid(xid));
+    }
+    None
+}
+
+fn parse_check(s: &str) -> Option<CheckKind> {
+    CheckKind::ALL.iter().copied().find(|c| c.label() == s)
+}
+
+fn parse_symptom(s: &str) -> Option<FailureSymptom> {
+    FailureSymptom::ALL.iter().copied().find(|x| x.label() == s)
+}
+
+pub(crate) fn node_event_kind_label(k: NodeEventKind) -> &'static str {
+    match k {
+        NodeEventKind::Drain => "drain",
+        NodeEventKind::EnterRemediation => "enter_remediation",
+        NodeEventKind::ExitRemediation => "exit_remediation",
+        NodeEventKind::RepairAttemptFailed => "repair_attempt_failed",
+        NodeEventKind::RepairEscalated => "repair_escalated",
+        NodeEventKind::EnterProbation => "enter_probation",
+        NodeEventKind::ProbationPassed => "probation_passed",
+        NodeEventKind::ProbationFailed => "probation_failed",
+        NodeEventKind::Quarantined => "quarantined",
+    }
+}
+
+/// Version-gated kind parser: the v1 vocabulary rejects lifecycle kinds.
+/// Versions ≥ 2 (and the spill files, which always use the current
+/// vocabulary) accept everything.
+pub(crate) fn parse_node_event_kind(s: &str, version: u32) -> Option<NodeEventKind> {
+    match s {
+        "drain" => Some(NodeEventKind::Drain),
+        "enter_remediation" => Some(NodeEventKind::EnterRemediation),
+        "exit_remediation" => Some(NodeEventKind::ExitRemediation),
+        _ if version < 2 => None,
+        "repair_attempt_failed" => Some(NodeEventKind::RepairAttemptFailed),
+        "repair_escalated" => Some(NodeEventKind::RepairEscalated),
+        "enter_probation" => Some(NodeEventKind::EnterProbation),
+        "probation_passed" => Some(NodeEventKind::ProbationPassed),
+        "probation_failed" => Some(NodeEventKind::ProbationFailed),
+        "quarantined" => Some(NodeEventKind::Quarantined),
+        _ => None,
+    }
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn parse_bool(s: &str) -> Result<bool, String> {
+    match s {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(format!("bad bool: {s:?}")),
+    }
+}
+
+fn split_fields<'a>(row: &'a str, n: usize, what: &str) -> Result<Vec<&'a str>, String> {
+    let fields: Vec<&str> = row.split(',').collect();
+    if fields.len() != n {
+        return Err(format!("{what} row needs {n} fields, got {}", fields.len()));
+    }
+    Ok(fields)
+}
+
+pub(crate) fn encode_job(r: &JobRecord) -> String {
+    format_job_row(r)
+}
+
+pub(crate) fn decode_job(row: &str) -> Result<JobRecord, String> {
+    parse_job_row(row, 0).map_err(|e| format!("bad job row: {}", e.message))
+}
+
+pub(crate) fn encode_health(e: &HealthEvent) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        e.at.as_secs(),
+        e.node.index(),
+        e.check.label(),
+        severity_label(e.severity),
+        e.signal.map(signal_tag).unwrap_or_default(),
+        u8::from(e.false_positive),
+    )
+}
+
+pub(crate) fn decode_health(row: &str) -> Result<HealthEvent, String> {
+    let fields = split_fields(row, 6, "health")?;
+    let signal = if fields[4].is_empty() {
+        None
+    } else {
+        Some(parse_signal(fields[4]).ok_or_else(|| format!("bad signal: {:?}", fields[4]))?)
+    };
+    Ok(HealthEvent {
+        at: SimTime::from_secs(parse_u64(fields[0], "time")?),
+        node: NodeId::new(parse_u64(fields[1], "node")? as u32),
+        check: parse_check(fields[2]).ok_or_else(|| format!("bad check: {:?}", fields[2]))?,
+        severity: parse_severity(fields[3])
+            .ok_or_else(|| format!("bad severity: {:?}", fields[3]))?,
+        signal,
+        false_positive: parse_bool(fields[5])?,
+    })
+}
+
+pub(crate) fn encode_node_event(e: &NodeEvent) -> String {
+    format!(
+        "{},{},{}",
+        e.at.as_secs(),
+        e.node.index(),
+        node_event_kind_label(e.kind),
+    )
+}
+
+pub(crate) fn decode_node_event(row: &str, version: u32) -> Result<NodeEvent, String> {
+    let fields = split_fields(row, 3, "node_event")?;
+    Ok(NodeEvent {
+        at: SimTime::from_secs(parse_u64(fields[0], "time")?),
+        node: NodeId::new(parse_u64(fields[1], "node")? as u32),
+        kind: parse_node_event_kind(fields[2], version)
+            .ok_or_else(|| format!("bad node event kind: {:?}", fields[2]))?,
+    })
+}
+
+pub(crate) fn encode_exclusion(e: &ExclusionEvent) -> String {
+    format!("{},{},{}", e.at.as_secs(), e.node.index(), e.job.raw())
+}
+
+pub(crate) fn decode_exclusion(row: &str) -> Result<ExclusionEvent, String> {
+    let fields = split_fields(row, 3, "exclusion")?;
+    Ok(ExclusionEvent {
+        at: SimTime::from_secs(parse_u64(fields[0], "time")?),
+        node: NodeId::new(parse_u64(fields[1], "node")? as u32),
+        job: JobId::new(parse_u64(fields[2], "job")?),
+    })
+}
+
+pub(crate) fn encode_failure(e: &FailureEvent) -> String {
+    format!(
+        "{},{},{},{},{}",
+        e.at.as_secs(),
+        e.node.index(),
+        e.mode.0,
+        e.symptom.label(),
+        u8::from(e.permanent),
+    )
+}
+
+pub(crate) fn decode_failure(row: &str) -> Result<FailureEvent, String> {
+    let fields = split_fields(row, 5, "failure")?;
+    Ok(FailureEvent {
+        at: SimTime::from_secs(parse_u64(fields[0], "time")?),
+        node: NodeId::new(parse_u64(fields[1], "node")? as u32),
+        mode: ModeId(parse_u64(fields[2], "mode")? as usize),
+        symptom: parse_symptom(fields[3]).ok_or_else(|| format!("bad symptom: {:?}", fields[3]))?,
+        permanent: parse_bool(fields[4])?,
+    })
+}
+
+pub(crate) fn encode_ckpt_fallback(e: &CheckpointFallbackEvent) -> String {
+    format!(
+        "{},{},{},{},{}",
+        e.at.as_secs(),
+        e.job.raw(),
+        e.gpus,
+        e.intervals,
+        e.lost.as_secs(),
+    )
+}
+
+pub(crate) fn decode_ckpt_fallback(row: &str) -> Result<CheckpointFallbackEvent, String> {
+    let fields = split_fields(row, 5, "ckpt_fallback")?;
+    Ok(CheckpointFallbackEvent {
+        at: SimTime::from_secs(parse_u64(fields[0], "time")?),
+        job: JobId::new(parse_u64(fields[1], "job")?),
+        gpus: parse_u64(fields[2], "gpus")? as u32,
+        intervals: parse_u64(fields[3], "intervals")? as u32,
+        lost: SimDuration::from_secs(parse_u64(fields[4], "lost")?),
+    })
+}

@@ -1,0 +1,469 @@
+//! Fixed-capacity, hash-chained segments for one telemetry stream.
+//!
+//! A [`SegmentedLog`] keeps its records in one contiguous `Vec` and makes
+//! the segments *logical*: every `capacity` appends the log *rotates* —
+//! the newest `capacity` records are folded into the stream's running
+//! [`ChainHasher`] in one batch and a [`SegmentSeal`] checkpoints the
+//! chain. Hashing in batch at rotation (rather than per append) keeps the
+//! simulation hot path free of hashing while producing digests identical
+//! to per-record hashing, because [`ChainHasher::digest`] is
+//! non-destructive. Because segmentation is only bookkeeping over a flat
+//! `Vec`, sealing a never-spilled log hands the storage over without
+//! copying a record.
+//!
+//! Segments become *physical* only under spilling: the owner takes each
+//! sealed segment's records off the front of the log
+//! ([`Self::take_segment`]), bounding peak resident telemetry by the
+//! segment capacity. The seal retains the full hasher state at segment
+//! start so a reloaded segment can be re-verified against its checkpoint.
+//!
+//! [`Self::take_segment`]: SegmentedLog::take_segment
+
+use std::time::Instant;
+
+use crate::chain::{ChainHasher, ChainRecord, GENESIS};
+
+/// Default records per segment (per stream) used by the telemetry store.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 65_536;
+
+/// Seal of one rotated segment: a checkpoint of the stream chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSeal {
+    /// Ordinal of the segment within its stream (0-based).
+    pub index: u64,
+    /// Number of records in the segment.
+    pub records: u64,
+    /// Stream chain digest before the segment's records.
+    pub prev: u64,
+    /// Stream chain digest after the segment's records.
+    pub hash: u64,
+    /// Full hasher state at segment start, so a reloaded segment can be
+    /// re-hashed and checked against `hash` without replaying the stream.
+    start: ChainHasher,
+}
+
+impl SegmentSeal {
+    /// Re-hashes `records` from the sealed start state and checks the
+    /// result against this seal's checkpoint digest.
+    pub fn verify<T: ChainRecord>(&self, records: &[T]) -> bool {
+        if records.len() as u64 != self.records {
+            return false;
+        }
+        let mut h = self.start;
+        for r in records {
+            r.chain(&mut h);
+        }
+        h.digest() == self.hash
+    }
+}
+
+/// An append-only log of one record type with hash-chained segment
+/// checkpoints over contiguous storage.
+#[derive(Debug, Clone)]
+pub struct SegmentedLog<T> {
+    capacity: usize,
+    /// Resident records: the stream suffix starting at global index
+    /// `spilled_len` (the whole stream when nothing has spilled).
+    records: Vec<T>,
+    /// Seals of rotated segments, in stream order. Each covers exactly
+    /// `capacity` records (rotation fires exactly at the boundary).
+    seals: Vec<SegmentSeal>,
+    /// Records covered by seals (`seals.len() * capacity`).
+    sealed_len: usize,
+    /// Records handed off for spilling — always a whole-segment prefix of
+    /// the stream.
+    spilled_len: usize,
+    hasher: ChainHasher,
+    rotate_nanos: u64,
+}
+
+impl<T: ChainRecord> SegmentedLog<T> {
+    /// Creates an empty log rotating every `capacity` records.
+    ///
+    /// `usize::MAX` gives a monolithic log that never rotates (the twin
+    /// configuration the lockstep tests compare against).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "segment capacity must be positive");
+        SegmentedLog {
+            capacity,
+            records: Vec::new(),
+            seals: Vec::new(),
+            sealed_len: 0,
+            spilled_len: 0,
+            hasher: ChainHasher::new(GENESIS),
+            rotate_nanos: 0,
+        }
+    }
+
+    /// Total records appended so far.
+    pub fn len(&self) -> usize {
+        self.spilled_len + self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rotation capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many segments have rotated (excludes the active tail).
+    pub fn rotations(&self) -> u64 {
+        self.seals.len() as u64
+    }
+
+    /// Wall time spent batch-hashing at rotations, in seconds.
+    pub fn rotate_seconds(&self) -> f64 {
+        self.rotate_nanos as f64 / 1e9
+    }
+
+    /// Current digest of the stream chain *over rotated segments only*
+    /// (the active tail is folded in by [`Self::into_contiguous`]).
+    pub fn chain_checkpoint(&self) -> u64 {
+        self.hasher.digest()
+    }
+
+    /// Appends a record; returns the index of a segment sealed by this
+    /// append, if it caused a rotation.
+    #[inline]
+    pub fn push(&mut self, record: T) -> Option<u64> {
+        self.records.push(record);
+        if self.len() - self.sealed_len >= self.capacity {
+            Some(self.rotate())
+        } else {
+            None
+        }
+    }
+
+    /// Appends many records; returns the indexes of segments sealed along
+    /// the way (empty for the common no-rotation case — no allocation).
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, records: I) -> Vec<u64> {
+        let mut rotated = Vec::new();
+        for r in records {
+            if let Some(idx) = self.push(r) {
+                rotated.push(idx);
+            }
+        }
+        rotated
+    }
+
+    /// Seals the active tail (exactly `capacity` records) into the chain.
+    /// Pure bookkeeping over the flat storage: no records move.
+    fn rotate(&mut self) -> u64 {
+        let t0 = Instant::now();
+        let prev = self.hasher.digest();
+        let start = self.hasher;
+        let tail = &self.records[self.sealed_len - self.spilled_len..];
+        for r in tail {
+            r.chain(&mut self.hasher);
+        }
+        let seal = SegmentSeal {
+            index: self.seals.len() as u64,
+            records: tail.len() as u64,
+            prev,
+            hash: self.hasher.digest(),
+            start,
+        };
+        self.sealed_len += tail.len();
+        self.seals.push(seal);
+        self.rotate_nanos += t0.elapsed().as_nanos() as u64;
+        seal.index
+    }
+
+    /// The oldest sealed segment whose records are still resident, if any
+    /// (what a newly-enabled spill should flush first).
+    pub fn next_unspilled_segment(&self) -> Option<u64> {
+        let spilled_segments = self.spilled_len / self.capacity;
+        (spilled_segments < self.seals.len()).then_some(spilled_segments as u64)
+    }
+
+    /// Takes a sealed segment's records off the front of the log for
+    /// spilling; the seal stays behind so the segment can be reloaded and
+    /// re-verified at seal time. Segments must be taken in stream order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not the oldest still-resident sealed segment.
+    pub fn take_segment(&mut self, index: u64) -> (SegmentSeal, Vec<T>) {
+        assert_eq!(
+            Some(index),
+            self.next_unspilled_segment(),
+            "spill must take sealed segments in stream order",
+        );
+        let seal = self.seals[index as usize];
+        // In steady-state spilling the tail is empty at rotation, so this
+        // hands the whole `Vec` over; mid-run enable pays one shift per
+        // already-resident segment.
+        let rest = self.records.split_off(seal.records as usize);
+        let records = std::mem::replace(&mut self.records, rest);
+        self.spilled_len += records.len();
+        if self.capacity != usize::MAX {
+            self.records.reserve(self.capacity);
+        }
+        (seal, records)
+    }
+
+    /// Whether any sealed segment has been handed off via
+    /// [`Self::take_segment`].
+    pub fn has_spilled(&self) -> bool {
+        self.spilled_len > 0
+    }
+
+    /// Random access by global record index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record lives in a spilled segment.
+    pub fn get(&self, index: usize) -> &T {
+        assert!(
+            index >= self.spilled_len,
+            "cannot index into a spilled segment"
+        );
+        &self.records[index - self.spilled_len]
+    }
+
+    /// A streaming cursor over all records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment has been spilled.
+    pub fn cursor(&self) -> Cursor<'_, T> {
+        assert!(
+            self.spilled_len == 0,
+            "cannot cursor a log with spilled segments; seal the store first"
+        );
+        Cursor {
+            inner: self.records.iter(),
+        }
+    }
+
+    /// Folds the active tail into the chain and hands the log's records
+    /// over as one contiguous `Vec`, loading spilled segments through
+    /// `load` and re-verifying each loaded segment against its seal. A
+    /// never-spilled log moves its storage — no copy.
+    ///
+    /// Returns the records and the stream's chain head (the digest over
+    /// every record ever appended, independent of segment capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loaded segment fails chain verification — a spill file
+    /// was corrupted or mixed up between runs.
+    pub fn into_contiguous<F>(mut self, mut load: F) -> (Vec<T>, u64)
+    where
+        F: FnMut(&SegmentSeal) -> Vec<T>,
+    {
+        for r in &self.records[self.sealed_len - self.spilled_len..] {
+            r.chain(&mut self.hasher);
+        }
+        let head = self.hasher.digest();
+        if self.spilled_len == 0 {
+            return (self.records, head);
+        }
+        let mut out: Vec<T> = Vec::with_capacity(self.len());
+        for seal in &self.seals[..self.spilled_len / self.capacity] {
+            let v = load(seal);
+            assert!(
+                seal.verify(&v),
+                "spilled segment {} failed chain verification on reload \
+                 (expected {:016x})",
+                seal.index,
+                seal.hash,
+            );
+            out.extend(v);
+        }
+        out.extend(self.records);
+        (out, head)
+    }
+}
+
+/// Streaming iterator over a [`SegmentedLog`]'s records — a thin wrapper
+/// over a slice iterator, since the log stores records contiguously.
+#[derive(Debug)]
+pub struct Cursor<'a, T> {
+    inner: std::slice::Iter<'a, T>,
+}
+
+/// Manual impl: a cursor only borrows the log, so no `T: Clone` bound.
+impl<T> Clone for Cursor<'_, T> {
+    fn clone(&self) -> Self {
+        Cursor {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Cursor<'_, T> {
+    /// Records remaining ahead of the cursor (inherent, so callers need
+    /// not import `ExactSizeIterator`).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no records remain.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+}
+
+impl<T: ChainRecord + Clone> Cursor<'_, T> {
+    /// Collects the remaining records into an owned, contiguous `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.clone().cloned().collect()
+    }
+}
+
+impl<'a, T: ChainRecord> Iterator for Cursor<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<T: ChainRecord> ExactSizeIterator for Cursor<'_, T> {}
+
+/// Two cursors are equal when the record sequences ahead of them are —
+/// segment boundaries are invisible, so a segmented and a monolithic log
+/// holding the same records compare equal.
+impl<T: ChainRecord + PartialEq> PartialEq for Cursor<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && Iterator::eq(self.clone(), other.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{NodeEvent, NodeEventKind};
+    use rsc_cluster::ids::NodeId;
+    use rsc_sim_core::time::SimTime;
+
+    fn ev(at: u64) -> NodeEvent {
+        NodeEvent {
+            node: NodeId::new((at % 16) as u32),
+            at: SimTime::from_secs(at),
+            kind: NodeEventKind::Drain,
+        }
+    }
+
+    fn filled(capacity: usize, n: u64) -> SegmentedLog<NodeEvent> {
+        let mut log = SegmentedLog::new(capacity);
+        for i in 0..n {
+            log.push(ev(i));
+        }
+        log
+    }
+
+    #[test]
+    fn rotation_happens_exactly_at_capacity() {
+        let mut log = SegmentedLog::new(4);
+        for i in 0..3 {
+            assert_eq!(log.push(ev(i)), None);
+        }
+        assert_eq!(log.push(ev(3)), Some(0));
+        assert_eq!(log.rotations(), 1);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn chain_head_is_capacity_invariant() {
+        let heads: Vec<u64> = [3usize, 7, 100, usize::MAX]
+            .into_iter()
+            .map(|cap| filled(cap, 50).into_contiguous(|_| unreachable!()).1)
+            .collect();
+        assert!(heads.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn contiguous_preserves_order() {
+        let (records, _) = filled(4, 11).into_contiguous(|_| unreachable!());
+        assert_eq!(records.len(), 11);
+        assert!(records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.at == SimTime::from_secs(i as u64)));
+    }
+
+    #[test]
+    fn cursor_walks_segment_boundaries_in_order() {
+        let log = filled(4, 11);
+        let seen: Vec<u64> = log.cursor().map(|r| r.at.as_secs()).collect();
+        assert_eq!(seen, (0..11).collect::<Vec<_>>());
+        assert_eq!(log.cursor().len(), 11);
+    }
+
+    #[test]
+    fn get_spans_sealed_and_active() {
+        let log = filled(4, 11);
+        for i in 0..11 {
+            assert_eq!(log.get(i).at, SimTime::from_secs(i as u64));
+        }
+    }
+
+    #[test]
+    fn spilled_segment_reloads_and_verifies() {
+        let mut log = filled(4, 11);
+        let (seal, records) = log.take_segment(0);
+        assert!(log.has_spilled());
+        assert!(seal.verify(&records));
+        let stash = records.clone();
+        let (all, head) = log.into_contiguous(|s| {
+            assert_eq!(s.index, 0);
+            stash.clone()
+        });
+        assert_eq!(all.len(), 11);
+        assert_eq!(head, filled(4, 11).into_contiguous(|_| unreachable!()).1);
+    }
+
+    #[test]
+    fn take_out_of_order_panics() {
+        let mut log = filled(4, 11);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            log.take_segment(1);
+        }));
+        assert!(result.is_err(), "taking segment 1 before 0 must panic");
+    }
+
+    #[test]
+    fn mid_run_enable_takes_resident_segments_in_order() {
+        // Three sealed segments resident plus a tail, as after enabling
+        // spill mid-run; takes must walk them front-to-back and leave the
+        // tail intact.
+        let mut log = filled(4, 14);
+        for want in 0..3u64 {
+            assert_eq!(log.next_unspilled_segment(), Some(want));
+            let (seal, records) = log.take_segment(want);
+            assert_eq!(records.len(), 4);
+            assert!(seal.verify(&records));
+            assert_eq!(records[0].at, SimTime::from_secs(want * 4));
+        }
+        assert_eq!(log.next_unspilled_segment(), None);
+        assert_eq!(log.len(), 14);
+        assert_eq!(log.get(13).at, SimTime::from_secs(13));
+    }
+
+    #[test]
+    fn tampered_reload_fails_verification() {
+        let mut log = filled(4, 11);
+        let (seal, mut records) = log.take_segment(0);
+        records[2].at = SimTime::from_secs(999);
+        assert!(!seal.verify(&records));
+    }
+
+    #[test]
+    #[should_panic(expected = "chain verification")]
+    fn corrupt_spill_panics_at_seal() {
+        let mut log = filled(4, 11);
+        let (_, mut records) = log.take_segment(0);
+        records[0].at = SimTime::from_secs(777);
+        let _ = log.into_contiguous(move |_| records.clone());
+    }
+}

@@ -8,60 +8,67 @@
 //! scenario runner relies on this to prove cache hits are byte-identical to
 //! fresh simulation.
 //!
-//! Layout (version 1):
+//! Layout (version 3, the format [`write_snapshot`] emits):
 //!
 //! ```text
-//! rsc-telemetry-snapshot v1
+//! rsc-telemetry-snapshot v3
 //! cluster <name>
 //! nodes <u32>
 //! horizon <seconds>
 //! gpu_swaps <u64>
-//! jobs <count>          — then one trace-format row per record
-//! health <count>        — at,node,check,severity,signal,false_positive
-//! node_events <count>   — at,node,kind
-//! exclusions <count>    — at,node,job
-//! failures <count>      — at,node,mode,symptom,permanent
+//! frame_rows 4096
+//! jobs <count>           — framed rows, trace format
+//! frame <rows> <hash>    — then <rows> record rows
+//! ...
+//! health <count>         — at,node,check,severity,signal,false_positive
+//! node_events <count>    — at,node,kind
+//! exclusions <count>     — at,node,job
+//! failures <count>       — at,node,mode,symptom,permanent
+//! ckpt_fallbacks <count> — at,job,gpus,intervals,lost
+//! chain <hash>
 //! end
 //! ```
 //!
-//! Version 2 extends version 1 with the fallible-remediation vocabulary:
-//! the `node_events` section admits the lifecycle kinds
-//! (`repair_attempt_failed`, `repair_escalated`, `enter_probation`,
-//! `probation_passed`, `probation_failed`, `quarantined`) and a
-//! `ckpt_fallbacks <count>` section (rows `at,job,gpus,intervals,lost`)
-//! sits between `failures` and `end`. The writer emits version 1 whenever
-//! a view contains no version-2 content, so runs with the fallible path
-//! disabled stay byte-identical to pre-v2 snapshots; the reader decodes
-//! both versions (a v1 header with v2 content is rejected).
+//! Each stream is split into *frames* of `frame_rows` rows (all frames full
+//! except possibly the last). A frame line carries the stream's running
+//! [`ChainHasher`] digest *after* the frame's rows, chained from
+//! [`GENESIS`]; the reader re-hashes every parsed row and rejects any frame
+//! whose checkpoint does not match ([`SnapshotError::Chain`]), catching bit
+//! flips, truncation, frame reordering, and cross-snapshot splices. The
+//! trailing `chain` line covers the header fields plus all six stream
+//! heads. Frame geometry is fixed at [`SNAPSHOT_FRAME_ROWS`] no matter what
+//! segment capacity the in-memory store rotated at, so the same records
+//! always serialize to the same bytes.
+//!
+//! Versions 1 and 2 (the unframed, unhashed legacy formats — v2 added the
+//! fallible-remediation vocabulary and the `ckpt_fallbacks` section to v1)
+//! remain fully readable; `write_snapshot_legacy` keeps emitting them for
+//! the back-compat fixtures.
 
 use std::fmt;
 use std::fs;
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 
-use rsc_cluster::gpu::XidError;
-use rsc_cluster::ids::{JobId, NodeId};
-use rsc_failure::injector::FailureEvent;
-use rsc_failure::modes::{ModeId, Severity};
-use rsc_failure::signals::SignalKind;
-use rsc_failure::taxonomy::FailureSymptom;
-use rsc_health::check::CheckKind;
-use rsc_health::monitor::HealthEvent;
-use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_sim_core::time::SimTime;
 
-use crate::store::{
-    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore,
-};
-use crate::trace::{format_job_row, parse_job_row};
+use crate::chain::{ChainHasher, ChainRecord, GENESIS};
+use crate::rows;
+use crate::store::TelemetryStore;
 use crate::view::TelemetryView;
 
 /// Highest format version [`write_snapshot`] emits; bumped on any change
 /// to the encoding. Participates in the scenario-cache fingerprint so
 /// stale artifacts are never loaded by a newer binary.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
+
+/// Rows per frame in a version-3 snapshot. A format constant: changing it
+/// changes the emitted bytes and requires a version bump.
+pub const SNAPSHOT_FRAME_ROWS: usize = 4096;
 
 const MAGIC_V1: &str = "rsc-telemetry-snapshot v1";
 const MAGIC_V2: &str = "rsc-telemetry-snapshot v2";
+const MAGIC_V3: &str = "rsc-telemetry-snapshot v3";
 
 /// Error from loading a snapshot.
 #[derive(Debug)]
@@ -75,6 +82,20 @@ pub enum SnapshotError {
         /// What went wrong.
         message: String,
     },
+    /// A version-3 chain checkpoint did not match the re-hashed records —
+    /// the snapshot was corrupted, reordered, or spliced.
+    Chain {
+        /// 1-based line number of the last row covered by the checkpoint.
+        line: usize,
+        /// Which stream failed (`"combined"` for the trailing chain line).
+        stream: String,
+        /// 0-based frame ordinal within the stream.
+        frame: u64,
+        /// The checkpoint digest recorded in the snapshot.
+        expected: u64,
+        /// The digest of the records actually read.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -84,6 +105,17 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Parse { line, message } => {
                 write!(f, "snapshot line {line}: {message}")
             }
+            SnapshotError::Chain {
+                line,
+                stream,
+                frame,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "snapshot line {line}: {stream} frame {frame} chain mismatch \
+                 (expected {expected:016x}, got {actual:016x})"
+            ),
         }
     }
 }
@@ -96,127 +128,142 @@ impl From<io::Error> for SnapshotError {
     }
 }
 
-fn severity_label(s: Severity) -> &'static str {
-    match s {
-        Severity::High => "high",
-        Severity::Low => "low",
-    }
-}
-
-fn parse_severity(s: &str) -> Option<Severity> {
-    match s {
-        "high" => Some(Severity::High),
-        "low" => Some(Severity::Low),
-        _ => None,
-    }
-}
-
-/// Lossless signal tag. Named XID variants encode as `xid<code>`; the
-/// catch-all [`XidError::Other`] encodes as `xido<code>` so that e.g.
-/// `Other(48)` and `DoubleBitEcc` (also code 48) stay distinct.
-fn signal_tag(s: SignalKind) -> String {
-    match s {
-        SignalKind::Xid(XidError::Other(code)) => format!("xido{code}"),
-        SignalKind::Xid(x) => format!("xid{}", x.code()),
-        other => other.label(),
-    }
-}
-
-fn parse_signal(s: &str) -> Option<SignalKind> {
-    match s {
-        "pcie_err" => return Some(SignalKind::PcieError),
-        "ipmi_critical" => return Some(SignalKind::IpmiCriticalInterrupt),
-        "ib_link_err" => return Some(SignalKind::IbLinkError),
-        "eth_link_err" => return Some(SignalKind::EthLinkError),
-        "fs_mount_missing" => return Some(SignalKind::FsMountMissing),
-        "dram_ue" => return Some(SignalKind::MainMemoryError),
-        "service_down" => return Some(SignalKind::ServiceFailure),
-        "blockdev_err" => return Some(SignalKind::BlockDeviceError),
-        "unresponsive" => return Some(SignalKind::NodeUnresponsive),
-        "power_fault" => return Some(SignalKind::PowerFault),
-        "thermal_warn" => return Some(SignalKind::ThermalWarning),
-        _ => {}
-    }
-    if let Some(code) = s.strip_prefix("xido") {
-        return code
-            .parse::<u16>()
-            .ok()
-            .map(|c| SignalKind::Xid(XidError::Other(c)));
-    }
-    if let Some(code) = s.strip_prefix("xid") {
-        let xid = match code.parse::<u16>().ok()? {
-            48 => XidError::DoubleBitEcc,
-            64 => XidError::RowRemapFailure,
-            74 => XidError::NvlinkError,
-            79 => XidError::FallenOffBus,
-            119 => XidError::GspTimeout,
-            31 => XidError::MemoryPageFault,
-            _ => return None,
-        };
-        return Some(SignalKind::Xid(xid));
-    }
-    None
-}
-
-fn parse_check(s: &str) -> Option<CheckKind> {
-    CheckKind::ALL.iter().copied().find(|c| c.label() == s)
-}
-
-fn parse_symptom(s: &str) -> Option<FailureSymptom> {
-    FailureSymptom::ALL.iter().copied().find(|x| x.label() == s)
-}
-
-fn node_event_kind_label(k: NodeEventKind) -> &'static str {
-    match k {
-        NodeEventKind::Drain => "drain",
-        NodeEventKind::EnterRemediation => "enter_remediation",
-        NodeEventKind::ExitRemediation => "exit_remediation",
-        NodeEventKind::RepairAttemptFailed => "repair_attempt_failed",
-        NodeEventKind::RepairEscalated => "repair_escalated",
-        NodeEventKind::EnterProbation => "enter_probation",
-        NodeEventKind::ProbationPassed => "probation_passed",
-        NodeEventKind::ProbationFailed => "probation_failed",
-        NodeEventKind::Quarantined => "quarantined",
-    }
-}
-
-/// Version-gated kind parser: the v1 vocabulary rejects lifecycle kinds.
-fn parse_node_event_kind(s: &str, version: u32) -> Option<NodeEventKind> {
-    match s {
-        "drain" => Some(NodeEventKind::Drain),
-        "enter_remediation" => Some(NodeEventKind::EnterRemediation),
-        "exit_remediation" => Some(NodeEventKind::ExitRemediation),
-        _ if version < 2 => None,
-        "repair_attempt_failed" => Some(NodeEventKind::RepairAttemptFailed),
-        "repair_escalated" => Some(NodeEventKind::RepairEscalated),
-        "enter_probation" => Some(NodeEventKind::EnterProbation),
-        "probation_passed" => Some(NodeEventKind::ProbationPassed),
-        "probation_failed" => Some(NodeEventKind::ProbationFailed),
-        "quarantined" => Some(NodeEventKind::Quarantined),
-        _ => None,
-    }
-}
-
 /// Whether a view holds anything outside the version-1 vocabulary.
 fn has_v2_content(view: &TelemetryView) -> bool {
     !view.ckpt_fallbacks().is_empty() || view.node_events().iter().any(|e| !e.kind.is_v1())
 }
 
-/// Writes a sealed view as a snapshot: version 1 when the view has no
-/// version-2 content (keeping legacy runs byte-identical), version 2
-/// otherwise.
-///
-/// # Errors
-///
-/// Propagates I/O errors from the writer; rejects cluster names containing
-/// newlines (they would corrupt the line-oriented format).
-pub fn write_snapshot<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<()> {
+fn reject_newline_name(view: &TelemetryView) -> io::Result<()> {
     if view.cluster_name().contains(['\n', '\r']) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             "cluster name contains a newline",
         ));
     }
+    Ok(())
+}
+
+/// Writes one framed v3 stream section and returns its chain head.
+fn write_section<W: Write, T: ChainRecord>(
+    w: &mut W,
+    name: &str,
+    records: &[T],
+    frame_rows: usize,
+    encode: impl Fn(&T) -> String,
+) -> io::Result<u64> {
+    writeln!(w, "{name} {}", records.len())?;
+    let mut h = ChainHasher::new(GENESIS);
+    for chunk in records.chunks(frame_rows) {
+        for r in chunk {
+            r.chain(&mut h);
+        }
+        writeln!(w, "frame {} {:016x}", chunk.len(), h.digest())?;
+        for r in chunk {
+            writeln!(w, "{}", encode(r))?;
+        }
+    }
+    Ok(h.digest())
+}
+
+fn combined_chain(view: &TelemetryView, frame_rows: usize, heads: [u64; 6]) -> u64 {
+    let mut h = ChainHasher::new(GENESIS);
+    h.write_bytes(view.cluster_name().as_bytes());
+    h.write_u64(u64::from(view.num_nodes()));
+    h.write_u64(view.horizon().as_secs());
+    h.write_u64(view.gpu_swaps());
+    h.write_u64(frame_rows as u64);
+    for head in heads {
+        h.write_u64(head);
+    }
+    h.digest()
+}
+
+/// Writes a sealed view as a version-3 snapshot: framed rows with chain
+/// checkpoints every [`SNAPSHOT_FRAME_ROWS`] rows, a combined chain head,
+/// and byte-for-byte canonical output independent of the segment capacity
+/// the run's store rotated at.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; rejects cluster names containing
+/// newlines (they would corrupt the line-oriented format).
+pub fn write_snapshot<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<()> {
+    write_snapshot_with_frame_rows(w, view, SNAPSHOT_FRAME_ROWS)
+}
+
+/// [`write_snapshot`] with a caller-chosen frame geometry. Only the
+/// canonical [`SNAPSHOT_FRAME_ROWS`] produces cacheable artifacts; other
+/// values exist for corruption/robustness tests that need many small
+/// frames without millions of records.
+#[doc(hidden)]
+pub fn write_snapshot_with_frame_rows<W: Write>(
+    w: &mut W,
+    view: &TelemetryView,
+    frame_rows: usize,
+) -> io::Result<()> {
+    assert!(frame_rows >= 1, "frame_rows must be positive");
+    reject_newline_name(view)?;
+    writeln!(w, "{MAGIC_V3}")?;
+    writeln!(w, "cluster {}", view.cluster_name())?;
+    writeln!(w, "nodes {}", view.num_nodes())?;
+    writeln!(w, "horizon {}", view.horizon().as_secs())?;
+    writeln!(w, "gpu_swaps {}", view.gpu_swaps())?;
+    writeln!(w, "frame_rows {frame_rows}")?;
+    let heads = [
+        write_section(w, "jobs", view.jobs(), frame_rows, rows::encode_job)?,
+        write_section(
+            w,
+            "health",
+            view.health_events(),
+            frame_rows,
+            rows::encode_health,
+        )?,
+        write_section(
+            w,
+            "node_events",
+            view.node_events(),
+            frame_rows,
+            rows::encode_node_event,
+        )?,
+        write_section(
+            w,
+            "exclusions",
+            view.exclusions(),
+            frame_rows,
+            rows::encode_exclusion,
+        )?,
+        write_section(
+            w,
+            "failures",
+            view.ground_truth_failures(),
+            frame_rows,
+            rows::encode_failure,
+        )?,
+        write_section(
+            w,
+            "ckpt_fallbacks",
+            view.ckpt_fallbacks(),
+            frame_rows,
+            rows::encode_ckpt_fallback,
+        )?,
+    ];
+    writeln!(w, "chain {:016x}", combined_chain(view, frame_rows, heads))?;
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+/// Writes the legacy (version 1 or 2) snapshot encoding: version 1 when
+/// the view has no version-2 content, version 2 otherwise. Kept so the
+/// checked-in back-compat fixtures can be regenerated and verified; new
+/// artifacts should use [`write_snapshot`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer; rejects cluster names containing
+/// newlines.
+#[doc(hidden)]
+pub fn write_snapshot_legacy<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<()> {
+    reject_newline_name(view)?;
     let v2 = has_v2_content(view);
     writeln!(w, "{}", if v2 { MAGIC_V2 } else { MAGIC_V1 })?;
     writeln!(w, "cluster {}", view.cluster_name())?;
@@ -226,67 +273,30 @@ pub fn write_snapshot<W: Write>(w: &mut W, view: &TelemetryView) -> io::Result<(
 
     writeln!(w, "jobs {}", view.jobs().len())?;
     for r in view.jobs() {
-        writeln!(w, "{}", format_job_row(r))?;
+        writeln!(w, "{}", rows::encode_job(r))?;
     }
-
     writeln!(w, "health {}", view.health_events().len())?;
     for e in view.health_events() {
-        writeln!(
-            w,
-            "{},{},{},{},{},{}",
-            e.at.as_secs(),
-            e.node.index(),
-            e.check.label(),
-            severity_label(e.severity),
-            e.signal.map(signal_tag).unwrap_or_default(),
-            u8::from(e.false_positive),
-        )?;
+        writeln!(w, "{}", rows::encode_health(e))?;
     }
-
     writeln!(w, "node_events {}", view.node_events().len())?;
     for e in view.node_events() {
-        writeln!(
-            w,
-            "{},{},{}",
-            e.at.as_secs(),
-            e.node.index(),
-            node_event_kind_label(e.kind),
-        )?;
+        writeln!(w, "{}", rows::encode_node_event(e))?;
     }
-
     writeln!(w, "exclusions {}", view.exclusions().len())?;
     for e in view.exclusions() {
-        writeln!(w, "{},{},{}", e.at.as_secs(), e.node.index(), e.job.raw())?;
+        writeln!(w, "{}", rows::encode_exclusion(e))?;
     }
-
     writeln!(w, "failures {}", view.ground_truth_failures().len())?;
     for e in view.ground_truth_failures() {
-        writeln!(
-            w,
-            "{},{},{},{},{}",
-            e.at.as_secs(),
-            e.node.index(),
-            e.mode.0,
-            e.symptom.label(),
-            u8::from(e.permanent),
-        )?;
+        writeln!(w, "{}", rows::encode_failure(e))?;
     }
-
     if v2 {
         writeln!(w, "ckpt_fallbacks {}", view.ckpt_fallbacks().len())?;
         for e in view.ckpt_fallbacks() {
-            writeln!(
-                w,
-                "{},{},{},{},{}",
-                e.at.as_secs(),
-                e.job.raw(),
-                e.gpus,
-                e.intervals,
-                e.lost.as_secs(),
-            )?;
+            writeln!(w, "{}", rows::encode_ckpt_fallback(e))?;
         }
     }
-
     writeln!(w, "end")?;
     Ok(())
 }
@@ -344,14 +354,89 @@ fn parse_u64_field<R: BufRead>(
         .map_err(|_| lines.err(format!("bad {what}: {s:?}")))
 }
 
-/// Reads a version-1 or version-2 snapshot into a sealed view.
+fn parse_hash<R: BufRead>(lines: &Lines<R>, s: &str) -> Result<u64, SnapshotError> {
+    // Strictly lowercase, exactly 16 digits: the writer's canonical form.
+    // `from_str_radix` alone would accept uppercase too, letting a
+    // byte-different snapshot parse to the same digest.
+    if s.len() != 16
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return Err(lines.err(format!(
+            "bad chain hash (need 16 lowercase hex digits): {s:?}"
+        )));
+    }
+    u64::from_str_radix(s, 16).map_err(|_| lines.err(format!("bad chain hash: {s:?}")))
+}
+
+/// Reads one framed v3 section, verifying every frame checkpoint, and
+/// returns the stream's chain head.
+fn read_section_v3<R: BufRead, T: ChainRecord>(
+    lines: &mut Lines<R>,
+    name: &str,
+    frame_rows: usize,
+    decode: impl Fn(&str) -> Result<T, String>,
+    mut push: impl FnMut(T),
+) -> Result<u64, SnapshotError> {
+    let line = lines.next_line()?;
+    let count = parse_count(lines, keyword_value(lines, &line, name)?)?;
+    let mut h = ChainHasher::new(GENESIS);
+    let mut consumed = 0usize;
+    let mut frame = 0u64;
+    while consumed < count {
+        let line = lines.next_line()?;
+        let spec = keyword_value(lines, &line, "frame")?;
+        let (rows_str, hash_str) = spec
+            .split_once(' ')
+            .ok_or_else(|| lines.err(format!("expected `frame <rows> <hash>`, got {line:?}")))?;
+        let rows = parse_count(lines, rows_str)?;
+        let expected = parse_hash(lines, hash_str)?;
+        if rows == 0 || rows > frame_rows {
+            return Err(lines.err(format!("frame of {rows} rows outside 1..={frame_rows}")));
+        }
+        if consumed + rows < count && rows != frame_rows {
+            return Err(lines.err(format!(
+                "non-final frame has {rows} rows, expected {frame_rows}"
+            )));
+        }
+        if consumed + rows > count {
+            return Err(lines.err(format!(
+                "frame overruns section: {consumed}+{rows} rows of {count}"
+            )));
+        }
+        for _ in 0..rows {
+            let row = lines.next_line()?;
+            let record = decode(&row).map_err(|msg| lines.err(msg))?;
+            record.chain(&mut h);
+            push(record);
+        }
+        let actual = h.digest();
+        if actual != expected {
+            return Err(SnapshotError::Chain {
+                line: lines.line_no,
+                stream: name.to_string(),
+                frame,
+                expected,
+                actual,
+            });
+        }
+        consumed += rows;
+        frame += 1;
+    }
+    Ok(h.digest())
+}
+
+/// Reads a snapshot (any supported version) into a sealed view.
 ///
 /// # Errors
 ///
 /// Returns [`SnapshotError::Parse`] with the 1-based line number on any
 /// malformed or truncated input — never panics — and
-/// [`SnapshotError::Io`] if the reader fails. Unknown versions and v2
-/// vocabulary inside a v1 snapshot are rejected.
+/// [`SnapshotError::Io`] if the reader fails. Version-3 inputs are
+/// chain-verified frame by frame; any checkpoint mismatch is a
+/// [`SnapshotError::Chain`]. Unknown versions and v2 vocabulary inside a
+/// v1 snapshot are rejected.
 pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     let mut lines = Lines {
         inner: r.lines(),
@@ -362,9 +447,10 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     let version = match magic.as_str() {
         m if m == MAGIC_V1 => 1,
         m if m == MAGIC_V2 => 2,
+        m if m == MAGIC_V3 => 3,
         _ => {
             return Err(lines.err(format!(
-                "bad header: {magic:?} (expected {MAGIC_V1:?} or {MAGIC_V2:?})"
+                "bad header: {magic:?} (expected {MAGIC_V1:?}, {MAGIC_V2:?}, or {MAGIC_V3:?})"
             )))
         }
     };
@@ -385,118 +471,10 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     store.set_horizon(SimTime::from_secs(horizon));
     store.set_gpu_swaps(gpu_swaps);
 
-    let line = lines.next_line()?;
-    let count = parse_count(&lines, keyword_value(&lines, &line, "jobs")?)?;
-    for _ in 0..count {
-        let row = lines.next_line()?;
-        let record = parse_job_row(&row, lines.line_no)
-            .map_err(|e| lines.err(format!("bad job row: {}", e.message)))?;
-        store.push_job(record);
-    }
-
-    let line = lines.next_line()?;
-    let count = parse_count(&lines, keyword_value(&lines, &line, "health")?)?;
-    for _ in 0..count {
-        let row = lines.next_line()?;
-        let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 6 {
-            return Err(lines.err(format!("health row needs 6 fields, got {}", fields.len())));
-        }
-        let signal = if fields[4].is_empty() {
-            None
-        } else {
-            Some(
-                parse_signal(fields[4])
-                    .ok_or_else(|| lines.err(format!("bad signal: {:?}", fields[4])))?,
-            )
-        };
-        store.push_health_event(HealthEvent {
-            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
-            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
-            check: parse_check(fields[2])
-                .ok_or_else(|| lines.err(format!("bad check: {:?}", fields[2])))?,
-            severity: parse_severity(fields[3])
-                .ok_or_else(|| lines.err(format!("bad severity: {:?}", fields[3])))?,
-            signal,
-            false_positive: parse_bool_field(&lines, fields[5])?,
-        });
-    }
-
-    let line = lines.next_line()?;
-    let count = parse_count(&lines, keyword_value(&lines, &line, "node_events")?)?;
-    for _ in 0..count {
-        let row = lines.next_line()?;
-        let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 3 {
-            return Err(lines.err(format!(
-                "node_event row needs 3 fields, got {}",
-                fields.len()
-            )));
-        }
-        store.push_node_event(NodeEvent {
-            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
-            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
-            kind: parse_node_event_kind(fields[2], version)
-                .ok_or_else(|| lines.err(format!("bad node event kind: {:?}", fields[2])))?,
-        });
-    }
-
-    let line = lines.next_line()?;
-    let count = parse_count(&lines, keyword_value(&lines, &line, "exclusions")?)?;
-    for _ in 0..count {
-        let row = lines.next_line()?;
-        let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 3 {
-            return Err(lines.err(format!(
-                "exclusion row needs 3 fields, got {}",
-                fields.len()
-            )));
-        }
-        store.push_exclusion(ExclusionEvent {
-            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
-            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
-            job: JobId::new(parse_u64_field(&lines, fields[2], "job")?),
-        });
-    }
-
-    let line = lines.next_line()?;
-    let count = parse_count(&lines, keyword_value(&lines, &line, "failures")?)?;
-    for _ in 0..count {
-        let row = lines.next_line()?;
-        let fields: Vec<&str> = row.split(',').collect();
-        if fields.len() != 5 {
-            return Err(lines.err(format!("failure row needs 5 fields, got {}", fields.len())));
-        }
-        store.push_ground_truth(FailureEvent {
-            at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
-            node: NodeId::new(parse_u64_field(&lines, fields[1], "node")? as u32),
-            mode: ModeId(parse_u64_field(&lines, fields[2], "mode")? as usize),
-            symptom: parse_symptom(fields[3])
-                .ok_or_else(|| lines.err(format!("bad symptom: {:?}", fields[3])))?,
-            permanent: parse_bool_field(&lines, fields[4])?,
-        });
-    }
-
-    if version >= 2 {
-        let line = lines.next_line()?;
-        let count = parse_count(&lines, keyword_value(&lines, &line, "ckpt_fallbacks")?)?;
-        for _ in 0..count {
-            let row = lines.next_line()?;
-            let fields: Vec<&str> = row.split(',').collect();
-            if fields.len() != 5 {
-                return Err(lines.err(format!(
-                    "ckpt_fallback row needs 5 fields, got {}",
-                    fields.len()
-                )));
-            }
-            store.push_ckpt_fallback(CheckpointFallbackEvent {
-                at: SimTime::from_secs(parse_u64_field(&lines, fields[0], "time")?),
-                job: JobId::new(parse_u64_field(&lines, fields[1], "job")?),
-                gpus: parse_u64_field(&lines, fields[2], "gpus")? as u32,
-                intervals: parse_u64_field(&lines, fields[3], "intervals")? as u32,
-                lost: SimDuration::from_secs(parse_u64_field(&lines, fields[4], "lost")?),
-            });
-        }
+    if version >= 3 {
+        read_snapshot_v3_body(&mut lines, &mut store)?;
+    } else {
+        read_snapshot_legacy_body(&mut lines, &mut store, version)?;
     }
 
     let line = lines.next_line()?;
@@ -506,12 +484,128 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     Ok(store.seal())
 }
 
-fn parse_bool_field<R: BufRead>(lines: &Lines<R>, s: &str) -> Result<bool, SnapshotError> {
-    match s {
-        "0" => Ok(false),
-        "1" => Ok(true),
-        _ => Err(lines.err(format!("bad bool: {s:?}"))),
+fn read_snapshot_v3_body<R: BufRead>(
+    lines: &mut Lines<R>,
+    store: &mut TelemetryStore,
+) -> Result<(), SnapshotError> {
+    let line = lines.next_line()?;
+    let frame_rows = parse_count(lines, keyword_value(lines, &line, "frame_rows")?)?;
+    if frame_rows == 0 {
+        return Err(lines.err("frame_rows must be positive"));
     }
+
+    let heads = [
+        read_section_v3(lines, "jobs", frame_rows, rows::decode_job, |r| {
+            store.push_job(r)
+        })?,
+        read_section_v3(lines, "health", frame_rows, rows::decode_health, |e| {
+            store.push_health_event(e)
+        })?,
+        read_section_v3(
+            lines,
+            "node_events",
+            frame_rows,
+            |row| rows::decode_node_event(row, 3),
+            |e| store.push_node_event(e),
+        )?,
+        read_section_v3(
+            lines,
+            "exclusions",
+            frame_rows,
+            rows::decode_exclusion,
+            |e| store.push_exclusion(e),
+        )?,
+        read_section_v3(lines, "failures", frame_rows, rows::decode_failure, |e| {
+            store.push_ground_truth(e)
+        })?,
+        read_section_v3(
+            lines,
+            "ckpt_fallbacks",
+            frame_rows,
+            rows::decode_ckpt_fallback,
+            |e| store.push_ckpt_fallback(e),
+        )?,
+    ];
+
+    let line = lines.next_line()?;
+    let expected = parse_hash(lines, keyword_value(lines, &line, "chain")?)?;
+    let mut h = ChainHasher::new(GENESIS);
+    h.write_bytes(store.cluster_name().as_bytes());
+    h.write_u64(u64::from(store.num_nodes()));
+    h.write_u64(store.horizon().as_secs());
+    h.write_u64(store.gpu_swaps());
+    h.write_u64(frame_rows as u64);
+    for head in heads {
+        h.write_u64(head);
+    }
+    let actual = h.digest();
+    if actual != expected {
+        return Err(SnapshotError::Chain {
+            line: lines.line_no,
+            stream: "combined".to_string(),
+            frame: 0,
+            expected,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+fn read_snapshot_legacy_body<R: BufRead>(
+    lines: &mut Lines<R>,
+    store: &mut TelemetryStore,
+    version: u32,
+) -> Result<(), SnapshotError> {
+    let line = lines.next_line()?;
+    let count = parse_count(lines, keyword_value(lines, &line, "jobs")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let record = rows::decode_job(&row).map_err(|msg| lines.err(msg))?;
+        store.push_job(record);
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(lines, keyword_value(lines, &line, "health")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let event = rows::decode_health(&row).map_err(|msg| lines.err(msg))?;
+        store.push_health_event(event);
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(lines, keyword_value(lines, &line, "node_events")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let event = rows::decode_node_event(&row, version).map_err(|msg| lines.err(msg))?;
+        store.push_node_event(event);
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(lines, keyword_value(lines, &line, "exclusions")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let event = rows::decode_exclusion(&row).map_err(|msg| lines.err(msg))?;
+        store.push_exclusion(event);
+    }
+
+    let line = lines.next_line()?;
+    let count = parse_count(lines, keyword_value(lines, &line, "failures")?)?;
+    for _ in 0..count {
+        let row = lines.next_line()?;
+        let event = rows::decode_failure(&row).map_err(|msg| lines.err(msg))?;
+        store.push_ground_truth(event);
+    }
+
+    if version >= 2 {
+        let line = lines.next_line()?;
+        let count = parse_count(lines, keyword_value(lines, &line, "ckpt_fallbacks")?)?;
+        for _ in 0..count {
+            let row = lines.next_line()?;
+            let event = rows::decode_ckpt_fallback(&row).map_err(|msg| lines.err(msg))?;
+            store.push_ckpt_fallback(event);
+        }
+    }
+    Ok(())
 }
 
 /// Writes a snapshot to `path`, creating parent directories.
@@ -541,9 +635,19 @@ pub fn load_snapshot_file(path: &Path) -> Result<TelemetryView, SnapshotError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsc_cluster::ids::JobRunId;
+    use rsc_cluster::gpu::XidError;
+    use rsc_cluster::ids::{JobId, JobRunId, NodeId};
+    use rsc_failure::injector::FailureEvent;
+    use rsc_failure::modes::{ModeId, Severity};
+    use rsc_failure::signals::SignalKind;
+    use rsc_failure::taxonomy::FailureSymptom;
+    use rsc_health::check::CheckKind;
+    use rsc_health::monitor::HealthEvent;
     use rsc_sched::accounting::JobRecord;
     use rsc_sched::job::{JobStatus, QosClass};
+    use rsc_sim_core::time::SimDuration;
+
+    use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind};
 
     fn sample_view() -> TelemetryView {
         let mut store = TelemetryStore::new("RSC-T", 16);
@@ -605,6 +709,12 @@ mod tests {
         buf
     }
 
+    fn to_legacy_bytes(view: &TelemetryView) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot_legacy(&mut buf, view).unwrap();
+        buf
+    }
+
     #[test]
     fn round_trip_is_byte_identical() {
         let view = sample_view();
@@ -620,6 +730,38 @@ mod tests {
         assert_eq!(back.horizon(), view.horizon());
         assert_eq!(back.cluster_name(), view.cluster_name());
         assert_eq!(back.num_nodes(), view.num_nodes());
+        assert_eq!(back.chain_heads(), view.chain_heads());
+    }
+
+    #[test]
+    fn v3_bytes_are_segment_capacity_invariant() {
+        let fill = |capacity: usize| {
+            let mut store = TelemetryStore::with_segment_capacity("cap", 8, capacity);
+            store.set_horizon(SimTime::from_hours(4));
+            for i in 0..40u64 {
+                store.push_health_event(HealthEvent {
+                    at: SimTime::from_secs(i * 9),
+                    node: NodeId::new((i % 8) as u32),
+                    check: CheckKind::IbLink,
+                    severity: Severity::High,
+                    signal: Some(SignalKind::IbLinkError),
+                    false_positive: false,
+                });
+                store.push_ground_truth(FailureEvent {
+                    at: SimTime::from_secs(i * 9),
+                    node: NodeId::new((i % 8) as u32),
+                    mode: ModeId(1),
+                    symptom: FailureSymptom::InfinibandLink,
+                    permanent: false,
+                });
+            }
+            store
+        };
+        let small = fill(7);
+        assert!(small.segment_stats().rotations > 0);
+        let bytes_small = to_bytes(&small.seal());
+        let bytes_mono = to_bytes(&fill(usize::MAX).seal());
+        assert_eq!(bytes_small, bytes_mono);
     }
 
     #[test]
@@ -647,7 +789,10 @@ mod tests {
         for cut in [0, 10, bytes.len() / 2, bytes.len() - 5] {
             let err = read_snapshot(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(err, SnapshotError::Parse { .. }),
+                matches!(
+                    err,
+                    SnapshotError::Parse { .. } | SnapshotError::Chain { .. }
+                ),
                 "cut={cut}: {err}"
             );
         }
@@ -665,6 +810,58 @@ mod tests {
             }
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn flipped_record_content_fails_the_chain() {
+        let text = String::from_utf8(to_bytes(&sample_view())).unwrap();
+        // `115` (ground-truth failure time) → `116`: still parses, but no
+        // longer matches the frame checkpoint.
+        let corrupted = text.replace("\n115,4,2,", "\n116,4,2,");
+        assert_ne!(corrupted, text);
+        let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
+        match err {
+            SnapshotError::Chain { stream, frame, .. } => {
+                assert_eq!(stream, "failures");
+                assert_eq!(frame, 0);
+            }
+            other => panic!("expected chain error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tampered_chain_head_is_rejected() {
+        let text = String::from_utf8(to_bytes(&sample_view())).unwrap();
+        let chain_line = text
+            .lines()
+            .find(|l| l.starts_with("chain "))
+            .unwrap()
+            .to_string();
+        let mut forged = chain_line.clone().into_bytes();
+        let last = forged.last_mut().unwrap();
+        *last = if *last == b'0' { b'1' } else { b'0' };
+        let corrupted = text.replace(&chain_line, std::str::from_utf8(&forged).unwrap());
+        let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
+        match err {
+            SnapshotError::Chain { stream, .. } => assert_eq!(stream, "combined"),
+            other => panic!("expected chain error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undersized_nonfinal_frame_rejected() {
+        // Hand-build a section whose first frame claims fewer rows than
+        // frame_rows while more remain: the strict framing must refuse it.
+        let view = sample_view();
+        let mut buf = Vec::new();
+        write_snapshot_with_frame_rows(&mut buf, &view, 1).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let loosened = text.replace("frame_rows 1", "frame_rows 2");
+        let err = read_snapshot(loosened.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("non-final frame"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
@@ -714,28 +911,45 @@ mod tests {
     }
 
     #[test]
-    fn v1_views_still_write_the_v1_magic() {
-        let bytes = to_bytes(&sample_view());
+    fn legacy_writer_keeps_the_v1_magic_for_v1_views() {
+        let bytes = to_legacy_bytes(&sample_view());
         let first = bytes.split(|&b| b == b'\n').next().unwrap();
         assert_eq!(first, MAGIC_V1.as_bytes());
         assert!(!String::from_utf8(bytes).unwrap().contains("ckpt_fallbacks"));
     }
 
     #[test]
-    fn v2_round_trip_is_byte_identical() {
+    fn v1_snapshot_still_decodes() {
+        let view = sample_view();
+        let bytes = to_legacy_bytes(&view);
+        let back = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(back.jobs(), view.jobs());
+        assert_eq!(back.health_events(), view.health_events());
+        assert_eq!(to_legacy_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn v2_legacy_round_trip_is_byte_identical() {
         let view = sample_v2_view();
-        let bytes = to_bytes(&view);
+        let bytes = to_legacy_bytes(&view);
         let first = bytes.split(|&b| b == b'\n').next().unwrap();
         assert_eq!(first, MAGIC_V2.as_bytes());
         let back = read_snapshot(bytes.as_slice()).unwrap();
-        assert_eq!(to_bytes(&back), bytes);
+        assert_eq!(to_legacy_bytes(&back), bytes);
         assert_eq!(back.node_events(), view.node_events());
         assert_eq!(back.ckpt_fallbacks(), view.ckpt_fallbacks());
     }
 
     #[test]
+    fn current_writer_always_emits_v3() {
+        let bytes = to_bytes(&sample_v2_view());
+        let first = bytes.split(|&b| b == b'\n').next().unwrap();
+        assert_eq!(first, MAGIC_V3.as_bytes());
+    }
+
+    #[test]
     fn v1_header_rejects_v2_event_kinds() {
-        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let text = String::from_utf8(to_legacy_bytes(&sample_v2_view())).unwrap();
         // Forge a v1 header onto a stream carrying v2 vocabulary: the
         // version-gated parser must refuse the lifecycle kind.
         let forged = text.replace(MAGIC_V2, MAGIC_V1);
@@ -748,7 +962,7 @@ mod tests {
 
     #[test]
     fn unknown_kind_tag_rejected_in_v2() {
-        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let text = String::from_utf8(to_legacy_bytes(&sample_v2_view())).unwrap();
         let corrupted = text.replace("repair_escalated", "warp_drive_realigned");
         let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad node event kind"), "{err}");
@@ -757,14 +971,14 @@ mod tests {
     #[test]
     fn unknown_version_rejected() {
         let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
-        let bumped = text.replace(MAGIC_V2, "rsc-telemetry-snapshot v3");
+        let bumped = text.replace(MAGIC_V3, "rsc-telemetry-snapshot v4");
         let err = read_snapshot(bumped.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad header"), "{err}");
     }
 
     #[test]
     fn truncated_v2_stream_is_a_clean_error() {
-        let bytes = to_bytes(&sample_v2_view());
+        let bytes = to_legacy_bytes(&sample_v2_view());
         for cut in [0, 10, bytes.len() / 2, bytes.len() - 5] {
             let err = read_snapshot(&bytes[..cut]).unwrap_err();
             assert!(
@@ -776,7 +990,7 @@ mod tests {
 
     #[test]
     fn v2_requires_ckpt_fallbacks_section() {
-        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let text = String::from_utf8(to_legacy_bytes(&sample_v2_view())).unwrap();
         // Drop the ckpt_fallbacks section entirely: the v2 reader must not
         // silently accept a v1-shaped body.
         let gutted: String = text
@@ -793,7 +1007,7 @@ mod tests {
 
     #[test]
     fn corrupt_fallback_row_rejected() {
-        let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
+        let text = String::from_utf8(to_legacy_bytes(&sample_v2_view())).unwrap();
         let corrupted = text.replace("600,7,16,2,7200", "600,7,sixteen,2,7200");
         let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad gpus"), "{err}");

@@ -5,8 +5,25 @@
 //! Slurm accounting (`sacct`), fleet health-check events, node lifecycle
 //! transitions, user node-exclusion lists, and — unavailable in production
 //! but invaluable for validation — the ground-truth failure injections.
+//!
+//! Since the segmented-log refactor each stream is a
+//! [`SegmentedLog`](crate::segment::SegmentedLog) rather than a
+//! grow-forever `Vec`: appends land in a fixed-capacity active segment,
+//! full segments rotate and are sealed with a hash-chain checkpoint, and —
+//! when [`TelemetryStore::enable_spill`] is on — rotated segments are
+//! handed to a background writer so peak resident telemetry is bounded by
+//! the segment capacity. [`TelemetryStore::seal`] stitches the segments
+//! back into the contiguous, fully-indexed
+//! [`TelemetryView`](crate::view::TelemetryView) the analyses consume,
+//! re-verifying every spilled segment against its chain checkpoint.
 
 use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +32,9 @@ use rsc_failure::injector::FailureEvent;
 use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
 use rsc_sim_core::time::{SimDuration, SimTime};
+
+use crate::rows;
+use crate::segment::{Cursor, SegmentSeal, SegmentedLog, DEFAULT_SEGMENT_CAPACITY};
 
 /// A node lifecycle transition.
 ///
@@ -92,31 +112,335 @@ pub struct ExclusionEvent {
     pub at: SimTime,
 }
 
+/// Append/rotation accounting for one store, summed across its streams
+/// (the bench harness reports these as the seal-phase attribution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentStats {
+    /// Records per segment.
+    pub capacity: usize,
+    /// Segments rotated across all streams (excludes active tails).
+    pub rotations: u64,
+    /// Wall seconds spent batch-hashing at rotations.
+    pub rotate_s: f64,
+    /// Wall seconds spent in append calls — only measured after
+    /// [`TelemetryStore::enable_append_timing`], otherwise zero.
+    pub append_s: f64,
+}
+
+/// A rotated segment en route to the background spill writer.
+enum SpillJob {
+    Jobs(u64, Vec<JobRecord>),
+    Health(u64, Vec<HealthEvent>),
+    NodeEvents(u64, Vec<NodeEvent>),
+    Exclusions(u64, Vec<ExclusionEvent>),
+    Failures(u64, Vec<FailureEvent>),
+    CkptFallbacks(u64, Vec<CheckpointFallbackEvent>),
+}
+
+fn spill_path(dir: &Path, stream: &str, index: u64) -> PathBuf {
+    dir.join(format!("{stream}-{index:06}.seg"))
+}
+
+fn write_spill_segment<T>(
+    dir: &Path,
+    stream: &str,
+    index: u64,
+    records: &[T],
+    encode: impl Fn(&T) -> String,
+) -> io::Result<()> {
+    let mut text = String::new();
+    for r in records {
+        text.push_str(&encode(r));
+        text.push('\n');
+    }
+    fs::write(spill_path(dir, stream, index), text)
+}
+
+#[derive(Debug)]
+struct SpillState {
+    dir: PathBuf,
+    tx: Option<mpsc::Sender<SpillJob>>,
+    worker: Option<thread::JoinHandle<io::Result<()>>>,
+}
+
+impl SpillState {
+    fn start(dir: PathBuf) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        let (tx, rx) = mpsc::channel::<SpillJob>();
+        let worker_dir = dir.clone();
+        let worker = thread::Builder::new()
+            .name("telemetry-spill".to_string())
+            .spawn(move || -> io::Result<()> {
+                for job in rx {
+                    match job {
+                        SpillJob::Jobs(i, v) => {
+                            write_spill_segment(&worker_dir, "jobs", i, &v, rows::encode_job)?
+                        }
+                        SpillJob::Health(i, v) => {
+                            write_spill_segment(&worker_dir, "health", i, &v, rows::encode_health)?
+                        }
+                        SpillJob::NodeEvents(i, v) => write_spill_segment(
+                            &worker_dir,
+                            "node_events",
+                            i,
+                            &v,
+                            rows::encode_node_event,
+                        )?,
+                        SpillJob::Exclusions(i, v) => write_spill_segment(
+                            &worker_dir,
+                            "exclusions",
+                            i,
+                            &v,
+                            rows::encode_exclusion,
+                        )?,
+                        SpillJob::Failures(i, v) => write_spill_segment(
+                            &worker_dir,
+                            "failures",
+                            i,
+                            &v,
+                            rows::encode_failure,
+                        )?,
+                        SpillJob::CkptFallbacks(i, v) => write_spill_segment(
+                            &worker_dir,
+                            "ckpt_fallbacks",
+                            i,
+                            &v,
+                            rows::encode_ckpt_fallback,
+                        )?,
+                    }
+                }
+                Ok(())
+            })?;
+        Ok(SpillState {
+            dir,
+            tx: Some(tx),
+            worker: Some(worker),
+        })
+    }
+
+    fn send(&self, job: SpillJob) {
+        self.tx
+            .as_ref()
+            .expect("spill channel open while store is live")
+            .send(job)
+            .expect("telemetry spill worker died");
+    }
+
+    /// Closes the channel, joins the writer, and returns the spill
+    /// directory for reloading. Panics if the writer hit an I/O error —
+    /// the segments it failed to persist are unrecoverable.
+    fn finish(mut self) -> PathBuf {
+        drop(self.tx.take());
+        let worker = self.worker.take().expect("spill worker joined twice");
+        match worker.join() {
+            Ok(Ok(())) => self.dir,
+            Ok(Err(e)) => panic!("telemetry spill writer failed: {e}"),
+            Err(_) => panic!("telemetry spill writer panicked"),
+        }
+    }
+}
+
+fn load_spill_segment<T>(
+    dir: &Path,
+    stream: &str,
+    seal: &SegmentSeal,
+    decode: impl Fn(&str) -> Result<T, String>,
+) -> Vec<T> {
+    let path = spill_path(dir, stream, seal.index);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading spilled segment {}: {e}", path.display()));
+    let records: Vec<T> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            decode(line)
+                .unwrap_or_else(|msg| panic!("spill {} line {}: {msg}", path.display(), i + 1))
+        })
+        .collect();
+    let _ = fs::remove_file(&path);
+    records
+}
+
 /// All telemetry collected from one simulated cluster run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct TelemetryStore {
     cluster_name: String,
     num_nodes: u32,
     horizon: SimTime,
-    jobs: Vec<JobRecord>,
-    health_events: Vec<HealthEvent>,
-    node_events: Vec<NodeEvent>,
-    exclusions: Vec<ExclusionEvent>,
-    ground_truth_failures: Vec<FailureEvent>,
-    #[serde(default)]
-    ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
+    jobs: SegmentedLog<JobRecord>,
+    health_events: SegmentedLog<HealthEvent>,
+    node_events: SegmentedLog<NodeEvent>,
+    exclusions: SegmentedLog<ExclusionEvent>,
+    ground_truth_failures: SegmentedLog<FailureEvent>,
+    ckpt_fallbacks: SegmentedLog<CheckpointFallbackEvent>,
     gpu_swaps: u64,
-    #[serde(skip)]
     node_health_index: Option<HashMap<NodeId, Vec<usize>>>,
+    spill: Option<SpillState>,
+    time_appends: bool,
+    append_nanos: u64,
+}
+
+impl Default for TelemetryStore {
+    fn default() -> Self {
+        TelemetryStore::with_segment_capacity(String::new(), 0, DEFAULT_SEGMENT_CAPACITY)
+    }
+}
+
+impl Clone for TelemetryStore {
+    /// Clones the resident store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spilling is enabled — the spill worker and its files
+    /// belong to one store.
+    fn clone(&self) -> Self {
+        assert!(
+            self.spill.is_none(),
+            "cannot clone a store with spilling enabled"
+        );
+        TelemetryStore {
+            cluster_name: self.cluster_name.clone(),
+            num_nodes: self.num_nodes,
+            horizon: self.horizon,
+            jobs: self.jobs.clone(),
+            health_events: self.health_events.clone(),
+            node_events: self.node_events.clone(),
+            exclusions: self.exclusions.clone(),
+            ground_truth_failures: self.ground_truth_failures.clone(),
+            ckpt_fallbacks: self.ckpt_fallbacks.clone(),
+            gpu_swaps: self.gpu_swaps,
+            node_health_index: self.node_health_index.clone(),
+            spill: None,
+            time_appends: self.time_appends,
+            append_nanos: self.append_nanos,
+        }
+    }
 }
 
 impl TelemetryStore {
-    /// Creates an empty store for a cluster.
+    /// Creates an empty store for a cluster with the default segment
+    /// capacity ([`DEFAULT_SEGMENT_CAPACITY`]).
     pub fn new(cluster_name: impl Into<String>, num_nodes: u32) -> Self {
+        TelemetryStore::with_segment_capacity(cluster_name, num_nodes, DEFAULT_SEGMENT_CAPACITY)
+    }
+
+    /// Creates an empty store whose streams rotate every `capacity`
+    /// records. `usize::MAX` never rotates (the monolithic twin the
+    /// lockstep tests compare against).
+    pub fn with_segment_capacity(
+        cluster_name: impl Into<String>,
+        num_nodes: u32,
+        capacity: usize,
+    ) -> Self {
         TelemetryStore {
             cluster_name: cluster_name.into(),
             num_nodes,
-            ..TelemetryStore::default()
+            horizon: SimTime::ZERO,
+            jobs: SegmentedLog::new(capacity),
+            health_events: SegmentedLog::new(capacity),
+            node_events: SegmentedLog::new(capacity),
+            exclusions: SegmentedLog::new(capacity),
+            ground_truth_failures: SegmentedLog::new(capacity),
+            ckpt_fallbacks: SegmentedLog::new(capacity),
+            gpu_swaps: 0,
+            node_health_index: None,
+            spill: None,
+            time_appends: false,
+            append_nanos: 0,
+        }
+    }
+
+    /// Replaces the segment capacity of an *empty* store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stream already holds records (their segments are
+    /// already chained at the old capacity).
+    pub fn set_segment_capacity(&mut self, capacity: usize) {
+        assert!(
+            self.jobs.is_empty()
+                && self.health_events.is_empty()
+                && self.node_events.is_empty()
+                && self.exclusions.is_empty()
+                && self.ground_truth_failures.is_empty()
+                && self.ckpt_fallbacks.is_empty(),
+            "segment capacity can only change on an empty store"
+        );
+        self.jobs = SegmentedLog::new(capacity);
+        self.health_events = SegmentedLog::new(capacity);
+        self.node_events = SegmentedLog::new(capacity);
+        self.exclusions = SegmentedLog::new(capacity);
+        self.ground_truth_failures = SegmentedLog::new(capacity);
+        self.ckpt_fallbacks = SegmentedLog::new(capacity);
+    }
+
+    /// Spills rotated segments to files under `dir` from a background
+    /// writer thread, bounding peak resident telemetry by the segment
+    /// capacity. [`Self::seal`] reloads and chain-verifies every spilled
+    /// segment; until then the random-access queries
+    /// ([`Self::health_events_for_node`]) and cursors are unavailable for
+    /// spilled ranges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures creating `dir` or spawning the writer.
+    pub fn enable_spill(&mut self, dir: impl Into<PathBuf>) -> io::Result<()> {
+        assert!(self.spill.is_none(), "spill already enabled");
+        let spill = SpillState::start(dir.into())?;
+        // Flush segments that sealed before spilling was enabled, so the
+        // spilled range is always a contiguous stream prefix.
+        while let Some(idx) = self.jobs.next_unspilled_segment() {
+            let (seal, records) = self.jobs.take_segment(idx);
+            spill.send(SpillJob::Jobs(seal.index, records));
+        }
+        while let Some(idx) = self.health_events.next_unspilled_segment() {
+            let (seal, records) = self.health_events.take_segment(idx);
+            spill.send(SpillJob::Health(seal.index, records));
+        }
+        while let Some(idx) = self.node_events.next_unspilled_segment() {
+            let (seal, records) = self.node_events.take_segment(idx);
+            spill.send(SpillJob::NodeEvents(seal.index, records));
+        }
+        while let Some(idx) = self.exclusions.next_unspilled_segment() {
+            let (seal, records) = self.exclusions.take_segment(idx);
+            spill.send(SpillJob::Exclusions(seal.index, records));
+        }
+        while let Some(idx) = self.ground_truth_failures.next_unspilled_segment() {
+            let (seal, records) = self.ground_truth_failures.take_segment(idx);
+            spill.send(SpillJob::Failures(seal.index, records));
+        }
+        while let Some(idx) = self.ckpt_fallbacks.next_unspilled_segment() {
+            let (seal, records) = self.ckpt_fallbacks.take_segment(idx);
+            spill.send(SpillJob::CkptFallbacks(seal.index, records));
+        }
+        self.spill = Some(spill);
+        Ok(())
+    }
+
+    /// Measures wall time spent inside append calls from now on (for the
+    /// bench harness's seal attribution; off by default because it puts
+    /// two clock reads on every append).
+    pub fn enable_append_timing(&mut self) {
+        self.time_appends = true;
+    }
+
+    /// Append/rotation accounting summed across the six streams.
+    pub fn segment_stats(&self) -> SegmentStats {
+        SegmentStats {
+            capacity: self.jobs.capacity(),
+            rotations: self.jobs.rotations()
+                + self.health_events.rotations()
+                + self.node_events.rotations()
+                + self.exclusions.rotations()
+                + self.ground_truth_failures.rotations()
+                + self.ckpt_fallbacks.rotations(),
+            rotate_s: self.jobs.rotate_seconds()
+                + self.health_events.rotate_seconds()
+                + self.node_events.rotate_seconds()
+                + self.exclusions.rotate_seconds()
+                + self.ground_truth_failures.rotate_seconds()
+                + self.ckpt_fallbacks.rotate_seconds(),
+            append_s: self.append_nanos as f64 / 1e9,
         }
     }
 
@@ -151,71 +475,155 @@ impl TelemetryStore {
         self.gpu_swaps = swaps;
     }
 
+    #[inline]
+    fn append_timer(&self) -> Option<Instant> {
+        self.time_appends.then(Instant::now)
+    }
+
+    #[inline]
+    fn note_append(&mut self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.append_nanos += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
     /// Appends a job accounting record.
     pub fn push_job(&mut self, record: JobRecord) {
-        self.jobs.push(record);
+        let t0 = self.append_timer();
+        if let Some(idx) = self.jobs.push(record) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.jobs.take_segment(idx);
+                spill.send(SpillJob::Jobs(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
     /// Appends many job records.
     pub fn extend_jobs<I: IntoIterator<Item = JobRecord>>(&mut self, records: I) {
-        self.jobs.extend(records);
+        let t0 = self.append_timer();
+        for idx in self.jobs.extend(records) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.jobs.take_segment(idx);
+                spill.send(SpillJob::Jobs(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
     /// Appends a health event, invalidating the per-node index.
     pub fn push_health_event(&mut self, event: HealthEvent) {
+        let t0 = self.append_timer();
         self.node_health_index = None;
-        self.health_events.push(event);
+        if let Some(idx) = self.health_events.push(event) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.health_events.take_segment(idx);
+                spill.send(SpillJob::Health(seal.index, records));
+            }
+        }
+        self.note_append(t0);
+    }
+
+    /// Appends many health events, invalidating the per-node index once.
+    pub fn extend_health_events<I: IntoIterator<Item = HealthEvent>>(&mut self, events: I) {
+        let t0 = self.append_timer();
+        self.node_health_index = None;
+        for idx in self.health_events.extend(events) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.health_events.take_segment(idx);
+                spill.send(SpillJob::Health(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
     /// Appends a node lifecycle event.
     pub fn push_node_event(&mut self, event: NodeEvent) {
-        self.node_events.push(event);
+        let t0 = self.append_timer();
+        if let Some(idx) = self.node_events.push(event) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.node_events.take_segment(idx);
+                spill.send(SpillJob::NodeEvents(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
     /// Appends a user node-exclusion event.
     pub fn push_exclusion(&mut self, event: ExclusionEvent) {
-        self.exclusions.push(event);
+        let t0 = self.append_timer();
+        if let Some(idx) = self.exclusions.push(event) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.exclusions.take_segment(idx);
+                spill.send(SpillJob::Exclusions(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
     /// Appends a ground-truth failure injection.
     pub fn push_ground_truth(&mut self, event: FailureEvent) {
-        self.ground_truth_failures.push(event);
+        let t0 = self.append_timer();
+        if let Some(idx) = self.ground_truth_failures.push(event) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.ground_truth_failures.take_segment(idx);
+                spill.send(SpillJob::Failures(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
     /// Appends a checkpoint-fallback event.
     pub fn push_ckpt_fallback(&mut self, event: CheckpointFallbackEvent) {
-        self.ckpt_fallbacks.push(event);
+        let t0 = self.append_timer();
+        if let Some(idx) = self.ckpt_fallbacks.push(event) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.ckpt_fallbacks.take_segment(idx);
+                spill.send(SpillJob::CkptFallbacks(seal.index, records));
+            }
+        }
+        self.note_append(t0);
     }
 
-    /// All job accounting records, in completion order.
-    pub fn jobs(&self) -> &[JobRecord] {
-        &self.jobs
+    /// Cursor over job accounting records, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Cursors require resident records: panics if spilling has rotated
+    /// any segment of the stream out of memory (seal the store first).
+    pub fn jobs(&self) -> Cursor<'_, JobRecord> {
+        self.jobs.cursor()
     }
 
-    /// All health events, in detection order.
-    pub fn health_events(&self) -> &[HealthEvent] {
-        &self.health_events
+    /// Cursor over health events, in detection order (panics if spilled;
+    /// see [`Self::jobs`]).
+    pub fn health_events(&self) -> Cursor<'_, HealthEvent> {
+        self.health_events.cursor()
     }
 
-    /// All node lifecycle events.
-    pub fn node_events(&self) -> &[NodeEvent] {
-        &self.node_events
+    /// Cursor over node lifecycle events (panics if spilled; see
+    /// [`Self::jobs`]).
+    pub fn node_events(&self) -> Cursor<'_, NodeEvent> {
+        self.node_events.cursor()
     }
 
-    /// All user node exclusions.
-    pub fn exclusions(&self) -> &[ExclusionEvent] {
-        &self.exclusions
+    /// Cursor over user node exclusions (panics if spilled; see
+    /// [`Self::jobs`]).
+    pub fn exclusions(&self) -> Cursor<'_, ExclusionEvent> {
+        self.exclusions.cursor()
     }
 
-    /// Ground-truth failure injections (not available to "operators";
-    /// used to validate attribution and detection).
-    pub fn ground_truth_failures(&self) -> &[FailureEvent] {
-        &self.ground_truth_failures
+    /// Cursor over ground-truth failure injections (not available to
+    /// "operators"; used to validate attribution and detection). Panics
+    /// if spilled; see [`Self::jobs`].
+    pub fn ground_truth_failures(&self) -> Cursor<'_, FailureEvent> {
+        self.ground_truth_failures.cursor()
     }
 
-    /// All checkpoint-fallback events, in occurrence order.
-    pub fn ckpt_fallbacks(&self) -> &[CheckpointFallbackEvent] {
-        &self.ckpt_fallbacks
+    /// Cursor over checkpoint-fallback events, in occurrence order
+    /// (panics if spilled; see [`Self::jobs`]).
+    pub fn ckpt_fallbacks(&self) -> Cursor<'_, CheckpointFallbackEvent> {
+        self.ckpt_fallbacks.cursor()
     }
 
     /// Health events on `node` within `[from, to]`, in time order.
@@ -233,7 +641,7 @@ impl TelemetryStore {
         match index.get(&node) {
             Some(idxs) => idxs
                 .iter()
-                .map(|&i| &self.health_events[i])
+                .map(|&i| self.health_events.get(i))
                 .filter(|e| e.at >= from && e.at <= to)
                 .collect(),
             None => Vec::new(),
@@ -246,7 +654,7 @@ impl TelemetryStore {
             return;
         }
         let mut index: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, e) in self.health_events.iter().enumerate() {
+        for (i, e) in self.health_events.cursor().enumerate() {
             index.entry(e.node).or_default().push(i);
         }
         self.node_health_index = Some(index);
@@ -255,21 +663,66 @@ impl TelemetryStore {
     /// Seals the store into an immutable, fully-indexed
     /// [`TelemetryView`](crate::view::TelemetryView).
     ///
-    /// Sealing consumes the writer: after this point no events can be
-    /// appended, window queries are `&self` binary searches, and the view
+    /// Sealing consumes the writer: each stream's chain is finished over
+    /// its active tail, spilled segments are reloaded and re-verified
+    /// against their seals, and the contiguous streams are indexed. After
+    /// this point window queries are `&self` binary searches and the view
     /// can be shared freely across analyses and threads.
-    pub fn seal(self) -> crate::view::TelemetryView {
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spilled segment cannot be read back or fails chain
+    /// verification (a corrupted or foreign spill file).
+    pub fn seal(mut self) -> crate::view::TelemetryView {
+        let dir = self.spill.take().map(SpillState::finish);
+        let dir_ref = dir.as_deref();
+        let (jobs, jobs_head) = self.jobs.into_contiguous(|seal| {
+            let dir = dir_ref.expect("segment spilled without spill dir");
+            load_spill_segment(dir, "jobs", seal, rows::decode_job)
+        });
+        let (health_events, health_head) = self.health_events.into_contiguous(|seal| {
+            let dir = dir_ref.expect("segment spilled without spill dir");
+            load_spill_segment(dir, "health", seal, rows::decode_health)
+        });
+        let (node_events, node_head) = self.node_events.into_contiguous(|seal| {
+            let dir = dir_ref.expect("segment spilled without spill dir");
+            load_spill_segment(dir, "node_events", seal, |row| {
+                rows::decode_node_event(row, crate::snapshot::SNAPSHOT_VERSION)
+            })
+        });
+        let (exclusions, exclusion_head) = self.exclusions.into_contiguous(|seal| {
+            let dir = dir_ref.expect("segment spilled without spill dir");
+            load_spill_segment(dir, "exclusions", seal, rows::decode_exclusion)
+        });
+        let (ground_truth_failures, failure_head) =
+            self.ground_truth_failures.into_contiguous(|seal| {
+                let dir = dir_ref.expect("segment spilled without spill dir");
+                load_spill_segment(dir, "failures", seal, rows::decode_failure)
+            });
+        let (ckpt_fallbacks, ckpt_head) = self.ckpt_fallbacks.into_contiguous(|seal| {
+            let dir = dir_ref.expect("segment spilled without spill dir");
+            load_spill_segment(dir, "ckpt_fallbacks", seal, rows::decode_ckpt_fallback)
+        });
+
         crate::view::TelemetryView::from_parts(
             self.cluster_name,
             self.num_nodes,
             self.horizon,
-            self.jobs,
-            self.health_events,
-            self.node_events,
-            self.exclusions,
-            self.ground_truth_failures,
-            self.ckpt_fallbacks,
+            jobs,
+            health_events,
+            node_events,
+            exclusions,
+            ground_truth_failures,
+            ckpt_fallbacks,
             self.gpu_swaps,
+            [
+                jobs_head,
+                health_head,
+                node_head,
+                exclusion_head,
+                failure_head,
+                ckpt_head,
+            ],
         )
     }
 
@@ -277,7 +730,7 @@ impl TelemetryStore {
     /// denominator), restricted to jobs using more than `min_gpus` GPUs.
     pub fn node_days_of_runtime(&self, min_gpus: u32) -> f64 {
         self.jobs
-            .iter()
+            .cursor()
             .filter(|r| r.gpus > min_gpus)
             .map(|r| r.node_days())
             .sum()
@@ -335,6 +788,17 @@ mod tests {
     }
 
     #[test]
+    fn window_query_spans_segment_boundaries() {
+        let mut store = TelemetryStore::with_segment_capacity("t", 4, 3);
+        for i in 0..10 {
+            store.push_health_event(health_event(1, 100 * (i + 1)));
+        }
+        let hits = store.health_events_for_node(NodeId::new(1), SimTime::ZERO, SimTime::MAX);
+        assert_eq!(hits.len(), 10);
+        assert_eq!(store.segment_stats().rotations, 3);
+    }
+
+    #[test]
     fn index_invalidated_on_push() {
         let mut store = TelemetryStore::new("t", 4);
         store.push_health_event(health_event(1, 100));
@@ -359,5 +823,60 @@ mod tests {
         assert!(store
             .health_events_for_node(NodeId::new(3), SimTime::ZERO, SimTime::MAX)
             .is_empty());
+    }
+
+    #[test]
+    fn sealing_a_segmented_store_matches_monolithic() {
+        let fill = |capacity: usize| {
+            let mut store = TelemetryStore::with_segment_capacity("twin", 8, capacity);
+            for i in 0..25u64 {
+                store.push_health_event(health_event((i % 8) as u32, i * 10));
+                store.push_job(job_record(8, 1, 1 + i % 3));
+            }
+            store
+        };
+        let seg = fill(4);
+        assert!(seg.segment_stats().rotations > 0);
+        let mono = fill(usize::MAX);
+        assert_eq!(mono.segment_stats().rotations, 0);
+        let seg_view = seg.seal();
+        let mono_view = mono.seal();
+        assert_eq!(seg_view.health_events(), mono_view.health_events());
+        assert_eq!(seg_view.jobs(), mono_view.jobs());
+        assert_eq!(seg_view.chain_heads(), mono_view.chain_heads());
+    }
+
+    #[test]
+    fn spilled_store_seals_to_the_same_view() {
+        let dir = std::env::temp_dir().join(format!("rsc-spill-test-{}", std::process::id()));
+        let fill = |spill: Option<&Path>| {
+            let mut store = TelemetryStore::with_segment_capacity("sp", 8, 5);
+            if let Some(dir) = spill {
+                store.enable_spill(dir).unwrap();
+            }
+            for i in 0..23u64 {
+                store.push_health_event(health_event((i % 8) as u32, i * 10));
+                store.push_node_event(NodeEvent {
+                    node: NodeId::new((i % 8) as u32),
+                    at: SimTime::from_secs(i * 11),
+                    kind: NodeEventKind::Drain,
+                });
+            }
+            store.seal()
+        };
+        let spilled = fill(Some(&dir));
+        let resident = fill(None);
+        assert_eq!(spilled.health_events(), resident.health_events());
+        assert_eq!(spilled.node_events(), resident.node_events());
+        assert_eq!(spilled.chain_heads(), resident.chain_heads());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn capacity_change_on_nonempty_store_panics() {
+        let mut store = TelemetryStore::new("t", 4);
+        store.push_health_event(health_event(0, 1));
+        store.set_segment_capacity(16);
     }
 }

@@ -33,6 +33,11 @@ pub struct TelemetryView {
     ground_truth_failures: Vec<FailureEvent>,
     ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
     gpu_swaps: u64,
+    /// Chain heads of the six streams (jobs, health, node events,
+    /// exclusions, failures, ckpt fallbacks) — the running content-hash
+    /// digests computed by the segmented store at seal time. Independent
+    /// of the segment capacity the run used.
+    chain_heads: [u64; 6],
     /// Per node: indices into `health_events`, sorted by (time, position).
     node_health_index: HashMap<NodeId, Vec<usize>>,
 }
@@ -124,6 +129,7 @@ impl TelemetryView {
         ground_truth_failures: Vec<FailureEvent>,
         ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
         gpu_swaps: u64,
+        chain_heads: [u64; 6],
     ) -> Self {
         let index = build_health_index(num_nodes, &health_events);
         TelemetryView {
@@ -137,8 +143,17 @@ impl TelemetryView {
             ground_truth_failures,
             ckpt_fallbacks,
             gpu_swaps,
+            chain_heads,
             node_health_index: index,
         }
+    }
+
+    /// Chain heads of the six streams, in snapshot section order: jobs,
+    /// health, node events, exclusions, failures, ckpt fallbacks. Two
+    /// views of the same records have the same heads regardless of the
+    /// segment capacity (or spill setting) their stores ran with.
+    pub fn chain_heads(&self) -> [u64; 6] {
+        self.chain_heads
     }
 
     /// The cluster this telemetry came from.
@@ -374,8 +389,8 @@ mod tests {
         store.push_health_event(health_event(1, 10));
         let view = store.clone().seal();
         let back = view.to_store();
-        assert_eq!(back.jobs(), store.jobs());
-        assert_eq!(back.health_events(), store.health_events());
+        assert!(back.jobs().eq(store.jobs()));
+        assert!(back.health_events().eq(store.health_events()));
         assert_eq!(back.horizon(), store.horizon());
     }
 

@@ -1,0 +1,217 @@
+//! Corruption-injection suite for the version-3 snapshot codec.
+//!
+//! The v3 format chains every stream from [`GENESIS`] with per-frame
+//! checkpoints plus a combined trailing head, so any byte-level tampering
+//! must surface as a typed [`SnapshotError`] — never a panic, and never a
+//! silently-different view. Each property here injects one class of damage
+//! the chain was designed to catch: single bit flips, truncation, frame
+//! reordering, and cross-snapshot frame/chain splices.
+//!
+//! [`GENESIS`]: rsc_telemetry::GENESIS
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::NodeId;
+use rsc_failure::injector::FailureEvent;
+use rsc_failure::modes::{ModeId, Severity};
+use rsc_failure::taxonomy::FailureSymptom;
+use rsc_health::check::CheckKind;
+use rsc_health::monitor::HealthEvent;
+use rsc_sim_core::time::SimTime;
+use rsc_telemetry::snapshot::{read_snapshot, write_snapshot_with_frame_rows, SnapshotError};
+use rsc_telemetry::store::TelemetryStore;
+use rsc_telemetry::view::TelemetryView;
+
+/// A view whose records are all distinct (strictly increasing timestamps
+/// offset by `base`), so no two frames can ever hold identical bytes and a
+/// reorder is always a real change.
+fn build_view(base: u64, health: usize, failures: usize) -> TelemetryView {
+    let mut store = TelemetryStore::new("corrupt-me", 64);
+    for i in 0..health {
+        store.push_health_event(HealthEvent {
+            at: SimTime::from_secs(base + 7 * i as u64),
+            node: NodeId::new((i % 64) as u32),
+            check: CheckKind::ALL[i % CheckKind::ALL.len()],
+            severity: if i % 3 == 0 {
+                Severity::High
+            } else {
+                Severity::Low
+            },
+            signal: None,
+            false_positive: i % 2 == 0,
+        });
+    }
+    for i in 0..failures {
+        store.push_ground_truth(FailureEvent {
+            at: SimTime::from_secs(base + 11 * i as u64),
+            node: NodeId::new((i % 64) as u32),
+            mode: ModeId(i % 5),
+            symptom: FailureSymptom::ALL[i % FailureSymptom::ALL.len()],
+            permanent: i % 2 == 1,
+        });
+    }
+    store.set_horizon(SimTime::from_secs(base + 1_000_000));
+    store.seal()
+}
+
+fn snapshot_bytes(view: &TelemetryView, frame_rows: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_snapshot_with_frame_rows(&mut bytes, view, frame_rows).expect("in-memory write");
+    bytes
+}
+
+/// The `health` section's frame blocks as `(first_line, line_count)` spans
+/// over `lines` — each span covers one `frame` line plus its rows.
+fn health_frame_blocks(lines: &[String]) -> Vec<(usize, usize)> {
+    let header = lines
+        .iter()
+        .position(|l| l.starts_with("health "))
+        .expect("health section header");
+    let mut blocks = Vec::new();
+    let mut i = header + 1;
+    while i < lines.len() && lines[i].starts_with("frame ") {
+        let rows: usize = lines[i]
+            .split(' ')
+            .nth(1)
+            .expect("frame line has a row count")
+            .parse()
+            .expect("frame row count parses");
+        blocks.push((i, rows + 1));
+        i += rows + 1;
+    }
+    blocks
+}
+
+fn to_lines(bytes: &[u8]) -> Vec<String> {
+    String::from_utf8(bytes.to_vec())
+        .expect("snapshot is utf-8")
+        .split('\n')
+        .map(str::to_string)
+        .collect()
+}
+
+fn from_lines(lines: &[String]) -> Vec<u8> {
+    lines.join("\n").into_bytes()
+}
+
+proptest! {
+    /// Flipping any single bit anywhere in a v3 snapshot yields a typed
+    /// error: header bytes feed the combined chain, rows feed their frame
+    /// checkpoint, and digest/keyword lines fail to parse. Never a panic,
+    /// never a silently-accepted view.
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        health in 1usize..40,
+        failures in 0usize..20,
+        frame_rows in 1usize..5,
+        raw_pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let view = build_view(1_000, health, failures);
+        let mut bytes = snapshot_bytes(&view, frame_rows);
+        let pos = raw_pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match read_snapshot(bytes.as_slice()) {
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+            Ok(_) => prop_assert!(
+                false,
+                "bit {bit} of byte {pos} flipped without being detected"
+            ),
+        }
+    }
+
+    /// Any truncation that loses part of the snapshot (everything short of
+    /// dropping only the final newline) is rejected.
+    #[test]
+    fn truncation_is_rejected(
+        health in 1usize..40,
+        failures in 0usize..20,
+        frame_rows in 1usize..5,
+        raw_pos in any::<usize>(),
+    ) {
+        let view = build_view(1_000, health, failures);
+        let mut bytes = snapshot_bytes(&view, frame_rows);
+        // `len - 1` keeps `end` intact with only the newline gone, which
+        // still reads; everything shorter must fail.
+        bytes.truncate(raw_pos % (bytes.len() - 1));
+        prop_assert!(read_snapshot(bytes.as_slice()).is_err());
+    }
+
+    /// Swapping two frames of a stream breaks the running chain at the
+    /// first swapped checkpoint: the digest stored with a frame covers the
+    /// whole stream prefix, so frames are position-locked.
+    #[test]
+    fn frame_reorder_is_a_chain_error(
+        frame_rows in 1usize..5,
+        extra in 0usize..4,
+        failures in 0usize..10,
+    ) {
+        let view = build_view(1_000, frame_rows * 2 + extra, failures);
+        let lines = to_lines(&snapshot_bytes(&view, frame_rows));
+        let blocks = health_frame_blocks(&lines);
+        prop_assert!(blocks.len() >= 2);
+        let (a_start, a_len) = blocks[0];
+        let (b_start, b_len) = blocks[1];
+        let mut reordered: Vec<String> = lines[..a_start].to_vec();
+        reordered.extend_from_slice(&lines[b_start..b_start + b_len]);
+        reordered.extend_from_slice(&lines[a_start..a_start + a_len]);
+        reordered.extend_from_slice(&lines[b_start + b_len..]);
+        let bytes = from_lines(&reordered);
+        match read_snapshot(bytes.as_slice()) {
+            Err(SnapshotError::Chain { stream, .. }) => prop_assert_eq!(stream, "health"),
+            other => prop_assert!(false, "reorder not caught as a chain error: {:?}", other.err()),
+        }
+    }
+
+    /// Splicing a frame from another (internally consistent) snapshot into
+    /// this one is caught: mid-stream the next checkpoint mismatches, and a
+    /// spliced first-and-only frame shifts the stream head so the combined
+    /// chain line fails instead.
+    #[test]
+    fn cross_snapshot_frame_splice_is_a_chain_error(
+        frame_rows in 1usize..5,
+        nframes in 1usize..3,
+        splice_idx in any::<usize>(),
+    ) {
+        let count = frame_rows * nframes;
+        let ours = to_lines(&snapshot_bytes(&build_view(1_000, count, 0), frame_rows));
+        let theirs = to_lines(&snapshot_bytes(&build_view(500_000, count, 0), frame_rows));
+        let our_blocks = health_frame_blocks(&ours);
+        let their_blocks = health_frame_blocks(&theirs);
+        prop_assert_eq!(our_blocks.len(), their_blocks.len());
+        let k = splice_idx % our_blocks.len();
+        let (o_start, o_len) = our_blocks[k];
+        let (t_start, t_len) = their_blocks[k];
+        let mut spliced: Vec<String> = ours[..o_start].to_vec();
+        spliced.extend_from_slice(&theirs[t_start..t_start + t_len]);
+        spliced.extend_from_slice(&ours[o_start + o_len..]);
+        let bytes = from_lines(&spliced);
+        match read_snapshot(bytes.as_slice()) {
+            Err(SnapshotError::Chain { .. }) => {}
+            other => prop_assert!(false, "splice not caught as a chain error: {:?}", other.err()),
+        }
+    }
+}
+
+/// Grafting the trailing `chain` line from another snapshot fails with a
+/// combined-chain error even when every stream section is untouched.
+#[test]
+fn spliced_combined_chain_line_is_rejected() {
+    let mut ours = to_lines(&snapshot_bytes(&build_view(1_000, 10, 5), 4));
+    let theirs = to_lines(&snapshot_bytes(&build_view(500_000, 10, 5), 4));
+    let chain_at = ours
+        .iter()
+        .position(|l| l.starts_with("chain "))
+        .expect("chain line");
+    let their_chain = theirs
+        .iter()
+        .find(|l| l.starts_with("chain "))
+        .expect("chain line")
+        .clone();
+    assert_ne!(ours[chain_at], their_chain);
+    ours[chain_at] = their_chain;
+    match read_snapshot(from_lines(&ours).as_slice()) {
+        Err(SnapshotError::Chain { stream, .. }) => assert_eq!(stream, "combined"),
+        other => panic!("spliced chain line not caught: {:?}", other.err()),
+    }
+}

@@ -143,7 +143,8 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("out") {
         let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         let mut w = BufWriter::new(file);
-        export_jobs(&mut w, store.jobs()).map_err(|e| format!("write {path}: {e}"))?;
+        let jobs: Vec<_> = store.jobs().cloned().collect();
+        export_jobs(&mut w, &jobs).map_err(|e| format!("write {path}: {e}"))?;
         println!("trace written to {path}");
     }
     Ok(())

@@ -56,8 +56,8 @@ fn all_streams_identical_across_runs() {
     // Exported bytes, too.
     let mut ba = Vec::new();
     let mut bb = Vec::new();
-    export_jobs(&mut ba, a.jobs()).unwrap();
-    export_jobs(&mut bb, b.jobs()).unwrap();
+    export_jobs(&mut ba, &a.jobs().to_vec()).unwrap();
+    export_jobs(&mut bb, &b.jobs().to_vec()).unwrap();
     assert_eq!(ba, bb);
 }
 
@@ -125,8 +125,8 @@ fn seed_isolation_between_subsystems() {
     // from a (forked, independent) RNG.
     let a = run(42, 0);
     let b = run(42, 3);
-    let first_a: Vec<_> = a.jobs().iter().map(|r| (r.job, r.gpus)).take(50).collect();
-    let first_b: Vec<_> = b.jobs().iter().map(|r| (r.job, r.gpus)).take(50).collect();
+    let first_a: Vec<_> = a.jobs().map(|r| (r.job, r.gpus)).take(50).collect();
+    let first_b: Vec<_> = b.jobs().map(|r| (r.job, r.gpus)).take(50).collect();
     // Job ids and sizes submitted early agree (the dynamics diverge later
     // as lemon failures reorder completions).
     let agreement = first_a.iter().filter(|x| first_b.contains(x)).count();

@@ -1,0 +1,144 @@
+//! Segmented-vs-monolithic lockstep twins.
+//!
+//! The telemetry store records into fixed-capacity hash-chained segments,
+//! but segmentation is purely an implementation detail of the hot path:
+//! the sealed view, its v3 snapshot bytes, and every analysis derived from
+//! them must be exactly what a monolithic (never-rotating) store would
+//! produce. These tests run same-seed twins at several segment capacities
+//! — including one small enough to force many mid-run rotations and one
+//! with background spill enabled — and pin the bytes and the derived
+//! numbers (MTTF with CIs, `r_f`, ETTR, availability, lemon features)
+//! bitwise across all of them.
+
+use rsc_reliability::analysis::attribution::AttributionConfig;
+use rsc_reliability::analysis::availability::fleet_availability;
+use rsc_reliability::analysis::ettr::jobrun::{
+    ettr_by_size_bucket, long_high_priority_runs, reconstruct_job_runs,
+};
+use rsc_reliability::analysis::lemon::compute_features;
+use rsc_reliability::analysis::mttf::{estimate_node_failure_rate, mttf_by_job_size, FailureScope};
+use rsc_reliability::sim::{ClusterSim, SimConfig};
+use rsc_reliability::simcore::time::{SimDuration, SimTime};
+use rsc_reliability::telemetry::snapshot::write_snapshot;
+use rsc_reliability::telemetry::TelemetryView;
+
+const SEEDS: [u64; 2] = [777, 31_415];
+const DAYS: u64 = 10;
+
+/// Runs a pinned-seed twin at the given segment capacity (`None` keeps the
+/// store default), returning the sealed view plus the mid-run rotation
+/// count observed before sealing.
+fn run_twin(
+    seed: u64,
+    capacity: Option<usize>,
+    spill: Option<&std::path::Path>,
+) -> (TelemetryView, u64) {
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), seed);
+    if let Some(cap) = capacity {
+        sim.set_telemetry_segment_capacity(cap);
+    }
+    if let Some(dir) = spill {
+        sim.enable_telemetry_spill(dir).expect("spill dir");
+    }
+    sim.run(SimDuration::from_days(DAYS));
+    let rotations = sim.telemetry_segment_stats().rotations;
+    (sim.into_telemetry().seal(), rotations)
+}
+
+fn snapshot_bytes(view: &TelemetryView) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, view).unwrap();
+    buf
+}
+
+/// Every derived analysis the paper's figures rest on, bundled so twin
+/// comparisons are a single `assert_eq!` with bitwise float semantics.
+#[derive(Debug, PartialEq)]
+struct DerivedAnalyses {
+    mttf_all: Vec<rsc_reliability::analysis::mttf::MttfPoint>,
+    mttf_infra: Vec<rsc_reliability::analysis::mttf::MttfPoint>,
+    r_f: f64,
+    ettr: Vec<rsc_reliability::analysis::ettr::jobrun::EttrBucket>,
+    availability: rsc_reliability::analysis::availability::FleetAvailability,
+    lemons: Vec<rsc_reliability::analysis::lemon::LemonFeatures>,
+}
+
+fn derive(view: &TelemetryView) -> DerivedAnalyses {
+    let config = AttributionConfig::default();
+    let runs = reconstruct_job_runs(view);
+    let long = long_high_priority_runs(&runs, SimDuration::from_days(1));
+    DerivedAnalyses {
+        mttf_all: mttf_by_job_size(view, FailureScope::AllFailures, &config),
+        mttf_infra: mttf_by_job_size(view, FailureScope::InfraOnly, &config),
+        r_f: estimate_node_failure_rate(view, &config, 0),
+        ettr: ettr_by_size_bucket(&long, SimDuration::from_mins(30), SimDuration::from_mins(5)),
+        availability: fleet_availability(view),
+        lemons: compute_features(view, SimTime::from_secs(0), view.horizon()),
+    }
+}
+
+#[test]
+fn snapshot_bytes_invariant_across_segment_capacities() {
+    for seed in SEEDS {
+        let (baseline, _) = run_twin(seed, None, None);
+        let (monolithic, mono_rot) = run_twin(seed, Some(usize::MAX), None);
+        let (segmented, seg_rot) = run_twin(seed, Some(64), None);
+        assert_eq!(
+            mono_rot, 0,
+            "a segment the size of the address space must never rotate"
+        );
+        assert!(
+            seg_rot > 0,
+            "capacity 64 over {DAYS} days must force mid-run rotations (seed {seed})"
+        );
+        let bytes = snapshot_bytes(&baseline);
+        assert_eq!(
+            bytes,
+            snapshot_bytes(&monolithic),
+            "monolithic twin diverged (seed {seed})"
+        );
+        assert_eq!(
+            bytes,
+            snapshot_bytes(&segmented),
+            "segmented twin diverged (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn derived_analyses_invariant_across_segment_capacities() {
+    let (baseline, _) = run_twin(SEEDS[0], None, None);
+    let (segmented, rotations) = run_twin(SEEDS[0], Some(64), None);
+    assert!(rotations > 0);
+    let expected = derive(&baseline);
+    assert_eq!(expected, derive(&segmented));
+    // The analyses must also be non-degenerate, or the equality proves
+    // nothing about the rotated path.
+    assert!(!expected.mttf_all.is_empty());
+    assert!(expected.mttf_all.iter().any(|p| p.ci90.is_some()));
+    assert!(expected.r_f > 0.0);
+    assert!(!expected.lemons.is_empty());
+    assert!(expected.availability.fleet_availability > 0.0);
+}
+
+#[test]
+fn spill_twin_matches_in_memory_bytes() {
+    let dir = std::env::temp_dir().join(format!("rsc-lockstep-spill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (in_memory, _) = run_twin(SEEDS[1], Some(64), None);
+    // Run the spill twin by hand so the directory can be inspected before
+    // sealing — seal reloads every spilled segment and deletes its file.
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), SEEDS[1]);
+    sim.set_telemetry_segment_capacity(64);
+    sim.enable_telemetry_spill(&dir).expect("spill dir");
+    sim.run(SimDuration::from_days(DAYS));
+    assert!(
+        sim.telemetry_segment_stats().rotations > 0,
+        "spill twin must actually rotate"
+    );
+    let spill_files = std::fs::read_dir(&dir).unwrap().count();
+    assert!(spill_files > 0, "rotated segments must reach the spill dir");
+    let spilled = sim.into_telemetry().seal();
+    assert_eq!(snapshot_bytes(&in_memory), snapshot_bytes(&spilled));
+    std::fs::remove_dir_all(&dir).ok();
+}
