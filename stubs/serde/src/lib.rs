@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's only serde usage is decorative `#[derive(Serialize,
+//! Deserialize)]` on record types — nothing in the tree serializes through
+//! serde (persistence goes through the hand-rolled snapshot codec). Since
+//! this build environment cannot reach crates.io, this stub provides just
+//! enough surface for those derives to compile: two empty marker traits and
+//! the re-exported no-op derive macros.
+
+/// Marker trait mirroring `serde::Serialize`. No methods: nothing in the
+/// workspace calls into serde's data model.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. No methods.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
