@@ -1,0 +1,181 @@
+//! Closed- vs open-loop goodput under a lemon-hazard sweep.
+//!
+//! The paper diagnoses reliability offline: lemons are detected from a
+//! season of telemetry (§IV-A), checkpoint cadence is solved once from a
+//! measured MTTF (§V). This experiment prices the alternative the
+//! `rsc-control` crate implements — the same detectors driving budgeted,
+//! hysteresis-gated mitigations *mid-run*: lemon quarantine with
+//! controlled release, static→adaptive routing on MTTF regression, and an
+//! online Young/Daly re-solve of the checkpoint interval from the
+//! streaming failure rate.
+//!
+//! Each sweep point scales the hazard — every rate in the failure-mode
+//! catalog plus the lemons' extra rate — and runs the *same* `(config,
+//! seed)` pair twice: open loop ([`ControlPolicy::disabled`], fixed 1 h checkpoint
+//! cadence) and closed loop ([`ControlPolicy::rsc_default`], cadence
+//! taken from the controller's last accepted retune). Goodput is the
+//! waterfall productive fraction (§III-B): delivered GPU-time minus
+//! restart overhead and lost-work replay, over fleet capacity. Points are
+//! averaged over [`REPLICATES`] seeds; the binary asserts the closed loop
+//! wins at the top of the sweep, where mitigation has the most to bite.
+
+use std::sync::Arc;
+
+use rsc_cluster::node::GPUS_PER_NODE;
+use rsc_control::{ClosedLoopRunner, ClosedLoopSpec, ControlPolicy};
+use rsc_core::cluster_goodput::goodput_waterfall;
+use rsc_sim::config::SimConfig;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::view::TelemetryView;
+
+/// Multipliers applied to the failure-mode catalog and lemon rates.
+const HAZARD_SWEEP: [f64; 3] = [1.0, 4.0, 16.0];
+
+/// Seeds averaged per sweep point at the default 128-node scale. Smaller
+/// fleets get proportionally more replicates ([`replicates_for`]): the
+/// packing noise a quarantine or retune perturbs grows as the fleet
+/// shrinks, so the seed average has to work harder for the same margin.
+const REPLICATES: u64 = 5;
+
+/// Replicates per sweep point for a fleet of `num_nodes` nodes.
+fn replicates_for(num_nodes: u32) -> u64 {
+    (REPLICATES * 128 / num_nodes.max(1) as u64).clamp(REPLICATES, 15)
+}
+
+/// Open-loop checkpoint cadence (the paper's hourly baseline).
+const BASELINE_INTERVAL: SimDuration = SimDuration::from_hours(1);
+
+/// Restart overhead charged per interruption in the waterfall.
+const RESTART_OVERHEAD: SimDuration = SimDuration::from_mins(5);
+
+fn goodput(view: &Arc<TelemetryView>, interval: SimDuration) -> f64 {
+    goodput_waterfall(view, GPUS_PER_NODE as u32, interval, RESTART_OVERHEAD).goodput()
+}
+
+fn main() {
+    let mut args = rsc_bench::BenchArgs::parse(16);
+    // 18 scenarios, run per-pair rather than batched; keep the default
+    // invocation tractable.
+    args.days = args.days.min(60);
+    let days = args.days;
+    let base = SimConfig::rsc1().scaled_down(args.scale);
+    let replicates = replicates_for(base.cluster.num_nodes());
+    rsc_bench::banner(
+        "Closed loop",
+        "Reliability controller: goodput vs lemon hazard, open vs closed loop",
+        &args.scale_note("RSC-1"),
+    );
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "hazard", "open", "closed", "delta", "actions", "accepted", "tau (m)"
+    );
+    println!("{}", "-".repeat(78));
+
+    let runner = ClosedLoopRunner::new();
+    let mut rows = Vec::new();
+    let mut top_delta = f64::NAN;
+    let mut top_accepted = 0usize;
+    for hazard in HAZARD_SWEEP {
+        let mut config = base.clone();
+        // Elevated hazard scales the whole failure process — every mode in
+        // the catalog and the lemons' extra rate — the way a bad hardware
+        // batch or a regressing driver would, not just the planted lemons.
+        // The batch itself is sized to the fleet (1/16 of nodes) so the
+        // quarantine actuator has real lemons to catch, not only the
+        // rounding remnant `scaled_down` leaves at deep scale-downs.
+        config.modes = base.modes.scaled_rates(hazard);
+        config.lemon_count = (base.cluster.num_nodes() as usize / 16).max(2);
+        config.lemon_extra_rate_median *= hazard;
+
+        let mut open_sum = 0.0;
+        let mut closed_sum = 0.0;
+        let mut actions = 0usize;
+        let mut accepted = 0usize;
+        let mut tau_mins = 0.0;
+        for r in 0..replicates {
+            let seed = args.seed + r;
+            let open = runner.run_one(&ClosedLoopSpec::new(
+                config.clone(),
+                seed,
+                days,
+                ControlPolicy::disabled(),
+            ));
+            let closed = runner.run_one(&ClosedLoopSpec::new(
+                config.clone(),
+                seed,
+                days,
+                ControlPolicy::rsc_default(),
+            ));
+            let tau = closed.effective_checkpoint_interval(BASELINE_INTERVAL);
+            open_sum += goodput(&open.view, BASELINE_INTERVAL);
+            closed_sum += goodput(&closed.view, tau);
+            actions += closed.view.control_actions().len();
+            accepted += closed
+                .view
+                .control_actions()
+                .iter()
+                .filter(|a| a.accepted)
+                .count();
+            tau_mins += tau.as_secs() as f64 / 60.0;
+        }
+        let n = replicates as f64;
+        let open_mean = open_sum / n;
+        let closed_mean = closed_sum / n;
+        let delta = closed_mean - open_mean;
+        let tau_mean = tau_mins / n;
+
+        println!(
+            "{:>7.1}x {:>11.2}% {:>11.2}% {:>+9.2}% {:>10} {:>10} {:>10.0}",
+            hazard,
+            open_mean * 100.0,
+            closed_mean * 100.0,
+            delta * 100.0,
+            actions,
+            accepted,
+            tau_mean,
+        );
+        top_delta = delta;
+        top_accepted = accepted;
+        rows.push(vec![
+            format!("{hazard:.1}"),
+            format!("{open_mean:.6}"),
+            format!("{closed_mean:.6}"),
+            format!("{delta:.6}"),
+            actions.to_string(),
+            accepted.to_string(),
+            format!("{tau_mean:.1}"),
+        ]);
+    }
+
+    assert!(
+        top_accepted > 0,
+        "the controller never actuated at the top of the hazard sweep — \
+         the closed loop is not closing"
+    );
+    assert!(
+        top_delta > 0.0,
+        "closed-loop goodput must beat open-loop at the top of the hazard \
+         sweep (delta = {:+.4}%)",
+        top_delta * 100.0
+    );
+
+    println!("\n(Open loop checkpoints hourly whatever the hazard; the closed loop");
+    println!(" re-solves Young/Daly from the streaming failure rate, quarantines");
+    println!(" lemon suspects under the fleet budget, and flips routing adaptive on");
+    println!(" MTTF regression. At elevated hazard the shorter cadence and culled");
+    println!(" lemons cut replay loss by more than the quarantined capacity costs,");
+    println!(" so the goodput delta grows with the hazard multiplier.)");
+    rsc_bench::save_csv(
+        "closed_loop.csv",
+        &[
+            "hazard_multiplier",
+            "open_goodput",
+            "closed_goodput",
+            "delta",
+            "actions",
+            "accepted",
+            "tau_minutes",
+        ],
+        rows,
+    );
+}

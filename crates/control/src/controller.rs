@@ -1,0 +1,408 @@
+//! The closed-loop controller: alerts in, budgeted commands out.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rsc_cluster::ids::NodeId;
+use rsc_monitor::alerts::{Alert, AlertKey};
+use rsc_monitor::config::MonitorConfig;
+use rsc_monitor::monitor::ReliabilityMonitor;
+use rsc_sim::bus::{SimEvent, SimObserver};
+use rsc_sim::control::{CommandQueue, ControlCommand, ControlVerb};
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::{ControlActionEvent, ControlActionKind, ControlTrigger};
+
+use crate::policy::ControlPolicy;
+
+/// The deterministic planning layer: pure state machine from
+/// `(now, alert log, failure rate)` to commands.
+///
+/// Split out of [`ReliabilityController`] so property tests can drive it
+/// with adversarial alert sequences directly, without a simulation. Its
+/// view of actuation state (active quarantines, routing mode, interval in
+/// force) is synced from the *observed* [`ControlActionEvent`] stream —
+/// the driver's accept/reject verdicts, not the controller's wishes — so
+/// planner and plant cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct ControllerCore {
+    policy: ControlPolicy,
+    /// Last time the controller acted on a lemon alert, per node.
+    lemon_last_action: BTreeMap<NodeId, SimTime>,
+    /// Controller-initiated quarantines currently in force (accepted and
+    /// not yet released), charged against the fleet budget.
+    active_quarantines: BTreeSet<NodeId>,
+    /// Whether adaptive routing is in force (synced from accepted
+    /// actions).
+    routing_adaptive: bool,
+    /// When routing last changed, for the revert cooldown.
+    routing_changed_at: Option<SimTime>,
+    /// The checkpoint interval currently in force, once a retune has been
+    /// accepted.
+    interval_in_force: Option<SimDuration>,
+}
+
+impl ControllerCore {
+    /// A core with no actuation state.
+    pub fn new(policy: ControlPolicy) -> Self {
+        ControllerCore {
+            policy,
+            lemon_last_action: BTreeMap::new(),
+            active_quarantines: BTreeSet::new(),
+            routing_adaptive: false,
+            routing_changed_at: None,
+            interval_in_force: None,
+        }
+    }
+
+    /// The policy this core plans under.
+    pub fn policy(&self) -> &ControlPolicy {
+        &self.policy
+    }
+
+    /// Controller-initiated quarantines currently charged to the budget.
+    pub fn active_quarantines(&self) -> usize {
+        self.active_quarantines.len()
+    }
+
+    /// Syncs actuation state from one recorded control action. Rejected
+    /// actions change nothing: budget accounting follows the driver's
+    /// verdicts.
+    pub fn observe_action(&mut self, e: &ControlActionEvent) {
+        if !e.accepted {
+            return;
+        }
+        match e.kind {
+            ControlActionKind::QuarantineNode => {
+                if let Some(node) = e.node {
+                    self.active_quarantines.insert(node);
+                }
+            }
+            ControlActionKind::ReleaseNode => {
+                if let Some(node) = e.node {
+                    self.active_quarantines.remove(&node);
+                }
+            }
+            ControlActionKind::AdaptiveRouting => {
+                self.routing_adaptive = true;
+                self.routing_changed_at = Some(e.at);
+            }
+            ControlActionKind::RestoreRouting => {
+                self.routing_adaptive = false;
+                self.routing_changed_at = Some(e.at);
+            }
+            ControlActionKind::RetuneCheckpoint => {
+                self.interval_in_force = Some(SimDuration::from_secs(e.value));
+            }
+            ControlActionKind::RemediateNode => {}
+        }
+    }
+
+    /// Plans this tick's commands from the alert log and the streaming
+    /// per-node-day failure rate. Deterministic, draws no randomness, and
+    /// every emitted command is bounded by the policy's budgets and
+    /// cooldowns.
+    pub fn plan(
+        &mut self,
+        now: SimTime,
+        alerts: &[Alert],
+        failure_rate: f64,
+    ) -> Vec<ControlCommand> {
+        if !self.policy.enabled {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let surge_active = alerts
+            .iter()
+            .any(|a| a.is_active() && a.key == AlertKey::QuarantineSurge);
+
+        // Lemon suspects: quarantine (budgeted, releasable) — or only a
+        // remediation visit while a QuarantineSurge alert says the fleet
+        // is already losing too many nodes to the repair pipeline.
+        let mut charged = self.active_quarantines.len() as u32;
+        for alert in alerts.iter().filter(|a| a.is_active()) {
+            let AlertKey::LemonSuspect(node) = alert.key else {
+                continue;
+            };
+            if self.active_quarantines.contains(&node) {
+                continue;
+            }
+            if self
+                .lemon_last_action
+                .get(&node)
+                .is_some_and(|&t| now.saturating_since(t) < self.policy.lemon_action_cooldown)
+            {
+                continue;
+            }
+            self.lemon_last_action.insert(node, now);
+            if surge_active {
+                out.push(ControlCommand {
+                    verb: ControlVerb::RemediateNode { node },
+                    trigger: ControlTrigger::QuarantineSurge,
+                    budget_ok: true,
+                });
+            } else {
+                let budget_ok = charged < self.policy.max_concurrent_quarantines;
+                if budget_ok {
+                    charged += 1;
+                }
+                out.push(ControlCommand {
+                    verb: ControlVerb::QuarantineNode {
+                        node,
+                        release: self.policy.release,
+                    },
+                    trigger: ControlTrigger::LemonSuspect,
+                    budget_ok,
+                });
+            }
+        }
+
+        // Fabric routing: adaptive while an MttfRegression alert is
+        // active, reverting on clear once the revert cooldown has passed.
+        if self.policy.adaptive_routing {
+            let mttf_active = alerts
+                .iter()
+                .any(|a| a.is_active() && a.key == AlertKey::MttfRegression);
+            let cooling = self
+                .routing_changed_at
+                .is_some_and(|t| now.saturating_since(t) < self.policy.routing_revert_cooldown);
+            if mttf_active && !self.routing_adaptive {
+                out.push(ControlCommand {
+                    verb: ControlVerb::AdaptiveRouting,
+                    trigger: ControlTrigger::MttfRegression,
+                    budget_ok: true,
+                });
+            } else if !mttf_active && self.routing_adaptive && !cooling {
+                out.push(ControlCommand {
+                    verb: ControlVerb::RestoreRouting,
+                    trigger: ControlTrigger::MttfRegression,
+                    budget_ok: true,
+                });
+            }
+        }
+
+        // Checkpoint cadence: re-solve the Young/Daly optimum from the
+        // streaming failure rate, clamped below by what the storage tier
+        // can sustain, gated by the relative-change tolerance.
+        if self.policy.ckpt_retune && failure_rate > 0.0 {
+            let mtbf_secs = 86_400.0 / (failure_rate * self.policy.ref_nodes.max(1) as f64);
+            let delta_secs = self
+                .policy
+                .ckpt_spec
+                .write_duration(&self.policy.tier)
+                .as_secs() as f64;
+            let floor_secs = self
+                .policy
+                .ckpt_spec
+                .min_sustainable_interval(&self.policy.tier)
+                .as_secs() as f64;
+            let tau_secs = (2.0 * delta_secs * mtbf_secs)
+                .sqrt()
+                .max(floor_secs)
+                .max(60.0);
+            let differs = match self.interval_in_force {
+                None => true,
+                Some(cur) => {
+                    let cur_secs = cur.as_secs() as f64;
+                    (tau_secs - cur_secs).abs() > self.policy.ckpt_retune_tolerance * cur_secs
+                }
+            };
+            if differs {
+                out.push(ControlCommand {
+                    verb: ControlVerb::RetuneCheckpoint {
+                        interval: SimDuration::from_secs_f64(tau_secs),
+                    },
+                    trigger: ControlTrigger::Controller,
+                    budget_ok: true,
+                });
+            }
+        }
+
+        out
+    }
+}
+
+/// The attachable closed-loop controller: a [`ReliabilityMonitor`] for
+/// eyes, a [`ControllerCore`] for judgment, and a [`CommandQueue`] for
+/// hands.
+///
+/// Forward every bus event to the wrapped monitor, sync the core from the
+/// recorded control-action stream, and on each daily tick plan commands
+/// from the monitor's alert log and streaming failure rate. The driver
+/// drains the shared queue after its next scheduling cycle — actuation at
+/// a deterministic point of the event loop, never from inside an observer
+/// callback.
+#[derive(Debug)]
+pub struct ReliabilityController {
+    monitor: ReliabilityMonitor,
+    core: ControllerCore,
+    queue: CommandQueue,
+}
+
+impl ReliabilityController {
+    /// A controller planning under `policy`, watching through a monitor
+    /// built from `monitor_config` (which should be enabled — a disabled
+    /// monitor raises no alerts, so nothing ever actuates), pushing into
+    /// `queue` (the same handle given to
+    /// [`rsc_sim::driver::ClusterSim::set_command_queue`]).
+    pub fn new(policy: ControlPolicy, monitor_config: MonitorConfig, queue: CommandQueue) -> Self {
+        ReliabilityController {
+            monitor: ReliabilityMonitor::new(monitor_config),
+            core: ControllerCore::new(policy),
+            queue,
+        }
+    }
+
+    /// The wrapped monitor.
+    pub fn monitor(&self) -> &ReliabilityMonitor {
+        &self.monitor
+    }
+
+    /// The planning core.
+    pub fn core(&self) -> &ControllerCore {
+        &self.core
+    }
+}
+
+impl SimObserver for ReliabilityController {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self.monitor.on_event(event);
+        match event {
+            SimEvent::ControlAction(e) => self.core.observe_action(e),
+            SimEvent::Tick { now } => {
+                let rate = self.monitor.failure_rate().rate();
+                for cmd in self.core.plan(*now, self.monitor.alerts(), rate) {
+                    self.queue.push(cmd);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lemon_alert(node: u32, raised_days: u64) -> Alert {
+        Alert {
+            key: AlertKey::LemonSuspect(NodeId::new(node)),
+            raised_at: SimTime::from_days(raised_days),
+            cleared_at: None,
+            value: 4.0,
+            threshold: 3.0,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn disabled_policy_plans_nothing() {
+        let mut core = ControllerCore::new(ControlPolicy::disabled());
+        let alerts = vec![lemon_alert(1, 1)];
+        assert!(core.plan(SimTime::from_days(2), &alerts, 0.5).is_empty());
+    }
+
+    #[test]
+    fn quarantine_budget_degrades_to_alert_only() {
+        let mut policy = ControlPolicy::rsc_default();
+        policy.max_concurrent_quarantines = 2;
+        let mut core = ControllerCore::new(policy);
+        let alerts: Vec<Alert> = (0..4).map(|n| lemon_alert(n, 1)).collect();
+        let cmds = core.plan(SimTime::from_days(2), &alerts, 0.0);
+        let quarantines: Vec<&ControlCommand> = cmds
+            .iter()
+            .filter(|c| matches!(c.verb, ControlVerb::QuarantineNode { .. }))
+            .collect();
+        assert_eq!(quarantines.len(), 4);
+        assert_eq!(quarantines.iter().filter(|c| c.budget_ok).count(), 2);
+        assert_eq!(quarantines.iter().filter(|c| !c.budget_ok).count(), 2);
+    }
+
+    #[test]
+    fn lemon_cooldown_suppresses_repeat_action() {
+        let mut core = ControllerCore::new(ControlPolicy::rsc_default());
+        let alerts = vec![lemon_alert(3, 1)];
+        assert_eq!(core.plan(SimTime::from_days(2), &alerts, 0.0).len(), 1);
+        // Same still-active alert a day later: inside the 7-day cooldown.
+        assert!(core.plan(SimTime::from_days(3), &alerts, 0.0).is_empty());
+        // Past the cooldown the controller may act again.
+        assert_eq!(core.plan(SimTime::from_days(10), &alerts, 0.0).len(), 1);
+    }
+
+    #[test]
+    fn surge_downgrades_quarantine_to_remediation() {
+        let mut core = ControllerCore::new(ControlPolicy::rsc_default());
+        let alerts = vec![
+            lemon_alert(1, 1),
+            Alert {
+                key: AlertKey::QuarantineSurge,
+                raised_at: SimTime::from_days(1),
+                cleared_at: None,
+                value: 4.0,
+                threshold: 3.0,
+                message: String::new(),
+            },
+        ];
+        let cmds = core.plan(SimTime::from_days(2), &alerts, 0.0);
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0].verb, ControlVerb::RemediateNode { .. }));
+        assert_eq!(cmds[0].trigger, ControlTrigger::QuarantineSurge);
+    }
+
+    #[test]
+    fn routing_follows_mttf_alert_with_revert_cooldown() {
+        let mut core = ControllerCore::new(ControlPolicy::rsc_default());
+        let mut mttf = Alert {
+            key: AlertKey::MttfRegression,
+            raised_at: SimTime::from_days(1),
+            cleared_at: None,
+            value: 0.4,
+            threshold: 0.5,
+            message: String::new(),
+        };
+        let cmds = core.plan(SimTime::from_days(2), std::slice::from_ref(&mttf), 0.0);
+        assert!(matches!(cmds[0].verb, ControlVerb::AdaptiveRouting));
+        core.observe_action(&ControlActionEvent {
+            at: SimTime::from_days(2),
+            kind: ControlActionKind::AdaptiveRouting,
+            trigger: ControlTrigger::MttfRegression,
+            node: None,
+            job: None,
+            accepted: true,
+            value: 0,
+        });
+        // Alert clears one day later: still inside the 3-day revert
+        // cooldown, so no restore yet.
+        mttf.cleared_at = Some(SimTime::from_days(3));
+        assert!(core
+            .plan(SimTime::from_days(3), std::slice::from_ref(&mttf), 0.0)
+            .is_empty());
+        let cmds = core.plan(SimTime::from_days(6), std::slice::from_ref(&mttf), 0.0);
+        assert!(matches!(cmds[0].verb, ControlVerb::RestoreRouting));
+    }
+
+    #[test]
+    fn retune_respects_tolerance_band() {
+        let mut core = ControllerCore::new(ControlPolicy::rsc_default());
+        let cmds = core.plan(SimTime::from_days(2), &[], 6.5e-3);
+        let ControlVerb::RetuneCheckpoint { interval } = cmds[0].verb else {
+            panic!("expected a retune, got {cmds:?}");
+        };
+        core.observe_action(&ControlActionEvent {
+            at: SimTime::from_days(2),
+            kind: ControlActionKind::RetuneCheckpoint,
+            trigger: ControlTrigger::Controller,
+            node: None,
+            job: None,
+            accepted: true,
+            value: interval.as_secs(),
+        });
+        // A 10% rate wiggle moves the optimum ~5%: inside the 20%
+        // tolerance, so no new command.
+        assert!(core
+            .plan(SimTime::from_days(3), &[], 6.5e-3 * 1.1)
+            .is_empty());
+        // A 4x rate jump halves the optimum: well outside.
+        let cmds = core.plan(SimTime::from_days(4), &[], 6.5e-3 * 4.0);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].trigger, ControlTrigger::Controller);
+    }
+}

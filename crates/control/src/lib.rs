@@ -1,0 +1,46 @@
+//! `rsc-control`: the closed-loop reliability control plane.
+//!
+//! The monitor (`rsc-monitor`) turns the simulator's event stream into
+//! typed alerts; this crate closes the loop and *acts on them mid-run*. A
+//! [`ReliabilityController`] attaches to the [`rsc_sim::bus`] like any
+//! observer, wraps a [`rsc_monitor::ReliabilityMonitor`] for its eyes,
+//! and pushes [`rsc_sim::control::ControlCommand`]s into the driver's
+//! command queue — which the driver drains at a fixed point of its event
+//! loop, in push order, at the current simulated time. Closed-loop runs
+//! are therefore exactly as deterministic and replayable as open-loop
+//! ones.
+//!
+//! Three actuators, each budgeted and hysteresis-gated by
+//! [`ControlPolicy`]:
+//!
+//! - **lemon mitigation** — an active `LemonSuspect` alert earns its node
+//!   a preemptive quarantine (releasable after clean observation windows,
+//!   see [`rsc_health::lifecycle::ReleasePolicy`]), downgraded to a
+//!   remediation visit while a `QuarantineSurge` alert is active, and
+//!   degraded to a recorded-but-rejected action when the fleet quarantine
+//!   budget is exhausted;
+//! - **fabric routing** — an active `MttfRegression` alert flips routing
+//!   static→adaptive; the baseline policy is restored on alert-clear
+//!   after a revert cooldown;
+//! - **checkpoint cadence** — the Young/Daly optimal interval is re-solved
+//!   online from the monitor's streaming failure rate and pushed to newly
+//!   submitted jobs, clamped below by what the storage tier sustains.
+//!
+//! Every action — accepted or budget-rejected — is recorded as a typed
+//! row in the hash-chained telemetry log, so the audit trail of *why* the
+//! run diverged from its open-loop twin is part of the sealed artifact.
+//!
+//! A controller with [`ControlPolicy::disabled`] plans nothing, and the
+//! driver without a queue drains nothing: both configurations leave
+//! telemetry byte-identical to builds that predate the control plane
+//! (`tests/byte_identity.rs`).
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod policy;
+pub mod runner;
+
+pub use controller::{ControllerCore, ReliabilityController};
+pub use policy::ControlPolicy;
+pub use runner::{ClosedLoopRun, ClosedLoopRunner, ClosedLoopSpec};

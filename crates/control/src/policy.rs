@@ -1,0 +1,108 @@
+//! What the controller is allowed to do, and how aggressively.
+
+use rsc_health::lifecycle::ReleasePolicy;
+use rsc_sim_core::time::SimDuration;
+use rsc_storage::checkpoint::CheckpointSpec;
+use rsc_storage::tier::{StorageTier, TierSpec};
+
+/// The controller's mitigation policy: which actuators are armed, their
+/// budgets, and their hysteresis gates.
+///
+/// Every actuation the controller plans is bounded by something in this
+/// struct — the fleet quarantine budget, a per-node action cooldown, a
+/// routing revert cooldown, or a relative-change tolerance — so an
+/// adversarial alert stream cannot make the control plane thrash
+/// (`tests/properties.rs` proves this for arbitrary alert sequences).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlPolicy {
+    /// Master switch. Disabled, the controller observes and plans
+    /// nothing: a run with a disabled-policy controller attached is
+    /// byte-identical to an open-loop run.
+    pub enabled: bool,
+    /// Fleet budget: at most this many controller-initiated quarantines
+    /// may be in force at once. When the budget is exhausted further
+    /// quarantine wishes degrade gracefully to alert-only — recorded with
+    /// `accepted == false`, actuating nothing.
+    pub max_concurrent_quarantines: u32,
+    /// Per-node hysteresis: after acting on a `LemonSuspect` alert for a
+    /// node, ignore that node's lemon alerts for this long.
+    pub lemon_action_cooldown: SimDuration,
+    /// Controlled-release schedule attached to controller quarantines.
+    /// `None` makes them absorbing, like an operator write-off.
+    pub release: Option<ReleasePolicy>,
+    /// Arms the fabric actuator: flip routing static→adaptive while an
+    /// `MttfRegression` alert is active.
+    pub adaptive_routing: bool,
+    /// Minimum time after a routing change before the controller restores
+    /// the baseline static policy on alert-clear.
+    pub routing_revert_cooldown: SimDuration,
+    /// Arms the checkpoint actuator: re-solve the checkpoint cadence
+    /// online from the streaming failure rate (Young/Daly optimum).
+    pub ckpt_retune: bool,
+    /// Relative-change hysteresis for retunes: a new optimum within this
+    /// fraction of the interval currently in force is not worth a
+    /// command.
+    pub ckpt_retune_tolerance: f64,
+    /// The checkpoint workload the retune optimizes for.
+    pub ckpt_spec: CheckpointSpec,
+    /// The storage tier absorbing those checkpoints; bounds the retuned
+    /// interval below via `min_sustainable_interval`.
+    pub tier: TierSpec,
+    /// Node count of the reference job the retune protects (the MTBF in
+    /// the Young/Daly solve scales with job footprint).
+    pub ref_nodes: u32,
+}
+
+impl ControlPolicy {
+    /// Every actuator armed, at the defaults the closed-loop experiments
+    /// pin: a 2-node quarantine budget (a quarantined node is ~pure
+    /// capacity loss on a saturated fleet, so the budget stays tight),
+    /// 7-day lemon cooldown, released quarantines after 3 clean 2-day
+    /// windows, 3-day routing revert cooldown, and a 20% retune tolerance
+    /// around a 70B-parameter reference job writing to the object store.
+    pub fn rsc_default() -> Self {
+        ControlPolicy {
+            enabled: true,
+            max_concurrent_quarantines: 2,
+            lemon_action_cooldown: SimDuration::from_days(7),
+            release: Some(ReleasePolicy::rsc_default()),
+            adaptive_routing: true,
+            routing_revert_cooldown: SimDuration::from_days(3),
+            ckpt_retune: true,
+            ckpt_retune_tolerance: 0.2,
+            ckpt_spec: CheckpointSpec::for_model(70.0, SimDuration::from_hours(1), 8),
+            tier: TierSpec::rsc_default(StorageTier::ObjectStore),
+            ref_nodes: 128,
+        }
+    }
+
+    /// A controller that never acts. Attaching one leaves a run
+    /// byte-identical to an open-loop run (`tests/byte_identity.rs`).
+    pub fn disabled() -> Self {
+        ControlPolicy {
+            enabled: false,
+            ..ControlPolicy::rsc_default()
+        }
+    }
+}
+
+impl Default for ControlPolicy {
+    fn default() -> Self {
+        ControlPolicy::rsc_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded() {
+        let p = ControlPolicy::rsc_default();
+        assert!(p.enabled);
+        assert!(p.max_concurrent_quarantines > 0);
+        assert!(p.lemon_action_cooldown > SimDuration::ZERO);
+        assert!(p.ckpt_retune_tolerance > 0.0);
+        assert!(!ControlPolicy::disabled().enabled);
+    }
+}

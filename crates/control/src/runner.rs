@@ -1,0 +1,187 @@
+//! Cached closed-loop scenario execution.
+//!
+//! A closed-loop run is parameterized by more than `(config, seed, days)`
+//! — the control policy and the monitor configuration shape the telemetry
+//! too, so [`ClosedLoopSpec`] carries all five and fingerprints over all
+//! of them. Artifacts are namespaced `cl-{fingerprint:016x}.snap` in the
+//! same cache directory as open-loop snapshots: the prefix keeps the two
+//! artifact families from ever colliding on a shared fingerprint.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use rsc_monitor::config::MonitorConfig;
+use rsc_sim::config::SimConfig;
+use rsc_sim::control::CommandQueue;
+use rsc_sim::driver::ClusterSim;
+use rsc_sim::runner::{default_cache_dir, ObservedOutcome};
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::snapshot::{load_snapshot_file, save_snapshot_file, SNAPSHOT_VERSION};
+use rsc_telemetry::store::ControlActionKind;
+use rsc_telemetry::view::TelemetryView;
+
+use crate::controller::ReliabilityController;
+use crate::policy::ControlPolicy;
+
+/// One closed-loop scenario: a simulation plus the controller watching
+/// and actuating it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedLoopSpec {
+    /// Scenario configuration.
+    pub config: SimConfig,
+    /// RNG seed for the deterministic simulation.
+    pub seed: u64,
+    /// Horizon in days.
+    pub days: u64,
+    /// The controller's mitigation policy.
+    pub policy: ControlPolicy,
+    /// The monitor configuration the controller watches through.
+    pub monitor: MonitorConfig,
+}
+
+impl ClosedLoopSpec {
+    /// A spec with the default (enabled) monitor configuration.
+    pub fn new(config: SimConfig, seed: u64, days: u64, policy: ControlPolicy) -> Self {
+        ClosedLoopSpec {
+            config,
+            seed,
+            days,
+            policy,
+            monitor: MonitorConfig::rsc_default(),
+        }
+    }
+
+    /// Stable cache fingerprint: FNV-1a 64 over the `Debug` renderings of
+    /// the simulation config, control policy, and monitor config, plus
+    /// seed, horizon, and snapshot format version. Any parameter change —
+    /// including a policy knob — yields a cache miss, never a stale hit.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(format!("{:?}", self.config).as_bytes());
+        eat(format!("{:?}", self.policy).as_bytes());
+        eat(format!("{:?}", self.monitor).as_bytes());
+        eat(&self.seed.to_le_bytes());
+        eat(&self.days.to_le_bytes());
+        eat(&SNAPSHOT_VERSION.to_le_bytes());
+        h
+    }
+
+    /// The namespaced cache file name for this spec.
+    pub fn cache_file_name(&self) -> String {
+        format!("cl-{:016x}.snap", self.fingerprint())
+    }
+
+    /// Runs the closed loop synchronously (no cache) and seals the
+    /// result: controller attached as an observer, its command queue
+    /// wired into the driver.
+    pub fn simulate(&self) -> TelemetryView {
+        let queue = CommandQueue::new();
+        let mut sim = ClusterSim::new(self.config.clone(), self.seed);
+        sim.set_command_queue(queue.clone());
+        sim.attach_observer(Box::new(ReliabilityController::new(
+            self.policy.clone(),
+            self.monitor.clone(),
+            queue,
+        )));
+        sim.run(SimDuration::from_days(self.days));
+        sim.into_telemetry().seal()
+    }
+}
+
+/// Executes [`ClosedLoopSpec`]s against the namespaced artifact cache.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopRunner {
+    cache_dir: Option<PathBuf>,
+}
+
+impl ClosedLoopRunner {
+    /// A runner caching under the workspace default telemetry directory
+    /// (shared with [`rsc_sim::runner::ScenarioRunner`]; the `cl-` prefix
+    /// keeps the artifact families separate).
+    pub fn new() -> Self {
+        ClosedLoopRunner {
+            cache_dir: Some(default_cache_dir()),
+        }
+    }
+
+    /// A runner that always simulates.
+    pub fn without_cache() -> Self {
+        ClosedLoopRunner { cache_dir: None }
+    }
+
+    /// Replaces the cache directory.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The artifact cache directory, if caching is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Executes one spec: loads the sealed view from cache when the
+    /// artifact exists (chain-verified by the snapshot codec), simulates
+    /// and writes it otherwise. Either path returns identical bytes — the
+    /// replay test pins the recorded action log bitwise.
+    pub fn run_one(&self, spec: &ClosedLoopSpec) -> ClosedLoopRun {
+        if let Some(dir) = &self.cache_dir {
+            let path = dir.join(spec.cache_file_name());
+            if let Ok(view) = load_snapshot_file(&path) {
+                return ClosedLoopRun {
+                    view: Arc::new(view),
+                    outcome: ObservedOutcome::CachedSkipped,
+                };
+            }
+            let view = spec.simulate();
+            // Best-effort, like the open-loop cache: a failed write only
+            // costs a rebuild next run.
+            let _ = save_snapshot_file(&path, &view);
+            return ClosedLoopRun {
+                view: Arc::new(view),
+                outcome: ObservedOutcome::Live,
+            };
+        }
+        ClosedLoopRun {
+            view: Arc::new(spec.simulate()),
+            outcome: ObservedOutcome::Live,
+        }
+    }
+}
+
+impl Default for ClosedLoopRunner {
+    fn default() -> Self {
+        ClosedLoopRunner::new()
+    }
+}
+
+/// One executed closed-loop scenario.
+#[derive(Debug)]
+pub struct ClosedLoopRun {
+    /// The sealed telemetry, control actions included.
+    pub view: Arc<TelemetryView>,
+    /// Whether the scenario simulated live or loaded from cache.
+    pub outcome: ObservedOutcome,
+}
+
+impl ClosedLoopRun {
+    /// The checkpoint interval in force at the end of the run: the last
+    /// accepted retune, or `fallback` if the controller never retuned.
+    pub fn effective_checkpoint_interval(&self, fallback: SimDuration) -> SimDuration {
+        self.view
+            .control_actions()
+            .iter()
+            .rev()
+            .find(|a| a.kind == ControlActionKind::RetuneCheckpoint && a.accepted)
+            .map(|a| SimDuration::from_secs(a.value))
+            .unwrap_or(fallback)
+    }
+}

@@ -1,0 +1,84 @@
+//! The control plane's determinism contract: attaching the machinery
+//! without letting it act changes nothing.
+//!
+//! Two lockstep comparisons against a controller-free run of the same
+//! `(config, seed, days)`:
+//!
+//! 1. a driver with a command queue attached but no producer;
+//! 2. the full closed loop with [`ControlPolicy::disabled`] — monitor
+//!    watching, planner consulted every tick, zero commands.
+//!
+//! Both must seal telemetry whose snapshot encoding is **bitwise equal**
+//! to the plain run's, so pre-control-plane artifacts stay valid and the
+//! closed-loop ablation isolates policy effects from plumbing effects.
+
+use rsc_control::runner::ClosedLoopSpec;
+use rsc_control::ControlPolicy;
+use rsc_sim::config::SimConfig;
+use rsc_sim::control::CommandQueue;
+use rsc_sim::driver::ClusterSim;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::snapshot::write_snapshot;
+use rsc_telemetry::view::TelemetryView;
+
+const DAYS: u64 = 6;
+const SEED: u64 = 11;
+
+fn snapshot_bytes(view: &TelemetryView) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, view).expect("in-memory snapshot write");
+    buf
+}
+
+fn plain_run() -> Vec<u8> {
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), SEED);
+    sim.run(SimDuration::from_days(DAYS));
+    snapshot_bytes(&sim.into_telemetry().seal())
+}
+
+#[test]
+fn silent_queue_is_byte_identical() {
+    let mut sim = ClusterSim::new(SimConfig::small_test_cluster(), SEED);
+    sim.set_command_queue(CommandQueue::new());
+    sim.run(SimDuration::from_days(DAYS));
+    let with_queue = snapshot_bytes(&sim.into_telemetry().seal());
+    assert_eq!(
+        with_queue,
+        plain_run(),
+        "an idle command queue must not perturb the run"
+    );
+}
+
+#[test]
+fn disabled_policy_controller_is_byte_identical() {
+    let spec = ClosedLoopSpec::new(
+        SimConfig::small_test_cluster(),
+        SEED,
+        DAYS,
+        ControlPolicy::disabled(),
+    );
+    let view = spec.simulate();
+    assert!(view.control_actions().is_empty());
+    assert_eq!(
+        snapshot_bytes(&view),
+        plain_run(),
+        "a disabled-policy controller must not perturb the run"
+    );
+}
+
+#[test]
+fn enabled_policy_diverges_and_logs_actions() {
+    // The counterpoint keeping the two tests above honest: with the
+    // default policy on a lemon-heavy scenario the loop must actually
+    // close — actions recorded, telemetry diverged.
+    let mut config = SimConfig::small_test_cluster();
+    config.lemon_count = (config.lemon_count.max(2)).min(config.cluster.num_nodes() as usize);
+    config.lemon_extra_rate_median *= 4.0;
+    let open = ClosedLoopSpec::new(config.clone(), SEED, 30, ControlPolicy::disabled()).simulate();
+    let closed = ClosedLoopSpec::new(config, SEED, 30, ControlPolicy::rsc_default()).simulate();
+    assert!(
+        !closed.control_actions().is_empty(),
+        "closed loop never actuated"
+    );
+    assert_ne!(snapshot_bytes(&open), snapshot_bytes(&closed));
+}

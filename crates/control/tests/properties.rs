@@ -1,0 +1,282 @@
+//! Property tests for the planning core: under arbitrary (adversarial)
+//! alert sequences, interleaved with arbitrary driver verdicts and
+//! quarantine releases, every actuation respects its budget and its
+//! hysteresis gate.
+//!
+//! Checked invariants, per schedule:
+//!
+//! 1. **quarantine budget** — a plan never emits more `budget_ok`
+//!    quarantine commands than the fleet budget has headroom for, counting
+//!    quarantines already in force;
+//! 2. **lemon cooldown** — consecutive lemon-triggered commands for one
+//!    node are at least the per-node cooldown apart;
+//! 3. **routing hysteresis** — `AdaptiveRouting` only when static,
+//!    `RestoreRouting` only when adaptive and the revert cooldown has
+//!    elapsed since the last routing change;
+//! 4. **retune tolerance** — a retune is only planned when the new
+//!    optimum differs from the interval in force by more than the
+//!    relative tolerance.
+//!
+//! Mirrored as a plain deterministic sweep for minimal environments where
+//! the proptest harness is stubbed out.
+
+use proptest::prelude::*;
+
+use rsc_cluster::ids::NodeId;
+use rsc_control::{ControlPolicy, ControllerCore};
+use rsc_monitor::alerts::{Alert, AlertKey};
+use rsc_sim::control::ControlVerb;
+use rsc_sim_core::time::{SimDuration, SimTime};
+use rsc_telemetry::store::{ControlActionEvent, ControlActionKind, ControlTrigger};
+
+/// One adversarial step: time advance in hours, bitmask of active lemon
+/// nodes, MttfRegression active, QuarantineSurge active, failure-rate
+/// pick, driver-rejects-quarantine roll, release-a-node roll.
+type Step = (u32, u8, bool, bool, u8, bool, bool);
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn active_alert(key: AlertKey, t: SimTime) -> Alert {
+    Alert {
+        key,
+        raised_at: t,
+        cleared_at: None,
+        value: 1.0,
+        threshold: 1.0,
+        message: String::new(),
+    }
+}
+
+fn record(
+    kind: ControlActionKind,
+    node: Option<NodeId>,
+    at: SimTime,
+    value: u64,
+) -> ControlActionEvent {
+    ControlActionEvent {
+        at,
+        kind,
+        trigger: ControlTrigger::Controller,
+        node,
+        job: None,
+        accepted: true,
+        value,
+    }
+}
+
+fn run_schedule(budget: u32, cooldown_days: u64, revert_days: u64, steps: &[Step]) {
+    let mut policy = ControlPolicy::rsc_default();
+    policy.max_concurrent_quarantines = budget;
+    policy.lemon_action_cooldown = SimDuration::from_days(cooldown_days);
+    policy.routing_revert_cooldown = SimDuration::from_days(revert_days);
+    let tolerance = policy.ckpt_retune_tolerance;
+    let mut core = ControllerCore::new(policy);
+
+    // Plant mirrors: what the "driver" has accepted.
+    let mut in_force: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+    let mut routing_adaptive = false;
+    let mut routing_changed_at: Option<SimTime> = None;
+    let mut interval_in_force: Option<u64> = None;
+    let mut last_lemon_cmd: std::collections::BTreeMap<NodeId, SimTime> =
+        std::collections::BTreeMap::new();
+
+    let mut t = SimTime::ZERO;
+    for &(advance_h, lemon_mask, mttf, surge, rate_pick, reject_quarantine, release_one) in steps {
+        t += SimDuration::from_hours(1 + advance_h as u64 % (10 * 24));
+
+        let mut alerts: Vec<Alert> = Vec::new();
+        for bit in 0..6u32 {
+            if lemon_mask & (1 << bit) != 0 {
+                alerts.push(active_alert(AlertKey::LemonSuspect(NodeId::new(bit)), t));
+            }
+        }
+        if mttf {
+            alerts.push(active_alert(AlertKey::MttfRegression, t));
+        }
+        if surge {
+            alerts.push(active_alert(AlertKey::QuarantineSurge, t));
+        }
+        let rate = rate_pick as f64 * 2e-3;
+
+        let cmds = core.plan(t, &alerts, rate);
+
+        let mut headroom = budget.saturating_sub(in_force.len() as u32);
+        let mut routing_cmds = 0;
+        let mut retune_cmds = 0;
+        for cmd in &cmds {
+            match cmd.verb {
+                ControlVerb::QuarantineNode { node, .. } => {
+                    if cmd.budget_ok {
+                        assert!(
+                            headroom > 0,
+                            "budget_ok quarantine of {node} with {} already in force (budget {budget})",
+                            in_force.len()
+                        );
+                        headroom -= 1;
+                    }
+                    check_lemon_cooldown(&last_lemon_cmd, node, t, cooldown_days);
+                    last_lemon_cmd.insert(node, t);
+                }
+                ControlVerb::RemediateNode { node } => {
+                    assert!(cmd.budget_ok, "remediation visits are not budgeted");
+                    check_lemon_cooldown(&last_lemon_cmd, node, t, cooldown_days);
+                    last_lemon_cmd.insert(node, t);
+                }
+                ControlVerb::AdaptiveRouting => {
+                    routing_cmds += 1;
+                    assert!(
+                        !routing_adaptive,
+                        "adaptive commanded while already adaptive"
+                    );
+                }
+                ControlVerb::RestoreRouting => {
+                    routing_cmds += 1;
+                    assert!(routing_adaptive, "restore commanded while already static");
+                    if let Some(prev) = routing_changed_at {
+                        assert!(
+                            t.saturating_since(prev) >= SimDuration::from_days(revert_days),
+                            "restore at {t:?} inside the revert cooldown after {prev:?}"
+                        );
+                    }
+                }
+                ControlVerb::RetuneCheckpoint { interval } => {
+                    retune_cmds += 1;
+                    if let Some(cur) = interval_in_force {
+                        let cur = cur as f64;
+                        assert!(
+                            (interval.as_secs() as f64 - cur).abs() > tolerance * cur,
+                            "retune to {interval:?} inside the {tolerance} band around {cur}s"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(routing_cmds <= 1, "more than one routing command per tick");
+        assert!(retune_cmds <= 1, "more than one retune per tick");
+
+        // Driver verdicts: accept budget_ok commands, except quarantines
+        // when the adversary says the node was already in remediation.
+        for cmd in &cmds {
+            if !cmd.budget_ok {
+                continue;
+            }
+            match cmd.verb {
+                ControlVerb::QuarantineNode { node, .. } => {
+                    if !reject_quarantine {
+                        in_force.insert(node);
+                        core.observe_action(&record(
+                            ControlActionKind::QuarantineNode,
+                            Some(node),
+                            t,
+                            0,
+                        ));
+                    }
+                }
+                ControlVerb::RemediateNode { .. } => {}
+                ControlVerb::AdaptiveRouting => {
+                    routing_adaptive = true;
+                    routing_changed_at = Some(t);
+                    core.observe_action(&record(ControlActionKind::AdaptiveRouting, None, t, 0));
+                }
+                ControlVerb::RestoreRouting => {
+                    routing_adaptive = false;
+                    routing_changed_at = Some(t);
+                    core.observe_action(&record(ControlActionKind::RestoreRouting, None, t, 0));
+                }
+                ControlVerb::RetuneCheckpoint { interval } => {
+                    interval_in_force = Some(interval.as_secs());
+                    core.observe_action(&record(
+                        ControlActionKind::RetuneCheckpoint,
+                        None,
+                        t,
+                        interval.as_secs(),
+                    ));
+                }
+            }
+        }
+
+        // Adversarial release: the plant frees a quarantined node.
+        if release_one {
+            if let Some(&node) = in_force.iter().next() {
+                in_force.remove(&node);
+                core.observe_action(&record(ControlActionKind::ReleaseNode, Some(node), t, 0));
+            }
+        }
+
+        assert_eq!(core.active_quarantines(), in_force.len());
+        assert!(
+            in_force.len() as u32 <= budget,
+            "budget exceeded in the plant"
+        );
+    }
+}
+
+fn check_lemon_cooldown(
+    last: &std::collections::BTreeMap<NodeId, SimTime>,
+    node: NodeId,
+    t: SimTime,
+    cooldown_days: u64,
+) {
+    if let Some(&prev) = last.get(&node) {
+        assert!(
+            t.saturating_since(prev) >= SimDuration::from_days(cooldown_days),
+            "lemon action on {node} at {t:?} inside the cooldown after {prev:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_actuation_is_budgeted_and_gated(
+        budget in 1u32..5,
+        cooldown_days in 1u64..10,
+        revert_days in 1u64..6,
+        steps in proptest::collection::vec(
+            (0u32..400, 0u8..64, any::<bool>(), any::<bool>(), 0u8..8, any::<bool>(), any::<bool>()),
+            0..120,
+        ),
+    ) {
+        run_schedule(budget, cooldown_days, revert_days, &steps);
+    }
+}
+
+#[test]
+fn mirror_actuation_is_budgeted_and_gated() {
+    let mut rng = XorShift(0x5eed_c0de_ac7e_0001);
+    for _ in 0..48 {
+        let budget = 1 + rng.below(4) as u32;
+        let cooldown_days = 1 + rng.below(9);
+        let revert_days = 1 + rng.below(5);
+        let steps: Vec<Step> = (0..rng.below(120))
+            .map(|_| {
+                (
+                    rng.below(400) as u32,
+                    rng.below(64) as u8,
+                    rng.below(2) == 0,
+                    rng.below(2) == 0,
+                    rng.below(8) as u8,
+                    rng.below(2) == 0,
+                    rng.below(2) == 0,
+                )
+            })
+            .collect();
+        run_schedule(budget, cooldown_days, revert_days, &steps);
+    }
+}

@@ -1,0 +1,71 @@
+//! The closed-loop cache contract: a cache hit reproduces the live run's
+//! control-action log exactly — bitwise through the snapshot codec — and
+//! open- and closed-loop artifacts never collide in the shared cache
+//! directory.
+
+use rsc_control::runner::{ClosedLoopRunner, ClosedLoopSpec};
+use rsc_control::ControlPolicy;
+use rsc_sim::config::SimConfig;
+use rsc_sim::runner::ObservedOutcome;
+use rsc_sim_core::time::SimDuration;
+use rsc_telemetry::snapshot::write_snapshot;
+
+fn lemon_heavy_spec(seed: u64) -> ClosedLoopSpec {
+    let mut config = SimConfig::small_test_cluster();
+    config.lemon_count = 2;
+    config.lemon_extra_rate_median *= 4.0;
+    ClosedLoopSpec::new(config, seed, 30, ControlPolicy::rsc_default())
+}
+
+fn temp_cache(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rsc-control-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn cache_hit_reproduces_live_action_log_bitwise() {
+    let dir = temp_cache("replay");
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = ClosedLoopRunner::without_cache().with_cache_dir(&dir);
+    let spec = lemon_heavy_spec(11);
+
+    let cold = runner.run_one(&spec);
+    assert_eq!(cold.outcome, ObservedOutcome::Live);
+    assert!(
+        !cold.view.control_actions().is_empty(),
+        "scenario must exercise the controller for the replay check to mean anything"
+    );
+
+    let warm = runner.run_one(&spec);
+    assert_eq!(warm.outcome, ObservedOutcome::CachedSkipped);
+    assert_eq!(
+        cold.view.control_actions(),
+        warm.view.control_actions(),
+        "cached action log must equal the live one"
+    );
+    let mut cold_bytes = Vec::new();
+    write_snapshot(&mut cold_bytes, &cold.view).expect("encode live view");
+    let mut warm_bytes = Vec::new();
+    write_snapshot(&mut warm_bytes, &warm.view).expect("encode cached view");
+    assert_eq!(cold_bytes, warm_bytes, "cache round-trip must be bitwise");
+    assert_eq!(
+        cold.effective_checkpoint_interval(SimDuration::from_hours(1)),
+        warm.effective_checkpoint_interval(SimDuration::from_hours(1)),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifacts_are_namespaced_and_policy_sensitive() {
+    let spec = lemon_heavy_spec(7);
+    assert!(spec.cache_file_name().starts_with("cl-"));
+
+    // Same (config, seed, days), different policy: different artifact.
+    let mut other = spec.clone();
+    other.policy.max_concurrent_quarantines += 1;
+    assert_ne!(spec.fingerprint(), other.fingerprint());
+
+    // And the open-loop ScenarioSpec artifact name for the same scenario
+    // never equals the closed-loop one, whatever the fingerprints do.
+    let open = rsc_sim::runner::ScenarioSpec::new(spec.config.clone(), spec.seed, spec.days);
+    assert_ne!(open.cache_file_name(), spec.cache_file_name());
+}

@@ -108,6 +108,61 @@ impl ProbationPolicy {
     }
 }
 
+/// Who ordered a quarantine. Operator quarantines (the repair ladder's
+/// budget exhaustion and the `rsc_default` write-off) are absorbing; only
+/// a quarantine the *control plane* initiated may later be released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuarantineOrigin {
+    /// Budget exhaustion on the repair ladder (or any non-controller
+    /// write-off). Absorbing forever.
+    Operator,
+    /// A closed-loop controller pulled the node preemptively. Eligible
+    /// for controlled release under a [`ReleasePolicy`].
+    Controller,
+}
+
+/// Controlled release of controller-initiated quarantines: after
+/// `clean_windows` consecutive clean probation-style windows the node may
+/// return to service. A dirty window (the node's symptoms recur with
+/// probability `flunk_prob`) resets the streak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReleasePolicy {
+    /// Consecutive clean windows required before release.
+    pub clean_windows: u32,
+    /// Length of one observation window.
+    pub window: SimDuration,
+    /// Probability a window observes recurring symptoms (streak resets).
+    pub flunk_prob: f64,
+}
+
+impl ReleasePolicy {
+    /// Defaults: three clean 2-day windows, 10% of windows dirty.
+    pub fn rsc_default() -> Self {
+        ReleasePolicy {
+            clean_windows: 3,
+            window: SimDuration::from_days(2),
+            flunk_prob: 0.10,
+        }
+    }
+}
+
+/// What resolving one controlled-release window did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// Enough consecutive clean windows: the node returns to service.
+    Released,
+    /// The window was clean but the streak is not yet long enough.
+    Progress {
+        /// Clean windows accumulated so far.
+        completed: u32,
+    },
+    /// Symptoms recurred: the streak resets to zero.
+    Reset,
+    /// Not eligible: the node is not quarantined, or the quarantine is
+    /// operator-initiated (absorbing). No RNG is drawn.
+    Absorbing,
+}
+
 /// Full policy for the fallible remediation lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RemediationPolicy {
@@ -282,6 +337,11 @@ pub struct NodeLifecycle {
     state: LifecycleState,
     /// Failed attempts (repairs + probations) since entering repair.
     total_failures: u32,
+    /// Who ordered the quarantine, once quarantined. Ladder-driven
+    /// quarantines are always [`QuarantineOrigin::Operator`].
+    quarantine_origin: QuarantineOrigin,
+    /// Consecutive clean controlled-release windows while quarantined.
+    clean_release_windows: u32,
 }
 
 impl NodeLifecycle {
@@ -299,6 +359,55 @@ impl NodeLifecycle {
                 attempt_in_rung: 0,
             },
             total_failures: 0,
+            quarantine_origin: QuarantineOrigin::Operator,
+            clean_release_windows: 0,
+        }
+    }
+
+    /// Enters quarantine directly, recording who ordered it. The control
+    /// plane uses this for preemptive lemon quarantines; such nodes are
+    /// eligible for [`Self::resolve_release_window`], while operator
+    /// quarantines stay absorbing exactly as before.
+    pub fn begin_quarantined(origin: QuarantineOrigin) -> Self {
+        NodeLifecycle {
+            state: LifecycleState::Quarantined,
+            total_failures: 0,
+            quarantine_origin: origin,
+            clean_release_windows: 0,
+        }
+    }
+
+    /// Who ordered the quarantine (meaningful only while quarantined).
+    pub fn quarantine_origin(&self) -> QuarantineOrigin {
+        self.quarantine_origin
+    }
+
+    /// Resolves one controlled-release observation window. Only a
+    /// controller-initiated quarantine ever progresses: operator
+    /// quarantines return [`ReleaseOutcome::Absorbing`] without drawing
+    /// from the RNG, so the ladder's write-offs stay permanent.
+    pub fn resolve_release_window(
+        &mut self,
+        policy: &ReleasePolicy,
+        rng: &mut SimRng,
+    ) -> ReleaseOutcome {
+        if self.state != LifecycleState::Quarantined
+            || self.quarantine_origin != QuarantineOrigin::Controller
+        {
+            return ReleaseOutcome::Absorbing;
+        }
+        if rng.chance(policy.flunk_prob) {
+            self.clean_release_windows = 0;
+            return ReleaseOutcome::Reset;
+        }
+        self.clean_release_windows += 1;
+        if self.clean_release_windows >= policy.clean_windows.max(1) {
+            self.state = LifecycleState::InService;
+            self.clean_release_windows = 0;
+            return ReleaseOutcome::Released;
+        }
+        ReleaseOutcome::Progress {
+            completed: self.clean_release_windows,
         }
     }
 
@@ -605,6 +714,87 @@ mod tests {
             lc.resolve_attempt(&policy, &mut rng);
         }
         assert!(last > 1.0);
+    }
+
+    #[test]
+    fn controller_quarantine_releases_after_clean_windows() {
+        let policy = ReleasePolicy {
+            clean_windows: 3,
+            window: SimDuration::from_days(2),
+            flunk_prob: 0.0,
+        };
+        let mut rng = SimRng::seed_from(8);
+        let mut lc = NodeLifecycle::begin_quarantined(QuarantineOrigin::Controller);
+        assert!(lc.is_quarantined());
+        assert_eq!(lc.quarantine_origin(), QuarantineOrigin::Controller);
+        assert_eq!(
+            lc.resolve_release_window(&policy, &mut rng),
+            ReleaseOutcome::Progress { completed: 1 }
+        );
+        assert_eq!(
+            lc.resolve_release_window(&policy, &mut rng),
+            ReleaseOutcome::Progress { completed: 2 }
+        );
+        assert_eq!(
+            lc.resolve_release_window(&policy, &mut rng),
+            ReleaseOutcome::Released
+        );
+        assert_eq!(lc.state(), LifecycleState::InService);
+    }
+
+    #[test]
+    fn dirty_release_window_resets_the_streak() {
+        let mut policy = ReleasePolicy::rsc_default();
+        policy.clean_windows = 2;
+        policy.flunk_prob = 1.0;
+        let mut rng = SimRng::seed_from(9);
+        let mut lc = NodeLifecycle::begin_quarantined(QuarantineOrigin::Controller);
+        assert_eq!(
+            lc.resolve_release_window(&policy, &mut rng),
+            ReleaseOutcome::Reset
+        );
+        assert!(lc.is_quarantined());
+        policy.flunk_prob = 0.0;
+        assert_eq!(
+            lc.resolve_release_window(&policy, &mut rng),
+            ReleaseOutcome::Progress { completed: 1 }
+        );
+        assert_eq!(
+            lc.resolve_release_window(&policy, &mut rng),
+            ReleaseOutcome::Released
+        );
+    }
+
+    #[test]
+    fn operator_quarantine_stays_absorbing_under_release_policy() {
+        let policy = ReleasePolicy {
+            clean_windows: 1,
+            window: SimDuration::from_days(1),
+            flunk_prob: 0.0,
+        };
+        let mut rng_a = SimRng::seed_from(10);
+        let mut rng_b = SimRng::seed_from(10);
+
+        // A ladder-driven quarantine never releases, no matter how many
+        // windows resolve...
+        let mut ladder = RemediationPolicy::rsc_default().with_failure_prob(1.0);
+        ladder.max_total_attempts = 1;
+        let mut lc = NodeLifecycle::begin(false);
+        assert_eq!(
+            lc.resolve_attempt(&ladder, &mut rng_a),
+            AttemptOutcome::Quarantined
+        );
+        for _ in 0..5 {
+            assert_eq!(
+                lc.resolve_release_window(&policy, &mut rng_a),
+                ReleaseOutcome::Absorbing
+            );
+        }
+        assert!(lc.is_quarantined());
+
+        // ...and absorbing resolutions draw nothing from the RNG.
+        lc.resolve_attempt(&ladder, &mut rng_b);
+        assert_eq!(rng_a.below(1 << 30), rng_b.below(1 << 30));
     }
 
     #[test]

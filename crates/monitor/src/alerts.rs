@@ -102,21 +102,37 @@ struct KeyState {
     /// Index into the log of the currently-active alert, if any.
     active: Option<usize>,
     last_transition: Option<SimTime>,
+    /// When the key last cleared, for the post-clear re-raise cooldown.
+    last_clear: Option<SimTime>,
 }
 
 /// Raise/clear state machine over alert keys.
 #[derive(Debug, Clone)]
 pub struct AlertEngine {
     debounce: SimDuration,
+    reraise_cooldown: SimDuration,
     states: BTreeMap<AlertKey, KeyState>,
     log: Vec<Alert>,
 }
 
 impl AlertEngine {
-    /// An engine with the given transition debounce.
+    /// An engine with the given transition debounce and no re-raise
+    /// cooldown (the pre-cooldown behaviour).
     pub fn new(debounce: SimDuration) -> Self {
+        AlertEngine::with_cooldowns(debounce, SimDuration::ZERO)
+    }
+
+    /// An engine with a transition debounce plus a post-clear re-raise
+    /// cooldown: after a key clears, raising *that key* again is
+    /// suppressed until the cooldown has elapsed since the clear. This
+    /// kills the churn of a metric that oscillates across the hysteresis
+    /// band — each clear buys a quiet period instead of an immediate
+    /// re-raise one debounce later. `ZERO` reproduces [`AlertEngine::new`]
+    /// exactly.
+    pub fn with_cooldowns(debounce: SimDuration, reraise_cooldown: SimDuration) -> Self {
         AlertEngine {
             debounce,
+            reraise_cooldown,
             states: BTreeMap::new(),
             log: Vec::new(),
         }
@@ -135,7 +151,10 @@ impl AlertEngine {
                 threshold,
                 message,
             } if state.active.is_none() => {
-                if debounced {
+                let cooling = state
+                    .last_clear
+                    .is_some_and(|t| now.saturating_since(t) < self.reraise_cooldown);
+                if debounced || cooling {
                     return false;
                 }
                 state.active = Some(self.log.len());
@@ -156,6 +175,7 @@ impl AlertEngine {
                 }
                 let idx = state.active.take().expect("checked active");
                 state.last_transition = Some(now);
+                state.last_clear = Some(now);
                 self.log[idx].cleared_at = Some(now);
                 true
             }
@@ -226,6 +246,25 @@ mod tests {
             AlertKey::QuarantineSurge,
             AlertSignal::Clear
         ));
+    }
+
+    #[test]
+    fn reraise_cooldown_suppresses_post_clear_churn() {
+        let mut e = AlertEngine::with_cooldowns(SimDuration::ZERO, SimDuration::from_days(5));
+        assert!(e.evaluate(SimTime::from_days(1), AlertKey::MttfRegression, raise()));
+        assert!(e.evaluate(
+            SimTime::from_days(2),
+            AlertKey::MttfRegression,
+            AlertSignal::Clear
+        ));
+        // Re-raise two days after the clear: inside the cooldown.
+        assert!(!e.evaluate(SimTime::from_days(4), AlertKey::MttfRegression, raise()));
+        assert_eq!(e.log().len(), 1);
+        // A different key is unaffected by this key's cooldown clock.
+        assert!(e.evaluate(SimTime::from_days(4), AlertKey::QuarantineSurge, raise()));
+        // Five days after the clear: allowed again.
+        assert!(e.evaluate(SimTime::from_days(7), AlertKey::MttfRegression, raise()));
+        assert_eq!(e.log().len(), 3);
     }
 
     #[test]

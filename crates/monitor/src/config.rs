@@ -62,6 +62,10 @@ impl RefJob {
 pub struct AlertPolicy {
     /// Minimum simulated time between opposite transitions of one alert.
     pub debounce: SimDuration,
+    /// After a key clears, suppress re-raising *that key* until this much
+    /// time has elapsed since the clear. `ZERO` (the default) disables the
+    /// cooldown, reproducing pre-cooldown alert logs exactly.
+    pub reraise_cooldown: SimDuration,
     /// Raise `MttfRegression` when the rolling-window MTTF's upper
     /// confidence bound falls below this fraction of the cumulative MTTF.
     pub mttf_raise_ratio: f64,
@@ -86,6 +90,7 @@ impl AlertPolicy {
     pub fn rsc_default() -> Self {
         AlertPolicy {
             debounce: SimDuration::from_days(2),
+            reraise_cooldown: SimDuration::ZERO,
             mttf_raise_ratio: 0.5,
             mttf_clear_ratio: 0.8,
             min_rolling_failures: 5,

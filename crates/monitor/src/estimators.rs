@@ -523,6 +523,8 @@ pub struct Counters {
     pub ckpt_fallbacks: u64,
     /// GPU-hours of productive work discarded by checkpoint fallbacks.
     pub fallback_lost_gpu_hours: f64,
+    /// Control-plane actions (accepted or budget-rejected).
+    pub control_actions: u64,
     /// Daily ticks received.
     pub ticks: u64,
 }

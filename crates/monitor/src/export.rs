@@ -5,6 +5,7 @@ use std::io;
 use std::path::Path;
 
 use rsc_telemetry::csv::write_csv_file;
+use rsc_telemetry::store::ControlActionEvent;
 
 use crate::alerts::Alert;
 use crate::report::MonitorReport;
@@ -90,6 +91,74 @@ pub fn write_alerts_rollup_csv<P: AsRef<Path>>(
     write_csv_file(path, &ALERTS_ROLLUP_CSV_HEADER, rows)
 }
 
+/// Column header of the control-action-stream CSV.
+pub const ACTIONS_CSV_HEADER: [&str; 7] = [
+    "kind", "trigger", "at_days", "node", "job", "accepted", "value",
+];
+
+/// Renders a control-action log as CSV rows matching
+/// [`ACTIONS_CSV_HEADER`]. Fleet-wide actions leave `node` empty;
+/// actions without a job target leave `job` empty.
+pub fn actions_rows(actions: &[ControlActionEvent]) -> Vec<Vec<String>> {
+    actions
+        .iter()
+        .map(|a| {
+            vec![
+                a.kind.label().to_string(),
+                a.trigger.label().to_string(),
+                format!("{:.6}", a.at.as_days()),
+                a.node.map(|n| n.index().to_string()).unwrap_or_default(),
+                a.job.map(|j| j.raw().to_string()).unwrap_or_default(),
+                if a.accepted { "1" } else { "0" }.to_string(),
+                a.value.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Writes a control-action log to a CSV file, creating parent
+/// directories.
+///
+/// # Errors
+///
+/// Returns any error from directory creation or file I/O.
+pub fn write_actions_csv<P: AsRef<Path>>(
+    path: P,
+    actions: &[ControlActionEvent],
+) -> io::Result<()> {
+    write_csv_file(path, &ACTIONS_CSV_HEADER, actions_rows(actions))
+}
+
+/// Column header of the combined multi-scenario control-action rollup
+/// CSV: the per-scenario [`ACTIONS_CSV_HEADER`] columns behind a
+/// scenario fingerprint column.
+pub const ACTIONS_ROLLUP_CSV_HEADER: [&str; 8] = [
+    "scenario", "kind", "trigger", "at_days", "node", "job", "accepted", "value",
+];
+
+/// Writes one combined control-action CSV covering a batch of scenarios,
+/// each entry a `(scenario label, action log)` pair. Rows keep entry
+/// order, then action order, so identical batches write identical bytes.
+///
+/// # Errors
+///
+/// Returns any error from directory creation or file I/O.
+pub fn write_actions_rollup_csv<P: AsRef<Path>>(
+    path: P,
+    entries: &[(String, &[ControlActionEvent])],
+) -> io::Result<()> {
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .flat_map(|(label, actions)| {
+            actions_rows(actions).into_iter().map(move |mut row| {
+                row.insert(0, label.clone());
+                row
+            })
+        })
+        .collect();
+    write_csv_file(path, &ACTIONS_ROLLUP_CSV_HEADER, rows)
+}
+
 /// Writes a monitor report as JSON, creating parent directories.
 ///
 /// # Errors
@@ -149,6 +218,47 @@ mod tests {
         let row = lines.next().expect("one data row");
         assert!(row.starts_with("0000000000000001,lemon_suspect,7,"));
         assert_eq!(lines.next(), None); // empty scenario adds no rows
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn action_rows_match_header_width() {
+        use rsc_telemetry::store::{ControlActionKind, ControlTrigger};
+        let action = ControlActionEvent {
+            at: SimTime::from_days(2),
+            kind: ControlActionKind::QuarantineNode,
+            trigger: ControlTrigger::LemonSuspect,
+            node: Some(NodeId::new(3)),
+            job: None,
+            accepted: false,
+            value: 0,
+        };
+        let rows = actions_rows(&[action]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), ACTIONS_CSV_HEADER.len());
+        assert_eq!(rows[0][0], "quarantine_node");
+        assert_eq!(rows[0][1], "lemon_suspect");
+        assert_eq!(rows[0][3], "3");
+        assert_eq!(rows[0][4], ""); // no job target
+        assert_eq!(rows[0][5], "0"); // budget-rejected
+
+        let dir = std::env::temp_dir().join(format!("rsc_actions_test_{}", std::process::id()));
+        let path = dir.join("actions_rollup.csv");
+        let entries = vec![(
+            "0000000000000001".to_string(),
+            std::slice::from_ref(&action),
+        )];
+        write_actions_rollup_csv(&path, &entries).expect("write rollup");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let mut lines = body.lines();
+        assert_eq!(
+            lines.next().expect("header"),
+            ACTIONS_ROLLUP_CSV_HEADER.join(",")
+        );
+        assert!(lines
+            .next()
+            .expect("one data row")
+            .starts_with("0000000000000001,quarantine_node,lemon_suspect,"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -67,6 +67,10 @@ pub use estimators::{
     AvailabilitySnapshot, Counters, DetectionLatency, LogHistogram, RollingMttf,
     RollingMttfEstimate, StreamingAvailability, StreamingFailureRate, StreamingMttf,
 };
+pub use export::{
+    write_actions_csv, write_actions_rollup_csv, write_alerts_csv, write_alerts_rollup_csv,
+    write_report_json,
+};
 pub use lemon::WindowedLemon;
 pub use monitor::ReliabilityMonitor;
 pub use replay::replay_view;

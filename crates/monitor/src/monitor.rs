@@ -47,7 +47,8 @@ impl ReliabilityMonitor {
     /// allocated when [`SimEvent::Start`] arrives.
     pub fn new(config: MonitorConfig) -> Self {
         let rolling = RollingMttf::new(config.mttf_window);
-        let alerts = AlertEngine::new(config.alerts.debounce);
+        let alerts =
+            AlertEngine::with_cooldowns(config.alerts.debounce, config.alerts.reraise_cooldown);
         let rate = StreamingFailureRate::new(config.min_gpus);
         let lemon = WindowedLemon::new(0, config.lemon_window);
         ReliabilityMonitor {
@@ -283,6 +284,10 @@ impl SimObserver for ReliabilityMonitor {
             SimEvent::CkptFallback(e) => {
                 self.counters.ckpt_fallbacks += 1;
                 self.counters.fallback_lost_gpu_hours += e.lost.as_hours() * e.gpus as f64;
+                self.now = e.at;
+            }
+            SimEvent::ControlAction(e) => {
+                self.counters.control_actions += 1;
                 self.now = e.at;
             }
             SimEvent::Tick { now } => {

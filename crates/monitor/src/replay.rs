@@ -40,7 +40,8 @@ pub fn replay_view(view: &TelemetryView, observer: &mut dyn SimObserver) {
             + view.health_events().len()
             + view.node_events().len()
             + view.exclusions().len()
-            + view.ckpt_fallbacks().len(),
+            + view.ckpt_fallbacks().len()
+            + view.control_actions().len(),
     );
     for e in view.ground_truth_failures() {
         points.push((e.at, 0, SimEvent::GroundTruth(e)));
@@ -56,6 +57,9 @@ pub fn replay_view(view: &TelemetryView, observer: &mut dyn SimObserver) {
     }
     for e in view.ckpt_fallbacks() {
         points.push((e.at, 4, SimEvent::CkptFallback(e)));
+    }
+    for e in view.control_actions() {
+        points.push((e.at, 5, SimEvent::ControlAction(e)));
     }
     points.sort_by_key(|&(at, priority, _)| (at, priority));
 

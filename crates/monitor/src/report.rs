@@ -320,7 +320,7 @@ fn json_string(s: &str) -> String {
 
 fn counters_json(c: &Counters) -> String {
     format!(
-        "{{\"jobs\":{},\"jobs_started\":{},\"completed\":{},\"failed\":{},\"node_fail\":{},\"requeued\":{},\"preempted\":{},\"other\":{},\"gpu_hours\":{},\"health_events\":{},\"false_positives\":{},\"node_events\":{},\"quarantined\":{},\"exclusions\":{},\"ground_truth\":{},\"ckpt_fallbacks\":{},\"fallback_lost_gpu_hours\":{},\"ticks\":{}}}",
+        "{{\"jobs\":{},\"jobs_started\":{},\"completed\":{},\"failed\":{},\"node_fail\":{},\"requeued\":{},\"preempted\":{},\"other\":{},\"gpu_hours\":{},\"health_events\":{},\"false_positives\":{},\"node_events\":{},\"quarantined\":{},\"exclusions\":{},\"ground_truth\":{},\"ckpt_fallbacks\":{},\"fallback_lost_gpu_hours\":{},\"control_actions\":{},\"ticks\":{}}}",
         c.jobs,
         c.jobs_started,
         c.completed,
@@ -338,6 +338,7 @@ fn counters_json(c: &Counters) -> String {
         c.ground_truth,
         c.ckpt_fallbacks,
         json_f64(c.fallback_lost_gpu_hours),
+        c.control_actions,
         c.ticks
     )
 }

@@ -9,9 +9,14 @@ use rsc_sim::bus::SharedObserver;
 use rsc_sim::runner::{ObservedOutcome, ScenarioRunner, ScenarioSpec};
 use rsc_telemetry::view::TelemetryView;
 
+use rsc_telemetry::store::ControlActionEvent;
+
 use crate::alerts::Alert;
 use crate::config::MonitorConfig;
-use crate::export::{write_alerts_csv, write_alerts_rollup_csv, write_report_json};
+use crate::export::{
+    write_actions_csv, write_actions_rollup_csv, write_alerts_csv, write_alerts_rollup_csv,
+    write_report_json,
+};
 use crate::monitor::ReliabilityMonitor;
 use crate::replay::replay_view;
 use crate::report::MonitorReport;
@@ -95,6 +100,10 @@ impl MonitoredRunner {
             if write_alerts_csv(&csv_path, &report.alerts).is_ok() {
                 artifacts.push(csv_path);
             }
+            let actions_path = dir.join(format!("{fp:016x}.actions.csv"));
+            if write_actions_csv(&actions_path, view.control_actions()).is_ok() {
+                artifacts.push(actions_path);
+            }
         }
 
         MonitoredRun {
@@ -122,6 +131,7 @@ impl MonitoredRunner {
         let runs: Vec<MonitoredRun> = specs.iter().map(|s| self.run_one(s)).collect();
 
         let mut rollup = None;
+        let mut actions_rollup = None;
         if self.config.enabled {
             if let Some(dir) = self.runner.cache_dir() {
                 let entries: Vec<(String, &[Alert])> = specs
@@ -138,9 +148,27 @@ impl MonitoredRunner {
                 if write_alerts_rollup_csv(&path, &entries).is_ok() {
                     rollup = Some(path);
                 }
+                let action_entries: Vec<(String, &[ControlActionEvent])> = specs
+                    .iter()
+                    .zip(&runs)
+                    .map(|(spec, run)| {
+                        (
+                            format!("{:016x}", spec.fingerprint()),
+                            run.view.control_actions(),
+                        )
+                    })
+                    .collect();
+                let actions_path = dir.join("actions_rollup.csv");
+                if write_actions_rollup_csv(&actions_path, &action_entries).is_ok() {
+                    actions_rollup = Some(actions_path);
+                }
             }
         }
-        MonitoredBatch { runs, rollup }
+        MonitoredBatch {
+            runs,
+            rollup,
+            actions_rollup,
+        }
     }
 }
 
@@ -152,6 +180,11 @@ pub struct MonitoredBatch {
     /// Path of the combined alert rollup CSV, when the runner has a
     /// cache directory and the monitor was enabled.
     pub rollup: Option<PathBuf>,
+    /// Path of the combined control-action rollup CSV, written under the
+    /// same conditions as `rollup`. Open-loop batches produce a
+    /// header-only file: the column contract holds whether or not a
+    /// controller ever actuated.
+    pub actions_rollup: Option<PathBuf>,
 }
 
 #[cfg(test)]
@@ -188,6 +221,11 @@ mod tests {
         ];
         let batch = runner.run_all(&specs);
         assert_eq!(batch.runs.len(), 2);
+        // Open-loop batches still write the action rollup: header-only.
+        let actions = batch.actions_rollup.expect("actions rollup written");
+        let actions_body = std::fs::read_to_string(&actions).expect("actions readable");
+        assert_eq!(actions_body.lines().count(), 1);
+        assert!(actions_body.starts_with("scenario,kind,trigger,"));
         let rollup = batch.rollup.expect("rollup written next to cache");
         assert_eq!(rollup, dir.join("alerts_rollup.csv"));
         let body = std::fs::read_to_string(&rollup).expect("rollup readable");
@@ -230,7 +268,7 @@ mod tests {
         // The replayed report equals the live one, field for field.
         assert_eq!(cold.report, warm.report);
         // Both runs wrote (or rewrote) the report artifacts.
-        assert_eq!(warm.artifacts.len(), 2);
+        assert_eq!(warm.artifacts.len(), 3);
         assert!(warm.artifacts.iter().all(|p| p.exists()));
         let _ = std::fs::remove_dir_all(&dir);
     }

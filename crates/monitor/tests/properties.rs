@@ -145,11 +145,20 @@ fn assert_streaming_equals_batch(view: &TelemetryView) {
 }
 
 /// Replays one signal schedule through an engine and asserts the no-flap
-/// invariant: per key, consecutive transitions are >= debounce apart.
-fn assert_no_flap(debounce_days: u64, schedule: &[(u32, u8, bool)]) {
+/// invariants: per key, consecutive transitions are >= debounce apart,
+/// and no raise lands within the re-raise cooldown of the preceding clear
+/// of the same key.
+fn assert_no_flap_with_cooldown(
+    debounce_days: u64,
+    cooldown_days: u64,
+    schedule: &[(u32, u8, bool)],
+) {
     let debounce = SimDuration::from_days(debounce_days);
-    let mut engine = AlertEngine::new(debounce);
+    let cooldown = SimDuration::from_days(cooldown_days);
+    let mut engine = AlertEngine::with_cooldowns(debounce, cooldown);
     let mut last_transition: std::collections::BTreeMap<AlertKey, SimTime> =
+        std::collections::BTreeMap::new();
+    let mut last_clear: std::collections::BTreeMap<AlertKey, SimTime> =
         std::collections::BTreeMap::new();
     let mut t = SimTime::ZERO;
     for &(advance_mins, key_pick, raise) in schedule {
@@ -175,6 +184,17 @@ fn assert_no_flap(debounce_days: u64, schedule: &[(u32, u8, bool)]) {
                     "key {key:?} flapped: transitions at {prev:?} and {t:?} < {debounce:?} apart"
                 );
             }
+            if raise {
+                if let Some(&cleared) = last_clear.get(&key) {
+                    assert!(
+                        t.saturating_since(cleared) >= cooldown,
+                        "key {key:?} re-raised at {t:?}, inside the {cooldown:?} cooldown \
+                         after clearing at {cleared:?}"
+                    );
+                }
+            } else {
+                last_clear.insert(key, t);
+            }
             last_transition.insert(key, t);
         }
     }
@@ -185,6 +205,12 @@ fn assert_no_flap(debounce_days: u64, schedule: &[(u32, u8, bool)]) {
             assert!(cleared >= a.raised_at);
         }
     }
+}
+
+/// The cooldown-free engine (`AlertEngine::new`) is the zero-cooldown
+/// special case.
+fn assert_no_flap(debounce_days: u64, schedule: &[(u32, u8, bool)]) {
+    assert_no_flap_with_cooldown(debounce_days, 0, schedule);
 }
 
 proptest! {
@@ -206,6 +232,17 @@ proptest! {
         let schedule: Vec<(u32, u8, bool)> =
             schedule.into_iter().map(|(a, k, r)| (a, k, r == 1)).collect();
         assert_no_flap(debounce_days, &schedule);
+    }
+
+    #[test]
+    fn prop_reraise_cooldown_holds(
+        debounce_days in 0u64..4,
+        cooldown_days in 0u64..7,
+        schedule in proptest::collection::vec((0u32..4000, 0u8..8, 0u8..2), 0..200),
+    ) {
+        let schedule: Vec<(u32, u8, bool)> =
+            schedule.into_iter().map(|(a, k, r)| (a, k, r == 1)).collect();
+        assert_no_flap_with_cooldown(debounce_days, cooldown_days, &schedule);
     }
 }
 
@@ -251,6 +288,25 @@ fn mirror_alerts_never_flap() {
             })
             .collect();
         assert_no_flap(debounce_days, &schedule);
+    }
+}
+
+#[test]
+fn mirror_reraise_cooldown_holds() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0003);
+    for _ in 0..48 {
+        let debounce_days = rng.below(4);
+        let cooldown_days = rng.below(7);
+        let schedule: Vec<(u32, u8, bool)> = (0..rng.below(200))
+            .map(|_| {
+                (
+                    rng.below(4000) as u32,
+                    rng.below(8) as u8,
+                    rng.below(2) == 0,
+                )
+            })
+            .collect();
+        assert_no_flap_with_cooldown(debounce_days, cooldown_days, &schedule);
     }
 }
 

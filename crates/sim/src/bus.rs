@@ -19,7 +19,9 @@ use rsc_failure::injector::FailureEvent;
 use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
 use rsc_sim_core::time::SimTime;
-use rsc_telemetry::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent};
+use rsc_telemetry::store::{
+    CheckpointFallbackEvent, ControlActionEvent, ExclusionEvent, NodeEvent,
+};
 
 /// One item of the simulation's event stream, borrowed from the driver at
 /// the moment the corresponding telemetry record is appended.
@@ -49,6 +51,10 @@ pub enum SimEvent<'a> {
     GroundTruth(&'a FailureEvent),
     /// A restarting job fell back to an older checkpoint.
     CkptFallback(&'a CheckpointFallbackEvent),
+    /// The control plane actuated (or budget-rejected) a mitigation. Only
+    /// closed-loop runs — a driver with a command queue attached and a
+    /// controller issuing commands — ever produce this variant.
+    ControlAction(&'a ControlActionEvent),
     /// The daily housekeeping sweep ran: a natural cadence for windowed
     /// re-evaluation. All job records with `ended_at <= now` have been
     /// delivered by the time the tick arrives.
@@ -77,6 +83,7 @@ impl SimEvent<'_> {
             SimEvent::Exclusion(e) => Some(e.at),
             SimEvent::GroundTruth(e) => Some(e.at),
             SimEvent::CkptFallback(e) => Some(e.at),
+            SimEvent::ControlAction(e) => Some(e.at),
             SimEvent::Tick { now } => Some(*now),
             SimEvent::Finish { horizon, .. } => Some(*horizon),
         }
@@ -112,6 +119,8 @@ pub struct CountingObserver {
     pub ground_truth: u64,
     /// Checkpoint fallbacks received.
     pub ckpt_fallbacks: u64,
+    /// Control actions received.
+    pub control_actions: u64,
     /// Daily ticks received.
     pub ticks: u64,
 }
@@ -126,6 +135,7 @@ impl SimObserver for CountingObserver {
             SimEvent::Exclusion(_) => self.exclusions += 1,
             SimEvent::GroundTruth(_) => self.ground_truth += 1,
             SimEvent::CkptFallback(_) => self.ckpt_fallbacks += 1,
+            SimEvent::ControlAction(_) => self.control_actions += 1,
             SimEvent::Tick { .. } => self.ticks += 1,
         }
     }

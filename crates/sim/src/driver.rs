@@ -19,20 +19,26 @@ use rsc_failure::lemon::LemonPlan;
 use rsc_failure::modes::{ModeId, Severity};
 use rsc_failure::process::HazardSchedule;
 use rsc_failure::signals::SignalKind;
-use rsc_health::lifecycle::{AttemptOutcome, NodeLifecycle, ProbationOutcome};
+use rsc_health::lifecycle::{
+    AttemptOutcome, NodeLifecycle, ProbationOutcome, QuarantineOrigin, ReleaseOutcome,
+    ReleasePolicy,
+};
 use rsc_health::monitor::{HealthEvent, HealthMonitor};
+use rsc_network::routing::RoutingPolicy;
 use rsc_sched::job::{Destiny, JobStatus};
 use rsc_sched::sched::{InterruptCause, Scheduler, StartedAttempt};
 use rsc_sim_core::event::EventQueue;
 use rsc_sim_core::rng::SimRng;
 use rsc_sim_core::time::{SimDuration, SimTime};
 use rsc_telemetry::store::{
-    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, TelemetryStore,
+    CheckpointFallbackEvent, ControlActionEvent, ControlActionKind, ControlTrigger, ExclusionEvent,
+    NodeEvent, NodeEventKind, TelemetryStore,
 };
 use rsc_workload::generator::JobStream;
 
 use crate::bus::{SimEvent, SimObserver};
 use crate::config::{EraPreset, SimConfig};
+use crate::control::{CommandQueue, ControlCommand, ControlVerb};
 
 /// Internal future events.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +59,9 @@ enum Ev {
     RepairAttempt { node: NodeId },
     /// A returning node's probation window closes.
     ProbationEnd { node: NodeId },
+    /// A controlled-release observation window closes on a
+    /// controller-quarantined node.
+    ReleaseWindow { node: NodeId },
     /// Daily housekeeping: false-positive generation, utilization sampling.
     DailySweep,
 }
@@ -115,6 +124,20 @@ pub struct ClusterSim {
     /// Occurrences processed by the event loop (failures, submissions,
     /// popped future events) — the throughput-bench numerator.
     events_processed: u64,
+    /// The control-plane command queue, when a closed-loop controller is
+    /// attached (see [`crate::control`]). `None` by default: the open-loop
+    /// path pays one `Option` check per loop iteration and telemetry stays
+    /// byte-identical to pre-control-plane builds.
+    commands: Option<CommandQueue>,
+    /// Whether the control plane flipped fabric routing to adaptive.
+    routing_adaptive: bool,
+    /// The baseline static routing policy restored by `RestoreRouting`.
+    base_routing: RoutingPolicy,
+    /// Control-plane checkpoint-cadence override, applied to newly
+    /// submitted jobs.
+    ckpt_retune: Option<SimDuration>,
+    /// Controlled-release schedules for controller-quarantined nodes.
+    release_policies: HashMap<NodeId, ReleasePolicy>,
     /// Pristine copy of the injector's forked RNG stream, so test hooks can
     /// rebuild the injector on the reference backend with identical seeding.
     injector_rng: SimRng,
@@ -188,10 +211,42 @@ impl ClusterSim {
             staged_signals: Vec::new(),
             staged_detections: Vec::new(),
             events_processed: 0,
+            commands: None,
+            routing_adaptive: false,
+            base_routing: RoutingPolicy::Static {
+                shield_threshold: 1.0,
+            },
+            ckpt_retune: None,
+            release_policies: HashMap::new(),
             injector_rng,
             phase_timings: None,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Attaches the control-plane command queue (see [`crate::control`]).
+    /// The driver drains it after every scheduling cycle, applying
+    /// commands in push order at the current simulated time. An attached
+    /// queue that never receives a command leaves the run byte-identical
+    /// to an open-loop one.
+    pub fn set_command_queue(&mut self, queue: CommandQueue) {
+        self.commands = Some(queue);
+    }
+
+    /// The fabric routing policy currently in force: the baseline static
+    /// policy unless the control plane flipped routing to adaptive.
+    pub fn routing_policy(&self) -> RoutingPolicy {
+        if self.routing_adaptive {
+            RoutingPolicy::Adaptive
+        } else {
+            self.base_routing
+        }
+    }
+
+    /// The control plane's checkpoint-cadence override, if one is in
+    /// force. Newly submitted jobs checkpoint at this interval.
+    pub fn checkpoint_interval_override(&self) -> Option<SimDuration> {
+        self.ckpt_retune
     }
 
     /// Attaches an event-stream observer (see [`crate::bus`]). The
@@ -365,6 +420,7 @@ impl ClusterSim {
                 if let Some(m) = mark {
                     phases.sched_s += m.elapsed().as_secs_f64();
                 }
+                self.drain_control_commands();
                 continue;
             }
 
@@ -376,7 +432,10 @@ impl ClusterSim {
             if t_submit <= t_event {
                 self.now = t_submit;
                 let mark = timed.then(Instant::now);
-                let spec = self.stream.next_job();
+                let mut spec = self.stream.next_job();
+                if let Some(interval) = self.ckpt_retune {
+                    spec.checkpoint_interval = interval;
+                }
                 self.sched.submit(spec);
                 if let Some(m) = mark {
                     phases.handle_s += m.elapsed().as_secs_f64();
@@ -399,6 +458,7 @@ impl ClusterSim {
             if let Some(m) = mark {
                 phases.sched_s += m.elapsed().as_secs_f64();
             }
+            self.drain_control_commands();
         }
         if let Some(t) = &mut self.phase_timings {
             t.absorb(phases);
@@ -511,6 +571,7 @@ impl ClusterSim {
             }
             Ev::RepairAttempt { node } => self.handle_repair_attempt(node),
             Ev::ProbationEnd { node } => self.handle_probation_end(node),
+            Ev::ReleaseWindow { node } => self.handle_release_window(node),
             Ev::DailySweep => {
                 let from = self.now - SimDuration::from_days(1);
                 let fps = self.monitor.false_positives_between(
@@ -742,6 +803,146 @@ impl ClusterSim {
         };
         self.emit(&SimEvent::Node(&event));
         self.telemetry.push_node_event(event);
+    }
+
+    /// Drains the control-plane command queue, applying commands in push
+    /// order at the current simulated time. Bounded rounds: actuating a
+    /// command emits bus events the controller may respond to with
+    /// follow-up commands at the same instant; anything still pending
+    /// after the last round waits for the next scheduling cycle.
+    fn drain_control_commands(&mut self) {
+        let Some(queue) = self.commands.clone() else {
+            return;
+        };
+        for _ in 0..4 {
+            let batch = queue.drain();
+            if batch.is_empty() {
+                break;
+            }
+            for cmd in batch {
+                self.apply_control_command(cmd);
+            }
+        }
+    }
+
+    /// Applies one control command: actuate it if its budget admitted it
+    /// and the target is in an actuatable state, then record the action
+    /// (accepted or not) in telemetry and on the bus.
+    fn apply_control_command(&mut self, cmd: ControlCommand) {
+        let (kind, node, value) = match cmd.verb {
+            ControlVerb::RemediateNode { node } => {
+                (ControlActionKind::RemediateNode, Some(node), 0)
+            }
+            ControlVerb::QuarantineNode { node, .. } => {
+                (ControlActionKind::QuarantineNode, Some(node), 0)
+            }
+            ControlVerb::AdaptiveRouting => (ControlActionKind::AdaptiveRouting, None, 0),
+            ControlVerb::RestoreRouting => (ControlActionKind::RestoreRouting, None, 0),
+            ControlVerb::RetuneCheckpoint { interval } => (
+                ControlActionKind::RetuneCheckpoint,
+                None,
+                interval.as_secs(),
+            ),
+        };
+        let accepted = cmd.budget_ok
+            && match cmd.verb {
+                ControlVerb::RemediateNode { node } | ControlVerb::QuarantineNode { node, .. } => {
+                    self.cluster.node(node).state() != NodeState::Remediation
+                }
+                ControlVerb::AdaptiveRouting => !self.routing_adaptive,
+                ControlVerb::RestoreRouting => self.routing_adaptive,
+                ControlVerb::RetuneCheckpoint { interval } => self.ckpt_retune != Some(interval),
+            };
+        if accepted {
+            match cmd.verb {
+                ControlVerb::RemediateNode { node } => {
+                    let victims =
+                        self.sched
+                            .interrupt_node(node, InterruptCause::HealthCheck, self.now);
+                    for v in victims {
+                        self.maybe_exclude(&[node], v);
+                    }
+                    self.remediate(node, true);
+                }
+                ControlVerb::QuarantineNode { node, release } => {
+                    let victims =
+                        self.sched
+                            .interrupt_node(node, InterruptCause::HealthCheck, self.now);
+                    for v in victims {
+                        self.maybe_exclude(&[node], v);
+                    }
+                    self.cluster.remediate_node(node, self.now);
+                    self.sched.set_node_available(node, false);
+                    self.draining.remove(&node);
+                    self.record_node_event(node, NodeEventKind::EnterRemediation);
+                    self.record_node_event(node, NodeEventKind::Quarantined);
+                    self.lifecycles.insert(
+                        node,
+                        NodeLifecycle::begin_quarantined(QuarantineOrigin::Controller),
+                    );
+                    if let Some(policy) = release {
+                        self.release_policies.insert(node, policy);
+                        self.events
+                            .schedule(self.now + policy.window, Ev::ReleaseWindow { node });
+                    }
+                }
+                ControlVerb::AdaptiveRouting => self.routing_adaptive = true,
+                ControlVerb::RestoreRouting => self.routing_adaptive = false,
+                ControlVerb::RetuneCheckpoint { interval } => self.ckpt_retune = Some(interval),
+            }
+        }
+        self.record_control_action(ControlActionEvent {
+            at: self.now,
+            kind,
+            trigger: cmd.trigger,
+            node,
+            job: None,
+            accepted,
+            value,
+        });
+    }
+
+    /// Records a control action at the current time (and mirrors it to
+    /// the bus).
+    fn record_control_action(&mut self, event: ControlActionEvent) {
+        self.emit(&SimEvent::ControlAction(&event));
+        self.telemetry.push_control_action(event);
+    }
+
+    /// Resolves one controlled-release observation window on a
+    /// controller-quarantined node: release it back to service after
+    /// enough consecutive clean windows, otherwise keep watching.
+    fn handle_release_window(&mut self, node: NodeId) {
+        let Some(policy) = self.release_policies.get(&node).copied() else {
+            return;
+        };
+        let Some(mut lc) = self.lifecycles.get(&node).copied() else {
+            self.release_policies.remove(&node);
+            return;
+        };
+        match lc.resolve_release_window(&policy, &mut self.rng) {
+            ReleaseOutcome::Released => {
+                self.release_policies.remove(&node);
+                self.record_control_action(ControlActionEvent {
+                    at: self.now,
+                    kind: ControlActionKind::ReleaseNode,
+                    trigger: ControlTrigger::Controller,
+                    node: Some(node),
+                    job: None,
+                    accepted: true,
+                    value: u64::from(policy.clean_windows),
+                });
+                self.return_to_service(node);
+            }
+            ReleaseOutcome::Progress { .. } | ReleaseOutcome::Reset => {
+                self.lifecycles.insert(node, lc);
+                self.events
+                    .schedule(self.now + policy.window, Ev::ReleaseWindow { node });
+            }
+            ReleaseOutcome::Absorbing => {
+                self.release_policies.remove(&node);
+            }
+        }
     }
 
     /// Resolves one fallible repair attempt: succeed (into service or

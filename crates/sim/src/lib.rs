@@ -27,10 +27,12 @@
 
 pub mod bus;
 pub mod config;
+pub mod control;
 pub mod driver;
 pub mod runner;
 
 pub use bus::{SimEvent, SimObserver};
 pub use config::{EraPreset, SimConfig};
+pub use control::{CommandQueue, ControlCommand, ControlVerb};
 pub use driver::ClusterSim;
 pub use runner::{CacheStats, ObservedOutcome, ScenarioRunner, ScenarioSpec};

@@ -25,7 +25,10 @@ use rsc_sched::accounting::JobRecord;
 use rsc_sched::job::{JobStatus, QosClass};
 use rsc_sim_core::time::SimTime;
 
-use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind};
+use crate::store::{
+    CheckpointFallbackEvent, ControlActionEvent, ControlActionKind, ControlTrigger, ExclusionEvent,
+    NodeEvent, NodeEventKind,
+};
 
 /// Seed digest every stream chain starts from ("rsc_log1").
 pub const GENESIS: u64 = 0x7273_635f_6c6f_6731;
@@ -204,6 +207,28 @@ fn node_event_ordinal(kind: NodeEventKind) -> u64 {
     }
 }
 
+/// Stable ordinal for a control action kind (part of the v4 format).
+fn control_action_ordinal(kind: ControlActionKind) -> u64 {
+    match kind {
+        ControlActionKind::RemediateNode => 0,
+        ControlActionKind::QuarantineNode => 1,
+        ControlActionKind::ReleaseNode => 2,
+        ControlActionKind::AdaptiveRouting => 3,
+        ControlActionKind::RestoreRouting => 4,
+        ControlActionKind::RetuneCheckpoint => 5,
+    }
+}
+
+/// Stable ordinal for a control trigger (part of the v4 format).
+fn control_trigger_ordinal(trigger: ControlTrigger) -> u64 {
+    match trigger {
+        ControlTrigger::LemonSuspect => 0,
+        ControlTrigger::MttfRegression => 1,
+        ControlTrigger::QuarantineSurge => 2,
+        ControlTrigger::Controller => 3,
+    }
+}
+
 fn severity_ordinal(severity: Severity) -> u64 {
     match severity {
         Severity::High => 0,
@@ -283,6 +308,18 @@ impl ChainRecord for CheckpointFallbackEvent {
         h.write_u64(u64::from(self.gpus));
         h.write_u64(u64::from(self.intervals));
         h.write_u64(self.lost.as_secs());
+    }
+}
+
+impl ChainRecord for ControlActionEvent {
+    fn chain(&self, h: &mut ChainHasher) {
+        h.write_u64(self.at.as_secs());
+        h.write_u64(control_action_ordinal(self.kind));
+        h.write_u64(control_trigger_ordinal(self.trigger));
+        write_opt(h, self.node.map(|n| u64::from(n.index())));
+        write_opt(h, self.job.map(JobId::raw));
+        h.write_u64(u64::from(self.accepted));
+        h.write_u64(self.value);
     }
 }
 

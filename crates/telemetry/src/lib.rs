@@ -45,6 +45,7 @@ pub mod view;
 pub use chain::{ChainHasher, ChainRecord, GENESIS};
 pub use segment::{Cursor, SegmentSeal, SegmentedLog, DEFAULT_SEGMENT_CAPACITY};
 pub use store::{
-    CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind, SegmentStats, TelemetryStore,
+    CheckpointFallbackEvent, ControlActionEvent, ControlActionKind, ControlTrigger, ExclusionEvent,
+    NodeEvent, NodeEventKind, SegmentStats, TelemetryStore,
 };
 pub use view::TelemetryView;

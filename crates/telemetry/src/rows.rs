@@ -21,7 +21,10 @@ use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
 use rsc_sim_core::time::{SimDuration, SimTime};
 
-use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind};
+use crate::store::{
+    CheckpointFallbackEvent, ControlActionEvent, ControlActionKind, ControlTrigger, ExclusionEvent,
+    NodeEvent, NodeEventKind,
+};
 use crate::trace::{format_job_row, parse_job_row};
 
 pub(crate) fn severity_label(s: Severity) -> &'static str {
@@ -258,5 +261,65 @@ pub(crate) fn decode_ckpt_fallback(row: &str) -> Result<CheckpointFallbackEvent,
         gpus: parse_u64(fields[2], "gpus")? as u32,
         intervals: parse_u64(fields[3], "intervals")? as u32,
         lost: SimDuration::from_secs(parse_u64(fields[4], "lost")?),
+    })
+}
+
+fn parse_control_action_kind(s: &str) -> Option<ControlActionKind> {
+    match s {
+        "remediate_node" => Some(ControlActionKind::RemediateNode),
+        "quarantine_node" => Some(ControlActionKind::QuarantineNode),
+        "release_node" => Some(ControlActionKind::ReleaseNode),
+        "adaptive_routing" => Some(ControlActionKind::AdaptiveRouting),
+        "restore_routing" => Some(ControlActionKind::RestoreRouting),
+        "retune_checkpoint" => Some(ControlActionKind::RetuneCheckpoint),
+        _ => None,
+    }
+}
+
+fn parse_control_trigger(s: &str) -> Option<ControlTrigger> {
+    match s {
+        "lemon_suspect" => Some(ControlTrigger::LemonSuspect),
+        "mttf_regression" => Some(ControlTrigger::MttfRegression),
+        "quarantine_surge" => Some(ControlTrigger::QuarantineSurge),
+        "controller" => Some(ControlTrigger::Controller),
+        _ => None,
+    }
+}
+
+pub(crate) fn encode_control_action(e: &ControlActionEvent) -> String {
+    format!(
+        "{},{},{},{},{},{},{}",
+        e.at.as_secs(),
+        e.kind.label(),
+        e.trigger.label(),
+        e.node.map(|n| n.index().to_string()).unwrap_or_default(),
+        e.job.map(|j| j.raw().to_string()).unwrap_or_default(),
+        u8::from(e.accepted),
+        e.value,
+    )
+}
+
+pub(crate) fn decode_control_action(row: &str) -> Result<ControlActionEvent, String> {
+    let fields = split_fields(row, 7, "control_action")?;
+    let node = if fields[3].is_empty() {
+        None
+    } else {
+        Some(NodeId::new(parse_u64(fields[3], "node")? as u32))
+    };
+    let job = if fields[4].is_empty() {
+        None
+    } else {
+        Some(JobId::new(parse_u64(fields[4], "job")?))
+    };
+    Ok(ControlActionEvent {
+        at: SimTime::from_secs(parse_u64(fields[0], "time")?),
+        kind: parse_control_action_kind(fields[1])
+            .ok_or_else(|| format!("bad control action kind: {:?}", fields[1]))?,
+        trigger: parse_control_trigger(fields[2])
+            .ok_or_else(|| format!("bad control trigger: {:?}", fields[2]))?,
+        node,
+        job,
+        accepted: parse_bool(fields[5])?,
+        value: parse_u64(fields[6], "value")?,
     })
 }

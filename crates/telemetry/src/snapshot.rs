@@ -8,7 +8,7 @@
 //! scenario runner relies on this to prove cache hits are byte-identical to
 //! fresh simulation.
 //!
-//! Layout (version 3, the format [`write_snapshot`] emits):
+//! Layout (versions 3 and 4, the formats [`write_snapshot`] emits):
 //!
 //! ```text
 //! rsc-telemetry-snapshot v3
@@ -35,10 +35,17 @@
 //! [`GENESIS`]; the reader re-hashes every parsed row and rejects any frame
 //! whose checkpoint does not match ([`SnapshotError::Chain`]), catching bit
 //! flips, truncation, frame reordering, and cross-snapshot splices. The
-//! trailing `chain` line covers the header fields plus all six stream
-//! heads. Frame geometry is fixed at [`SNAPSHOT_FRAME_ROWS`] no matter what
+//! trailing `chain` line covers the header fields plus every stream head.
+//! Frame geometry is fixed at [`SNAPSHOT_FRAME_ROWS`] no matter what
 //! segment capacity the in-memory store rotated at, so the same records
 //! always serialize to the same bytes.
+//!
+//! Version 4 adds one framed section, `control_actions <count>`
+//! (at,kind,trigger,node,job,accepted,value), after `ckpt_fallbacks`, and
+//! folds its head into the trailing `chain`. The writer emits v4 only for
+//! views that actually contain control actions; any open-loop run keeps
+//! producing bytes identical to the version-3 format, which is what pins
+//! controller-disabled runs to their pre-control snapshots.
 //!
 //! Versions 1 and 2 (the unframed, unhashed legacy formats — v2 added the
 //! fallible-remediation vocabulary and the `ckpt_fallbacks` section to v1)
@@ -60,15 +67,16 @@ use crate::view::TelemetryView;
 /// Highest format version [`write_snapshot`] emits; bumped on any change
 /// to the encoding. Participates in the scenario-cache fingerprint so
 /// stale artifacts are never loaded by a newer binary.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
-/// Rows per frame in a version-3 snapshot. A format constant: changing it
-/// changes the emitted bytes and requires a version bump.
+/// Rows per frame in a framed (v3/v4) snapshot. A format constant:
+/// changing it changes the emitted bytes and requires a version bump.
 pub const SNAPSHOT_FRAME_ROWS: usize = 4096;
 
 const MAGIC_V1: &str = "rsc-telemetry-snapshot v1";
 const MAGIC_V2: &str = "rsc-telemetry-snapshot v2";
 const MAGIC_V3: &str = "rsc-telemetry-snapshot v3";
+const MAGIC_V4: &str = "rsc-telemetry-snapshot v4";
 
 /// Error from loading a snapshot.
 #[derive(Debug)]
@@ -133,6 +141,12 @@ fn has_v2_content(view: &TelemetryView) -> bool {
     !view.ckpt_fallbacks().is_empty() || view.node_events().iter().any(|e| !e.kind.is_v1())
 }
 
+/// Whether a view needs the version-4 format (closed-loop control
+/// actions). Open-loop views keep the version-3 bytes.
+fn has_v4_content(view: &TelemetryView) -> bool {
+    !view.control_actions().is_empty()
+}
+
 fn reject_newline_name(view: &TelemetryView) -> io::Result<()> {
     if view.cluster_name().contains(['\n', '\r']) {
         return Err(io::Error::new(
@@ -165,23 +179,25 @@ fn write_section<W: Write, T: ChainRecord>(
     Ok(h.digest())
 }
 
-fn combined_chain(view: &TelemetryView, frame_rows: usize, heads: [u64; 6]) -> u64 {
+fn combined_chain(view: &TelemetryView, frame_rows: usize, heads: &[u64]) -> u64 {
     let mut h = ChainHasher::new(GENESIS);
     h.write_bytes(view.cluster_name().as_bytes());
     h.write_u64(u64::from(view.num_nodes()));
     h.write_u64(view.horizon().as_secs());
     h.write_u64(view.gpu_swaps());
     h.write_u64(frame_rows as u64);
-    for head in heads {
+    for &head in heads {
         h.write_u64(head);
     }
     h.digest()
 }
 
-/// Writes a sealed view as a version-3 snapshot: framed rows with chain
-/// checkpoints every [`SNAPSHOT_FRAME_ROWS`] rows, a combined chain head,
-/// and byte-for-byte canonical output independent of the segment capacity
-/// the run's store rotated at.
+/// Writes a sealed view as a framed snapshot: chain checkpoints every
+/// [`SNAPSHOT_FRAME_ROWS`] rows, a combined chain head, and byte-for-byte
+/// canonical output independent of the segment capacity the run's store
+/// rotated at. Views without control actions serialize as version 3 —
+/// bitwise identical to the pre-control format — and views with them as
+/// version 4.
 ///
 /// # Errors
 ///
@@ -203,13 +219,14 @@ pub fn write_snapshot_with_frame_rows<W: Write>(
 ) -> io::Result<()> {
     assert!(frame_rows >= 1, "frame_rows must be positive");
     reject_newline_name(view)?;
-    writeln!(w, "{MAGIC_V3}")?;
+    let v4 = has_v4_content(view);
+    writeln!(w, "{}", if v4 { MAGIC_V4 } else { MAGIC_V3 })?;
     writeln!(w, "cluster {}", view.cluster_name())?;
     writeln!(w, "nodes {}", view.num_nodes())?;
     writeln!(w, "horizon {}", view.horizon().as_secs())?;
     writeln!(w, "gpu_swaps {}", view.gpu_swaps())?;
     writeln!(w, "frame_rows {frame_rows}")?;
-    let heads = [
+    let mut heads = vec![
         write_section(w, "jobs", view.jobs(), frame_rows, rows::encode_job)?,
         write_section(
             w,
@@ -247,7 +264,16 @@ pub fn write_snapshot_with_frame_rows<W: Write>(
             rows::encode_ckpt_fallback,
         )?,
     ];
-    writeln!(w, "chain {:016x}", combined_chain(view, frame_rows, heads))?;
+    if v4 {
+        heads.push(write_section(
+            w,
+            "control_actions",
+            view.control_actions(),
+            frame_rows,
+            rows::encode_control_action,
+        )?);
+    }
+    writeln!(w, "chain {:016x}", combined_chain(view, frame_rows, &heads))?;
     writeln!(w, "end")?;
     Ok(())
 }
@@ -448,9 +474,11 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
         m if m == MAGIC_V1 => 1,
         m if m == MAGIC_V2 => 2,
         m if m == MAGIC_V3 => 3,
+        m if m == MAGIC_V4 => 4,
         _ => {
             return Err(lines.err(format!(
-                "bad header: {magic:?} (expected {MAGIC_V1:?}, {MAGIC_V2:?}, or {MAGIC_V3:?})"
+                "bad header: {magic:?} (expected {MAGIC_V1:?}, {MAGIC_V2:?}, {MAGIC_V3:?}, \
+                 or {MAGIC_V4:?})"
             )))
         }
     };
@@ -472,7 +500,7 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     store.set_gpu_swaps(gpu_swaps);
 
     if version >= 3 {
-        read_snapshot_v3_body(&mut lines, &mut store)?;
+        read_snapshot_framed_body(&mut lines, &mut store, version)?;
     } else {
         read_snapshot_legacy_body(&mut lines, &mut store, version)?;
     }
@@ -484,9 +512,10 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<TelemetryView, SnapshotError> {
     Ok(store.seal())
 }
 
-fn read_snapshot_v3_body<R: BufRead>(
+fn read_snapshot_framed_body<R: BufRead>(
     lines: &mut Lines<R>,
     store: &mut TelemetryStore,
+    version: u32,
 ) -> Result<(), SnapshotError> {
     let line = lines.next_line()?;
     let frame_rows = parse_count(lines, keyword_value(lines, &line, "frame_rows")?)?;
@@ -494,7 +523,7 @@ fn read_snapshot_v3_body<R: BufRead>(
         return Err(lines.err("frame_rows must be positive"));
     }
 
-    let heads = [
+    let mut heads = vec![
         read_section_v3(lines, "jobs", frame_rows, rows::decode_job, |r| {
             store.push_job(r)
         })?,
@@ -505,7 +534,7 @@ fn read_snapshot_v3_body<R: BufRead>(
             lines,
             "node_events",
             frame_rows,
-            |row| rows::decode_node_event(row, 3),
+            |row| rows::decode_node_event(row, version),
             |e| store.push_node_event(e),
         )?,
         read_section_v3(
@@ -526,6 +555,15 @@ fn read_snapshot_v3_body<R: BufRead>(
             |e| store.push_ckpt_fallback(e),
         )?,
     ];
+    if version >= 4 {
+        heads.push(read_section_v3(
+            lines,
+            "control_actions",
+            frame_rows,
+            rows::decode_control_action,
+            |e| store.push_control_action(e),
+        )?);
+    }
 
     let line = lines.next_line()?;
     let expected = parse_hash(lines, keyword_value(lines, &line, "chain")?)?;
@@ -647,7 +685,10 @@ mod tests {
     use rsc_sched::job::{JobStatus, QosClass};
     use rsc_sim_core::time::SimDuration;
 
-    use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, NodeEventKind};
+    use crate::store::{
+        CheckpointFallbackEvent, ControlActionEvent, ControlActionKind, ControlTrigger,
+        ExclusionEvent, NodeEvent, NodeEventKind,
+    };
 
     fn sample_view() -> TelemetryView {
         let mut store = TelemetryStore::new("RSC-T", 16);
@@ -971,9 +1012,80 @@ mod tests {
     #[test]
     fn unknown_version_rejected() {
         let text = String::from_utf8(to_bytes(&sample_v2_view())).unwrap();
-        let bumped = text.replace(MAGIC_V3, "rsc-telemetry-snapshot v4");
+        let bumped = text.replace(MAGIC_V3, "rsc-telemetry-snapshot v5");
         let err = read_snapshot(bumped.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("bad header"), "{err}");
+    }
+
+    /// A view with closed-loop control actions on top of the v2 content.
+    fn sample_v4_view() -> TelemetryView {
+        let base = sample_v2_view();
+        let mut store = base.to_store();
+        store.push_control_action(ControlActionEvent {
+            at: SimTime::from_secs(700),
+            kind: ControlActionKind::QuarantineNode,
+            trigger: ControlTrigger::LemonSuspect,
+            node: Some(NodeId::new(4)),
+            job: None,
+            accepted: true,
+            value: 0,
+        });
+        store.push_control_action(ControlActionEvent {
+            at: SimTime::from_secs(710),
+            kind: ControlActionKind::RetuneCheckpoint,
+            trigger: ControlTrigger::MttfRegression,
+            node: None,
+            job: Some(JobId::new(7)),
+            accepted: false,
+            value: 1800,
+        });
+        store.seal()
+    }
+
+    #[test]
+    fn control_actions_force_v4_and_round_trip() {
+        let view = sample_v4_view();
+        let bytes = to_bytes(&view);
+        let first = bytes.split(|&b| b == b'\n').next().unwrap();
+        assert_eq!(first, MAGIC_V4.as_bytes());
+        let back = read_snapshot(bytes.as_slice()).unwrap();
+        assert_eq!(to_bytes(&back), bytes);
+        assert_eq!(back.control_actions(), view.control_actions());
+        assert_eq!(back.chain_heads(), view.chain_heads());
+    }
+
+    #[test]
+    fn open_loop_views_keep_v3_bytes() {
+        // No control actions → exact version-3 output, so pre-control
+        // snapshots of the same run stay bitwise identical.
+        let bytes = to_bytes(&sample_v2_view());
+        let first = bytes.split(|&b| b == b'\n').next().unwrap();
+        assert_eq!(first, MAGIC_V3.as_bytes());
+        assert!(!String::from_utf8(bytes)
+            .unwrap()
+            .contains("control_actions"));
+    }
+
+    #[test]
+    fn flipped_control_action_fails_the_chain() {
+        let text = String::from_utf8(to_bytes(&sample_v4_view())).unwrap();
+        let corrupted = text.replace("\n700,quarantine_node,", "\n701,quarantine_node,");
+        assert_ne!(corrupted, text);
+        let err = read_snapshot(corrupted.as_bytes()).unwrap_err();
+        match err {
+            SnapshotError::Chain { stream, .. } => assert_eq!(stream, "control_actions"),
+            other => panic!("expected chain error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn v3_header_rejects_control_actions_section() {
+        // Forge a v3 magic onto a v4 body: the reader expects the trailing
+        // `chain` right after ckpt_fallbacks and must refuse the extra
+        // section rather than silently dropping it.
+        let text = String::from_utf8(to_bytes(&sample_v4_view())).unwrap();
+        let forged = text.replace(MAGIC_V4, MAGIC_V3);
+        assert!(read_snapshot(forged.as_bytes()).is_err());
     }
 
     #[test]

@@ -89,6 +89,90 @@ pub struct CheckpointFallbackEvent {
     pub lost: SimDuration,
 }
 
+/// What a reliability-controller action did (or tried to do).
+///
+/// The variants and their textual labels are part of the version-4
+/// snapshot vocabulary; a view containing any control action forces the
+/// version-4 format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlActionKind {
+    /// Node sent on a remediation visit by the controller.
+    RemediateNode,
+    /// Node quarantined by the controller.
+    QuarantineNode,
+    /// A controller-initiated quarantine released back to service.
+    ReleaseNode,
+    /// Fabric routing switched static → adaptive.
+    AdaptiveRouting,
+    /// Fabric routing restored to its static baseline.
+    RestoreRouting,
+    /// A job profile's checkpoint cadence re-solved online.
+    RetuneCheckpoint,
+}
+
+impl ControlActionKind {
+    /// Stable snake_case label (the v4 snapshot row vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlActionKind::RemediateNode => "remediate_node",
+            ControlActionKind::QuarantineNode => "quarantine_node",
+            ControlActionKind::ReleaseNode => "release_node",
+            ControlActionKind::AdaptiveRouting => "adaptive_routing",
+            ControlActionKind::RestoreRouting => "restore_routing",
+            ControlActionKind::RetuneCheckpoint => "retune_checkpoint",
+        }
+    }
+}
+
+/// Which alert stream (or internal controller policy) triggered a control
+/// action. Lives here rather than in `rsc-monitor` so the telemetry codec
+/// has no upward dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlTrigger {
+    /// A `LemonSuspect` alert.
+    LemonSuspect,
+    /// An `MttfRegression` alert.
+    MttfRegression,
+    /// A `QuarantineSurge` alert.
+    QuarantineSurge,
+    /// Internal controller policy (cooldown revert, probation release).
+    Controller,
+}
+
+impl ControlTrigger {
+    /// Stable snake_case label (the v4 snapshot row vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlTrigger::LemonSuspect => "lemon_suspect",
+            ControlTrigger::MttfRegression => "mttf_regression",
+            ControlTrigger::QuarantineSurge => "quarantine_surge",
+            ControlTrigger::Controller => "controller",
+        }
+    }
+}
+
+/// One closed-loop control action, recorded whether or not it was
+/// accepted — budget-rejected actions log with `accepted == false` so
+/// the action stream is a complete audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlActionEvent {
+    /// When the driver drained the command.
+    pub at: SimTime,
+    /// What the controller did.
+    pub kind: ControlActionKind,
+    /// Which alert (or internal policy) prompted it.
+    pub trigger: ControlTrigger,
+    /// Target node, for node-scoped actions.
+    pub node: Option<NodeId>,
+    /// Target job, for job-scoped actions.
+    pub job: Option<JobId>,
+    /// Whether the action was applied (`false` = budget/cooldown reject).
+    pub accepted: bool,
+    /// Action-specific magnitude (e.g. the re-solved checkpoint interval
+    /// in seconds for [`ControlActionKind::RetuneCheckpoint`]).
+    pub value: u64,
+}
+
 /// A node lifecycle event record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeEvent {
@@ -135,6 +219,7 @@ enum SpillJob {
     Exclusions(u64, Vec<ExclusionEvent>),
     Failures(u64, Vec<FailureEvent>),
     CkptFallbacks(u64, Vec<CheckpointFallbackEvent>),
+    ControlActions(u64, Vec<ControlActionEvent>),
 }
 
 fn spill_path(dir: &Path, stream: &str, index: u64) -> PathBuf {
@@ -207,6 +292,13 @@ impl SpillState {
                             &v,
                             rows::encode_ckpt_fallback,
                         )?,
+                        SpillJob::ControlActions(i, v) => write_spill_segment(
+                            &worker_dir,
+                            "control_actions",
+                            i,
+                            &v,
+                            rows::encode_control_action,
+                        )?,
                     }
                 }
                 Ok(())
@@ -273,6 +365,7 @@ pub struct TelemetryStore {
     exclusions: SegmentedLog<ExclusionEvent>,
     ground_truth_failures: SegmentedLog<FailureEvent>,
     ckpt_fallbacks: SegmentedLog<CheckpointFallbackEvent>,
+    control_actions: SegmentedLog<ControlActionEvent>,
     gpu_swaps: u64,
     node_health_index: Option<HashMap<NodeId, Vec<usize>>>,
     spill: Option<SpillState>,
@@ -308,6 +401,7 @@ impl Clone for TelemetryStore {
             exclusions: self.exclusions.clone(),
             ground_truth_failures: self.ground_truth_failures.clone(),
             ckpt_fallbacks: self.ckpt_fallbacks.clone(),
+            control_actions: self.control_actions.clone(),
             gpu_swaps: self.gpu_swaps,
             node_health_index: self.node_health_index.clone(),
             spill: None,
@@ -342,6 +436,7 @@ impl TelemetryStore {
             exclusions: SegmentedLog::new(capacity),
             ground_truth_failures: SegmentedLog::new(capacity),
             ckpt_fallbacks: SegmentedLog::new(capacity),
+            control_actions: SegmentedLog::new(capacity),
             gpu_swaps: 0,
             node_health_index: None,
             spill: None,
@@ -363,7 +458,8 @@ impl TelemetryStore {
                 && self.node_events.is_empty()
                 && self.exclusions.is_empty()
                 && self.ground_truth_failures.is_empty()
-                && self.ckpt_fallbacks.is_empty(),
+                && self.ckpt_fallbacks.is_empty()
+                && self.control_actions.is_empty(),
             "segment capacity can only change on an empty store"
         );
         self.jobs = SegmentedLog::new(capacity);
@@ -372,6 +468,7 @@ impl TelemetryStore {
         self.exclusions = SegmentedLog::new(capacity);
         self.ground_truth_failures = SegmentedLog::new(capacity);
         self.ckpt_fallbacks = SegmentedLog::new(capacity);
+        self.control_actions = SegmentedLog::new(capacity);
     }
 
     /// Spills rotated segments to files under `dir` from a background
@@ -413,6 +510,10 @@ impl TelemetryStore {
             let (seal, records) = self.ckpt_fallbacks.take_segment(idx);
             spill.send(SpillJob::CkptFallbacks(seal.index, records));
         }
+        while let Some(idx) = self.control_actions.next_unspilled_segment() {
+            let (seal, records) = self.control_actions.take_segment(idx);
+            spill.send(SpillJob::ControlActions(seal.index, records));
+        }
         self.spill = Some(spill);
         Ok(())
     }
@@ -424,7 +525,7 @@ impl TelemetryStore {
         self.time_appends = true;
     }
 
-    /// Append/rotation accounting summed across the six streams.
+    /// Append/rotation accounting summed across the seven streams.
     pub fn segment_stats(&self) -> SegmentStats {
         SegmentStats {
             capacity: self.jobs.capacity(),
@@ -433,13 +534,15 @@ impl TelemetryStore {
                 + self.node_events.rotations()
                 + self.exclusions.rotations()
                 + self.ground_truth_failures.rotations()
-                + self.ckpt_fallbacks.rotations(),
+                + self.ckpt_fallbacks.rotations()
+                + self.control_actions.rotations(),
             rotate_s: self.jobs.rotate_seconds()
                 + self.health_events.rotate_seconds()
                 + self.node_events.rotate_seconds()
                 + self.exclusions.rotate_seconds()
                 + self.ground_truth_failures.rotate_seconds()
-                + self.ckpt_fallbacks.rotate_seconds(),
+                + self.ckpt_fallbacks.rotate_seconds()
+                + self.control_actions.rotate_seconds(),
             append_s: self.append_nanos as f64 / 1e9,
         }
     }
@@ -585,6 +688,18 @@ impl TelemetryStore {
         self.note_append(t0);
     }
 
+    /// Appends a closed-loop control action.
+    pub fn push_control_action(&mut self, event: ControlActionEvent) {
+        let t0 = self.append_timer();
+        if let Some(idx) = self.control_actions.push(event) {
+            if let Some(spill) = &self.spill {
+                let (seal, records) = self.control_actions.take_segment(idx);
+                spill.send(SpillJob::ControlActions(seal.index, records));
+            }
+        }
+        self.note_append(t0);
+    }
+
     /// Cursor over job accounting records, in completion order.
     ///
     /// # Panics
@@ -624,6 +739,12 @@ impl TelemetryStore {
     /// (panics if spilled; see [`Self::jobs`]).
     pub fn ckpt_fallbacks(&self) -> Cursor<'_, CheckpointFallbackEvent> {
         self.ckpt_fallbacks.cursor()
+    }
+
+    /// Cursor over closed-loop control actions, in drain order (panics if
+    /// spilled; see [`Self::jobs`]).
+    pub fn control_actions(&self) -> Cursor<'_, ControlActionEvent> {
+        self.control_actions.cursor()
     }
 
     /// Health events on `node` within `[from, to]`, in time order.
@@ -703,6 +824,10 @@ impl TelemetryStore {
             let dir = dir_ref.expect("segment spilled without spill dir");
             load_spill_segment(dir, "ckpt_fallbacks", seal, rows::decode_ckpt_fallback)
         });
+        let (control_actions, control_head) = self.control_actions.into_contiguous(|seal| {
+            let dir = dir_ref.expect("segment spilled without spill dir");
+            load_spill_segment(dir, "control_actions", seal, rows::decode_control_action)
+        });
 
         crate::view::TelemetryView::from_parts(
             self.cluster_name,
@@ -714,6 +839,7 @@ impl TelemetryStore {
             exclusions,
             ground_truth_failures,
             ckpt_fallbacks,
+            control_actions,
             self.gpu_swaps,
             [
                 jobs_head,
@@ -722,6 +848,7 @@ impl TelemetryStore {
                 exclusion_head,
                 failure_head,
                 ckpt_head,
+                control_head,
             ],
         )
     }

@@ -14,7 +14,9 @@ use rsc_health::monitor::HealthEvent;
 use rsc_sched::accounting::JobRecord;
 use rsc_sim_core::time::SimTime;
 
-use crate::store::{CheckpointFallbackEvent, ExclusionEvent, NodeEvent, TelemetryStore};
+use crate::store::{
+    CheckpointFallbackEvent, ControlActionEvent, ExclusionEvent, NodeEvent, TelemetryStore,
+};
 
 /// An immutable, sealed view over one run's telemetry.
 ///
@@ -32,12 +34,13 @@ pub struct TelemetryView {
     exclusions: Vec<ExclusionEvent>,
     ground_truth_failures: Vec<FailureEvent>,
     ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
+    control_actions: Vec<ControlActionEvent>,
     gpu_swaps: u64,
-    /// Chain heads of the six streams (jobs, health, node events,
-    /// exclusions, failures, ckpt fallbacks) — the running content-hash
-    /// digests computed by the segmented store at seal time. Independent
-    /// of the segment capacity the run used.
-    chain_heads: [u64; 6],
+    /// Chain heads of the seven streams (jobs, health, node events,
+    /// exclusions, failures, ckpt fallbacks, control actions) — the
+    /// running content-hash digests computed by the segmented store at
+    /// seal time. Independent of the segment capacity the run used.
+    chain_heads: [u64; 7],
     /// Per node: indices into `health_events`, sorted by (time, position).
     node_health_index: HashMap<NodeId, Vec<usize>>,
 }
@@ -128,8 +131,9 @@ impl TelemetryView {
         exclusions: Vec<ExclusionEvent>,
         ground_truth_failures: Vec<FailureEvent>,
         ckpt_fallbacks: Vec<CheckpointFallbackEvent>,
+        control_actions: Vec<ControlActionEvent>,
         gpu_swaps: u64,
-        chain_heads: [u64; 6],
+        chain_heads: [u64; 7],
     ) -> Self {
         let index = build_health_index(num_nodes, &health_events);
         TelemetryView {
@@ -142,17 +146,19 @@ impl TelemetryView {
             exclusions,
             ground_truth_failures,
             ckpt_fallbacks,
+            control_actions,
             gpu_swaps,
             chain_heads,
             node_health_index: index,
         }
     }
 
-    /// Chain heads of the six streams, in snapshot section order: jobs,
-    /// health, node events, exclusions, failures, ckpt fallbacks. Two
-    /// views of the same records have the same heads regardless of the
-    /// segment capacity (or spill setting) their stores ran with.
-    pub fn chain_heads(&self) -> [u64; 6] {
+    /// Chain heads of the seven streams, in snapshot section order: jobs,
+    /// health, node events, exclusions, failures, ckpt fallbacks, control
+    /// actions. Two views of the same records have the same heads
+    /// regardless of the segment capacity (or spill setting) their stores
+    /// ran with.
+    pub fn chain_heads(&self) -> [u64; 7] {
         self.chain_heads
     }
 
@@ -207,6 +213,12 @@ impl TelemetryView {
         &self.ckpt_fallbacks
     }
 
+    /// All closed-loop control actions, in drain order. Empty for every
+    /// open-loop (controller-free) run.
+    pub fn control_actions(&self) -> &[ControlActionEvent] {
+        &self.control_actions
+    }
+
     /// Health events on `node` within `[from, to]`, in time order.
     ///
     /// A binary search over the per-node index built at seal time — no
@@ -259,6 +271,9 @@ impl TelemetryView {
         }
         for e in &self.ckpt_fallbacks {
             store.push_ckpt_fallback(*e);
+        }
+        for e in &self.control_actions {
+            store.push_control_action(*e);
         }
         store
     }
