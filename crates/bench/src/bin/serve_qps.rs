@@ -1,0 +1,190 @@
+//! Harness check: `rsc-serve`'s hot read path under concurrent load.
+//!
+//! Boots the service on an ephemeral port with a private cache dir, seals
+//! one small scenario, then hammers the analysis and health routes from
+//! N client threads — each client opening one connection per request,
+//! exactly as the `Connection: close` server serves them. Every analysis
+//! response is compared against the first byte for byte, so the run
+//! doubles as a concurrency stress of the determinism contract: a single
+//! mismatched body fails the bench.
+//!
+//! Writes `BENCH_serve_qps.json` (override with `--out PATH`) with the
+//! measured throughput. `--smoke` shrinks the request count for CI.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rsc_serve::client;
+use rsc_serve::core::ServiceConfig;
+use rsc_serve::server::Server;
+
+struct Args {
+    clients: usize,
+    requests_per_client: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 8,
+        requests_per_client: 200,
+        out: "BENCH_serve_qps.json".to_string(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients must be an integer".to_string())?
+            }
+            "--requests" => {
+                args.requests_per_client = value("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be an integer".to_string())?
+            }
+            "--out" => args.out = value("--out")?,
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.requests_per_client = args.requests_per_client.min(25);
+    }
+    Ok(args)
+}
+
+/// One client's share of the load: alternating analysis fetches (checked
+/// bitwise) and healthz probes, returning (requests, analysis bytes).
+fn client_loop(
+    addr: SocketAddr,
+    target: &str,
+    expected: &[u8],
+    requests: usize,
+    mismatches: &AtomicU64,
+) -> u64 {
+    let mut done = 0;
+    for i in 0..requests {
+        if i % 4 == 3 {
+            let health = client::get(addr, "/healthz").expect("healthz");
+            assert_eq!(health.status, 200);
+        } else {
+            let resp = client::get(addr, target).expect("analysis fetch");
+            assert_eq!(resp.status, 200);
+            if resp.body != expected {
+                mismatches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        done += 1;
+    }
+    done
+}
+
+fn main() -> std::process::ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("serve_qps: {err}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    rsc_bench::banner(
+        "Serve QPS",
+        "rsc-serve analysis read path under concurrent clients",
+        &format!(
+            "{} clients x {} requests{}",
+            args.clients,
+            args.requests_per_client,
+            if args.smoke { " (smoke)" } else { "" }
+        ),
+    );
+
+    let cache_dir = std::env::temp_dir().join(format!("rsc-serve-qps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServiceConfig::with_cache_dir(&cache_dir),
+        args.clients.max(4),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Seal one small scenario to serve.
+    let accepted = client::post(addr, "/api/v1/sweeps?preset=small_test&seeds=7&days=3")
+        .expect("submit scenario");
+    assert_eq!(accepted.status, 202, "submit: {}", accepted.text());
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let body = client::get(addr, "/api/v1/jobs/0").expect("poll").text();
+        if body.contains("\"state\":\"sealed\"") {
+            break;
+        }
+        assert!(!body.contains("\"state\":\"failed\""), "job failed: {body}");
+        assert!(Instant::now() < deadline, "job never sealed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let reference = client::get(addr, "/api/v1/jobs/0/analysis").expect("reference fetch");
+    assert_eq!(reference.status, 200);
+    let expected = Arc::new(reference.body);
+    println!(
+        "sealed analysis: {} bytes; measuring from {} threads",
+        expected.len(),
+        args.clients
+    );
+
+    let mismatches = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|_| {
+                let expected = Arc::clone(&expected);
+                let mismatches = &mismatches;
+                scope.spawn(move || {
+                    client_loop(
+                        addr,
+                        "/api/v1/jobs/0/analysis",
+                        &expected,
+                        args.requests_per_client,
+                        mismatches,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let qps = total as f64 / elapsed;
+    let bad = mismatches.load(Ordering::Relaxed);
+
+    println!("\n{total} requests in {elapsed:.3} s -> {qps:.0} req/s");
+    println!("byte-identity mismatches: {bad}");
+
+    let json = format!(
+        "{{\"clients\": {}, \"requests_per_client\": {}, \"total_requests\": {total}, \
+         \"elapsed_s\": {elapsed:.4}, \"qps\": {qps:.1}, \"analysis_bytes\": {}, \
+         \"mismatches\": {bad}, \"smoke\": {}}}\n",
+        args.clients,
+        args.requests_per_client,
+        expected.len(),
+        args.smoke
+    );
+    std::fs::write(&args.out, json).expect("write bench output");
+    println!("wrote {}", args.out);
+
+    let down = client::post(addr, "/api/v1/shutdown").expect("shutdown");
+    assert_eq!(down.status, 200);
+    server.join();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    if bad > 0 {
+        eprintln!("FAIL: {bad} responses differed from the reference bytes");
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
+}

@@ -159,16 +159,14 @@ pub fn write_actions_rollup_csv<P: AsRef<Path>>(
     write_csv_file(path, &ACTIONS_ROLLUP_CSV_HEADER, rows)
 }
 
-/// Writes a monitor report as JSON, creating parent directories.
+/// Writes a monitor report as JSON, creating parent directories. The
+/// write is atomic (temp + rename), safe under concurrent writers.
 ///
 /// # Errors
 ///
 /// Returns any error from directory creation or file I/O.
 pub fn write_report_json<P: AsRef<Path>>(path: P, report: &MonitorReport) -> io::Result<()> {
-    if let Some(parent) = path.as_ref().parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, report.to_json())
+    rsc_telemetry::csv::write_file_atomic(path.as_ref(), report.to_json().as_bytes())
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ pub mod monitor;
 pub mod replay;
 pub mod report;
 pub mod runner;
+pub mod tap;
 
 pub use alerts::{Alert, AlertEngine, AlertKey, AlertSignal};
 pub use config::{AlertPolicy, MonitorConfig, RefJob};

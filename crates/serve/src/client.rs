@@ -1,0 +1,194 @@
+//! A minimal blocking HTTP + SSE client over `std::net`, used by the
+//! service's own tests, the `serve_qps` bench, and the `--smoke` flow.
+//!
+//! Deliberately strict rather than general: one request per connection
+//! (the server always answers `Connection: close`), `Content-Length`
+//! framing only, and SSE frames in exactly the shape the server emits
+//! (`id:` / `event:` / `data:` lines, blank-line terminated).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad_data(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.to_string())
+}
+
+fn read_status_and_headers(
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<(u16, Vec<(String, String)>)> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad_data("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((status, headers))
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Connection, write, or malformed-response failures.
+pub fn request(addr: SocketAddr, method: &str, target: &str) -> io::Result<HttpResponse> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(Duration::from_secs(60)))?;
+    write!(
+        conn,
+        "{method} {target} HTTP/1.1\r\nHost: rsc-serve\r\nConnection: close\r\n\r\n"
+    )?;
+    conn.flush()?;
+    let mut reader = BufReader::new(conn);
+    let (status, headers) = read_status_and_headers(&mut reader)?;
+    let body = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `GET` shorthand.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, target: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", target)
+}
+
+/// `POST` shorthand (no body — the service takes parameters in the
+/// query string).
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, target: &str) -> io::Result<HttpResponse> {
+    request(addr, "POST", target)
+}
+
+/// One decoded SSE frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseFrame {
+    /// The hub's global sequence number (`id:` line).
+    pub id: u64,
+    /// The event name (`event:` line).
+    pub event: String,
+    /// The JSON payload (`data:` line).
+    pub data: String,
+}
+
+/// A live SSE subscription.
+#[derive(Debug)]
+pub struct SseClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl SseClient {
+    /// Connects and subscribes to `target` (e.g. `/api/v1/events?job=0`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or a non-200 / non-`text/event-stream`
+    /// answer.
+    pub fn connect(addr: SocketAddr, target: &str) -> io::Result<Self> {
+        let mut conn = TcpStream::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_secs(60)))?;
+        write!(conn, "GET {target} HTTP/1.1\r\nHost: rsc-serve\r\n\r\n")?;
+        conn.flush()?;
+        let mut reader = BufReader::new(conn);
+        let (status, headers) = read_status_and_headers(&mut reader)?;
+        if status != 200 {
+            return Err(bad_data(&format!("subscribe answered {status}")));
+        }
+        let is_stream = headers
+            .iter()
+            .any(|(k, v)| k == "content-type" && v == "text/event-stream");
+        if !is_stream {
+            return Err(bad_data("subscribe did not answer an event stream"));
+        }
+        Ok(SseClient { reader })
+    }
+
+    /// Reads the next frame. `Ok(None)` means the server closed the
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Read timeouts and malformed frames.
+    pub fn next_frame(&mut self) -> io::Result<Option<SseFrame>> {
+        let (mut id, mut event, mut data) = (None, None, None);
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                match (id.take(), event.take(), data.take()) {
+                    (Some(id), Some(event), Some(data)) => {
+                        return Ok(Some(SseFrame { id, event, data }))
+                    }
+                    (None, None, None) => continue, // stray keep-alive blank
+                    _ => return Err(bad_data("incomplete SSE frame")),
+                }
+            } else if let Some(v) = line.strip_prefix("id: ") {
+                id = Some(v.parse().map_err(|_| bad_data("non-integer SSE id"))?);
+            } else if let Some(v) = line.strip_prefix("event: ") {
+                event = Some(v.to_string());
+            } else if let Some(v) = line.strip_prefix("data: ") {
+                data = Some(v.to_string());
+            } else if !line.starts_with(':') {
+                return Err(bad_data("unrecognized SSE line"));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Rendering [`MonitorEvent`]s as the JSON payloads of SSE frames.
+//!
+//! The rendering is a pure function of the event, so a replayed cache hit
+//! and a live run — which produce identical `MonitorEvent` sequences (see
+//! `rsc_monitor::tap`) — stream identical frames.
+
+use rsc_monitor::alerts::Alert;
+use rsc_monitor::tap::MonitorEvent;
+use rsc_telemetry::store::ControlActionEvent;
+
+use crate::json;
+
+fn alert_fields(a: &Alert) -> json::Object {
+    json::Object::new()
+        .field("kind", &json::string(a.key.label()))
+        .field("node", &json::opt(&a.key.node(), |n| n.index().to_string()))
+        .field("raised_at_days", &json::f64(a.raised_at.as_days()))
+        .field(
+            "cleared_at_days",
+            &json::opt(&a.cleared_at, |t| json::f64(t.as_days())),
+        )
+        .field("value", &json::f64(a.value))
+        .field("threshold", &json::f64(a.threshold))
+        .field("message", &json::string(&a.message))
+}
+
+fn action_json(a: &ControlActionEvent) -> String {
+    json::Object::new()
+        .field("kind", &json::string(a.kind.label()))
+        .field("trigger", &json::string(a.trigger.label()))
+        .field("at_days", &json::f64(a.at.as_days()))
+        .field("node", &json::opt(&a.node, |n| n.index().to_string()))
+        .field("job", &json::opt(&a.job, |j| j.raw().to_string()))
+        .field("accepted", if a.accepted { "true" } else { "false" })
+        .field("value", &a.value.to_string())
+        .finish()
+}
+
+/// Renders one monitor event as its SSE `data:` JSON payload. The frame's
+/// `event:` name is [`MonitorEvent::label`].
+pub fn monitor_event_json(event: &MonitorEvent) -> String {
+    match event {
+        MonitorEvent::AlertRaised { seq, alert } | MonitorEvent::AlertCleared { seq, alert } => {
+            json::Object::new()
+                .field("seq", &seq.to_string())
+                .field("alert", &alert_fields(alert).finish())
+                .finish()
+        }
+        MonitorEvent::Action(a) => action_json(a),
+        MonitorEvent::Estimate(t) => json::Object::new()
+            .field("at_days", &json::f64(t.at_days))
+            .field("overall_mttf_hours", &json::f64(t.overall_mttf_hours))
+            .field(
+                "failure_rate_per_node_day",
+                &json::f64(t.failure_rate_per_node_day),
+            )
+            .field(
+                "expected_ettr",
+                &json::opt(&t.expected_ettr, |x| json::f64(*x)),
+            )
+            .field("fleet_availability", &json::f64(t.fleet_availability))
+            .field("active_alerts", &t.active_alerts.to_string())
+            .finish(),
+        MonitorEvent::Finished { at_days } => json::Object::new()
+            .field("at_days", &json::f64(*at_days))
+            .finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::NodeId;
+    use rsc_monitor::alerts::AlertKey;
+    use rsc_sim_core::time::SimTime;
+
+    #[test]
+    fn alert_payload_has_stable_shape() {
+        let event = MonitorEvent::AlertRaised {
+            seq: 2,
+            alert: Alert {
+                key: AlertKey::LemonSuspect(NodeId::new(9)),
+                raised_at: SimTime::from_days(4),
+                cleared_at: None,
+                value: 3.0,
+                threshold: 3.0,
+                message: "m".to_string(),
+            },
+        };
+        let body = monitor_event_json(&event);
+        assert!(body.starts_with("{\"seq\":2,\"alert\":{\"kind\":\"lemon_suspect\",\"node\":9,"));
+        assert!(body.contains("\"cleared_at_days\":null"));
+        assert_eq!(event.label(), "alert");
+    }
+}

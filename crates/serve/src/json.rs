@@ -1,0 +1,95 @@
+//! Tiny JSON-building helpers shared by the service's serializers.
+//!
+//! The workspace carries no JSON dependency; like
+//! `rsc_monitor::report::MonitorReport::to_json`, every body the service
+//! emits is assembled from deterministic `format!` pieces, which is what
+//! makes the byte-identity contract provable.
+
+/// Escapes and quotes one JSON string.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite float, `null` otherwise (JSON has no `inf`/`NaN`).
+pub fn f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders an `Option` through `f`, `null` when absent.
+pub fn opt<T>(v: &Option<T>, f: impl Fn(&T) -> String) -> String {
+    match v {
+        Some(v) => f(v),
+        None => "null".to_string(),
+    }
+}
+
+/// An incrementally-built JSON object.
+#[derive(Debug, Default)]
+pub struct Object {
+    body: String,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Appends `"key": value` with `value` already rendered as JSON.
+    pub fn field(mut self, key: &str, rendered: &str) -> Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&string(key));
+        self.body.push(':');
+        self.body.push_str(rendered);
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_renders_in_order() {
+        let s = Object::new()
+            .field("a", "1")
+            .field("b", &string("x\"y"))
+            .finish();
+        assert_eq!(s, "{\"a\":1,\"b\":\"x\\\"y\"}");
+    }
+
+    #[test]
+    fn floats_and_options() {
+        assert_eq!(f64(1.5), "1.5");
+        assert_eq!(f64(f64::NAN), "null");
+        assert_eq!(opt(&Some(2u32), |v| v.to_string()), "2");
+        assert_eq!(opt(&None::<u32>, |v| v.to_string()), "null");
+    }
+}

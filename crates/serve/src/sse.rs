@@ -1,0 +1,248 @@
+//! The event fan-out hub: many concurrent SSE subscribers over one
+//! monitor event stream, with bounded per-subscriber buffers and
+//! slow-consumer drop accounting.
+//!
+//! Publishing renders each event to its SSE frame once (shared `Arc<str>`)
+//! and enqueues it on every matching subscriber. A subscriber that cannot
+//! drain fast enough never blocks the publisher and never grows without
+//! bound: when its buffer is full the *new* frame is dropped for that
+//! subscriber and counted — already-buffered frames keep their order, so
+//! what a subscriber does receive is always an in-order subsequence of
+//! the published stream.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Hub-level counters, surfaced on `/healthz`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HubStats {
+    /// Subscribers currently attached.
+    pub subscribers: usize,
+    /// Frames published (before per-subscriber filtering).
+    pub published: u64,
+    /// Frames dropped across all subscribers (buffer full).
+    pub dropped: u64,
+}
+
+#[derive(Debug)]
+struct SubShared {
+    /// Buffered frames awaiting the consumer.
+    queue: Mutex<VecDeque<Arc<str>>>,
+    ready: Condvar,
+    /// Only frames for this job id are delivered, when set.
+    filter: Option<u64>,
+    /// Frames this subscriber lost to backpressure.
+    dropped: AtomicU64,
+    /// Set by the hub on shutdown or by the subscription on drop.
+    closed: AtomicBool,
+}
+
+impl SubShared {
+    fn push(&self, frame: &Arc<str>, capacity: usize) -> bool {
+        let mut q = self.queue.lock().expect("subscriber queue poisoned");
+        if q.len() >= capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        q.push_back(Arc::clone(frame));
+        self.ready.notify_one();
+        true
+    }
+}
+
+/// A consumer's half of one subscription. Dropping it detaches from the
+/// hub (the publisher prunes it on the next publish).
+#[derive(Debug)]
+pub struct Subscription {
+    shared: Arc<SubShared>,
+}
+
+impl Subscription {
+    /// Takes the next buffered frame, waiting up to `timeout`. `None`
+    /// means no frame arrived in time — check [`Self::is_closed`] to
+    /// distinguish shutdown from an idle stream.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<str>> {
+        let mut q = self.shared.queue.lock().expect("subscriber queue poisoned");
+        if let Some(frame) = q.pop_front() {
+            return Some(frame);
+        }
+        if self.shared.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        let (mut q, _) = self
+            .shared
+            .ready
+            .wait_timeout(q, timeout)
+            .expect("subscriber queue poisoned");
+        q.pop_front()
+    }
+
+    /// Takes the next buffered frame without waiting.
+    pub fn try_recv(&self) -> Option<Arc<str>> {
+        self.shared
+            .queue
+            .lock()
+            .expect("subscriber queue poisoned")
+            .pop_front()
+    }
+
+    /// Whether the hub has shut this subscription down.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Frames this subscriber lost to backpressure.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+}
+
+#[derive(Debug, Default)]
+struct HubInner {
+    subs: Vec<Arc<SubShared>>,
+    published: u64,
+    dropped: u64,
+}
+
+/// The publish side: one hub per service.
+#[derive(Debug)]
+pub struct EventHub {
+    inner: Mutex<HubInner>,
+    /// Per-subscriber buffer capacity, frames.
+    capacity: usize,
+}
+
+impl EventHub {
+    /// A hub whose subscribers each buffer at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        EventHub {
+            inner: Mutex::new(HubInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attaches a subscriber; with `filter`, only frames published for
+    /// that job id are delivered.
+    pub fn subscribe(&self, filter: Option<u64>) -> Subscription {
+        let shared = Arc::new(SubShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            filter,
+            dropped: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        let mut inner = self.inner.lock().expect("hub poisoned");
+        inner.subs.push(Arc::clone(&shared));
+        Subscription { shared }
+    }
+
+    /// Renders `(label, data)` as one SSE frame for `job` and fans it out
+    /// to every live matching subscriber.
+    pub fn publish(&self, job: u64, label: &str, data: &str) {
+        let mut inner = self.inner.lock().expect("hub poisoned");
+        let seq = inner.published;
+        inner.published += 1;
+        let frame: Arc<str> = format!("id: {seq}\nevent: {label}\ndata: {data}\n\n").into();
+        // Prune closed subscribers while delivering.
+        let capacity = self.capacity;
+        let mut dropped = 0;
+        inner.subs.retain(|sub| {
+            if sub.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            if sub.filter.is_none_or(|want| want == job) && !sub.push(&frame, capacity) {
+                dropped += 1;
+            }
+            true
+        });
+        inner.dropped += dropped;
+    }
+
+    /// Closes every subscription (shutdown): consumers wake and see
+    /// [`Subscription::is_closed`].
+    pub fn close_all(&self) {
+        let mut inner = self.inner.lock().expect("hub poisoned");
+        for sub in inner.subs.drain(..) {
+            sub.closed.store(true, Ordering::Release);
+            sub.ready.notify_one();
+        }
+    }
+
+    /// Current hub counters.
+    pub fn stats(&self) -> HubStats {
+        let mut inner = self.inner.lock().expect("hub poisoned");
+        inner.subs.retain(|s| !s.closed.load(Ordering::Acquire));
+        HubStats {
+            subscribers: inner.subs.len(),
+            published: inner.published,
+            dropped: inner.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_arrive_in_order_with_sequence_ids() {
+        let hub = EventHub::new(8);
+        let sub = hub.subscribe(None);
+        hub.publish(1, "alert", "{\"a\":1}");
+        hub.publish(1, "estimate", "{\"b\":2}");
+        let first = sub.try_recv().unwrap();
+        assert_eq!(&*first, "id: 0\nevent: alert\ndata: {\"a\":1}\n\n");
+        let second = sub.try_recv().unwrap();
+        assert!(second.starts_with("id: 1\nevent: estimate\n"));
+        assert_eq!(sub.try_recv(), None);
+    }
+
+    #[test]
+    fn filter_selects_one_job() {
+        let hub = EventHub::new(8);
+        let sub = hub.subscribe(Some(7));
+        hub.publish(3, "alert", "{}");
+        hub.publish(7, "alert", "{}");
+        let only = sub.try_recv().unwrap();
+        assert!(only.starts_with("id: 1\n"));
+        assert_eq!(sub.try_recv(), None);
+    }
+
+    #[test]
+    fn slow_consumer_drops_are_counted_not_blocking() {
+        let hub = EventHub::new(2);
+        let sub = hub.subscribe(None);
+        for i in 0..5 {
+            hub.publish(1, "estimate", &format!("{{\"i\":{i}}}"));
+        }
+        // The first two frames survive in order; the rest were dropped.
+        assert!(sub.try_recv().unwrap().starts_with("id: 0\n"));
+        assert!(sub.try_recv().unwrap().starts_with("id: 1\n"));
+        assert_eq!(sub.try_recv(), None);
+        assert_eq!(sub.dropped(), 3);
+        assert_eq!(hub.stats().dropped, 3);
+        assert_eq!(hub.stats().published, 5);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned_and_close_all_wakes() {
+        let hub = EventHub::new(2);
+        let sub = hub.subscribe(None);
+        drop(hub.subscribe(None));
+        hub.publish(1, "alert", "{}");
+        assert_eq!(hub.stats().subscribers, 1);
+        hub.close_all();
+        assert!(sub.is_closed());
+        // A buffered frame is still drainable after close.
+        assert!(sub.recv_timeout(Duration::from_millis(1)).is_some());
+        assert_eq!(sub.recv_timeout(Duration::from_millis(1)), None);
+    }
+}

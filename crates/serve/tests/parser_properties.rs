@@ -1,0 +1,80 @@
+//! Property tests for the HTTP parser: arbitrary byte soup, truncations
+//! of valid requests, and oversized inputs never panic and always map to
+//! a typed 4xx rejection.
+
+use proptest::prelude::*;
+
+use rsc_serve::http::{parse_request, Request, RequestError, MAX_BODY};
+
+fn parse(bytes: &[u8]) -> Result<Option<Request>, RequestError> {
+    parse_request(&mut &bytes[..])
+}
+
+/// A well-formed request whose every strict prefix exercises a distinct
+/// truncation point (request line, headers, body).
+const VALID: &[u8] = b"POST /api/v1/sweeps?preset=small_test&seeds=1,2&days=3 HTTP/1.1\r\n\
+    Host: rsc-serve\r\nContent-Length: 5\r\n\r\nhello";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prop_arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048),
+    ) {
+        // Parsing must terminate without panicking; any rejection is a
+        // definite client error, never a 5xx or an unwind.
+        if let Err(e) = parse(&bytes) {
+            prop_assert!((400..500).contains(&e.status()), "{e:?} -> {}", e.status());
+        }
+    }
+
+    #[test]
+    fn prop_ascii_soup_never_panics(
+        bytes in proptest::collection::vec(9u8..127, 0..1024),
+    ) {
+        // Printable-ish soup reaches deeper parser states (plausible
+        // request lines, header-like fragments) than raw bytes do.
+        if let Err(e) = parse(&bytes) {
+            prop_assert!((400..500).contains(&e.status()));
+        }
+    }
+
+    #[test]
+    fn prop_truncations_are_complete_or_typed(cut in 0usize..200) {
+        let cut = cut.min(VALID.len());
+        match parse(&VALID[..cut]) {
+            // Clean EOF before any byte.
+            Ok(None) => prop_assert_eq!(cut, 0),
+            // Only the full request parses.
+            Ok(Some(req)) => {
+                prop_assert_eq!(cut, VALID.len());
+                prop_assert_eq!(req.body, b"hello".to_vec());
+            }
+            Err(e) => prop_assert!((400..500).contains(&e.status())),
+        }
+    }
+
+    #[test]
+    fn prop_valid_targets_roundtrip(
+        segments in proptest::collection::vec("[a-z0-9]{1,12}", 1..5),
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9]{0,12}",
+    ) {
+        let path = format!("/{}", segments.join("/"));
+        let raw = format!("GET {path}?{key}={value} HTTP/1.1\r\n\r\n");
+        let req = parse(raw.as_bytes()).expect("valid request").expect("non-empty");
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.query(&key), Some(value.as_str()));
+    }
+
+    #[test]
+    fn prop_oversized_declared_bodies_rejected_without_reading(
+        extra in 1usize..4096,
+    ) {
+        // The parser must reject from the header alone — the body bytes
+        // are never allocated or read (there are none here).
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + extra);
+        prop_assert_eq!(parse(raw.as_bytes()).unwrap_err(), RequestError::BodyTooLarge);
+    }
+}

@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rsc_sim_core::time::SimDuration;
@@ -113,7 +113,9 @@ pub enum ObservedOutcome {
     CachedSkipped,
 }
 
-/// Cache accounting from one [`ScenarioRunner::run_all_with_stats`] call.
+/// Cache accounting from one [`ScenarioRunner::run_all_with_stats`] call,
+/// and — via [`ScenarioRunner::stats`] — the cumulative ledger across
+/// every scenario a runner (and its clones) ever executed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Scenarios satisfied from the artifact cache.
@@ -126,6 +128,37 @@ pub struct CacheStats {
     /// and the artifact rewritten — but repeated corruption points at a
     /// bad disk or a concurrent writer and deserves a look.
     pub corrupt: usize,
+}
+
+/// Shared cumulative counters behind every clone of one runner: the
+/// service's `/healthz` endpoint reads these, so corruption is a visible
+/// counter rather than a stderr warning that scrolls away.
+#[derive(Debug, Default)]
+struct SharedCacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl SharedCacheStats {
+    fn record(&self, outcome: RunOutcome) {
+        match outcome {
+            RunOutcome::Hit => self.hits.fetch_add(1, Ordering::Relaxed),
+            RunOutcome::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+            RunOutcome::CorruptMiss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed) as usize,
+            misses: self.misses.load(Ordering::Relaxed) as usize,
+            corrupt: self.corrupt.load(Ordering::Relaxed) as usize,
+        }
+    }
 }
 
 /// How one scenario was satisfied.
@@ -142,10 +175,15 @@ enum RunOutcome {
 type SlotResult = Mutex<Option<(Arc<TelemetryView>, RunOutcome)>>;
 
 /// Executes scenario specs across worker threads with an artifact cache.
+///
+/// Cloning a runner shares its cumulative [`stats`](Self::stats) ledger:
+/// a service holding one handle sees the cache traffic of every worker
+/// that cloned from it.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunner {
     cache_dir: Option<PathBuf>,
     workers: usize,
+    stats: Arc<SharedCacheStats>,
 }
 
 impl Default for ScenarioRunner {
@@ -165,6 +203,7 @@ impl ScenarioRunner {
         ScenarioRunner {
             cache_dir: Some(default_cache_dir()),
             workers,
+            stats: Arc::new(SharedCacheStats::default()),
         }
     }
 
@@ -193,6 +232,12 @@ impl ScenarioRunner {
         self.cache_dir.as_deref()
     }
 
+    /// Cumulative cache accounting across every scenario this runner —
+    /// and every clone of it — has executed, including observed runs.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
     /// Runs one scenario, consulting the cache.
     pub fn run_one(&self, spec: &ScenarioSpec) -> Arc<TelemetryView> {
         let (view, outcome) = self.run_one_tracked(spec);
@@ -217,13 +262,21 @@ impl ScenarioRunner {
     ) -> (Arc<TelemetryView>, ObservedOutcome) {
         if let Some(dir) = &self.cache_dir {
             let path = dir.join(spec.cache_file_name());
+            let existed = path.exists();
             if let Ok(view) = load_snapshot_file(&path) {
+                self.stats.record(RunOutcome::Hit);
                 return (Arc::new(view), ObservedOutcome::CachedSkipped);
             }
+            self.stats.record(if existed {
+                RunOutcome::CorruptMiss
+            } else {
+                RunOutcome::Miss
+            });
             let view = spec.simulate_observed(observer);
             let _ = write_artifact(&path, &view);
             (Arc::new(view), ObservedOutcome::Live)
         } else {
+            self.stats.record(RunOutcome::Miss);
             (
                 Arc::new(spec.simulate_observed(observer)),
                 ObservedOutcome::Live,
@@ -232,10 +285,11 @@ impl ScenarioRunner {
     }
 
     fn run_one_tracked(&self, spec: &ScenarioSpec) -> (Arc<TelemetryView>, RunOutcome) {
-        if let Some(dir) = &self.cache_dir {
+        let (view, outcome) = if let Some(dir) = &self.cache_dir {
             let path = dir.join(spec.cache_file_name());
             let existed = path.exists();
             if let Ok(view) = load_snapshot_file(&path) {
+                self.stats.record(RunOutcome::Hit);
                 return (Arc::new(view), RunOutcome::Hit);
             }
             let outcome = if existed {
@@ -250,7 +304,9 @@ impl ScenarioRunner {
             (Arc::new(view), outcome)
         } else {
             (Arc::new(spec.simulate()), RunOutcome::Miss)
-        }
+        };
+        self.stats.record(outcome);
+        (view, outcome)
     }
 
     /// Runs every spec, in parallel across the worker pool, returning
@@ -328,8 +384,19 @@ impl ScenarioRunner {
 
 /// Writes a snapshot atomically: to a `.tmp` sibling first, then renamed
 /// into place, so readers never observe a half-written artifact.
+///
+/// The temp name carries the pid *and* a process-wide sequence number, so
+/// concurrent workers inside one process (service worker pool) and across
+/// processes (parallel CLI runners sharing a cache) each write a private
+/// temp file; the final `rename` is atomic and the simulation is
+/// deterministic, so whichever writer lands last leaves identical bytes.
 fn write_artifact(path: &Path, view: &TelemetryView) -> std::io::Result<()> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     save_snapshot_file(&tmp, view)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),
@@ -453,6 +520,93 @@ mod tests {
         let runner = ScenarioRunner::without_cache().workers(2);
         let views = runner.run_all(&specs);
         assert!(Arc::ptr_eq(&views[0], &views[1]));
+    }
+
+    #[test]
+    fn cumulative_stats_shared_across_clones() {
+        let dir = temp_cache("cumulative");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
+        let clone = runner.clone();
+        let spec = tiny_spec(23);
+        clone.run_one(&spec);
+        clone.run_one(&spec);
+        // The original handle sees the clone's traffic: one miss, one hit.
+        assert_eq!(
+            runner.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                corrupt: 0
+            }
+        );
+        // Observed runs are part of the same ledger.
+        let (_, outcome) = runner.run_one_observed(
+            &spec,
+            Box::new(crate::bus::SharedObserver::new(
+                crate::bus::CountingObserver::default(),
+            )),
+        );
+        assert_eq!(outcome, ObservedOutcome::CachedSkipped);
+        assert_eq!(runner.stats().hits, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_run_counts_corrupt_artifacts() {
+        let dir = temp_cache("observed-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec(29);
+        std::fs::write(dir.join(spec.cache_file_name()), b"garbage\n").unwrap();
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
+        let (_, outcome) = runner.run_one_observed(
+            &spec,
+            Box::new(crate::bus::SharedObserver::new(
+                crate::bus::CountingObserver::default(),
+            )),
+        );
+        assert_eq!(outcome, ObservedOutcome::Live);
+        assert_eq!(
+            runner.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                corrupt: 1
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_share_one_cache_without_tearing() {
+        let dir = temp_cache("concurrent");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = tiny_spec(31);
+        // Many independent runners (each its own ledger, as separate
+        // processes would be) race to write the same artifact.
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let dir = &dir;
+                let spec = &spec;
+                scope.spawn(move || {
+                    let runner = ScenarioRunner::new().with_cache_dir(dir).workers(1);
+                    runner.run_one(spec);
+                });
+            }
+        });
+        // Whatever the interleaving, the surviving artifact is whole and
+        // no temp files leak.
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(1);
+        let (_, warm) = runner.run_all_with_stats(std::slice::from_ref(&spec));
+        assert_eq!((warm.hits, warm.corrupt), (1, 0));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "snap"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -63,6 +63,10 @@ where
 
 /// Writes a CSV table to a file path, creating parent directories.
 ///
+/// The write lands atomically (private temp file + rename), so concurrent
+/// writers producing the same deterministic table never tear each other's
+/// output.
+///
 /// # Errors
 ///
 /// Returns any error from directory creation or file I/O.
@@ -72,12 +76,42 @@ where
     R: IntoIterator<Item = Vec<S>>,
     S: AsRef<str>,
 {
-    if let Some(parent) = path.as_ref().parent() {
+    let mut bytes = Vec::new();
+    write_csv(&mut bytes, header, rows)?;
+    write_file_atomic(path.as_ref(), &bytes)
+}
+
+/// Writes `bytes` to `path` atomically: parent directories are created,
+/// the content goes to a uniquely-named temp sibling, and an atomic
+/// `rename` publishes it — readers see the old file or the new one, never
+/// a torn mix, even with concurrent writers in other threads or processes.
+///
+/// # Errors
+///
+/// Returns any error from directory creation or file I/O.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut w = BufWriter::new(File::create(path)?);
-    write_csv(&mut w, header, rows)?;
-    w.flush()
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(bytes)?;
+        w.flush()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //! - [`analysis`] — the paper's contribution: attribution, MTTF, ETTR,
 //!   lemon detection, and goodput accounting;
 //! - [`monitor`] — the online streaming reliability monitor and alerting
-//!   pipeline over the simulator's event bus.
+//!   pipeline over the simulator's event bus;
+//! - [`serve`] — the `rsc-serve` scenario service: sweep submission over
+//!   HTTP, cached analysis queries, and live SSE alert streaming.
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@ pub use rsc_health as health;
 pub use rsc_monitor as monitor;
 pub use rsc_network as network;
 pub use rsc_sched as sched;
+pub use rsc_serve as serve;
 pub use rsc_sim as sim;
 pub use rsc_sim_core as simcore;
 pub use rsc_storage as storage;
