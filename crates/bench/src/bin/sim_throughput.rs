@@ -12,29 +12,37 @@
 //! Alongside the headline wall time, each scale gets a per-phase breakdown
 //! (inject vs. queue vs. sched vs. handle) from one extra instrumented run —
 //! the timed run is separate so `Instant` overhead never contaminates the
-//! speedup-gated numbers.
+//! speedup-gated numbers. The instrumented run also reports memory: peak
+//! RSS over the scale (Linux `VmHWM`, reset per scale) and job-arena
+//! allocator statistics (slab capacity and slot-reuse count).
 //!
 //! Flags:
 //!
 //! * `--days N` — horizon per scale (default 30);
 //! * `--seed N` — RNG seed (default [`rsc_bench::FIGURE_SEED`]);
 //! * `--rounds N` — best-of-N rounds per scale (default 2);
-//! * `--nodes A,B,C` — node counts to sweep (default `1024,16384,102400`);
+//! * `--nodes A,B,C` — node counts to sweep (default
+//!   `1024,16384,102400,1000000`);
 //! * `--smoke` — CI-sized sweep: `256,1024,102400` nodes, 3 days, marked
 //!   `"smoke": true` so it is never mistaken for trajectory numbers;
 //! * `--rebaseline` — overwrite the stored baseline with this run;
 //! * `--min-speedup X` — exit nonzero unless every scale present in both
 //!   baseline and current sped up by at least `X`;
+//! * `--max-eps-regression X` — exit nonzero if `events_per_s` at any scale
+//!   present in both baseline and current dropped by more than the fraction
+//!   `X` (CI passes `0.10` for the >10% regression gate);
 //! * `--out PATH` — output file (default `BENCH_sim_throughput.json`);
-//! * `--determinism-check` — run a small scenario and a short 102400-node
-//!   scenario twice each and fail unless the sealed snapshots are
-//!   byte-identical (the CI determinism gate, now covering the tiered
-//!   queue's rebase/overflow paths at fleet scale).
+//! * `--determinism-check` — run a small scenario plus short 102400-node
+//!   and 1,000,000-node scenarios twice each and fail unless the sealed
+//!   snapshots are byte-identical (the CI determinism gate, covering the
+//!   tiered queue's rebase/overflow paths at fleet scale and the arena /
+//!   SoA / bitset layouts at million-node scale).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use rsc_bench::{json_number_field, json_object_field};
+use rsc_sched::arena::ArenaStats;
 use rsc_sim::driver::{ClusterSim, PhaseTimings};
 use rsc_sim_core::time::SimDuration;
 use rsc_telemetry::snapshot::write_snapshot;
@@ -49,6 +57,7 @@ struct Args {
     smoke: bool,
     rebaseline: bool,
     min_speedup: Option<f64>,
+    max_eps_regression: Option<f64>,
     out: String,
     determinism_check: bool,
 }
@@ -59,10 +68,11 @@ impl Default for Args {
             days: 30,
             seed: rsc_bench::FIGURE_SEED,
             rounds: 2,
-            nodes: vec![1024, 16_384, 102_400],
+            nodes: vec![1024, 16_384, 102_400, 1_000_000],
             smoke: false,
             rebaseline: false,
             min_speedup: None,
+            max_eps_regression: None,
             out: "BENCH_sim_throughput.json".to_string(),
             determinism_check: false,
         }
@@ -116,13 +126,21 @@ fn parse_args() -> Args {
                 let v = value("--min-speedup");
                 out.min_speedup = Some(v.parse().unwrap_or_else(|_| bad("--min-speedup", &v)));
             }
+            "--max-eps-regression" => {
+                let v = value("--max-eps-regression");
+                out.max_eps_regression = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| bad("--max-eps-regression", &v)),
+                );
+            }
             "--out" => out.out = value("--out"),
             "--determinism-check" => out.determinism_check = true,
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
                     "usage: [--days N] [--seed N] [--rounds N] [--nodes A,B,C] [--smoke] \
-                     [--rebaseline] [--min-speedup X] [--out PATH] [--determinism-check]"
+                     [--rebaseline] [--min-speedup X] [--max-eps-regression X] [--out PATH] \
+                     [--determinism-check]"
                 );
                 std::process::exit(2);
             }
@@ -153,6 +171,11 @@ struct Measurement {
     /// counters plus the final merge-and-index seal second.
     segments: Option<SegmentStats>,
     final_seal_s: f64,
+    /// Peak resident set over this scale's rounds (Linux `VmHWM`, reset
+    /// before the first round), in MiB; `None` off Linux.
+    peak_rss_mb: Option<f64>,
+    /// Job-arena allocator statistics from the instrumented run.
+    arena: Option<ArenaStats>,
 }
 
 impl Measurement {
@@ -166,6 +189,9 @@ impl Measurement {
 
 fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
     let spec = rsc_bench::rsc1_sized_spec(nodes, days, seed);
+    // Per-scale peak RSS: reset the kernel high-water mark so the reading
+    // at the end of this scale is not dominated by an earlier, larger scale.
+    rsc_bench::reset_peak_rss();
     let mut best: Option<Measurement> = None;
     for round in 0..rounds {
         let t0 = Instant::now();
@@ -185,6 +211,8 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
             phases: None,
             segments: None,
             final_seal_s: 0.0,
+            peak_rss_mb: None,
+            arena: None,
         };
         println!(
             "  round {round}: {events} events in {wall_s:.3} s ({:.0} ev/s), seal {seal_s:.3} s",
@@ -215,6 +243,7 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
         best.phases = Some(p);
     }
     let stats = sim.telemetry_segment_stats();
+    best.arena = Some(sim.arena_stats());
     let t2 = Instant::now();
     let _ = sim.into_telemetry().seal();
     best.final_seal_s = t2.elapsed().as_secs_f64();
@@ -224,6 +253,13 @@ fn measure(nodes: u32, days: u64, seed: u64, rounds: usize) -> Measurement {
         stats.append_s, stats.rotate_s, best.final_seal_s, stats.rotations, stats.capacity
     );
     best.segments = Some(stats);
+    best.peak_rss_mb = rsc_bench::peak_rss_bytes().map(|b| b as f64 / (1024.0 * 1024.0));
+    if let (Some(rss), Some(a)) = (best.peak_rss_mb, best.arena) {
+        println!(
+            "  memory: peak rss {rss:.1} MiB, arena capacity {} slots ({} reused)",
+            a.capacity, a.reused
+        );
+    }
     best
 }
 
@@ -259,6 +295,16 @@ fn scale_json(m: &Measurement) -> String {
             seg.append_s, seg.rotate_s, m.final_seal_s, seg.capacity, seg.rotations
         );
     }
+    if let Some(rss) = m.peak_rss_mb {
+        let _ = write!(s, ", \"peak_rss_mb\": {rss:.1}");
+    }
+    if let Some(a) = m.arena {
+        let _ = write!(
+            s,
+            ", \"arena\": {{\"capacity\": {}, \"live\": {}, \"reused\": {}}}",
+            a.capacity, a.live, a.reused
+        );
+    }
     s.push('}');
     s
 }
@@ -287,11 +333,19 @@ fn baseline_total_s(baseline: &str, nodes: u32) -> Option<f64> {
     json_number_field(entry, "total_s")
 }
 
+/// Baseline event-loop throughput for `nodes`, if the stored baseline has it.
+fn baseline_events_per_s(baseline: &str, nodes: u32) -> Option<f64> {
+    let scales = json_object_field(baseline, "scales")?;
+    let entry = json_object_field(scales, &nodes.to_string())?;
+    json_number_field(entry, "events_per_s")
+}
+
 fn determinism_check() -> std::process::ExitCode {
-    // A small scenario plus a short fleet-scale one: the latter drives the
-    // tiered event queue through rebase/overflow and the superposition
-    // injector through a large alias table.
-    let scales = [(256u32, 5u64), (102_400, 1)];
+    // A small scenario plus short fleet- and million-node-scale ones: the
+    // larger drive the tiered event queue through rebase/overflow, the
+    // superposition injector through a large alias table, and the arena /
+    // SoA node state / hierarchical-bitset index layouts at full width.
+    let scales = [(256u32, 5u64), (102_400, 1), (1_000_000, 1)];
     let snap = |spec: &rsc_sim::runner::ScenarioSpec| {
         let view = spec.simulate();
         let mut bytes = Vec::new();
@@ -406,12 +460,24 @@ fn main() -> std::process::ExitCode {
         eprintln!("note: baseline days/seed differ from this run; per-scale speedups skipped");
     }
     let mut skipped_scales = Vec::new();
+    // Worst per-scale events/s regression vs the baseline, as a fraction
+    // (0.25 = one scale's event loop slowed to 75% of its baseline rate).
+    let mut worst_eps_drop: Option<(u32, f64)> = None;
     for m in &measurements {
         let baseline_total = comparable
             .then(|| baseline_total_s(&baseline, m.nodes))
             .flatten();
         if comparable && baseline_total.is_none() {
             skipped_scales.push(m.nodes);
+        }
+        if let Some(base_eps) = comparable
+            .then(|| baseline_events_per_s(&baseline, m.nodes))
+            .flatten()
+        {
+            let drop = 1.0 - m.events_per_s() / base_eps.max(1e-9);
+            if worst_eps_drop.is_none_or(|(_, d)| drop > d) {
+                worst_eps_drop = Some((m.nodes, drop));
+            }
         }
         let speedup = baseline_total.map(|b| b / m.total_s());
         let label = speedup.map_or("-".to_string(), |s| format!("{s:.2}x"));
@@ -459,6 +525,36 @@ fn main() -> std::process::ExitCode {
         if min_seen < min {
             eprintln!("FAIL: speedup {min_seen:.2}x below required {min:.2}x");
             return std::process::ExitCode::FAILURE;
+        }
+    }
+    if let Some(max_drop) = args.max_eps_regression {
+        match worst_eps_drop {
+            Some((nodes, drop)) if drop > max_drop => {
+                eprintln!(
+                    "FAIL: events_per_s at {nodes} nodes regressed {:.1}% vs baseline \
+                     (gate: {:.1}%)",
+                    drop * 100.0,
+                    max_drop * 100.0
+                );
+                return std::process::ExitCode::FAILURE;
+            }
+            Some((nodes, drop)) => {
+                println!(
+                    "events/s gate: OK (worst change {:+.1}% at {nodes} nodes, \
+                     gate {:.1}%)",
+                    -drop * 100.0,
+                    max_drop * 100.0
+                );
+            }
+            None => {
+                // The gate was requested but nothing was comparable — that
+                // is a misconfigured check, not a pass.
+                eprintln!(
+                    "FAIL: --max-eps-regression given but no scale was comparable \
+                     against the stored baseline (days/seed mismatch or missing scales)"
+                );
+                return std::process::ExitCode::FAILURE;
+            }
         }
     }
     std::process::ExitCode::SUCCESS

@@ -1,0 +1,67 @@
+//! Prints a stable hash of the sealed telemetry snapshot for a scenario.
+//!
+//! The byte-identity audit tool: run it before and after a layout or
+//! hot-path change (same `--nodes/--days/--seed`) and diff the printed
+//! FNV-1a 64 hash. Identical hashes mean the sealed snapshot — every
+//! record in every stream, in order, plus the chain checkpoints — is
+//! byte-for-byte unchanged.
+//!
+//! ```text
+//! cargo run --release -p rsc-bench --bin snap_hash -- --nodes 102400 --days 1
+//! ```
+//!
+//! `--preset rsc1|rsc2` hashes the era-accurate presets instead of the
+//! resized scaling scenario (`--scale N` applies `scaled_down(N)`).
+
+use std::io::Write as _;
+
+use rsc_bench::{rsc1_sized_spec, rsc1_spec, rsc2_spec, FIGURE_SEED};
+use rsc_telemetry::snapshot::write_snapshot;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let mut nodes: u32 = 2048;
+    let mut days: u64 = 7;
+    let mut seed: u64 = FIGURE_SEED;
+    let mut preset: Option<String> = None;
+    let mut scale: u32 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag needs a value");
+        match a.as_str() {
+            "--nodes" => nodes = val().parse().expect("--nodes"),
+            "--days" => days = val().parse().expect("--days"),
+            "--seed" => seed = val().parse().expect("--seed"),
+            "--preset" => preset = Some(val()),
+            "--scale" => scale = val().parse().expect("--scale"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let spec = match preset.as_deref() {
+        None => rsc1_sized_spec(nodes, days, seed),
+        Some("rsc1") => rsc1_spec(scale, days, seed),
+        Some("rsc2") => rsc2_spec(scale, days, seed),
+        Some(other) => panic!("unknown preset {other} (rsc1|rsc2)"),
+    };
+    let view = spec.simulate();
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &view).expect("encode snapshot");
+    let h = fnv1a(&bytes);
+    let mut out = std::io::stdout().lock();
+    writeln!(
+        out,
+        "scenario fp={:016x} snapshot_bytes={} fnv1a={:016x}",
+        spec.fingerprint(),
+        bytes.len(),
+        h
+    )
+    .unwrap();
+}

@@ -305,6 +305,38 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     "#".repeat(n.min(width))
 }
 
+/// Resets the process peak-RSS high-water mark (Linux only), so the next
+/// [`peak_rss_bytes`] read reflects only allocations made after this call.
+/// Best-effort: silently a no-op where `/proc/self/clear_refs` is absent
+/// or not writable.
+pub fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    {
+        // Writing "5" resets VmHWM (and VmPeak) to the current usage.
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
+/// The process peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux / if unreadable. Pair with
+/// [`reset_peak_rss`] for per-measurement peaks.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kb: u64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())?;
+        Some(kb * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// Prints a figure banner.
 pub fn banner(id: &str, title: &str, scale_note: &str) {
     println!("==================================================================");

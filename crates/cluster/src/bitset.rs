@@ -1,0 +1,299 @@
+//! A three-level hierarchical bitset over dense `u32` keys.
+//!
+//! [`HierBitSet`] replaces `BTreeSet<u32>` in the scheduler's hot indexes
+//! (free-GPU buckets, per-tier occupancy). Both structures iterate members
+//! in ascending order — the property every packing/preemption order in the
+//! workspace depends on — but the bitset does it over contiguous words with
+//! O(1) allocation-free insert/remove, while the B-tree pays a pointer walk
+//! and node splits per update.
+//!
+//! Layout: `l0` holds one bit per key; `l1` holds one bit per *non-empty
+//! `l0` word*; `l2` summarizes `l1` the same way. Finding the first member
+//! at or after a key probes at most one word per level plus a short scan of
+//! `l2` (4 words at one million keys), so ascending iteration over a sparse
+//! set skips empty regions in big strides instead of testing every bit.
+
+/// A fixed-capacity hierarchical bitset storing `u32` keys in `[0, capacity)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierBitSet {
+    /// One bit per key.
+    l0: Vec<u64>,
+    /// One bit per `l0` word: set iff that word is non-zero.
+    l1: Vec<u64>,
+    /// One bit per `l1` word: set iff that word is non-zero.
+    l2: Vec<u64>,
+    /// Number of members (maintained incrementally).
+    len: usize,
+}
+
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+impl HierBitSet {
+    /// An empty set able to hold keys in `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        let l0 = words_for(capacity);
+        let l1 = words_for(l0);
+        let l2 = words_for(l1);
+        HierBitSet {
+            l0: vec![0; l0],
+            l1: vec![0; l1],
+            l2: vec![0; l2],
+            len: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `key` is a member.
+    pub fn contains(&self, key: u32) -> bool {
+        let w = (key >> 6) as usize;
+        w < self.l0.len() && self.l0[w] & (1u64 << (key & 63)) != 0
+    }
+
+    /// Inserts `key`; returns `true` if it was not already present.
+    ///
+    /// Panics (debug) if `key` is outside the capacity given to [`new`].
+    ///
+    /// [`new`]: HierBitSet::new
+    pub fn insert(&mut self, key: u32) -> bool {
+        let w = (key >> 6) as usize;
+        let bit = 1u64 << (key & 63);
+        let word = &mut self.l0[w];
+        if *word & bit != 0 {
+            return false;
+        }
+        *word |= bit;
+        self.l1[w >> 6] |= 1u64 << (w & 63);
+        self.l2[w >> 12] |= 1u64 << ((w >> 6) & 63);
+        self.len += 1;
+        true
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: u32) -> bool {
+        let w = (key >> 6) as usize;
+        if w >= self.l0.len() {
+            return false;
+        }
+        let bit = 1u64 << (key & 63);
+        let word = &mut self.l0[w];
+        if *word & bit == 0 {
+            return false;
+        }
+        *word &= !bit;
+        if *word == 0 {
+            let l1w = &mut self.l1[w >> 6];
+            *l1w &= !(1u64 << (w & 63));
+            if *l1w == 0 {
+                self.l2[w >> 12] &= !(1u64 << ((w >> 6) & 63));
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        self.next_at_or_after(0)
+    }
+
+    /// The smallest member `>= key`, if any.
+    pub fn next_at_or_after(&self, key: u32) -> Option<u32> {
+        let mut w = (key >> 6) as usize;
+        if w >= self.l0.len() {
+            return None;
+        }
+        // Tail of the word holding `key`.
+        let bits = self.l0[w] & (!0u64 << (key & 63));
+        if bits != 0 {
+            return Some(((w << 6) + bits.trailing_zeros() as usize) as u32);
+        }
+        // Later words in the same l1 summary word.
+        w += 1;
+        let v = w >> 6;
+        if v >= self.l1.len() {
+            return None;
+        }
+        let lbits = self.l1[v] & (!0u64 << (w & 63));
+        if lbits != 0 {
+            let w2 = (v << 6) + lbits.trailing_zeros() as usize;
+            let b = self.l0[w2];
+            return Some(((w2 << 6) + b.trailing_zeros() as usize) as u32);
+        }
+        // Remaining l1 words, located through the l2 summary.
+        let v = v + 1;
+        let mut u = v >> 6;
+        if u >= self.l2.len() {
+            return None;
+        }
+        let mut mask = !0u64 << (v & 63);
+        while u < self.l2.len() {
+            let tbits = self.l2[u] & mask;
+            if tbits != 0 {
+                let v2 = (u << 6) + tbits.trailing_zeros() as usize;
+                let w2 = (v2 << 6) + self.l1[v2].trailing_zeros() as usize;
+                let b = self.l0[w2];
+                return Some(((w2 << 6) + b.trailing_zeros() as usize) as u32);
+            }
+            u += 1;
+            mask = !0;
+        }
+        None
+    }
+
+    /// Ascending iterator over all members.
+    pub fn iter(&self) -> HierBitSetIter<'_> {
+        self.iter_range(0, (self.l0.len() << 6) as u32)
+    }
+
+    /// Ascending iterator over members in `[start, end)`.
+    pub fn iter_range(&self, start: u32, end: u32) -> HierBitSetIter<'_> {
+        HierBitSetIter {
+            set: self,
+            next: start,
+            end,
+        }
+    }
+
+    /// Number of members in `[start, end)`.
+    pub fn count_range(&self, start: u32, end: u32) -> usize {
+        self.iter_range(start, end).count()
+    }
+}
+
+/// Ascending iterator over a [`HierBitSet`] (optionally range-restricted).
+#[derive(Debug, Clone)]
+pub struct HierBitSetIter<'a> {
+    set: &'a HierBitSet,
+    next: u32,
+    end: u32,
+}
+
+impl Iterator for HierBitSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.next >= self.end {
+            return None;
+        }
+        match self.set.next_at_or_after(self.next) {
+            Some(k) if k < self.end => {
+                self.next = k + 1;
+                Some(k)
+            }
+            _ => {
+                self.next = self.end;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = HierBitSet::new(1000);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(999));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(999));
+    }
+
+    #[test]
+    fn ascending_iteration_matches_btreeset() {
+        // Deterministic LCG-driven churn, compared against a BTreeSet.
+        let mut s = HierBitSet::new(1 << 16);
+        let mut reference = BTreeSet::new();
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        for step in 0..20_000u32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (state >> 33) as u32 % (1 << 16);
+            if step % 3 == 0 {
+                assert_eq!(s.remove(key), reference.remove(&key), "step {step}");
+            } else {
+                assert_eq!(s.insert(key), reference.insert(key), "step {step}");
+            }
+        }
+        assert_eq!(s.len(), reference.len());
+        let got: Vec<u32> = s.iter().collect();
+        let want: Vec<u32> = reference.iter().copied().collect();
+        assert_eq!(got, want);
+        // first() and next_at_or_after agree with the reference range API.
+        assert_eq!(s.first(), reference.iter().next().copied());
+        for probe in [0u32, 1, 63, 64, 4095, 4096, 40_000, 65_535] {
+            assert_eq!(
+                s.next_at_or_after(probe),
+                reference.range(probe..).next().copied(),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_iteration_and_counts() {
+        let mut s = HierBitSet::new(10_000);
+        for k in [5u32, 64, 65, 700, 701, 702, 9_999] {
+            s.insert(k);
+        }
+        let got: Vec<u32> = s.iter_range(64, 702).collect();
+        assert_eq!(got, vec![64, 65, 700, 701]);
+        assert_eq!(s.count_range(0, 10_000), 7);
+        assert_eq!(s.count_range(700, 703), 3);
+        assert_eq!(s.count_range(6, 64), 0);
+    }
+
+    #[test]
+    fn sparse_strides_cross_summary_words() {
+        // Members spaced so lookups must climb through l1 and l2.
+        let mut s = HierBitSet::new(1 << 20);
+        let keys = [0u32, 4_097, 262_144, 1_048_575];
+        for &k in &keys {
+            s.insert(k);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), keys);
+        assert_eq!(s.next_at_or_after(1), Some(4_097));
+        assert_eq!(s.next_at_or_after(4_098), Some(262_144));
+        assert_eq!(s.next_at_or_after(262_145), Some(1_048_575));
+        assert_eq!(s.next_at_or_after(1_048_575), Some(1_048_575));
+        s.remove(262_144);
+        assert_eq!(s.next_at_or_after(4_098), Some(1_048_575));
+    }
+
+    #[test]
+    fn empty_and_boundary() {
+        let s = HierBitSet::new(0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.next_at_or_after(0), None);
+        let mut s = HierBitSet::new(64);
+        s.insert(63);
+        assert_eq!(s.next_at_or_after(63), Some(63));
+        assert_eq!(s.next_at_or_after(64), None);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63]);
+    }
+}

@@ -1,9 +1,18 @@
-//! The live cluster: node inventory plus state bookkeeping.
+//! The live cluster: struct-of-arrays node state plus lazy cold records.
+//!
+//! The fields every hot path reads — availability state, pod, health epoch —
+//! live in dense arrays indexed by node id, so the driver's per-failure
+//! state checks and the scheduler's scans touch contiguous memory. The cold
+//! per-node record ([`Node`]: GPUs, host components, lemon counters) is a
+//! boxed side table materialized only when a failure actually touches the
+//! node: at a million nodes a fresh cluster allocates three flat arrays
+//! instead of millions of per-node heap objects.
 
 use serde::{Deserialize, Serialize};
 
 use rsc_sim_core::time::SimTime;
 
+use crate::component::{ComponentHealth, ComponentKind};
 use crate::ids::NodeId;
 use crate::node::{Node, NodeState};
 use crate::spec::ClusterSpec;
@@ -16,14 +25,24 @@ use crate::topology::Topology;
 /// use rsc_cluster::spec::ClusterSpec;
 ///
 /// let cluster = Cluster::new(ClusterSpec::small_test());
-/// assert_eq!(cluster.nodes().len(), 64);
+/// assert_eq!(cluster.num_nodes(), 64);
 /// assert_eq!(cluster.schedulable_count(), 64);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cluster {
     spec: ClusterSpec,
     topology: Topology,
-    nodes: Vec<Node>,
+    /// Scan-hot: per-node availability state.
+    states: Vec<NodeState>,
+    /// Scan-hot: bumped on every availability transition of the node.
+    health_epochs: Vec<u32>,
+    /// Maintained count of [`NodeState::Healthy`] nodes.
+    schedulable: usize,
+    /// Maintained count of [`NodeState::Remediation`] nodes.
+    remediation: usize,
+    /// Cold records (GPUs, components, lemon counters), materialized only
+    /// for nodes a failure has touched.
+    cold: Vec<Option<Box<Node>>>,
     total_gpu_swaps: u64,
 }
 
@@ -31,16 +50,19 @@ impl Cluster {
     /// Builds a cluster with all nodes healthy.
     pub fn new(spec: ClusterSpec) -> Self {
         let topology = Topology::new(&spec);
-        let nodes = (0..spec.num_nodes())
-            .map(|i| {
-                let id = NodeId::new(i);
-                Node::new(id, topology.rack_of(id), topology.pod_of(id))
-            })
-            .collect();
+        let n = spec.num_nodes() as usize;
         Cluster {
             spec,
             topology,
-            nodes,
+            states: vec![NodeState::Healthy; n],
+            health_epochs: vec![0; n],
+            schedulable: n,
+            remediation: 0,
+            cold: {
+                let mut cold = Vec::new();
+                cold.resize_with(n, || None);
+                cold
+            },
             total_gpu_swaps: 0,
         }
     }
@@ -55,63 +77,141 @@ impl Cluster {
         &self.topology
     }
 
-    /// All nodes, indexed by [`NodeId`] order.
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.states.len()
     }
 
-    /// A node by id.
+    /// A node's current scheduler-facing availability state.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range for this cluster.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.as_usize()]
+    pub fn node_state(&self, id: NodeId) -> NodeState {
+        self.states[id.as_usize()]
     }
 
-    /// Mutable access to a node by id.
+    /// How many availability transitions the node has undergone. Bumped on
+    /// every drain, remediation entry, and return to service, so pollers
+    /// can cheaply detect "anything changed since epoch E".
+    pub fn health_epoch(&self, id: NodeId) -> u32 {
+        self.health_epochs[id.as_usize()]
+    }
+
+    /// The cold record for a node, if a failure has materialized one.
+    /// `None` means the node is pristine: fresh GPUs, all components `Ok`,
+    /// zero lemon counters.
+    pub fn cold_node(&self, id: NodeId) -> Option<&Node> {
+        self.cold[id.as_usize()].as_deref()
+    }
+
+    /// Mutable access to a node's cold record, materializing it on first
+    /// touch.
     ///
     /// # Panics
     ///
     /// Panics if the id is out of range for this cluster.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.as_usize()]
+        let slot = &mut self.cold[id.as_usize()];
+        slot.get_or_insert_with(|| {
+            Box::new(Node::new(
+                id,
+                self.topology.rack_of(id),
+                self.topology.pod_of(id),
+            ))
+        })
     }
 
     /// Ids of all nodes currently schedulable (healthy).
     pub fn schedulable_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
+        self.states
             .iter()
-            .filter(|n| n.state().is_schedulable())
-            .map(|n| n.id())
+            .enumerate()
+            .filter(|(_, s)| s.is_schedulable())
+            .map(|(i, _)| NodeId::new(i as u32))
     }
 
-    /// Number of schedulable nodes.
+    /// Number of schedulable nodes (maintained, O(1)).
     pub fn schedulable_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.state().is_schedulable())
-            .count()
+        self.schedulable
     }
 
-    /// Number of nodes currently in remediation.
+    /// Number of nodes currently in remediation (maintained, O(1)).
     pub fn remediation_count(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.state() == NodeState::Remediation)
-            .count()
+        self.remediation
     }
 
-    /// Sends a node into remediation (high-severity path).
+    /// Number of nodes currently draining.
+    pub fn draining_count(&self) -> usize {
+        self.states.len() - self.schedulable - self.remediation
+    }
+
+    /// Transitions a node's state, keeping the maintained counts and the
+    /// node's health epoch consistent. No-op when the state is unchanged.
+    fn set_state(&mut self, id: NodeId, new: NodeState) {
+        let i = id.as_usize();
+        let old = self.states[i];
+        if old == new {
+            return;
+        }
+        match old {
+            NodeState::Healthy => self.schedulable -= 1,
+            NodeState::Remediation => self.remediation -= 1,
+            NodeState::Draining => {}
+        }
+        match new {
+            NodeState::Healthy => self.schedulable += 1,
+            NodeState::Remediation => self.remediation += 1,
+            NodeState::Draining => {}
+        }
+        self.states[i] = new;
+        self.health_epochs[i] += 1;
+    }
+
+    /// Marks a node draining (low-severity check failure). No-op unless the
+    /// node is healthy.
+    pub fn begin_drain(&mut self, id: NodeId) {
+        if self.states[id.as_usize()] == NodeState::Healthy {
+            self.set_state(id, NodeState::Draining);
+        }
+    }
+
+    /// Sends a node into remediation (high-severity path), filing a ticket
+    /// and bumping its `out_count`. Idempotent: a node already in
+    /// remediation is left alone.
     pub fn remediate_node(&mut self, id: NodeId, now: SimTime) {
-        self.nodes[id.as_usize()].enter_remediation(now);
+        if self.states[id.as_usize()] != NodeState::Remediation {
+            self.set_state(id, NodeState::Remediation);
+            self.node_mut(id).note_outage(now);
+        }
     }
 
     /// Completes repair of a node, returning it to service and accounting
-    /// any GPU swaps that the repair performed.
+    /// any GPU swaps that the repair performed. A pristine (never
+    /// materialized) node has nothing to swap.
     pub fn repair_node(&mut self, id: NodeId) {
-        let swapped = self.nodes[id.as_usize()].complete_repair();
+        let swapped = match &mut self.cold[id.as_usize()] {
+            Some(node) => node.complete_repair(),
+            None => 0,
+        };
         self.total_gpu_swaps += swapped as u64;
+        self.set_state(id, NodeState::Healthy);
+    }
+
+    /// Whether the node carries unrepaired hardware damage (a failed GPU or
+    /// host component). Pristine nodes never do.
+    pub fn has_hardware_damage(&self, id: NodeId) -> bool {
+        match self.cold_node(id) {
+            Some(node) => {
+                node.gpus()
+                    .iter()
+                    .any(|g| g.health() != ComponentHealth::Ok)
+                    || ComponentKind::ALL
+                        .iter()
+                        .any(|&k| node.component_health(k) != ComponentHealth::Ok)
+            }
+            None => false,
+        }
     }
 
     /// Total GPU swaps performed across the cluster's lifetime — the paper
@@ -130,17 +230,24 @@ mod tests {
     #[test]
     fn new_cluster_all_healthy() {
         let c = Cluster::new(ClusterSpec::new("t", 10));
+        assert_eq!(c.num_nodes(), 10);
         assert_eq!(c.schedulable_count(), 10);
         assert_eq!(c.remediation_count(), 0);
         assert_eq!(c.schedulable_nodes().count(), 10);
+        // Pristine cluster materializes no cold records.
+        assert!((0..10).all(|i| c.cold_node(NodeId::new(i)).is_none()));
     }
 
     #[test]
-    fn node_placement_matches_topology() {
-        let c = Cluster::new(ClusterSpec::new("t", 42));
-        for node in c.nodes() {
-            assert_eq!(node.rack(), c.topology().rack_of(node.id()));
-            assert_eq!(node.pod(), c.topology().pod_of(node.id()));
+    fn cold_record_placement_matches_topology() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 42));
+        for i in 0..42 {
+            let id = NodeId::new(i);
+            let node = c.node_mut(id);
+            assert_eq!(node.id(), id);
+            let (rack, pod) = (node.rack(), node.pod());
+            assert_eq!(rack, c.topology().rack_of(id));
+            assert_eq!(pod, c.topology().pod_of(id));
         }
     }
 
@@ -152,8 +259,57 @@ mod tests {
         assert_eq!(c.schedulable_count(), 3);
         assert_eq!(c.remediation_count(), 1);
         assert!(!c.schedulable_nodes().any(|n| n == id));
+        assert_eq!(c.cold_node(id).unwrap().out_count(), 1);
+        assert_eq!(
+            c.cold_node(id).unwrap().last_out_at(),
+            Some(SimTime::from_hours(3))
+        );
         c.repair_node(id);
         assert_eq!(c.schedulable_count(), 4);
+        assert_eq!(c.node_state(id), NodeState::Healthy);
+    }
+
+    #[test]
+    fn remediation_is_idempotent() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 4));
+        let id = NodeId::new(1);
+        c.remediate_node(id, SimTime::ZERO);
+        c.remediate_node(id, SimTime::from_hours(1));
+        assert_eq!(c.cold_node(id).unwrap().out_count(), 1);
+        assert_eq!(c.remediation_count(), 1);
+    }
+
+    #[test]
+    fn drain_state_machine() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 4));
+        let id = NodeId::new(0);
+        c.begin_drain(id);
+        assert_eq!(c.node_state(id), NodeState::Draining);
+        assert_eq!(c.schedulable_count(), 3);
+        assert_eq!(c.draining_count(), 1);
+        // Drain does not downgrade remediation.
+        c.remediate_node(id, SimTime::ZERO);
+        c.begin_drain(id);
+        assert_eq!(c.node_state(id), NodeState::Remediation);
+        // Draining a node costs nothing cold: no record materialized.
+        c.begin_drain(NodeId::new(3));
+        assert!(c.cold_node(NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn health_epoch_counts_transitions() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 4));
+        let id = NodeId::new(2);
+        assert_eq!(c.health_epoch(id), 0);
+        c.begin_drain(id);
+        assert_eq!(c.health_epoch(id), 1);
+        c.remediate_node(id, SimTime::ZERO);
+        assert_eq!(c.health_epoch(id), 2);
+        c.remediate_node(id, SimTime::from_hours(1)); // idempotent: no bump
+        assert_eq!(c.health_epoch(id), 2);
+        c.repair_node(id);
+        assert_eq!(c.health_epoch(id), 3);
+        assert_eq!(c.health_epoch(NodeId::new(0)), 0);
     }
 
     #[test]
@@ -163,8 +319,19 @@ mod tests {
         c.node_mut(id)
             .gpu_mut(3)
             .set_health(ComponentHealth::Failed);
+        assert!(c.has_hardware_damage(id));
         c.remediate_node(id, SimTime::ZERO);
         c.repair_node(id);
         assert_eq!(c.total_gpu_swaps(), 1);
+        assert!(!c.has_hardware_damage(id));
+    }
+
+    #[test]
+    fn pristine_repair_swaps_nothing() {
+        let mut c = Cluster::new(ClusterSpec::new("t", 2));
+        let id = NodeId::new(1);
+        assert!(!c.has_hardware_damage(id));
+        c.repair_node(id);
+        assert_eq!(c.total_gpu_swaps(), 0);
     }
 }

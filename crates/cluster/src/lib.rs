@@ -28,6 +28,7 @@
 //! assert_eq!(loc, Locality::SameRack);
 //! ```
 
+pub mod bitset;
 pub mod cluster;
 pub mod component;
 pub mod gpu;
@@ -36,6 +37,7 @@ pub mod node;
 pub mod spec;
 pub mod topology;
 
+pub use bitset::HierBitSet;
 pub use cluster::Cluster;
 pub use ids::{GpuId, JobId, JobRunId, NodeId, PodId, RackId};
 pub use node::{Node, NodeState, GPUS_PER_NODE};

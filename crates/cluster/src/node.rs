@@ -1,5 +1,12 @@
 //! Server (node) model: eight GPUs, host components, and the scheduler-facing
 //! availability state machine.
+//!
+//! The availability state itself ([`NodeState`]) lives in dense per-cluster
+//! arrays on [`Cluster`](crate::cluster::Cluster) — it is read on every
+//! failure, hang check, and false-positive sweep, so it is kept
+//! struct-of-arrays hot. [`Node`] is the *cold* record: GPUs, host
+//! components, and lemon counters, materialized lazily only for nodes a
+//! failure actually touches.
 
 use serde::{Deserialize, Serialize};
 
@@ -49,13 +56,14 @@ impl std::fmt::Display for NodeState {
 /// Number of GPUs in a DGX A100 server.
 pub const GPUS_PER_NODE: usize = 8;
 
-/// One bare-metal DGX server.
+/// One bare-metal DGX server's cold record: hardware health and lemon
+/// counters. Availability state lives on the owning
+/// [`Cluster`](crate::cluster::Cluster).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {
     id: NodeId,
     rack: RackId,
     pod: PodId,
-    state: NodeState,
     gpus: Vec<Gpu>,
     component_health: Vec<(ComponentKind, ComponentHealth)>,
     /// Times the node was taken out of scheduler availability
@@ -68,13 +76,12 @@ pub struct Node {
 }
 
 impl Node {
-    /// Creates a healthy node with eight fresh GPUs.
+    /// Creates a pristine node with eight fresh GPUs.
     pub fn new(id: NodeId, rack: RackId, pod: PodId) -> Self {
         Node {
             id,
             rack,
             pod,
-            state: NodeState::Healthy,
             gpus: (0..GPUS_PER_NODE).map(|_| Gpu::new()).collect(),
             component_health: ComponentKind::ALL
                 .iter()
@@ -99,11 +106,6 @@ impl Node {
     /// The pod containing this node's rack.
     pub fn pod(&self) -> PodId {
         self.pod
-    }
-
-    /// Current scheduler-facing state.
-    pub fn state(&self) -> NodeState {
-        self.state
     }
 
     /// The node's GPUs.
@@ -136,27 +138,26 @@ impl Node {
         }
     }
 
-    /// Marks the node draining (low-severity check failure). No-op if the
-    /// node is already out of service.
-    pub fn begin_drain(&mut self) {
-        if self.state == NodeState::Healthy {
-            self.state = NodeState::Draining;
-        }
+    /// Whether any GPU or host component carries unrepaired damage.
+    pub fn has_hardware_damage(&self) -> bool {
+        self.gpus.iter().any(|g| g.health() != ComponentHealth::Ok)
+            || self
+                .component_health
+                .iter()
+                .any(|(_, h)| *h != ComponentHealth::Ok)
     }
 
-    /// Moves the node into remediation, filing a ticket and bumping
-    /// `out_count`.
-    pub fn enter_remediation(&mut self, now: SimTime) {
-        if self.state != NodeState::Remediation {
-            self.state = NodeState::Remediation;
-            self.out_count += 1;
-            self.ticket_count += 1;
-            self.last_out_at = Some(now);
-        }
+    /// Records an availability outage: files a ticket, bumps `out_count`,
+    /// stamps the outage time. Called by the cluster exactly once per
+    /// healthy/draining → remediation transition.
+    pub fn note_outage(&mut self, now: SimTime) {
+        self.out_count += 1;
+        self.ticket_count += 1;
+        self.last_out_at = Some(now);
     }
 
-    /// Returns the node to service: all components restored, GPUs with
-    /// failed health swapped, state back to healthy.
+    /// Repairs the node's hardware: all components restored, GPUs with
+    /// failed health swapped.
     ///
     /// Returns the number of GPUs that were swapped during the repair.
     pub fn complete_repair(&mut self) -> usize {
@@ -170,7 +171,6 @@ impl Node {
         for entry in &mut self.component_health {
             entry.1 = ComponentHealth::Ok;
         }
-        self.state = NodeState::Healthy;
         swapped
     }
 
@@ -211,42 +211,24 @@ mod tests {
     }
 
     #[test]
-    fn new_node_is_schedulable() {
+    fn new_node_is_pristine() {
         let n = node();
-        assert_eq!(n.state(), NodeState::Healthy);
-        assert!(n.state().is_schedulable());
         assert_eq!(n.gpus().len(), GPUS_PER_NODE);
+        assert!(!n.has_hardware_damage());
+        assert_eq!(n.out_count(), 0);
+        assert_eq!(n.last_out_at(), None);
     }
 
     #[test]
-    fn drain_then_remediate_then_repair() {
+    fn outage_counters_accumulate() {
         let mut n = node();
-        n.begin_drain();
-        assert_eq!(n.state(), NodeState::Draining);
-        assert!(!n.state().is_schedulable());
-        n.enter_remediation(SimTime::from_hours(1));
-        assert_eq!(n.state(), NodeState::Remediation);
+        n.note_outage(SimTime::from_hours(1));
         assert_eq!(n.out_count(), 1);
         assert_eq!(n.ticket_count(), 1);
         assert_eq!(n.last_out_at(), Some(SimTime::from_hours(1)));
-        n.complete_repair();
-        assert_eq!(n.state(), NodeState::Healthy);
-    }
-
-    #[test]
-    fn remediation_is_idempotent() {
-        let mut n = node();
-        n.enter_remediation(SimTime::ZERO);
-        n.enter_remediation(SimTime::from_hours(1));
-        assert_eq!(n.out_count(), 1);
-    }
-
-    #[test]
-    fn drain_does_not_downgrade_remediation() {
-        let mut n = node();
-        n.enter_remediation(SimTime::ZERO);
-        n.begin_drain();
-        assert_eq!(n.state(), NodeState::Remediation);
+        n.note_outage(SimTime::from_hours(5));
+        assert_eq!(n.out_count(), 2);
+        assert_eq!(n.last_out_at(), Some(SimTime::from_hours(5)));
     }
 
     #[test]
@@ -255,10 +237,12 @@ mod tests {
         n.gpu_mut(2).set_health(ComponentHealth::Failed);
         n.gpu_mut(5).set_health(ComponentHealth::Degraded);
         n.set_component_health(ComponentKind::Dimm, ComponentHealth::Failed);
+        assert!(n.has_hardware_damage());
         let swapped = n.complete_repair();
         assert_eq!(swapped, 2);
         assert_eq!(n.gpu_swap_count(), 2);
         assert_eq!(n.component_health(ComponentKind::Dimm), ComponentHealth::Ok);
+        assert!(!n.has_hardware_damage());
     }
 
     #[test]

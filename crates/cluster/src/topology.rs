@@ -65,12 +65,19 @@ impl Topology {
         }
     }
 
-    /// All node ids in a pod, in index order.
-    pub fn nodes_in_pod(&self, pod: PodId) -> impl Iterator<Item = NodeId> + '_ {
+    /// The contiguous raw node-id range `[start, end)` covered by a pod.
+    /// Node ids are assigned pod-major, so every pod is a dense id span —
+    /// the property the allocator's bitset indexes slice on.
+    pub fn pod_range(&self, pod: PodId) -> std::ops::Range<u32> {
         let per_pod = self.nodes_per_rack * self.racks_per_pod;
         let start = pod.index() * per_pod;
         let end = (start + per_pod).min(self.num_nodes);
-        (start..end).map(NodeId::new)
+        start..end
+    }
+
+    /// All node ids in a pod, in index order.
+    pub fn nodes_in_pod(&self, pod: PodId) -> impl Iterator<Item = NodeId> + '_ {
+        self.pod_range(pod).map(NodeId::new)
     }
 
     /// The number of distinct pods spanned by a set of nodes.

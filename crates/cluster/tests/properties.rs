@@ -77,12 +77,12 @@ proptest! {
             }
             let healthy = cluster.schedulable_count();
             let out = cluster.remediation_count();
-            let draining = cluster
-                .nodes()
-                .iter()
-                .filter(|n| n.state() == NodeState::Draining)
-                .count();
+            let draining = cluster.draining_count();
             prop_assert_eq!(healthy + out + draining, 20);
+            let counted_healthy = (0..20)
+                .filter(|&n| cluster.node_state(NodeId::new(n)) == NodeState::Healthy)
+                .count();
+            prop_assert_eq!(counted_healthy, healthy);
         }
     }
 }

@@ -9,7 +9,8 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use rsc_cluster::ids::NodeId;
+use rsc_cluster::bitset::HierBitSet;
+use rsc_cluster::ids::{NodeId, PodId};
 use rsc_cluster::node::GPUS_PER_NODE;
 use rsc_cluster::topology::Topology;
 
@@ -24,13 +25,20 @@ use crate::job::JobSpec;
 /// * `by_free[f]` holds exactly the nodes with `f` free slots, for
 ///   `f ≥ 1` (fully-busy nodes are indexed nowhere — no query looks
 ///   for zero free slots);
-/// * `whole_by_pod[p]` holds the fully-free nodes of pod `p`, and
-///   `whole_total` their overall count (so `whole_by_pod[p]` mirrors
-///   `by_free[8]` split by pod);
+/// * `whole_count_by_pod[p]` counts the fully-free nodes of pod `p`, and
+///   `whole_total` their overall count. The *identities* of a pod's
+///   fully-free nodes are not stored twice: node ids are pod-contiguous,
+///   so they are recovered by slicing `by_free[8]` with the pod's id
+///   range ([`Topology::pod_range`]);
 /// * `pods_by_fullness` holds `(Reverse(count), p)` for every pod `p`
-///   with a non-empty `whole_by_pod[p]` — its ascending order is the
+///   with a non-zero `whole_count_by_pod[p]` — its ascending order is the
 ///   whole-node packing order (fullest pod first, ties to the lowest
 ///   pod index), kept current so allocation never sorts.
+///
+/// The per-free-count buckets are hierarchical bitsets rather than
+/// B-trees: at a million nodes every commit/release re-files the node in
+/// two buckets, and the bitset does each re-file with two or three word
+/// writes instead of a pointer walk.
 ///
 /// Unavailable nodes are absent from every structure; toggling
 /// availability re-files the node. Rebuilt from scratch rather than
@@ -38,8 +46,8 @@ use crate::job::JobSpec;
 #[derive(Debug, Clone, Default)]
 struct PoolIndex {
     free_gpus: u64,
-    by_free: [BTreeSet<u32>; GPUS_PER_NODE + 1],
-    whole_by_pod: Vec<BTreeSet<u32>>,
+    by_free: [HierBitSet; GPUS_PER_NODE + 1],
+    whole_count_by_pod: Vec<usize>,
     whole_total: usize,
     pods_by_fullness: BTreeSet<(std::cmp::Reverse<usize>, u32)>,
 }
@@ -84,18 +92,19 @@ impl ResourcePool {
     /// Recomputes the derived index from the node state. O(n log n);
     /// needed only after construction or deserialization.
     pub fn rebuild_index(&mut self) {
-        let num_pods = (0..self.free_slots.len())
+        let n = self.free_slots.len();
+        let num_pods = (0..n)
             .map(|i| self.topology.pod_of(NodeId::new(i as u32)).index() + 1)
             .max()
             .unwrap_or(0) as usize;
         self.index = PoolIndex {
             free_gpus: 0,
-            by_free: Default::default(),
-            whole_by_pod: vec![BTreeSet::new(); num_pods],
+            by_free: std::array::from_fn(|_| HierBitSet::new(n)),
+            whole_count_by_pod: vec![0; num_pods],
             whole_total: 0,
             pods_by_fullness: BTreeSet::new(),
         };
-        for i in 0..self.free_slots.len() {
+        for i in 0..n {
             if self.available[i] {
                 self.index_insert(i);
             }
@@ -111,8 +120,8 @@ impl ResourcePool {
         }
         if free as usize == GPUS_PER_NODE {
             let pod = self.topology.pod_of(NodeId::new(i as u32)).index() as usize;
-            let count = self.index.whole_by_pod[pod].len();
-            self.index.whole_by_pod[pod].insert(i as u32);
+            let count = self.index.whole_count_by_pod[pod];
+            self.index.whole_count_by_pod[pod] = count + 1;
             self.refile_pod(pod, count, count + 1);
             self.index.whole_total += 1;
         }
@@ -123,12 +132,12 @@ impl ResourcePool {
         let free = self.free_slots[i];
         self.index.free_gpus -= free as u64;
         if free > 0 {
-            self.index.by_free[free as usize].remove(&(i as u32));
+            self.index.by_free[free as usize].remove(i as u32);
         }
         if free as usize == GPUS_PER_NODE {
             let pod = self.topology.pod_of(NodeId::new(i as u32)).index() as usize;
-            let count = self.index.whole_by_pod[pod].len();
-            self.index.whole_by_pod[pod].remove(&(i as u32));
+            let count = self.index.whole_count_by_pod[pod];
+            self.index.whole_count_by_pod[pod] = count - 1;
             self.refile_pod(pod, count, count - 1);
             self.index.whole_total -= 1;
         }
@@ -217,7 +226,7 @@ impl ResourcePool {
 
     /// Ascending iterator over fully-free available nodes.
     pub(crate) fn free_whole_iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.index.by_free[GPUS_PER_NODE].iter().copied()
+        self.index.by_free[GPUS_PER_NODE].iter()
     }
 
     /// Total GPUs in the pool (available or not).
@@ -243,7 +252,7 @@ impl ResourcePool {
     /// free-count bucket at or above `gpus` holds the answer.
     fn best_fit_sub_node(&self, gpus: u8) -> Option<NodeId> {
         for f in gpus as usize..=GPUS_PER_NODE {
-            if let Some(&i) = self.index.by_free[f].first() {
+            if let Some(i) = self.index.by_free[f].first() {
                 return Some(NodeId::new(i));
             }
         }
@@ -285,7 +294,10 @@ impl ResourcePool {
         }
         let mut chosen = Vec::with_capacity(needed);
         for &(_, pod) in &self.index.pods_by_fullness {
-            for &idx in &self.index.whole_by_pod[pod as usize] {
+            // A pod's fully-free nodes are the whole-node bucket sliced by
+            // the pod's contiguous id range.
+            let range = self.topology.pod_range(PodId::new(pod));
+            for idx in self.index.by_free[GPUS_PER_NODE].iter_range(range.start, range.end) {
                 chosen.push(NodeId::new(idx));
                 if chosen.len() == needed {
                     chosen.sort();

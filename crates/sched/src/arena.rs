@@ -1,0 +1,320 @@
+//! A generational slab arena for live job records.
+//!
+//! The scheduler's hot paths — cycle survivors, attempt endings, occupant
+//! re-tiering, preemption planning — all resolve `JobId → Job`. A
+//! `HashMap` pays a hash and a probe per resolution and scatters `Job`
+//! records across the heap; [`JobArena`] stores live jobs in a contiguous
+//! slab addressed through a dense id table, so every resolution is two
+//! array reads and evicted slots are recycled through a free list instead
+//! of returned to the allocator.
+//!
+//! Layout:
+//!
+//! * `slots` — the slab. Each slot carries a generation counter (bumped on
+//!   every reuse) and the job entry, which also holds the job's
+//!   last-interrupt status (previously a second, parallel `HashMap`).
+//! * `ids` — a dense `JobId.raw() → (slot, generation)` table. Workload
+//!   generators hand out sequential ids from 1, so raw ids index it
+//!   directly; a stale or unknown id misses via a sentinel or a
+//!   generation mismatch, exactly like a `HashMap` miss.
+//! * `free` — LIFO recycle list of evicted slots.
+//!
+//! [`JobArena::set_no_reuse`] disables the free list so every insertion
+//! appends; the byte-identity suite runs whole scenarios both ways to
+//! prove slot reuse cannot leak into telemetry.
+
+use rsc_cluster::ids::JobId;
+
+use crate::job::{Job, JobStatus};
+
+/// Sentinel slot index for "id not present".
+const NONE_IDX: u32 = u32::MAX;
+
+/// A live job plus its scheduler-side sidecar state.
+#[derive(Debug, Clone)]
+struct JobEntry {
+    job: Job,
+    /// Status of the job's most recent interruption, when it is requeued
+    /// because of one (drives the preemption `instigator` tag).
+    last_interrupt: Option<JobStatus>,
+}
+
+/// One slab slot: a generation counter plus the occupant, if any.
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    entry: Option<JobEntry>,
+}
+
+/// A `(slot, generation)` handle in the dense id table.
+#[derive(Debug, Clone, Copy)]
+struct SlotRef {
+    index: u32,
+    generation: u32,
+}
+
+const VACANT: SlotRef = SlotRef {
+    index: NONE_IDX,
+    generation: 0,
+};
+
+/// Allocation statistics for the throughput harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slab slots ever allocated (high-water mark of concurrently live jobs).
+    pub capacity: usize,
+    /// Jobs currently live.
+    pub live: usize,
+    /// Insertions served by recycling a previously evicted slot.
+    pub reused: u64,
+}
+
+/// Generational slab arena keyed by [`JobId`]; see the module docs.
+#[derive(Debug, Default)]
+pub struct JobArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    ids: Vec<SlotRef>,
+    live: usize,
+    reused: u64,
+    no_reuse: bool,
+}
+
+impl JobArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        JobArena::default()
+    }
+
+    /// Disables free-list recycling: every insertion appends a fresh slot.
+    /// Test-only twin mode for proving slot reuse is invisible to callers.
+    #[doc(hidden)]
+    pub fn set_no_reuse(&mut self, on: bool) {
+        self.no_reuse = on;
+    }
+
+    /// Allocation statistics (slab capacity, live jobs, slots recycled).
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            capacity: self.slots.len(),
+            live: self.live,
+            reused: self.reused,
+        }
+    }
+
+    /// Number of live jobs.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no jobs are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether `id` maps to a live job.
+    pub fn contains(&self, id: JobId) -> bool {
+        self.slot_of(id).is_some()
+    }
+
+    fn slot_of(&self, id: JobId) -> Option<usize> {
+        let r = *self.ids.get(id.raw() as usize)?;
+        if r.index == NONE_IDX {
+            return None;
+        }
+        let slot = &self.slots[r.index as usize];
+        // A recycled slot bumped its generation; a stale handle misses.
+        (slot.generation == r.generation && slot.entry.is_some()).then_some(r.index as usize)
+    }
+
+    /// Inserts a job under its spec id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already live.
+    pub fn insert(&mut self, job: Job) {
+        let id = job.spec.id;
+        let raw = id.raw() as usize;
+        if raw >= self.ids.len() {
+            self.ids.resize(raw + 1, VACANT);
+        }
+        assert!(self.slot_of(id).is_none(), "duplicate job id {id} in arena");
+        let entry = JobEntry {
+            job,
+            last_interrupt: None,
+        };
+        let index = match if self.no_reuse { None } else { self.free.pop() } {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                slot.generation = slot.generation.wrapping_add(1);
+                slot.entry = Some(entry);
+                self.reused += 1;
+                i
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    entry: Some(entry),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.ids[raw] = SlotRef {
+            index,
+            generation: self.slots[index as usize].generation,
+        };
+        self.live += 1;
+    }
+
+    /// The live job for `id`, if any.
+    pub fn get(&self, id: JobId) -> Option<&Job> {
+        let i = self.slot_of(id)?;
+        Some(&self.slots[i].entry.as_ref().expect("live slot").job)
+    }
+
+    /// Mutable access to the live job for `id`, if any.
+    pub fn get_mut(&mut self, id: JobId) -> Option<&mut Job> {
+        let i = self.slot_of(id)?;
+        Some(&mut self.slots[i].entry.as_mut().expect("live slot").job)
+    }
+
+    /// Evicts a job, recycling its slot. Returns the job, or `None` for
+    /// unknown/stale ids.
+    pub fn remove(&mut self, id: JobId) -> Option<Job> {
+        let i = self.slot_of(id)?;
+        let entry = self.slots[i].entry.take().expect("live slot");
+        self.ids[id.raw() as usize] = VACANT;
+        if !self.no_reuse {
+            self.free.push(i as u32);
+        }
+        self.live -= 1;
+        Some(entry.job)
+    }
+
+    /// The job's most recent interruption status, if it is requeued
+    /// because of one.
+    pub fn last_interrupt(&self, id: JobId) -> Option<JobStatus> {
+        let i = self.slot_of(id)?;
+        self.slots[i]
+            .entry
+            .as_ref()
+            .expect("live slot")
+            .last_interrupt
+    }
+
+    /// Records the job's most recent interruption status.
+    pub fn set_last_interrupt(&mut self, id: JobId, status: JobStatus) {
+        if let Some(i) = self.slot_of(id) {
+            self.slots[i]
+                .entry
+                .as_mut()
+                .expect("live slot")
+                .last_interrupt = Some(status);
+        }
+    }
+
+    /// Iterates all live jobs in slot order. Callers must not depend on
+    /// the order (it differs from id order once slots recycle); the
+    /// scheduler only uses this for order-insensitive aggregation.
+    pub fn iter_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.entry.as_ref().map(|e| &e.job))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::JobId;
+    use rsc_sim_core::time::{SimDuration, SimTime};
+
+    use crate::job::{Destiny, JobSpec, QosClass};
+
+    fn job(id: u64) -> Job {
+        Job::new(JobSpec {
+            id: JobId::new(id),
+            project: Default::default(),
+            run: None,
+            gpus: 8,
+            submit_at: SimTime::ZERO,
+            work: SimDuration::from_hours(1),
+            time_limit: SimDuration::from_hours(2),
+            qos: QosClass::Normal,
+            checkpoint_interval: SimDuration::from_mins(30),
+            restart_overhead: SimDuration::from_mins(5),
+            destiny: Destiny::Complete,
+            requeue_on_user_failure: false,
+        })
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = JobArena::new();
+        a.insert(job(1));
+        a.insert(job(7));
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(JobId::new(1)));
+        assert!(!a.contains(JobId::new(2)));
+        assert_eq!(a.get(JobId::new(7)).unwrap().spec.id, JobId::new(7));
+        let removed = a.remove(JobId::new(1)).unwrap();
+        assert_eq!(removed.spec.id, JobId::new(1));
+        assert!(a.remove(JobId::new(1)).is_none());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn slots_recycle_and_count_reuse() {
+        let mut a = JobArena::new();
+        a.insert(job(1));
+        a.insert(job(2));
+        a.remove(JobId::new(1));
+        a.insert(job(3)); // recycles job 1's slot
+        let stats = a.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.live, 2);
+        assert_eq!(stats.reused, 1);
+        // Stale id 1 still misses even though its old slot is live again.
+        assert!(a.get(JobId::new(1)).is_none());
+        assert_eq!(a.get(JobId::new(3)).unwrap().spec.id, JobId::new(3));
+    }
+
+    #[test]
+    fn no_reuse_mode_appends_only() {
+        let mut a = JobArena::new();
+        a.set_no_reuse(true);
+        a.insert(job(1));
+        a.remove(JobId::new(1));
+        a.insert(job(2));
+        let stats = a.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.reused, 0);
+    }
+
+    #[test]
+    fn last_interrupt_sidecar_follows_lifetime() {
+        let mut a = JobArena::new();
+        a.insert(job(4));
+        assert_eq!(a.last_interrupt(JobId::new(4)), None);
+        a.set_last_interrupt(JobId::new(4), JobStatus::NodeFail);
+        assert_eq!(a.last_interrupt(JobId::new(4)), Some(JobStatus::NodeFail));
+        a.remove(JobId::new(4));
+        assert_eq!(a.last_interrupt(JobId::new(4)), None);
+        // Reinsertion under the same id starts clean.
+        a.insert(job(4));
+        assert_eq!(a.last_interrupt(JobId::new(4)), None);
+    }
+
+    #[test]
+    fn iteration_covers_exactly_live_jobs() {
+        let mut a = JobArena::new();
+        for id in 1..=6 {
+            a.insert(job(id));
+        }
+        a.remove(JobId::new(2));
+        a.remove(JobId::new(5));
+        let mut ids: Vec<u64> = a.iter_jobs().map(|j| j.spec.id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3, 4, 6]);
+    }
+}

@@ -45,12 +45,14 @@
 
 pub mod accounting;
 pub mod alloc;
+pub mod arena;
 pub mod job;
 pub mod project;
 pub mod sched;
 
 pub use accounting::JobRecord;
 pub use alloc::ResourcePool;
+pub use arena::{ArenaStats, JobArena};
 pub use job::{Destiny, Job, JobSpec, JobState, JobStatus, QosClass};
 pub use project::{ProjectId, ProjectQuotas, ProjectUsage};
 pub use sched::{InterruptCause, SchedConfig, Scheduler, StartedAttempt};

@@ -5,8 +5,11 @@
 //! (paper §II-A). Quotas bound how much of the cluster one project can
 //! hold at once; the scheduler skips jobs whose project is at quota even
 //! when free GPUs exist.
-
-use std::collections::HashMap;
+//!
+//! Both tables are dense vectors indexed by the raw project id: the quota
+//! check runs once per scanned queue entry in every scheduling cycle, and
+//! project ids are small sequential integers, so a direct index beats a
+//! hash per probe.
 
 use serde::{Deserialize, Serialize};
 
@@ -40,9 +43,27 @@ impl std::fmt::Display for ProjectId {
 }
 
 /// Per-project GPU quotas. Projects without an entry are unlimited.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProjectQuotas {
-    limits: HashMap<ProjectId, u64>,
+    limits: Vec<Option<u64>>,
+}
+
+/// Renders the limits as an id-ordered map, matching the shape (and, for
+/// the common unlimited case, the exact bytes) of the former
+/// `HashMap<ProjectId, u64>` field — scenario fingerprints hash the
+/// config's `Debug` rendering, so quota-free fingerprints stay stable.
+impl std::fmt::Debug for ProjectQuotas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let limits: std::collections::BTreeMap<ProjectId, u64> = self
+            .limits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.map(|l| (ProjectId::new(i as u32), l)))
+            .collect();
+        f.debug_struct("ProjectQuotas")
+            .field("limits", &limits)
+            .finish()
+    }
 }
 
 impl ProjectQuotas {
@@ -53,7 +74,11 @@ impl ProjectQuotas {
 
     /// Sets a project's maximum concurrently-allocated GPUs.
     pub fn set(&mut self, project: ProjectId, max_gpus: u64) {
-        self.limits.insert(project, max_gpus);
+        let i = project.raw() as usize;
+        if i >= self.limits.len() {
+            self.limits.resize(i + 1, None);
+        }
+        self.limits[i] = Some(max_gpus);
     }
 
     /// Builder-style [`Self::set`].
@@ -64,7 +89,7 @@ impl ProjectQuotas {
 
     /// The quota for a project, if any.
     pub fn quota(&self, project: ProjectId) -> Option<u64> {
-        self.limits.get(&project).copied()
+        self.limits.get(project.raw() as usize).copied().flatten()
     }
 
     /// Whether a project could start a job of `gpus` GPUs given its
@@ -80,7 +105,7 @@ impl ProjectQuotas {
 /// Running per-project GPU usage accounting.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ProjectUsage {
-    busy: HashMap<ProjectId, u64>,
+    busy: Vec<u64>,
 }
 
 impl ProjectUsage {
@@ -91,12 +116,16 @@ impl ProjectUsage {
 
     /// GPUs currently held by a project.
     pub fn busy(&self, project: ProjectId) -> u64 {
-        self.busy.get(&project).copied().unwrap_or(0)
+        self.busy.get(project.raw() as usize).copied().unwrap_or(0)
     }
 
     /// Records an allocation.
     pub fn acquire(&mut self, project: ProjectId, gpus: u64) {
-        *self.busy.entry(project).or_insert(0) += gpus;
+        let i = project.raw() as usize;
+        if i >= self.busy.len() {
+            self.busy.resize(i + 1, 0);
+        }
+        self.busy[i] += gpus;
     }
 
     /// Records a release.
@@ -105,9 +134,15 @@ impl ProjectUsage {
     ///
     /// Panics in debug builds on under-release (accounting bug).
     pub fn release(&mut self, project: ProjectId, gpus: u64) {
-        let entry = self.busy.entry(project).or_insert(0);
-        debug_assert!(*entry >= gpus, "project usage under-release for {project}");
-        *entry = entry.saturating_sub(gpus);
+        let i = project.raw() as usize;
+        if i >= self.busy.len() {
+            self.busy.resize(i + 1, 0);
+        }
+        debug_assert!(
+            self.busy[i] >= gpus,
+            "project usage under-release for {project}"
+        );
+        self.busy[i] = self.busy[i].saturating_sub(gpus);
     }
 }
 
@@ -141,5 +176,20 @@ mod tests {
         u.release(p, 64);
         assert_eq!(u.busy(p), 8);
         assert_eq!(u.busy(ProjectId::new(9)), 0);
+    }
+
+    #[test]
+    fn unlimited_debug_matches_legacy_hashmap_rendering() {
+        // The scenario fingerprint hashes Debug(config); the quota-free
+        // rendering must stay exactly what the HashMap field produced.
+        assert_eq!(
+            format!("{:?}", ProjectQuotas::unlimited()),
+            "ProjectQuotas { limits: {} }"
+        );
+        let q = ProjectQuotas::unlimited().with(ProjectId::new(2), 64);
+        assert_eq!(
+            format!("{q:?}"),
+            "ProjectQuotas { limits: {ProjectId(2): 64} }"
+        );
     }
 }

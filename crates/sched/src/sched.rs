@@ -6,16 +6,16 @@
 //! lifetime, and automatic requeue (same job id) when infrastructure kills
 //! a job.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use rsc_cluster::bitset::HierBitSet;
 use rsc_cluster::ids::{JobId, NodeId};
 use rsc_cluster::topology::Topology;
 use rsc_sim_core::time::{SimDuration, SimTime};
 
 use crate::accounting::JobRecord;
 use crate::alloc::ResourcePool;
+use crate::arena::{ArenaStats, JobArena};
 use crate::job::{Job, JobSpec, JobState, JobStatus, QosClass};
 use crate::project::{ProjectId, ProjectQuotas, ProjectUsage};
 
@@ -191,16 +191,15 @@ type NodeIdxIter<'a> = std::iter::Peekable<Box<dyn Iterator<Item = u32> + 'a>>;
 pub struct Scheduler {
     config: SchedConfig,
     pool: ResourcePool,
-    jobs: HashMap<JobId, Job>,
+    jobs: JobArena,
     pending: std::collections::BTreeMap<PendKey, PendEntry>,
     node_jobs: Vec<Vec<JobId>>,
     records: Vec<JobRecord>,
-    last_interrupt: HashMap<JobId, JobStatus>,
     quotas: ProjectQuotas,
     usage: ProjectUsage,
     whole_node_frees: std::collections::BTreeMap<(SimTime, JobId), usize>,
     node_best_tier: Vec<u8>,
-    occupied_by_tier: [std::collections::BTreeSet<u32>; 3],
+    occupied_by_tier: [HierBitSet; 3],
     cycle_order: Vec<PendEntry>,
     naive_scans: bool,
 }
@@ -212,16 +211,15 @@ impl Scheduler {
         Scheduler {
             config,
             pool: ResourcePool::new(topology),
-            jobs: HashMap::new(),
+            jobs: JobArena::new(),
             pending: std::collections::BTreeMap::new(),
             node_jobs: vec![Vec::new(); n],
             records: Vec::new(),
-            last_interrupt: HashMap::new(),
             quotas: ProjectQuotas::unlimited(),
             usage: ProjectUsage::new(),
             whole_node_frees: std::collections::BTreeMap::new(),
             node_best_tier: vec![NO_OCCUPANTS; n],
-            occupied_by_tier: Default::default(),
+            occupied_by_tier: std::array::from_fn(|_| HierBitSet::new(n)),
             cycle_order: Vec::new(),
             naive_scans: false,
         }
@@ -234,6 +232,19 @@ impl Scheduler {
     #[doc(hidden)]
     pub fn set_naive_scans(&mut self, on: bool) {
         self.naive_scans = on;
+    }
+
+    /// Disables the job arena's slot recycling (test-only twin mode; see
+    /// [`JobArena::set_no_reuse`]).
+    #[doc(hidden)]
+    pub fn set_arena_no_reuse(&mut self, on: bool) {
+        self.jobs.set_no_reuse(on);
+    }
+
+    /// Job-arena allocation statistics (slab capacity, live jobs, slots
+    /// recycled), for the throughput harness.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.jobs.stats()
     }
 
     /// Installs project GPU quotas (paper §II-A's project allocations).
@@ -268,7 +279,7 @@ impl Scheduler {
 
     /// A job's current state, if known.
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+        self.jobs.get(id)
     }
 
     /// Number of jobs waiting in the queue.
@@ -278,7 +289,7 @@ impl Scheduler {
 
     /// Number of jobs currently running.
     pub fn running_count(&self) -> usize {
-        self.jobs.values().filter(|j| j.is_running()).count()
+        self.jobs.iter_jobs().filter(|j| j.is_running()).count()
     }
 
     /// GPUs currently allocated to running jobs.
@@ -300,11 +311,7 @@ impl Scheduler {
     /// queued job wants at least one GPU is what lets a scheduling cycle
     /// stop scanning once the pool is exhausted.)
     pub fn submit(&mut self, mut spec: JobSpec) {
-        assert!(
-            !self.jobs.contains_key(&spec.id),
-            "duplicate job id {}",
-            spec.id
-        );
+        assert!(!self.jobs.contains(spec.id), "duplicate job id {}", spec.id);
         assert!(spec.gpus >= 1, "job {} requests zero GPUs", spec.id);
         assert!(
             spec.gpus as u64 <= self.pool.total_gpus(),
@@ -314,9 +321,8 @@ impl Scheduler {
             self.pool.total_gpus()
         );
         spec.time_limit = spec.time_limit.min(self.config.max_lifetime);
-        let id = spec.id;
         self.pending.insert(pend_key(&spec), PendEntry::of(&spec));
-        self.jobs.insert(id, Job::new(spec));
+        self.jobs.insert(Job::new(spec));
     }
 
     /// Runs one scheduling cycle at `now`: places as many pending jobs as
@@ -382,7 +388,7 @@ impl Scheduler {
             }
             // The entry survived every reject; fetch the full spec.
             let id = entry.id;
-            let spec = self.jobs[&id].spec.clone();
+            let spec = self.jobs.get(id).expect("pending job").spec.clone();
             if let Some(nodes) = self.allocate(&spec) {
                 free_gpus = free_gpus.saturating_sub(spec.gpus as u64);
                 started.push(self.start_job(id, nodes, now, Vec::new()));
@@ -390,7 +396,7 @@ impl Scheduler {
                 preempt_budget -= 1;
                 if let Some((nodes, victims)) = self.plan_preemption(&spec, now) {
                     let preemptor_restarting = matches!(
-                        self.last_interrupt.get(&id),
+                        self.jobs.last_interrupt(id),
                         Some(JobStatus::NodeFail)
                             | Some(JobStatus::Requeued)
                             | Some(JobStatus::Failed)
@@ -490,7 +496,7 @@ impl Scheduler {
         // (end_estimate, whole nodes freed) per running multi-node job.
         let mut frees: Vec<(SimTime, usize)> = self
             .jobs
-            .values()
+            .iter_jobs()
             .filter_map(|j| match &j.state {
                 JobState::Running { nodes, started_at }
                     if nodes.len() > 1 || !j.spec.is_sub_node() =>
@@ -515,7 +521,7 @@ impl Scheduler {
     /// `false` (no-op) if the job is not running that attempt — stale
     /// completion events after an interruption are expected and ignored.
     pub fn finish(&mut self, id: JobId, attempt: u32, status: JobStatus, now: SimTime) -> bool {
-        let Some(job) = self.jobs.get(&id) else {
+        let Some(job) = self.jobs.get(id) else {
             return false;
         };
         if job.attempt != attempt || !job.is_running() {
@@ -532,7 +538,7 @@ impl Scheduler {
     /// their submission wrappers retry — while one-shot jobs end here.
     /// Returns `false` for stale `(id, attempt)` pairs.
     pub fn crash_job(&mut self, id: JobId, attempt: u32, now: SimTime) -> bool {
-        let Some(job) = self.jobs.get(&id) else {
+        let Some(job) = self.jobs.get(id) else {
             return false;
         };
         if job.attempt != attempt || !job.is_running() {
@@ -540,7 +546,7 @@ impl Scheduler {
         }
         let requeue = job.spec.run.is_some() || job.spec.requeue_on_user_failure;
         if requeue {
-            self.last_interrupt.insert(id, JobStatus::Failed);
+            self.jobs.set_last_interrupt(id, JobStatus::Failed);
         }
         self.end_attempt(id, JobStatus::Failed, now, None, None, requeue);
         true
@@ -561,7 +567,7 @@ impl Scheduler {
         let victims: Vec<JobId> = std::mem::take(&mut self.node_jobs[node.as_usize()]);
         for &id in &victims {
             let status = cause.status();
-            self.last_interrupt.insert(id, status);
+            self.jobs.set_last_interrupt(id, status);
             self.end_attempt(id, status, now, None, None, true);
         }
         victims
@@ -582,7 +588,7 @@ impl Scheduler {
         id: JobId,
         intervals: u32,
     ) -> Option<(SimDuration, u32)> {
-        let job = self.jobs.get_mut(&id)?;
+        let job = self.jobs.get_mut(id)?;
         let lost = job.discard_checkpoints(intervals);
         (lost > SimDuration::ZERO).then_some((lost, job.spec.gpus))
     }
@@ -596,8 +602,9 @@ impl Scheduler {
         now: SimTime,
         preempted: Vec<JobId>,
     ) -> StartedAttempt {
-        let job = self.jobs.get_mut(&id).expect("job exists");
+        let job = self.jobs.get_mut(id).expect("job exists");
         debug_assert!(job.is_pending(), "start of non-pending job {id}");
+        let key = pend_key(&job.spec);
         self.pool.commit(&nodes, &job.spec);
         self.usage.acquire(job.spec.project, job.spec.gpus as u64);
         job.queue_time += now.saturating_since(job.last_enqueued_at);
@@ -617,7 +624,6 @@ impl Scheduler {
             self.whole_node_frees
                 .insert((end_estimate, id), nodes.len());
         }
-        let key = pend_key(&self.jobs[&id].spec);
         self.pending.remove(&key);
         StartedAttempt {
             job: id,
@@ -634,7 +640,7 @@ impl Scheduler {
         let cur = self.node_best_tier[n];
         if tier < cur {
             if cur != NO_OCCUPANTS {
-                self.occupied_by_tier[cur as usize].remove(&(n as u32));
+                self.occupied_by_tier[cur as usize].remove(n as u32);
             }
             self.occupied_by_tier[tier as usize].insert(n as u32);
             self.node_best_tier[n] = tier;
@@ -646,13 +652,13 @@ impl Scheduler {
     fn occupant_removed(&mut self, n: usize) {
         let new = self.node_jobs[n]
             .iter()
-            .map(|id| qos_tier(self.jobs[id].spec.qos))
+            .map(|id| qos_tier(self.jobs.get(*id).expect("occupant is live").spec.qos))
             .min()
             .unwrap_or(NO_OCCUPANTS);
         let cur = self.node_best_tier[n];
         if new != cur {
             if cur != NO_OCCUPANTS {
-                self.occupied_by_tier[cur as usize].remove(&(n as u32));
+                self.occupied_by_tier[cur as usize].remove(n as u32);
             }
             if new != NO_OCCUPANTS {
                 self.occupied_by_tier[new as usize].insert(n as u32);
@@ -700,7 +706,7 @@ impl Scheduler {
         ));
         for t in (my_tier + 1)..3 {
             sources.push((
-                (Box::new(self.occupied_by_tier[t as usize].iter().copied())
+                (Box::new(self.occupied_by_tier[t as usize].iter())
                     as Box<dyn Iterator<Item = u32>>)
                     .peekable(),
                 false,
@@ -732,7 +738,7 @@ impl Scheduler {
             let occupants = &self.node_jobs[idx as usize];
             let all_preemptible = !occupants.is_empty()
                 && occupants.iter().all(|jid| {
-                    let j = &self.jobs[jid];
+                    let j = self.jobs.get(*jid).expect("occupant is live");
                     if j.spec.qos >= spec.qos {
                         return false;
                     }
@@ -788,7 +794,7 @@ impl Scheduler {
             let occupants = &self.node_jobs[idx];
             let all_preemptible = !occupants.is_empty()
                 && occupants.iter().all(|jid| {
-                    let j = &self.jobs[jid];
+                    let j = self.jobs.get(*jid).expect("occupant is live");
                     if j.spec.qos >= spec.qos {
                         return false;
                     }
@@ -841,7 +847,7 @@ impl Scheduler {
         instigator: Option<JobId>,
         requeue: bool,
     ) {
-        let job = self.jobs.get_mut(&id).expect("job exists");
+        let job = self.jobs.get_mut(id).expect("job exists");
         // Take the node list out of the state instead of cloning it; the
         // single owned copy threads through the index updates, the pool
         // release, and finally the accounting record.
@@ -873,10 +879,10 @@ impl Scheduler {
             self.pending.insert(pend_key(&spec), PendEntry::of(&spec));
         } else {
             // Terminal: evict the job so year-long simulations don't hold
-            // millions of dead entries. Stale events for evicted ids are
-            // ignored by the same lookup that filters stale attempts.
-            self.jobs.remove(&id);
-            self.last_interrupt.remove(&id);
+            // millions of dead entries (the arena recycles the slot).
+            // Stale events for evicted ids are ignored by the same lookup
+            // that filters stale attempts.
+            self.jobs.remove(id);
         }
         if !spec.is_sub_node() {
             self.whole_node_frees

@@ -1,11 +1,14 @@
 //! Property-based tests of scheduler invariants under random workloads.
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
 
 use rsc_cluster::ids::{JobId, NodeId};
 use rsc_cluster::spec::ClusterSpec;
 use rsc_cluster::topology::Topology;
-use rsc_sched::job::{Destiny, JobSpec, JobStatus, QosClass};
+use rsc_sched::arena::JobArena;
+use rsc_sched::job::{Destiny, Job, JobSpec, JobStatus, QosClass};
 use rsc_sched::sched::{InterruptCause, SchedConfig, Scheduler};
 use rsc_sim_core::time::{SimDuration, SimTime};
 
@@ -107,6 +110,172 @@ fn run_lockstep(cmds: &[(u8, u32, u8, u32)]) {
     }
 }
 
+/// The pre-arena job store layout: a `JobId → Job` hash map plus the
+/// parallel last-interrupt map the slab arena folded into its slots.
+/// The lockstep twin below drives both stores through one op stream and
+/// demands identical answers to every query after every op.
+#[derive(Default)]
+struct RefJobStore {
+    jobs: HashMap<JobId, Job>,
+    last_interrupt: HashMap<JobId, JobStatus>,
+}
+
+impl RefJobStore {
+    fn insert(&mut self, job: Job) {
+        let prev = self.jobs.insert(job.spec.id, job);
+        assert!(prev.is_none(), "duplicate id in reference store");
+    }
+    fn remove(&mut self, id: JobId) -> Option<Job> {
+        // Eviction drops the sidecar state too, like an arena slot.
+        self.last_interrupt.remove(&id);
+        self.jobs.remove(&id)
+    }
+    fn set_last_interrupt(&mut self, id: JobId, status: JobStatus) {
+        if self.jobs.contains_key(&id) {
+            self.last_interrupt.insert(id, status);
+        }
+    }
+}
+
+/// Drives a [`JobArena`] and the [`RefJobStore`] reference through one
+/// stream of `(op, id, extra)` commands — submit / interrupt / complete
+/// (mutate in place) / evict on a small id universe so slots actually
+/// recycle — checking every query agrees after every op. Run once with
+/// slot reuse and once in append-only twin mode; both must match the
+/// reference (and therefore each other), proving recycling is invisible.
+fn run_arena_lockstep(ops: &[(u8, u8, u8)]) {
+    let ids: Vec<JobId> = (1..=24).map(JobId::new).collect();
+    for no_reuse in [false, true] {
+        let mut arena = JobArena::new();
+        arena.set_no_reuse(no_reuse);
+        let mut reference = RefJobStore::default();
+        for (step, &(op, id_idx, extra)) in ops.iter().enumerate() {
+            let id = ids[id_idx as usize % ids.len()];
+            match op % 4 {
+                // Submit: insert a fresh job (both stores reject
+                // duplicates, so guard on liveness).
+                0 => {
+                    if !arena.contains(id) {
+                        let job = Job::new(spec(
+                            id.raw(),
+                            extra as u32 % 16 + 1,
+                            qos_from(extra),
+                            step as u64,
+                        ));
+                        arena.insert(job.clone());
+                        reference.insert(job);
+                    }
+                }
+                // Interrupt: record the last-interrupt sidecar status.
+                1 => {
+                    let status = if extra % 2 == 0 {
+                        JobStatus::NodeFail
+                    } else {
+                        JobStatus::Preempted
+                    };
+                    arena.set_last_interrupt(id, status);
+                    reference.set_last_interrupt(id, status);
+                }
+                // Complete a step of work: mutate the record in place.
+                2 => {
+                    let a = arena.get_mut(id);
+                    let b = reference.jobs.get_mut(&id);
+                    assert_eq!(a.is_some(), b.is_some(), "step {step}: presence diverges");
+                    if let (Some(a), Some(b)) = (a, b) {
+                        a.attempt += 1;
+                        a.queue_time += SimDuration::from_mins(extra as u64);
+                        b.attempt += 1;
+                        b.queue_time += SimDuration::from_mins(extra as u64);
+                    }
+                }
+                // Evict: remove and compare the returned record.
+                _ => {
+                    assert_eq!(
+                        arena.remove(id),
+                        reference.remove(id),
+                        "step {step}: evicted records diverge"
+                    );
+                }
+            }
+            // Full-store agreement after every op.
+            assert_eq!(arena.len(), reference.jobs.len(), "step {step}: len");
+            assert_eq!(arena.stats().live, reference.jobs.len());
+            for &probe in &ids {
+                assert_eq!(
+                    arena.get(probe),
+                    reference.jobs.get(&probe),
+                    "step {step}: get({probe}) diverges"
+                );
+                assert_eq!(arena.contains(probe), reference.jobs.contains_key(&probe));
+                assert_eq!(
+                    arena.last_interrupt(probe),
+                    reference.last_interrupt.get(&probe).copied(),
+                    "step {step}: last_interrupt({probe}) diverges"
+                );
+            }
+            // Iteration is order-insensitive by contract; compare as sets.
+            let mut a: Vec<&Job> = arena.iter_jobs().collect();
+            let mut b: Vec<&Job> = reference.jobs.values().collect();
+            a.sort_by_key(|j| j.spec.id);
+            b.sort_by_key(|j| j.spec.id);
+            assert_eq!(a, b, "step {step}: live sets diverge");
+        }
+        if no_reuse {
+            assert_eq!(arena.stats().reused, 0, "twin mode must never recycle");
+        }
+    }
+}
+
+/// Drives a recycling scheduler and an append-only-arena scheduler in
+/// lockstep, checking decisions and the final accounting rows (records)
+/// are identical — the sched-level half of the slot-reuse-is-invisible
+/// proof (the sim-level half pins sealed snapshot bytes).
+fn run_arena_reuse_sched_lockstep(cmds: &[(u8, u32, u8, u32)]) {
+    let topo = Topology::new(&ClusterSpec::new("p", 24));
+    let mut recycling = Scheduler::new(topo.clone(), SchedConfig::rsc_default());
+    let mut append_only = Scheduler::new(topo, SchedConfig::rsc_default());
+    append_only.set_arena_no_reuse(true);
+    let mut t = 1u64;
+    let mut live: Vec<(JobId, u32)> = Vec::new();
+    for (i, &(op, gpus, qos, node)) in cmds.iter().enumerate() {
+        t += 1;
+        let now = SimTime::from_mins(t);
+        match op {
+            0 | 1 => {
+                let s = spec(i as u64 + 1, gpus, qos_from(qos), t);
+                recycling.submit(s.clone());
+                append_only.submit(s);
+            }
+            2 => {
+                let a = recycling.interrupt_node(NodeId::new(node), InterruptCause::NodeHang, now);
+                let b =
+                    append_only.interrupt_node(NodeId::new(node), InterruptCause::NodeHang, now);
+                assert_eq!(a, b, "step {i}: interrupt victims diverge");
+            }
+            _ => {
+                if let Some((id, attempt)) = live.first().copied() {
+                    live.remove(0);
+                    let a = recycling.finish(id, attempt, JobStatus::Completed, now);
+                    let b = append_only.finish(id, attempt, JobStatus::Completed, now);
+                    assert_eq!(a, b, "step {i}: finish outcome diverges");
+                }
+            }
+        }
+        let a = recycling.cycle(now);
+        let b = append_only.cycle(now);
+        assert_eq!(a, b, "step {i}: cycle decisions diverge");
+        for s in &a {
+            live.push((s.job, s.attempt));
+        }
+    }
+    // Identical accounting rows, and the twin distinction was real: the
+    // recycling arena stayed within a bounded slab while the append-only
+    // twin grew monotonically.
+    assert_eq!(recycling.records(), append_only.records());
+    assert_eq!(append_only.arena_stats().reused, 0);
+    assert_eq!(recycling.arena_stats().live, append_only.arena_stats().live);
+}
+
 /// Deterministic pseudo-random lockstep runs (always executed, even where
 /// the proptest harness is unavailable): 16 streams of 120 commands each.
 #[test]
@@ -130,6 +299,50 @@ fn indexed_matches_naive_lockstep_deterministic() {
             })
             .collect();
         run_lockstep(&cmds);
+    }
+}
+
+/// Deterministic pseudo-random arena-vs-hashmap lockstep runs (always
+/// executed, even where the proptest harness is unavailable).
+#[test]
+fn arena_matches_hashmap_lockstep_deterministic() {
+    for seed in 0u64..16 {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 16
+        };
+        let ops: Vec<(u8, u8, u8)> = (0..200)
+            .map(|_| ((step() % 4) as u8, (step() % 24) as u8, (step() % 64) as u8))
+            .collect();
+        run_arena_lockstep(&ops);
+    }
+}
+
+/// Deterministic pseudo-random reuse-vs-append-only scheduler twins.
+#[test]
+fn arena_reuse_matches_append_only_sched_deterministic() {
+    for seed in 0u64..8 {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 16
+        };
+        let cmds: Vec<(u8, u32, u8, u32)> = (0..120)
+            .map(|_| {
+                (
+                    (step() % 4) as u8,
+                    (step() % 79 + 1) as u32,
+                    (step() % 3) as u8,
+                    (step() % 24) as u32,
+                )
+            })
+            .collect();
+        run_arena_reuse_sched_lockstep(&cmds);
     }
 }
 
@@ -239,6 +452,27 @@ proptest! {
         cmds in prop::collection::vec((0u8..4, 1u32..80, 0u8..3, 0u32..24), 1..60),
     ) {
         run_lockstep(&cmds);
+    }
+
+    /// The slab arena is observationally a `HashMap<JobId, Job>` plus a
+    /// last-interrupt map: random submit / interrupt / complete / evict
+    /// streams produce identical answers to every query, with and without
+    /// slot recycling.
+    #[test]
+    fn arena_matches_hashmap_reference(
+        ops in prop::collection::vec((0u8..4, 0u8..24, 0u8..64), 1..120),
+    ) {
+        run_arena_lockstep(&ops);
+    }
+
+    /// Arena slot recycling is invisible to the scheduler: a recycling
+    /// scheduler and an append-only twin make identical decisions and
+    /// produce identical accounting rows on random command streams.
+    #[test]
+    fn arena_reuse_matches_append_only_scheduler(
+        cmds in prop::collection::vec((0u8..4, 1u32..80, 0u8..3, 0u32..24), 1..60),
+    ) {
+        run_arena_reuse_sched_lockstep(&cmds);
     }
 
     /// Priority ordering: when capacity suffices for exactly one job, the

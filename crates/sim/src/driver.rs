@@ -296,6 +296,13 @@ impl ClusterSim {
         self.events_processed
     }
 
+    /// Allocation statistics of the scheduler's job arena (slab capacity,
+    /// live jobs, slots recycled) — the bench harness reports these
+    /// alongside peak RSS.
+    pub fn arena_stats(&self) -> rsc_sched::arena::ArenaStats {
+        self.sched.arena_stats()
+    }
+
     /// Routes scheduler allocation queries through the retained naive
     /// reference scans instead of the incremental indexes. Test hook for
     /// byte-identity checks (indexed vs naive runs must produce identical
@@ -303,6 +310,15 @@ impl ClusterSim {
     #[doc(hidden)]
     pub fn set_naive_scheduler_scans(&mut self, naive: bool) {
         self.sched.set_naive_scans(naive);
+    }
+
+    /// Disables job-arena slot recycling (every insertion appends a fresh
+    /// slab slot). Test hook for byte-identity checks — a run with reuse
+    /// and a run without must seal identical telemetry; not part of the
+    /// public API.
+    #[doc(hidden)]
+    pub fn set_arena_no_reuse(&mut self, on: bool) {
+        self.sched.set_arena_no_reuse(on);
     }
 
     /// Rebuilds the failure injector on the retained per-stream thinning
@@ -336,6 +352,23 @@ impl ClusterSim {
     #[doc(hidden)]
     pub fn set_telemetry_segment_capacity(&mut self, capacity: usize) {
         self.telemetry.set_segment_capacity(capacity);
+    }
+
+    /// Derives per-stream telemetry segment capacities from a resident
+    /// byte budget (see [`rsc_telemetry::store::TelemetryStore::set_memory_budget`]).
+    /// Sealed bytes are capacity-invariant, so the budget only bounds
+    /// resident memory — pair with [`Self::enable_telemetry_spill`] to
+    /// keep a long run's telemetry flat at roughly the budget. Must be
+    /// called before the first `run`.
+    pub fn set_telemetry_memory_budget(&mut self, bytes: usize) {
+        self.telemetry.set_memory_budget(bytes);
+    }
+
+    /// Shallow estimate of telemetry record bytes currently resident (the
+    /// quantity [`Self::set_telemetry_memory_budget`] bounds when spilling
+    /// is enabled).
+    pub fn telemetry_resident_bytes(&self) -> usize {
+        self.telemetry.resident_record_bytes()
     }
 
     /// Streams sealed telemetry segments to row files under `dir` as they
@@ -556,7 +589,7 @@ impl ClusterSim {
             Ev::HangDetected { node } => {
                 // The node stopped heartbeating: NODE_FAIL its jobs and pull
                 // it for remediation.
-                if self.cluster.node(node).state() != NodeState::Remediation {
+                if self.cluster.node_state(node) != NodeState::Remediation {
                     let victims =
                         self.sched
                             .interrupt_node(node, InterruptCause::NodeHang, self.now);
@@ -584,7 +617,7 @@ impl ClusterSim {
                     // high-severity FP pulls a healthy node.
                     self.record_health_event(fp);
                     if fp.severity == Severity::High
-                        && self.cluster.node(fp.node).state() == NodeState::Healthy
+                        && self.cluster.node_state(fp.node) == NodeState::Healthy
                     {
                         let victims = self.sched.interrupt_node(
                             fp.node,
@@ -622,7 +655,7 @@ impl ClusterSim {
         self.emit(&SimEvent::GroundTruth(&failure));
         self.telemetry.push_ground_truth(failure);
         let node = failure.node;
-        if self.cluster.node(node).state() == NodeState::Remediation {
+        if self.cluster.node_state(node) == NodeState::Remediation {
             return; // already out of service
         }
 
@@ -746,7 +779,7 @@ impl ClusterSim {
     /// Pulls a node into remediation and schedules its repair. Idempotent:
     /// a node already in remediation is left alone.
     fn remediate(&mut self, node: NodeId, transient_only: bool) {
-        if self.cluster.node(node).state() == NodeState::Remediation {
+        if self.cluster.node_state(node) == NodeState::Remediation {
             return;
         }
         self.cluster.remediate_node(node, self.now);
@@ -754,17 +787,7 @@ impl ClusterSim {
         self.draining.remove(&node);
         self.record_node_event(node, NodeEventKind::EnterRemediation);
         let permanent = !transient_only
-            && (self.broken.contains_key(&node)
-                || self
-                    .cluster
-                    .node(node)
-                    .gpus()
-                    .iter()
-                    .any(|g| g.health() != rsc_cluster::component::ComponentHealth::Ok)
-                || rsc_cluster::component::ComponentKind::ALL.iter().any(|&k| {
-                    self.cluster.node(node).component_health(k)
-                        != rsc_cluster::component::ComponentHealth::Ok
-                }));
+            && (self.broken.contains_key(&node) || self.cluster.has_hardware_damage(node));
         if self.config.remediation.is_infallible() {
             // Legacy path: repairs always succeed after one sampled
             // duration. Draws exactly the RNG stream pre-lifecycle builds
@@ -847,7 +870,7 @@ impl ClusterSim {
         let accepted = cmd.budget_ok
             && match cmd.verb {
                 ControlVerb::RemediateNode { node } | ControlVerb::QuarantineNode { node, .. } => {
-                    self.cluster.node(node).state() != NodeState::Remediation
+                    self.cluster.node_state(node) != NodeState::Remediation
                 }
                 ControlVerb::AdaptiveRouting => !self.routing_adaptive,
                 ControlVerb::RestoreRouting => self.routing_adaptive,
@@ -1020,7 +1043,7 @@ impl ClusterSim {
         let Some(&mode) = self.broken.get(&node) else {
             return;
         };
-        if self.cluster.node(node).state() == NodeState::Remediation {
+        if self.cluster.node_state(node) == NodeState::Remediation {
             return;
         }
         let symptom = self.injector.schedule().catalog().mode(mode).symptom;
@@ -1068,7 +1091,7 @@ impl ClusterSim {
     /// and telemetry.
     fn drain_node(&mut self, node: NodeId) {
         if self.draining.insert(node) {
-            self.cluster.node_mut(node).begin_drain();
+            self.cluster.begin_drain(node);
             self.sched.set_node_available(node, false);
             self.record_node_event(node, NodeEventKind::Drain);
         }

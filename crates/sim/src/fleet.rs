@@ -1,0 +1,318 @@
+//! Multi-fleet orchestration: several independently-seeded clusters run
+//! concurrently in one process, with per-fleet artifacts and a combined
+//! cross-fleet comparison.
+//!
+//! The paper's analysis is inherently two-fleet — RSC-1 and RSC-2 share
+//! infrastructure but differ in workload and failure rates, and most
+//! tables compare them side by side. [`FleetSet`] models that: each fleet
+//! is a named [`ScenarioSpec`] with its own derived seed, the set executes
+//! through one [`ScenarioRunner`] (so fleets simulate concurrently on the
+//! worker pool and each fleet's sealed telemetry lands in the artifact
+//! cache under its own fingerprint), and the results reduce to a
+//! [`FleetComparison`] — the cross-fleet metric table the paper reports.
+
+use std::sync::Arc;
+
+use rsc_sched::job::JobStatus;
+use rsc_telemetry::view::TelemetryView;
+
+use crate::config::SimConfig;
+use crate::runner::{CacheStats, ScenarioRunner, ScenarioSpec};
+
+/// Spreads a base seed into per-fleet seeds (golden-ratio stride, so any
+/// two fleets' seeds differ in most bits). Fleet 0 keeps the base seed:
+/// a single-fleet set is bit-for-bit the plain scenario, and its cached
+/// artifact is shared with every other consumer of that (config, seed).
+fn fleet_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One named fleet: the label its artifacts and comparison row carry,
+/// plus the scenario it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Fleet label (e.g. `"RSC-1"`).
+    pub name: String,
+    /// The fleet's scenario (config, derived seed, horizon).
+    pub scenario: ScenarioSpec,
+}
+
+/// A set of fleets executed together. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FleetSet {
+    fleets: Vec<FleetSpec>,
+    runner: ScenarioRunner,
+}
+
+impl FleetSet {
+    /// An empty set executing through `runner`.
+    pub fn new(runner: ScenarioRunner) -> Self {
+        FleetSet {
+            fleets: Vec::new(),
+            runner,
+        }
+    }
+
+    /// The canonical two-fleet set: full-size RSC-1 and RSC-2 presets over
+    /// the same horizon, independently seeded off `base_seed` (RSC-1 keeps
+    /// the base seed, RSC-2 gets a golden-ratio-strided one).
+    pub fn rsc_pair(runner: ScenarioRunner, base_seed: u64, days: u64) -> Self {
+        let mut set = FleetSet::new(runner);
+        set.add_fleet("RSC-1", SimConfig::rsc1(), base_seed, days);
+        set.add_fleet("RSC-2", SimConfig::rsc2(), base_seed, days);
+        set
+    }
+
+    /// Adds a fleet. Its seed is derived from `base_seed` and the fleet's
+    /// position, so two fleets added from the same base never share RNG
+    /// streams.
+    pub fn add_fleet(
+        &mut self,
+        name: impl Into<String>,
+        config: SimConfig,
+        base_seed: u64,
+        days: u64,
+    ) -> &mut Self {
+        let seed = fleet_seed(base_seed, self.fleets.len());
+        self.fleets.push(FleetSpec {
+            name: name.into(),
+            scenario: ScenarioSpec::new(config, seed, days),
+        });
+        self
+    }
+
+    /// The fleets, in addition order.
+    pub fn fleets(&self) -> &[FleetSpec] {
+        &self.fleets
+    }
+
+    /// Executes every fleet concurrently on the runner's worker pool,
+    /// returning per-fleet sealed views (in addition order) plus the
+    /// cache accounting for the batch.
+    pub fn run(&self) -> FleetSetResult {
+        let specs: Vec<ScenarioSpec> = self.fleets.iter().map(|f| f.scenario.clone()).collect();
+        let (views, cache) = self.runner.run_all_with_stats(&specs);
+        let fleets = self
+            .fleets
+            .iter()
+            .zip(views)
+            .map(|(f, view)| FleetResult {
+                name: f.name.clone(),
+                fingerprint: f.scenario.fingerprint(),
+                view,
+            })
+            .collect();
+        FleetSetResult { fleets, cache }
+    }
+}
+
+/// One fleet's completed run.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Fleet label.
+    pub name: String,
+    /// The scenario fingerprint its cached artifact is filed under.
+    pub fingerprint: u64,
+    /// The fleet's sealed telemetry.
+    pub view: Arc<TelemetryView>,
+}
+
+/// All fleets' completed runs.
+#[derive(Debug, Clone)]
+pub struct FleetSetResult {
+    /// Per-fleet results, in addition order.
+    pub fleets: Vec<FleetResult>,
+    /// Cache accounting for the batch.
+    pub cache: CacheStats,
+}
+
+impl FleetSetResult {
+    /// Reduces every fleet's telemetry to the cross-fleet metric table.
+    pub fn comparison(&self) -> FleetComparison {
+        FleetComparison {
+            rows: self
+                .fleets
+                .iter()
+                .map(|f| FleetMetrics::from_view(&f.name, &f.view))
+                .collect(),
+        }
+    }
+}
+
+/// One fleet's reduced reliability metrics (a row of the comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Fleet label.
+    pub name: String,
+    /// Cluster size in nodes.
+    pub nodes: u32,
+    /// Measurement horizon in days.
+    pub horizon_days: f64,
+    /// Job attempt records.
+    pub job_records: usize,
+    /// Attempts that ran to completion.
+    pub completed: usize,
+    /// Attempts ended by node failure.
+    pub node_fails: usize,
+    /// Node-days of job runtime (the failure-rate denominator).
+    pub node_days: f64,
+    /// Node-failure attempts per 1000 node-days — the paper's headline
+    /// cross-fleet rate (RSC-1 ≈ 6.5, RSC-2 ≈ 2.3 in §III).
+    pub failures_per_1000_node_days: f64,
+    /// GPU swaps performed by repairs (§III corroboration).
+    pub gpu_swaps: u64,
+    /// Health-check events recorded.
+    pub health_events: usize,
+    /// User node-exclusion events (the lemon `excl_jobid_count` signal).
+    pub exclusions: usize,
+}
+
+impl FleetMetrics {
+    /// Computes the row from one sealed view.
+    pub fn from_view(name: &str, view: &TelemetryView) -> Self {
+        let jobs = view.jobs();
+        let completed = jobs
+            .iter()
+            .filter(|r| r.status == JobStatus::Completed)
+            .count();
+        let node_fails = jobs
+            .iter()
+            .filter(|r| r.status == JobStatus::NodeFail)
+            .count();
+        let node_days = view.node_days_of_runtime(0);
+        FleetMetrics {
+            name: name.to_string(),
+            nodes: view.num_nodes(),
+            horizon_days: view.horizon().as_days(),
+            job_records: jobs.len(),
+            completed,
+            node_fails,
+            node_days,
+            failures_per_1000_node_days: if node_days > 0.0 {
+                node_fails as f64 * 1000.0 / node_days
+            } else {
+                0.0
+            },
+            gpu_swaps: view.gpu_swaps(),
+            health_events: view.health_events().len(),
+            exclusions: view.exclusions().len(),
+        }
+    }
+}
+
+/// The cross-fleet metric table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetComparison {
+    /// One row per fleet, in fleet-addition order.
+    pub rows: Vec<FleetMetrics>,
+}
+
+impl FleetComparison {
+    /// Renders the table as CSV (header + one row per fleet), the
+    /// combined export the two-fleet example writes.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "fleet,nodes,horizon_days,job_records,completed,node_fails,node_days,\
+             failures_per_1000_node_days,gpu_swaps,health_events,exclusions\n",
+        );
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{},{},{:.2},{},{},{},{:.2},{:.3},{},{},{}\n",
+                r.name,
+                r.nodes,
+                r.horizon_days,
+                r.job_records,
+                r.completed,
+                r.node_fails,
+                r.node_days,
+                r.failures_per_1000_node_days,
+                r.gpu_swaps,
+                r.health_events,
+                r.exclusions,
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_seeds_are_distinct_and_base_preserving() {
+        assert_eq!(fleet_seed(42, 0), 42);
+        let seeds: Vec<u64> = (0..4).map(|i| fleet_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn two_fleets_run_concurrently_and_match_solo_runs() {
+        let mut set = FleetSet::new(ScenarioRunner::without_cache().workers(2));
+        set.add_fleet("A", SimConfig::small_test_cluster(), 7, 2);
+        set.add_fleet("B", SimConfig::small_test_cluster(), 7, 2);
+        // Independent seeding: same config and base seed, different fleets.
+        assert_ne!(set.fleets()[0].scenario.seed, set.fleets()[1].scenario.seed);
+        let result = set.run();
+        assert_eq!(result.fleets.len(), 2);
+        for (fleet, spec) in result.fleets.iter().zip(set.fleets()) {
+            let solo = spec.scenario.simulate();
+            assert_eq!(fleet.view.jobs(), solo.jobs());
+            assert_eq!(fleet.view.chain_heads(), solo.chain_heads());
+        }
+        // Different seeds actually produced different histories.
+        assert_ne!(
+            result.fleets[0].view.chain_heads(),
+            result.fleets[1].view.chain_heads()
+        );
+    }
+
+    #[test]
+    fn comparison_rows_reduce_each_view() {
+        let mut set = FleetSet::new(ScenarioRunner::without_cache().workers(2));
+        set.add_fleet("A", SimConfig::small_test_cluster(), 3, 2);
+        let result = set.run();
+        let cmp = result.comparison();
+        assert_eq!(cmp.rows.len(), 1);
+        let row = &cmp.rows[0];
+        assert_eq!(row.name, "A");
+        assert_eq!(row.nodes, 64);
+        assert_eq!(row.job_records, result.fleets[0].view.jobs().len());
+        assert!(row.completed <= row.job_records);
+        assert!(row.node_days > 0.0);
+        let csv = cmp.to_csv();
+        assert!(csv.starts_with("fleet,nodes,"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("A,64,"));
+    }
+
+    #[test]
+    fn per_fleet_artifacts_land_in_the_cache() {
+        let dir = std::env::temp_dir().join(format!("rsc-fleet-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = ScenarioRunner::new().with_cache_dir(&dir).workers(2);
+        let mut set = FleetSet::new(runner);
+        set.add_fleet("A", SimConfig::small_test_cluster(), 11, 2);
+        set.add_fleet("B", SimConfig::small_test_cluster(), 11, 2);
+        let cold = set.run();
+        assert_eq!(cold.cache.misses, 2);
+        for fleet in &cold.fleets {
+            assert!(
+                dir.join(format!("{:016x}.snap", fleet.fingerprint))
+                    .exists(),
+                "missing artifact for fleet {}",
+                fleet.name
+            );
+        }
+        let warm = set.run();
+        assert_eq!(warm.cache.hits, 2);
+        assert_eq!(
+            warm.fleets[0].view.chain_heads(),
+            cold.fleets[0].view.chain_heads()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

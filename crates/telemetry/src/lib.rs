@@ -46,6 +46,6 @@ pub use chain::{ChainHasher, ChainRecord, GENESIS};
 pub use segment::{Cursor, SegmentSeal, SegmentedLog, DEFAULT_SEGMENT_CAPACITY};
 pub use store::{
     CheckpointFallbackEvent, ControlActionEvent, ControlActionKind, ControlTrigger, ExclusionEvent,
-    NodeEvent, NodeEventKind, SegmentStats, TelemetryStore,
+    NodeEvent, NodeEventKind, SegmentStats, TelemetryStore, MIN_BUDGET_CAPACITY,
 };
 pub use view::TelemetryView;

@@ -110,6 +110,12 @@ impl<T: ChainRecord> SegmentedLog<T> {
         self.capacity
     }
 
+    /// Records currently resident in memory (the stream suffix that has
+    /// not been handed to a spill writer).
+    pub fn resident_records(&self) -> usize {
+        self.records.len()
+    }
+
     /// How many segments have rotated (excludes the active tail).
     pub fn rotations(&self) -> u64 {
         self.seals.len() as u64

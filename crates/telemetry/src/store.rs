@@ -196,6 +196,10 @@ pub struct ExclusionEvent {
     pub at: SimTime,
 }
 
+/// Floor on budget-derived segment capacities: below this the per-record
+/// chain-hash batching stops paying for itself.
+pub const MIN_BUDGET_CAPACITY: usize = 64;
+
 /// Append/rotation accounting for one store, summed across its streams
 /// (the bench harness reports these as the seal-phase attribution).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -469,6 +473,76 @@ impl TelemetryStore {
         self.ground_truth_failures = SegmentedLog::new(capacity);
         self.ckpt_fallbacks = SegmentedLog::new(capacity);
         self.control_actions = SegmentedLog::new(capacity);
+    }
+
+    /// Derives per-stream segment capacities from a resident-memory
+    /// budget, replacing the uniform record-count capacity.
+    ///
+    /// The budget is split evenly across the seven streams; each stream's
+    /// rotation capacity is its share divided by its record's struct size
+    /// (a shallow estimate — heap payloads like a job's node list are not
+    /// counted), floored at [`MIN_BUDGET_CAPACITY`] records so tiny
+    /// budgets still batch hashing usefully. With spilling enabled, peak
+    /// resident telemetry is then bounded by roughly the budget regardless
+    /// of run length or cluster size; sealed bytes are capacity-invariant,
+    /// so the budget never changes what a run records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stream already holds records (their segments are
+    /// already chained at the old capacity).
+    pub fn set_memory_budget(&mut self, bytes: usize) {
+        assert!(
+            self.jobs.is_empty()
+                && self.health_events.is_empty()
+                && self.node_events.is_empty()
+                && self.exclusions.is_empty()
+                && self.ground_truth_failures.is_empty()
+                && self.ckpt_fallbacks.is_empty()
+                && self.control_actions.is_empty(),
+            "memory budget can only change on an empty store"
+        );
+        let share = bytes / 7;
+        fn cap<T>(share: usize) -> usize {
+            (share / std::mem::size_of::<T>().max(1)).max(MIN_BUDGET_CAPACITY)
+        }
+        self.jobs = SegmentedLog::new(cap::<JobRecord>(share));
+        self.health_events = SegmentedLog::new(cap::<HealthEvent>(share));
+        self.node_events = SegmentedLog::new(cap::<NodeEvent>(share));
+        self.exclusions = SegmentedLog::new(cap::<ExclusionEvent>(share));
+        self.ground_truth_failures = SegmentedLog::new(cap::<FailureEvent>(share));
+        self.ckpt_fallbacks = SegmentedLog::new(cap::<CheckpointFallbackEvent>(share));
+        self.control_actions = SegmentedLog::new(cap::<ControlActionEvent>(share));
+    }
+
+    /// Per-stream rotation capacities, in stream-declaration order (jobs,
+    /// health, node events, exclusions, ground-truth failures, checkpoint
+    /// fallbacks, control actions).
+    pub fn stream_capacities(&self) -> [usize; 7] {
+        [
+            self.jobs.capacity(),
+            self.health_events.capacity(),
+            self.node_events.capacity(),
+            self.exclusions.capacity(),
+            self.ground_truth_failures.capacity(),
+            self.ckpt_fallbacks.capacity(),
+            self.control_actions.capacity(),
+        ]
+    }
+
+    /// Shallow estimate of record bytes currently resident across all
+    /// streams (struct sizes only; heap payloads such as per-job node
+    /// lists are not counted). With spilling enabled this is the quantity
+    /// [`Self::set_memory_budget`] bounds.
+    pub fn resident_record_bytes(&self) -> usize {
+        self.jobs.resident_records() * std::mem::size_of::<JobRecord>()
+            + self.health_events.resident_records() * std::mem::size_of::<HealthEvent>()
+            + self.node_events.resident_records() * std::mem::size_of::<NodeEvent>()
+            + self.exclusions.resident_records() * std::mem::size_of::<ExclusionEvent>()
+            + self.ground_truth_failures.resident_records() * std::mem::size_of::<FailureEvent>()
+            + self.ckpt_fallbacks.resident_records()
+                * std::mem::size_of::<CheckpointFallbackEvent>()
+            + self.control_actions.resident_records() * std::mem::size_of::<ControlActionEvent>()
     }
 
     /// Spills rotated segments to files under `dir` from a background
@@ -996,6 +1070,76 @@ mod tests {
         assert_eq!(spilled.health_events(), resident.health_events());
         assert_eq!(spilled.node_events(), resident.node_events());
         assert_eq!(spilled.chain_heads(), resident.chain_heads());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_budget_derives_per_stream_capacities() {
+        let mut store = TelemetryStore::new("b", 8);
+        store.set_memory_budget(7 * 64 * 1024); // 64 KiB per stream
+        let caps = store.stream_capacities();
+        // Bigger records get proportionally smaller segments; every
+        // capacity respects the floor and the per-stream byte share.
+        assert!(caps.iter().all(|&c| c >= MIN_BUDGET_CAPACITY));
+        assert_eq!(
+            caps[0],
+            (64 * 1024 / std::mem::size_of::<JobRecord>()).max(MIN_BUDGET_CAPACITY)
+        );
+        assert!(caps[2] >= caps[0], "NodeEvent is smaller than JobRecord");
+        // A tiny budget clamps to the floor instead of degenerating.
+        let mut tiny = TelemetryStore::new("b", 8);
+        tiny.set_memory_budget(16);
+        assert!(tiny
+            .stream_capacities()
+            .iter()
+            .all(|&c| c == MIN_BUDGET_CAPACITY));
+    }
+
+    #[test]
+    fn memory_budget_does_not_change_sealed_view() {
+        let fill = |budget: Option<usize>| {
+            let mut store = TelemetryStore::new("b", 8);
+            if let Some(b) = budget {
+                store.set_memory_budget(b);
+            }
+            for i in 0..500u64 {
+                store.push_health_event(health_event((i % 8) as u32, i * 10));
+                store.push_job(job_record(8, 1, 1 + i % 3));
+            }
+            store
+        };
+        let budgeted = fill(Some(7 * 4096)); // forces mid-run rotations
+        assert!(budgeted.segment_stats().rotations > 0);
+        assert!(budgeted.resident_record_bytes() > 0);
+        let default = fill(None);
+        let a = budgeted.seal();
+        let b = default.seal();
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.health_events(), b.health_events());
+        assert_eq!(a.chain_heads(), b.chain_heads());
+    }
+
+    #[test]
+    fn spill_bounds_resident_bytes_under_budget() {
+        let dir = std::env::temp_dir().join(format!("rsc-budget-test-{}", std::process::id()));
+        let mut store = TelemetryStore::new("b", 8);
+        let budget = 7 * 4096;
+        store.set_memory_budget(budget);
+        store.enable_spill(&dir).unwrap();
+        let mut peak = 0usize;
+        for i in 0..5_000u64 {
+            store.push_health_event(health_event((i % 8) as u32, i * 10));
+            peak = peak.max(store.resident_record_bytes());
+        }
+        // Resident telemetry stays within the health stream's share plus
+        // one record of slack, regardless of how many records were pushed.
+        let share = budget / 7 + std::mem::size_of::<HealthEvent>();
+        assert!(
+            peak <= share,
+            "peak resident {peak} bytes exceeds budget share {share}"
+        );
+        let view = store.seal();
+        assert_eq!(view.health_events().len(), 5_000);
         let _ = fs::remove_dir_all(&dir);
     }
 
