@@ -22,7 +22,7 @@
 //! * `--seed N` — RNG seed (default [`rsc_bench::FIGURE_SEED`]);
 //! * `--rounds N` — best-of-N rounds per scale (default 2);
 //! * `--nodes A,B,C` — node counts to sweep (default
-//!   `1024,16384,102400,1000000`);
+//!   `1024,16384,102400,1000000,10000000`);
 //! * `--smoke` — CI-sized sweep: `256,1024,102400` nodes, 3 days, marked
 //!   `"smoke": true` so it is never mistaken for trajectory numbers;
 //! * `--rebaseline` — overwrite the stored baseline with this run;
@@ -31,12 +31,17 @@
 //! * `--max-eps-regression X` — exit nonzero if `events_per_s` at any scale
 //!   present in both baseline and current dropped by more than the fraction
 //!   `X` (CI passes `0.10` for the >10% regression gate);
+//! * `--max-rss-regression X` — exit nonzero if `peak_rss_mb` at any scale
+//!   present in both baseline and current grew by more than the fraction
+//!   `X` — the memory-wave twin of the events/s gate, so a perf win that
+//!   trades away resident memory fails loudly;
 //! * `--out PATH` — output file (default `BENCH_sim_throughput.json`);
-//! * `--determinism-check` — run a small scenario plus short 102400-node
-//!   and 1,000,000-node scenarios twice each and fail unless the sealed
-//!   snapshots are byte-identical (the CI determinism gate, covering the
-//!   tiered queue's rebase/overflow paths at fleet scale and the arena /
-//!   SoA / bitset layouts at million-node scale).
+//! * `--determinism-check` — run a small scenario plus short 102400-node,
+//!   1,000,000-node, and 10,000,000-node scenarios twice each and fail
+//!   unless the sealed snapshots are byte-identical (the CI determinism
+//!   gate, covering the tiered queue's rebase/overflow paths at fleet
+//!   scale and the arena / SoA / bitset / sparse-wheel layouts at
+//!   ten-million-node scale).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -58,6 +63,7 @@ struct Args {
     rebaseline: bool,
     min_speedup: Option<f64>,
     max_eps_regression: Option<f64>,
+    max_rss_regression: Option<f64>,
     out: String,
     determinism_check: bool,
 }
@@ -68,11 +74,12 @@ impl Default for Args {
             days: 30,
             seed: rsc_bench::FIGURE_SEED,
             rounds: 2,
-            nodes: vec![1024, 16_384, 102_400, 1_000_000],
+            nodes: vec![1024, 16_384, 102_400, 1_000_000, 10_000_000],
             smoke: false,
             rebaseline: false,
             min_speedup: None,
             max_eps_regression: None,
+            max_rss_regression: None,
             out: "BENCH_sim_throughput.json".to_string(),
             determinism_check: false,
         }
@@ -133,14 +140,21 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| bad("--max-eps-regression", &v)),
                 );
             }
+            "--max-rss-regression" => {
+                let v = value("--max-rss-regression");
+                out.max_rss_regression = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| bad("--max-rss-regression", &v)),
+                );
+            }
             "--out" => out.out = value("--out"),
             "--determinism-check" => out.determinism_check = true,
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
                     "usage: [--days N] [--seed N] [--rounds N] [--nodes A,B,C] [--smoke] \
-                     [--rebaseline] [--min-speedup X] [--max-eps-regression X] [--out PATH] \
-                     [--determinism-check]"
+                     [--rebaseline] [--min-speedup X] [--max-eps-regression X] \
+                     [--max-rss-regression X] [--out PATH] [--determinism-check]"
                 );
                 std::process::exit(2);
             }
@@ -340,12 +354,24 @@ fn baseline_events_per_s(baseline: &str, nodes: u32) -> Option<f64> {
     json_number_field(entry, "events_per_s")
 }
 
+/// Baseline peak resident set for `nodes`, if the stored baseline has it.
+fn baseline_peak_rss_mb(baseline: &str, nodes: u32) -> Option<f64> {
+    let scales = json_object_field(baseline, "scales")?;
+    let entry = json_object_field(scales, &nodes.to_string())?;
+    json_number_field(entry, "peak_rss_mb")
+}
+
 fn determinism_check() -> std::process::ExitCode {
     // A small scenario plus short fleet- and million-node-scale ones: the
     // larger drive the tiered event queue through rebase/overflow, the
     // superposition injector through a large alias table, and the arena /
     // SoA node state / hierarchical-bitset index layouts at full width.
-    let scales = [(256u32, 5u64), (102_400, 1), (1_000_000, 1)];
+    let scales = [
+        (256u32, 5u64),
+        (102_400, 1),
+        (1_000_000, 1),
+        (10_000_000, 1),
+    ];
     let snap = |spec: &rsc_sim::runner::ScenarioSpec| {
         let view = spec.simulate();
         let mut bytes = Vec::new();
@@ -463,6 +489,9 @@ fn main() -> std::process::ExitCode {
     // Worst per-scale events/s regression vs the baseline, as a fraction
     // (0.25 = one scale's event loop slowed to 75% of its baseline rate).
     let mut worst_eps_drop: Option<(u32, f64)> = None;
+    // Worst per-scale peak-RSS growth vs the baseline, as a fraction
+    // (0.25 = one scale's resident set grew to 125% of its baseline).
+    let mut worst_rss_growth: Option<(u32, f64)> = None;
     for m in &measurements {
         let baseline_total = comparable
             .then(|| baseline_total_s(&baseline, m.nodes))
@@ -477,6 +506,17 @@ fn main() -> std::process::ExitCode {
             let drop = 1.0 - m.events_per_s() / base_eps.max(1e-9);
             if worst_eps_drop.is_none_or(|(_, d)| drop > d) {
                 worst_eps_drop = Some((m.nodes, drop));
+            }
+        }
+        if let (Some(rss), Some(base_rss)) = (
+            m.peak_rss_mb,
+            comparable
+                .then(|| baseline_peak_rss_mb(&baseline, m.nodes))
+                .flatten(),
+        ) {
+            let growth = rss / base_rss.max(1e-9) - 1.0;
+            if worst_rss_growth.is_none_or(|(_, g)| growth > g) {
+                worst_rss_growth = Some((m.nodes, growth));
             }
         }
         let speedup = baseline_total.map(|b| b / m.total_s());
@@ -552,6 +592,35 @@ fn main() -> std::process::ExitCode {
                 eprintln!(
                     "FAIL: --max-eps-regression given but no scale was comparable \
                      against the stored baseline (days/seed mismatch or missing scales)"
+                );
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(max_growth) = args.max_rss_regression {
+        match worst_rss_growth {
+            Some((nodes, growth)) if growth > max_growth => {
+                eprintln!(
+                    "FAIL: peak_rss_mb at {nodes} nodes grew {:.1}% vs baseline \
+                     (gate: {:.1}%)",
+                    growth * 100.0,
+                    max_growth * 100.0
+                );
+                return std::process::ExitCode::FAILURE;
+            }
+            Some((nodes, growth)) => {
+                println!(
+                    "peak-rss gate: OK (worst change {:+.1}% at {nodes} nodes, \
+                     gate {:.1}%)",
+                    growth * 100.0,
+                    max_growth * 100.0
+                );
+            }
+            None => {
+                eprintln!(
+                    "FAIL: --max-rss-regression given but no scale had peak_rss_mb in \
+                     both baseline and current (days/seed mismatch, missing scales, or \
+                     a non-Linux host without VmHWM)"
                 );
                 return std::process::ExitCode::FAILURE;
             }

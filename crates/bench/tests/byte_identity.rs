@@ -92,6 +92,44 @@ fn tiered_event_queue_matches_reference_heap_byte_for_byte() {
     }
 }
 
+fn snapshot_bytes_planner(spec: &ScenarioSpec, serial_twin: bool) -> Vec<u8> {
+    let mut sim = ClusterSim::new(spec.config.clone(), spec.seed);
+    if serial_twin {
+        sim.set_serial_failure_planning();
+    }
+    sim.run(SimDuration::from_days(spec.days));
+    let view = sim.into_telemetry().seal();
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &view).expect("in-memory snapshot write");
+    bytes
+}
+
+#[test]
+fn batched_failure_planning_matches_lazy_loop_byte_for_byte() {
+    // The shard-compute/merge-apply split attributes failures a batch ahead
+    // of the clock. The serial twin pins a look-ahead of one and the
+    // single-threaded compute path — verbatim the pre-split lazy
+    // draw-then-handle loop — and both must seal the same bytes: same
+    // injector stream, same lemon masking, same apply order, same
+    // simulation-RNG draws.
+    let specs = [
+        rsc1_spec(64, 7, 20250301),
+        rsc2_spec(64, 7, 20250301),
+        rsc1_sized_spec(256, 14, 7),
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let batched = snapshot_bytes_planner(spec, false);
+        let lazy = snapshot_bytes_planner(spec, true);
+        assert!(
+            batched == lazy,
+            "scenario {i}: sealed snapshot differs between batched and lazy failure \
+             planning ({} vs {} bytes)",
+            batched.len(),
+            lazy.len()
+        );
+    }
+}
+
 #[test]
 fn per_stream_injector_hook_runs_end_to_end() {
     // The injector swap is same-law-different-realization, so no byte

@@ -28,7 +28,8 @@
 //! assert_eq!(loc, Locality::SameRack);
 //! ```
 
-pub mod bitset;
+pub use rsc_sim_core::bitset;
+
 pub mod cluster;
 pub mod component;
 pub mod gpu;

@@ -71,12 +71,16 @@ struct Superposition {
     num_nodes: u32,
     /// Sorted instants where some stream's rate changes.
     boundaries: Vec<SimTime>,
+    /// First instant of the current era (zero or a boundary). The exact
+    /// per-stream weight the attribution table was built from is
+    /// reconstructed on demand as `schedule.rate(node, mode, era_start)` —
+    /// bitwise the same value, so the `nodes × modes` weight vector does
+    /// not need to outlive table construction.
+    era_start: SimTime,
     /// Exclusive end of the current era ([`SimTime::MAX`] for the last).
     era_end: SimTime,
-    /// Exact per-stream rates (per node-day) within the current era.
-    weights: Vec<f64>,
-    /// Attribution table over `weights`; `None` when the era's total rate
-    /// is zero.
+    /// Attribution table over the era's per-stream rates; `None` when the
+    /// era's total rate is zero.
     table: Option<AliasTable>,
     /// Summed rate of the merged process in the current era (per day).
     total: f64,
@@ -92,8 +96,8 @@ impl Superposition {
             mode_ids,
             num_nodes,
             boundaries: schedule.era_boundaries(),
+            era_start: SimTime::ZERO,
             era_end: SimTime::MAX,
-            weights: Vec::new(),
             table: None,
             total: 0.0,
             next_candidate: None,
@@ -106,24 +110,20 @@ impl Superposition {
     /// Rebuilds the era state for the era containing `era_start` (which
     /// must be an era's first instant: zero or a boundary).
     fn rebuild(&mut self, schedule: &HazardSchedule, era_start: SimTime) {
+        self.era_start = era_start;
         self.era_end = self
             .boundaries
             .iter()
             .copied()
             .find(|&b| b > era_start)
             .unwrap_or(SimTime::MAX);
-        self.weights.clear();
-        self.weights
-            .reserve(self.num_nodes as usize * self.mode_ids.len());
-        for node_idx in 0..self.num_nodes {
-            let node = NodeId::new(node_idx);
-            for &mode in &self.mode_ids {
-                // The *exact* rate at the era start; constant through the
-                // era, so acceptance-time `rate(t)` matches it bitwise.
-                self.weights.push(schedule.rate(node, mode, era_start));
-            }
-        }
-        self.table = AliasTable::new(self.weights.iter().copied()).ok();
+        // The *exact* rates at the era start; constant through the era, so
+        // acceptance-time `rate(t)` matches them bitwise. The vector is
+        // consumed by the table build (its allocation becomes the
+        // acceptance-probability array) rather than retained: at fleet
+        // scale `nodes × modes` doubles are too big to keep twice.
+        let weights = schedule.era_rates_node_major(&self.mode_ids, self.num_nodes, era_start);
+        self.table = AliasTable::from_weights_vec(weights).ok();
         self.total = self.table.as_ref().map_or(0.0, AliasTable::total);
     }
 
@@ -263,10 +263,13 @@ impl FailureInjector {
                 let i = table.sample(&mut self.rng);
                 let node = NodeId::new((i / sp.mode_ids.len()) as u32);
                 let mode = sp.mode_ids[i % sp.mode_ids.len()];
-                // Thinning safety net: the weight is the exact era rate, so
-                // the ratio is 1 and `chance` short-circuits without a draw.
+                // Thinning safety net: the sampling weight is the exact era
+                // rate — recomputed at the era start, bitwise what the table
+                // was built from — so the ratio is 1 and `chance`
+                // short-circuits without a draw.
                 let rate = self.schedule.rate(node, mode, at);
-                let event = if rate > 0.0 && self.rng.chance(rate / sp.weights[i]) {
+                let weight = self.schedule.rate(node, mode, sp.era_start);
+                let event = if rate > 0.0 && self.rng.chance(rate / weight) {
                     let spec = self.schedule.catalog().mode(mode);
                     let permanent = self.rng.chance(spec.permanent_prob);
                     Some(FailureEvent {

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use rsc_cluster::component::ComponentKind;
 use rsc_cluster::ids::NodeId;
+use rsc_sim_core::bitset::HierBitSet;
 use rsc_sim_core::rng::{SimRng, WeightedIndex};
 
 use crate::process::HazardSchedule;
@@ -86,10 +87,15 @@ impl LemonPlan {
         );
         let cause_dist = WeightedIndex::new(ROOT_CAUSE_TABLE.iter().map(|&(_, w)| w))
             .expect("Table II weights are valid");
+        // Rejection sampling with bitset membership: same draw/accept
+        // sequence as a linear `contains` scan (so existing seeds reproduce
+        // identical plans), but O(1) per candidate — at fleet scale the
+        // quadratic scan over ~100k chosen lemons dominated construction.
+        let mut taken = HierBitSet::new(num_nodes as usize);
         let mut chosen: Vec<u32> = Vec::with_capacity(count);
         while chosen.len() < count {
             let candidate = rng.below(num_nodes as u64) as u32;
-            if !chosen.contains(&candidate) {
+            if taken.insert(candidate) {
                 chosen.push(candidate);
             }
         }
@@ -120,6 +126,19 @@ impl LemonPlan {
     /// Whether a node is a planted lemon.
     pub fn is_lemon(&self, node: NodeId) -> bool {
         self.lemons.iter().any(|l| l.node == node)
+    }
+
+    /// The lemon set as a bitset over `[0, num_nodes)` — the O(1)
+    /// membership form of [`Self::is_lemon`] for per-event hot paths, where
+    /// a linear scan over ~1% of the fleet per failure would dominate.
+    pub fn node_mask(&self, num_nodes: u32) -> HierBitSet {
+        let mut mask = HierBitSet::new(num_nodes as usize);
+        for l in &self.lemons {
+            if l.node.index() < num_nodes {
+                mask.insert(l.node.index());
+            }
+        }
+        mask
     }
 
     /// The ground-truth lemon node ids.

@@ -239,7 +239,7 @@ impl ServiceState {
             }
             (Method::Get, ["api", "v1", "jobs", id]) => Action::Respond(self.job_status(id)),
             (Method::Get, ["api", "v1", "jobs", id, "analysis"]) => {
-                Action::Respond(self.job_analysis(id))
+                Action::Respond(self.job_analysis(id, req))
             }
             (Method::Get, ["api", "v1", "analysis", fp]) => {
                 Action::Respond(self.fingerprint_analysis(fp))
@@ -414,18 +414,80 @@ impl ServiceState {
         }
     }
 
-    fn job_analysis(&self, raw_id: &str) -> Response {
+    /// `GET /api/v1/jobs/{id}/analysis` — the canonical analysis JSON,
+    /// or, when the client sends `Accept: text/csv`, a CSV download of
+    /// the sealed alert log (`?kind=alerts`, the default) or control
+    /// actions (`?kind=actions`).
+    fn job_analysis(&self, raw_id: &str, req: &Request) -> Response {
         let snap = match raw_id.parse::<u64>().ok().and_then(|id| self.jobs.get(id)) {
             Some(snap) => snap,
             None => return Response::error(404, "unknown_job", "no such job id"),
         };
         match &snap.state {
-            crate::jobs::JobState::Sealed => match self.analysis_for(snap.fingerprint) {
-                Some(sealed) => Response::json(200, sealed.json.to_string()),
-                None => Response::error(404, "analysis_missing", "sealed artifact not found"),
-            },
+            crate::jobs::JobState::Sealed => {
+                if wants_csv(req) {
+                    return self
+                        .analysis_csv(snap.fingerprint, req.query("kind").unwrap_or("alerts"));
+                }
+                match self.analysis_for(snap.fingerprint) {
+                    Some(sealed) => Response::json(200, sealed.json.to_string()),
+                    None => Response::error(404, "analysis_missing", "sealed artifact not found"),
+                }
+            }
             crate::jobs::JobState::Failed(detail) => Response::error(500, "job_failed", detail),
             _ => Response::error(409, "not_sealed", "job has not sealed yet; poll its status"),
+        }
+    }
+
+    /// One sealed CSV artifact for a fingerprint. The file written at seal
+    /// is served verbatim when present; a missing file (cache pruned) is
+    /// re-rendered from the sealed analysis through the same renderer that
+    /// wrote it, so both paths serve identical bytes.
+    fn analysis_csv(&self, fingerprint: u64, kind: &str) -> Response {
+        use rsc_monitor::export::{
+            actions_rows, alerts_rows, ACTIONS_CSV_HEADER, ALERTS_CSV_HEADER,
+        };
+        if kind != "alerts" && kind != "actions" {
+            return Response::error(400, "bad_kind", "kind must be alerts or actions");
+        }
+        let path = self
+            .config
+            .cache_dir
+            .join(format!("{fingerprint:016x}.{kind}.csv"));
+        if let Ok(bytes) = std::fs::read(&path) {
+            return Response::csv(200, bytes);
+        }
+        let mut body = Vec::new();
+        let rendered = match kind {
+            "alerts" => match self.analysis_for(fingerprint) {
+                Some(sealed) => rsc_telemetry::csv::write_csv(
+                    &mut body,
+                    &ALERTS_CSV_HEADER,
+                    alerts_rows(&sealed.report.alerts),
+                )
+                .is_ok(),
+                None => false,
+            },
+            _ => {
+                let snap = self
+                    .config
+                    .cache_dir
+                    .join(format!("{fingerprint:016x}.snap"));
+                match load_snapshot_file(&snap) {
+                    Ok(view) => rsc_telemetry::csv::write_csv(
+                        &mut body,
+                        &ACTIONS_CSV_HEADER,
+                        actions_rows(view.control_actions()),
+                    )
+                    .is_ok(),
+                    Err(_) => false,
+                }
+            }
+        };
+        if rendered {
+            Response::csv(200, body)
+        } else {
+            Response::error(404, "csv_missing", "sealed CSV artifact not found")
         }
     }
 
@@ -438,6 +500,14 @@ impl ServiceState {
             None => Response::error(404, "unknown_fingerprint", "no sealed analysis on record"),
         }
     }
+}
+
+/// Whether the request negotiates a CSV body (`Accept` mentions
+/// `text/csv`). Anything else — absent header, `*/*`, JSON — keeps the
+/// canonical JSON body.
+fn wants_csv(req: &Request) -> bool {
+    req.header("accept")
+        .is_some_and(|v| v.to_ascii_lowercase().contains("text/csv"))
 }
 
 /// Renders one job record.
@@ -589,6 +659,63 @@ mod tests {
         let reloaded = respond(&fresh, &get(&format!("/api/v1/analysis/{fp:016x}")));
         assert_eq!(reloaded.status, 200);
         assert_eq!(via_job.body, reloaded.body);
+
+        state.begin_shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn get_csv(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\nAccept: text/csv\r\n\r\n");
+        parse_request(&mut raw.as_bytes()).unwrap().unwrap()
+    }
+
+    #[test]
+    fn accept_csv_downloads_sealed_artifacts() {
+        let dir = temp_cache("csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let state = ServiceState::new(ServiceConfig::with_cache_dir(&dir));
+        let workers = state.spawn_job_workers();
+        assert_eq!(
+            respond(&state, &post("/api/v1/sweeps?seeds=5&days=2")).status,
+            202
+        );
+        wait_sealed(&state, 0);
+        let fp = state.jobs().get(0).unwrap().fingerprint;
+
+        // Default JSON is untouched by the negotiation.
+        let json = respond(&state, &get("/api/v1/jobs/0/analysis"));
+        assert_eq!(json.content_type, "application/json");
+
+        // Accept: text/csv serves the sealed alert log verbatim.
+        let alerts = respond(&state, &get_csv("/api/v1/jobs/0/analysis"));
+        assert_eq!((alerts.status, alerts.content_type), (200, "text/csv"));
+        let on_disk = std::fs::read(dir.join(format!("{fp:016x}.alerts.csv"))).unwrap();
+        assert_eq!(alerts.body, on_disk);
+        assert!(alerts.body.starts_with(b"kind,node,raised_at_days"));
+
+        // kind=actions selects the control-action log.
+        let actions = respond(&state, &get_csv("/api/v1/jobs/0/analysis?kind=actions"));
+        assert_eq!((actions.status, actions.content_type), (200, "text/csv"));
+        assert_eq!(
+            actions.body,
+            std::fs::read(dir.join(format!("{fp:016x}.actions.csv"))).unwrap()
+        );
+
+        // A pruned file regenerates byte-identically from the sealed
+        // analysis.
+        std::fs::remove_file(dir.join(format!("{fp:016x}.alerts.csv"))).unwrap();
+        let regenerated = respond(&state, &get_csv("/api/v1/jobs/0/analysis"));
+        assert_eq!(regenerated.status, 200);
+        assert_eq!(regenerated.body, on_disk);
+
+        // Unknown kinds reject crisply.
+        assert_eq!(
+            respond(&state, &get_csv("/api/v1/jobs/0/analysis?kind=nope")).status,
+            400
+        );
 
         state.begin_shutdown();
         for w in workers {

@@ -367,6 +367,15 @@ impl Response {
         }
     }
 
+    /// A CSV response (content-negotiated downloads of sealed artifacts).
+    pub fn csv(status: u16, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type: "text/csv",
+            body,
+        }
+    }
+
     /// A typed JSON error body: `{"error":label,"detail":...}`.
     pub fn error(status: u16, label: &str, detail: &str) -> Self {
         Self::json(

@@ -12,8 +12,8 @@
 //! **overflow** tier for events scheduled beyond the window. Each bucket is
 //! its own small `(time, seq)`-ordered heap, so a push costs `O(log b)` in
 //! the *bucket* population `b` (typically tens of events) instead of
-//! `O(log n)` in the whole pending set, and the earliest bucket is found by
-//! scanning a 128-word occupancy bitmap. Events land in the overflow heap
+//! `O(log n)` in the whole pending set, and the earliest bucket is found
+//! through a hierarchical occupancy bitset. Events land in the overflow heap
 //! only when scheduled further out than the window and migrate into the
 //! wheel in amortized batches when the near band drains past them — each
 //! event migrates at most once.
@@ -24,10 +24,21 @@
 //! retained single-heap backend ([`EventQueue::new_reference_heap`]) exists
 //! to prove that: lockstep tests drive both on adversarial schedules and
 //! demand identical pops.
+//!
+//! # Sparse slot storage
+//!
+//! Bucket heaps are materialized lazily: a slot table maps each of the 8192
+//! wheel positions to a pooled heap only while that bucket holds events, and
+//! a freelist recycles drained heaps (capacity intact) instead of leaving one
+//! allocation parked per slot. Occupancy lives in a [`crate::bitset::HierBitSet`],
+//! so finding the earliest non-empty bucket probes three summary levels
+//! instead of scanning a 128-word bitmap — the cost of a peek/pop follows the
+//! number of *occupied* buckets, not the wheel size.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::bitset::HierBitSet;
 use crate::time::SimTime;
 
 /// Near-band bucket granularity: `2^7` = 128 seconds per bucket.
@@ -36,8 +47,8 @@ const GRANULARITY_BITS: u64 = 7;
 const WHEEL_BITS: u64 = 13;
 const WHEEL_SLOTS: u64 = 1 << WHEEL_BITS;
 const SLOT_MASK: u64 = WHEEL_SLOTS - 1;
-/// Occupancy bitmap words (64 buckets per word).
-const WHEEL_WORDS: usize = (WHEEL_SLOTS / 64) as usize;
+/// Slot-table sentinel: this wheel position owns no pooled heap.
+const NO_HEAP: u32 = u32::MAX;
 
 /// A payload scheduled at a time, with a monotone sequence number used to
 /// break ties deterministically.
@@ -78,10 +89,20 @@ impl<E> Ord for Scheduled<E> {
 /// - every near-band event's slot lies in `[base_slot, base_slot + WHEEL_SLOTS)`;
 /// - `base_slot <= slot(now)` at all times, so any future `schedule` maps
 ///   into or beyond the current window (never below it, which would alias);
-/// - `base_slot` only advances, and only while the near band is empty.
+/// - `base_slot` only advances, and only while the near band is empty;
+/// - `slots[i] != NO_HEAP` ⇔ `occupied.contains(i)` ⇔ `pool[slots[i]]` is
+///   non-empty — a wheel position owns a pooled heap exactly while it holds
+///   events.
 struct Wheel<E> {
-    buckets: Box<[BinaryHeap<Scheduled<E>>]>,
-    occupied: [u64; WHEEL_WORDS],
+    /// Wheel position → pool index of its bucket heap, or [`NO_HEAP`].
+    slots: Box<[u32]>,
+    /// Lazily grown arena of bucket heaps; drained heaps return to `free`
+    /// with their capacity intact instead of parking one allocation per slot.
+    pool: Vec<BinaryHeap<Scheduled<E>>>,
+    /// Pool indices whose heaps are currently empty and unattached.
+    free: Vec<u32>,
+    /// Hierarchical occupancy index over wheel positions.
+    occupied: HierBitSet,
     near_len: usize,
     base_slot: u64,
     overflow: BinaryHeap<Scheduled<E>>,
@@ -90,8 +111,10 @@ struct Wheel<E> {
 impl<E> Wheel<E> {
     fn new() -> Self {
         Wheel {
-            buckets: (0..WHEEL_SLOTS).map(|_| BinaryHeap::new()).collect(),
-            occupied: [0; WHEEL_WORDS],
+            slots: vec![NO_HEAP; WHEEL_SLOTS as usize].into_boxed_slice(),
+            pool: Vec::new(),
+            free: Vec::new(),
+            occupied: HierBitSet::new(WHEEL_SLOTS as usize),
             near_len: 0,
             base_slot: 0,
             overflow: BinaryHeap::new(),
@@ -108,9 +131,30 @@ impl<E> Wheel<E> {
 
     fn insert_near(&mut self, s: Scheduled<E>) {
         let idx = (Self::slot_of(s.at) & SLOT_MASK) as usize;
-        self.buckets[idx].push(s);
-        self.occupied[idx >> 6] |= 1 << (idx & 63);
+        let mut h = self.slots[idx];
+        if h == NO_HEAP {
+            h = match self.free.pop() {
+                Some(recycled) => recycled,
+                None => {
+                    self.pool.push(BinaryHeap::new());
+                    (self.pool.len() - 1) as u32
+                }
+            };
+            self.slots[idx] = h;
+            self.occupied.insert(idx as u32);
+        }
+        self.pool[h as usize].push(s);
         self.near_len += 1;
+    }
+
+    /// Detaches the (drained) heap at wheel position `idx` back to the
+    /// freelist and clears its occupancy bit.
+    fn release_slot(&mut self, idx: usize) {
+        let h = self.slots[idx];
+        debug_assert!(h != NO_HEAP && self.pool[h as usize].is_empty());
+        self.slots[idx] = NO_HEAP;
+        self.free.push(h);
+        self.occupied.remove(idx as u32);
     }
 
     fn schedule(&mut self, s: Scheduled<E>, now: SimTime) {
@@ -130,38 +174,36 @@ impl<E> Wheel<E> {
 
     /// Physical index of the bucket holding the earliest near-band event.
     ///
-    /// Scans the occupancy bitmap in *logical* window order: physical
+    /// Probes the occupancy index in *logical* window order: physical
     /// positions `[p0, WHEEL_SLOTS)` first, then the wrapped `[0, p0)`
     /// tail, where `p0` is the window base. Within each segment physical
-    /// order equals logical order, so the first set bit is the earliest
-    /// occupied bucket.
+    /// order equals logical order, so the first member found is the earliest
+    /// occupied bucket — exactly the bucket the dense bitmap scan used to
+    /// find, at three summary-word probes instead of a 128-word sweep.
     fn first_occupied(&self) -> Option<usize> {
         if self.near_len == 0 {
             return None;
         }
-        let p0 = (self.base_slot & SLOT_MASK) as usize;
-        let (w0, b0) = (p0 >> 6, p0 & 63);
-        let head = self.occupied[w0] & (!0u64 << b0);
-        if head != 0 {
-            return Some((w0 << 6) + head.trailing_zeros() as usize);
+        let p0 = (self.base_slot & SLOT_MASK) as u32;
+        match self.occupied.next_at_or_after(p0) {
+            Some(i) => Some(i as usize),
+            None => Some(
+                self.occupied
+                    .first()
+                    .expect("near_len > 0 but no occupied bucket") as usize,
+            ),
         }
-        for wi in (w0 + 1..WHEEL_WORDS).chain(0..w0) {
-            let w = self.occupied[wi];
-            if w != 0 {
-                return Some((wi << 6) + w.trailing_zeros() as usize);
-            }
-        }
-        let tail = self.occupied[w0] & !(!0u64 << b0);
-        if tail != 0 {
-            return Some((w0 << 6) + tail.trailing_zeros() as usize);
-        }
-        unreachable!("near_len > 0 but no occupied bucket");
+    }
+
+    /// The heap attached at wheel position `idx` (which must be occupied).
+    fn bucket(&self, idx: usize) -> &BinaryHeap<Scheduled<E>> {
+        &self.pool[self.slots[idx] as usize]
     }
 
     fn peek(&self) -> Option<&Scheduled<E>> {
         let near = self
             .first_occupied()
-            .map(|i| self.buckets[i].peek().expect("occupied bucket"));
+            .map(|i| self.bucket(i).peek().expect("occupied bucket"));
         match (near, self.overflow.peek()) {
             (Some(n), Some(o)) => Some(if (n.at, n.seq) <= (o.at, o.seq) { n } else { o }),
             (Some(n), None) => Some(n),
@@ -173,7 +215,7 @@ impl<E> Wheel<E> {
         let near_idx = self.first_occupied();
         let take_near = match (near_idx, self.overflow.peek()) {
             (Some(i), Some(o)) => {
-                let n = self.buckets[i].peek().expect("occupied bucket");
+                let n = self.bucket(i).peek().expect("occupied bucket");
                 (n.at, n.seq) <= (o.at, o.seq)
             }
             (Some(_), None) => true,
@@ -182,10 +224,11 @@ impl<E> Wheel<E> {
         };
         if take_near {
             let i = near_idx.expect("near chosen");
-            let s = self.buckets[i].pop().expect("occupied bucket");
+            let h = self.slots[i] as usize;
+            let s = self.pool[h].pop().expect("occupied bucket");
             self.near_len -= 1;
-            if self.buckets[i].is_empty() {
-                self.occupied[i >> 6] &= !(1 << (i & 63));
+            if self.pool[h].is_empty() {
+                self.release_slot(i);
             }
             Some(s)
         } else {
@@ -208,14 +251,10 @@ impl<E> Wheel<E> {
     }
 
     fn clear(&mut self) {
-        for (w, word) in self.occupied.iter_mut().enumerate() {
-            let mut bits = *word;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                self.buckets[(w << 6) + b].clear();
-                bits &= bits - 1;
-            }
-            *word = 0;
+        while let Some(idx) = self.occupied.first() {
+            let idx = idx as usize;
+            self.pool[self.slots[idx] as usize].clear();
+            self.release_slot(idx);
         }
         self.near_len = 0;
         self.overflow.clear();
@@ -223,14 +262,10 @@ impl<E> Wheel<E> {
 
     fn take_all(&mut self) -> Vec<Scheduled<E>> {
         let mut out = Vec::with_capacity(self.len());
-        for (w, word) in self.occupied.iter_mut().enumerate() {
-            let mut bits = *word;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                out.extend(self.buckets[(w << 6) + b].drain());
-                bits &= bits - 1;
-            }
-            *word = 0;
+        while let Some(idx) = self.occupied.first() {
+            let idx = idx as usize;
+            out.extend(self.pool[self.slots[idx] as usize].drain());
+            self.release_slot(idx);
         }
         self.near_len = 0;
         out.extend(std::mem::take(&mut self.overflow).into_vec());

@@ -8,6 +8,8 @@
 //! - [`time`] — integer-second [`time::SimTime`] / [`time::SimDuration`]
 //!   newtypes with saturating arithmetic;
 //! - [`event`] — a future-event queue with deterministic tie-breaking;
+//! - [`bitset`] — a hierarchical bitset backing the queue's sparse slot
+//!   index and the scheduler's hot node indexes;
 //! - [`rng`] — a fork-able seeded RNG plus the distribution samplers used by
 //!   the failure and workload models;
 //! - [`stats`] — streaming statistics, histograms, and empirical CDFs;
@@ -35,6 +37,7 @@
 //! assert!(arrivals > 0);
 //! ```
 
+pub mod bitset;
 pub mod event;
 pub mod rng;
 pub mod special;

@@ -183,4 +183,64 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn sparse_wheel_recycles_slots_in_lockstep(
+        // Heavier churn than the plain lockstep test: `pop_until` drains
+        // whole buckets back to the freelist, later schedules must reattach
+        // recycled heaps, and an occasional `clear` releases every slot at
+        // once. Pop order must stay bitwise equal to the reference heap
+        // throughout.
+        ops in prop::collection::vec((0u8..8, 0u64..86_400), 1..300)
+    ) {
+        let mut sparse = EventQueue::new();
+        let mut reference = EventQueue::new_reference_heap();
+        let mut next_id = 0u64;
+        for (kind, raw) in ops {
+            match kind {
+                // Bursts into few buckets, so drains fully empty them.
+                0..=3 => {
+                    let offset = match kind {
+                        0 => 0,
+                        1 => raw % 128,          // same bucket as `now`
+                        2 => raw % 4_096,       // a handful of buckets
+                        _ => 30 * 86_400 + raw, // overflow tier
+                    };
+                    let at = SimTime::from_secs(sparse.now().as_secs() + offset);
+                    sparse.schedule(at, next_id);
+                    reference.schedule(at, next_id);
+                    next_id += 1;
+                }
+                4 | 5 => prop_assert_eq!(sparse.pop(), reference.pop()),
+                6 => {
+                    // Drain everything up to a horizon: empties buckets and
+                    // returns their heaps to the freelist.
+                    let limit = SimTime::from_secs(sparse.now().as_secs() + raw % 8_192);
+                    loop {
+                        let (a, b) = (sparse.pop_until(limit), reference.pop_until(limit));
+                        prop_assert_eq!(&a, &b);
+                        if a.is_none() {
+                            break;
+                        }
+                    }
+                }
+                _ => {
+                    if raw % 16 == 0 {
+                        sparse.clear();
+                        reference.clear();
+                    }
+                }
+            }
+            prop_assert_eq!(sparse.len(), reference.len());
+            prop_assert_eq!(sparse.peek_time(), reference.peek_time());
+            prop_assert_eq!(sparse.now(), reference.now());
+        }
+        loop {
+            let (a, b) = (sparse.pop(), reference.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }

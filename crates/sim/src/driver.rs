@@ -8,7 +8,7 @@
 //! permanent-but-undetected faults create restart loops until a check
 //! (possibly rolled out later) finally catches them.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
 use rsc_cluster::cluster::Cluster;
@@ -36,9 +36,12 @@ use rsc_telemetry::store::{
 };
 use rsc_workload::generator::JobStream;
 
+use rsc_sim_core::bitset::HierBitSet;
+
 use crate::bus::{SimEvent, SimObserver};
 use crate::config::{EraPreset, SimConfig};
 use crate::control::{CommandQueue, ControlCommand, ControlVerb};
+use crate::plan::{compute_plans, FailurePlan, PLAN_BATCH};
 
 /// Internal future events.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +105,16 @@ pub struct ClusterSim {
     rng: SimRng,
     telemetry: TelemetryStore,
     lemons: LemonPlan,
+    /// The lemon set as a bitset — O(1) membership for the per-failure
+    /// permanence mask (the linear scan it replaces dominated the handle
+    /// phase at fleet scale).
+    lemon_mask: HierBitSet,
+    /// Failure plans attributed ahead of the clock by the shard-compute
+    /// phase, applied one at a time in chronological order (see
+    /// [`crate::plan`]).
+    pending_plans: VecDeque<FailurePlan>,
+    /// Pins the planner's single-threaded reference path (lockstep twin).
+    serial_planning: bool,
     /// Nodes with a permanent fault no check has caught yet.
     broken: HashMap<NodeId, ModeId>,
     /// Nodes draining (leave service when their last job ends).
@@ -192,6 +205,7 @@ impl ClusterSim {
         let mut events = EventQueue::new();
         events.schedule(SimTime::from_days(1), Ev::DailySweep);
 
+        let lemon_mask = lemons.node_mask(num_nodes);
         ClusterSim {
             config,
             cluster,
@@ -203,6 +217,9 @@ impl ClusterSim {
             rng,
             telemetry,
             lemons,
+            lemon_mask,
+            pending_plans: VecDeque::new(),
+            serial_planning: false,
             broken: HashMap::new(),
             draining: HashSet::new(),
             lifecycles: HashMap::new(),
@@ -334,6 +351,17 @@ impl ClusterSim {
             self.config.cluster.num_nodes(),
             self.injector_rng.clone(),
         );
+        self.pending_plans.clear();
+    }
+
+    /// Pins failure planning to the single-threaded reference path and a
+    /// look-ahead batch of one — the sequential twin for the sharded
+    /// compute/merge-apply split. Byte-identity tests run one sim with the
+    /// default planner and one with this hook and demand identical sealed
+    /// telemetry; not part of the public API.
+    #[doc(hidden)]
+    pub fn set_serial_failure_planning(&mut self) {
+        self.serial_planning = true;
     }
 
     /// Switches the future-event queue to the reference single-binary-heap
@@ -436,15 +464,15 @@ impl ClusterSim {
 
             // Drain failures occurring strictly before the next other event.
             let mark = timed.then(Instant::now);
-            let failure = self.injector.next_before(t_other);
+            let failure = self.next_planned_failure(t_other);
             if let Some(m) = mark {
                 phases.inject_s += m.elapsed().as_secs_f64();
             }
             if let Some(failure) = failure {
-                self.now = failure.at;
+                self.now = failure.event.at;
                 self.events_processed += 1;
                 let mark = timed.then(Instant::now);
-                self.handle_failure(failure);
+                self.apply_failure_plan(failure);
                 if let Some(m) = mark {
                     phases.handle_s += m.elapsed().as_secs_f64();
                 }
@@ -644,28 +672,60 @@ impl ClusterSim {
         }
     }
 
-    fn handle_failure(&mut self, failure: FailureEvent) {
-        // Lemon defects evade diagnosis: the repair shop finds "no trouble",
-        // the node returns to service quickly, and the defect (the elevated
-        // hazard) persists — the recurring pattern §IV-A hunts for.
-        let failure = FailureEvent {
-            permanent: failure.permanent && !self.lemons.is_lemon(failure.node),
-            ..failure
-        };
+    /// Returns the next planned failure at or before `limit`, refilling the
+    /// plan buffer from the injector (one shard-computed look-ahead batch
+    /// at a time) when it runs dry. A buffered plan past `limit` stays
+    /// buffered, so queued events and submissions interleave exactly as
+    /// they would against an unbatched injector.
+    fn next_planned_failure(&mut self, limit: SimTime) -> Option<FailurePlan> {
+        if self.pending_plans.is_empty() {
+            // The serial twin pins a look-ahead of one, reproducing the
+            // pre-split lazy draw-then-handle loop exactly.
+            let look_ahead = if self.serial_planning { 1 } else { PLAN_BATCH };
+            let mut batch: Vec<FailureEvent> = Vec::new();
+            while batch.len() < look_ahead {
+                match self.injector.next_before(SimTime::MAX) {
+                    Some(f) => batch.push(f),
+                    None => break,
+                }
+            }
+            if !batch.is_empty() {
+                self.pending_plans.extend(compute_plans(
+                    &batch,
+                    self.injector.schedule().catalog(),
+                    &self.lemon_mask,
+                    self.config.cluster.num_nodes(),
+                    self.serial_planning,
+                ));
+            }
+        }
+        match self.pending_plans.front() {
+            Some(p) if p.event.at <= limit => self.pending_plans.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Applies one precomputed failure plan: the stateful half of failure
+    /// handling — telemetry, signal expansion, checks, interrupts — with
+    /// every simulation-RNG draw happening here, in chronological order.
+    fn apply_failure_plan(&mut self, plan: FailurePlan) {
+        // Permanence already masked through the lemon set at plan time:
+        // lemon defects evade diagnosis — the repair shop finds "no
+        // trouble", the node returns to service quickly, and the defect
+        // (the elevated hazard) persists — the recurring pattern §IV-A
+        // hunts for.
+        let FailurePlan {
+            event: failure,
+            observable,
+            severity,
+            component,
+        } = plan;
         self.emit(&SimEvent::GroundTruth(&failure));
         self.telemetry.push_ground_truth(failure);
         let node = failure.node;
         if self.cluster.node_state(node) == NodeState::Remediation {
             return; // already out of service
         }
-
-        // Record component damage and raise the co-occurring signals. Only
-        // the mode's scalars are needed here — copying them out avoids
-        // cloning the spec's owned fields on every injected failure.
-        let (observable, severity, component) = {
-            let spec = self.injector.schedule().catalog().mode(failure.mode);
-            (spec.observable, spec.severity, spec.component)
-        };
         if failure.permanent {
             self.apply_permanent_damage(node, component);
         }

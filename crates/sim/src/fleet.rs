@@ -10,6 +10,19 @@
 //! worker pool and each fleet's sealed telemetry lands in the artifact
 //! cache under its own fingerprint), and the results reduce to a
 //! [`FleetComparison`] — the cross-fleet metric table the paper reports.
+//!
+//! # Memory governance
+//!
+//! N fleets simulating concurrently multiply peak telemetry residency, so
+//! a set can carry a **global memory budget**
+//! ([`FleetSet::set_global_memory_budget`]): the cap is split across the
+//! fleets proportionally to node count (telemetry volume scales with fleet
+//! size) with a per-fleet floor, and each fleet runs under its share via
+//! the spec-level budget ([`ScenarioSpec::with_memory_budget`]) — rotated
+//! telemetry segments spill to disk and reload at seal, so sealed bytes,
+//! fingerprints, and cached artifacts are identical to unbudgeted runs.
+//! [`FleetSet::set_auto_memory_budget`] derives the cap from the cgroup v2
+//! limit (`memory.max` / `memory.high`) when the process runs inside one.
 
 use std::sync::Arc;
 
@@ -37,11 +50,57 @@ pub struct FleetSpec {
     pub scenario: ScenarioSpec,
 }
 
+/// Floor each fleet's budget share never drops below: under this the
+/// telemetry store's per-stream capacities bottom out anyway, so smaller
+/// shares only multiply rotations without saving memory.
+pub const MIN_FLEET_BUDGET: usize = 1 << 20;
+
+/// Splits a global byte budget across fleets proportionally to `weights`
+/// (node counts), flooring every share at [`MIN_FLEET_BUDGET`]. The floor
+/// is applied after the proportional split, so a set of many tiny fleets
+/// next to one huge one may sum slightly above `total` — the floor is a
+/// usefulness bound, not a hard partition.
+fn split_budget(total: usize, weights: &[u64]) -> Vec<usize> {
+    let sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    weights
+        .iter()
+        .map(|&w| {
+            let share = (total as u128 * w as u128)
+                .checked_div(sum)
+                .map_or(total / weights.len().max(1), |s| s as usize);
+            share.max(MIN_FLEET_BUDGET)
+        })
+        .collect()
+}
+
+/// Parses one cgroup v2 limit file body: a byte count, or `max` (no
+/// limit) which maps to `None`.
+fn parse_cgroup_limit(body: &str) -> Option<u64> {
+    body.trim().parse().ok()
+}
+
+/// The effective cgroup v2 memory limit on this process, if any: the
+/// smaller of `memory.max` (the OOM ceiling) and `memory.high` (the
+/// throttle threshold), read from the unified hierarchy mount. `None`
+/// outside a limited cgroup (either file absent or `max`).
+pub fn cgroup_memory_limit() -> Option<u64> {
+    let read = |name: &str| {
+        std::fs::read_to_string(format!("/sys/fs/cgroup/{name}"))
+            .ok()
+            .and_then(|s| parse_cgroup_limit(&s))
+    };
+    match (read("memory.max"), read("memory.high")) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
 /// A set of fleets executed together. See the module docs.
 #[derive(Debug, Clone)]
 pub struct FleetSet {
     fleets: Vec<FleetSpec>,
     runner: ScenarioRunner,
+    global_budget: Option<usize>,
 }
 
 impl FleetSet {
@@ -50,6 +109,7 @@ impl FleetSet {
         FleetSet {
             fleets: Vec::new(),
             runner,
+            global_budget: None,
         }
     }
 
@@ -86,11 +146,57 @@ impl FleetSet {
         &self.fleets
     }
 
+    /// Caps the set's combined resident telemetry at roughly `bytes`,
+    /// split across fleets proportionally to node count at [`run`]
+    /// (see the module docs). Sealed bytes are unchanged.
+    pub fn set_global_memory_budget(&mut self, bytes: usize) -> &mut Self {
+        self.global_budget = Some(bytes);
+        self
+    }
+
+    /// [`Self::set_global_memory_budget`] with the cap derived from the
+    /// host: half the cgroup v2 memory limit when the process runs inside
+    /// one (leaving the other half for simulation state proper), else
+    /// `fallback` bytes. Returns the cap chosen.
+    pub fn set_auto_memory_budget(&mut self, fallback: usize) -> usize {
+        let cap = cgroup_memory_limit()
+            .map(|limit| (limit / 2) as usize)
+            .unwrap_or(fallback);
+        self.set_global_memory_budget(cap);
+        cap
+    }
+
+    /// The global memory budget, if one is set.
+    pub fn global_memory_budget(&self) -> Option<usize> {
+        self.global_budget
+    }
+
+    /// Each fleet's share of the global budget (in addition order), or
+    /// `None` when the set is unbudgeted.
+    pub fn fleet_budgets(&self) -> Option<Vec<usize>> {
+        let total = self.global_budget?;
+        let weights: Vec<u64> = self
+            .fleets
+            .iter()
+            .map(|f| f.scenario.config.cluster.num_nodes() as u64)
+            .collect();
+        Some(split_budget(total, &weights))
+    }
+
     /// Executes every fleet concurrently on the runner's worker pool,
     /// returning per-fleet sealed views (in addition order) plus the
     /// cache accounting for the batch.
     pub fn run(&self) -> FleetSetResult {
-        let specs: Vec<ScenarioSpec> = self.fleets.iter().map(|f| f.scenario.clone()).collect();
+        let budgets = self.fleet_budgets();
+        let specs: Vec<ScenarioSpec> = self
+            .fleets
+            .iter()
+            .enumerate()
+            .map(|(i, f)| match &budgets {
+                Some(b) => f.scenario.clone().with_memory_budget(b[i]),
+                None => f.scenario.clone(),
+            })
+            .collect();
         let (views, cache) = self.runner.run_all_with_stats(&specs);
         let fleets = self
             .fleets
@@ -238,6 +344,54 @@ impl FleetComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn budget_splits_proportionally_with_floor() {
+        // 3:1 node weights → 3:1 shares.
+        let shares = split_budget(400 << 20, &[30_000, 10_000]);
+        assert_eq!(shares, vec![300 << 20, 100 << 20]);
+        // A tiny fleet's proportional share floors at MIN_FLEET_BUDGET.
+        let shares = split_budget(100 << 20, &[1_000_000, 64]);
+        assert_eq!(shares[1], MIN_FLEET_BUDGET);
+        assert!(shares[0] > (99 << 20));
+        // Degenerate zero weights fall back to an even split.
+        let shares = split_budget(8 << 20, &[0, 0]);
+        assert_eq!(shares, vec![4 << 20, 4 << 20]);
+    }
+
+    #[test]
+    fn cgroup_limit_parsing() {
+        assert_eq!(parse_cgroup_limit("1073741824\n"), Some(1 << 30));
+        assert_eq!(parse_cgroup_limit("max\n"), None);
+        assert_eq!(parse_cgroup_limit(""), None);
+        // Whatever this host's cgroup situation, probing it must not panic.
+        let _ = cgroup_memory_limit();
+    }
+
+    #[test]
+    fn global_budget_is_invisible_in_fleet_telemetry() {
+        let mut unbudgeted = FleetSet::new(ScenarioRunner::without_cache().workers(2));
+        unbudgeted.add_fleet("A", SimConfig::small_test_cluster(), 7, 3);
+        unbudgeted.add_fleet("B", SimConfig::small_test_cluster(), 7, 3);
+        let plain = unbudgeted.run();
+
+        let mut budgeted = FleetSet::new(ScenarioRunner::without_cache().workers(2));
+        budgeted.add_fleet("A", SimConfig::small_test_cluster(), 7, 3);
+        budgeted.add_fleet("B", SimConfig::small_test_cluster(), 7, 3);
+        // A cap small enough that each fleet's share hits the floor and
+        // forces mid-run segment rotations through the spill path.
+        budgeted.set_global_memory_budget(2 * MIN_FLEET_BUDGET);
+        assert_eq!(
+            budgeted.fleet_budgets(),
+            Some(vec![MIN_FLEET_BUDGET, MIN_FLEET_BUDGET])
+        );
+        let capped = budgeted.run();
+
+        for (a, b) in plain.fleets.iter().zip(&capped.fleets) {
+            assert_eq!(a.view.chain_heads(), b.view.chain_heads());
+            assert_eq!(a.view.jobs(), b.view.jobs());
+        }
+    }
 
     #[test]
     fn fleet_seeds_are_distinct_and_base_preserving() {

@@ -30,11 +30,15 @@ pub mod config;
 pub mod control;
 pub mod driver;
 pub mod fleet;
+mod plan;
 pub mod runner;
 
 pub use bus::{SimEvent, SimObserver};
 pub use config::{EraPreset, SimConfig};
 pub use control::{CommandQueue, ControlCommand, ControlVerb};
 pub use driver::ClusterSim;
-pub use fleet::{FleetComparison, FleetMetrics, FleetResult, FleetSet, FleetSetResult, FleetSpec};
+pub use fleet::{
+    cgroup_memory_limit, FleetComparison, FleetMetrics, FleetResult, FleetSet, FleetSetResult,
+    FleetSpec,
+};
 pub use runner::{CacheStats, ObservedOutcome, ScenarioRunner, ScenarioSpec};

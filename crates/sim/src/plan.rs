@@ -1,0 +1,184 @@
+//! Shard-compute / merge-apply decomposition of the driver's failure phase.
+//!
+//! The driver's `handle` phase dominates large-fleet runs. Its per-failure
+//! work splits cleanly in two:
+//!
+//! - a **pure compute** part — attributing the failure to a mode spec
+//!   (observable / severity / component scalars) and masking permanence
+//!   through the lemon set — which reads only immutable, whole-run state
+//!   (the mode catalog and the planted lemons); and
+//! - a **stateful apply** part — ground-truth telemetry, signal expansion,
+//!   health checks, scheduler interrupts — which reads and mutates live
+//!   cluster state and draws from the simulation RNG.
+//!
+//! [`compute_plans`] performs the pure part for a whole look-ahead batch at
+//! once, sharded by contiguous node-id ranges (pods are contiguous id
+//! ranges, so whole pods land in one shard) across scoped worker threads —
+//! the same discipline as the pod-sharded parallel seal in
+//! `rsc_telemetry::view`. Each worker scans the full batch but fills only
+//! the output slots of its own nodes, so the merged plan vector is
+//! *positionally* identical to a serial computation for every worker count,
+//! including 1. The driver then applies plans one at a time, in the exact
+//! chronological order the sequential loop would have processed them,
+//! drawing all simulation RNG at apply time — so RNG streams, bus delivery
+//! order, and sealed telemetry bytes are bitwise unchanged.
+//!
+//! Why look-ahead is sound: the failure injector's draws live on a private
+//! RNG stream, and `FailureInjector::next_before`'s limit only gates when a
+//! candidate is *exposed*, never what is drawn. Attributing a batch of
+//! future failures eagerly therefore consumes the injector stream in
+//! exactly the sequential order, and a plan waits in the buffer until the
+//! driver's clock actually reaches it — queued events and job submissions
+//! that land in between still interleave exactly as before.
+
+use rsc_cluster::component::ComponentKind;
+use rsc_failure::injector::FailureEvent;
+use rsc_failure::modes::{ModeCatalog, Severity};
+use rsc_sim_core::bitset::HierBitSet;
+
+/// How many failures the driver attributes ahead of the clock per refill.
+pub(crate) const PLAN_BATCH: usize = 1024;
+
+/// Below this batch size the sharded path costs more than it saves; compute
+/// serially (also the path taken on single-core hosts).
+const PARALLEL_PLAN_MIN: usize = 512;
+
+/// The precomputed, state-independent part of handling one failure.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FailurePlan {
+    /// The failure with its permanence already masked through the lemon
+    /// set (lemon defects evade diagnosis; see the driver).
+    pub event: FailureEvent,
+    /// Whether the mode is observable (copied out of the mode spec).
+    pub observable: bool,
+    /// The mode's severity.
+    pub severity: Severity,
+    /// The component the mode damages.
+    pub component: ComponentKind,
+}
+
+/// Computes the plan for one failure — the shared kernel of the serial and
+/// sharded paths.
+fn plan_one(failure: &FailureEvent, catalog: &ModeCatalog, lemon_mask: &HierBitSet) -> FailurePlan {
+    let spec = catalog.mode(failure.mode);
+    FailurePlan {
+        event: FailureEvent {
+            permanent: failure.permanent && !lemon_mask.contains(failure.node.index()),
+            ..*failure
+        },
+        observable: spec.observable,
+        severity: spec.severity,
+        component: spec.component,
+    }
+}
+
+/// Computes plans for a batch of attributed failures, preserving input
+/// (chronological) order in the output.
+///
+/// `force_serial` pins the single-threaded reference path — the lockstep
+/// twin for byte-identity tests.
+pub(crate) fn compute_plans(
+    batch: &[FailureEvent],
+    catalog: &ModeCatalog,
+    lemon_mask: &HierBitSet,
+    num_nodes: u32,
+    force_serial: bool,
+) -> Vec<FailurePlan> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if force_serial || batch.len() < PARALLEL_PLAN_MIN || workers < 2 || num_nodes == 0 {
+        return batch
+            .iter()
+            .map(|f| plan_one(f, catalog, lemon_mask))
+            .collect();
+    }
+    let shards = workers.min(num_nodes as usize);
+    let per_shard = (num_nodes as usize).div_ceil(shards);
+    // Out-of-range node ids clamp into the last shard, mirroring the
+    // parallel-seal convention, so no failure is ever dropped.
+    let shard_of =
+        |node: rsc_cluster::ids::NodeId| (node.index() as usize / per_shard).min(shards - 1);
+    let mut out: Vec<Option<FailurePlan>> = vec![None; batch.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        // Workers' output slots interleave (slot i belongs to whichever
+        // shard batch[i]'s node falls in), so each worker returns disjoint
+        // (index, plan) pairs and the merge writes them back in place.
+        for s in 0..shards {
+            handles.push(scope.spawn(move || {
+                let mut partial: Vec<(usize, FailurePlan)> = Vec::new();
+                for (i, f) in batch.iter().enumerate() {
+                    if shard_of(f.node) == s {
+                        partial.push((i, plan_one(f, catalog, lemon_mask)));
+                    }
+                }
+                partial
+            }));
+        }
+        for h in handles {
+            for (i, plan) in h.join().expect("plan shard worker panicked") {
+                out[i] = Some(plan);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|p| p.expect("every batch slot planned exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsc_cluster::ids::NodeId;
+    use rsc_failure::modes::ModeId;
+    use rsc_failure::taxonomy::FailureSymptom;
+    use rsc_sim_core::time::SimTime;
+
+    fn batch(n: usize, num_nodes: u32) -> Vec<FailureEvent> {
+        let catalog = ModeCatalog::rsc1();
+        let modes: Vec<ModeId> = catalog.iter().map(|(id, _)| id).collect();
+        (0..n)
+            .map(|i| {
+                let mode = modes[i % modes.len()];
+                FailureEvent {
+                    at: SimTime::from_secs(i as u64),
+                    node: NodeId::new((i as u32 * 7919) % num_nodes),
+                    mode,
+                    symptom: FailureSymptom::GpuMemoryError,
+                    permanent: i % 3 == 0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_plans_match_serial_exactly() {
+        let catalog = ModeCatalog::rsc1();
+        let num_nodes = 4096u32;
+        let mut mask = HierBitSet::new(num_nodes as usize);
+        for k in (0..num_nodes).step_by(97) {
+            mask.insert(k);
+        }
+        let events = batch(2000, num_nodes);
+        let serial = compute_plans(&events, &catalog, &mask, num_nodes, true);
+        let sharded = compute_plans(&events, &catalog, &mask, num_nodes, false);
+        assert_eq!(serial, sharded);
+        assert_eq!(serial.len(), events.len());
+    }
+
+    #[test]
+    fn lemon_mask_strips_permanence() {
+        let catalog = ModeCatalog::rsc1();
+        let mut mask = HierBitSet::new(64);
+        mask.insert(5);
+        let mut events = batch(12, 64);
+        events[0].node = NodeId::new(5);
+        events[0].permanent = true;
+        events[1].node = NodeId::new(6);
+        events[1].permanent = true;
+        let plans = compute_plans(&events, &catalog, &mask, 64, true);
+        assert!(!plans[0].event.permanent, "lemon keeps its defect hidden");
+        assert!(plans[1].event.permanent, "non-lemon permanence survives");
+    }
+}

@@ -47,12 +47,45 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Horizon in days.
     pub days: u64,
+    /// Resident telemetry byte budget for the run, if bounded (see
+    /// [`ClusterSim::set_telemetry_memory_budget`]). Budgeted runs spill
+    /// rotated segments to disk and reload them at seal, so the sealed
+    /// bytes — and therefore the cache [`fingerprint`](Self::fingerprint) —
+    /// are identical to an unbudgeted run; the budget only bounds peak
+    /// resident memory while simulating.
+    pub memory_budget: Option<usize>,
+    /// Where a budgeted run spills rotated segments. `None` uses a private
+    /// directory under the system temp dir (unique per fingerprint and
+    /// process, removed after seal).
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl ScenarioSpec {
     /// Creates a spec.
     pub fn new(config: SimConfig, seed: u64, days: u64) -> Self {
-        ScenarioSpec { config, seed, days }
+        ScenarioSpec {
+            config,
+            seed,
+            days,
+            memory_budget: None,
+            spill_dir: None,
+        }
+    }
+
+    /// Bounds the run's resident telemetry to roughly `bytes`, spilling
+    /// rotated segments to disk (see [`Self::memory_budget`]). Sealed
+    /// telemetry is byte-identical to an unbudgeted run.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Overrides the spill directory a budgeted run uses. The directory is
+    /// created on demand and left in place at seal (a `None` default is
+    /// private and removed).
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
     }
 
     /// Stable cache fingerprint: FNV-1a 64 over the `Debug` rendering of
@@ -61,6 +94,10 @@ impl ScenarioSpec {
     /// `Debug` output covers every field of [`SimConfig`] (all substrate
     /// configs derive `Debug` structurally), so any parameter change
     /// yields a new fingerprint and a cache miss rather than a stale hit.
+    /// The memory budget and spill directory are deliberately *excluded*:
+    /// they never change the sealed bytes (pinned by
+    /// `tests/memory_lockstep.rs`), so a budgeted and an unbudgeted run of
+    /// the same scenario rightly share one cached artifact.
     pub fn fingerprint(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -83,11 +120,47 @@ impl ScenarioSpec {
         format!("{:016x}.snap", self.fingerprint())
     }
 
+    /// Applies the memory budget (if any) to a freshly built sim,
+    /// returning a spill directory to remove after seal when the default
+    /// private one was used. A spill setup failure degrades to an
+    /// unbudgeted in-memory run — sealed bytes are identical either way.
+    fn apply_memory_budget(&self, sim: &mut ClusterSim) -> Option<PathBuf> {
+        let bytes = self.memory_budget?;
+        sim.set_telemetry_memory_budget(bytes);
+        let (dir, private) = match &self.spill_dir {
+            Some(dir) => (dir.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!(
+                    "rsc-spill-{:016x}-{}",
+                    self.fingerprint(),
+                    std::process::id()
+                )),
+                true,
+            ),
+        };
+        match sim.enable_telemetry_spill(&dir) {
+            Ok(()) => private.then_some(dir),
+            Err(e) => {
+                eprintln!(
+                    "warning: telemetry spill unavailable at {} ({e}); \
+                     running unbudgeted in memory",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
     /// Runs the simulation synchronously (no cache) and seals the result.
     pub fn simulate(&self) -> TelemetryView {
         let mut sim = ClusterSim::new(self.config.clone(), self.seed);
+        let cleanup = self.apply_memory_budget(&mut sim);
         sim.run(SimDuration::from_days(self.days));
-        sim.into_telemetry().seal()
+        let view = sim.into_telemetry().seal();
+        if let Some(dir) = cleanup {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        view
     }
 
     /// Runs the simulation with an event-stream observer attached (see
@@ -95,9 +168,14 @@ impl ScenarioSpec {
     /// live; telemetry is byte-identical to [`Self::simulate`].
     pub fn simulate_observed(&self, observer: Box<dyn crate::bus::SimObserver>) -> TelemetryView {
         let mut sim = ClusterSim::new(self.config.clone(), self.seed);
+        let cleanup = self.apply_memory_budget(&mut sim);
         sim.attach_observer(observer);
         sim.run(SimDuration::from_days(self.days));
-        sim.into_telemetry().seal()
+        let view = sim.into_telemetry().seal();
+        if let Some(dir) = cleanup {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        view
     }
 }
 

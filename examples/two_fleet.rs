@@ -9,6 +9,14 @@
 //! Run with: `cargo run --release --example two_fleet [-- days [seed]]`
 //! (defaults: scaled-down fleets over 30 days — pass `--full` as the
 //! days argument suffix, e.g. `30 42 --full`, for full-size fleets).
+//!
+//! `--memory-budget BYTES` caps the set's combined resident telemetry:
+//! the cap splits across the fleets proportionally to node count and each
+//! fleet spills rotated segments under its share. `--memory-budget auto`
+//! derives the cap from the cgroup v2 limit (half of
+//! `memory.max`/`memory.high`), falling back to 4 GiB outside a limited
+//! cgroup. Sealed telemetry and the comparison CSV are byte-identical
+//! with or without a budget.
 
 use rsc_reliability::sim::fleet::FleetSet;
 use rsc_reliability::sim::{ScenarioRunner, SimConfig};
@@ -16,18 +24,31 @@ use rsc_reliability::sim::{ScenarioRunner, SimConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let mut nums = args.iter().filter(|a| *a != "--full");
+    let mut budget_arg: Option<String> = None;
+    let mut nums = Vec::new();
+    let mut iter = args.iter().filter(|a| *a != "--full");
+    while let Some(a) = iter.next() {
+        if a == "--memory-budget" {
+            budget_arg = Some(
+                iter.next()
+                    .expect("--memory-budget needs BYTES or `auto`")
+                    .clone(),
+            );
+        } else {
+            nums.push(a.clone());
+        }
+    }
     let days: u64 = nums
-        .next()
+        .first()
         .map(|v| v.parse().expect("days must be an integer"))
         .unwrap_or(30);
     let seed: u64 = nums
-        .next()
+        .get(1)
         .map(|v| v.parse().expect("seed must be an integer"))
         .unwrap_or(42);
 
     let runner = ScenarioRunner::new().workers(2);
-    let set = if full {
+    let mut set = if full {
         FleetSet::rsc_pair(runner, seed, days)
     } else {
         // Divisor-8 fleets keep the example interactive (~seconds) while
@@ -37,6 +58,23 @@ fn main() {
         set.add_fleet("RSC-2/8", SimConfig::rsc2().scaled_down(8), seed, days);
         set
     };
+    match budget_arg.as_deref() {
+        Some("auto") => {
+            let cap = set.set_auto_memory_budget(4 << 30);
+            println!("memory budget: {:.1} MiB global (auto)", mib(cap));
+        }
+        Some(v) => {
+            let cap: usize = v.parse().expect("--memory-budget BYTES must be an integer");
+            set.set_global_memory_budget(cap);
+            println!("memory budget: {:.1} MiB global", mib(cap));
+        }
+        None => {}
+    }
+    if let Some(shares) = set.fleet_budgets() {
+        for (fleet, share) in set.fleets().iter().zip(&shares) {
+            println!("  {:<8} {:>9.1} MiB share", fleet.name, mib(*share));
+        }
+    }
 
     println!("two-fleet run: {} days, base seed {seed}", days);
     for fleet in set.fleets() {
@@ -93,4 +131,8 @@ fn main() {
     let out = "two_fleet_comparison.csv";
     std::fs::write(out, cmp.to_csv()).expect("write comparison CSV");
     println!("[csv] wrote {out}");
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
 }
